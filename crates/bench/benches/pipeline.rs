@@ -1,0 +1,56 @@
+//! Criterion benchmarks for the ChatLS pipeline stages: circuit-graph
+//! construction, retrieval, SynthExpert refinement, and a full end-to-end
+//! customization.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use std::sync::OnceLock;
+
+fn db() -> &'static chatls::ExpertDatabase {
+    static DB: OnceLock<chatls::ExpertDatabase> = OnceLock::new();
+    DB.get_or_init(|| chatls::ExpertDatabase::build(&chatls::DbConfig::quick()))
+}
+
+fn bench_pipeline(c: &mut Criterion) {
+    let design = chatls_designs::by_name("aes").expect("benchmark");
+    let task = chatls::prepare_task(&design, "optimize timing");
+
+    c.bench_function("pipeline/build_circuit_graph_aes", |b| {
+        b.iter(|| chatls::build_circuit_graph(black_box(&design)))
+    });
+
+    let graph = chatls::build_circuit_graph(&design);
+    c.bench_function("pipeline/design_embedding", |b| {
+        b.iter(|| db().mentor().design_embedding(black_box(&graph)))
+    });
+
+    let embedding = db().mentor().design_embedding(&graph);
+    c.bench_function("pipeline/similar_designs_k3", |b| {
+        b.iter(|| db().similar_designs(black_box(&embedding), 3, 1.0, 0.5))
+    });
+
+    let rag = chatls::SynthRag::new(db());
+    c.bench_function("pipeline/manual_search", |b| {
+        b.iter(|| rag.manual_search(black_box("balance pipeline stages by moving registers"), 3))
+    });
+
+    let draft = "create_clock -period 9.0 [get_ports clk]\nfix_timing_violations -all\ncompile -map_effort extreme\n";
+    c.bench_function("pipeline/synthexpert_refine", |b| {
+        b.iter(|| {
+            let expert = chatls::SynthExpert::new(chatls::SynthRag::new(db()));
+            expert.refine(black_box(&task), black_box(draft))
+        })
+    });
+
+    let chatls_gen = chatls::ChatLs::new(db());
+    c.bench_function("pipeline/customize_aes_end_to_end", |b| {
+        b.iter(|| chatls_gen.customize(black_box(&design), black_box(&task), 0))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_pipeline
+}
+criterion_main!(benches);

@@ -1,0 +1,111 @@
+//! Criterion microbenchmarks for every substrate crate: parser and
+//! lowering throughput, graph-database query latency, GNN forward pass,
+//! vector search, text embedding, STA, and the compile pipeline.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use std::hint::black_box;
+
+fn bench_verilog(c: &mut Criterion) {
+    let design = chatls_designs::by_name("aes").expect("benchmark");
+    let src = design.source.clone();
+    c.bench_function("verilog/parse_aes", |b| {
+        b.iter(|| chatls_verilog::parse(black_box(&src)).expect("parses"))
+    });
+    let ast = chatls_verilog::parse(&src).expect("parses");
+    c.bench_function("verilog/lower_aes", |b| {
+        b.iter(|| chatls_verilog::lower_to_netlist(black_box(&ast), "aes").expect("lowers"))
+    });
+}
+
+fn bench_graphdb(c: &mut Criterion) {
+    let design = chatls_designs::by_name("swerv").expect("benchmark");
+    let graph = chatls::build_circuit_graph(&design);
+    c.bench_function("graphdb/match_filter_order", |b| {
+        b.iter(|| {
+            chatls_graphdb::query(
+                black_box(&graph.db),
+                "MATCH (m:Module) WHERE m.reg_bits > 100 RETURN m.name ORDER BY m.name",
+            )
+            .expect("query ok")
+        })
+    });
+    c.bench_function("graphdb/two_hop_pattern", |b| {
+        b.iter(|| {
+            chatls_graphdb::query(
+                black_box(&graph.db),
+                "MATCH (d:Design)-[:CONTAINS]->(t)-[:CONTAINS]->(m:Module) RETURN count(*)",
+            )
+            .expect("query ok")
+        })
+    });
+}
+
+fn bench_gnn(c: &mut Criterion) {
+    use chatls_gnn::{Aggregator, SageModel};
+    let design = chatls_designs::by_name("swerv").expect("benchmark");
+    let graph = chatls::build_circuit_graph(&design);
+    let model = SageModel::new(&[chatls::features::FEATURE_DIM, 32, 16], Aggregator::Mean, 7);
+    c.bench_function("gnn/forward_swerv", |b| {
+        b.iter(|| model.embed_graph(black_box(&graph.feature_graph)))
+    });
+}
+
+fn bench_vecindex(c: &mut Criterion) {
+    use chatls_vecindex::{FlatIndex, IvfIndex, Metric};
+    let dim = 16;
+    let vectors: Vec<Vec<f32>> = (0..2000)
+        .map(|i| (0..dim).map(|d| ((i * 31 + d * 7) as f32 * 0.17).sin()).collect())
+        .collect();
+    let mut flat = FlatIndex::new(dim, Metric::Cosine);
+    let mut ivf = IvfIndex::new(dim, Metric::Cosine, 32, 7);
+    for (i, v) in vectors.iter().enumerate() {
+        flat.add(i as u64, v.clone());
+        ivf.add(i as u64, v.clone());
+    }
+    ivf.train();
+    let query: Vec<f32> = (0..dim).map(|d| (d as f32 * 0.3).cos()).collect();
+    c.bench_function("vecindex/flat_2k", |b| b.iter(|| flat.search(black_box(&query), 10)));
+    c.bench_function("vecindex/ivf_2k_nprobe4", |b| {
+        b.iter(|| ivf.search(black_box(&query), 10, 4))
+    });
+}
+
+fn bench_textembed(c: &mut Criterion) {
+    use chatls_textembed::Embedder;
+    let corpus: Vec<String> = chatls_synth::command_manual()
+        .iter()
+        .map(|e| format!("{} {}", e.synopsis, e.description))
+        .collect();
+    let embedder = Embedder::fit(256, corpus.iter().map(String::as_str));
+    c.bench_function("textembed/embed_query", |b| {
+        b.iter(|| embedder.embed(black_box("fix high fanout nets with balanced buffer trees")))
+    });
+}
+
+fn bench_synth(c: &mut Criterion) {
+    use chatls_synth::passes::{compile, Effort};
+    use chatls_synth::sta::{analyze, Constraints};
+    use chatls_synth::MappedDesign;
+    let lib = chatls_liberty::nangate45();
+    let design = chatls_designs::by_name("aes").expect("benchmark");
+    let netlist = design.netlist();
+    let mapped = MappedDesign::map(netlist, &lib).expect("maps");
+    let constraints = Constraints { clock_period: design.default_period, ..Constraints::default() };
+    c.bench_function("synth/sta_aes", |b| {
+        b.iter(|| analyze(black_box(&mapped), &lib, &constraints))
+    });
+    c.bench_function("synth/compile_medium_aes", |b| {
+        b.iter_batched(
+            || mapped.clone(),
+            |mut d| compile(&mut d, &lib, &constraints, Effort::Medium),
+            BatchSize::LargeInput,
+        )
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_verilog, bench_graphdb, bench_gnn, bench_vecindex, bench_textembed, bench_synth
+}
+criterion_main!(benches);

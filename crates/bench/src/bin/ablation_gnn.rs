@@ -1,0 +1,112 @@
+//! Ablation: CircuitMentor GNN design choices vs. retrieval quality.
+//!
+//! Sweeps aggregator (mean/max), metric loss (contrastive vs.
+//! multi-similarity) and depth over the Fig. 5 retrieval workload, plus an
+//! untrained control — quantifying how much the metric learning of Fig. 4
+//! actually buys the retrieval stage.
+
+use chatls::circuit_mentor::{build_circuit_graph, CircuitMentor};
+use chatls::eval::{f1_score, RetrievalEval};
+use chatls::features::FEATURE_DIM;
+use chatls_bench::{header, save_json};
+use chatls_gnn::{Aggregator, MetricLoss, TrainConfig};
+
+use chatls_vecindex::{FlatIndex, Metric};
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct Point {
+    variant: String,
+    f1_at_3: f64,
+    separation: f32,
+}
+
+fn main() {
+    header("Ablation: GNN aggregator / loss / depth vs retrieval F1");
+    // Labelled corpus + workload.
+    let corpus: Vec<(chatls_designs::GeneratedDesign, u32)> = {
+        let mut cats: Vec<String> = Vec::new();
+        chatls_designs::database_designs()
+            .into_iter()
+            .map(|d| {
+                let c = d.category.to_string();
+                let id = match cats.iter().position(|x| x == &c) {
+                    Some(i) => i as u32,
+                    None => {
+                        cats.push(c);
+                        (cats.len() - 1) as u32
+                    }
+                };
+                (d, id)
+            })
+            .collect()
+    };
+    let configs = chatls_designs::soc_configs(12, 2024);
+
+    let variants: Vec<(String, Option<TrainConfig>)> = vec![
+        ("untrained".into(), None),
+        (
+            "mean+contrastive d2".into(),
+            Some(cfg(Aggregator::Mean, MetricLoss::Contrastive { margin: 1.0 }, vec![FEATURE_DIM, 32, 16])),
+        ),
+        (
+            "max+contrastive d2".into(),
+            Some(cfg(Aggregator::Max, MetricLoss::Contrastive { margin: 1.0 }, vec![FEATURE_DIM, 32, 16])),
+        ),
+        (
+            "mean+multisim d2".into(),
+            Some(cfg(
+                Aggregator::Mean,
+                MetricLoss::MultiSimilarity { alpha: 2.0, beta: 10.0, lambda: 0.5 },
+                vec![FEATURE_DIM, 32, 16],
+            )),
+        ),
+        (
+            "mean+contrastive d1".into(),
+            Some(cfg(Aggregator::Mean, MetricLoss::Contrastive { margin: 1.0 }, vec![FEATURE_DIM, 16])),
+        ),
+        (
+            "mean+contrastive d3".into(),
+            Some(cfg(
+                Aggregator::Mean,
+                MetricLoss::Contrastive { margin: 1.0 },
+                vec![FEATURE_DIM, 32, 24, 16],
+            )),
+        ),
+    ];
+
+    println!("\n{:<24} {:>8} {:>12}", "variant", "F1@3", "separation");
+    let mut points = Vec::new();
+    for (name, config) in variants {
+        let mentor = match config {
+            None => CircuitMentor::untrained(7),
+            Some(c) => CircuitMentor::train_on(&corpus, Some(c)),
+        };
+        let separation = mentor.history().last().map(|e| e.separation).unwrap_or(0.0);
+        // Index the database designs with this mentor.
+        let mut index = FlatIndex::new(mentor.embedding_dim(), Metric::Cosine);
+        let names: Vec<String> = corpus.iter().map(|(d, _)| d.name.clone()).collect();
+        for (i, (d, _)) in corpus.iter().enumerate() {
+            let g = build_circuit_graph(d);
+            index.add(i as u64, mentor.design_embedding(&g));
+        }
+        let mut agg = RetrievalEval::default();
+        for cfgn in &configs {
+            let g = build_circuit_graph(&cfgn.design);
+            let emb = mentor.design_embedding(&g);
+            let hits: Vec<String> = index
+                .search(&emb, 3)
+                .into_iter()
+                .map(|h| names[h.id as usize].clone())
+                .collect();
+            agg.merge(f1_score(&hits, &cfgn.derived_from));
+        }
+        println!("{name:<24} {:>8.3} {:>12.3}", agg.f1(), separation);
+        points.push(Point { variant: name, f1_at_3: agg.f1(), separation });
+    }
+    save_json("ablation_gnn", &points);
+}
+
+fn cfg(aggregator: Aggregator, loss: MetricLoss, dims: Vec<usize>) -> TrainConfig {
+    TrainConfig { dims, aggregator, loss, epochs: 120, learning_rate: 0.01, seed: 7 }
+}

@@ -1,0 +1,51 @@
+//! Developer tool: quick per-design probe of the baseline script and a
+//! ChatLS-strength script (the canonical trait-matched recipe), used to
+//! place the catalog clock periods so the Table III/IV slack signs hold.
+
+use chatls_liberty::nangate45;
+use chatls_synth::SynthSession;
+
+fn main() {
+    println!(
+        "{:<14} {:>8} {:>10} {:>10} {:>12}",
+        "design", "period", "base cps", "best cps", "best area"
+    );
+    for design in chatls_designs::benchmarks() {
+        let p = design.default_period;
+        let base = run(
+            &design,
+            &format!(
+                "create_clock -period {p:.3} [get_ports clk]\nset_wire_load_model -name 5K_heavy_1k\ncompile\n"
+            ),
+        );
+        let strong = run(
+            &design,
+            &format!(
+                "create_clock -period {p:.3} [get_ports clk]\n\
+                 set_wire_load_model -name 5K_heavy_1k\n\
+                 set_driving_cell -lib_cell BUF_X8 [all_inputs]\n\
+                 set_max_fanout 10\n\
+                 ungroup -all\n\
+                 set_critical_range 0.1\n\
+                 compile -map_effort high\n\
+                 balance_buffers\n\
+                 compile -map_effort high\n\
+                 optimize_registers\n\
+                 compile -map_effort high\n\
+                 set_max_area 0\n\
+                 compile -map_effort high\n"
+            ),
+        );
+        println!(
+            "{:<14} {:>8.2} {:>10.3} {:>10.3} {:>12.1}",
+            design.name, p, base.0, strong.0, strong.1
+        );
+    }
+}
+
+fn run(design: &chatls_designs::GeneratedDesign, script: &str) -> (f64, f64) {
+    let mut session = SynthSession::new(design.netlist(), nangate45()).expect("maps");
+    let r = session.run_script(script);
+    assert!(r.ok(), "{}: {:?}", design.name, r.error);
+    (r.qor.cps, r.qor.area)
+}

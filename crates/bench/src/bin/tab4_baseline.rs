@@ -1,0 +1,50 @@
+//! Table IV — Performance Baseline of Various Designs.
+//!
+//! Runs the adapted baseline synthesis script (fixed clock, heavy wireload,
+//! plain `compile`) on all seven benchmark designs and reports
+//! WNS/CPS/TNS/area. Regenerates the paper's Table IV (shape: riscv32i and
+//! swerv meet timing; the rest violate; area ordering
+//! riscv32i < aes < dynamic_node < tinyRocket < ethmac < jpeg < swerv).
+
+use chatls::pipeline::baseline_script;
+use chatls_bench::{header, qor_header, qor_row, save_json};
+use chatls_liberty::nangate45;
+use chatls_synth::SynthSession;
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct Row {
+    design: String,
+    period: f64,
+    wns: f64,
+    cps: f64,
+    tns: f64,
+    area: f64,
+    cells: usize,
+    registers: usize,
+}
+
+fn main() {
+    header("Table IV: baseline QoR of the benchmark designs");
+    println!("{}", qor_header());
+    let mut rows = Vec::new();
+    for design in chatls_designs::benchmarks() {
+        let mut session = SynthSession::new(design.netlist(), nangate45())
+            .expect("library covers all primitive gates");
+        let result = session.run_script(&baseline_script(design.default_period));
+        assert!(result.ok(), "baseline script must run clean: {:?}", result.error);
+        let q = &result.qor;
+        println!("{}", qor_row(&design.name, q.wns, q.cps, q.tns, q.area));
+        rows.push(Row {
+            design: design.name.clone(),
+            period: design.default_period,
+            wns: q.wns,
+            cps: q.cps,
+            tns: q.tns,
+            area: q.area,
+            cells: q.cells,
+            registers: q.registers,
+        });
+    }
+    save_json("tab4_baseline", &rows);
+}

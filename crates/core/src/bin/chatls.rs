@@ -1,0 +1,177 @@
+//! `chatls` — the command-line interface to the framework.
+//!
+//! ```text
+//! chatls build-db [--quick] [--out chatls_db.json]
+//! chatls analyze <design>
+//! chatls customize <design> [--request "…"] [--db chatls_db.json] [--seed N]
+//! chatls evaluate <design> [--db chatls_db.json] [--k 5]
+//! chatls designs
+//! ```
+//!
+//! Designs are the built-in benchmark/database generators (`chatls designs`
+//! lists them). The expert database is built once with `build-db` and
+//! reused from disk by the other subcommands (or rebuilt quickly on the fly
+//! when no file exists).
+
+use chatls::circuit_mentor::{build_circuit_graph, detect_traits};
+use chatls::eval::pass_at_k;
+use chatls::llm::{claude_like, gpt_like, Generator};
+use chatls::pipeline::{prepare_task, ChatLs};
+use chatls::{DbConfig, ExpertDatabase};
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut it = args.iter();
+    let cmd = match it.next() {
+        Some(c) => c.as_str(),
+        None => {
+            eprintln!("{USAGE}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let rest: Vec<&str> = it.map(String::as_str).collect();
+    let result = match cmd {
+        "build-db" => cmd_build_db(&rest),
+        "analyze" => cmd_analyze(&rest),
+        "customize" => cmd_customize(&rest),
+        "evaluate" => cmd_evaluate(&rest),
+        "designs" => cmd_designs(),
+        "help" | "--help" | "-h" => {
+            println!("{USAGE}");
+            Ok(())
+        }
+        other => Err(format!("unknown subcommand '{other}'\n{USAGE}")),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+const USAGE: &str = "usage:
+  chatls build-db [--quick] [--out <file>]   build and persist the expert database
+  chatls analyze <design>                    CircuitMentor analysis of a design
+  chatls customize <design> [--request R]    produce a customized synthesis script
+                   [--db <file>] [--seed N] [--trace]
+  chatls evaluate <design> [--db <file>] [--k N]
+                                             Pass@k comparison vs simulated baselines
+  chatls designs                             list built-in designs";
+
+fn opt<'a>(rest: &'a [&str], flag: &str) -> Option<&'a str> {
+    rest.iter().position(|a| *a == flag).and_then(|i| rest.get(i + 1)).copied()
+}
+
+fn flag(rest: &[&str], name: &str) -> bool {
+    rest.contains(&name)
+}
+
+fn positional<'a>(rest: &'a [&str]) -> Option<&'a str> {
+    rest.iter().find(|a| !a.starts_with("--")).copied()
+}
+
+fn find_design(name: &str) -> Result<chatls_designs::GeneratedDesign, String> {
+    chatls_designs::by_name(name).ok_or_else(|| {
+        format!("unknown design '{name}' (run `chatls designs` for the list)")
+    })
+}
+
+fn open_db(rest: &[&str]) -> Result<ExpertDatabase, String> {
+    let path = opt(rest, "--db").unwrap_or("chatls_db.json");
+    if std::path::Path::new(path).exists() {
+        eprintln!("loading expert database from {path}…");
+        ExpertDatabase::load(path).map_err(|e| format!("loading {path}: {e}"))
+    } else {
+        eprintln!("no database file at {path}; building a quick one (use `chatls build-db` for the full one)…");
+        Ok(ExpertDatabase::build(&DbConfig::quick()))
+    }
+}
+
+fn cmd_build_db(rest: &[&str]) -> Result<(), String> {
+    let out = opt(rest, "--out").unwrap_or("chatls_db.json");
+    let config = if flag(rest, "--quick") { DbConfig::quick() } else { DbConfig::default() };
+    eprintln!("building expert database ({} strategies)…", if config.strategies.is_empty() { "all".to_string() } else { config.strategies.len().to_string() });
+    let db = ExpertDatabase::build(&config);
+    db.save(out).map_err(|e| format!("writing {out}: {e}"))?;
+    println!("wrote {out} ({} designs)", db.entries().len());
+    Ok(())
+}
+
+fn cmd_analyze(rest: &[&str]) -> Result<(), String> {
+    let name = positional(rest).ok_or("analyze needs a design name")?;
+    let design = find_design(name)?;
+    let graph = build_circuit_graph(&design);
+    let netlist = design.netlist();
+    let traits = detect_traits(&netlist);
+    println!("design {name} ({}):", design.category);
+    println!("  {} module instances, {} graph nodes, {} relationships",
+        graph.instances.len(), graph.db.node_count(), graph.db.rel_count());
+    println!("  {} gates, {} registers", netlist.gates.len(), netlist.num_registers());
+    println!("  traits: max fanout {}, depth {}, enable-regs {:.0}%, {} module paths",
+        traits.max_fanout, traits.logic_depth, traits.enable_reg_fraction * 100.0, traits.module_paths);
+    println!("  levers: buffering={} retiming={} ungrouping={} gating={}",
+        traits.high_fanout(), traits.deep_logic(), traits.hierarchical(), traits.enable_heavy());
+    Ok(())
+}
+
+fn cmd_customize(rest: &[&str]) -> Result<(), String> {
+    let name = positional(rest).ok_or("customize needs a design name")?;
+    let design = find_design(name)?;
+    let request = opt(rest, "--request").unwrap_or("optimize timing at the fixed clock");
+    let seed: u64 = opt(rest, "--seed").unwrap_or("0").parse().map_err(|_| "--seed must be an integer")?;
+    let db = open_db(rest)?;
+    let chatls = ChatLs::new(&db);
+    eprintln!("running baseline synthesis for the report…");
+    let task = prepare_task(&design, request);
+    let outcome = chatls.customize(&design, &task, seed);
+    if flag(rest, "--trace") {
+        for step in &outcome.trace.steps {
+            eprintln!("T{}: {}", step.index, step.thought);
+            if !step.revision.is_empty() {
+                eprintln!("    revision: {}", step.revision);
+            }
+        }
+        eprintln!();
+    }
+    print!("{}", outcome.trace.script);
+    Ok(())
+}
+
+fn cmd_evaluate(rest: &[&str]) -> Result<(), String> {
+    let name = positional(rest).ok_or("evaluate needs a design name")?;
+    let design = find_design(name)?;
+    let k: u64 = opt(rest, "--k").unwrap_or("5").parse().map_err(|_| "--k must be an integer")?;
+    let db = open_db(rest)?;
+    let chatls = ChatLs::new(&db);
+    let gpt = gpt_like();
+    let claude = claude_like();
+    let task = prepare_task(&design, "optimize timing at the fixed clock");
+    println!(
+        "{name}: baseline wns {:.2} cps {:.2} area {:.0} (clock {:.2} ns)\n",
+        task.baseline.wns, task.baseline.cps, task.baseline.area, task.period
+    );
+    println!("{:<26} {:>8} {:>8} {:>12} {:>7}", "model", "WNS", "CPS", "Area", "valid");
+    for model in [&gpt as &dyn Generator, &claude, &chatls] {
+        let row = pass_at_k(model, &design, &task, k);
+        println!(
+            "{:<26} {:>8.2} {:>8.2} {:>12.1} {:>5}/{k}",
+            row.model, row.wns, row.cps, row.area, row.valid_samples
+        );
+    }
+    Ok(())
+}
+
+fn cmd_designs() -> Result<(), String> {
+    println!("benchmark designs (paper Table IV):");
+    for d in chatls_designs::benchmarks() {
+        println!("  {:<14} {:<30} clock {:.2} ns", d.name, d.category.to_string(), d.default_period);
+    }
+    println!("database designs (paper Table II):");
+    for d in chatls_designs::database_designs() {
+        println!("  {:<14} {:<30} clock {:.2} ns", d.name, d.category.to_string(), d.default_period);
+    }
+    Ok(())
+}

@@ -1,0 +1,637 @@
+//! The expert database behind SynthRAG (paper §V, Table II).
+//!
+//! The paper builds its retrieval database by synthesizing open-source
+//! designs "using various optimization and compilation strategies" and
+//! storing the scripts as expert drafts. [`ExpertDatabase::build`] does the
+//! same: every Table II design is pushed through the strategy library under
+//! the simulated synthesis tool, the measured QoR is recorded per strategy,
+//! and the results are indexed three ways (per Table I):
+//!
+//! - a **vector index** over GNN design/module embeddings,
+//! - a **property graph** holding designs, modules (with code) and the
+//!   target library's cells,
+//! - a **text index** over the tool manual.
+
+use crate::circuit_mentor::{build_circuit_graph, CircuitGraph, CircuitMentor};
+use chatls_designs::{database_designs, GeneratedDesign};
+use chatls_gnn::TrainConfig;
+use chatls_graphdb::{Graph, ResultSet, Value};
+use chatls_liberty::{nangate45, Library};
+use chatls_synth::{command_manual, SynthSession};
+use chatls_textembed::DocIndex;
+use chatls_vecindex::{rerank, FlatIndex, Metric};
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// A named synthesis strategy (expert draft template).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Strategy {
+    /// Strategy name.
+    pub name: String,
+    /// Trait tags this strategy addresses (`"fanout"`, `"depth"`, …).
+    pub tags: Vec<String>,
+    /// Script template; `{period}` is substituted.
+    pub template: String,
+}
+
+impl Strategy {
+    /// Instantiates the script for a clock period.
+    pub fn script(&self, period: f64) -> String {
+        self.template.replace("{period}", &format!("{period:.3}"))
+    }
+}
+
+/// The library of candidate strategies explored when building the database.
+pub fn strategy_library() -> Vec<Strategy> {
+    let s = |name: &str, tags: &[&str], body: &str| Strategy {
+        name: name.into(),
+        tags: tags.iter().map(|t| t.to_string()).collect(),
+        template: format!(
+            "create_clock -period {{period}} [get_ports clk]\nset_wire_load_model -name 5K_heavy_1k\n{body}\n"
+        ),
+    };
+    vec![
+        s("baseline", &[], "compile"),
+        s("high_effort", &["depth"], "set_critical_range 0.1\ncompile -map_effort high"),
+        s("ultra", &["depth", "hierarchy"], "compile_ultra"),
+        s(
+            "ultra_retime",
+            &["depth", "pipeline"],
+            "compile_ultra -retime",
+        ),
+        s(
+            "retime",
+            &["pipeline", "depth"],
+            "compile\noptimize_registers\ncompile -map_effort high",
+        ),
+        s(
+            "buffers",
+            &["fanout"],
+            "set_max_fanout 10\ncompile -map_effort high\nbalance_buffers\ncompile -map_effort high",
+        ),
+        s(
+            "gating_area",
+            &["enables", "area"],
+            "set_clock_gating_style -sequential_cell latch\ninsert_clock_gating\ncompile -map_effort high",
+        ),
+        s(
+            "ungroup_deep",
+            &["hierarchy", "depth"],
+            "ungroup -all\nset_critical_range 0.1\ncompile -map_effort high\noptimize_registers\ncompile -map_effort high",
+        ),
+        s(
+            "area_recovery",
+            &["area"],
+            "set_max_area 0\ncompile -map_effort high",
+        ),
+        s(
+            "drive_inputs",
+            &["fanout"],
+            "set_driving_cell -lib_cell BUF_X8 [all_inputs]\nset_max_fanout 10\ncompile -map_effort high\nbalance_buffers",
+        ),
+    ]
+}
+
+/// Measured outcome of one strategy on one database design.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct StrategyOutcome {
+    /// Strategy name.
+    pub strategy: String,
+    /// Concrete script that was run.
+    pub script: String,
+    /// Critical-path slack achieved (ns).
+    pub cps: f64,
+    /// Area achieved (µm²).
+    pub area: f64,
+}
+
+/// One database entry: a design with embeddings and explored strategies.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct DbEntry {
+    /// Design name.
+    pub name: String,
+    /// Category string.
+    pub category: String,
+    /// Default clock period used in exploration.
+    pub period: f64,
+    /// Design-level embedding.
+    pub embedding: Vec<f32>,
+    /// Module embeddings `(module, embedding)`.
+    pub module_embeddings: Vec<(String, Vec<f32>)>,
+    /// All explored strategies, best CPS first.
+    pub outcomes: Vec<StrategyOutcome>,
+    /// Normalized QoR characteristic `c_i` for Eq. 5 reranking
+    /// (positive slack margin per period; higher is better).
+    pub characteristic: f32,
+}
+
+impl DbEntry {
+    /// The best-performing strategy for this design.
+    pub fn best(&self) -> &StrategyOutcome {
+        &self.outcomes[0]
+    }
+}
+
+/// Build configuration.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DbConfig {
+    /// Strategies to explore (names from [`strategy_library`]);
+    /// empty = all.
+    pub strategies: Vec<String>,
+    /// GNN training epochs.
+    pub train_epochs: usize,
+    /// Text-embedding dimension for the manual index.
+    pub text_dim: usize,
+    /// RNG seed for GNN init.
+    pub seed: u64,
+}
+
+impl Default for DbConfig {
+    fn default() -> Self {
+        Self { strategies: Vec::new(), train_epochs: 120, text_dim: 256, seed: 7 }
+    }
+}
+
+impl DbConfig {
+    /// A reduced configuration for fast tests: two strategies, few epochs.
+    pub fn quick() -> Self {
+        Self {
+            strategies: vec!["baseline".into(), "ultra".into()],
+            train_epochs: 15,
+            text_dim: 128,
+            seed: 7,
+        }
+    }
+}
+
+/// A similar-design retrieval hit.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DesignHit {
+    /// Design name.
+    pub name: String,
+    /// Final (possibly reranked) score.
+    pub score: f32,
+    /// The design's best strategy name.
+    pub best_strategy: String,
+    /// The best strategy's concrete script.
+    pub script: String,
+}
+
+/// A similar-module retrieval hit.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ModuleHit {
+    /// Owning design.
+    pub design: String,
+    /// Module name.
+    pub module: String,
+    /// Similarity score.
+    pub score: f32,
+}
+
+/// The assembled expert database.
+///
+/// Serializable: [`ExpertDatabase::save`]/[`ExpertDatabase::load`] persist
+/// the whole thing (trained GNN included) as JSON, so the expensive build
+/// step runs once.
+#[derive(Serialize, Deserialize)]
+pub struct ExpertDatabase {
+    mentor: CircuitMentor,
+    entries: Vec<DbEntry>,
+    design_index: FlatIndex,
+    module_index: FlatIndex,
+    module_ids: Vec<(usize, String)>,
+    graph: Graph,
+    manual: DocIndex,
+    library: Library,
+}
+
+impl ExpertDatabase {
+    /// Builds the database from the Table II designs.
+    ///
+    /// This trains the CircuitMentor GNN (metric learning over design
+    /// categories), explores the strategy library on every design with the
+    /// synthesis tool, and constructs all three retrieval indexes.
+    pub fn build(config: &DbConfig) -> Self {
+        Self::build_from(&database_designs(), config)
+    }
+
+    /// Builds from an explicit design corpus (used by tests and ablations).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `corpus` is empty.
+    pub fn build_from(corpus: &[GeneratedDesign], config: &DbConfig) -> Self {
+        assert!(!corpus.is_empty(), "corpus must not be empty");
+        let library = nangate45();
+        // Category labels for metric learning.
+        let mut cat_ids: HashMap<String, u32> = HashMap::new();
+        let labelled: Vec<(GeneratedDesign, u32)> = corpus
+            .iter()
+            .map(|d| {
+                let next = cat_ids.len() as u32;
+                let id = *cat_ids.entry(d.category.to_string()).or_insert(next);
+                (d.clone(), id)
+            })
+            .collect();
+        let mentor = CircuitMentor::train_on(
+            &labelled,
+            Some(TrainConfig {
+                dims: vec![crate::features::FEATURE_DIM, 32, 16],
+                epochs: config.train_epochs,
+                seed: config.seed,
+                ..TrainConfig::default()
+            }),
+        );
+
+        let chosen: Vec<Strategy> = {
+            let lib = strategy_library();
+            if config.strategies.is_empty() {
+                lib
+            } else {
+                lib.into_iter().filter(|s| config.strategies.contains(&s.name)).collect()
+            }
+        };
+
+        let mut entries = Vec::new();
+        let mut graph = Graph::new();
+        let mut design_index = FlatIndex::new(mentor.embedding_dim(), Metric::Cosine);
+        let mut module_index = FlatIndex::new(mentor.embedding_dim(), Metric::Cosine);
+        let mut module_ids = Vec::new();
+
+        for (di, design) in corpus.iter().enumerate() {
+            let cg = build_circuit_graph(design);
+            let embedding = mentor.design_embedding(&cg);
+            let module_embeddings = mentor.module_embeddings(&cg);
+            // Explore strategies.
+            let netlist = design.netlist();
+            let mut outcomes: Vec<StrategyOutcome> = chosen
+                .iter()
+                .map(|st| {
+                    let script = st.script(design.default_period);
+                    let mut session = SynthSession::new(netlist.clone(), library.clone())
+                        .expect("library covers all gate kinds");
+                    let result = session.run_script(&script);
+                    StrategyOutcome {
+                        strategy: st.name.clone(),
+                        script,
+                        cps: result.qor.cps,
+                        area: result.qor.area,
+                    }
+                })
+                .collect();
+            outcomes.sort_by(|a, b| {
+                b.cps
+                    .partial_cmp(&a.cps)
+                    .unwrap_or(std::cmp::Ordering::Equal)
+                    .then(a.area.partial_cmp(&b.area).unwrap_or(std::cmp::Ordering::Equal))
+            });
+            let characteristic = (outcomes[0].cps / design.default_period) as f32;
+
+            design_index.add(di as u64, embedding.clone());
+            for (m, e) in &module_embeddings {
+                let id = module_ids.len() as u64;
+                module_ids.push((di, m.clone()));
+                module_index.add(id, e.clone());
+            }
+            merge_graph(&mut graph, &cg, &outcomes);
+            entries.push(DbEntry {
+                name: design.name.clone(),
+                category: design.category.to_string(),
+                period: design.default_period,
+                embedding,
+                module_embeddings,
+                outcomes,
+                characteristic,
+            });
+        }
+
+        add_library_to_graph(&mut graph, &library);
+
+        let mut manual = DocIndex::new(config.text_dim);
+        for entry in command_manual() {
+            manual.add(
+                entry.name,
+                format!("{}\n{}\n{}\n{}", entry.name, entry.synopsis, entry.description, entry.requirements),
+            );
+        }
+        manual.build();
+
+        Self { mentor, entries, design_index, module_index, module_ids, graph, manual, library }
+    }
+
+    /// Serializes the database to pretty JSON.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the file cannot be written.
+    pub fn save(&self, path: impl AsRef<std::path::Path>) -> std::io::Result<()> {
+        let json = serde_json::to_string(self).map_err(std::io::Error::other)?;
+        std::fs::write(path, json)
+    }
+
+    /// Loads a database previously written by [`ExpertDatabase::save`].
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the file is missing or not a valid database.
+    pub fn load(path: impl AsRef<std::path::Path>) -> std::io::Result<Self> {
+        let json = std::fs::read_to_string(path)?;
+        serde_json::from_str(&json).map_err(std::io::Error::other)
+    }
+
+    /// The trained CircuitMentor.
+    pub fn mentor(&self) -> &CircuitMentor {
+        &self.mentor
+    }
+
+    /// All entries.
+    pub fn entries(&self) -> &[DbEntry] {
+        &self.entries
+    }
+
+    /// Entry by design name.
+    pub fn entry(&self, name: &str) -> Option<&DbEntry> {
+        self.entries.iter().find(|e| e.name == name)
+    }
+
+    /// The target library.
+    pub fn library(&self) -> &Library {
+        &self.library
+    }
+
+    /// The combined property graph (designs + modules + library cells).
+    pub fn graph(&self) -> &Graph {
+        &self.graph
+    }
+
+    /// The manual text index.
+    pub fn manual(&self) -> &DocIndex {
+        &self.manual
+    }
+
+    /// Graph-embedding retrieval with the Eq. 5 rerank:
+    /// `Score = α·sim + β·c_i`.
+    pub fn similar_designs(&self, query: &[f32], k: usize, alpha: f32, beta: f32) -> Vec<DesignHit> {
+        let hits = self.design_index.search(query, k.max(1) * 2);
+        let ranked = rerank(
+            &hits,
+            |id| self.entries.get(id as usize).map(|e| e.characteristic).unwrap_or(0.0),
+            alpha,
+            beta,
+        );
+        ranked
+            .into_iter()
+            .take(k)
+            .filter_map(|h| {
+                let e = self.entries.get(h.id as usize)?;
+                Some(DesignHit {
+                    name: e.name.clone(),
+                    score: h.score,
+                    best_strategy: e.best().strategy.clone(),
+                    script: e.best().script.clone(),
+                })
+            })
+            .collect()
+    }
+
+    /// Module-level embedding retrieval.
+    pub fn similar_modules(&self, query: &[f32], k: usize) -> Vec<ModuleHit> {
+        self.module_index
+            .search(query, k)
+            .into_iter()
+            .filter_map(|h| {
+                let (di, module) = self.module_ids.get(h.id as usize)?;
+                Some(ModuleHit {
+                    design: self.entries[*di].name.clone(),
+                    module: module.clone(),
+                    score: h.score,
+                })
+            })
+            .collect()
+    }
+
+    /// Cypher query over the combined graph (designs, modules, cells).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for queries outside the supported Cypher subset.
+    pub fn query_graph(&self, cypher: &str) -> Result<ResultSet, Box<dyn std::error::Error + Send + Sync>> {
+        chatls_graphdb::query(&self.graph, cypher)
+    }
+
+    /// Strategies whose tags intersect the requested traits, best first by
+    /// measured CPS across the database.
+    pub fn strategies_for_tags(&self, tags: &[&str]) -> Vec<(String, f64)> {
+        let lib = strategy_library();
+        let mut scored: Vec<(String, f64)> = lib
+            .iter()
+            .filter(|s| tags.iter().any(|t| s.tags.iter().any(|x| x == t)))
+            .map(|s| {
+                let mean_cps: f64 = {
+                    let vals: Vec<f64> = self
+                        .entries
+                        .iter()
+                        .flat_map(|e| e.outcomes.iter())
+                        .filter(|o| o.strategy == s.name)
+                        .map(|o| o.cps)
+                        .collect();
+                    if vals.is_empty() {
+                        f64::NEG_INFINITY
+                    } else {
+                        vals.iter().sum::<f64>() / vals.len() as f64
+                    }
+                };
+                (s.name.clone(), mean_cps)
+            })
+            .collect();
+        scored.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal));
+        scored
+    }
+}
+
+/// Copies a design's circuit graph into the shared database graph.
+fn merge_graph(graph: &mut Graph, cg: &CircuitGraph, outcomes: &[StrategyOutcome]) {
+    // Re-add nodes with the same labels/properties; remap relationships.
+    let mut remap: HashMap<chatls_graphdb::NodeId, chatls_graphdb::NodeId> = HashMap::new();
+    for node in cg.db.nodes() {
+        let id = graph.add_node(node.labels.clone(), node.props.clone().into_iter());
+        remap.insert(node.id, id);
+    }
+    for node in cg.db.nodes() {
+        for rel in cg.db.out_rels(node.id) {
+            graph.add_rel(remap[&rel.start], remap[&rel.end], &rel.rel_type, rel.props.clone().into_iter());
+        }
+    }
+    // Attach strategy nodes to the design node.
+    let design_node = remap[&cg.design_node];
+    for o in outcomes {
+        let s = graph.add_node(
+            ["Strategy"],
+            [
+                ("name", Value::from(o.strategy.clone())),
+                ("script", Value::from(o.script.clone())),
+                ("cps", Value::Float(o.cps)),
+                ("area", Value::Float(o.area)),
+            ],
+        );
+        graph.add_rel(design_node, s, "TUNED_BY", Vec::<(&str, Value)>::new());
+    }
+}
+
+/// Adds the target library's cells to the graph (Table I: target-library
+/// retrieval by graph structure).
+fn add_library_to_graph(graph: &mut Graph, library: &Library) {
+    let lib_node = graph.add_node(["Library"], [("name", Value::from(library.name.clone()))]);
+    for cell in &library.cells {
+        let c = graph.add_node(
+            ["Cell"],
+            [
+                ("name", Value::from(cell.name.clone())),
+                ("area", Value::Float(cell.area)),
+                ("leakage", Value::Float(cell.leakage)),
+                ("drive", Value::Int(cell.drive_strength() as i64)),
+                ("base", Value::from(cell.base_name().to_string())),
+                ("sequential", Value::Bool(cell.is_sequential())),
+            ],
+        );
+        graph.add_rel(lib_node, c, "PROVIDES", Vec::<(&str, Value)>::new());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::quick_db;
+
+    #[test]
+    fn builds_with_all_table_ii_designs() {
+        let db = quick_db();
+        assert_eq!(db.entries().len(), 7);
+        for e in db.entries() {
+            assert!(!e.outcomes.is_empty(), "{} has no strategies", e.name);
+            assert!(e.embedding.len() == db.mentor().embedding_dim());
+        }
+    }
+
+    #[test]
+    fn outcomes_sorted_best_first() {
+        for e in quick_db().entries() {
+            for w in e.outcomes.windows(2) {
+                assert!(w[0].cps >= w[1].cps);
+            }
+        }
+    }
+
+    #[test]
+    fn similar_designs_returns_self_first() {
+        let db = quick_db();
+        let e = db.entry("sha3").unwrap();
+        let hits = db.similar_designs(&e.embedding, 3, 1.0, 0.0);
+        assert_eq!(hits[0].name, "sha3");
+    }
+
+    #[test]
+    fn rerank_beta_changes_order_or_scores() {
+        let db = quick_db();
+        let e = db.entry("fft").unwrap();
+        let plain = db.similar_designs(&e.embedding, 5, 1.0, 0.0);
+        let reranked = db.similar_designs(&e.embedding, 5, 1.0, 2.0);
+        // Scores must differ when beta is applied (characteristics nonzero).
+        assert_ne!(
+            plain.iter().map(|h| h.score).collect::<Vec<_>>(),
+            reranked.iter().map(|h| h.score).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn module_retrieval_finds_arithmetic_peers() {
+        let db = quick_db();
+        let hits = {
+            let e = db.entry("nvdla").unwrap();
+            let (_, mac_emb) = e
+                .module_embeddings
+                .iter()
+                .find(|(m, _)| m == "ma_pe")
+                .expect("nvdla has ma_pe");
+            db.similar_modules(mac_emb, 3)
+        };
+        assert_eq!(hits[0].module, "ma_pe");
+    }
+
+    #[test]
+    fn graph_serves_cell_info() {
+        let db = quick_db();
+        let rs = db
+            .query_graph("MATCH (c:Cell {name: 'INV_X1'}) RETURN c.area")
+            .unwrap();
+        assert!(rs.scalar().is_some());
+    }
+
+    #[test]
+    fn graph_serves_module_code_across_designs() {
+        let db = quick_db();
+        let rs = db
+            .query_graph("MATCH (m:Module) WHERE m.name CONTAINS 'pe' RETURN DISTINCT m.name")
+            .unwrap();
+        assert!(!rs.is_empty());
+    }
+
+    #[test]
+    fn graph_records_strategies() {
+        let db = quick_db();
+        let rs = db
+            .query_graph(
+                "MATCH (d:Design {name: 'sha3'})-[:TUNED_BY]->(s:Strategy) RETURN s.name, s.cps",
+            )
+            .unwrap();
+        assert_eq!(rs.len(), 2, "quick config explores two strategies");
+    }
+
+    #[test]
+    fn manual_search_finds_retime_for_pipeline_question() {
+        let db = quick_db();
+        // Raw embedding retrieval must surface the right entry in the top 3;
+        // SynthRAG's reranker (tested separately) promotes it to the top.
+        let hits = db.manual().search("registers moved across combinational logic to balance pipeline stages", 3);
+        assert!(
+            hits.iter().any(|h| h.0 == "optimize_registers"),
+            "got {:?}",
+            hits.iter().map(|h| h.0).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn strategies_for_tags_filters_and_ranks() {
+        let db = quick_db();
+        let fanout = db.strategies_for_tags(&["fanout"]);
+        assert!(fanout.iter().any(|(n, _)| n == "buffers"));
+        assert!(fanout.iter().all(|(n, _)| n != "retime"));
+    }
+
+    #[test]
+    fn save_load_roundtrip_preserves_retrieval() {
+        let db = quick_db();
+        let dir = std::env::temp_dir().join("chatls_db_test.json");
+        db.save(&dir).expect("save");
+        let loaded = ExpertDatabase::load(&dir).expect("load");
+        std::fs::remove_file(&dir).ok();
+        assert_eq!(loaded.entries().len(), db.entries().len());
+        // Retrieval behaviour survives the round-trip.
+        let e = db.entry("sha3").expect("entry");
+        let a: Vec<String> = db.similar_designs(&e.embedding, 3, 1.0, 0.5).into_iter().map(|h| h.name).collect();
+        let b: Vec<String> = loaded.similar_designs(&e.embedding, 3, 1.0, 0.5).into_iter().map(|h| h.name).collect();
+        assert_eq!(a, b);
+        // Graph and manual come back too.
+        assert!(loaded.query_graph("MATCH (c:Cell {name: 'INV_X1'}) RETURN c.area").unwrap().scalar().is_some());
+        assert!(!loaded.manual().search("compile", 1).is_empty());
+    }
+
+    #[test]
+    fn strategy_template_substitutes_period() {
+        let lib = strategy_library();
+        let s = lib.iter().find(|s| s.name == "ultra").unwrap();
+        let script = s.script(1.25);
+        assert!(script.contains("-period 1.250"));
+        assert!(chatls_synth::script::parse_script(&script).is_ok());
+    }
+}

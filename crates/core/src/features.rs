@@ -1,0 +1,324 @@
+//! Structural feature extraction: Verilog AST → GNN node features.
+//!
+//! CircuitMentor feeds the hierarchical GraphSAGE model one node per module
+//! *instance*; this module computes the per-module feature vector from the
+//! module's AST. Features summarize the structural signature the paper's
+//! analysis keys on: arithmetic density, mux/case density, register count,
+//! crypto-style diffusion patterns, hierarchy shape.
+
+use chatls_verilog::ast::*;
+
+/// Dimensionality of the per-module feature vector.
+pub const FEATURE_DIM: usize = 16;
+
+/// Raw structural counters for one module.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct ModuleStats {
+    /// `+`/`-` operators.
+    pub addsub: u32,
+    /// `*` operators.
+    pub mul: u32,
+    /// Bitwise `& | ^ ~` operators.
+    pub bitwise: u32,
+    /// XOR operators alone (diffusion signature).
+    pub xor: u32,
+    /// Comparison operators.
+    pub cmp: u32,
+    /// Shift operators.
+    pub shift: u32,
+    /// Ternary expressions.
+    pub ternary: u32,
+    /// Case arms.
+    pub case_arms: u32,
+    /// Estimated register bits (reg declarations × widths).
+    pub reg_bits: u32,
+    /// Estimated wire bits.
+    pub wire_bits: u32,
+    /// Continuous assigns.
+    pub assigns: u32,
+    /// Always blocks.
+    pub always_blocks: u32,
+    /// Clocked always blocks.
+    pub clocked_blocks: u32,
+    /// Submodule instances.
+    pub instances: u32,
+    /// Ports.
+    pub ports: u32,
+    /// Enable-style conditional register writes (`if (en) q <= d;`).
+    pub enable_writes: u32,
+}
+
+impl ModuleStats {
+    /// Computes counters for a module.
+    pub fn of(module: &Module) -> Self {
+        let mut s = ModuleStats { ports: module.ports.len() as u32, ..Default::default() };
+        for port in &module.ports {
+            let w = range_width(&port.range);
+            if port.is_reg {
+                s.reg_bits += w;
+            }
+        }
+        for item in &module.items {
+            match item {
+                Item::Net(d) => {
+                    let w = range_width(&d.range) * d.names.len() as u32;
+                    match d.kind {
+                        NetKind::Reg => s.reg_bits += w,
+                        NetKind::Wire => s.wire_bits += w,
+                    }
+                }
+                Item::Param(_) => {}
+                Item::Assign(a) => {
+                    s.assigns += 1;
+                    walk_expr(&a.rhs, &mut s);
+                }
+                Item::Always(a) => {
+                    s.always_blocks += 1;
+                    if matches!(a.sensitivity, Sensitivity::Clocked { .. }) {
+                        s.clocked_blocks += 1;
+                        count_enable_writes(&a.body, &mut s);
+                    }
+                    walk_stmt(&a.body, &mut s);
+                }
+                Item::Instance(_) => s.instances += 1,
+            }
+        }
+        s
+    }
+
+    /// Normalized feature vector of length [`FEATURE_DIM`].
+    ///
+    /// Count features are compressed with `ln(1+x)` and scaled to roughly
+    /// unit range so the GNN sees comparable magnitudes.
+    pub fn features(&self) -> Vec<f32> {
+        let ln = |x: u32| ((1.0 + x as f32).ln() / 8.0).min(1.5);
+        let total_ops =
+            (self.addsub + self.mul + self.bitwise + self.cmp + self.shift).max(1) as f32;
+        vec![
+            ln(self.addsub),
+            ln(self.mul),
+            ln(self.bitwise),
+            ln(self.xor),
+            ln(self.cmp),
+            ln(self.shift),
+            ln(self.ternary),
+            ln(self.case_arms),
+            ln(self.reg_bits),
+            ln(self.wire_bits),
+            ln(self.assigns),
+            ln(self.instances),
+            ln(self.enable_writes),
+            self.mul as f32 / total_ops,
+            self.xor as f32 / total_ops,
+            if self.clocked_blocks > 0 { 1.0 } else { 0.0 },
+        ]
+    }
+}
+
+fn range_width(range: &Option<Range>) -> u32 {
+    match range {
+        None => 1,
+        Some(r) => {
+            let m = lit(&r.msb).unwrap_or(0);
+            let l = lit(&r.lsb).unwrap_or(0);
+            (m.saturating_sub(l) + 1) as u32
+        }
+    }
+}
+
+fn lit(e: &Expr) -> Option<u64> {
+    match e {
+        Expr::Literal { value, .. } => Some(*value),
+        _ => None,
+    }
+}
+
+fn walk_expr(e: &Expr, s: &mut ModuleStats) {
+    match e {
+        Expr::Ident(_) | Expr::Literal { .. } => {}
+        Expr::BitSelect { base, index } => {
+            walk_expr(base, s);
+            walk_expr(index, s);
+        }
+        Expr::PartSelect { base, msb, lsb } => {
+            walk_expr(base, s);
+            walk_expr(msb, s);
+            walk_expr(lsb, s);
+        }
+        Expr::Unary { op, operand } => {
+            if matches!(op, UnaryOp::ReduceXor) {
+                s.xor += 1;
+            }
+            if matches!(op, UnaryOp::Not | UnaryOp::ReduceAnd | UnaryOp::ReduceOr | UnaryOp::ReduceXor) {
+                s.bitwise += 1;
+            }
+            walk_expr(operand, s);
+        }
+        Expr::Binary { op, lhs, rhs } => {
+            match op {
+                BinaryOp::Add | BinaryOp::Sub => s.addsub += 1,
+                BinaryOp::Mul => s.mul += 1,
+                BinaryOp::And | BinaryOp::Or => s.bitwise += 1,
+                BinaryOp::Xor => {
+                    s.bitwise += 1;
+                    s.xor += 1;
+                }
+                BinaryOp::Eq | BinaryOp::Ne | BinaryOp::Lt | BinaryOp::Le | BinaryOp::Gt
+                | BinaryOp::Ge => s.cmp += 1,
+                BinaryOp::Shl | BinaryOp::Shr => s.shift += 1,
+                BinaryOp::LogicalAnd | BinaryOp::LogicalOr => {}
+            }
+            walk_expr(lhs, s);
+            walk_expr(rhs, s);
+        }
+        Expr::Ternary { cond, then_expr, else_expr } => {
+            s.ternary += 1;
+            walk_expr(cond, s);
+            walk_expr(then_expr, s);
+            walk_expr(else_expr, s);
+        }
+        Expr::Concat(parts) => parts.iter().for_each(|p| walk_expr(p, s)),
+        Expr::Repeat { count, expr } => {
+            walk_expr(count, s);
+            walk_expr(expr, s);
+        }
+    }
+}
+
+fn walk_stmt(stmt: &Stmt, s: &mut ModuleStats) {
+    match stmt {
+        Stmt::Empty => {}
+        Stmt::Block(stmts) => stmts.iter().for_each(|st| walk_stmt(st, s)),
+        Stmt::Assign { rhs, .. } => walk_expr(rhs, s),
+        Stmt::If { cond, then_stmt, else_stmt } => {
+            walk_expr(cond, s);
+            walk_stmt(then_stmt, s);
+            if let Some(e) = else_stmt {
+                walk_stmt(e, s);
+            }
+        }
+        Stmt::Case { scrutinee, arms, default } => {
+            walk_expr(scrutinee, s);
+            s.case_arms += arms.len() as u32;
+            for (labels, body) in arms {
+                labels.iter().for_each(|l| walk_expr(l, s));
+                walk_stmt(body, s);
+            }
+            if let Some(d) = default {
+                walk_stmt(d, s);
+            }
+        }
+    }
+}
+
+/// Counts the `if (en) q <= d;` enable idiom inside clocked bodies
+/// (an `If` with no else whose branch only assigns).
+fn count_enable_writes(stmt: &Stmt, s: &mut ModuleStats) {
+    match stmt {
+        Stmt::Block(stmts) => stmts.iter().for_each(|st| count_enable_writes(st, s)),
+        Stmt::If { else_stmt: None, then_stmt, .. } => {
+            if only_assigns(then_stmt) {
+                s.enable_writes += 1;
+            } else {
+                count_enable_writes(then_stmt, s);
+            }
+        }
+        Stmt::If { then_stmt, else_stmt: Some(e), .. } => {
+            count_enable_writes(then_stmt, s);
+            count_enable_writes(e, s);
+        }
+        Stmt::Case { arms, default, .. } => {
+            for (_, body) in arms {
+                count_enable_writes(body, s);
+            }
+            if let Some(d) = default {
+                count_enable_writes(d, s);
+            }
+        }
+        _ => {}
+    }
+}
+
+fn only_assigns(stmt: &Stmt) -> bool {
+    match stmt {
+        Stmt::Assign { .. } => true,
+        Stmt::Block(stmts) => stmts.iter().all(only_assigns),
+        _ => false,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use chatls_verilog::parse;
+
+    fn stats(src: &str) -> ModuleStats {
+        let sf = parse(src).unwrap();
+        ModuleStats::of(&sf.modules[0])
+    }
+
+    #[test]
+    fn counts_arithmetic() {
+        let s = stats(
+            "module m(input [7:0] a, b, output [7:0] y, z);
+                assign y = a + b - 8'd1;
+                assign z = a * b;
+            endmodule",
+        );
+        assert_eq!(s.addsub, 2);
+        assert_eq!(s.mul, 1);
+        assert_eq!(s.assigns, 2);
+    }
+
+    #[test]
+    fn counts_registers_and_blocks() {
+        let s = stats(
+            "module m(input clk, input [3:0] d, output reg [3:0] q);
+                reg [7:0] t;
+                always @(posedge clk) begin q <= d; t <= {d, d}; end
+            endmodule",
+        );
+        assert_eq!(s.reg_bits, 12);
+        assert_eq!(s.clocked_blocks, 1);
+    }
+
+    #[test]
+    fn detects_enable_idiom() {
+        let s = stats(
+            "module m(input clk, en, input [3:0] d, output reg [3:0] q);
+                always @(posedge clk) if (en) q <= d;
+            endmodule",
+        );
+        assert_eq!(s.enable_writes, 1);
+    }
+
+    #[test]
+    fn xor_density_separates_crypto_from_control() {
+        let crypto = stats(&chatls_designs::blocks::xor_round("x", 32, 6));
+        let control = stats(&chatls_designs::blocks::fsm("f", 16));
+        let cf = crypto.features();
+        let ff = control.features();
+        // Feature 14 is xor fraction.
+        assert!(cf[14] > ff[14], "crypto {} vs control {}", cf[14], ff[14]);
+        // Control has more case arms (feature 7).
+        assert!(ff[7] > cf[7]);
+    }
+
+    #[test]
+    fn feature_vector_has_fixed_dim_and_is_finite() {
+        let s = stats("module empty; endmodule");
+        let f = s.features();
+        assert_eq!(f.len(), FEATURE_DIM);
+        assert!(f.iter().all(|x| x.is_finite()));
+    }
+
+    #[test]
+    fn case_arms_counted() {
+        let s = stats(
+            "module m(input [1:0] x, output reg y);
+                always @(*) case (x) 2'd0: y = 1'b0; 2'd1, 2'd2: y = 1'b1; default: y = 1'b0; endcase
+            endmodule",
+        );
+        assert_eq!(s.case_arms, 2);
+    }
+}

@@ -1,0 +1,307 @@
+//! SynthRAG: the domain-specific multimodal RAG framework (paper §IV-B,
+//! Table I).
+//!
+//! Four retrieval modalities over the [`ExpertDatabase`]:
+//!
+//! | Category | Representation | Method |
+//! |---|---|---|
+//! | High-level design info | graph embedding | k-NN join + Eq. 5 rerank |
+//! | Circuit design code | graph structure | direct Cypher |
+//! | Target library | graph structure | direct Cypher |
+//! | Tool user manual | text embedding | k-NN + reranker |
+//!
+//! The manual reranker mixes embedding similarity with query-keyword
+//! overlap, standing in for the paper's GPT-4o reranker.
+
+use crate::database::{DesignHit, ExpertDatabase, ModuleHit};
+use chatls_graphdb::Value;
+use chatls_synth::ManualEntry;
+use chatls_textembed::tokenize;
+use serde::{Deserialize, Serialize};
+
+/// A reranked manual hit.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ManualHit {
+    /// Command name.
+    pub command: String,
+    /// Full manual text.
+    pub text: String,
+    /// Hybrid score (embedding + keyword overlap).
+    pub score: f32,
+}
+
+/// Library cell information retrieved via the graph.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CellInfo {
+    /// Cell name.
+    pub name: String,
+    /// Area in µm².
+    pub area: f64,
+    /// Drive strength.
+    pub drive: i64,
+}
+
+/// The multimodal retrieval facade.
+pub struct SynthRag<'db> {
+    db: &'db ExpertDatabase,
+    /// Eq. 5 similarity weight α.
+    pub alpha: f32,
+    /// Eq. 5 characteristic weight β.
+    pub beta: f32,
+    /// Weight of keyword overlap in the manual reranker.
+    pub rerank_weight: f32,
+}
+
+impl<'db> SynthRag<'db> {
+    /// Creates a retriever with the paper-style defaults
+    /// (α = 1.0, β = 0.5).
+    pub fn new(db: &'db ExpertDatabase) -> Self {
+        Self { db, alpha: 1.0, beta: 0.5, rerank_weight: 0.8 }
+    }
+
+    /// The underlying database.
+    pub fn database(&self) -> &ExpertDatabase {
+        self.db
+    }
+
+    /// **Graph-embedding retrieval** (Table I row 1): similar designs with
+    /// their best compile/optimization strategies, Eq. 5 reranked.
+    pub fn similar_designs(&self, query_embedding: &[f32], k: usize) -> Vec<DesignHit> {
+        self.db.similar_designs(query_embedding, k, self.alpha, self.beta)
+    }
+
+    /// Module-level embedding retrieval.
+    pub fn similar_modules(&self, query_embedding: &[f32], k: usize) -> Vec<ModuleHit> {
+        self.db.similar_modules(query_embedding, k)
+    }
+
+    /// **Graph-structure retrieval** (Table I row 2): source code of a
+    /// module by name, via Cypher.
+    pub fn module_code(&self, module: &str) -> Option<String> {
+        let q = format!("MATCH (m:Module {{name: '{module}'}}) RETURN m.code LIMIT 1");
+        self.db
+            .query_graph(&q)
+            .ok()
+            .and_then(|rs| rs.scalar().map(|v| v.to_string()))
+            .filter(|s| !s.is_empty() && s != "null")
+    }
+
+    /// Source code of the modules along a reported critical path
+    /// (deduplicated, path order preserved).
+    pub fn code_for_path(&self, module_paths: &[String]) -> Vec<(String, String)> {
+        let mut seen = Vec::new();
+        let mut out = Vec::new();
+        for p in module_paths {
+            let module = p.rsplit('/').next().unwrap_or(p);
+            // The hierarchical path ends with the instance name; resolve the
+            // module via the graph's path property first, then by name.
+            let q = format!("MATCH (m:Module {{path: '{p}'}}) RETURN m.name, m.code LIMIT 1");
+            let resolved = self.db.query_graph(&q).ok().and_then(|rs| {
+                rs.rows.first().map(|r| (r[0].to_string(), r[1].to_string()))
+            });
+            let (name, code) = match resolved {
+                Some(x) => x,
+                None => match self.module_code(module) {
+                    Some(c) => (module.to_string(), c),
+                    None => continue,
+                },
+            };
+            if !seen.contains(&name) {
+                seen.push(name.clone());
+                out.push((name, code));
+            }
+        }
+        out
+    }
+
+    /// **Graph-structure retrieval** (Table I row 3): target-library cell
+    /// info via Cypher.
+    pub fn cell_info(&self, cell: &str) -> Option<CellInfo> {
+        let q = format!("MATCH (c:Cell {{name: '{cell}'}}) RETURN c.name, c.area, c.drive LIMIT 1");
+        let rs = self.db.query_graph(&q).ok()?;
+        let row = rs.rows.first()?;
+        Some(CellInfo {
+            name: row[0].to_string(),
+            area: match &row[1] {
+                Value::Float(f) => *f,
+                Value::Int(i) => *i as f64,
+                _ => 0.0,
+            },
+            drive: match &row[2] {
+                Value::Int(i) => *i,
+                _ => 1,
+            },
+        })
+    }
+
+    /// Strongest drive variant of a cell family, via the graph.
+    pub fn strongest_cell(&self, base: &str) -> Option<CellInfo> {
+        let q = format!(
+            "MATCH (c:Cell {{base: '{base}'}}) RETURN c.name, c.area, c.drive ORDER BY c.drive DESC LIMIT 1"
+        );
+        let rs = self.db.query_graph(&q).ok()?;
+        let row = rs.rows.first()?;
+        Some(CellInfo {
+            name: row[0].to_string(),
+            area: match &row[1] {
+                Value::Float(f) => *f,
+                Value::Int(i) => *i as f64,
+                _ => 0.0,
+            },
+            drive: match &row[2] {
+                Value::Int(i) => *i,
+                _ => 1,
+            },
+        })
+    }
+
+    /// Arbitrary Cypher escape hatch (the LLM layer generates queries).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for queries outside the Cypher subset.
+    pub fn cypher(&self, query: &str) -> Result<chatls_graphdb::ResultSet, Box<dyn std::error::Error + Send + Sync>> {
+        self.db.query_graph(query)
+    }
+
+    /// **Text retrieval** (Table I row 4): manual entries for a natural-
+    /// language query, hybrid-reranked.
+    pub fn manual_search(&self, query: &str, k: usize) -> Vec<ManualHit> {
+        // Light stemming (strip a trailing 's') so "buffers"/"splits" match
+        // their singulars — the kind of lexical smoothing the paper's
+        // LLM-based reranker gets for free.
+        fn stem(t: &str) -> &str {
+            if t.len() > 4 { t.strip_suffix('s').unwrap_or(t) } else { t }
+        }
+        let raw = self.db.manual().search(query, k.max(1) * 3);
+        let q_tokens: Vec<String> =
+            tokenize(query).iter().map(|t| stem(t).to_string()).collect();
+        let mut hits: Vec<ManualHit> = raw
+            .into_iter()
+            .map(|(name, text, score)| {
+                let d_tokens: Vec<String> =
+                    tokenize(text).iter().map(|t| stem(t).to_string()).collect();
+                let overlap = q_tokens
+                    .iter()
+                    .filter(|t| t.len() > 3 && d_tokens.contains(*t))
+                    .count() as f32;
+                let norm = (q_tokens.len().max(1)) as f32;
+                ManualHit {
+                    command: name.to_string(),
+                    text: text.to_string(),
+                    score: score + self.rerank_weight * overlap / norm,
+                }
+            })
+            .collect();
+        hits.sort_by(|a, b| {
+            b.score
+                .partial_cmp(&a.score)
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then(a.command.cmp(&b.command))
+        });
+        hits.truncate(k);
+        hits
+    }
+
+    /// Exact manual lookup for command validation.
+    pub fn lookup_command(&self, name: &str) -> Option<&'static ManualEntry> {
+        chatls_synth::command_manual().iter().find(|e| e.name == name)
+    }
+
+    /// Nearest manual command to an unknown name (hallucination repair).
+    pub fn nearest_command(&self, unknown: &str) -> Option<ManualHit> {
+        let spaced = unknown.replace('_', " ");
+        self.manual_search(&spaced, 1).into_iter().next()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::database::ExpertDatabase;
+    use crate::testutil::quick_db;
+
+    fn db() -> &'static ExpertDatabase {
+        quick_db()
+    }
+
+    #[test]
+    fn module_code_by_name() {
+        let rag = SynthRag::new(db());
+        let code = rag.module_code("sh_theta").expect("sha3 theta exists");
+        assert!(code.contains("module sh_theta"));
+        assert!(rag.module_code("ghost_module").is_none());
+    }
+
+    #[test]
+    fn cell_info_via_graph() {
+        let rag = SynthRag::new(db());
+        let c = rag.cell_info("DFF_X1").unwrap();
+        assert!(c.area > 4.0);
+        assert_eq!(c.drive, 1);
+        assert!(rag.cell_info("NO_SUCH_CELL").is_none());
+    }
+
+    #[test]
+    fn strongest_cell_orders_by_drive() {
+        let rag = SynthRag::new(db());
+        let buf = rag.strongest_cell("BUF").unwrap();
+        assert_eq!(buf.name, "BUF_X8");
+    }
+
+    #[test]
+    fn manual_reranker_promotes_exact_matches() {
+        let rag = SynthRag::new(db());
+        let hits = rag.manual_search(
+            "registers moved across combinational logic to balance pipeline stage delays",
+            3,
+        );
+        assert_eq!(hits[0].command, "optimize_registers", "got {:?}",
+            hits.iter().map(|h| h.command.as_str()).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn manual_search_fanout_finds_buffers() {
+        let rag = SynthRag::new(db());
+        let hits = rag.manual_search("timing violations from high fanout nets need buffer trees", 3);
+        assert!(
+            hits.iter().take(2).any(|h| h.command == "balance_buffers" || h.command == "set_max_fanout"),
+            "got {:?}",
+            hits.iter().map(|h| h.command.as_str()).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn lookup_and_repair_commands() {
+        let rag = SynthRag::new(db());
+        assert!(rag.lookup_command("compile_ultra").is_some());
+        assert!(rag.lookup_command("optimize_timing_magic").is_none());
+        let repaired = rag.nearest_command("optimise_register_timing").unwrap();
+        assert!(!repaired.command.is_empty());
+    }
+
+    #[test]
+    fn similar_designs_respects_alpha_beta() {
+        let rag = SynthRag::new(db());
+        let e = rag.database().entry("gemmini").unwrap();
+        let hits = rag.similar_designs(&e.embedding, 3);
+        assert!(!hits.is_empty());
+        assert!(hits.iter().any(|h| h.name == "gemmini" || h.name == "nvdla"));
+    }
+
+    #[test]
+    fn code_for_path_resolves_hierarchical_paths() {
+        let rag = SynthRag::new(db());
+        let paths = vec!["sha3/u_theta0".to_string(), "sha3/u_chi0".to_string()];
+        let code = rag.code_for_path(&paths);
+        assert_eq!(code.len(), 2);
+        assert!(code[0].1.contains("module "));
+    }
+
+    #[test]
+    fn cypher_escape_hatch_works() {
+        let rag = SynthRag::new(db());
+        let rs = rag.cypher("MATCH (d:Design) RETURN count(*)").unwrap();
+        assert_eq!(rs.scalar().unwrap().to_string(), "7");
+    }
+}

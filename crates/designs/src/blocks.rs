@@ -1,0 +1,377 @@
+//! Parameterized Verilog building blocks.
+//!
+//! Every generator emits source text in the synthesizable subset of
+//! `chatls_verilog` and is deterministic: the same parameters always
+//! produce the same text. Blocks are chosen to reproduce the *structural
+//! signatures* of the paper's benchmark designs — deep arithmetic cones,
+//! S-box mux trees, high-fanout control, enable-register banks, crossbars —
+//! because those signatures are what drives both CircuitMentor's features
+//! and the synthesis tool's optimization opportunities.
+
+use std::fmt::Write;
+
+/// A wide XOR/AND diffusion round (AES/SHA-like mixing).
+///
+/// `depth` layers of rotate-xor-and mixing over a `width`-bit state.
+pub fn xor_round(name: &str, width: u32, depth: u32) -> String {
+    let mut s = String::new();
+    let w = width;
+    writeln!(s, "module {name}(input [{0}:0] x, input [{0}:0] k, output [{0}:0] y);", w - 1)
+        .unwrap();
+    for d in 0..depth {
+        writeln!(s, "  wire [{}:0] s{d};", w - 1).unwrap();
+    }
+    writeln!(s, "  assign s0 = x ^ k;").unwrap();
+    for d in 1..depth {
+        let p = d - 1;
+        let rot = 1 + (d % (w - 1));
+        writeln!(
+            s,
+            "  assign s{d} = {{s{p}[{}:0], s{p}[{}:{rot}]}} ^ (s{p} & {{s{p}[0], s{p}[{}:1]}});",
+            rot - 1,
+            w - 1,
+            w - 1,
+        )
+        .unwrap();
+    }
+    writeln!(s, "  assign y = s{};", depth - 1).unwrap();
+    writeln!(s, "endmodule").unwrap();
+    s
+}
+
+/// A 4-bit S-box lookup applied to every nibble of the bus (deep mux trees).
+pub fn sbox(name: &str, width: u32) -> String {
+    // A fixed nonlinear permutation of 0..15 (PRESENT cipher S-box).
+    const TABLE: [u8; 16] = [0xC, 5, 6, 0xB, 9, 0, 0xA, 0xD, 3, 0xE, 0xF, 8, 4, 7, 1, 2];
+    let nibbles = width / 4;
+    let mut s = String::new();
+    writeln!(s, "module {name}(input [{0}:0] x, output [{0}:0] y);", width - 1).unwrap();
+    writeln!(s, "  reg [{}:0] lut;", width - 1).unwrap();
+    writeln!(s, "  always @(*) begin").unwrap();
+    for n in 0..nibbles {
+        let lo = n * 4;
+        let hi = lo + 3;
+        writeln!(s, "    case (x[{hi}:{lo}])").unwrap();
+        for (i, v) in TABLE.iter().enumerate() {
+            writeln!(s, "      4'd{i}: lut[{hi}:{lo}] = 4'd{v};").unwrap();
+        }
+        writeln!(s, "      default: lut[{hi}:{lo}] = 4'd0;").unwrap();
+        writeln!(s, "    endcase").unwrap();
+    }
+    writeln!(s, "  end").unwrap();
+    writeln!(s, "  assign y = lut;").unwrap();
+    writeln!(s, "endmodule").unwrap();
+    s
+}
+
+/// A registered multiply-accumulate unit (DSP/ML datapath).
+pub fn mac(name: &str, width: u32) -> String {
+    let w = width;
+    format!(
+        "module {name}(input clk, input [{0}:0] a, b, input [{1}:0] acc_in, output reg [{1}:0] acc);\n\
+         \x20 wire [{1}:0] prod;\n\
+         \x20 assign prod = a * b;\n\
+         \x20 always @(posedge clk) acc <= prod + acc_in;\n\
+         endmodule\n",
+        w - 1,
+        2 * w - 1
+    )
+}
+
+/// A case-based ALU with eight operations.
+pub fn alu(name: &str, width: u32) -> String {
+    let w = width - 1;
+    format!(
+        "module {name}(input [{w}:0] a, b, input [2:0] op, output reg [{w}:0] y);\n\
+         \x20 always @(*) case (op)\n\
+         \x20   3'd0: y = a + b;\n\
+         \x20   3'd1: y = a - b;\n\
+         \x20   3'd2: y = a & b;\n\
+         \x20   3'd3: y = a | b;\n\
+         \x20   3'd4: y = a ^ b;\n\
+         \x20   3'd5: y = a << b[3:0];\n\
+         \x20   3'd6: y = a >> b[3:0];\n\
+         \x20   default: y = (a < b) ? {w}'d1 + {{{w}'d0, 1'b0}} : {{{w}'d0, 1'b0}};\n\
+         \x20 endcase\n\
+         endmodule\n",
+        w = w
+    )
+}
+
+/// A register file built from enable registers (clock-gating target) with a
+/// mux-tree read port.
+pub fn regfile(name: &str, regs: u32, width: u32) -> String {
+    let w = width - 1;
+    let abits = (32 - (regs - 1).leading_zeros()).max(1);
+    let mut s = String::new();
+    writeln!(
+        s,
+        "module {name}(input clk, input we, input [{}:0] waddr, raddr, input [{w}:0] wdata, output [{w}:0] rdata);",
+        abits - 1
+    )
+    .unwrap();
+    for r in 0..regs {
+        writeln!(s, "  reg [{w}:0] r{r};").unwrap();
+    }
+    writeln!(s, "  always @(posedge clk) begin").unwrap();
+    for r in 0..regs {
+        writeln!(s, "    if (we && (waddr == {abits}'d{r})) r{r} <= wdata;").unwrap();
+    }
+    writeln!(s, "  end").unwrap();
+    // Mux-tree read.
+    write!(s, "  assign rdata = ").unwrap();
+    for r in 0..regs - 1 {
+        write!(s, "(raddr == {abits}'d{r}) ? r{r} : ").unwrap();
+    }
+    writeln!(s, "r{};", regs - 1).unwrap();
+    writeln!(s, "endmodule").unwrap();
+    s
+}
+
+/// A shift-register FIFO (streaming buffer).
+pub fn fifo(name: &str, depth: u32, width: u32) -> String {
+    let w = width - 1;
+    let mut s = String::new();
+    writeln!(
+        s,
+        "module {name}(input clk, input shift, input [{w}:0] din, output [{w}:0] dout);"
+    )
+    .unwrap();
+    for d in 0..depth {
+        writeln!(s, "  reg [{w}:0] st{d};").unwrap();
+    }
+    writeln!(s, "  always @(posedge clk) begin").unwrap();
+    writeln!(s, "    if (shift) begin").unwrap();
+    writeln!(s, "      st0 <= din;").unwrap();
+    for d in 1..depth {
+        writeln!(s, "      st{d} <= st{};", d - 1).unwrap();
+    }
+    writeln!(s, "    end").unwrap();
+    writeln!(s, "  end").unwrap();
+    writeln!(s, "  assign dout = st{};", depth - 1).unwrap();
+    writeln!(s, "endmodule").unwrap();
+    s
+}
+
+/// A crossbar: each of `ports` outputs selects one of `ports` inputs
+/// (NoC-router datapath).
+pub fn crossbar(name: &str, ports: u32, width: u32) -> String {
+    let w = width - 1;
+    let sbits = (32 - (ports - 1).leading_zeros()).max(1);
+    let mut s = String::new();
+    write!(s, "module {name}(").unwrap();
+    for p in 0..ports {
+        write!(s, "input [{w}:0] in{p}, input [{}:0] sel{p}, ", sbits - 1).unwrap();
+    }
+    for p in 0..ports {
+        write!(s, "output [{w}:0] out{p}{}", if p + 1 < ports { ", " } else { "" }).unwrap();
+    }
+    writeln!(s, ");").unwrap();
+    for p in 0..ports {
+        write!(s, "  assign out{p} = ").unwrap();
+        for i in 0..ports - 1 {
+            write!(s, "(sel{p} == {sbits}'d{i}) ? in{i} : ").unwrap();
+        }
+        writeln!(s, "in{};", ports - 1).unwrap();
+    }
+    writeln!(s, "endmodule").unwrap();
+    s
+}
+
+/// A module whose single control bit (computed through a reduction cone)
+/// fans out to all data lanes — the high-fanout-net signature.
+pub fn fanout_hub(name: &str, width: u32) -> String {
+    let w = width - 1;
+    format!(
+        "module {name}(input clk, input [{w}:0] data, mask, output reg [{w}:0] lanes);\n\
+         \x20 wire ctrl;\n\
+         \x20 assign ctrl = ^(data & mask) ^ &mask[7:0];\n\
+         \x20 wire [{w}:0] mixed;\n\
+         \x20 assign mixed = (data ^ {{{width}{{ctrl}}}}) + (mask & {{{width}{{ctrl}}}});\n\
+         \x20 always @(posedge clk) lanes <= mixed;\n\
+         endmodule\n"
+    )
+}
+
+/// An intentionally unbalanced pipeline: a deep arithmetic cone feeds the
+/// capture register while the following stage is trivial (retiming target).
+pub fn unbalanced_pipe(name: &str, width: u32) -> String {
+    let w = width - 1;
+    format!(
+        "module {name}(input clk, input [{w}:0] a, b, output reg [{w}:0] q2);\n\
+         \x20 reg [{w}:0] q1;\n\
+         \x20 wire [{w}:0] deep;\n\
+         \x20 assign deep = ((a + b) ^ (a - b)) + ((a & b) | (a ^ b)) + (b - a);\n\
+         \x20 always @(posedge clk) begin\n\
+         \x20   q1 <= deep;\n\
+         \x20   q2 <= q1 ^ {w}'d0 + 1'b0;\n\
+         \x20 end\n\
+         endmodule\n"
+    )
+}
+
+/// A Moore FSM with a one-hot-ish next-state case (control logic).
+pub fn fsm(name: &str, states: u32) -> String {
+    let sbits = (32 - (states - 1).leading_zeros()).max(1);
+    let mut s = String::new();
+    writeln!(
+        s,
+        "module {name}(input clk, rst, input [3:0] ev, output reg [{}:0] state, output busy);",
+        sbits - 1
+    )
+    .unwrap();
+    writeln!(s, "  always @(posedge clk or posedge rst) begin").unwrap();
+    writeln!(s, "    if (rst) state <= {sbits}'d0;").unwrap();
+    writeln!(s, "    else case (state)").unwrap();
+    for st in 0..states {
+        let next = (st + 1) % states;
+        let alt = (st * 3 + 1) % states;
+        writeln!(
+            s,
+            "      {sbits}'d{st}: state <= (ev == 4'd{}) ? {sbits}'d{alt} : {sbits}'d{next};",
+            st % 16
+        )
+        .unwrap();
+    }
+    writeln!(s, "      default: state <= {sbits}'d0;").unwrap();
+    writeln!(s, "    endcase").unwrap();
+    writeln!(s, "  end").unwrap();
+    writeln!(s, "  assign busy = state != {sbits}'d0;").unwrap();
+    writeln!(s, "endmodule").unwrap();
+    s
+}
+
+/// A butterfly stage of adds/subs over paired lanes (FFT signature).
+pub fn butterfly(name: &str, lanes: u32, width: u32) -> String {
+    let w = width - 1;
+    let mut s = String::new();
+    write!(s, "module {name}(input clk").unwrap();
+    for l in 0..lanes {
+        write!(s, ", input [{w}:0] x{l}").unwrap();
+    }
+    for l in 0..lanes {
+        write!(s, ", output reg [{w}:0] y{l}").unwrap();
+    }
+    writeln!(s, ");").unwrap();
+    writeln!(s, "  always @(posedge clk) begin").unwrap();
+    for l in (0..lanes).step_by(2) {
+        let a = l;
+        let b = l + 1;
+        writeln!(s, "    y{a} <= x{a} + x{b};").unwrap();
+        writeln!(s, "    y{b} <= x{a} - x{b};").unwrap();
+    }
+    writeln!(s, "  end").unwrap();
+    writeln!(s, "endmodule").unwrap();
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use chatls_verilog::{lower_to_netlist, parse};
+
+    fn check(src: &str, top: &str) -> chatls_verilog::netlist::Netlist {
+        let sf = parse(src).unwrap_or_else(|e| panic!("parse {top}: {e}\n{src}"));
+        let nl = lower_to_netlist(&sf, top).unwrap_or_else(|e| panic!("lower {top}: {e}"));
+        nl.check().unwrap_or_else(|e| panic!("check {top}: {e}"));
+        nl
+    }
+
+    #[test]
+    fn xor_round_parses_and_lowers() {
+        let nl = check(&xor_round("xr", 16, 4), "xr");
+        assert!(nl.num_comb_gates() > 16);
+    }
+
+    #[test]
+    fn sbox_parses_and_lowers() {
+        let nl = check(&sbox("sb", 16), "sb");
+        assert!(nl.num_comb_gates() > 50, "sbox should be mux-heavy");
+    }
+
+    #[test]
+    fn mac_has_multiplier_scale() {
+        let nl = check(&mac("m", 8), "m");
+        assert!(nl.num_comb_gates() > 100, "array multiplier expected");
+        assert_eq!(nl.num_registers(), 16);
+    }
+
+    #[test]
+    fn alu_parses() {
+        let nl = check(&alu("a", 16), "a");
+        assert!(nl.num_comb_gates() > 100);
+    }
+
+    #[test]
+    fn regfile_registers_count() {
+        let nl = check(&regfile("rf", 8, 16), "rf");
+        assert_eq!(nl.num_registers(), 8 * 16);
+    }
+
+    #[test]
+    fn fifo_shifts() {
+        use chatls_verilog::netlist::Simulator;
+        let nl = check(&fifo("f", 3, 4), "f");
+        let mut sim = Simulator::new(&nl);
+        sim.set_input("shift", &[1]);
+        for v in [5u64, 9, 3] {
+            sim.set_input_u64("din", v);
+            sim.step().unwrap();
+        }
+        sim.settle().unwrap();
+        assert_eq!(sim.output_u64("dout"), 5);
+    }
+
+    #[test]
+    fn crossbar_routes() {
+        use chatls_verilog::netlist::Simulator;
+        let nl = check(&crossbar("xb", 4, 8), "xb");
+        let mut sim = Simulator::new(&nl);
+        for p in 0..4 {
+            sim.set_input_u64(&format!("in{p}"), 10 + p);
+        }
+        sim.set_input_u64("sel2", 1);
+        sim.settle().unwrap();
+        assert_eq!(sim.output_u64("out2"), 11);
+    }
+
+    #[test]
+    fn fanout_hub_has_wide_net() {
+        let nl = check(&fanout_hub("fh", 32), "fh");
+        let fanout = nl.fanout_map();
+        let max = fanout.iter().map(|f| f.len()).max().unwrap();
+        assert!(max >= 32, "ctrl must fan out to every lane, max fanout {max}");
+    }
+
+    #[test]
+    fn unbalanced_pipe_parses() {
+        let nl = check(&unbalanced_pipe("up", 16), "up");
+        assert_eq!(nl.num_registers(), 32);
+    }
+
+    #[test]
+    fn fsm_parses_and_cycles() {
+        use chatls_verilog::netlist::Simulator;
+        let nl = check(&fsm("f", 5), "f");
+        let mut sim = Simulator::new(&nl);
+        sim.set_input("rst", &[1]);
+        sim.step().unwrap();
+        sim.set_input("rst", &[0]);
+        sim.set_input_u64("ev", 15);
+        sim.step().unwrap();
+        sim.settle().unwrap();
+        assert_eq!(sim.output_u64("state"), 1, "state advances 0 -> 1");
+    }
+
+    #[test]
+    fn butterfly_parses() {
+        let nl = check(&butterfly("bf", 4, 12), "bf");
+        assert_eq!(nl.num_registers(), 4 * 12);
+    }
+
+    #[test]
+    fn generators_are_deterministic() {
+        assert_eq!(xor_round("x", 24, 3), xor_round("x", 24, 3));
+        assert_eq!(regfile("r", 4, 8), regfile("r", 4, 8));
+    }
+}

@@ -1,0 +1,35 @@
+//! Deterministic RTL generators for the ChatLS benchmark and database
+//! designs.
+//!
+//! The paper's evaluation uses third-party RTL (OpenROAD/OpenCores
+//! benchmarks in Table IV, Chipyard components in Table II) that cannot be
+//! redistributed here. Every design is therefore a generator that
+//! reproduces the original's *structural signature* — module mix, pipeline
+//! depth, fanout profile, relative size ordering — which is exactly what
+//! CircuitMentor's analysis and the synthesis tool's optimizations respond
+//! to. See DESIGN.md for the substitution rationale.
+//!
+//! - [`blocks`] — parameterized building blocks (ALUs, MACs, S-boxes,
+//!   register files, crossbars, FSMs, …).
+//! - [`catalog`] — the seven Table IV benchmarks ([`benchmarks`]) and the
+//!   seven Table II database designs ([`database_designs`]), each with
+//!   per-module ground-truth kinds.
+//! - [`chipyard`] — Chipyard-style SoC configuration sweep for the Fig. 5
+//!   retrieval experiment.
+//!
+//! # Examples
+//!
+//! ```
+//! let aes = chatls_designs::by_name("aes").expect("aes is a benchmark");
+//! let netlist = aes.netlist();
+//! assert!(netlist.num_registers() > 0);
+//! ```
+
+pub mod blocks;
+pub mod catalog;
+pub mod chipyard;
+
+pub use catalog::{
+    benchmarks, by_name, database_designs, Category, GeneratedDesign, ModuleInfo, ModuleKind,
+};
+pub use chipyard::{soc_configs, SocConfig};

@@ -1,0 +1,119 @@
+//! Input graph representation for the GNN.
+
+use chatls_tensor::Matrix;
+use serde::{Deserialize, Serialize};
+
+/// A featured graph: node feature matrix plus undirected adjacency, with an
+/// optional assignment of nodes to modules for hierarchical pooling.
+///
+/// CircuitMentor builds one `FeatureGraph` per circuit design: one node per
+/// module-level component, features summarizing local structure, and the
+/// module assignment mapping nodes to the design's module subgraphs
+/// (paper §IV-A).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FeatureGraph {
+    /// `(num_nodes × feature_dim)` node features.
+    pub features: Matrix,
+    /// Undirected edges as `(a, b)` node index pairs (self-loops allowed).
+    pub edges: Vec<(u32, u32)>,
+    /// `node → module` assignment; `modules[i] < num_modules`.
+    pub modules: Vec<u32>,
+    /// Number of modules (≥ 1).
+    pub num_modules: u32,
+}
+
+impl FeatureGraph {
+    /// Creates a graph with every node in a single module.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an edge references a missing node.
+    pub fn new(features: Matrix, edges: Vec<(u32, u32)>) -> Self {
+        let n = features.rows() as u32;
+        for &(a, b) in &edges {
+            assert!(a < n && b < n, "edge ({a},{b}) out of range for {n} nodes");
+        }
+        let modules = vec![0; n as usize];
+        Self { features, edges, modules, num_modules: 1 }
+    }
+
+    /// Creates a graph with an explicit module assignment.
+    ///
+    /// # Panics
+    ///
+    /// Panics if lengths disagree or indices are out of range.
+    pub fn with_modules(
+        features: Matrix,
+        edges: Vec<(u32, u32)>,
+        modules: Vec<u32>,
+        num_modules: u32,
+    ) -> Self {
+        assert_eq!(features.rows(), modules.len(), "modules length mismatch");
+        assert!(num_modules >= 1, "need at least one module");
+        for &m in &modules {
+            assert!(m < num_modules, "module index {m} out of range");
+        }
+        let g = Self::new(features, edges);
+        Self { modules, num_modules, ..g }
+    }
+
+    /// Number of nodes.
+    pub fn num_nodes(&self) -> usize {
+        self.features.rows()
+    }
+
+    /// Feature dimensionality.
+    pub fn feature_dim(&self) -> usize {
+        self.features.cols()
+    }
+
+    /// Symmetric neighbor lists (both directions of every edge).
+    pub fn neighbor_lists(&self) -> Vec<Vec<u32>> {
+        let mut adj = vec![Vec::new(); self.num_nodes()];
+        for &(a, b) in &self.edges {
+            adj[a as usize].push(b);
+            if a != b {
+                adj[b as usize].push(a);
+            }
+        }
+        adj
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn neighbor_lists_symmetric() {
+        let g = FeatureGraph::new(Matrix::zeros(3, 2), vec![(0, 1), (1, 2)]);
+        let adj = g.neighbor_lists();
+        assert_eq!(adj[0], vec![1]);
+        assert_eq!(adj[1], vec![0, 2]);
+        assert_eq!(adj[2], vec![1]);
+    }
+
+    #[test]
+    fn self_loop_counted_once() {
+        let g = FeatureGraph::new(Matrix::zeros(2, 1), vec![(0, 0)]);
+        assert_eq!(g.neighbor_lists()[0], vec![0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn bad_edge_panics() {
+        FeatureGraph::new(Matrix::zeros(2, 1), vec![(0, 5)]);
+    }
+
+    #[test]
+    fn with_modules_validates() {
+        let g = FeatureGraph::with_modules(Matrix::zeros(3, 1), vec![], vec![0, 1, 1], 2);
+        assert_eq!(g.num_modules, 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "module index")]
+    fn bad_module_panics() {
+        FeatureGraph::with_modules(Matrix::zeros(2, 1), vec![], vec![0, 7], 2);
+    }
+}

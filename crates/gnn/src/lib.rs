@@ -1,0 +1,38 @@
+//! Hierarchical GraphSAGE and metric learning for circuit embeddings.
+//!
+//! This crate is the learning engine behind ChatLS **CircuitMentor**
+//! (paper §IV-A), replacing the PyTorch / PyTorch-Geometric stack:
+//!
+//! - [`FeatureGraph`] — circuit graphs as node-feature matrices with
+//!   undirected adjacency and a node→module assignment.
+//! - [`SageModel`] — GraphSAGE (paper Eq. 3) with mean/max aggregators,
+//!   hierarchical module pooling and a global mean pooling for flattened
+//!   designs, plus hand-derived backprop verified against finite
+//!   differences.
+//! - [`metric`] — contrastive and multi-similarity losses with analytic
+//!   gradients, and a cluster-separation score used by the Fig. 4
+//!   experiment.
+//! - [`train`] — the full-batch metric-learning trainer (deterministic
+//!   per seed).
+//!
+//! # Examples
+//!
+//! ```
+//! use chatls_gnn::{Aggregator, FeatureGraph, SageModel};
+//! use chatls_tensor::Matrix;
+//!
+//! let graph = FeatureGraph::new(Matrix::filled(4, 8, 0.5), vec![(0, 1), (1, 2), (2, 3)]);
+//! let model = SageModel::new(&[8, 16, 8], Aggregator::Mean, 42);
+//! let design_embedding = model.embed_graph(&graph);
+//! assert_eq!(design_embedding.len(), 8);
+//! ```
+
+pub mod metric;
+
+mod graph;
+mod sage;
+mod trainer;
+
+pub use graph::FeatureGraph;
+pub use sage::{pool_modules, unpool_modules, Aggregator, ForwardCache, SageLayer, SageModel};
+pub use trainer::{train, EpochStats, MetricLoss, TrainConfig, Trained};

@@ -1,0 +1,311 @@
+//! Metric-learning losses (paper §IV-A, Fig. 4).
+//!
+//! Two losses the paper cites are implemented, both returning the loss value
+//! and the analytic gradient with respect to the input embeddings:
+//!
+//! - [`contrastive_loss`] — pairwise: pulls same-class embeddings together,
+//!   pushes different-class embeddings beyond a margin.
+//! - [`multi_similarity_loss`] — batch-level (Wang et al., CVPR 2019) on
+//!   dot-product similarities with the standard (α, β, λ) form.
+
+use chatls_tensor::Matrix;
+
+/// Contrastive loss over labelled embeddings.
+///
+/// For every pair `(i, j)`:
+/// same label → `½‖zᵢ−zⱼ‖²`; different label → `½·max(0, m−‖zᵢ−zⱼ‖)²`.
+/// Returns `(mean pair loss, d loss / d embeddings)`.
+///
+/// # Panics
+///
+/// Panics if `labels.len() != embeddings.rows()`.
+pub fn contrastive_loss(embeddings: &Matrix, labels: &[u32], margin: f32) -> (f32, Matrix) {
+    assert_eq!(embeddings.rows(), labels.len(), "labels length mismatch");
+    let n = embeddings.rows();
+    let dim = embeddings.cols();
+    let mut grad = Matrix::zeros(n, dim);
+    let mut loss = 0.0f32;
+    let mut pairs = 0usize;
+    for i in 0..n {
+        for j in (i + 1)..n {
+            pairs += 1;
+            let mut d2 = 0.0f32;
+            for f in 0..dim {
+                let diff = embeddings[(i, f)] - embeddings[(j, f)];
+                d2 += diff * diff;
+            }
+            let d = d2.sqrt();
+            if labels[i] == labels[j] {
+                loss += 0.5 * d2;
+                for f in 0..dim {
+                    let diff = embeddings[(i, f)] - embeddings[(j, f)];
+                    grad[(i, f)] += diff;
+                    grad[(j, f)] -= diff;
+                }
+            } else if d < margin {
+                let gap = margin - d;
+                loss += 0.5 * gap * gap;
+                if d > 1e-9 {
+                    let scale = -gap / d;
+                    for f in 0..dim {
+                        let diff = embeddings[(i, f)] - embeddings[(j, f)];
+                        grad[(i, f)] += scale * diff;
+                        grad[(j, f)] -= scale * diff;
+                    }
+                }
+            }
+        }
+    }
+    let denom = pairs.max(1) as f32;
+    grad.scale(1.0 / denom);
+    (loss / denom, grad)
+}
+
+/// Multi-similarity loss on dot-product similarities.
+///
+/// For anchor `i` with positives `P` and negatives `N`:
+/// `Lᵢ = 1/α·ln(1 + Σ_{k∈P} e^{−α(S_ik−λ)}) + 1/β·ln(1 + Σ_{k∈N} e^{β(S_ik−λ)})`.
+/// Returns `(mean anchor loss, d loss / d embeddings)`.
+///
+/// # Panics
+///
+/// Panics if `labels.len() != embeddings.rows()`.
+pub fn multi_similarity_loss(
+    embeddings: &Matrix,
+    labels: &[u32],
+    alpha: f32,
+    beta: f32,
+    lambda: f32,
+) -> (f32, Matrix) {
+    assert_eq!(embeddings.rows(), labels.len(), "labels length mismatch");
+    let n = embeddings.rows();
+    let dim = embeddings.cols();
+    let mut grad = Matrix::zeros(n, dim);
+    let mut loss = 0.0f32;
+    let sim = |i: usize, j: usize| -> f32 {
+        (0..dim).map(|f| embeddings[(i, f)] * embeddings[(j, f)]).sum()
+    };
+    for i in 0..n {
+        let mut pos_sum = 0.0f32;
+        let mut neg_sum = 0.0f32;
+        let mut pos_terms: Vec<(usize, f32)> = Vec::new();
+        let mut neg_terms: Vec<(usize, f32)> = Vec::new();
+        for k in 0..n {
+            if k == i {
+                continue;
+            }
+            let s = sim(i, k);
+            if labels[k] == labels[i] {
+                let e = (-alpha * (s - lambda)).exp();
+                pos_sum += e;
+                pos_terms.push((k, e));
+            } else {
+                let e = (beta * (s - lambda)).exp();
+                neg_sum += e;
+                neg_terms.push((k, e));
+            }
+        }
+        loss += (1.0 + pos_sum).ln() / alpha + (1.0 + neg_sum).ln() / beta;
+        // dL/dS_ik: positives: −e / (1 + pos_sum); negatives: e / (1 + neg_sum)
+        for (k, e) in pos_terms {
+            let ds = -e / (1.0 + pos_sum);
+            for f in 0..dim {
+                grad[(i, f)] += ds * embeddings[(k, f)];
+                grad[(k, f)] += ds * embeddings[(i, f)];
+            }
+        }
+        for (k, e) in neg_terms {
+            let ds = e / (1.0 + neg_sum);
+            for f in 0..dim {
+                grad[(i, f)] += ds * embeddings[(k, f)];
+                grad[(k, f)] += ds * embeddings[(i, f)];
+            }
+        }
+    }
+    let denom = n.max(1) as f32;
+    grad.scale(1.0 / denom);
+    (loss / denom, grad)
+}
+
+/// Mean silhouette-style separation score: mean inter-class centroid
+/// distance divided by mean intra-class spread (higher = better separated).
+///
+/// Used by the Fig. 4 experiment to quantify "before vs. after" clustering.
+pub fn separation_score(embeddings: &Matrix, labels: &[u32]) -> f32 {
+    let classes: Vec<u32> = {
+        let mut c = labels.to_vec();
+        c.sort();
+        c.dedup();
+        c
+    };
+    if classes.len() < 2 {
+        return 0.0;
+    }
+    let dim = embeddings.cols();
+    let mut centroids = Vec::new();
+    let mut spreads = Vec::new();
+    for &cl in &classes {
+        let rows: Vec<usize> = labels
+            .iter()
+            .enumerate()
+            .filter(|(_, &l)| l == cl)
+            .map(|(i, _)| i)
+            .collect();
+        let mut centroid = vec![0.0f32; dim];
+        for &r in &rows {
+            for f in 0..dim {
+                centroid[f] += embeddings[(r, f)];
+            }
+        }
+        for c in &mut centroid {
+            *c /= rows.len() as f32;
+        }
+        let mut spread = 0.0f32;
+        for &r in &rows {
+            let mut d2 = 0.0;
+            for f in 0..dim {
+                let d = embeddings[(r, f)] - centroid[f];
+                d2 += d * d;
+            }
+            spread += d2.sqrt();
+        }
+        spreads.push(spread / rows.len() as f32);
+        centroids.push(centroid);
+    }
+    let mut inter = 0.0f32;
+    let mut count = 0usize;
+    for i in 0..centroids.len() {
+        for j in (i + 1)..centroids.len() {
+            let mut d2 = 0.0;
+            for f in 0..dim {
+                let d = centroids[i][f] - centroids[j][f];
+                d2 += d * d;
+            }
+            inter += d2.sqrt();
+            count += 1;
+        }
+    }
+    let inter = inter / count as f32;
+    let intra = spreads.iter().sum::<f32>() / spreads.len() as f32;
+    if intra < 1e-9 {
+        inter / 1e-9
+    } else {
+        inter / intra
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use chatls_tensor::Matrix;
+
+    fn toy() -> (Matrix, Vec<u32>) {
+        let e = Matrix::from_rows(&[
+            &[1.0, 0.1],
+            &[0.9, -0.1],
+            &[-1.0, 0.2],
+            &[-0.8, -0.2],
+        ]);
+        (e, vec![0, 0, 1, 1])
+    }
+
+    #[test]
+    fn contrastive_zero_when_identical_same_class() {
+        let e = Matrix::from_rows(&[&[1.0, 2.0], &[1.0, 2.0]]);
+        let (loss, grad) = contrastive_loss(&e, &[0, 0], 1.0);
+        assert_eq!(loss, 0.0);
+        assert!(grad.as_slice().iter().all(|&g| g == 0.0));
+    }
+
+    #[test]
+    fn contrastive_penalizes_close_negatives() {
+        let e = Matrix::from_rows(&[&[0.0, 0.0], &[0.1, 0.0]]);
+        let (loss, _) = contrastive_loss(&e, &[0, 1], 1.0);
+        assert!(loss > 0.0);
+    }
+
+    #[test]
+    fn contrastive_ignores_far_negatives() {
+        let e = Matrix::from_rows(&[&[0.0, 0.0], &[5.0, 0.0]]);
+        let (loss, _) = contrastive_loss(&e, &[0, 1], 1.0);
+        assert_eq!(loss, 0.0);
+    }
+
+    fn finite_diff_check(
+        lossfn: impl Fn(&Matrix) -> (f32, Matrix),
+        mut e: Matrix,
+    ) {
+        let (_, grad) = lossfn(&e);
+        let eps = 1e-3f32;
+        for r in 0..e.rows() {
+            for c in 0..e.cols() {
+                let orig = e[(r, c)];
+                e[(r, c)] = orig + eps;
+                let lp = lossfn(&e).0;
+                e[(r, c)] = orig - eps;
+                let lm = lossfn(&e).0;
+                e[(r, c)] = orig;
+                let numeric = (lp - lm) / (2.0 * eps);
+                let analytic = grad[(r, c)];
+                assert!(
+                    (numeric - analytic).abs() < 2e-2 * (1.0 + numeric.abs()),
+                    "({r},{c}): numeric {numeric} vs analytic {analytic}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn contrastive_gradient_matches_finite_differences() {
+        let (e, labels) = toy();
+        finite_diff_check(|m| contrastive_loss(m, &labels, 2.0), e);
+    }
+
+    #[test]
+    fn multi_similarity_gradient_matches_finite_differences() {
+        let (e, labels) = toy();
+        finite_diff_check(|m| multi_similarity_loss(m, &labels, 2.0, 10.0, 0.5), e);
+    }
+
+    #[test]
+    fn gradient_descent_on_contrastive_improves_separation() {
+        let mut e = Matrix::from_rows(&[
+            &[0.1, 0.0],
+            &[0.0, 0.1],
+            &[-0.1, 0.0],
+            &[0.0, -0.1],
+        ]);
+        let labels = vec![0, 0, 1, 1];
+        let before = separation_score(&e, &labels);
+        for _ in 0..200 {
+            let (_, grad) = contrastive_loss(&e, &labels, 2.0);
+            e.axpy(-0.1, &grad);
+        }
+        let after = separation_score(&e, &labels);
+        assert!(after > before * 2.0, "before={before} after={after}");
+    }
+
+    #[test]
+    fn gradient_descent_on_ms_improves_separation() {
+        let mut e = Matrix::from_rows(&[
+            &[0.3, 0.1],
+            &[0.2, 0.2],
+            &[0.1, 0.3],
+            &[0.25, 0.15],
+        ]);
+        let labels = vec![0, 1, 0, 1];
+        let before = separation_score(&e, &labels);
+        for _ in 0..300 {
+            let (_, grad) = multi_similarity_loss(&e, &labels, 2.0, 10.0, 0.5);
+            e.axpy(-0.05, &grad);
+        }
+        let after = separation_score(&e, &labels);
+        assert!(after > before, "before={before} after={after}");
+    }
+
+    #[test]
+    fn separation_score_single_class_is_zero() {
+        let e = Matrix::from_rows(&[&[1.0], &[2.0]]);
+        assert_eq!(separation_score(&e, &[0, 0]), 0.0);
+    }
+}

@@ -1,0 +1,721 @@
+//! Cypher-subset query language: AST and parser.
+//!
+//! Supported shape (a practical slice of openCypher, sufficient for the
+//! graph-structure retrieval queries SynthRAG issues):
+//!
+//! ```text
+//! MATCH (a:Label {key: literal})-[r:TYPE]->(b), (c)
+//! MATCH (b)-[:TYPE*1..3]-(d)
+//! WHERE a.prop = 'x' AND (b.n > 3 OR NOT c.flag = true)
+//!       AND a.name CONTAINS 'alu' AND a.name STARTS WITH 'u_'
+//! RETURN DISTINCT a, b.prop AS p, count(*)
+//! ORDER BY p DESC
+//! LIMIT 10
+//! ```
+//!
+//! Keywords are case-insensitive; identifiers are case-sensitive.
+
+use crate::value::Value;
+use std::error::Error;
+use std::fmt;
+
+/// Error produced while parsing a Cypher query.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseCypherError {
+    /// Byte offset of the failure.
+    pub offset: usize,
+    /// Description.
+    pub message: String,
+}
+
+impl fmt::Display for ParseCypherError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "cypher parse error at byte {}: {}", self.offset, self.message)
+    }
+}
+
+impl Error for ParseCypherError {}
+
+/// A parsed query.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Query {
+    /// Patterns from all MATCH clauses (comma-joined patterns flattened).
+    pub patterns: Vec<Pattern>,
+    /// Optional WHERE predicate.
+    pub predicate: Option<Predicate>,
+    /// RETURN items.
+    pub returns: Vec<ReturnItem>,
+    /// True for `RETURN DISTINCT`.
+    pub distinct: bool,
+    /// ORDER BY keys.
+    pub order_by: Vec<OrderKey>,
+    /// LIMIT row count.
+    pub limit: Option<usize>,
+}
+
+/// One linear `(…)-[…]->(…)` chain.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Pattern {
+    /// Node patterns; `nodes.len() == rels.len() + 1`.
+    pub nodes: Vec<NodePattern>,
+    /// Relationship patterns between consecutive nodes.
+    pub rels: Vec<RelPattern>,
+}
+
+/// A `(var:Label {key: lit})` node pattern.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct NodePattern {
+    /// Binding variable, if named.
+    pub var: Option<String>,
+    /// Required label, if present.
+    pub label: Option<String>,
+    /// Required property equalities.
+    pub props: Vec<(String, Value)>,
+}
+
+/// Direction of a relationship pattern.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Direction {
+    /// `-[]->`
+    Out,
+    /// `<-[]-`
+    In,
+    /// `-[]-`
+    Either,
+}
+
+/// A `-[var:TYPE*min..max]->` relationship pattern.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RelPattern {
+    /// Binding variable (single-hop only).
+    pub var: Option<String>,
+    /// Required relationship type, if present.
+    pub rel_type: Option<String>,
+    /// Traversal direction.
+    pub direction: Direction,
+    /// `Some((min, max))` for variable-length `*min..max`; `None` = one hop.
+    pub hops: Option<(u32, u32)>,
+}
+
+/// WHERE predicate tree.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Predicate {
+    /// Logical and.
+    And(Box<Predicate>, Box<Predicate>),
+    /// Logical or.
+    Or(Box<Predicate>, Box<Predicate>),
+    /// Logical not.
+    Not(Box<Predicate>),
+    /// Comparison of two operands.
+    Cmp {
+        /// Left operand.
+        lhs: Operand,
+        /// Comparison operator.
+        op: CmpOp,
+        /// Right operand.
+        rhs: Operand,
+    },
+}
+
+/// Comparison operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CmpOp {
+    /// `=`
+    Eq,
+    /// `<>`
+    Ne,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// `CONTAINS`
+    Contains,
+    /// `STARTS WITH`
+    StartsWith,
+    /// `ENDS WITH`
+    EndsWith,
+}
+
+/// A scalar operand in WHERE / RETURN / ORDER BY.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Operand {
+    /// Literal value.
+    Literal(Value),
+    /// `var.prop`
+    Property(String, String),
+    /// Bare variable (stringifies a node/rel for RETURN).
+    Var(String),
+}
+
+/// A RETURN item.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ReturnItem {
+    /// Scalar operand with optional alias.
+    Operand {
+        /// The operand.
+        operand: Operand,
+        /// `AS alias`.
+        alias: Option<String>,
+    },
+    /// `count(*)`.
+    CountStar {
+        /// `AS alias`.
+        alias: Option<String>,
+    },
+}
+
+impl ReturnItem {
+    /// Column name in the result table.
+    pub fn column_name(&self) -> String {
+        match self {
+            ReturnItem::Operand { operand, alias } => alias.clone().unwrap_or_else(|| match operand {
+                Operand::Literal(v) => v.to_string(),
+                Operand::Property(v, p) => format!("{v}.{p}"),
+                Operand::Var(v) => v.clone(),
+            }),
+            ReturnItem::CountStar { alias } => alias.clone().unwrap_or_else(|| "count(*)".into()),
+        }
+    }
+}
+
+/// An ORDER BY key.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OrderKey {
+    /// The sort expression (an operand or a RETURN alias).
+    pub operand: Operand,
+    /// Descending order when true.
+    pub descending: bool,
+}
+
+struct Cursor<'a> {
+    src: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn err(&self, m: impl Into<String>) -> ParseCypherError {
+        ParseCypherError { offset: self.pos, message: m.into() }
+    }
+
+    fn skip_ws(&mut self) {
+        while self.pos < self.src.len() && (self.src[self.pos] as char).is_whitespace() {
+            self.pos += 1;
+        }
+    }
+
+    fn peek(&self) -> Option<char> {
+        self.src.get(self.pos).map(|&b| b as char)
+    }
+
+    fn eat(&mut self, c: char) -> bool {
+        self.skip_ws();
+        if self.peek() == Some(c) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn eat_str(&mut self, s: &str) -> bool {
+        self.skip_ws();
+        if self.src[self.pos..].starts_with(s.as_bytes()) {
+            self.pos += s.len();
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Case-insensitive keyword match with a word boundary.
+    fn eat_kw(&mut self, kw: &str) -> bool {
+        self.skip_ws();
+        let rest = &self.src[self.pos..];
+        if rest.len() < kw.len() {
+            return false;
+        }
+        let cand = &rest[..kw.len()];
+        if !cand.eq_ignore_ascii_case(kw.as_bytes()) {
+            return false;
+        }
+        if let Some(&b) = rest.get(kw.len()) {
+            let c = b as char;
+            if c.is_ascii_alphanumeric() || c == '_' {
+                return false;
+            }
+        }
+        self.pos += kw.len();
+        true
+    }
+
+    fn peek_kw(&mut self, kw: &str) -> bool {
+        let save = self.pos;
+        let hit = self.eat_kw(kw);
+        self.pos = save;
+        hit
+    }
+
+    fn ident(&mut self) -> Result<String, ParseCypherError> {
+        self.skip_ws();
+        let start = self.pos;
+        while self.pos < self.src.len() {
+            let c = self.src[self.pos] as char;
+            if c.is_ascii_alphanumeric() || c == '_' {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+        if self.pos == start {
+            return Err(self.err("expected identifier"));
+        }
+        Ok(String::from_utf8_lossy(&self.src[start..self.pos]).into_owned())
+    }
+
+    fn literal(&mut self) -> Result<Value, ParseCypherError> {
+        self.skip_ws();
+        match self.peek() {
+            Some('\'') | Some('"') => {
+                let quote = self.peek().expect("peeked");
+                self.pos += 1;
+                let start = self.pos;
+                while self.pos < self.src.len() && self.src[self.pos] as char != quote {
+                    self.pos += 1;
+                }
+                if self.pos >= self.src.len() {
+                    return Err(self.err("unterminated string literal"));
+                }
+                let s = String::from_utf8_lossy(&self.src[start..self.pos]).into_owned();
+                self.pos += 1;
+                Ok(Value::Str(s))
+            }
+            Some(c) if c.is_ascii_digit() || c == '-' => {
+                let start = self.pos;
+                if c == '-' {
+                    self.pos += 1;
+                }
+                let mut is_float = false;
+                while self.pos < self.src.len() {
+                    let ch = self.src[self.pos] as char;
+                    if ch.is_ascii_digit() {
+                        self.pos += 1;
+                    } else if ch == '.'
+                        && self
+                            .src
+                            .get(self.pos + 1)
+                            .is_some_and(|&b| (b as char).is_ascii_digit())
+                    {
+                        is_float = true;
+                        self.pos += 1;
+                    } else {
+                        break;
+                    }
+                }
+                let text = String::from_utf8_lossy(&self.src[start..self.pos]);
+                if is_float {
+                    text.parse().map(Value::Float).map_err(|_| self.err("bad float"))
+                } else {
+                    text.parse().map(Value::Int).map_err(|_| self.err("bad integer"))
+                }
+            }
+            _ => {
+                if self.eat_kw("true") {
+                    Ok(Value::Bool(true))
+                } else if self.eat_kw("false") {
+                    Ok(Value::Bool(false))
+                } else if self.eat_kw("null") {
+                    Ok(Value::Null)
+                } else {
+                    Err(self.err("expected literal"))
+                }
+            }
+        }
+    }
+
+    fn node_pattern(&mut self) -> Result<NodePattern, ParseCypherError> {
+        if !self.eat('(') {
+            return Err(self.err("expected '(' to open node pattern"));
+        }
+        let mut np = NodePattern::default();
+        self.skip_ws();
+        if let Some(c) = self.peek() {
+            if c.is_ascii_alphabetic() || c == '_' {
+                np.var = Some(self.ident()?);
+            }
+        }
+        if self.eat(':') {
+            np.label = Some(self.ident()?);
+        }
+        self.skip_ws();
+        if self.eat('{') {
+            loop {
+                let key = self.ident()?;
+                if !self.eat(':') {
+                    return Err(self.err("expected ':' in property map"));
+                }
+                let value = self.literal()?;
+                np.props.push((key, value));
+                if !self.eat(',') {
+                    break;
+                }
+            }
+            if !self.eat('}') {
+                return Err(self.err("expected '}' to close property map"));
+            }
+        }
+        if !self.eat(')') {
+            return Err(self.err("expected ')' to close node pattern"));
+        }
+        Ok(np)
+    }
+
+    fn rel_pattern(&mut self) -> Result<Option<RelPattern>, ParseCypherError> {
+        self.skip_ws();
+        let incoming = self.eat_str("<-");
+        if !incoming && !self.eat_str("-") {
+            return Ok(None);
+        }
+        let mut rp = RelPattern { var: None, rel_type: None, direction: Direction::Either, hops: None };
+        if self.eat('[') {
+            self.skip_ws();
+            if let Some(c) = self.peek() {
+                if c.is_ascii_alphabetic() || c == '_' {
+                    rp.var = Some(self.ident()?);
+                }
+            }
+            if self.eat(':') {
+                rp.rel_type = Some(self.ident()?);
+            }
+            if self.eat('*') {
+                let min = self.opt_int().unwrap_or(1);
+                let max = if self.eat_str("..") {
+                    self.opt_int().unwrap_or(8)
+                } else {
+                    min.max(8)
+                };
+                rp.hops = Some((min, max));
+            }
+            if !self.eat(']') {
+                return Err(self.err("expected ']' to close relationship pattern"));
+            }
+        }
+        let outgoing = self.eat_str("->");
+        if !outgoing && !self.eat_str("-") {
+            return Err(self.err("expected '->' or '-' after relationship"));
+        }
+        rp.direction = match (incoming, outgoing) {
+            (true, false) => Direction::In,
+            (false, true) => Direction::Out,
+            (false, false) => Direction::Either,
+            (true, true) => return Err(self.err("relationship cannot be both <- and ->")),
+        };
+        Ok(Some(rp))
+    }
+
+    fn opt_int(&mut self) -> Option<u32> {
+        self.skip_ws();
+        let start = self.pos;
+        while self.pos < self.src.len() && (self.src[self.pos] as char).is_ascii_digit() {
+            self.pos += 1;
+        }
+        if self.pos == start {
+            return None;
+        }
+        String::from_utf8_lossy(&self.src[start..self.pos]).parse().ok()
+    }
+
+    fn pattern(&mut self) -> Result<Pattern, ParseCypherError> {
+        let mut p = Pattern { nodes: vec![self.node_pattern()?], rels: Vec::new() };
+        while let Some(rp) = self.rel_pattern()? {
+            p.rels.push(rp);
+            p.nodes.push(self.node_pattern()?);
+        }
+        Ok(p)
+    }
+
+    fn operand(&mut self) -> Result<Operand, ParseCypherError> {
+        self.skip_ws();
+        match self.peek() {
+            Some(c) if c.is_ascii_alphabetic() || c == '_' => {
+                let save = self.pos;
+                // Could be a keyword literal.
+                if self.peek_kw("true") || self.peek_kw("false") || self.peek_kw("null") {
+                    return Ok(Operand::Literal(self.literal()?));
+                }
+                self.pos = save;
+                let var = self.ident()?;
+                if self.eat('.') {
+                    let prop = self.ident()?;
+                    Ok(Operand::Property(var, prop))
+                } else {
+                    Ok(Operand::Var(var))
+                }
+            }
+            _ => Ok(Operand::Literal(self.literal()?)),
+        }
+    }
+
+    fn cmp_op(&mut self) -> Result<CmpOp, ParseCypherError> {
+        self.skip_ws();
+        if self.eat_str("<=") {
+            Ok(CmpOp::Le)
+        } else if self.eat_str(">=") {
+            Ok(CmpOp::Ge)
+        } else if self.eat_str("<>") {
+            Ok(CmpOp::Ne)
+        } else if self.eat_str("=") {
+            Ok(CmpOp::Eq)
+        } else if self.eat_str("<") {
+            Ok(CmpOp::Lt)
+        } else if self.eat_str(">") {
+            Ok(CmpOp::Gt)
+        } else if self.eat_kw("CONTAINS") {
+            Ok(CmpOp::Contains)
+        } else if self.eat_kw("STARTS") {
+            if !self.eat_kw("WITH") {
+                return Err(self.err("expected WITH after STARTS"));
+            }
+            Ok(CmpOp::StartsWith)
+        } else if self.eat_kw("ENDS") {
+            if !self.eat_kw("WITH") {
+                return Err(self.err("expected WITH after ENDS"));
+            }
+            Ok(CmpOp::EndsWith)
+        } else {
+            Err(self.err("expected comparison operator"))
+        }
+    }
+
+    fn predicate(&mut self) -> Result<Predicate, ParseCypherError> {
+        let mut lhs = self.pred_and()?;
+        while self.eat_kw("OR") {
+            let rhs = self.pred_and()?;
+            lhs = Predicate::Or(Box::new(lhs), Box::new(rhs));
+        }
+        Ok(lhs)
+    }
+
+    fn pred_and(&mut self) -> Result<Predicate, ParseCypherError> {
+        let mut lhs = self.pred_atom()?;
+        while self.eat_kw("AND") {
+            let rhs = self.pred_atom()?;
+            lhs = Predicate::And(Box::new(lhs), Box::new(rhs));
+        }
+        Ok(lhs)
+    }
+
+    fn pred_atom(&mut self) -> Result<Predicate, ParseCypherError> {
+        if self.eat_kw("NOT") {
+            return Ok(Predicate::Not(Box::new(self.pred_atom()?)));
+        }
+        self.skip_ws();
+        if self.peek() == Some('(') {
+            // Look ahead: parenthesized predicate.
+            self.pos += 1;
+            let p = self.predicate()?;
+            if !self.eat(')') {
+                return Err(self.err("expected ')' to close predicate"));
+            }
+            return Ok(p);
+        }
+        let lhs = self.operand()?;
+        let op = self.cmp_op()?;
+        let rhs = self.operand()?;
+        Ok(Predicate::Cmp { lhs, op, rhs })
+    }
+
+    fn return_item(&mut self) -> Result<ReturnItem, ParseCypherError> {
+        self.skip_ws();
+        let save = self.pos;
+        if self.eat_kw("count") {
+            if self.eat('(') {
+                if !self.eat('*') || !self.eat(')') {
+                    return Err(self.err("expected count(*)"));
+                }
+                let alias = if self.eat_kw("AS") { Some(self.ident()?) } else { None };
+                return Ok(ReturnItem::CountStar { alias });
+            }
+            // A variable merely named `count`; re-parse as an operand.
+            self.pos = save;
+        }
+        let operand = self.operand()?;
+        let alias = if self.eat_kw("AS") { Some(self.ident()?) } else { None };
+        Ok(ReturnItem::Operand { operand, alias })
+    }
+}
+
+/// Parses a Cypher-subset query.
+///
+/// # Errors
+///
+/// Returns [`ParseCypherError`] on queries outside the supported subset.
+///
+/// # Examples
+///
+/// ```
+/// let q = chatls_graphdb::parse_cypher(
+///     "MATCH (m:Module {name: 'alu'}) RETURN m.code",
+/// ).expect("valid query");
+/// assert_eq!(q.patterns.len(), 1);
+/// ```
+pub fn parse_cypher(src: &str) -> Result<Query, ParseCypherError> {
+    let mut c = Cursor { src: src.as_bytes(), pos: 0 };
+    let mut patterns = Vec::new();
+    if !c.eat_kw("MATCH") {
+        return Err(c.err("query must start with MATCH"));
+    }
+    loop {
+        patterns.push(c.pattern()?);
+        if c.eat(',') {
+            continue;
+        }
+        if c.eat_kw("MATCH") {
+            continue;
+        }
+        break;
+    }
+    let predicate = if c.eat_kw("WHERE") { Some(c.predicate()?) } else { None };
+    if !c.eat_kw("RETURN") {
+        return Err(c.err("expected RETURN clause"));
+    }
+    let distinct = c.eat_kw("DISTINCT");
+    let mut returns = vec![c.return_item()?];
+    while c.eat(',') {
+        returns.push(c.return_item()?);
+    }
+    let mut order_by = Vec::new();
+    if c.eat_kw("ORDER") {
+        if !c.eat_kw("BY") {
+            return Err(c.err("expected BY after ORDER"));
+        }
+        loop {
+            let operand = c.operand()?;
+            let descending = if c.eat_kw("DESC") {
+                true
+            } else {
+                c.eat_kw("ASC");
+                false
+            };
+            order_by.push(OrderKey { operand, descending });
+            if !c.eat(',') {
+                break;
+            }
+        }
+    }
+    let limit = if c.eat_kw("LIMIT") {
+        Some(c.opt_int().ok_or_else(|| c.err("expected integer after LIMIT"))? as usize)
+    } else {
+        None
+    };
+    c.skip_ws();
+    if c.pos < c.src.len() {
+        return Err(c.err("unexpected trailing input"));
+    }
+    Ok(Query { patterns, predicate, returns, distinct, order_by, limit })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_simple_match() {
+        let q = parse_cypher("MATCH (m:Module) RETURN m.name").unwrap();
+        assert_eq!(q.patterns.len(), 1);
+        assert_eq!(q.patterns[0].nodes[0].label.as_deref(), Some("Module"));
+        assert_eq!(q.returns.len(), 1);
+    }
+
+    #[test]
+    fn parses_property_map() {
+        let q = parse_cypher("MATCH (m:Module {name: 'alu', depth: 3}) RETURN m").unwrap();
+        let np = &q.patterns[0].nodes[0];
+        assert_eq!(np.props.len(), 2);
+        assert_eq!(np.props[0].1, Value::Str("alu".into()));
+        assert_eq!(np.props[1].1, Value::Int(3));
+    }
+
+    #[test]
+    fn parses_relationship_directions() {
+        let q = parse_cypher("MATCH (a)-[:CONTAINS]->(b)<-[r:FEEDS]-(c)-[]-(d) RETURN a").unwrap();
+        let p = &q.patterns[0];
+        assert_eq!(p.rels.len(), 3);
+        assert_eq!(p.rels[0].direction, Direction::Out);
+        assert_eq!(p.rels[0].rel_type.as_deref(), Some("CONTAINS"));
+        assert_eq!(p.rels[1].direction, Direction::In);
+        assert_eq!(p.rels[1].var.as_deref(), Some("r"));
+        assert_eq!(p.rels[2].direction, Direction::Either);
+    }
+
+    #[test]
+    fn parses_variable_length() {
+        let q = parse_cypher("MATCH (a)-[:CONNECTS*2..5]->(b) RETURN a").unwrap();
+        assert_eq!(q.patterns[0].rels[0].hops, Some((2, 5)));
+        let q = parse_cypher("MATCH (a)-[:CONNECTS*]->(b) RETURN a").unwrap();
+        assert_eq!(q.patterns[0].rels[0].hops, Some((1, 8)));
+    }
+
+    #[test]
+    fn parses_where_tree() {
+        let q = parse_cypher(
+            "MATCH (m:Module) WHERE m.kind = 'arith' AND (m.size > 10 OR NOT m.flat = true) RETURN m",
+        )
+        .unwrap();
+        match q.predicate.unwrap() {
+            Predicate::And(_, rhs) => assert!(matches!(*rhs, Predicate::Or(_, _))),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_string_operators() {
+        let q = parse_cypher(
+            "MATCH (m) WHERE m.name CONTAINS 'alu' AND m.name STARTS WITH 'u' AND m.name ENDS WITH '0' RETURN m",
+        )
+        .unwrap();
+        assert!(q.predicate.is_some());
+    }
+
+    #[test]
+    fn parses_return_tail() {
+        let q = parse_cypher(
+            "MATCH (m:Module) RETURN DISTINCT m.name AS n, count(*) ORDER BY n DESC LIMIT 5",
+        )
+        .unwrap();
+        assert!(q.distinct);
+        assert_eq!(q.limit, Some(5));
+        assert_eq!(q.order_by.len(), 1);
+        assert!(q.order_by[0].descending);
+        assert_eq!(q.returns[0].column_name(), "n");
+        assert_eq!(q.returns[1].column_name(), "count(*)");
+    }
+
+    #[test]
+    fn keywords_case_insensitive() {
+        assert!(parse_cypher("match (m) return m").is_ok());
+        assert!(parse_cypher("MaTcH (m) rEtUrN m LiMiT 1").is_ok());
+    }
+
+    #[test]
+    fn multiple_match_clauses_flatten() {
+        let q = parse_cypher("MATCH (a), (b) MATCH (c) RETURN a").unwrap();
+        assert_eq!(q.patterns.len(), 3);
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(parse_cypher("SELECT * FROM t").is_err());
+        assert!(parse_cypher("MATCH (a RETURN a").is_err());
+        assert!(parse_cypher("MATCH (a) RETURN a garbage").is_err());
+    }
+
+    #[test]
+    fn error_reports_position() {
+        let e = parse_cypher("MATCH (a) WHERE RETURN a").unwrap_err();
+        assert!(e.offset > 0);
+    }
+}

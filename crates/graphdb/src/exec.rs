@@ -1,0 +1,747 @@
+//! Query executor: backtracking pattern matcher over the property graph.
+
+use crate::cypher::*;
+use crate::graph::{Graph, NodeId, RelId};
+use crate::value::Value;
+use std::collections::HashMap;
+use std::error::Error;
+use std::fmt;
+
+/// Error produced while executing a query.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct QueryError {
+    /// Description.
+    pub message: String,
+}
+
+impl fmt::Display for QueryError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "query error: {}", self.message)
+    }
+}
+
+impl Error for QueryError {}
+
+fn qerr(m: impl Into<String>) -> QueryError {
+    QueryError { message: m.into() }
+}
+
+/// What a pattern variable is bound to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Binding {
+    Node(NodeId),
+    Rel(RelId),
+}
+
+/// A result table.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ResultSet {
+    /// Column names, from the RETURN clause.
+    pub columns: Vec<String>,
+    /// Row values.
+    pub rows: Vec<Vec<Value>>,
+}
+
+impl ResultSet {
+    /// First value of the first row, if any.
+    pub fn scalar(&self) -> Option<&Value> {
+        self.rows.first().and_then(|r| r.first())
+    }
+
+    /// Values of a named column across all rows.
+    pub fn column(&self, name: &str) -> Vec<&Value> {
+        match self.columns.iter().position(|c| c == name) {
+            Some(i) => self.rows.iter().map(|r| &r[i]).collect(),
+            None => Vec::new(),
+        }
+    }
+
+    /// True when the query matched nothing.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+}
+
+impl fmt::Display for ResultSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "{}", self.columns.join(" | "))?;
+        for row in &self.rows {
+            let cells: Vec<String> = row.iter().map(|v| v.to_string()).collect();
+            writeln!(f, "{}", cells.join(" | "))?;
+        }
+        Ok(())
+    }
+}
+
+/// Parses and executes a query against a graph.
+///
+/// # Errors
+///
+/// Returns an error if the query fails to parse or references unbound
+/// variables.
+///
+/// # Examples
+///
+/// ```
+/// # fn main() -> Result<(), Box<dyn std::error::Error + Send + Sync>> {
+/// use chatls_graphdb::{query, Graph, Value};
+///
+/// let mut g = Graph::new();
+/// let d = g.add_node(["Design"], [("name", Value::from("soc"))]);
+/// let m = g.add_node(["Module"], [("name", Value::from("alu"))]);
+/// g.add_rel(d, m, "CONTAINS", Vec::<(&str, Value)>::new());
+///
+/// let rs = query(&g, "MATCH (d:Design)-[:CONTAINS]->(m:Module) RETURN m.name")?;
+/// assert_eq!(rs.scalar().map(ToString::to_string), Some("alu".into()));
+/// # Ok(())
+/// # }
+/// ```
+pub fn query(graph: &Graph, src: &str) -> Result<ResultSet, Box<dyn Error + Send + Sync>> {
+    let q = parse_cypher(src)?;
+    Ok(execute(graph, &q)?)
+}
+
+/// Executes a parsed query.
+///
+/// # Errors
+///
+/// Returns [`QueryError`] when RETURN/WHERE reference variables that no
+/// pattern binds.
+pub fn execute(graph: &Graph, q: &Query) -> Result<ResultSet, QueryError> {
+    validate_vars(q)?;
+    let mut bindings: Vec<HashMap<String, Binding>> = vec![HashMap::new()];
+    for pattern in &q.patterns {
+        let mut next = Vec::new();
+        for b in &bindings {
+            match_pattern(graph, pattern, b.clone(), &mut next);
+        }
+        bindings = next;
+        if bindings.is_empty() {
+            break;
+        }
+    }
+    if let Some(pred) = &q.predicate {
+        bindings.retain(|b| eval_predicate(graph, pred, b));
+    }
+
+    let columns: Vec<String> = q.returns.iter().map(|r| r.column_name()).collect();
+    let has_count = q.returns.iter().any(|r| matches!(r, ReturnItem::CountStar { .. }));
+    // ORDER BY keys are evaluated against the bindings (they may reference
+    // properties that are not returned); aggregated queries can only sort by
+    // returned columns/aliases.
+    let mut order_keys: Vec<Vec<Value>> = Vec::new();
+    let mut rows: Vec<Vec<Value>> = if has_count {
+        // Aggregate: group by the non-count items.
+        let mut groups: Vec<(Vec<Value>, usize)> = Vec::new();
+        for b in &bindings {
+            let key: Vec<Value> = q
+                .returns
+                .iter()
+                .filter_map(|r| match r {
+                    ReturnItem::Operand { operand, .. } => Some(eval_operand(graph, operand, b)),
+                    ReturnItem::CountStar { .. } => None,
+                })
+                .collect();
+            match groups.iter_mut().find(|(k, _)| k == &key) {
+                Some((_, n)) => *n += 1,
+                None => groups.push((key, 1)),
+            }
+        }
+        if groups.is_empty() && q.returns.len() == 1 {
+            groups.push((Vec::new(), 0));
+        }
+        groups
+            .into_iter()
+            .map(|(key, n)| {
+                let mut ki = key.into_iter();
+                q.returns
+                    .iter()
+                    .map(|r| match r {
+                        ReturnItem::Operand { .. } => ki.next().unwrap_or(Value::Null),
+                        ReturnItem::CountStar { .. } => Value::Int(n as i64),
+                    })
+                    .collect()
+            })
+            .collect()
+    } else {
+        bindings
+            .iter()
+            .map(|b| {
+                if !q.order_by.is_empty() {
+                    order_keys.push(
+                        q.order_by.iter().map(|k| eval_operand(graph, &k.operand, b)).collect(),
+                    );
+                }
+                q.returns
+                    .iter()
+                    .map(|r| match r {
+                        ReturnItem::Operand { operand, .. } => eval_operand(graph, operand, b),
+                        ReturnItem::CountStar { .. } => unreachable!("handled above"),
+                    })
+                    .collect()
+            })
+            .collect()
+    };
+
+    if q.distinct {
+        let mut seen: Vec<Vec<Value>> = Vec::new();
+        let mut kept_keys = Vec::new();
+        let keyed = !order_keys.is_empty();
+        let mut idx = 0usize;
+        rows.retain(|row| {
+            let keep = if seen.contains(row) {
+                false
+            } else {
+                seen.push(row.clone());
+                true
+            };
+            if keyed {
+                if keep {
+                    kept_keys.push(order_keys[idx].clone());
+                }
+                idx += 1;
+            }
+            keep
+        });
+        if keyed {
+            order_keys = kept_keys;
+        }
+    }
+
+    if !q.order_by.is_empty() {
+        // Pre-compute sort keys. ORDER BY may reference RETURN aliases.
+        let alias_index: HashMap<&str, usize> = columns
+            .iter()
+            .enumerate()
+            .map(|(i, c)| (c.as_str(), i))
+            .collect();
+        let keyed: Vec<(Vec<Value>, Vec<Value>)> = rows
+            .into_iter()
+            .enumerate()
+            .map(|(ri, row)| {
+                let keys: Vec<Value> = q
+                    .order_by
+                    .iter()
+                    .enumerate()
+                    .map(|(ki, k)| {
+                        // Alias references win; else use the binding-time key.
+                        if let Operand::Var(v) = &k.operand {
+                            if let Some(&ci) = alias_index.get(v.as_str()) {
+                                return row[ci].clone();
+                            }
+                        }
+                        order_keys.get(ri).and_then(|ks| ks.get(ki).cloned()).unwrap_or(Value::Null)
+                    })
+                    .collect();
+                (keys, row)
+            })
+            .collect();
+        let mut keyed = keyed;
+        keyed.sort_by(|(ka, _), (kb, _)| {
+            for (i, key) in q.order_by.iter().enumerate() {
+                let ord = ka[i].total_cmp(&kb[i]);
+                let ord = if key.descending { ord.reverse() } else { ord };
+                if ord != std::cmp::Ordering::Equal {
+                    return ord;
+                }
+            }
+            std::cmp::Ordering::Equal
+        });
+        rows = keyed.into_iter().map(|(_, r)| r).collect();
+    } else {
+        // Deterministic output without ORDER BY: sort rows lexicographically.
+        rows.sort_by(|a, b| {
+            for (x, y) in a.iter().zip(b) {
+                let ord = x.total_cmp(y);
+                if ord != std::cmp::Ordering::Equal {
+                    return ord;
+                }
+            }
+            std::cmp::Ordering::Equal
+        });
+    }
+
+    if let Some(limit) = q.limit {
+        rows.truncate(limit);
+    }
+    Ok(ResultSet { columns, rows })
+}
+
+/// Rejects RETURN/WHERE variables that no pattern binds (typo protection).
+fn validate_vars(q: &Query) -> Result<(), QueryError> {
+    let mut bound = Vec::new();
+    for p in &q.patterns {
+        for n in &p.nodes {
+            if let Some(v) = &n.var {
+                bound.push(v.clone());
+            }
+        }
+        for r in &p.rels {
+            if let Some(v) = &r.var {
+                bound.push(v.clone());
+            }
+        }
+    }
+    let check_operand = |o: &Operand| -> Result<(), QueryError> {
+        match o {
+            Operand::Property(v, _) | Operand::Var(v) if !bound.contains(v) => {
+                Err(qerr(format!("variable '{v}' is not bound by any pattern")))
+            }
+            _ => Ok(()),
+        }
+    };
+    fn walk(p: &Predicate, f: &dyn Fn(&Operand) -> Result<(), QueryError>) -> Result<(), QueryError> {
+        match p {
+            Predicate::And(a, b) | Predicate::Or(a, b) => {
+                walk(a, f)?;
+                walk(b, f)
+            }
+            Predicate::Not(a) => walk(a, f),
+            Predicate::Cmp { lhs, rhs, .. } => {
+                f(lhs)?;
+                f(rhs)
+            }
+        }
+    }
+    if let Some(pred) = &q.predicate {
+        walk(pred, &check_operand)?;
+    }
+    let aliases: Vec<String> = q.returns.iter().map(|r| r.column_name()).collect();
+    for r in &q.returns {
+        if let ReturnItem::Operand { operand, .. } = r {
+            check_operand(operand)?;
+        }
+    }
+    for k in &q.order_by {
+        if let Operand::Var(v) = &k.operand {
+            if !bound.contains(v) && !aliases.contains(v) {
+                return Err(qerr(format!("ORDER BY references unknown name '{v}'")));
+            }
+        }
+    }
+    Ok(())
+}
+
+fn node_matches(graph: &Graph, id: NodeId, np: &NodePattern) -> bool {
+    let node = match graph.node(id) {
+        Some(n) => n,
+        None => return false,
+    };
+    if let Some(label) = &np.label {
+        if !node.has_label(label) {
+            return false;
+        }
+    }
+    np.props.iter().all(|(k, v)| node.prop(k).loose_eq(v))
+}
+
+fn match_pattern(
+    graph: &Graph,
+    pattern: &Pattern,
+    binding: HashMap<String, Binding>,
+    out: &mut Vec<HashMap<String, Binding>>,
+) {
+    // Candidate start nodes: reuse an existing binding if the variable is
+    // already bound; otherwise scan by label.
+    let first = &pattern.nodes[0];
+    let candidates: Vec<NodeId> = match first.var.as_ref().and_then(|v| binding.get(v)) {
+        Some(Binding::Node(id)) => vec![*id],
+        Some(Binding::Rel(_)) => return,
+        None => match &first.label {
+            Some(l) => graph.nodes_with_label(l).iter().map(|n| n.id).collect(),
+            None => graph.nodes().iter().map(|n| n.id).collect(),
+        },
+    };
+    for start in candidates {
+        if !node_matches(graph, start, first) {
+            continue;
+        }
+        let mut b = binding.clone();
+        if let Some(v) = &first.var {
+            b.insert(v.clone(), Binding::Node(start));
+        }
+        extend(graph, pattern, 0, start, b, out);
+    }
+}
+
+/// Extends a partial match from `pattern.nodes[idx]` bound to `at`.
+fn extend(
+    graph: &Graph,
+    pattern: &Pattern,
+    idx: usize,
+    at: NodeId,
+    binding: HashMap<String, Binding>,
+    out: &mut Vec<HashMap<String, Binding>>,
+) {
+    if idx == pattern.rels.len() {
+        out.push(binding);
+        return;
+    }
+    let rp = &pattern.rels[idx];
+    let np = &pattern.nodes[idx + 1];
+    match rp.hops {
+        None => {
+            for (rel, neighbor) in neighbors(graph, at, rp) {
+                step_into(graph, pattern, idx, rel, neighbor, np, &binding, out);
+            }
+        }
+        Some((min, max)) => {
+            // Variable-length: BFS with depth bounds; no rel binding.
+            let mut frontier = vec![at];
+            let mut visited = vec![at];
+            for depth in 1..=max {
+                let mut next_frontier = Vec::new();
+                for &n in &frontier {
+                    for (_, neighbor) in neighbors(graph, n, rp) {
+                        if visited.contains(&neighbor) {
+                            continue;
+                        }
+                        visited.push(neighbor);
+                        next_frontier.push(neighbor);
+                        if depth >= min && node_matches(graph, neighbor, np) {
+                            let mut b = binding.clone();
+                            if bind_node(np, neighbor, &mut b) {
+                                extend(graph, pattern, idx + 1, neighbor, b, out);
+                            }
+                        }
+                    }
+                }
+                frontier = next_frontier;
+                if frontier.is_empty() {
+                    break;
+                }
+            }
+        }
+    }
+}
+
+fn step_into(
+    graph: &Graph,
+    pattern: &Pattern,
+    idx: usize,
+    rel: RelId,
+    neighbor: NodeId,
+    np: &NodePattern,
+    binding: &HashMap<String, Binding>,
+    out: &mut Vec<HashMap<String, Binding>>,
+) {
+    if !node_matches(graph, neighbor, np) {
+        return;
+    }
+    let mut b = binding.clone();
+    if let Some(v) = &pattern.rels[idx].var {
+        if let Some(existing) = b.get(v) {
+            if *existing != Binding::Rel(rel) {
+                return;
+            }
+        }
+        b.insert(v.clone(), Binding::Rel(rel));
+    }
+    if bind_node(np, neighbor, &mut b) {
+        extend(graph, pattern, idx + 1, neighbor, b, out);
+    }
+}
+
+/// Binds `np.var` to the node, honouring a pre-existing binding; returns
+/// false when the binding conflicts.
+fn bind_node(np: &NodePattern, id: NodeId, b: &mut HashMap<String, Binding>) -> bool {
+    if let Some(v) = &np.var {
+        if let Some(existing) = b.get(v) {
+            return *existing == Binding::Node(id);
+        }
+        b.insert(v.clone(), Binding::Node(id));
+    }
+    true
+}
+
+/// Relationships leaving `at` consistent with the pattern direction/type.
+fn neighbors<'g>(
+    graph: &'g Graph,
+    at: NodeId,
+    rp: &'g RelPattern,
+) -> impl Iterator<Item = (RelId, NodeId)> + 'g {
+    let type_ok = move |t: &str| rp.rel_type.as_deref().map(|rt| rt == t).unwrap_or(true);
+    let out_iter = graph
+        .out_rels(at)
+        .filter(move |r| {
+            matches!(rp.direction, Direction::Out | Direction::Either) && type_ok(&r.rel_type)
+        })
+        .map(|r| (r.id, r.end));
+    let in_iter = graph
+        .in_rels(at)
+        .filter(move |r| {
+            matches!(rp.direction, Direction::In | Direction::Either) && type_ok(&r.rel_type)
+        })
+        .map(|r| (r.id, r.start));
+    out_iter.chain(in_iter)
+}
+
+fn eval_operand(graph: &Graph, operand: &Operand, b: &HashMap<String, Binding>) -> Value {
+    match operand {
+        Operand::Literal(v) => v.clone(),
+        Operand::Property(var, prop) => match b.get(var) {
+            Some(Binding::Node(id)) => graph.node(*id).map(|n| n.prop(prop)).unwrap_or(Value::Null),
+            Some(Binding::Rel(id)) => graph.rel(*id).map(|r| r.prop(prop)).unwrap_or(Value::Null),
+            None => Value::Null,
+        },
+        Operand::Var(var) => match b.get(var) {
+            // A bare node/rel stringifies to its name property or id.
+            Some(Binding::Node(id)) => graph
+                .node(*id)
+                .map(|n| {
+                    let name = n.prop("name");
+                    if name == Value::Null {
+                        Value::Int(n.id as i64)
+                    } else {
+                        name
+                    }
+                })
+                .unwrap_or(Value::Null),
+            Some(Binding::Rel(id)) => Value::Int(*id as i64),
+            None => Value::Null,
+        },
+    }
+}
+
+fn eval_predicate(graph: &Graph, p: &Predicate, b: &HashMap<String, Binding>) -> bool {
+    match p {
+        Predicate::And(x, y) => eval_predicate(graph, x, b) && eval_predicate(graph, y, b),
+        Predicate::Or(x, y) => eval_predicate(graph, x, b) || eval_predicate(graph, y, b),
+        Predicate::Not(x) => !eval_predicate(graph, x, b),
+        Predicate::Cmp { lhs, op, rhs } => {
+            let l = eval_operand(graph, lhs, b);
+            let r = eval_operand(graph, rhs, b);
+            match op {
+                CmpOp::Eq => l.loose_eq(&r),
+                CmpOp::Ne => !l.loose_eq(&r),
+                CmpOp::Lt | CmpOp::Le | CmpOp::Gt | CmpOp::Ge => {
+                    if l == Value::Null || r == Value::Null {
+                        return false;
+                    }
+                    let ord = l.total_cmp(&r);
+                    match op {
+                        CmpOp::Lt => ord == std::cmp::Ordering::Less,
+                        CmpOp::Le => ord != std::cmp::Ordering::Greater,
+                        CmpOp::Gt => ord == std::cmp::Ordering::Greater,
+                        _ => ord != std::cmp::Ordering::Less,
+                    }
+                }
+                CmpOp::Contains => match (l.as_str(), r.as_str()) {
+                    (Some(a), Some(bs)) => a.contains(bs),
+                    _ => false,
+                },
+                CmpOp::StartsWith => match (l.as_str(), r.as_str()) {
+                    (Some(a), Some(bs)) => a.starts_with(bs),
+                    _ => false,
+                },
+                CmpOp::EndsWith => match (l.as_str(), r.as_str()) {
+                    (Some(a), Some(bs)) => a.ends_with(bs),
+                    _ => false,
+                },
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn design_graph() -> Graph {
+        let mut g = Graph::new();
+        let soc = g.add_node(["Design"], [("name", Value::from("soc"))]);
+        let alu = g.add_node(
+            ["Module"],
+            [("name", Value::from("alu")), ("kind", Value::from("arith")), ("gates", Value::Int(400))],
+        );
+        let mac = g.add_node(
+            ["Module"],
+            [("name", Value::from("mac")), ("kind", Value::from("arith")), ("gates", Value::Int(900))],
+        );
+        let ctrl = g.add_node(
+            ["Module"],
+            [("name", Value::from("ctrl")), ("kind", Value::from("control")), ("gates", Value::Int(150))],
+        );
+        let regs = g.add_node(
+            ["Module"],
+            [("name", Value::from("regfile")), ("kind", Value::from("memory")), ("gates", Value::Int(600))],
+        );
+        for m in [alu, mac, ctrl, regs] {
+            g.add_rel(soc, m, "CONTAINS", [("inst", Value::from("u"))]);
+        }
+        g.add_rel(ctrl, alu, "CONNECTS", Vec::<(String, Value)>::new());
+        g.add_rel(alu, mac, "CONNECTS", Vec::<(String, Value)>::new());
+        g.add_rel(mac, regs, "CONNECTS", Vec::<(String, Value)>::new());
+        g
+    }
+
+    fn names(rs: &ResultSet) -> Vec<String> {
+        rs.rows.iter().map(|r| r[0].to_string()).collect()
+    }
+
+    #[test]
+    fn match_by_label() {
+        let g = design_graph();
+        let rs = query(&g, "MATCH (m:Module) RETURN m.name").unwrap();
+        assert_eq!(rs.len(), 4);
+    }
+
+    #[test]
+    fn match_by_property_map() {
+        let g = design_graph();
+        let rs = query(&g, "MATCH (m:Module {name: 'alu'}) RETURN m.gates").unwrap();
+        assert_eq!(rs.scalar(), Some(&Value::Int(400)));
+    }
+
+    #[test]
+    fn where_filters_and_orders() {
+        let g = design_graph();
+        let rs = query(
+            &g,
+            "MATCH (m:Module) WHERE m.kind = 'arith' RETURN m.name AS n ORDER BY n",
+        )
+        .unwrap();
+        assert_eq!(names(&rs), vec!["alu", "mac"]);
+    }
+
+    #[test]
+    fn where_numeric_comparison() {
+        let g = design_graph();
+        let rs = query(&g, "MATCH (m:Module) WHERE m.gates >= 600 RETURN m.name AS n ORDER BY n").unwrap();
+        assert_eq!(names(&rs), vec!["mac", "regfile"]);
+    }
+
+    #[test]
+    fn relationship_traversal() {
+        let g = design_graph();
+        let rs = query(
+            &g,
+            "MATCH (d:Design)-[:CONTAINS]->(m:Module {kind: 'memory'}) RETURN m.name",
+        )
+        .unwrap();
+        assert_eq!(names(&rs), vec!["regfile"]);
+    }
+
+    #[test]
+    fn incoming_direction() {
+        let g = design_graph();
+        let rs = query(&g, "MATCH (m:Module)<-[:CONNECTS]-(src:Module) RETURN m.name AS n ORDER BY n").unwrap();
+        assert_eq!(names(&rs), vec!["alu", "mac", "regfile"]);
+    }
+
+    #[test]
+    fn variable_length_path() {
+        let g = design_graph();
+        // ctrl -CONNECTS*-> reachable modules.
+        let rs = query(
+            &g,
+            "MATCH (a:Module {name: 'ctrl'})-[:CONNECTS*1..3]->(b:Module) RETURN b.name AS n ORDER BY n",
+        )
+        .unwrap();
+        assert_eq!(names(&rs), vec!["alu", "mac", "regfile"]);
+        let rs = query(
+            &g,
+            "MATCH (a:Module {name: 'ctrl'})-[:CONNECTS*2..2]->(b:Module) RETURN b.name",
+        )
+        .unwrap();
+        assert_eq!(names(&rs), vec!["mac"]);
+    }
+
+    #[test]
+    fn count_star_aggregates() {
+        let g = design_graph();
+        let rs = query(&g, "MATCH (m:Module) RETURN count(*)").unwrap();
+        assert_eq!(rs.scalar(), Some(&Value::Int(4)));
+    }
+
+    #[test]
+    fn count_star_groups_by_other_items() {
+        let g = design_graph();
+        let rs = query(&g, "MATCH (m:Module) RETURN m.kind AS k, count(*) AS c ORDER BY c DESC").unwrap();
+        assert_eq!(rs.rows[0][0], Value::Str("arith".into()));
+        assert_eq!(rs.rows[0][1], Value::Int(2));
+    }
+
+    #[test]
+    fn count_star_on_empty_match_is_zero() {
+        let g = design_graph();
+        let rs = query(&g, "MATCH (m:Missing) RETURN count(*)").unwrap();
+        assert_eq!(rs.scalar(), Some(&Value::Int(0)));
+    }
+
+    #[test]
+    fn distinct_dedupes() {
+        let g = design_graph();
+        let rs = query(&g, "MATCH (m:Module) RETURN DISTINCT m.kind AS k ORDER BY k").unwrap();
+        assert_eq!(names(&rs), vec!["arith", "control", "memory"]);
+    }
+
+    #[test]
+    fn limit_truncates() {
+        let g = design_graph();
+        let rs = query(&g, "MATCH (m:Module) RETURN m.name AS n ORDER BY n LIMIT 2").unwrap();
+        assert_eq!(names(&rs), vec!["alu", "ctrl"]);
+    }
+
+    #[test]
+    fn string_operators() {
+        let g = design_graph();
+        let rs = query(&g, "MATCH (m:Module) WHERE m.name CONTAINS 'eg' RETURN m.name").unwrap();
+        assert_eq!(names(&rs), vec!["regfile"]);
+        let rs = query(&g, "MATCH (m:Module) WHERE m.name STARTS WITH 'ma' RETURN m.name").unwrap();
+        assert_eq!(names(&rs), vec!["mac"]);
+    }
+
+    #[test]
+    fn shared_variable_joins_patterns() {
+        let g = design_graph();
+        let rs = query(
+            &g,
+            "MATCH (d:Design)-[:CONTAINS]->(m), (x:Module {name: 'ctrl'})-[:CONNECTS]->(m) RETURN m.name",
+        )
+        .unwrap();
+        assert_eq!(names(&rs), vec!["alu"]);
+    }
+
+    #[test]
+    fn unbound_variable_is_an_error() {
+        let g = design_graph();
+        let e = query(&g, "MATCH (m:Module) RETURN ghost.name").unwrap_err();
+        assert!(e.to_string().contains("ghost"));
+    }
+
+    #[test]
+    fn rel_property_accessible() {
+        let g = design_graph();
+        let rs = query(
+            &g,
+            "MATCH (d:Design)-[r:CONTAINS]->(m:Module {name: 'alu'}) RETURN r.inst",
+        )
+        .unwrap();
+        assert_eq!(rs.scalar(), Some(&Value::Str("u".into())));
+    }
+
+    #[test]
+    fn bare_node_returns_name() {
+        let g = design_graph();
+        let rs = query(&g, "MATCH (m:Module {name: 'mac'}) RETURN m").unwrap();
+        assert_eq!(rs.scalar(), Some(&Value::Str("mac".into())));
+    }
+
+    #[test]
+    fn cyclic_shared_node_binding_respected() {
+        let mut g = Graph::new();
+        let a = g.add_node(["N"], [("name", Value::from("a"))]);
+        let b = g.add_node(["N"], [("name", Value::from("b"))]);
+        g.add_rel(a, b, "E", Vec::<(String, Value)>::new());
+        g.add_rel(b, a, "E", Vec::<(String, Value)>::new());
+        // A 2-cycle: (x)->(y)->(x) must bind x consistently.
+        let rs = query(&g, "MATCH (x:N)-[:E]->(y:N)-[:E]->(x) RETURN x.name AS n ORDER BY n").unwrap();
+        assert_eq!(names(&rs), vec!["a", "b"]);
+    }
+}

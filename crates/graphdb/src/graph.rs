@@ -1,0 +1,259 @@
+//! The in-memory property graph store.
+
+use crate::value::Value;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// Node identifier.
+pub type NodeId = u64;
+
+/// Relationship identifier.
+pub type RelId = u64;
+
+/// A labelled node with properties.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Node {
+    /// Stable id.
+    pub id: NodeId,
+    /// Labels (`:Module`, `:Design`, …) without the colon.
+    pub labels: Vec<String>,
+    /// Properties.
+    pub props: HashMap<String, Value>,
+}
+
+impl Node {
+    /// True if the node carries `label`.
+    pub fn has_label(&self, label: &str) -> bool {
+        self.labels.iter().any(|l| l == label)
+    }
+
+    /// Property lookup; missing keys read as [`Value::Null`].
+    pub fn prop(&self, key: &str) -> Value {
+        self.props.get(key).cloned().unwrap_or(Value::Null)
+    }
+}
+
+/// A typed, directed relationship with properties.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Relationship {
+    /// Stable id.
+    pub id: RelId,
+    /// Source node.
+    pub start: NodeId,
+    /// Target node.
+    pub end: NodeId,
+    /// Relationship type (`CONTAINS`, `CONNECTS`, …).
+    pub rel_type: String,
+    /// Properties.
+    pub props: HashMap<String, Value>,
+}
+
+impl Relationship {
+    /// Property lookup; missing keys read as [`Value::Null`].
+    pub fn prop(&self, key: &str) -> Value {
+        self.props.get(key).cloned().unwrap_or(Value::Null)
+    }
+}
+
+/// An in-memory property graph with label and adjacency indexes.
+///
+/// # Examples
+///
+/// ```
+/// use chatls_graphdb::{Graph, Value};
+///
+/// let mut g = Graph::new();
+/// let a = g.add_node(["Module"], [("name", Value::from("alu"))]);
+/// let b = g.add_node(["Module"], [("name", Value::from("regfile"))]);
+/// g.add_rel(a, b, "CONNECTS", Vec::<(&str, Value)>::new());
+/// assert_eq!(g.out_rels(a).count(), 1);
+/// ```
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct Graph {
+    nodes: HashMap<NodeId, Node>,
+    rels: HashMap<RelId, Relationship>,
+    next_node: NodeId,
+    next_rel: RelId,
+    by_label: HashMap<String, Vec<NodeId>>,
+    out_adj: HashMap<NodeId, Vec<RelId>>,
+    in_adj: HashMap<NodeId, Vec<RelId>>,
+}
+
+impl Graph {
+    /// Creates an empty graph.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of nodes.
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Number of relationships.
+    pub fn rel_count(&self) -> usize {
+        self.rels.len()
+    }
+
+    /// Adds a node with labels and properties; returns its id.
+    pub fn add_node<L, P, K>(&mut self, labels: L, props: P) -> NodeId
+    where
+        L: IntoIterator,
+        L::Item: Into<String>,
+        P: IntoIterator<Item = (K, Value)>,
+        K: Into<String>,
+    {
+        let id = self.next_node;
+        self.next_node += 1;
+        let labels: Vec<String> = labels.into_iter().map(Into::into).collect();
+        for l in &labels {
+            self.by_label.entry(l.clone()).or_default().push(id);
+        }
+        let props = props.into_iter().map(|(k, v)| (k.into(), v)).collect();
+        self.nodes.insert(id, Node { id, labels, props });
+        id
+    }
+
+    /// Adds a relationship; returns its id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either endpoint does not exist.
+    pub fn add_rel<P, K>(&mut self, start: NodeId, end: NodeId, rel_type: &str, props: P) -> RelId
+    where
+        P: IntoIterator<Item = (K, Value)>,
+        K: Into<String>,
+    {
+        assert!(self.nodes.contains_key(&start), "start node {start} missing");
+        assert!(self.nodes.contains_key(&end), "end node {end} missing");
+        let id = self.next_rel;
+        self.next_rel += 1;
+        let props = props.into_iter().map(|(k, v)| (k.into(), v)).collect();
+        self.rels.insert(
+            id,
+            Relationship { id, start, end, rel_type: rel_type.to_string(), props },
+        );
+        self.out_adj.entry(start).or_default().push(id);
+        self.in_adj.entry(end).or_default().push(id);
+        id
+    }
+
+    /// Looks up a node.
+    pub fn node(&self, id: NodeId) -> Option<&Node> {
+        self.nodes.get(&id)
+    }
+
+    /// Mutable node lookup (for property updates).
+    pub fn node_mut(&mut self, id: NodeId) -> Option<&mut Node> {
+        self.nodes.get_mut(&id)
+    }
+
+    /// Looks up a relationship.
+    pub fn rel(&self, id: RelId) -> Option<&Relationship> {
+        self.rels.get(&id)
+    }
+
+    /// All nodes in id order.
+    pub fn nodes(&self) -> Vec<&Node> {
+        let mut v: Vec<&Node> = self.nodes.values().collect();
+        v.sort_by_key(|n| n.id);
+        v
+    }
+
+    /// Nodes carrying a label, in id order.
+    pub fn nodes_with_label(&self, label: &str) -> Vec<&Node> {
+        let mut v: Vec<&Node> = self
+            .by_label
+            .get(label)
+            .map(|ids| ids.iter().filter_map(|id| self.nodes.get(id)).collect())
+            .unwrap_or_default();
+        v.sort_by_key(|n| n.id);
+        v
+    }
+
+    /// Outgoing relationships of a node.
+    pub fn out_rels(&self, id: NodeId) -> impl Iterator<Item = &Relationship> {
+        self.out_adj
+            .get(&id)
+            .into_iter()
+            .flatten()
+            .filter_map(move |rid| self.rels.get(rid))
+    }
+
+    /// Incoming relationships of a node.
+    pub fn in_rels(&self, id: NodeId) -> impl Iterator<Item = &Relationship> {
+        self.in_adj
+            .get(&id)
+            .into_iter()
+            .flatten()
+            .filter_map(move |rid| self.rels.get(rid))
+    }
+
+    /// First node with `label` whose property `key` equals `value`.
+    pub fn find(&self, label: &str, key: &str, value: &Value) -> Option<&Node> {
+        self.nodes_with_label(label)
+            .into_iter()
+            .find(|n| n.prop(key).loose_eq(value))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> (Graph, NodeId, NodeId, NodeId) {
+        let mut g = Graph::new();
+        let d = g.add_node(["Design"], [("name", Value::from("soc"))]);
+        let m1 = g.add_node(["Module"], [("name", Value::from("alu")), ("kind", Value::from("arith"))]);
+        let m2 = g.add_node(["Module"], [("name", Value::from("ctrl")), ("kind", Value::from("control"))]);
+        g.add_rel(d, m1, "CONTAINS", [("inst", Value::from("u_alu"))]);
+        g.add_rel(d, m2, "CONTAINS", [("inst", Value::from("u_ctrl"))]);
+        g.add_rel(m2, m1, "CONNECTS", Vec::<(String, Value)>::new());
+        (g, d, m1, m2)
+    }
+
+    #[test]
+    fn counts() {
+        let (g, ..) = sample();
+        assert_eq!(g.node_count(), 3);
+        assert_eq!(g.rel_count(), 3);
+    }
+
+    #[test]
+    fn label_index() {
+        let (g, ..) = sample();
+        assert_eq!(g.nodes_with_label("Module").len(), 2);
+        assert_eq!(g.nodes_with_label("Design").len(), 1);
+        assert!(g.nodes_with_label("Missing").is_empty());
+    }
+
+    #[test]
+    fn adjacency() {
+        let (g, d, m1, m2) = sample();
+        assert_eq!(g.out_rels(d).count(), 2);
+        assert_eq!(g.in_rels(m1).count(), 2);
+        assert_eq!(g.out_rels(m2).count(), 1);
+    }
+
+    #[test]
+    fn find_by_property() {
+        let (g, _, m1, _) = sample();
+        let found = g.find("Module", "name", &Value::from("alu")).unwrap();
+        assert_eq!(found.id, m1);
+        assert!(g.find("Module", "name", &Value::from("nope")).is_none());
+    }
+
+    #[test]
+    fn missing_property_reads_null() {
+        let (g, d, ..) = sample();
+        assert_eq!(g.node(d).unwrap().prop("ghost"), Value::Null);
+    }
+
+    #[test]
+    #[should_panic(expected = "missing")]
+    fn rel_to_missing_node_panics() {
+        let mut g = Graph::new();
+        let a = g.add_node(["A"], Vec::<(String, Value)>::new());
+        g.add_rel(a, 999, "X", Vec::<(String, Value)>::new());
+    }
+}

@@ -1,0 +1,163 @@
+//! Property values stored on graph nodes and relationships.
+
+use serde::{Deserialize, Serialize};
+use std::cmp::Ordering;
+use std::fmt;
+
+/// A property value.
+///
+/// The ordering used by `ORDER BY` compares within the same variant;
+/// mixed-type comparisons order by variant rank (null < bool < int < float <
+/// string), mirroring Neo4j's deterministic total order.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Value {
+    /// Absent / null.
+    Null,
+    /// Boolean.
+    Bool(bool),
+    /// 64-bit signed integer.
+    Int(i64),
+    /// 64-bit float.
+    Float(f64),
+    /// UTF-8 string.
+    Str(String),
+}
+
+impl Value {
+    /// Variant rank for cross-type ordering.
+    fn rank(&self) -> u8 {
+        match self {
+            Value::Null => 0,
+            Value::Bool(_) => 1,
+            Value::Int(_) => 2,
+            Value::Float(_) => 3,
+            Value::Str(_) => 4,
+        }
+    }
+
+    /// Numeric view (ints widen to floats) for arithmetic comparisons.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Int(i) => Some(*i as f64),
+            Value::Float(f) => Some(*f),
+            _ => None,
+        }
+    }
+
+    /// String view.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Truthiness for `WHERE` evaluation: only `Bool(true)` is true.
+    pub fn is_truthy(&self) -> bool {
+        matches!(self, Value::Bool(true))
+    }
+
+    /// Total order used by `ORDER BY`.
+    pub fn total_cmp(&self, other: &Value) -> Ordering {
+        // Numeric cross-comparison first.
+        if let (Some(a), Some(b)) = (self.as_f64(), other.as_f64()) {
+            return a.partial_cmp(&b).unwrap_or(Ordering::Equal);
+        }
+        match (self, other) {
+            (Value::Bool(a), Value::Bool(b)) => a.cmp(b),
+            (Value::Str(a), Value::Str(b)) => a.cmp(b),
+            _ => self.rank().cmp(&other.rank()),
+        }
+    }
+
+    /// Equality used by `=` (ints and floats compare numerically).
+    pub fn loose_eq(&self, other: &Value) -> bool {
+        if let (Some(a), Some(b)) = (self.as_f64(), other.as_f64()) {
+            return a == b;
+        }
+        self == other
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Null => write!(f, "null"),
+            Value::Bool(b) => write!(f, "{b}"),
+            Value::Int(i) => write!(f, "{i}"),
+            Value::Float(x) => write!(f, "{x}"),
+            Value::Str(s) => write!(f, "{s}"),
+        }
+    }
+}
+
+impl From<&str> for Value {
+    fn from(s: &str) -> Self {
+        Value::Str(s.to_string())
+    }
+}
+
+impl From<String> for Value {
+    fn from(s: String) -> Self {
+        Value::Str(s)
+    }
+}
+
+impl From<i64> for Value {
+    fn from(i: i64) -> Self {
+        Value::Int(i)
+    }
+}
+
+impl From<f64> for Value {
+    fn from(f: f64) -> Self {
+        Value::Float(f)
+    }
+}
+
+impl From<bool> for Value {
+    fn from(b: bool) -> Self {
+        Value::Bool(b)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn numeric_cross_type_equality() {
+        assert!(Value::Int(3).loose_eq(&Value::Float(3.0)));
+        assert!(!Value::Int(3).loose_eq(&Value::Float(3.5)));
+    }
+
+    #[test]
+    fn ordering_is_total() {
+        let mut vals = vec![
+            Value::Str("b".into()),
+            Value::Int(2),
+            Value::Null,
+            Value::Float(1.5),
+            Value::Bool(true),
+            Value::Str("a".into()),
+        ];
+        vals.sort_by(|a, b| a.total_cmp(b));
+        assert_eq!(vals[0], Value::Null);
+        assert_eq!(vals.last().unwrap(), &Value::Str("b".into()));
+    }
+
+    #[test]
+    fn truthiness() {
+        assert!(Value::Bool(true).is_truthy());
+        assert!(!Value::Bool(false).is_truthy());
+        assert!(!Value::Int(1).is_truthy());
+        assert!(!Value::Null.is_truthy());
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(Value::from("x").to_string(), "x");
+        assert_eq!(Value::Int(7).to_string(), "7");
+        assert_eq!(Value::Null.to_string(), "null");
+    }
+}

@@ -1,0 +1,30 @@
+//! Liberty-style technology library substrate for the ChatLS reproduction.
+//!
+//! The ChatLS evaluation targets the Nangate 45nm library with the
+//! `5K_heavy_1k` wireload model through Synopsys Design Compiler. This crate
+//! supplies that input side of the flow:
+//!
+//! - [`model`] — cells, pins, linear-model timing arcs, flip-flop specs and
+//!   wireload models (see the module docs for the NLDM simplification).
+//! - [`parser`] — a Liberty-subset parser ([`parse_library`]) tolerant of
+//!   unknown attributes, plus a writer ([`write_library`]) that round-trips.
+//! - [`nangate45`] — the built-in 45nm-class library used by every
+//!   experiment in the workspace.
+//!
+//! # Examples
+//!
+//! ```
+//! let lib = chatls_liberty::nangate45();
+//! let inv = lib.cell("INV_X1").expect("INV_X1 exists");
+//! // Delay grows linearly with load.
+//! assert!(inv.worst_delay(10.0) > inv.worst_delay(1.0));
+//! ```
+
+pub mod model;
+pub mod parser;
+
+mod nangate45;
+
+pub use model::{Cell, FlipFlopSpec, Library, Pin, PinDir, TimingArc, WireLoadModel};
+pub use nangate45::nangate45;
+pub use parser::{parse_library, write_library, ParseLibertyError};

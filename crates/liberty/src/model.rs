@@ -1,0 +1,306 @@
+//! In-memory model of a Liberty-style technology library.
+//!
+//! The model is a deliberate simplification of real Liberty: NLDM lookup
+//! tables are replaced by a **linear delay model** per timing arc,
+//! `delay = intrinsic + drive_resistance × load_capacitance`, which is the
+//! classic synthesis textbook model and preserves the trade-offs the ChatLS
+//! experiments depend on (drive strengths vs. area, fanout vs. delay,
+//! wireload-dominated nets). See DESIGN.md for the substitution rationale.
+//!
+//! Units: time in ns, capacitance in fF, area in µm², resistance in ns/fF.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Direction of a cell pin.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum PinDir {
+    /// Input pin.
+    Input,
+    /// Output pin.
+    Output,
+}
+
+impl fmt::Display for PinDir {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            PinDir::Input => "input",
+            PinDir::Output => "output",
+        })
+    }
+}
+
+/// A timing arc from `related_pin` to the owning output pin.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TimingArc {
+    /// Input pin the arc starts at.
+    pub related_pin: String,
+    /// Fixed delay component in ns.
+    pub intrinsic: f64,
+    /// Load-dependent component in ns/fF.
+    pub drive_resistance: f64,
+}
+
+impl TimingArc {
+    /// Arc delay in ns for the given load capacitance in fF.
+    pub fn delay(&self, load_ff: f64) -> f64 {
+        self.intrinsic + self.drive_resistance * load_ff
+    }
+}
+
+/// A cell pin.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Pin {
+    /// Pin name.
+    pub name: String,
+    /// Direction.
+    pub direction: PinDir,
+    /// Input capacitance in fF (0 for outputs).
+    pub capacitance: f64,
+    /// Boolean function for output pins (informational).
+    pub function: Option<String>,
+    /// Timing arcs terminating at this (output) pin.
+    pub timing: Vec<TimingArc>,
+}
+
+/// Sequential metadata for flip-flop cells.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FlipFlopSpec {
+    /// Clock pin name.
+    pub clock_pin: String,
+    /// Data pin name.
+    pub data_pin: String,
+    /// Output pin name.
+    pub output_pin: String,
+    /// Setup time requirement in ns.
+    pub setup: f64,
+    /// Hold time requirement in ns.
+    pub hold: f64,
+    /// Clock-to-Q delay arc.
+    pub clk_to_q: TimingArc,
+}
+
+/// A library cell.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Cell {
+    /// Cell name, e.g. `NAND2_X2`.
+    pub name: String,
+    /// Area in µm².
+    pub area: f64,
+    /// Leakage power in nW (relative scale).
+    pub leakage: f64,
+    /// Pins.
+    pub pins: Vec<Pin>,
+    /// Present iff the cell is a flip-flop.
+    pub ff: Option<FlipFlopSpec>,
+}
+
+impl Cell {
+    /// Looks up a pin by name.
+    pub fn pin(&self, name: &str) -> Option<&Pin> {
+        self.pins.iter().find(|p| p.name == name)
+    }
+
+    /// The single output pin.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the cell has no output pin (malformed library).
+    pub fn output_pin(&self) -> &Pin {
+        self.pins
+            .iter()
+            .find(|p| p.direction == PinDir::Output)
+            .unwrap_or_else(|| panic!("cell {} has no output pin", self.name))
+    }
+
+    /// Input pins in declaration order.
+    pub fn input_pins(&self) -> impl Iterator<Item = &Pin> {
+        self.pins.iter().filter(|p| p.direction == PinDir::Input)
+    }
+
+    /// Drive strength parsed from a `_X<n>` suffix; 1 when absent.
+    pub fn drive_strength(&self) -> u32 {
+        self.name
+            .rsplit_once("_X")
+            .and_then(|(_, s)| s.parse().ok())
+            .unwrap_or(1)
+    }
+
+    /// Base function name without the drive suffix (`NAND2_X2` → `NAND2`).
+    pub fn base_name(&self) -> &str {
+        self.name.rsplit_once("_X").map(|(b, _)| b).unwrap_or(&self.name)
+    }
+
+    /// Worst-case arc delay from any input to the output for a load.
+    pub fn worst_delay(&self, load_ff: f64) -> f64 {
+        self.pins
+            .iter()
+            .flat_map(|p| &p.timing)
+            .map(|arc| arc.delay(load_ff))
+            .fold(0.0, f64::max)
+    }
+
+    /// True for sequential cells.
+    pub fn is_sequential(&self) -> bool {
+        self.ff.is_some()
+    }
+}
+
+/// A wireload model: estimates wire capacitance from fanout count.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct WireLoadModel {
+    /// Model name, e.g. `5K_heavy_1k`.
+    pub name: String,
+    /// Capacitance per unit length in fF.
+    pub capacitance_per_length: f64,
+    /// Resistance per unit length (informational; folded into delay via cap).
+    pub resistance_per_length: f64,
+    /// Extrapolation slope (length per extra fanout beyond the table).
+    pub slope: f64,
+    /// `(fanout, length)` table, ascending by fanout.
+    pub fanout_length: Vec<(u32, f64)>,
+}
+
+impl WireLoadModel {
+    /// Estimated wire length for a net with `fanout` sinks.
+    ///
+    /// Uses the table where available and linear `slope` extrapolation for
+    /// larger fanouts, matching Liberty semantics.
+    pub fn length(&self, fanout: u32) -> f64 {
+        if self.fanout_length.is_empty() {
+            return self.slope * fanout as f64;
+        }
+        // Exact or interpolated from the table.
+        for window in self.fanout_length.windows(2) {
+            let (f0, l0) = window[0];
+            let (f1, l1) = window[1];
+            if fanout <= f0 {
+                return l0;
+            }
+            if fanout <= f1 {
+                let t = (fanout - f0) as f64 / (f1 - f0) as f64;
+                return l0 + t * (l1 - l0);
+            }
+        }
+        let (fmax, lmax) = *self.fanout_length.last().expect("non-empty");
+        if fanout <= fmax {
+            return lmax;
+        }
+        lmax + self.slope * (fanout - fmax) as f64
+    }
+
+    /// Estimated wire capacitance in fF for a net with `fanout` sinks.
+    pub fn wire_cap(&self, fanout: u32) -> f64 {
+        self.capacitance_per_length * self.length(fanout)
+    }
+}
+
+/// A technology library.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Library {
+    /// Library name.
+    pub name: String,
+    /// Cells.
+    pub cells: Vec<Cell>,
+    /// Wireload models.
+    pub wire_loads: Vec<WireLoadModel>,
+    /// Name of the default wireload model.
+    pub default_wire_load: Option<String>,
+}
+
+impl Library {
+    /// Looks up a cell by exact name.
+    pub fn cell(&self, name: &str) -> Option<&Cell> {
+        self.cells.iter().find(|c| c.name == name)
+    }
+
+    /// Looks up a wireload model by name.
+    pub fn wire_load(&self, name: &str) -> Option<&WireLoadModel> {
+        self.wire_loads.iter().find(|w| w.name == name)
+    }
+
+    /// The default wireload model, if configured and present.
+    pub fn default_wire_load_model(&self) -> Option<&WireLoadModel> {
+        self.default_wire_load.as_deref().and_then(|n| self.wire_load(n))
+    }
+
+    /// All drive variants of a base function, sorted by ascending drive.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// let lib = chatls_liberty::nangate45();
+    /// let invs = lib.variants("INV");
+    /// assert!(invs.len() >= 2);
+    /// assert!(invs[0].drive_strength() < invs[1].drive_strength());
+    /// ```
+    pub fn variants(&self, base: &str) -> Vec<&Cell> {
+        let mut v: Vec<&Cell> = self.cells.iter().filter(|c| c.base_name() == base).collect();
+        v.sort_by_key(|c| c.drive_strength());
+        v
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn wlm() -> WireLoadModel {
+        WireLoadModel {
+            name: "t".into(),
+            capacitance_per_length: 2.0,
+            resistance_per_length: 0.1,
+            slope: 0.5,
+            fanout_length: vec![(1, 1.0), (2, 2.0), (4, 5.0)],
+        }
+    }
+
+    #[test]
+    fn wireload_table_lookup() {
+        let w = wlm();
+        assert_eq!(w.length(1), 1.0);
+        assert_eq!(w.length(2), 2.0);
+        assert_eq!(w.length(4), 5.0);
+    }
+
+    #[test]
+    fn wireload_interpolates() {
+        let w = wlm();
+        assert!((w.length(3) - 3.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn wireload_extrapolates_with_slope() {
+        let w = wlm();
+        assert!((w.length(6) - (5.0 + 0.5 * 2.0)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn wireload_cap_scales_with_length() {
+        let w = wlm();
+        assert!((w.wire_cap(2) - 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn wireload_below_table_clamps() {
+        let mut w = wlm();
+        w.fanout_length = vec![(2, 2.0), (4, 5.0)];
+        assert_eq!(w.length(1), 2.0);
+    }
+
+    #[test]
+    fn arc_delay_is_linear() {
+        let arc = TimingArc { related_pin: "A".into(), intrinsic: 0.01, drive_resistance: 0.005 };
+        assert!((arc.delay(10.0) - 0.06).abs() < 1e-12);
+    }
+
+    #[test]
+    fn drive_strength_parsing() {
+        let c = Cell { name: "NAND2_X4".into(), area: 1.0, leakage: 1.0, pins: vec![], ff: None };
+        assert_eq!(c.drive_strength(), 4);
+        assert_eq!(c.base_name(), "NAND2");
+        let p = Cell { name: "WEIRD".into(), area: 1.0, leakage: 1.0, pins: vec![], ff: None };
+        assert_eq!(p.drive_strength(), 1);
+        assert_eq!(p.base_name(), "WEIRD");
+    }
+}

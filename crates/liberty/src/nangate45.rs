@@ -1,0 +1,281 @@
+//! Built-in 45nm-class technology library.
+//!
+//! A self-contained stand-in for the Nangate 45nm Open Cell Library used in
+//! the ChatLS evaluation. Cell names, area ratios and delay ordering follow
+//! the real library's conventions (`INV_X1` … `DFF_X2`); absolute numbers
+//! are representative, not copied. The `5K_heavy_1k` wireload model named in
+//! the paper is included, alongside a lighter `5K_light_1k` variant used by
+//! ablation experiments.
+
+use crate::model::*;
+
+fn pin_in(name: &str, cap: f64) -> Pin {
+    Pin {
+        name: name.into(),
+        direction: PinDir::Input,
+        capacitance: cap,
+        function: None,
+        timing: Vec::new(),
+    }
+}
+
+fn pin_out(name: &str, function: &str, arcs: Vec<TimingArc>) -> Pin {
+    Pin {
+        name: name.into(),
+        direction: PinDir::Output,
+        capacitance: 0.0,
+        function: Some(function.into()),
+        timing: arcs,
+    }
+}
+
+fn arc(related: &str, intrinsic: f64, resistance: f64) -> TimingArc {
+    TimingArc { related_pin: related.into(), intrinsic, drive_resistance: resistance }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn comb2(
+    name: &str,
+    area: f64,
+    leakage: f64,
+    function: &str,
+    in_cap: f64,
+    intrinsic: f64,
+    resistance: f64,
+) -> Cell {
+    Cell {
+        name: name.into(),
+        area,
+        leakage,
+        pins: vec![
+            pin_in("A1", in_cap),
+            pin_in("A2", in_cap),
+            pin_out(
+                "ZN",
+                function,
+                vec![arc("A1", intrinsic, resistance), arc("A2", intrinsic, resistance)],
+            ),
+        ],
+        ff: None,
+    }
+}
+
+fn comb1(name: &str, area: f64, leakage: f64, function: &str, in_cap: f64, intrinsic: f64, resistance: f64) -> Cell {
+    Cell {
+        name: name.into(),
+        area,
+        leakage,
+        pins: vec![pin_in("A", in_cap), pin_out("ZN", function, vec![arc("A", intrinsic, resistance)])],
+        ff: None,
+    }
+}
+
+fn mux2(name: &str, area: f64, leakage: f64, data_cap: f64, sel_cap: f64, intrinsic: f64, resistance: f64) -> Cell {
+    Cell {
+        name: name.into(),
+        area,
+        leakage,
+        // Pin order matches the netlist Mux input order: [sel, a, b].
+        pins: vec![
+            pin_in("S", sel_cap),
+            pin_in("A", data_cap),
+            pin_in("B", data_cap),
+            pin_out(
+                "Z",
+                "(S & B) | (!S & A)",
+                vec![
+                    arc("S", intrinsic + 0.010, resistance),
+                    arc("A", intrinsic, resistance),
+                    arc("B", intrinsic, resistance),
+                ],
+            ),
+        ],
+        ff: None,
+    }
+}
+
+fn dff(name: &str, area: f64, leakage: f64, d_cap: f64, ck_cap: f64, setup: f64, hold: f64, clk_q_int: f64, clk_q_res: f64) -> Cell {
+    let clk_to_q = arc("CK", clk_q_int, clk_q_res);
+    Cell {
+        name: name.into(),
+        area,
+        leakage,
+        pins: vec![
+            pin_in("D", d_cap),
+            pin_in("CK", ck_cap),
+            pin_out("Q", "IQ", vec![clk_to_q.clone()]),
+        ],
+        ff: Some(FlipFlopSpec {
+            clock_pin: "CK".into(),
+            data_pin: "D".into(),
+            output_pin: "Q".into(),
+            setup,
+            hold,
+            clk_to_q,
+        }),
+    }
+}
+
+/// Builds the built-in 45nm-class library.
+///
+/// # Examples
+///
+/// ```
+/// let lib = chatls_liberty::nangate45();
+/// assert!(lib.cell("INV_X1").is_some());
+/// assert!(lib.wire_load("5K_heavy_1k").is_some());
+/// ```
+pub fn nangate45() -> Library {
+    let cells = vec![
+        comb1("INV_X1", 0.532, 1.1, "!A", 1.0, 0.010, 0.0045),
+        comb1("INV_X2", 0.798, 1.9, "!A", 1.8, 0.010, 0.0024),
+        comb1("INV_X4", 1.330, 3.4, "!A", 3.5, 0.009, 0.0013),
+        {
+            let mut b = comb1("BUF_X1", 0.798, 1.3, "A", 1.0, 0.026, 0.0040);
+            b.pins[1].name = "Z".into();
+            b
+        },
+        {
+            let mut b = comb1("BUF_X2", 1.064, 2.1, "A", 1.7, 0.023, 0.0021);
+            b.pins[1].name = "Z".into();
+            b
+        },
+        {
+            let mut b = comb1("BUF_X4", 1.596, 3.8, "A", 3.2, 0.021, 0.0011);
+            b.pins[1].name = "Z".into();
+            b
+        },
+        {
+            let mut b = comb1("BUF_X8", 2.660, 7.0, "A", 6.2, 0.020, 0.0006);
+            b.pins[1].name = "Z".into();
+            b
+        },
+        comb2("AND2_X1", 1.064, 1.8, "A1 & A2", 1.0, 0.036, 0.0045),
+        comb2("AND2_X2", 1.330, 2.9, "A1 & A2", 1.8, 0.033, 0.0023),
+        comb2("AND2_X4", 2.128, 5.2, "A1 & A2", 3.4, 0.031, 0.0012),
+        comb2("OR2_X1", 1.064, 1.8, "A1 | A2", 1.0, 0.040, 0.0045),
+        comb2("OR2_X2", 1.330, 2.9, "A1 | A2", 1.8, 0.037, 0.0023),
+        comb2("OR2_X4", 2.128, 5.2, "A1 | A2", 3.4, 0.034, 0.0012),
+        comb2("NAND2_X1", 0.798, 1.5, "!(A1 & A2)", 1.0, 0.023, 0.0042),
+        comb2("NAND2_X2", 1.064, 2.6, "!(A1 & A2)", 1.8, 0.021, 0.0022),
+        comb2("NOR2_X1", 0.798, 1.5, "!(A1 | A2)", 1.0, 0.027, 0.0048),
+        comb2("NOR2_X2", 1.064, 2.6, "!(A1 | A2)", 1.8, 0.024, 0.0025),
+        comb2("XOR2_X1", 1.596, 2.6, "A1 ^ A2", 1.8, 0.052, 0.0050),
+        comb2("XOR2_X2", 2.128, 4.3, "A1 ^ A2", 3.2, 0.048, 0.0026),
+        comb2("XNOR2_X1", 1.596, 2.6, "!(A1 ^ A2)", 1.8, 0.050, 0.0050),
+        comb2("XNOR2_X2", 2.128, 4.3, "!(A1 ^ A2)", 3.2, 0.046, 0.0026),
+        mux2("MUX2_X1", 1.862, 2.9, 1.2, 1.6, 0.056, 0.0048),
+        mux2("MUX2_X2", 2.394, 4.6, 2.1, 2.8, 0.052, 0.0025),
+        dff("DFF_X1", 4.522, 4.2, 1.1, 0.8, 0.050, 0.010, 0.092, 0.0045),
+        dff("DFF_X2", 5.054, 6.1, 1.9, 1.2, 0.045, 0.010, 0.086, 0.0024),
+    ];
+    let heavy = WireLoadModel {
+        name: "5K_heavy_1k".into(),
+        capacitance_per_length: 1.4,
+        resistance_per_length: 0.05,
+        slope: 3.0,
+        fanout_length: vec![
+            (1, 1.0),
+            (2, 2.2),
+            (3, 3.5),
+            (4, 5.0),
+            (5, 6.7),
+            (6, 8.5),
+            (8, 12.5),
+            (10, 17.0),
+            (12, 22.0),
+            (16, 33.0),
+            (20, 45.0),
+        ],
+    };
+    let light = WireLoadModel {
+        name: "5K_light_1k".into(),
+        capacitance_per_length: 0.8,
+        resistance_per_length: 0.02,
+        slope: 1.2,
+        fanout_length: vec![(1, 0.6), (2, 1.3), (4, 2.8), (8, 6.0), (16, 13.0)],
+    };
+    Library {
+        name: "nangate45_sim".into(),
+        cells,
+        wire_loads: vec![heavy, light],
+        default_wire_load: Some("5K_heavy_1k".into()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::{parse_library, write_library};
+
+    #[test]
+    fn library_has_all_primitive_bases() {
+        let lib = nangate45();
+        for base in ["INV", "BUF", "AND2", "OR2", "XOR2", "MUX2", "DFF", "NAND2", "NOR2"] {
+            assert!(!lib.variants(base).is_empty(), "missing {base}");
+        }
+    }
+
+    #[test]
+    fn higher_drive_has_lower_resistance_and_more_area() {
+        let lib = nangate45();
+        for base in ["INV", "BUF", "AND2", "OR2", "XOR2", "MUX2", "DFF"] {
+            let v = lib.variants(base);
+            for pair in v.windows(2) {
+                assert!(pair[0].area < pair[1].area, "{base}: area must grow with drive");
+                let r0 = pair[0].output_pin().timing[0].drive_resistance;
+                let r1 = pair[1].output_pin().timing[0].drive_resistance;
+                assert!(r0 > r1, "{base}: resistance must fall with drive");
+                let c0 = pair[0].input_pins().next().unwrap().capacitance;
+                let c1 = pair[1].input_pins().next().unwrap().capacitance;
+                assert!(c0 < c1, "{base}: input cap must grow with drive");
+            }
+        }
+    }
+
+    #[test]
+    fn dff_metadata_consistent() {
+        let lib = nangate45();
+        let d = lib.cell("DFF_X1").unwrap();
+        let ff = d.ff.as_ref().unwrap();
+        assert_eq!(ff.data_pin, "D");
+        assert_eq!(ff.output_pin, "Q");
+        assert!(ff.setup > 0.0 && ff.hold > 0.0);
+    }
+
+    #[test]
+    fn heavy_wireload_heavier_than_light() {
+        let lib = nangate45();
+        let heavy = lib.wire_load("5K_heavy_1k").unwrap();
+        let light = lib.wire_load("5K_light_1k").unwrap();
+        for f in [1u32, 4, 10, 30] {
+            assert!(heavy.wire_cap(f) > light.wire_cap(f), "fanout {f}");
+        }
+    }
+
+    #[test]
+    fn default_wireload_is_heavy() {
+        let lib = nangate45();
+        assert_eq!(lib.default_wire_load_model().unwrap().name, "5K_heavy_1k");
+    }
+
+    #[test]
+    fn builtin_library_roundtrips_liberty_text() {
+        let lib1 = nangate45();
+        let text = write_library(&lib1);
+        let lib2 = parse_library(&text).unwrap();
+        assert_eq!(lib1, lib2);
+    }
+
+    #[test]
+    fn wire_cap_monotonic_in_fanout() {
+        let lib = nangate45();
+        let w = lib.default_wire_load_model().unwrap();
+        let mut prev = 0.0;
+        for f in 1..50u32 {
+            let c = w.wire_cap(f);
+            assert!(c >= prev, "fanout {f}: {c} < {prev}");
+            prev = c;
+        }
+    }
+}

@@ -1,0 +1,552 @@
+//! Parser and writer for the Liberty-style subset used by this workspace.
+//!
+//! The grammar is the generic Liberty group/attribute syntax:
+//!
+//! ```text
+//! group_name (arg, …) {
+//!     attribute : value;
+//!     complex_attribute (v1, v2, …);
+//!     nested_group (…) { … }
+//! }
+//! ```
+//!
+//! [`parse_library`] interprets the groups this workspace uses (`library`,
+//! `cell`, `pin`, `timing`, `ff`, `wire_load`) and ignores unknown
+//! attributes, so real Nangate-flavoured snippets parse without error.
+//! [`write_library`] regenerates text that round-trips through the parser.
+
+use crate::model::*;
+use std::error::Error;
+use std::fmt;
+use std::fmt::Write as _;
+
+/// Error produced while parsing Liberty text.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseLibertyError {
+    /// Byte offset of the error.
+    pub offset: usize,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl fmt::Display for ParseLibertyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "liberty parse error at byte {}: {}", self.offset, self.message)
+    }
+}
+
+impl Error for ParseLibertyError {}
+
+/// Generic parsed Liberty group.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Group {
+    /// Group keyword (`library`, `cell`, …).
+    pub kind: String,
+    /// Arguments in the parentheses (quotes stripped).
+    pub args: Vec<String>,
+    /// `name : value;` simple attributes.
+    pub attributes: Vec<(String, String)>,
+    /// `name (v1, v2, …);` complex attributes.
+    pub complex: Vec<(String, Vec<String>)>,
+    /// Nested groups.
+    pub groups: Vec<Group>,
+}
+
+impl Group {
+    /// First simple attribute with the given name.
+    pub fn attr(&self, name: &str) -> Option<&str> {
+        self.attributes.iter().find(|(n, _)| n == name).map(|(_, v)| v.as_str())
+    }
+
+    /// First simple attribute parsed as `f64`.
+    pub fn attr_f64(&self, name: &str) -> Option<f64> {
+        self.attr(name).and_then(|v| v.parse().ok())
+    }
+
+    /// Nested groups of a given kind.
+    pub fn groups_of<'a>(&'a self, kind: &'a str) -> impl Iterator<Item = &'a Group> + 'a {
+        self.groups.iter().filter(move |g| g.kind == kind)
+    }
+}
+
+struct Cursor<'a> {
+    src: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn err(&self, message: impl Into<String>) -> ParseLibertyError {
+        ParseLibertyError { offset: self.pos, message: message.into() }
+    }
+
+    fn skip_ws(&mut self) {
+        while self.pos < self.src.len() {
+            let c = self.src[self.pos] as char;
+            if c.is_whitespace() {
+                self.pos += 1;
+            } else if c == '/' && self.src.get(self.pos + 1) == Some(&b'*') {
+                self.pos += 2;
+                while self.pos + 1 < self.src.len()
+                    && !(self.src[self.pos] == b'*' && self.src[self.pos + 1] == b'/')
+                {
+                    self.pos += 1;
+                }
+                self.pos = (self.pos + 2).min(self.src.len());
+            } else if c == '/' && self.src.get(self.pos + 1) == Some(&b'/') {
+                while self.pos < self.src.len() && self.src[self.pos] != b'\n' {
+                    self.pos += 1;
+                }
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn peek(&self) -> Option<char> {
+        self.src.get(self.pos).map(|&b| b as char)
+    }
+
+    fn eat(&mut self, c: char) -> bool {
+        if self.peek() == Some(c) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn ident(&mut self) -> Result<String, ParseLibertyError> {
+        self.skip_ws();
+        let start = self.pos;
+        while self.pos < self.src.len() {
+            let c = self.src[self.pos] as char;
+            if c.is_ascii_alphanumeric() || c == '_' || c == '.' || c == '-' || c == '+' {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+        if self.pos == start {
+            return Err(self.err("expected identifier"));
+        }
+        Ok(String::from_utf8_lossy(&self.src[start..self.pos]).into_owned())
+    }
+
+    /// Reads a value up to `;` or `)` — bare or quoted.
+    fn value(&mut self, stop: &[char]) -> Result<String, ParseLibertyError> {
+        self.skip_ws();
+        if self.eat('"') {
+            let start = self.pos;
+            while self.pos < self.src.len() && self.src[self.pos] != b'"' {
+                self.pos += 1;
+            }
+            if self.pos >= self.src.len() {
+                return Err(self.err("unterminated string"));
+            }
+            let s = String::from_utf8_lossy(&self.src[start..self.pos]).into_owned();
+            self.pos += 1;
+            return Ok(s);
+        }
+        let start = self.pos;
+        while self.pos < self.src.len() {
+            let c = self.src[self.pos] as char;
+            if stop.contains(&c) {
+                break;
+            }
+            self.pos += 1;
+        }
+        Ok(String::from_utf8_lossy(&self.src[start..self.pos]).trim().to_string())
+    }
+
+    fn group(&mut self, kind: String) -> Result<Group, ParseLibertyError> {
+        // Caller consumed the kind identifier; we are at '('.
+        self.skip_ws();
+        if !self.eat('(') {
+            return Err(self.err(format!("expected '(' after group keyword '{kind}'")));
+        }
+        let mut args = Vec::new();
+        loop {
+            self.skip_ws();
+            if self.eat(')') {
+                break;
+            }
+            let v = self.value(&[',', ')'])?;
+            if !v.is_empty() {
+                args.push(v);
+            }
+            self.skip_ws();
+            self.eat(',');
+        }
+        self.skip_ws();
+        if !self.eat('{') {
+            return Err(self.err(format!("expected '{{' to open group '{kind}'")));
+        }
+        let mut group =
+            Group { kind, args, attributes: Vec::new(), complex: Vec::new(), groups: Vec::new() };
+        loop {
+            self.skip_ws();
+            if self.eat('}') {
+                break;
+            }
+            if self.pos >= self.src.len() {
+                return Err(self.err("unexpected end of input inside group"));
+            }
+            let name = self.ident()?;
+            self.skip_ws();
+            match self.peek() {
+                Some(':') => {
+                    self.pos += 1;
+                    let v = self.value(&[';', '\n'])?;
+                    self.skip_ws();
+                    self.eat(';');
+                    group.attributes.push((name, v));
+                }
+                Some('(') => {
+                    // Complex attribute or nested group — decide by what
+                    // follows the closing paren.
+                    let save = self.pos;
+                    self.pos += 1;
+                    let mut vals = Vec::new();
+                    loop {
+                        self.skip_ws();
+                        if self.eat(')') {
+                            break;
+                        }
+                        let v = self.value(&[',', ')'])?;
+                        if !v.is_empty() {
+                            vals.push(v);
+                        }
+                        self.skip_ws();
+                        self.eat(',');
+                    }
+                    self.skip_ws();
+                    if self.peek() == Some('{') {
+                        self.pos = save;
+                        group.groups.push(self.group(name)?);
+                    } else {
+                        self.eat(';');
+                        group.complex.push((name, vals));
+                    }
+                }
+                other => {
+                    return Err(self.err(format!(
+                        "expected ':' or '(' after '{name}', found {other:?}"
+                    )))
+                }
+            }
+        }
+        Ok(group)
+    }
+}
+
+/// Parses Liberty text into a generic [`Group`] tree.
+///
+/// # Errors
+///
+/// Returns [`ParseLibertyError`] on malformed syntax.
+pub fn parse_groups(src: &str) -> Result<Group, ParseLibertyError> {
+    let mut c = Cursor { src: src.as_bytes(), pos: 0 };
+    c.skip_ws();
+    let kind = c.ident()?;
+    let g = c.group(kind)?;
+    c.skip_ws();
+    if c.pos < c.src.len() {
+        return Err(c.err("trailing input after top-level group"));
+    }
+    Ok(g)
+}
+
+/// Parses Liberty text into a [`Library`].
+///
+/// Unknown groups and attributes are ignored, so larger real-world library
+/// files parse as long as their syntax is standard.
+///
+/// # Errors
+///
+/// Returns [`ParseLibertyError`] on malformed syntax or when the top-level
+/// group is not `library`.
+pub fn parse_library(src: &str) -> Result<Library, ParseLibertyError> {
+    let root = parse_groups(src)?;
+    if root.kind != "library" {
+        return Err(ParseLibertyError {
+            offset: 0,
+            message: format!("expected top-level 'library' group, found '{}'", root.kind),
+        });
+    }
+    let mut lib = Library {
+        name: root.args.first().cloned().unwrap_or_default(),
+        cells: Vec::new(),
+        wire_loads: Vec::new(),
+        default_wire_load: root.attr("default_wire_load").map(str::to_string),
+    };
+    for wl in root.groups_of("wire_load") {
+        let mut fanout_length = Vec::new();
+        for (name, vals) in &wl.complex {
+            if name == "fanout_length" && vals.len() == 2 {
+                if let (Ok(f), Ok(l)) = (vals[0].parse::<u32>(), vals[1].parse::<f64>()) {
+                    fanout_length.push((f, l));
+                }
+            }
+        }
+        fanout_length.sort_by_key(|&(f, _)| f);
+        lib.wire_loads.push(WireLoadModel {
+            name: wl.args.first().cloned().unwrap_or_default(),
+            capacitance_per_length: wl.attr_f64("capacitance").unwrap_or(0.0),
+            resistance_per_length: wl.attr_f64("resistance").unwrap_or(0.0),
+            slope: wl.attr_f64("slope").unwrap_or(0.0),
+            fanout_length,
+        });
+    }
+    for cg in root.groups_of("cell") {
+        let mut cell = Cell {
+            name: cg.args.first().cloned().unwrap_or_default(),
+            area: cg.attr_f64("area").unwrap_or(0.0),
+            leakage: cg.attr_f64("cell_leakage_power").unwrap_or(0.0),
+            pins: Vec::new(),
+            ff: None,
+        };
+        let mut ff_pins: Option<(String, String)> = None;
+        for fg in cg.groups_of("ff") {
+            ff_pins = Some((
+                fg.attr("clocked_on").unwrap_or("CK").trim_matches('"').to_string(),
+                fg.attr("next_state").unwrap_or("D").trim_matches('"').to_string(),
+            ));
+        }
+        let mut setup = 0.0;
+        let mut hold = 0.0;
+        let mut clk_to_q: Option<TimingArc> = None;
+        let mut output_pin_name = String::new();
+        for pg in cg.groups_of("pin") {
+            let dir = match pg.attr("direction") {
+                Some("output") => PinDir::Output,
+                _ => PinDir::Input,
+            };
+            let mut pin = Pin {
+                name: pg.args.first().cloned().unwrap_or_default(),
+                direction: dir,
+                capacitance: pg.attr_f64("capacitance").unwrap_or(0.0),
+                function: pg.attr("function").map(str::to_string),
+                timing: Vec::new(),
+            };
+            for tg in pg.groups_of("timing") {
+                let arc = TimingArc {
+                    related_pin: tg.attr("related_pin").unwrap_or_default().trim_matches('"').to_string(),
+                    intrinsic: tg.attr_f64("intrinsic_delay").unwrap_or(0.0),
+                    drive_resistance: tg.attr_f64("drive_resistance").unwrap_or(0.0),
+                };
+                if tg.attr("timing_type") == Some("rising_edge") {
+                    clk_to_q = Some(arc.clone());
+                }
+                if let Some(s) = tg.attr_f64("setup") {
+                    setup = s;
+                }
+                if let Some(h) = tg.attr_f64("hold") {
+                    hold = h;
+                }
+                pin.timing.push(arc);
+            }
+            if dir == PinDir::Output {
+                output_pin_name = pin.name.clone();
+            }
+            cell.pins.push(pin);
+        }
+        if let Some((clock_pin, data_pin)) = ff_pins {
+            cell.ff = Some(FlipFlopSpec {
+                clock_pin,
+                data_pin,
+                output_pin: output_pin_name.clone(),
+                setup,
+                hold,
+                clk_to_q: clk_to_q.unwrap_or(TimingArc {
+                    related_pin: "CK".into(),
+                    intrinsic: 0.1,
+                    drive_resistance: 0.005,
+                }),
+            });
+        }
+        lib.cells.push(cell);
+    }
+    Ok(lib)
+}
+
+/// Serializes a [`Library`] back to Liberty text that round-trips through
+/// [`parse_library`].
+pub fn write_library(lib: &Library) -> String {
+    let mut s = String::new();
+    writeln!(s, "library ({}) {{", lib.name).unwrap();
+    writeln!(s, "  time_unit : \"1ns\";").unwrap();
+    writeln!(s, "  capacitive_load_unit : \"1fF\";").unwrap();
+    if let Some(d) = &lib.default_wire_load {
+        writeln!(s, "  default_wire_load : {d};").unwrap();
+    }
+    for w in &lib.wire_loads {
+        writeln!(s, "  wire_load ({}) {{", w.name).unwrap();
+        writeln!(s, "    capacitance : {};", w.capacitance_per_length).unwrap();
+        writeln!(s, "    resistance : {};", w.resistance_per_length).unwrap();
+        writeln!(s, "    slope : {};", w.slope).unwrap();
+        for (f, l) in &w.fanout_length {
+            writeln!(s, "    fanout_length ({f}, {l});").unwrap();
+        }
+        writeln!(s, "  }}").unwrap();
+    }
+    for c in &lib.cells {
+        writeln!(s, "  cell ({}) {{", c.name).unwrap();
+        writeln!(s, "    area : {};", c.area).unwrap();
+        writeln!(s, "    cell_leakage_power : {};", c.leakage).unwrap();
+        if let Some(ff) = &c.ff {
+            writeln!(s, "    ff (IQ) {{").unwrap();
+            writeln!(s, "      clocked_on : \"{}\";", ff.clock_pin).unwrap();
+            writeln!(s, "      next_state : \"{}\";", ff.data_pin).unwrap();
+            writeln!(s, "    }}").unwrap();
+        }
+        for p in &c.pins {
+            writeln!(s, "    pin ({}) {{", p.name).unwrap();
+            writeln!(s, "      direction : {};", p.direction).unwrap();
+            if p.direction == PinDir::Input {
+                writeln!(s, "      capacitance : {};", p.capacitance).unwrap();
+            }
+            if let Some(f) = &p.function {
+                writeln!(s, "      function : \"{f}\";").unwrap();
+            }
+            for arc in &p.timing {
+                writeln!(s, "      timing () {{").unwrap();
+                writeln!(s, "        related_pin : \"{}\";", arc.related_pin).unwrap();
+                if let Some(ff) = &c.ff {
+                    if arc.related_pin == ff.clock_pin {
+                        writeln!(s, "        timing_type : rising_edge;").unwrap();
+                        writeln!(s, "        setup : {};", ff.setup).unwrap();
+                        writeln!(s, "        hold : {};", ff.hold).unwrap();
+                    }
+                }
+                writeln!(s, "        intrinsic_delay : {};", arc.intrinsic).unwrap();
+                writeln!(s, "        drive_resistance : {};", arc.drive_resistance).unwrap();
+                writeln!(s, "      }}").unwrap();
+            }
+            writeln!(s, "    }}").unwrap();
+        }
+        writeln!(s, "  }}").unwrap();
+    }
+    writeln!(s, "}}").unwrap();
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SAMPLE: &str = r#"
+    /* sample library */
+    library (demo) {
+      time_unit : "1ns";
+      default_wire_load : small;
+      wire_load (small) {
+        capacitance : 1.5;
+        resistance : 0.01;
+        slope : 0.3;
+        fanout_length (1, 0.002);
+        fanout_length (2, 0.004);
+      }
+      cell (INV_X1) {
+        area : 0.532;
+        cell_leakage_power : 1.1;
+        pin (A) { direction : input; capacitance : 1.0; }
+        pin (ZN) {
+          direction : output;
+          function : "!A";
+          timing () {
+            related_pin : "A";
+            intrinsic_delay : 0.012;
+            drive_resistance : 0.006;
+          }
+        }
+      }
+      cell (DFF_X1) {
+        area : 4.522;
+        cell_leakage_power : 4.0;
+        ff (IQ) { clocked_on : "CK"; next_state : "D"; }
+        pin (D) { direction : input; capacitance : 1.1; }
+        pin (CK) { direction : input; capacitance : 0.8; }
+        pin (Q) {
+          direction : output;
+          timing () {
+            related_pin : "CK";
+            timing_type : rising_edge;
+            setup : 0.05;
+            hold : 0.01;
+            intrinsic_delay : 0.09;
+            drive_resistance : 0.005;
+          }
+        }
+      }
+    }"#;
+
+    #[test]
+    fn parses_sample_library() {
+        let lib = parse_library(SAMPLE).unwrap();
+        assert_eq!(lib.name, "demo");
+        assert_eq!(lib.cells.len(), 2);
+        assert_eq!(lib.default_wire_load.as_deref(), Some("small"));
+        let inv = lib.cell("INV_X1").unwrap();
+        assert!((inv.area - 0.532).abs() < 1e-9);
+        assert_eq!(inv.output_pin().name, "ZN");
+        assert_eq!(inv.pin("A").unwrap().capacitance, 1.0);
+    }
+
+    #[test]
+    fn parses_flip_flop_metadata() {
+        let lib = parse_library(SAMPLE).unwrap();
+        let dff = lib.cell("DFF_X1").unwrap();
+        let ff = dff.ff.as_ref().unwrap();
+        assert_eq!(ff.clock_pin, "CK");
+        assert_eq!(ff.data_pin, "D");
+        assert_eq!(ff.output_pin, "Q");
+        assert!((ff.setup - 0.05).abs() < 1e-9);
+        assert!((ff.clk_to_q.intrinsic - 0.09).abs() < 1e-9);
+    }
+
+    #[test]
+    fn parses_wireload() {
+        let lib = parse_library(SAMPLE).unwrap();
+        let w = lib.wire_load("small").unwrap();
+        assert_eq!(w.fanout_length.len(), 2);
+        assert!((w.wire_cap(1) - 0.003).abs() < 1e-9);
+    }
+
+    #[test]
+    fn roundtrips_through_writer() {
+        let lib1 = parse_library(SAMPLE).unwrap();
+        let text = write_library(&lib1);
+        let lib2 = parse_library(&text).unwrap_or_else(|e| panic!("{e}\n{text}"));
+        assert_eq!(lib1, lib2);
+    }
+
+    #[test]
+    fn rejects_non_library_root() {
+        assert!(parse_library("cell (X) { }").is_err());
+    }
+
+    #[test]
+    fn error_reports_offset() {
+        let e = parse_library("library (x) { pin }").unwrap_err();
+        assert!(e.offset > 0);
+        assert!(!e.message.is_empty());
+    }
+
+    #[test]
+    fn ignores_unknown_attributes() {
+        let src = r#"library (x) {
+            nom_voltage : 1.1;
+            operating_conditions (typical) { process : 1; }
+            cell (BUF_X1) {
+                area : 0.8;
+                dont_touch : true;
+                pin (A) { direction : input; capacitance : 1.0; }
+                pin (Z) { direction : output; function : "A";
+                    timing () { related_pin : "A"; intrinsic_delay : 0.02; drive_resistance : 0.004; }
+                }
+            }
+        }"#;
+        let lib = parse_library(src).unwrap();
+        assert_eq!(lib.cells.len(), 1);
+    }
+}

@@ -1,0 +1,309 @@
+//! A technology-mapped design: gate netlist + library cell assignment.
+
+use chatls_liberty::{Library, PinDir};
+use chatls_verilog::netlist::{GateKind, Netlist};
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use std::error::Error;
+use std::fmt;
+
+/// Error produced by mapping or optimization passes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SynthesisError {
+    /// Description.
+    pub message: String,
+}
+
+impl fmt::Display for SynthesisError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "synthesis error: {}", self.message)
+    }
+}
+
+impl Error for SynthesisError {}
+
+pub(crate) fn serr(m: impl Into<String>) -> SynthesisError {
+    SynthesisError { message: m.into() }
+}
+
+/// Library cell base name for each primitive gate kind; `None` for
+/// zero-area pseudo-cells (constants).
+pub fn base_cell_for(kind: GateKind) -> Option<&'static str> {
+    match kind {
+        GateKind::Const0 | GateKind::Const1 => None,
+        GateKind::Buf => Some("BUF"),
+        GateKind::Not => Some("INV"),
+        GateKind::And => Some("AND2"),
+        GateKind::Or => Some("OR2"),
+        GateKind::Xor => Some("XOR2"),
+        GateKind::Nand => Some("NAND2"),
+        GateKind::Nor => Some("NOR2"),
+        GateKind::Xnor => Some("XNOR2"),
+        GateKind::Mux => Some("MUX2"),
+        GateKind::Dff => Some("DFF"),
+    }
+}
+
+/// A mapped design: the netlist plus a library cell per gate.
+///
+/// `cells[i]` names the library cell implementing `netlist.gates[i]`
+/// (empty string for constants). Optimization passes mutate both in lock
+/// step; [`MappedDesign::compact`] removes tombstoned gates.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MappedDesign {
+    /// The gate-level netlist.
+    pub netlist: Netlist,
+    /// Cell assignment per gate (parallel to `netlist.gates`).
+    pub cells: Vec<String>,
+    /// Tombstones: dead gates awaiting [`MappedDesign::compact`].
+    dead: Vec<bool>,
+}
+
+impl MappedDesign {
+    /// Maps every gate onto the lowest-drive variant of its base cell.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SynthesisError`] if the library lacks a needed base cell.
+    pub fn map(netlist: Netlist, library: &Library) -> Result<Self, SynthesisError> {
+        let mut cells = Vec::with_capacity(netlist.gates.len());
+        for gate in &netlist.gates {
+            match base_cell_for(gate.kind) {
+                None => cells.push(String::new()),
+                Some(base) => {
+                    let variants = library.variants(base);
+                    let cell = variants.first().ok_or_else(|| {
+                        serr(format!("library has no cell for base '{base}'"))
+                    })?;
+                    cells.push(cell.name.clone());
+                }
+            }
+        }
+        let dead = vec![false; netlist.gates.len()];
+        Ok(Self { netlist, cells, dead })
+    }
+
+    /// Number of live gates.
+    pub fn live_gates(&self) -> usize {
+        self.dead.iter().filter(|&&d| !d).count()
+    }
+
+    /// True if gate `i` is tombstoned.
+    pub fn is_dead(&self, i: usize) -> bool {
+        self.dead[i]
+    }
+
+    /// Tombstones gate `i`.
+    pub fn kill(&mut self, i: usize) {
+        self.dead[i] = true;
+    }
+
+    /// Appends a gate with a cell assignment; returns its index.
+    pub fn push_gate(&mut self, gate: chatls_verilog::netlist::Gate, cell: String) -> usize {
+        self.netlist.gates.push(gate);
+        self.cells.push(cell);
+        self.dead.push(false);
+        self.netlist.gates.len() - 1
+    }
+
+    /// Total cell area in µm² (live gates only).
+    pub fn area(&self, library: &Library) -> f64 {
+        self.netlist
+            .gates
+            .iter()
+            .zip(&self.cells)
+            .zip(&self.dead)
+            .filter(|(_, &dead)| !dead)
+            .map(|((_, cell), _)| library.cell(cell).map(|c| c.area).unwrap_or(0.0))
+            .sum()
+    }
+
+    /// Total leakage power (relative units, live gates only).
+    pub fn leakage(&self, library: &Library) -> f64 {
+        self.netlist
+            .gates
+            .iter()
+            .zip(&self.cells)
+            .zip(&self.dead)
+            .filter(|(_, &dead)| !dead)
+            .map(|((_, cell), _)| library.cell(cell).map(|c| c.leakage).unwrap_or(0.0))
+            .sum()
+    }
+
+    /// Removes tombstoned gates, keeping nets untouched.
+    pub fn compact(&mut self) {
+        let mut gates = Vec::with_capacity(self.live_gates());
+        let mut cells = Vec::with_capacity(self.live_gates());
+        for ((gate, cell), &dead) in
+            self.netlist.gates.drain(..).zip(self.cells.drain(..)).zip(&self.dead)
+        {
+            if !dead {
+                gates.push(gate);
+                cells.push(cell);
+            }
+        }
+        self.netlist.gates = gates;
+        self.cells = cells;
+        self.dead = vec![false; self.netlist.gates.len()];
+    }
+
+    /// Map from net id to the (live) gate index driving it.
+    pub fn driver_map(&self) -> Vec<Option<usize>> {
+        let mut map = vec![None; self.netlist.nets.len()];
+        for (i, g) in self.netlist.gates.iter().enumerate() {
+            if !self.dead[i] {
+                map[g.output as usize] = Some(i);
+            }
+        }
+        map
+    }
+
+    /// Map from net id to `(gate index, input pin position)` of live sinks.
+    pub fn sink_map(&self) -> Vec<Vec<(usize, usize)>> {
+        let mut map = vec![Vec::new(); self.netlist.nets.len()];
+        for (i, g) in self.netlist.gates.iter().enumerate() {
+            if self.dead[i] {
+                continue;
+            }
+            for (pin, &inp) in g.inputs.iter().enumerate() {
+                map[inp as usize].push((i, pin));
+            }
+        }
+        map
+    }
+
+    /// Per-net load in fF: sink pin capacitances plus wireload.
+    ///
+    /// `wire_load` may be `None` to model ideal wires.
+    pub fn net_loads(&self, library: &Library, wire_load: Option<&str>) -> Vec<f64> {
+        let wlm = wire_load.and_then(|w| library.wire_load(w));
+        let sinks = self.sink_map();
+        let primary_out: HashMap<u32, usize> = self
+            .netlist
+            .outputs
+            .iter()
+            .enumerate()
+            .map(|(i, (_, id))| (*id, i))
+            .collect();
+        let mut loads = vec![0.0f64; self.netlist.nets.len()];
+        for (net, net_sinks) in sinks.iter().enumerate() {
+            let mut cap = 0.0;
+            let mut fanout = 0u32;
+            for &(gi, pin) in net_sinks {
+                fanout += 1;
+                let cell_name = &self.cells[gi];
+                if cell_name.is_empty() {
+                    continue;
+                }
+                if let Some(cell) = library.cell(cell_name) {
+                    let input_pins: Vec<&chatls_liberty::Pin> =
+                        cell.pins.iter().filter(|p| p.direction == PinDir::Input).collect();
+                    // DFF data pin is inputs[0]; clock pin load is implicit.
+                    if let Some(p) = input_pins.get(pin) {
+                        cap += p.capacitance;
+                    } else if let Some(p) = input_pins.first() {
+                        cap += p.capacitance;
+                    }
+                }
+            }
+            // A primary output adds one standard load.
+            if primary_out.contains_key(&(net as u32)) {
+                fanout += 1;
+                cap += 2.0;
+            }
+            if let Some(w) = wlm {
+                if fanout > 0 {
+                    cap += w.wire_cap(fanout);
+                }
+            }
+            loads[net] = cap;
+        }
+        loads
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use chatls_liberty::nangate45;
+    use chatls_verilog::{lower_to_netlist, parse};
+
+    fn small() -> MappedDesign {
+        let sf = parse(
+            "module m(input a, b, clk, output reg q);
+                wire w;
+                assign w = a ^ b;
+                always @(posedge clk) q <= w;
+            endmodule",
+        )
+        .unwrap();
+        let nl = lower_to_netlist(&sf, "m").unwrap();
+        MappedDesign::map(nl, &nangate45()).unwrap()
+    }
+
+    #[test]
+    fn maps_to_x1_variants() {
+        let d = small();
+        assert!(d.cells.iter().all(|c| c.is_empty() || c.ends_with("_X1")));
+        assert!(d.cells.iter().any(|c| c == "XOR2_X1"));
+        assert!(d.cells.iter().any(|c| c == "DFF_X1"));
+    }
+
+    #[test]
+    fn area_positive_and_additive() {
+        let lib = nangate45();
+        let mut d = small();
+        let a1 = d.area(&lib);
+        assert!(a1 > 0.0);
+        // Killing a gate reduces area.
+        let victim = d.cells.iter().position(|c| c == "XOR2_X1").unwrap();
+        d.kill(victim);
+        assert!(d.area(&lib) < a1);
+    }
+
+    #[test]
+    fn compact_removes_dead() {
+        let mut d = small();
+        let before = d.netlist.gates.len();
+        d.kill(0);
+        d.compact();
+        assert_eq!(d.netlist.gates.len(), before - 1);
+        assert_eq!(d.cells.len(), before - 1);
+    }
+
+    #[test]
+    fn net_loads_grow_with_fanout() {
+        let lib = nangate45();
+        let sf = parse(
+            "module f(input a, output [7:0] y);
+                assign y = {8{a}} ^ 8'hA5;
+            endmodule",
+        )
+        .unwrap();
+        let nl = lower_to_netlist(&sf, "f").unwrap();
+        let d = MappedDesign::map(nl, &lib).unwrap();
+        let loads = d.net_loads(&lib, Some("5K_heavy_1k"));
+        let sinks = d.sink_map();
+        // The net for `a` has high fanout; find it and a low-fanout net.
+        let a_net = d.netlist.inputs[0].1 as usize;
+        let max_load = loads[a_net];
+        let low = sinks
+            .iter()
+            .enumerate()
+            .find(|(_, s)| s.len() == 1)
+            .map(|(n, _)| loads[n])
+            .unwrap_or(0.0);
+        assert!(max_load > low, "fanout load {max_load} should exceed single-sink load {low}");
+    }
+
+    #[test]
+    fn wireload_none_reduces_load() {
+        let lib = nangate45();
+        let d = small();
+        let with = d.net_loads(&lib, Some("5K_heavy_1k"));
+        let without = d.net_loads(&lib, None);
+        let sum_with: f64 = with.iter().sum();
+        let sum_without: f64 = without.iter().sum();
+        assert!(sum_with > sum_without);
+    }
+}

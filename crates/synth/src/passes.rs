@@ -1,0 +1,1283 @@
+//! Netlist optimization passes — the machinery behind the DC-style
+//! commands (`compile`, `compile_ultra`, `optimize_registers`,
+//! `balance_buffers`, `insert_clock_gating`, `ungroup`).
+//!
+//! Every pass preserves functionality; the crate's tests prove it by
+//! simulating random stimulus before and after each pass.
+
+use crate::design::MappedDesign;
+use crate::sta::{analyze, slack_map, Constraints};
+use chatls_liberty::Library;
+use chatls_verilog::netlist::GateKind;
+use serde::{Deserialize, Serialize};
+
+/// Statistics returned by a pass.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct PassStats {
+    /// Gates removed.
+    pub removed: usize,
+    /// Gates added.
+    pub added: usize,
+    /// Gates whose cell assignment changed.
+    pub resized: usize,
+}
+
+impl PassStats {
+    /// Merges another pass's stats into this one.
+    pub fn merge(&mut self, other: PassStats) {
+        self.removed += other.removed;
+        self.added += other.added;
+        self.resized += other.resized;
+    }
+}
+
+/// Removes buffers by rewiring their sinks and deletes dead gates.
+///
+/// A buffer whose output is a primary output (or a net with no other legal
+/// driver) is kept. Runs to fixpoint.
+pub fn sweep(design: &mut MappedDesign) -> PassStats {
+    let mut stats = PassStats::default();
+    loop {
+        let mut changed = false;
+        let primary_outputs: Vec<u32> = design.netlist.outputs.iter().map(|(_, id)| *id).collect();
+        // Buffer removal.
+        let n = design.netlist.gates.len();
+        for gi in 0..n {
+            if design.is_dead(gi) {
+                continue;
+            }
+            let gate = design.netlist.gates[gi].clone();
+            if gate.kind != GateKind::Buf || gate.dont_touch {
+                continue;
+            }
+            if primary_outputs.contains(&gate.output) {
+                continue;
+            }
+            let src = gate.inputs[0];
+            let out = gate.output;
+            for other in design.netlist.gates.iter_mut() {
+                for inp in other.inputs.iter_mut() {
+                    if *inp == out {
+                        *inp = src;
+                    }
+                }
+                if other.enable == Some(out) {
+                    other.enable = Some(src);
+                }
+                if other.async_reset == Some(out) {
+                    other.async_reset = Some(src);
+                }
+            }
+            design.kill(gi);
+            stats.removed += 1;
+            changed = true;
+        }
+        // Dead gate elimination: no sinks and not a primary output.
+        let sinks = design.sink_map();
+        for gi in 0..design.netlist.gates.len() {
+            if design.is_dead(gi) {
+                continue;
+            }
+            let out = design.netlist.gates[gi].output;
+            let used = !sinks[out as usize].is_empty()
+                || primary_outputs.contains(&out)
+                || design
+                    .netlist
+                    .gates
+                    .iter()
+                    .enumerate()
+                    .any(|(oi, g)| !design.is_dead(oi) && (g.enable == Some(out) || g.async_reset == Some(out)));
+            if !used {
+                design.kill(gi);
+                stats.removed += 1;
+                changed = true;
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+    stats
+}
+
+/// Constant propagation: simplifies gates with constant inputs, then sweeps.
+///
+/// Rewrites like `AND(x, 1) → BUF(x)` and `XOR(x, 0) → BUF(x)`; fully
+/// constant gates become constant drivers.
+pub fn const_propagate(design: &mut MappedDesign, library: &Library) -> PassStats {
+    let mut stats = PassStats::default();
+    let buf_cell = library.variants("BUF").first().map(|c| c.name.clone()).unwrap_or_default();
+    let inv_cell = library.variants("INV").first().map(|c| c.name.clone()).unwrap_or_default();
+    loop {
+        // Net constness from live constant drivers.
+        let mut constness: Vec<Option<bool>> = vec![None; design.netlist.nets.len()];
+        for (gi, g) in design.netlist.gates.iter().enumerate() {
+            if design.is_dead(gi) {
+                continue;
+            }
+            match g.kind {
+                GateKind::Const0 => constness[g.output as usize] = Some(false),
+                GateKind::Const1 => constness[g.output as usize] = Some(true),
+                _ => {}
+            }
+        }
+        let mut changed = false;
+        for gi in 0..design.netlist.gates.len() {
+            if design.is_dead(gi) {
+                continue;
+            }
+            let g = design.netlist.gates[gi].clone();
+            let cv: Vec<Option<bool>> =
+                g.inputs.iter().map(|&i| constness[i as usize]).collect();
+            // (new kind, new inputs, new cell)
+            let rewrite: Option<(GateKind, Vec<u32>, String)> = match g.kind {
+                GateKind::And => match (cv[0], cv[1]) {
+                    (Some(false), _) | (_, Some(false)) => Some((GateKind::Const0, vec![], String::new())),
+                    (Some(true), _) => Some((GateKind::Buf, vec![g.inputs[1]], buf_cell.clone())),
+                    (_, Some(true)) => Some((GateKind::Buf, vec![g.inputs[0]], buf_cell.clone())),
+                    _ => None,
+                },
+                GateKind::Or => match (cv[0], cv[1]) {
+                    (Some(true), _) | (_, Some(true)) => Some((GateKind::Const1, vec![], String::new())),
+                    (Some(false), _) => Some((GateKind::Buf, vec![g.inputs[1]], buf_cell.clone())),
+                    (_, Some(false)) => Some((GateKind::Buf, vec![g.inputs[0]], buf_cell.clone())),
+                    _ => None,
+                },
+                GateKind::Xor => match (cv[0], cv[1]) {
+                    (Some(a), Some(b)) => Some((
+                        if a ^ b { GateKind::Const1 } else { GateKind::Const0 },
+                        vec![],
+                        String::new(),
+                    )),
+                    (Some(false), _) => Some((GateKind::Buf, vec![g.inputs[1]], buf_cell.clone())),
+                    (_, Some(false)) => Some((GateKind::Buf, vec![g.inputs[0]], buf_cell.clone())),
+                    (Some(true), _) => Some((GateKind::Not, vec![g.inputs[1]], inv_cell.clone())),
+                    (_, Some(true)) => Some((GateKind::Not, vec![g.inputs[0]], inv_cell.clone())),
+                    (None, None) => None,
+                },
+                GateKind::Not => match cv[0] {
+                    Some(v) => Some((
+                        if v { GateKind::Const0 } else { GateKind::Const1 },
+                        vec![],
+                        String::new(),
+                    )),
+                    None => None,
+                },
+                GateKind::Mux => match cv[0] {
+                    Some(false) => Some((GateKind::Buf, vec![g.inputs[1]], buf_cell.clone())),
+                    Some(true) => Some((GateKind::Buf, vec![g.inputs[2]], buf_cell.clone())),
+                    None => {
+                        // mux(s, a, a) = a
+                        if g.inputs[1] == g.inputs[2] {
+                            Some((GateKind::Buf, vec![g.inputs[1]], buf_cell.clone()))
+                        } else {
+                            None
+                        }
+                    }
+                },
+                _ => None,
+            };
+            if let Some((kind, inputs, cell)) = rewrite {
+                let slot = &mut design.netlist.gates[gi];
+                slot.kind = kind;
+                slot.inputs = inputs;
+                design.cells[gi] = cell;
+                stats.resized += 1;
+                changed = true;
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+    stats.merge(sweep(design));
+    stats
+}
+
+/// Structural hashing: merges gates computing the identical function of
+/// the identical input nets (common-subexpression elimination).
+///
+/// Bit-blasted arithmetic recomputes shared terms constantly (`a+b` used by
+/// two consumers lowers twice); this pass folds them. Commutative kinds
+/// hash with sorted inputs. Registers and protected gates are skipped.
+pub fn strash(design: &mut MappedDesign) -> PassStats {
+    use std::collections::HashMap;
+    let mut stats = PassStats::default();
+    loop {
+        let mut changed = false;
+        let primary_outputs: Vec<u32> =
+            design.netlist.outputs.iter().map(|(_, id)| *id).collect();
+        let mut seen: HashMap<(GateKind, Vec<u32>), u32> = HashMap::new();
+        let mut replace: Vec<(u32, u32)> = Vec::new(); // (dup net, canonical net)
+        for gi in 0..design.netlist.gates.len() {
+            if design.is_dead(gi) {
+                continue;
+            }
+            let g = &design.netlist.gates[gi];
+            if g.kind.is_sequential() || g.dont_touch {
+                continue;
+            }
+            let mut key_inputs = g.inputs.clone();
+            let commutative = matches!(
+                g.kind,
+                GateKind::And
+                    | GateKind::Or
+                    | GateKind::Xor
+                    | GateKind::Nand
+                    | GateKind::Nor
+                    | GateKind::Xnor
+            );
+            if commutative {
+                key_inputs.sort_unstable();
+            }
+            match seen.entry((g.kind, key_inputs)) {
+                std::collections::hash_map::Entry::Vacant(v) => {
+                    v.insert(g.output);
+                }
+                std::collections::hash_map::Entry::Occupied(o) => {
+                    let canonical = *o.get();
+                    // A duplicate driving a primary output keeps its gate
+                    // (the output net needs a driver).
+                    if primary_outputs.contains(&g.output) {
+                        continue;
+                    }
+                    replace.push((g.output, canonical));
+                    design.kill(gi);
+                    stats.removed += 1;
+                    changed = true;
+                }
+            }
+        }
+        if !changed {
+            break;
+        }
+        let map: HashMap<u32, u32> = replace.into_iter().collect();
+        for g in design.netlist.gates.iter_mut() {
+            for inp in g.inputs.iter_mut() {
+                if let Some(&c) = map.get(inp) {
+                    *inp = c;
+                }
+            }
+            if let Some(e) = g.enable {
+                if let Some(&c) = map.get(&e) {
+                    g.enable = Some(c);
+                }
+            }
+            if let Some(r) = g.async_reset {
+                if let Some(&c) = map.get(&r) {
+                    g.async_reset = Some(c);
+                }
+            }
+        }
+    }
+    stats
+}
+
+/// Inverter absorption (technology remapping): merges `NOT(AND)` → NAND,
+/// `NOT(OR)` → NOR, `NOT(XOR)` → XNOR, collapses inverter pairs, and
+/// rewrites `NOT(NAND)` back to AND (double negation through the mapper).
+///
+/// Each merge removes a gate and a logic level — the classic win of mapping
+/// onto the inverting cells a CMOS library is built from. Only applies when
+/// the inner gate's output feeds exactly the inverter (fanout 1).
+pub fn absorb_inverters(design: &mut MappedDesign, library: &Library) -> PassStats {
+    let mut stats = PassStats::default();
+    let cell_for = |kind: GateKind| -> Option<String> {
+        crate::design::base_cell_for(kind)
+            .and_then(|b| library.variants(b).first().map(|c| c.name.clone()))
+    };
+    loop {
+        let mut changed = false;
+        // The adjacency maps stay valid across the simple merges below
+        // (they only retire the inner gate and its single-sink net), but a
+        // NOT-NOT collapse rewires sinks; that case restarts the sweep so
+        // the maps are rebuilt.
+        let mut restart = false;
+        let driver = design.driver_map();
+        let sinks = design.sink_map();
+        let primary_outputs: Vec<u32> =
+            design.netlist.outputs.iter().map(|(_, id)| *id).collect();
+        for gi in 0..design.netlist.gates.len() {
+            if restart {
+                break;
+            }
+            if design.is_dead(gi) {
+                continue;
+            }
+            let gate = design.netlist.gates[gi].clone();
+            if gate.kind != GateKind::Not {
+                continue;
+            }
+            let src_net = gate.inputs[0];
+            let inner_gi = match driver[src_net as usize] {
+                Some(g) => g,
+                None => continue,
+            };
+            if design.is_dead(inner_gi) {
+                continue;
+            }
+            let inner = design.netlist.gates[inner_gi].clone();
+            if inner.dont_touch
+                || sinks[src_net as usize].len() != 1
+                || primary_outputs.contains(&src_net)
+            {
+                continue;
+            }
+            let merged_kind = match inner.kind {
+                GateKind::And => GateKind::Nand,
+                GateKind::Or => GateKind::Nor,
+                GateKind::Xor => GateKind::Xnor,
+                GateKind::Nand => GateKind::And,
+                GateKind::Nor => GateKind::Or,
+                GateKind::Xnor => GateKind::Xor,
+                // NOT(NOT(x)) — rewire sinks of the outer NOT to x.
+                GateKind::Not => {
+                    let x = inner.inputs[0];
+                    let out = gate.output;
+                    if primary_outputs.contains(&out) {
+                        // Keep a buffer to drive the output.
+                        design.netlist.gates[gi].kind = GateKind::Buf;
+                        design.netlist.gates[gi].inputs = vec![x];
+                        if let Some(c) = cell_for(GateKind::Buf) {
+                            design.cells[gi] = c;
+                        }
+                    } else {
+                        for other in design.netlist.gates.iter_mut() {
+                            for inp in other.inputs.iter_mut() {
+                                if *inp == out {
+                                    *inp = x;
+                                }
+                            }
+                        }
+                        design.kill(gi);
+                        stats.removed += 1;
+                    }
+                    design.kill(inner_gi);
+                    stats.removed += 1;
+                    changed = true;
+                    restart = true;
+                    continue;
+                }
+                _ => continue,
+            };
+            let cell = match cell_for(merged_kind) {
+                Some(c) => c,
+                None => continue,
+            };
+            // The outer NOT becomes the merged gate; the inner gate dies.
+            design.netlist.gates[gi].kind = merged_kind;
+            design.netlist.gates[gi].inputs = inner.inputs.clone();
+            design.cells[gi] = cell;
+            design.kill(inner_gi);
+            stats.removed += 1;
+            stats.resized += 1;
+            changed = true;
+        }
+        if !changed {
+            break;
+        }
+    }
+    stats
+}
+
+/// Timing-driven gate sizing: upsizes cells on near-critical nets.
+///
+/// Each round computes the slack map and bumps every driver of a net whose
+/// slack is within `constraints.critical_range` of the worst slack to the
+/// next drive variant. Rounds that fail to improve CPS are rolled back.
+pub fn size_cells(
+    design: &mut MappedDesign,
+    library: &Library,
+    constraints: &Constraints,
+    rounds: usize,
+) -> PassStats {
+    let mut stats = PassStats::default();
+    for _ in 0..rounds {
+        let before = analyze(design, library, constraints);
+        // Keep pushing until there is a little positive margin (the
+        // critical range), not just bare closure.
+        if before.cps >= constraints.critical_range.max(0.0) {
+            break;
+        }
+        let slacks = slack_map(design, library, constraints);
+        let threshold = before.cps + constraints.critical_range;
+        let snapshot = design.cells.clone();
+        let mut any = false;
+        for gi in 0..design.netlist.gates.len() {
+            if design.is_dead(gi) || design.cells[gi].is_empty() {
+                continue;
+            }
+            let out = design.netlist.gates[gi].output;
+            if slacks.slack(out) > threshold {
+                continue;
+            }
+            if let Some(next) = next_drive(library, &design.cells[gi], true) {
+                design.cells[gi] = next;
+                stats.resized += 1;
+                any = true;
+            }
+        }
+        if !any {
+            break;
+        }
+        let after = analyze(design, library, constraints);
+        if after.cps < before.cps {
+            design.cells = snapshot;
+            break;
+        }
+    }
+    stats
+}
+
+/// Area recovery: downsizes drivers of nets with comfortable slack.
+///
+/// Active when `set_max_area` is configured; never accepted if it worsens
+/// CPS below zero or below its previous value.
+pub fn area_recovery(
+    design: &mut MappedDesign,
+    library: &Library,
+    constraints: &Constraints,
+) -> PassStats {
+    let mut stats = PassStats::default();
+    let before = analyze(design, library, constraints);
+    let slacks = slack_map(design, library, constraints);
+    let snapshot = design.cells.clone();
+    // Downsizing reduces the input capacitance the upstream drivers see, so
+    // recovery often *helps* timing; still, the pass never commits a CPS
+    // regression. A failed aggressive attempt retries more conservatively.
+    for attempt in 0..2 {
+        let margin = constraints.critical_range.max(0.05) * if attempt == 0 { 4.0 } else { 12.0 };
+        let mut resized = 0;
+        for gi in 0..design.netlist.gates.len() {
+            if design.is_dead(gi) || design.cells[gi].is_empty() {
+                continue;
+            }
+            let out = design.netlist.gates[gi].output;
+            let s = slacks.slack(out);
+            if s.is_finite() && s > margin {
+                if let Some(prev) = next_drive(library, &design.cells[gi], false) {
+                    design.cells[gi] = prev;
+                    resized += 1;
+                }
+            }
+        }
+        let after = analyze(design, library, constraints);
+        // Accept when timing did not regress, or when the design still has
+        // a very comfortable margin (≥ a quarter period) — the slack-rich
+        // regime where trading slack for area is what set_max_area asks.
+        let comfortable = 0.25 * constraints.clock_period;
+        if after.cps + 1e-9 >= before.cps || after.cps >= comfortable {
+            stats.resized = resized;
+            return stats;
+        }
+        design.cells = snapshot.clone();
+    }
+    stats
+}
+
+/// Next drive variant up (`up = true`) or down of a cell, if any.
+fn next_drive(library: &Library, cell_name: &str, up: bool) -> Option<String> {
+    let cell = library.cell(cell_name)?;
+    let variants = library.variants(cell.base_name());
+    let pos = variants.iter().position(|c| c.name == cell_name)?;
+    let next = if up { pos.checked_add(1)? } else { pos.checked_sub(1)? };
+    variants.get(next).map(|c| c.name.clone())
+}
+
+/// Buffer balancing: splits nets with more than `max_fanout` sinks into a
+/// buffer tree (strongest buffers available), recursively.
+pub fn buffer_high_fanout(
+    design: &mut MappedDesign,
+    library: &Library,
+    max_fanout: usize,
+) -> PassStats {
+    let mut stats = PassStats::default();
+    let buf = match library.variants("BUF").last() {
+        Some(c) => c.name.clone(),
+        None => return stats,
+    };
+    loop {
+        let sinks = design.sink_map();
+        let mut worst: Option<(usize, usize)> = None; // (net, fanout)
+        for (net, s) in sinks.iter().enumerate() {
+            if s.len() > max_fanout && worst.map(|(_, f)| s.len() > f).unwrap_or(true) {
+                worst = Some((net, s.len()));
+            }
+        }
+        let (net, _) = match worst {
+            Some(w) => w,
+            None => break,
+        };
+        let net_sinks = sinks[net].clone();
+        let path = design
+            .netlist
+            .gates
+            .get(net_sinks[0].0)
+            .map(|g| g.path.clone())
+            .unwrap_or_else(|| design.netlist.name.clone());
+        // Split sinks into groups; each group gets a buffer.
+        for group in net_sinks.chunks(max_fanout) {
+            let new_net = design.netlist.add_net(format!(
+                "{}$buf{}",
+                design.netlist.nets[net].name,
+                design.netlist.nets.len()
+            ));
+            let gate = chatls_verilog::netlist::Gate {
+                kind: GateKind::Buf,
+                inputs: vec![net as u32],
+                output: new_net,
+                path: path.clone(),
+                reset_value: false,
+                async_reset: None,
+                enable: None,
+                dont_touch: true,
+            };
+            design.push_gate(gate, buf.clone());
+            stats.added += 1;
+            for &(gi, pin) in group {
+                design.netlist.gates[gi].inputs[pin] = new_net;
+            }
+        }
+    }
+    stats
+}
+
+/// Register retiming (`optimize_registers`): moves the endpoint register of
+/// the worst path backward across its driving gate when legal, repeatedly,
+/// as long as CPS improves.
+///
+/// Legality: the driving gate's output must feed only this register bank,
+/// the gate's zero-input value must be 0 (reset-state preservation), and —
+/// unless `ungrouped` — the gate and register share a module path.
+pub fn retime(
+    design: &mut MappedDesign,
+    library: &Library,
+    constraints: &Constraints,
+    ungrouped: bool,
+    max_moves: usize,
+) -> PassStats {
+    let mut stats = PassStats::default();
+    let dff_cell = match library.variants("DFF").first() {
+        Some(c) => c.name.clone(),
+        None => return stats,
+    };
+    for _ in 0..max_moves {
+        let before = analyze(design, library, constraints);
+        if before.met() {
+            break;
+        }
+        let slacks = slack_map(design, library, constraints);
+        let driver = design.driver_map();
+        let sinks = design.sink_map();
+        // Candidate: live DFF with the worst D-pin slack whose driver is a
+        // legal comb gate.
+        let mut candidate: Option<(usize, usize)> = None; // (dff, gate)
+        let mut worst_slack = f64::INFINITY;
+        for (gi, gate) in design.netlist.gates.iter().enumerate() {
+            if design.is_dead(gi) || !gate.kind.is_sequential() || gate.enable.is_some() {
+                continue;
+            }
+            let d_net = gate.inputs[0];
+            let s = slacks.slack(d_net);
+            if s >= worst_slack || s >= 0.0 {
+                continue;
+            }
+            let drv = match driver[d_net as usize] {
+                Some(d) => d,
+                None => continue,
+            };
+            let drv_gate = &design.netlist.gates[drv];
+            let legal_kind = matches!(
+                drv_gate.kind,
+                GateKind::And | GateKind::Or | GateKind::Xor | GateKind::Buf | GateKind::Mux
+            );
+            let exclusive = sinks[d_net as usize].len() == 1
+                && !design.netlist.outputs.iter().any(|(_, id)| *id == d_net);
+            let same_module = ungrouped || drv_gate.path == gate.path;
+            if legal_kind && exclusive && same_module {
+                worst_slack = s;
+                candidate = Some((gi, drv));
+            }
+        }
+        let (dff_i, gate_i) = match candidate {
+            Some(c) => c,
+            None => break,
+        };
+        // Apply: register each input of the gate, gate drives old Q directly.
+        let snapshot = design.clone();
+        let comb = design.netlist.gates[gate_i].clone();
+        let q_net = design.netlist.gates[dff_i].output;
+        let path = design.netlist.gates[dff_i].path.clone();
+        let mut new_inputs = Vec::with_capacity(comb.inputs.len());
+        for (k, &inp) in comb.inputs.iter().enumerate() {
+            let nq = design.netlist.add_net(format!(
+                "{}$ret{}_{k}",
+                design.netlist.nets[q_net as usize].name,
+                design.netlist.nets.len()
+            ));
+            let dff = chatls_verilog::netlist::Gate {
+                kind: GateKind::Dff,
+                inputs: vec![inp],
+                output: nq,
+                path: path.clone(),
+                reset_value: false,
+                async_reset: None,
+                enable: None,
+                dont_touch: false,
+            };
+            design.push_gate(dff, dff_cell.clone());
+            stats.added += 1;
+            new_inputs.push(nq);
+        }
+        design.netlist.gates[gate_i].inputs = new_inputs;
+        design.netlist.gates[gate_i].output = q_net;
+        design.kill(dff_i);
+        stats.removed += 1;
+        let after = analyze(design, library, constraints);
+        if after.cps <= before.cps {
+            *design = snapshot;
+            stats.added = stats.added.saturating_sub(comb.inputs.len());
+            stats.removed = stats.removed.saturating_sub(1);
+            break;
+        }
+    }
+    stats
+}
+
+/// Clock gating (`insert_clock_gating`): converts the hold-mux idiom
+/// `q ← mux(en, q, d)` into an enabled register, deleting the mux.
+///
+/// Area and D-path delay both improve; the enable-hold behaviour is
+/// preserved exactly (the simulator models enabled registers natively).
+pub fn insert_clock_gating(design: &mut MappedDesign) -> PassStats {
+    let mut stats = PassStats::default();
+    let driver = design.driver_map();
+    let sinks = design.sink_map();
+    for gi in 0..design.netlist.gates.len() {
+        if design.is_dead(gi) {
+            continue;
+        }
+        let gate = design.netlist.gates[gi].clone();
+        if !gate.kind.is_sequential() || gate.enable.is_some() {
+            continue;
+        }
+        let d_net = gate.inputs[0];
+        let mux_i = match driver[d_net as usize] {
+            Some(m) => m,
+            None => continue,
+        };
+        let mux = design.netlist.gates[mux_i].clone();
+        if mux.kind != GateKind::Mux {
+            continue;
+        }
+        // Hold pattern: mux(sel, q, d) — the "false" leg recirculates Q.
+        if mux.inputs[1] != gate.output {
+            continue;
+        }
+        // Mux must feed only this register.
+        if sinks[d_net as usize].len() != 1 || design.netlist.outputs.iter().any(|(_, id)| *id == d_net) {
+            continue;
+        }
+        design.netlist.gates[gi].inputs[0] = mux.inputs[2];
+        design.netlist.gates[gi].enable = Some(mux.inputs[0]);
+        design.kill(mux_i);
+        stats.removed += 1;
+    }
+    stats.merge(sweep(design));
+    stats
+}
+
+/// Hold fixing (`set_fix_hold`): inserts protected delay buffers in front
+/// of register data pins whose fastest path arrives before the hold
+/// requirement.
+pub fn fix_hold(
+    design: &mut MappedDesign,
+    library: &Library,
+    constraints: &Constraints,
+) -> PassStats {
+    let mut stats = PassStats::default();
+    let buf = match library.variants("BUF").first() {
+        Some(c) => c.name.clone(),
+        None => return stats,
+    };
+    for _ in 0..8 {
+        let violations: Vec<String> = crate::sta::hold_slacks(design, library, constraints)
+            .into_iter()
+            .filter(|e| e.slack < 0.0)
+            .map(|e| e.endpoint)
+            .collect();
+        if violations.is_empty() {
+            break;
+        }
+        let mut fixed_any = false;
+        for gi in 0..design.netlist.gates.len() {
+            if design.is_dead(gi) || !design.netlist.gates[gi].kind.is_sequential() {
+                continue;
+            }
+            let q = design.netlist.gates[gi].output;
+            let name = format!("{}/D (hold)", design.netlist.nets[q as usize].name);
+            if !violations.contains(&name) {
+                continue;
+            }
+            let d = design.netlist.gates[gi].inputs[0];
+            let path = design.netlist.gates[gi].path.clone();
+            let new_net = design
+                .netlist
+                .add_net(format!("{}$hold{}", design.netlist.nets[d as usize].name, design.netlist.nets.len()));
+            let gate = chatls_verilog::netlist::Gate {
+                kind: GateKind::Buf,
+                inputs: vec![d],
+                output: new_net,
+                path,
+                reset_value: false,
+                async_reset: None,
+                enable: None,
+                dont_touch: true,
+            };
+            design.push_gate(gate, buf.clone());
+            design.netlist.gates[gi].inputs[0] = new_net;
+            stats.added += 1;
+            fixed_any = true;
+        }
+        if !fixed_any {
+            break;
+        }
+    }
+    stats
+}
+
+/// `ungroup -all`: dissolves hierarchy by rewriting every gate's module
+/// path to the top name, unlocking cross-boundary optimization.
+pub fn ungroup_all(design: &mut MappedDesign) -> usize {
+    let top = design.netlist.name.clone();
+    let mut changed = 0;
+    for g in design.netlist.gates.iter_mut() {
+        if g.path != top {
+            g.path = top.clone();
+            changed += 1;
+        }
+    }
+    changed
+}
+
+/// Compile effort level.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Effort {
+    /// `compile -map_effort low`: cleanup only.
+    Low,
+    /// `compile` (medium): cleanup + 2 sizing rounds.
+    Medium,
+    /// `compile -map_effort high` / `compile_ultra`: cleanup + fanout
+    /// buffering + 5 sizing rounds (+ area recovery under `set_max_area`).
+    High,
+}
+
+/// The main mapping-and-optimization pipeline behind `compile`.
+pub fn compile(
+    design: &mut MappedDesign,
+    library: &Library,
+    constraints: &Constraints,
+    effort: Effort,
+) -> PassStats {
+    let mut stats = PassStats::default();
+    stats.merge(const_propagate(design, library));
+    stats.merge(strash(design));
+    stats.merge(absorb_inverters(design, library));
+    stats.merge(strash(design));
+    match effort {
+        Effort::Low => {}
+        Effort::Medium => {
+            stats.merge(size_cells(design, library, constraints, 2));
+        }
+        Effort::High => {
+            // Size first (structural hashing trades fanout for area, so the
+            // netlist usually needs drive repair), then try buffering, then
+            // size again around the new trees.
+            stats.merge(size_cells(design, library, constraints, 3));
+            // Fanout buffering is only kept when it helps the clock: blind
+            // buffer trees on met designs would add delay for nothing.
+            let snapshot = design.clone();
+            let before = analyze(design, library, constraints);
+            let buf_stats = buffer_high_fanout(design, library, 12);
+            let after = analyze(design, library, constraints);
+            if after.cps < before.cps {
+                *design = snapshot;
+            } else {
+                stats.merge(buf_stats);
+            }
+            stats.merge(size_cells(design, library, constraints, 3));
+            if constraints.max_area.is_some() {
+                stats.merge(area_recovery(design, library, constraints));
+            }
+        }
+    }
+    stats.merge(sweep(design));
+    stats
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sta::qor;
+    use chatls_liberty::nangate45;
+    use chatls_verilog::netlist::Simulator;
+    use chatls_verilog::{lower_to_netlist, parse};
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn map(src: &str, top: &str) -> MappedDesign {
+        let sf = parse(src).unwrap();
+        let nl = lower_to_netlist(&sf, top).unwrap();
+        MappedDesign::map(nl, &nangate45()).unwrap()
+    }
+
+    fn cons(period: f64) -> Constraints {
+        Constraints { clock_period: period, ..Constraints::default() }
+    }
+
+    /// Collects outputs over random stimulus for equivalence checking.
+    fn signature(design: &MappedDesign, seed: u64, cycles: usize) -> Vec<u64> {
+        let mut d = design.clone();
+        d.compact();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut sim = Simulator::new(&d.netlist);
+        let ports: Vec<String> = {
+            let mut p: Vec<String> = d
+                .netlist
+                .inputs
+                .iter()
+                .map(|(n, _)| n.split('[').next().unwrap_or(n).to_string())
+                .collect();
+            p.sort();
+            p.dedup();
+            p
+        };
+        let out_ports: Vec<String> = {
+            let mut p: Vec<String> = d
+                .netlist
+                .outputs
+                .iter()
+                .map(|(n, _)| n.split('[').next().unwrap_or(n).to_string())
+                .collect();
+            p.sort();
+            p.dedup();
+            p
+        };
+        let mut sig = Vec::new();
+        for _ in 0..cycles {
+            for port in &ports {
+                sim.set_input_u64(port, rng.gen());
+            }
+            sim.step().unwrap();
+            sim.settle().unwrap();
+            for port in &out_ports {
+                sig.push(sim.output_u64(port));
+            }
+        }
+        sig
+    }
+
+    const ALU_SRC: &str = "module alu(input clk, input [7:0] a, b, input [1:0] op, output reg [7:0] y);
+        wire [7:0] r;
+        assign r = (op == 2'd0) ? a + b :
+                   (op == 2'd1) ? a - b :
+                   (op == 2'd2) ? (a & b) : (a ^ b);
+        always @(posedge clk) y <= r;
+    endmodule";
+
+    #[test]
+    fn sweep_preserves_function() {
+        let mut d = map(ALU_SRC, "alu");
+        let before = signature(&d, 1, 30);
+        let stats = sweep(&mut d);
+        assert!(stats.removed > 0, "lowering emits buffers; sweep must remove some");
+        assert_eq!(signature(&d, 1, 30), before);
+        d.compact();
+        d.netlist.check().unwrap();
+    }
+
+    #[test]
+    fn const_propagate_preserves_function_and_shrinks() {
+        let mut d = map(
+            "module c(input clk, input [3:0] a, output reg [3:0] y);
+                always @(posedge clk) y <= (a & 4'hF) | (a & 4'h0) ^ (4'b0101 & 4'b0011);
+            endmodule",
+            "c",
+        );
+        let lib = nangate45();
+        let before_sig = signature(&d, 2, 30);
+        let before_gates = d.live_gates();
+        const_propagate(&mut d, &lib);
+        assert!(d.live_gates() < before_gates);
+        assert_eq!(signature(&d, 2, 30), before_sig);
+    }
+
+    #[test]
+    fn sizing_improves_failing_timing() {
+        let mut d = map(
+            "module m(input clk, input [7:0] a, b, output reg [7:0] q);
+                always @(posedge clk) q <= a * b;
+            endmodule",
+            "m",
+        );
+        let lib = nangate45();
+        let c = cons(1.2);
+        sweep(&mut d);
+        let before = qor(&d, &lib, &c);
+        let sig = signature(&d, 3, 20);
+        size_cells(&mut d, &lib, &c, 5);
+        let after = qor(&d, &lib, &c);
+        assert!(after.cps > before.cps, "sizing must help: {} -> {}", before.cps, after.cps);
+        assert!(after.area > before.area, "upsizing costs area");
+        assert_eq!(signature(&d, 3, 20), sig);
+    }
+
+    #[test]
+    fn buffer_balancing_improves_high_fanout_timing() {
+        // One input fans out to 64 XOR gates -> heavy wireload.
+        let mut src = String::from(
+            "module f(input clk, input a, input [63:0] b, output reg [63:0] q);\n wire [63:0] w;\n",
+        );
+        src.push_str("assign w = b ^ {64{a}};\n");
+        src.push_str("always @(posedge clk) q <= w;\nendmodule");
+        let mut d = map(&src, "f");
+        let lib = nangate45();
+        let c = cons(0.8);
+        sweep(&mut d);
+        let before = qor(&d, &lib, &c);
+        let sig = signature(&d, 4, 10);
+        let stats = buffer_high_fanout(&mut d, &lib, 12);
+        assert!(stats.added > 0);
+        let after = qor(&d, &lib, &c);
+        assert!(
+            after.cps > before.cps,
+            "buffering must reduce fanout delay: {} -> {}",
+            before.cps,
+            after.cps
+        );
+        assert_eq!(signature(&d, 4, 10), sig);
+        d.compact();
+        d.netlist.check().unwrap();
+    }
+
+    #[test]
+    fn retime_moves_register_and_improves_cps() {
+        // Unbalanced pipeline: deep logic before the register, nothing after.
+        let mut d = map(
+            "module r(input clk, input [15:0] a, b, output reg [15:0] q);
+                always @(posedge clk) q <= (a + b) + (a ^ b) + (a & b);
+            endmodule",
+            "r",
+        );
+        let lib = nangate45();
+        let c = cons(0.45);
+        sweep(&mut d);
+        let before = qor(&d, &lib, &c);
+        assert!(before.cps < 0.0, "test needs a violating start: {}", before.cps);
+        let stats = retime(&mut d, &lib, &c, false, 64);
+        let after = qor(&d, &lib, &c);
+        assert!(stats.added > 0, "retime should move registers");
+        assert!(after.cps > before.cps, "retime must help: {} -> {}", before.cps, after.cps);
+        d.compact();
+        d.netlist.check().unwrap();
+    }
+
+    #[test]
+    fn retime_respects_module_boundaries_unless_ungrouped() {
+        let src = "module stage(input [15:0] x, output [15:0] y);
+                assign y = (x + 16'd7) * 16'd3;
+            endmodule
+            module top(input clk, input [15:0] a, output reg [15:0] q);
+                wire [15:0] w;
+                stage u_s (.x(a), .y(w));
+                always @(posedge clk) q <= w;
+            endmodule";
+        let lib = nangate45();
+        let c = cons(0.4);
+        let mut grouped = map(src, "top");
+        sweep(&mut grouped);
+        let g_stats = retime(&mut grouped, &lib, &c, false, 16);
+        let mut ungrouped = map(src, "top");
+        sweep(&mut ungrouped);
+        ungroup_all(&mut ungrouped);
+        let u_stats = retime(&mut ungrouped, &lib, &c, true, 16);
+        // Grouped: the worst path's driver lives in u_s, so no move.
+        assert_eq!(g_stats.added, 0, "must not retime across a module boundary");
+        assert!(u_stats.added > 0, "ungrouped retime should move registers");
+    }
+
+    #[test]
+    fn clock_gating_removes_hold_muxes() {
+        let mut d = map(
+            "module g(input clk, en, input [7:0] dIn, output reg [7:0] q);
+                always @(posedge clk) if (en) q <= dIn;
+            endmodule",
+            "g",
+        );
+        let lib = nangate45();
+        sweep(&mut d);
+        let sig = signature(&d, 5, 40);
+        let before_area = d.area(&lib);
+        let stats = insert_clock_gating(&mut d);
+        assert_eq!(stats.removed, 8, "one hold mux per bit");
+        assert!(d.area(&lib) < before_area);
+        assert_eq!(signature(&d, 5, 40), sig, "enable-hold behaviour must be preserved");
+    }
+
+    #[test]
+    fn compile_high_beats_compile_low_on_timing() {
+        let lib = nangate45();
+        let c = cons(1.0);
+        let mut low = map(ALU_SRC, "alu");
+        compile(&mut low, &lib, &c, Effort::Low);
+        let mut high = map(ALU_SRC, "alu");
+        compile(&mut high, &lib, &c, Effort::High);
+        let q_low = qor(&low, &lib, &c);
+        let q_high = qor(&high, &lib, &c);
+        assert!(q_high.cps >= q_low.cps, "high effort never worse: {} vs {}", q_high.cps, q_low.cps);
+    }
+
+    #[test]
+    fn area_recovery_reduces_area_when_slack_rich() {
+        let mut d = map(ALU_SRC, "alu");
+        let lib = nangate45();
+        let c = Constraints { max_area: Some(0.0), ..cons(20.0) };
+        sweep(&mut d);
+        // Upsize everything first so recovery has something to reclaim.
+        for (gi, cell) in d.cells.clone().iter().enumerate() {
+            if let Some(up) = next_drive(&lib, cell, true) {
+                d.cells[gi] = up;
+            }
+        }
+        let before = d.area(&lib);
+        let sig = signature(&d, 6, 20);
+        area_recovery(&mut d, &lib, &c);
+        assert!(d.area(&lib) < before, "recovery must reclaim area");
+        assert_eq!(signature(&d, 6, 20), sig);
+        assert!(qor(&d, &lib, &c).cps >= 0.0);
+    }
+
+    #[test]
+    fn ungroup_rewrites_paths() {
+        let mut d = map(
+            "module sub(input x, output y); assign y = ~x; endmodule
+             module top(input a, output z); sub u (.x(a), .y(z)); endmodule",
+            "top",
+        );
+        assert!(d.netlist.gates.iter().any(|g| g.path == "top/u"));
+        ungroup_all(&mut d);
+        assert!(d.netlist.gates.iter().all(|g| g.path == "top" || g.path == "$const"));
+    }
+}
+
+#[cfg(test)]
+mod strash_tests {
+    use super::*;
+    use chatls_liberty::nangate45;
+    use chatls_verilog::{lower_to_netlist, parse};
+
+    fn map(src: &str, top: &str) -> MappedDesign {
+        let sf = parse(src).unwrap();
+        let nl = lower_to_netlist(&sf, top).unwrap();
+        MappedDesign::map(nl, &nangate45()).unwrap()
+    }
+
+    #[test]
+    fn merges_duplicate_subexpressions() {
+        // a+b lowered twice: once per output. strash folds the adders.
+        let mut d = map(
+            "module m(input [7:0] a, b, output [7:0] y1, y2);
+                assign y1 = (a + b) ^ 8'h55;
+                assign y2 = (a + b) ^ 8'hAA;
+            endmodule",
+            "m",
+        );
+        sweep(&mut d);
+        let before = d.live_gates();
+        let stats = strash(&mut d);
+        assert!(stats.removed > 10, "two identical adders must fold, removed {}", stats.removed);
+        assert!(d.live_gates() < before);
+        d.compact();
+        d.netlist.check().unwrap();
+    }
+
+    #[test]
+    fn commutative_inputs_fold_regardless_of_order() {
+        let mut nl = chatls_verilog::netlist::Netlist::new("t");
+        let a = nl.add_net("a");
+        let b = nl.add_net("b");
+        let x = nl.add_net("x");
+        let y = nl.add_net("y");
+        let z = nl.add_net("z");
+        nl.inputs.extend([("a".into(), a), ("b".into(), b)]);
+        nl.outputs.push(("z".into(), z));
+        nl.add_gate(GateKind::And, &[a, b], x, "t");
+        nl.add_gate(GateKind::And, &[b, a], y, "t");
+        nl.add_gate(GateKind::Xor, &[x, y], z, "t");
+        let lib = nangate45();
+        let mut d = MappedDesign::map(nl, &lib).unwrap();
+        let stats = strash(&mut d);
+        assert_eq!(stats.removed, 1, "AND(a,b) == AND(b,a)");
+        // z = x ^ x = 0 afterwards; const-prop would finish the job.
+    }
+
+    #[test]
+    fn preserves_function_on_multiplier() {
+        use chatls_verilog::netlist::Simulator;
+        let mut d = map(
+            "module m(input [4:0] a, b, output [9:0] p1, output [9:0] p2);
+                assign p1 = a * b;
+                assign p2 = a * b;
+            endmodule",
+            "m",
+        );
+        sweep(&mut d);
+        strash(&mut d);
+        d.compact();
+        d.netlist.check().unwrap();
+        for (a, b) in [(3u64, 7u64), (31, 31), (0, 19), (25, 13)] {
+            let mut sim = Simulator::new(&d.netlist);
+            sim.set_input_u64("a", a);
+            sim.set_input_u64("b", b);
+            sim.settle().unwrap();
+            assert_eq!(sim.output_u64("p1"), a * b);
+            assert_eq!(sim.output_u64("p2"), a * b);
+        }
+    }
+}
+
+#[cfg(test)]
+mod absorb_tests {
+    use super::*;
+    use crate::sta::qor;
+    use chatls_liberty::nangate45;
+    use chatls_verilog::netlist::Simulator;
+    use chatls_verilog::{lower_to_netlist, parse};
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn map(src: &str, top: &str) -> MappedDesign {
+        let sf = parse(src).unwrap();
+        let nl = lower_to_netlist(&sf, top).unwrap();
+        MappedDesign::map(nl, &nangate45()).unwrap()
+    }
+
+    fn signature(design: &MappedDesign, seed: u64, cycles: usize) -> Vec<u64> {
+        let mut d = design.clone();
+        d.compact();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut sim = Simulator::new(&d.netlist);
+        let in_ports: Vec<String> = {
+            let mut p: Vec<String> = d
+                .netlist
+                .inputs
+                .iter()
+                .map(|(n, _)| n.split('[').next().unwrap_or(n).to_string())
+                .collect();
+            p.sort();
+            p.dedup();
+            p
+        };
+        let out_ports: Vec<String> = {
+            let mut p: Vec<String> = d
+                .netlist
+                .outputs
+                .iter()
+                .map(|(n, _)| n.split('[').next().unwrap_or(n).to_string())
+                .collect();
+            p.sort();
+            p.dedup();
+            p
+        };
+        let mut sig = Vec::new();
+        for _ in 0..cycles {
+            for port in &in_ports {
+                sim.set_input_u64(port, rng.gen());
+            }
+            sim.step().unwrap();
+            sim.settle().unwrap();
+            for port in &out_ports {
+                sig.push(sim.output_u64(port));
+            }
+        }
+        sig
+    }
+
+    #[test]
+    fn absorbs_not_of_and_into_nand() {
+        // eq comparison lowers to XOR tree + OR reduce + NOT: absorption food.
+        let mut d = map(
+            "module m(input [7:0] a, b, output y); assign y = a == b; endmodule",
+            "m",
+        );
+        let lib = nangate45();
+        sweep(&mut d);
+        let sig = signature(&d, 1, 40);
+        let before = d.live_gates();
+        let stats = absorb_inverters(&mut d, &lib);
+        assert!(stats.removed > 0, "equality logic must offer merges");
+        assert!(d.live_gates() < before);
+        assert!(d.cells.iter().any(|c| c.starts_with("NOR2") || c.starts_with("NAND2") || c.starts_with("XNOR2")));
+        assert_eq!(signature(&d, 1, 40), sig);
+        d.compact();
+        d.netlist.check().unwrap();
+    }
+
+    #[test]
+    fn absorption_reduces_area_and_never_hurts_delay_shape() {
+        let lib = nangate45();
+        let constraints = Constraints { clock_period: 2.0, ..Constraints::default() };
+        let mut d = map(
+            "module m(input clk, input [7:0] a, b, output reg ok);
+                always @(posedge clk) ok <= (a == b) || (a + b == 8'd9);
+            endmodule",
+            "m",
+        );
+        sweep(&mut d);
+        let before = qor(&d, &lib, &constraints);
+        let sig = signature(&d, 2, 30);
+        absorb_inverters(&mut d, &lib);
+        let after = qor(&d, &lib, &constraints);
+        assert!(after.area < before.area, "{} -> {}", before.area, after.area);
+        assert!(after.cps >= before.cps - 1e-9, "{} -> {}", before.cps, after.cps);
+        assert_eq!(signature(&d, 2, 30), sig);
+    }
+
+    #[test]
+    fn double_inverter_collapses() {
+        let mut d = map(
+            "module m(input a, output y); wire t; assign t = ~a; assign y = ~t; endmodule",
+            "m",
+        );
+        let lib = nangate45();
+        sweep(&mut d);
+        let sig = signature(&d, 3, 10);
+        absorb_inverters(&mut d, &lib);
+        sweep(&mut d);
+        d.compact();
+        assert_eq!(signature(&d, 3, 10), sig);
+        assert!(
+            !d.netlist.gates.iter().any(|g| g.kind == GateKind::Not),
+            "both inverters must be gone"
+        );
+    }
+
+    #[test]
+    fn keeps_inner_gate_with_multiple_sinks() {
+        // y1 = a&b, y2 = ~(a&b): the AND has fanout 2 and must survive.
+        let mut d = map(
+            "module m(input a, b, output y1, y2);
+                wire t;
+                assign t = a & b;
+                assign y1 = t;
+                assign y2 = ~t;
+            endmodule",
+            "m",
+        );
+        let lib = nangate45();
+        sweep(&mut d);
+        let sig = signature(&d, 4, 10);
+        absorb_inverters(&mut d, &lib);
+        assert_eq!(signature(&d, 4, 10), sig);
+    }
+}

@@ -1,0 +1,365 @@
+//! Tcl-subset parser for Design-Compiler-style synthesis scripts.
+//!
+//! Scripts are newline/semicolon-separated commands; `#` starts a comment,
+//! `\` at end of line continues a command, `[…]` nests a command
+//! substitution (e.g. `[get_ports clk]`), and `{…}`/`"…"` quote a word.
+
+use serde::{Deserialize, Serialize};
+use std::error::Error;
+use std::fmt;
+
+/// A script parse error.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseScriptError {
+    /// 1-based line number.
+    pub line: u32,
+    /// Description.
+    pub message: String,
+}
+
+impl fmt::Display for ParseScriptError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "script parse error at line {}: {}", self.line, self.message)
+    }
+}
+
+impl Error for ParseScriptError {}
+
+/// A command argument.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Arg {
+    /// A bare or quoted word (options like `-period` included).
+    Word(String),
+    /// A bracketed command substitution `[get_ports clk]`.
+    Bracket(Command),
+}
+
+impl Arg {
+    /// The word, if this argument is one.
+    pub fn as_word(&self) -> Option<&str> {
+        match self {
+            Arg::Word(w) => Some(w),
+            Arg::Bracket(_) => None,
+        }
+    }
+
+    /// The nested command, if this argument is a bracket substitution.
+    pub fn as_bracket(&self) -> Option<&Command> {
+        match self {
+            Arg::Word(_) => None,
+            Arg::Bracket(c) => Some(c),
+        }
+    }
+}
+
+/// One parsed command.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Command {
+    /// Command name.
+    pub name: String,
+    /// Arguments in order.
+    pub args: Vec<Arg>,
+    /// 1-based source line.
+    pub line: u32,
+}
+
+impl Command {
+    /// Value following the option flag `-name`, as a word.
+    pub fn option(&self, flag: &str) -> Option<&str> {
+        self.args
+            .iter()
+            .position(|a| a.as_word() == Some(flag))
+            .and_then(|i| self.args.get(i + 1))
+            .and_then(|a| a.as_word())
+    }
+
+    /// True if the flag appears among the arguments.
+    pub fn has_flag(&self, flag: &str) -> bool {
+        self.args.iter().any(|a| a.as_word() == Some(flag))
+    }
+
+    /// Positional words (arguments that are neither `-flags` nor the word
+    /// right after a `-flag`).
+    pub fn positional(&self) -> Vec<&str> {
+        let mut out = Vec::new();
+        let mut skip = false;
+        for a in &self.args {
+            match a {
+                Arg::Word(w) if w.starts_with('-') && w.parse::<f64>().is_err() => skip = true,
+                Arg::Word(w) => {
+                    if skip {
+                        skip = false;
+                    } else {
+                        out.push(w.as_str());
+                    }
+                }
+                Arg::Bracket(_) => skip = false,
+            }
+        }
+        out
+    }
+
+    /// The first bracket substitution with the given name, if any.
+    pub fn bracket(&self, name: &str) -> Option<&Command> {
+        self.args.iter().filter_map(|a| a.as_bracket()).find(|c| c.name == name)
+    }
+}
+
+/// Parses a script into commands.
+///
+/// # Errors
+///
+/// Returns [`ParseScriptError`] on unbalanced brackets/braces/quotes.
+///
+/// # Examples
+///
+/// ```
+/// # fn main() -> Result<(), chatls_synth::script::ParseScriptError> {
+/// let cmds = chatls_synth::script::parse_script(
+///     "create_clock -period 2.0 [get_ports clk]\ncompile_ultra\n",
+/// )?;
+/// assert_eq!(cmds.len(), 2);
+/// assert_eq!(cmds[0].option("-period"), Some("2.0"));
+/// # Ok(())
+/// # }
+/// ```
+pub fn parse_script(src: &str) -> Result<Vec<Command>, ParseScriptError> {
+    // Pre-pass: join continued lines, strip comments.
+    let mut logical: Vec<(u32, String)> = Vec::new();
+    let mut pending = String::new();
+    let mut pending_line = 1u32;
+    for (i, raw) in src.lines().enumerate() {
+        let line_no = i as u32 + 1;
+        let mut text = raw;
+        if let Some(pos) = find_comment(text) {
+            text = &text[..pos];
+        }
+        let trimmed = text.trim_end();
+        if let Some(stripped) = trimmed.strip_suffix('\\') {
+            if pending.is_empty() {
+                pending_line = line_no;
+            }
+            pending.push_str(stripped);
+            pending.push(' ');
+            continue;
+        }
+        if pending.is_empty() {
+            logical.push((line_no, trimmed.to_string()));
+        } else {
+            pending.push_str(trimmed);
+            logical.push((pending_line, std::mem::take(&mut pending)));
+        }
+    }
+    if !pending.is_empty() {
+        logical.push((pending_line, pending));
+    }
+
+    let mut commands = Vec::new();
+    for (line_no, text) in logical {
+        for piece in split_semicolons(&text) {
+            let piece = piece.trim();
+            if piece.is_empty() {
+                continue;
+            }
+            let mut chars: Vec<char> = piece.chars().collect();
+            chars.push('\n'); // sentinel
+            let mut pos = 0usize;
+            let cmd = parse_command(&chars, &mut pos, line_no)?;
+            if !cmd.name.is_empty() {
+                commands.push(cmd);
+            }
+        }
+    }
+    Ok(commands)
+}
+
+/// Finds a `#` comment start outside quotes/braces.
+fn find_comment(line: &str) -> Option<usize> {
+    let mut depth = 0i32;
+    let mut in_quote = false;
+    for (i, c) in line.char_indices() {
+        match c {
+            '"' => in_quote = !in_quote,
+            '{' | '[' => depth += 1,
+            '}' | ']' => depth -= 1,
+            '#' if !in_quote && depth == 0 => return Some(i),
+            _ => {}
+        }
+    }
+    None
+}
+
+/// Splits on `;` outside quotes/brackets.
+fn split_semicolons(line: &str) -> Vec<String> {
+    let mut out = Vec::new();
+    let mut cur = String::new();
+    let mut depth = 0i32;
+    let mut in_quote = false;
+    for c in line.chars() {
+        match c {
+            '"' => {
+                in_quote = !in_quote;
+                cur.push(c);
+            }
+            '{' | '[' => {
+                depth += 1;
+                cur.push(c);
+            }
+            '}' | ']' => {
+                depth -= 1;
+                cur.push(c);
+            }
+            ';' if !in_quote && depth == 0 => out.push(std::mem::take(&mut cur)),
+            _ => cur.push(c),
+        }
+    }
+    out.push(cur);
+    out
+}
+
+fn parse_command(chars: &[char], pos: &mut usize, line: u32) -> Result<Command, ParseScriptError> {
+    let err = |m: String| ParseScriptError { line, message: m };
+    let mut name = String::new();
+    let mut args = Vec::new();
+    // Read words until newline sentinel or closing bracket.
+    loop {
+        // Skip spaces.
+        while *pos < chars.len() && (chars[*pos] == ' ' || chars[*pos] == '\t') {
+            *pos += 1;
+        }
+        if *pos >= chars.len() {
+            break;
+        }
+        match chars[*pos] {
+            '\n' | ']' => break,
+            '[' => {
+                *pos += 1;
+                let inner = parse_command(chars, pos, line)?;
+                if *pos >= chars.len() || chars[*pos] != ']' {
+                    return Err(err("unbalanced '['".into()));
+                }
+                *pos += 1;
+                if name.is_empty() {
+                    return Err(err("command cannot start with a bracket".into()));
+                }
+                args.push(Arg::Bracket(inner));
+            }
+            '"' | '{' => {
+                let close = if chars[*pos] == '"' { '"' } else { '}' };
+                *pos += 1;
+                let start = *pos;
+                while *pos < chars.len() && chars[*pos] != close {
+                    *pos += 1;
+                }
+                if *pos >= chars.len() {
+                    return Err(err(format!("unterminated '{close}' quote")));
+                }
+                let word: String = chars[start..*pos].iter().collect();
+                *pos += 1;
+                if name.is_empty() {
+                    name = word;
+                } else {
+                    args.push(Arg::Word(word));
+                }
+            }
+            _ => {
+                let start = *pos;
+                while *pos < chars.len()
+                    && !matches!(chars[*pos], ' ' | '\t' | '\n' | '[' | ']')
+                {
+                    *pos += 1;
+                }
+                let word: String = chars[start..*pos].iter().collect();
+                if name.is_empty() {
+                    name = word;
+                } else {
+                    args.push(Arg::Word(word));
+                }
+            }
+        }
+    }
+    Ok(Command { name, args, line })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_basic_commands() {
+        let cmds = parse_script("create_clock -period 2.0 [get_ports clk]\ncompile\n").unwrap();
+        assert_eq!(cmds.len(), 2);
+        assert_eq!(cmds[0].name, "create_clock");
+        assert_eq!(cmds[0].option("-period"), Some("2.0"));
+        let gp = cmds[0].bracket("get_ports").unwrap();
+        assert_eq!(gp.positional(), vec!["clk"]);
+        assert_eq!(cmds[1].name, "compile");
+    }
+
+    #[test]
+    fn comments_and_blank_lines_skipped() {
+        let cmds = parse_script("# setup\n\ncompile # inline comment\n").unwrap();
+        assert_eq!(cmds.len(), 1);
+        assert!(cmds[0].args.is_empty());
+    }
+
+    #[test]
+    fn line_continuation_joins() {
+        let cmds = parse_script("set_input_delay 0.2 \\\n  [all_inputs]\n").unwrap();
+        assert_eq!(cmds.len(), 1);
+        assert!(cmds[0].bracket("all_inputs").is_some());
+    }
+
+    #[test]
+    fn semicolons_separate() {
+        let cmds = parse_script("link; compile; report_qor").unwrap();
+        assert_eq!(cmds.len(), 3);
+    }
+
+    #[test]
+    fn braces_quote_words() {
+        let cmds = parse_script("set_dont_touch {u_core/u_alu}\n").unwrap();
+        assert_eq!(cmds[0].positional(), vec!["u_core/u_alu"]);
+    }
+
+    #[test]
+    fn double_quotes_keep_spaces() {
+        let cmds = parse_script("echo \"hello world\"\n").unwrap();
+        assert_eq!(cmds[0].args[0].as_word(), Some("hello world"));
+    }
+
+    #[test]
+    fn nested_brackets() {
+        let cmds = parse_script("set_false_path -from [get_pins [all_registers]]\n").unwrap();
+        let outer = cmds[0].bracket("get_pins").unwrap();
+        assert!(outer.bracket("all_registers").is_some());
+    }
+
+    #[test]
+    fn unbalanced_bracket_errors() {
+        let e = parse_script("create_clock [get_ports clk\n").unwrap_err();
+        assert!(e.message.contains("unbalanced") || e.message.contains("'['"), "{e}");
+        assert_eq!(e.line, 1);
+    }
+
+    #[test]
+    fn flag_detection() {
+        let cmds = parse_script("compile -map_effort high -incremental\n").unwrap();
+        assert_eq!(cmds[0].option("-map_effort"), Some("high"));
+        assert!(cmds[0].has_flag("-incremental"));
+        assert!(!cmds[0].has_flag("-exact"));
+    }
+
+    #[test]
+    fn negative_numbers_are_not_flags() {
+        let cmds = parse_script("set_max_area -0.5\n").unwrap();
+        assert_eq!(cmds[0].positional(), vec!["-0.5"]);
+    }
+
+    #[test]
+    fn line_numbers_recorded() {
+        let cmds = parse_script("link\n\ncompile\n").unwrap();
+        assert_eq!(cmds[0].line, 1);
+        assert_eq!(cmds[1].line, 3);
+    }
+}

@@ -1,0 +1,817 @@
+//! Static timing analysis over a mapped design.
+//!
+//! Implements the classic topological arrival-time propagation with the
+//! linear delay model from [`chatls_liberty`]: gate delay =
+//! `intrinsic + drive_resistance × load`, loads from sink pin caps plus the
+//! configured wireload model. Endpoints are flip-flop D pins (required =
+//! period − setup) and primary outputs (required = period − output delay).
+//!
+//! Reported metrics match the paper's Table III/IV columns:
+//! **WNS** (worst negative slack, 0 when met), **CPS** (critical path
+//! slack, signed), **TNS** (total negative slack), and cell **area**.
+
+use crate::design::MappedDesign;
+use chatls_liberty::Library;
+use chatls_verilog::netlist::GateKind;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use std::fmt;
+
+/// Timing constraints and analysis knobs.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Constraints {
+    /// Clock period in ns.
+    pub clock_period: f64,
+    /// Clock port name (informational).
+    pub clock_port: Option<String>,
+    /// Arrival time of primary inputs relative to the clock edge (ns).
+    pub input_delay: f64,
+    /// Required margin on primary outputs (ns).
+    pub output_delay: f64,
+    /// Wireload model name; `None` = ideal wires.
+    pub wire_load: Option<String>,
+    /// Area target for area recovery (`set_max_area`), if any.
+    pub max_area: Option<f64>,
+    /// Slack band near critical treated as critical (`set_critical_range`).
+    pub critical_range: f64,
+    /// Drive resistance of the cell assumed to drive primary inputs
+    /// (`set_driving_cell`), in ns/fF; input arrival = input delay +
+    /// this × input-net load.
+    pub input_drive_resistance: f64,
+    /// Timing exceptions (`set_false_path`, `set_multicycle_path`).
+    pub exceptions: Vec<TimingException>,
+}
+
+/// A timing exception applied during analysis.
+///
+/// `-from` is supported for primary-input launch points (the named input's
+/// paths are excluded from arrival propagation); `-to` matches endpoints by
+/// name prefix (a register's Q-net name or a primary output). This is the
+/// practical subset the synthesis scripts in this workspace use; full
+/// through-point exceptions would require per-path tagging.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum TimingException {
+    /// `set_false_path -from <port>`: paths launched at the port are
+    /// unconstrained.
+    FalseFrom(String),
+    /// `set_false_path -to <endpoint prefix>`: matching endpoints are
+    /// unconstrained.
+    FalseTo(String),
+    /// `set_multicycle_path <n> -to <endpoint prefix>`: matching endpoints
+    /// get `n` clock periods.
+    MulticycleTo(String, u32),
+}
+
+impl Default for Constraints {
+    fn default() -> Self {
+        Self {
+            clock_period: 1.0,
+            clock_port: None,
+            input_delay: 0.0,
+            output_delay: 0.0,
+            wire_load: Some("5K_heavy_1k".into()),
+            max_area: None,
+            critical_range: 0.05,
+            input_drive_resistance: 0.002,
+            exceptions: Vec::new(),
+        }
+    }
+}
+
+/// One step of a reported timing path, source to endpoint.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PathStep {
+    /// Net name at this step.
+    pub net: String,
+    /// Library cell driving the net (empty for primary inputs).
+    pub cell: String,
+    /// Hierarchical module path of the driving gate.
+    pub module_path: String,
+    /// Arrival time at this net (ns).
+    pub arrival: f64,
+}
+
+/// A slack record for a timing endpoint.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct EndpointSlack {
+    /// Endpoint description (register data pin or primary output name).
+    pub endpoint: String,
+    /// Hierarchical module path of the endpoint.
+    pub module_path: String,
+    /// Arrival time (ns).
+    pub arrival: f64,
+    /// Required time (ns).
+    pub required: f64,
+    /// Slack = required − arrival (ns).
+    pub slack: f64,
+}
+
+/// Full timing report.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TimingReport {
+    /// Worst negative slack: `min(0, min slack)` (ns).
+    pub wns: f64,
+    /// Critical path slack: the signed minimum endpoint slack (ns).
+    pub cps: f64,
+    /// Total negative slack: sum of negative endpoint slacks (ns).
+    pub tns: f64,
+    /// All endpoint slacks, worst first.
+    pub endpoints: Vec<EndpointSlack>,
+    /// The critical path, source first.
+    pub critical_path: Vec<PathStep>,
+}
+
+impl TimingReport {
+    /// Worst slack per hierarchical module path (endpoint attribution).
+    pub fn module_slacks(&self) -> HashMap<String, f64> {
+        let mut map: HashMap<String, f64> = HashMap::new();
+        for ep in &self.endpoints {
+            let entry = map.entry(ep.module_path.clone()).or_insert(f64::INFINITY);
+            if ep.slack < *entry {
+                *entry = ep.slack;
+            }
+        }
+        map
+    }
+
+    /// True when all endpoints meet timing.
+    pub fn met(&self) -> bool {
+        self.cps >= 0.0
+    }
+}
+
+/// Quality-of-results summary (one Table III/IV row).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct QorReport {
+    /// Design name.
+    pub design: String,
+    /// Worst negative slack (ns); 0.00 when timing is met.
+    pub wns: f64,
+    /// Critical path slack (ns); positive when timing is met.
+    pub cps: f64,
+    /// Total negative slack (ns).
+    pub tns: f64,
+    /// Cell area (µm²).
+    pub area: f64,
+    /// Leakage power (relative units).
+    pub leakage: f64,
+    /// Live cell count.
+    pub cells: usize,
+    /// Register count.
+    pub registers: usize,
+}
+
+impl fmt::Display for QorReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "**** QoR report: {} ****", self.design)?;
+        writeln!(f, "  WNS : {:>9.2} ns", self.wns)?;
+        writeln!(f, "  CPS : {:>9.2} ns", self.cps)?;
+        writeln!(f, "  TNS : {:>9.2} ns", self.tns)?;
+        writeln!(f, "  Area: {:>11.2} um^2", self.area)?;
+        writeln!(f, "  Cells: {}  Registers: {}", self.cells, self.registers)
+    }
+}
+
+/// Arrival times, loads and the topological order used to compute them.
+struct Arrivals {
+    arrival: Vec<f64>,
+    loads: Vec<f64>,
+    order: Vec<usize>,
+    driver: Vec<Option<usize>>,
+}
+
+/// Per-net arrival/required/slack view used by timing-driven passes.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SlackMap {
+    /// Arrival time per net (ns); `-inf` for unreached nets.
+    pub arrival: Vec<f64>,
+    /// Required time per net (ns); `+inf` for unconstrained nets.
+    pub required: Vec<f64>,
+}
+
+impl SlackMap {
+    /// Slack of a net: `required − arrival` (`+inf` when unconstrained).
+    pub fn slack(&self, net: u32) -> f64 {
+        self.required[net as usize] - self.arrival[net as usize].max(0.0)
+    }
+}
+
+/// Computes per-net arrival and required times (backward propagation from
+/// endpoints), for timing-driven optimization passes.
+pub fn slack_map(design: &MappedDesign, library: &Library, constraints: &Constraints) -> SlackMap {
+    let a = compute_arrivals(design, library, constraints);
+    let nets = design.netlist.nets.len();
+    let mut required = vec![f64::INFINITY; nets];
+    for (gi, gate) in design.netlist.gates.iter().enumerate() {
+        if design.is_dead(gi) || !gate.kind.is_sequential() {
+            continue;
+        }
+        let setup = library
+            .cell(&design.cells[gi])
+            .and_then(|c| c.ff.as_ref())
+            .map(|ff| ff.setup)
+            .unwrap_or(0.05);
+        let d = gate.inputs[0] as usize;
+        required[d] = required[d].min(constraints.clock_period - setup);
+    }
+    for (_, id) in &design.netlist.outputs {
+        let r = constraints.clock_period - constraints.output_delay;
+        required[*id as usize] = required[*id as usize].min(r);
+    }
+    for &gi in a.order.iter().rev() {
+        let gate = &design.netlist.gates[gi];
+        let cell = library.cell(&design.cells[gi]);
+        let out_req = required[gate.output as usize];
+        if !out_req.is_finite() {
+            continue;
+        }
+        let load = a.loads[gate.output as usize];
+        for (pin, &inp) in gate.inputs.iter().enumerate() {
+            let r = out_req - arc_delay_for(cell, pin, load);
+            if r < required[inp as usize] {
+                required[inp as usize] = r;
+            }
+        }
+    }
+    SlackMap { arrival: a.arrival, required }
+}
+
+fn compute_arrivals(design: &MappedDesign, library: &Library, constraints: &Constraints) -> Arrivals {
+    let nets = design.netlist.nets.len();
+    let loads = design.net_loads(library, constraints.wire_load.as_deref());
+    let mut arrival = vec![f64::NEG_INFINITY; nets];
+
+    // Sources: primary inputs and register outputs.
+    let clock_name = constraints
+        .clock_port
+        .clone()
+        .or_else(|| design.netlist.clock.clone());
+    for (name, id) in &design.netlist.inputs {
+        let is_clock = clock_name.as_deref().map(|c| name == c || name.starts_with(&format!("{c}["))).unwrap_or(false);
+        let false_from = constraints.exceptions.iter().any(|e| {
+            matches!(e, TimingException::FalseFrom(p)
+                if name == p || name.starts_with(&format!("{p}[")))
+        });
+        arrival[*id as usize] = if is_clock || false_from {
+            0.0
+        } else {
+            constraints.input_delay
+                + constraints.input_drive_resistance * loads[*id as usize]
+        };
+        if false_from {
+            // Exclude the launch point entirely: downstream max() never
+            // sees it above other sources.
+            arrival[*id as usize] = f64::NEG_INFINITY;
+        }
+    }
+    for (gi, gate) in design.netlist.gates.iter().enumerate() {
+        if design.is_dead(gi) || !gate.kind.is_sequential() {
+            continue;
+        }
+        let clk_q = library
+            .cell(&design.cells[gi])
+            .and_then(|c| c.ff.as_ref())
+            .map(|ff| ff.clk_to_q.delay(loads[gate.output as usize]))
+            .unwrap_or(0.1);
+        arrival[gate.output as usize] = clk_q;
+    }
+
+    // Topological propagation over live combinational gates.
+    let driver = design.driver_map();
+    let order = comb_topo(design, &driver);
+    for &gi in &order {
+        let gate = &design.netlist.gates[gi];
+        let cell = library.cell(&design.cells[gi]);
+        let out_load = loads[gate.output as usize];
+        let mut worst = match gate.kind {
+            GateKind::Const0 | GateKind::Const1 => 0.0,
+            _ => f64::NEG_INFINITY,
+        };
+        for (pin, &inp) in gate.inputs.iter().enumerate() {
+            // Excluded launch points carry -inf and must not re-enter as
+            // t=0: a false path stays false through the whole cone.
+            let in_arr = arrival[inp as usize];
+            let arc_delay = arc_delay_for(cell, pin, out_load);
+            if in_arr + arc_delay > worst {
+                worst = in_arr + arc_delay;
+            }
+        }
+        if worst > arrival[gate.output as usize] {
+            arrival[gate.output as usize] = worst;
+        }
+    }
+
+    Arrivals { arrival, loads, order, driver }
+}
+
+/// Runs static timing analysis.
+///
+/// Dead (tombstoned) gates are ignored. Combinational loops make arrival
+/// times ill-defined; the propagation is capped at graph-size iterations so
+/// the analysis terminates, and loop nets report pessimistic arrivals.
+pub fn analyze(design: &MappedDesign, library: &Library, constraints: &Constraints) -> TimingReport {
+    let Arrivals { arrival, loads, order: _, driver } =
+        compute_arrivals(design, library, constraints);
+
+    // Endpoints.
+    let mut endpoints = Vec::new();
+    for (gi, gate) in design.netlist.gates.iter().enumerate() {
+        if design.is_dead(gi) || !gate.kind.is_sequential() {
+            continue;
+        }
+        let setup = library
+            .cell(&design.cells[gi])
+            .and_then(|c| c.ff.as_ref())
+            .map(|ff| ff.setup)
+            .unwrap_or(0.05);
+        let d_net = gate.inputs[0] as usize;
+        let arr = arrival[d_net];
+        if !arr.is_finite() {
+            continue; // unconstrained: all launch points excluded/unreached
+        }
+        let arr = arr.max(0.0);
+        let required = constraints.clock_period - setup;
+        endpoints.push(EndpointSlack {
+            endpoint: format!("{}/D", design.netlist.nets[gate.output as usize].name),
+            module_path: gate.path.clone(),
+            arrival: arr,
+            required,
+            slack: required - arr,
+        });
+    }
+    for (name, id) in &design.netlist.outputs {
+        let arr = arrival[*id as usize];
+        if !arr.is_finite() {
+            continue; // unconstrained output
+        }
+        let arr = arr.max(0.0);
+        let required = constraints.clock_period - constraints.output_delay;
+        let module_path = driver[*id as usize]
+            .map(|gi| design.netlist.gates[gi].path.clone())
+            .unwrap_or_else(|| design.netlist.name.clone());
+        endpoints.push(EndpointSlack {
+            endpoint: name.clone(),
+            module_path,
+            arrival: arr,
+            required,
+            slack: required - arr,
+        });
+    }
+    apply_exceptions(&mut endpoints, constraints);
+    endpoints.sort_by(|a, b| a.slack.partial_cmp(&b.slack).unwrap_or(std::cmp::Ordering::Equal));
+
+    let cps = endpoints.first().map(|e| e.slack).unwrap_or(constraints.clock_period);
+    let wns = cps.min(0.0);
+    let tns: f64 = endpoints.iter().map(|e| e.slack.min(0.0)).sum();
+    let critical_path = endpoints
+        .first()
+        .map(|worst| trace_path(design, library, &arrival, &loads, worst, &driver))
+        .unwrap_or_default();
+
+    TimingReport { wns, cps, tns, endpoints, critical_path }
+}
+
+/// Minimum (fastest-path) arrival times, for hold analysis.
+///
+/// Sources launch at the same clock edge that captures: primary inputs at
+/// `input_delay`, register outputs at their clock-to-Q intrinsic delay.
+/// Gate arcs contribute their intrinsic delay only (the fastest corner of
+/// the linear model).
+pub fn min_arrivals(design: &MappedDesign, library: &Library, constraints: &Constraints) -> Vec<f64> {
+    let nets = design.netlist.nets.len();
+    let mut arrival = vec![f64::INFINITY; nets];
+    let clock_name = constraints
+        .clock_port
+        .clone()
+        .or_else(|| design.netlist.clock.clone());
+    for (name, id) in &design.netlist.inputs {
+        let is_clock = clock_name
+            .as_deref()
+            .map(|c| name == c || name.starts_with(&format!("{c}[")))
+            .unwrap_or(false);
+        arrival[*id as usize] = if is_clock { 0.0 } else { constraints.input_delay };
+    }
+    for (gi, gate) in design.netlist.gates.iter().enumerate() {
+        if design.is_dead(gi) || !gate.kind.is_sequential() {
+            continue;
+        }
+        let clk_q = library
+            .cell(&design.cells[gi])
+            .and_then(|c| c.ff.as_ref())
+            .map(|ff| ff.clk_to_q.intrinsic)
+            .unwrap_or(0.05);
+        arrival[gate.output as usize] = clk_q;
+    }
+    let driver = design.driver_map();
+    let order = comb_topo(design, &driver);
+    for &gi in &order {
+        let gate = &design.netlist.gates[gi];
+        let cell = library.cell(&design.cells[gi]);
+        let mut best = match gate.kind {
+            GateKind::Const0 | GateKind::Const1 => 0.0,
+            _ => f64::INFINITY,
+        };
+        for (pin, &inp) in gate.inputs.iter().enumerate() {
+            let in_arr = arrival[inp as usize].max(0.0);
+            let arc = intrinsic_for(cell, pin);
+            if in_arr + arc < best {
+                best = in_arr + arc;
+            }
+        }
+        if best < arrival[gate.output as usize] {
+            arrival[gate.output as usize] = best;
+        }
+    }
+    arrival
+}
+
+fn intrinsic_for(cell: Option<&chatls_liberty::Cell>, pin: usize) -> f64 {
+    match cell {
+        None => 0.0,
+        Some(c) => c
+            .pins
+            .iter()
+            .find(|p| p.direction == chatls_liberty::PinDir::Output)
+            .and_then(|o| o.timing.get(pin).or_else(|| o.timing.first()))
+            .map(|arc| arc.intrinsic)
+            .unwrap_or(0.0),
+    }
+}
+
+/// Hold-timing report: slack of every register data pin against its hold
+/// requirement, worst first.
+pub fn hold_slacks(design: &MappedDesign, library: &Library, constraints: &Constraints) -> Vec<EndpointSlack> {
+    let min_arr = min_arrivals(design, library, constraints);
+    let mut endpoints = Vec::new();
+    for (gi, gate) in design.netlist.gates.iter().enumerate() {
+        if design.is_dead(gi) || !gate.kind.is_sequential() {
+            continue;
+        }
+        let hold = library
+            .cell(&design.cells[gi])
+            .and_then(|c| c.ff.as_ref())
+            .map(|ff| ff.hold)
+            .unwrap_or(0.01);
+        let arr = min_arr[gate.inputs[0] as usize];
+        let arr = if arr.is_finite() { arr.max(0.0) } else { 0.0 };
+        endpoints.push(EndpointSlack {
+            endpoint: format!("{}/D (hold)", design.netlist.nets[gate.output as usize].name),
+            module_path: gate.path.clone(),
+            arrival: arr,
+            required: hold,
+            slack: arr - hold,
+        });
+    }
+    endpoints.sort_by(|a, b| a.slack.partial_cmp(&b.slack).unwrap_or(std::cmp::Ordering::Equal));
+    endpoints
+}
+
+/// Full QoR (timing + area) in one call.
+pub fn qor(design: &MappedDesign, library: &Library, constraints: &Constraints) -> QorReport {
+    let timing = analyze(design, library, constraints);
+    QorReport {
+        design: design.netlist.name.clone(),
+        wns: timing.wns,
+        cps: timing.cps,
+        tns: timing.tns,
+        area: design.area(library),
+        leakage: design.leakage(library),
+        cells: design.live_gates(),
+        registers: design
+            .netlist
+            .gates
+            .iter()
+            .enumerate()
+            .filter(|(i, g)| !design.is_dead(*i) && g.kind.is_sequential())
+            .count(),
+    }
+}
+
+/// Applies `-to` exceptions: false paths drop out, multicycle endpoints
+/// get extra periods.
+fn apply_exceptions(endpoints: &mut Vec<EndpointSlack>, constraints: &Constraints) {
+    if constraints.exceptions.is_empty() {
+        return;
+    }
+    endpoints.retain(|ep| {
+        !constraints.exceptions.iter().any(|e| {
+            matches!(e, TimingException::FalseTo(p) if ep.endpoint.starts_with(p.as_str()))
+        })
+    });
+    for ep in endpoints.iter_mut() {
+        for e in &constraints.exceptions {
+            if let TimingException::MulticycleTo(p, n) = e {
+                if ep.endpoint.starts_with(p.as_str()) && *n >= 1 {
+                    ep.required += constraints.clock_period * (*n as f64 - 1.0);
+                    ep.slack = ep.required - ep.arrival;
+                }
+            }
+        }
+    }
+}
+
+/// Arc delay for a cell's `pin`-th input driving `load`.
+fn arc_delay_for(cell: Option<&chatls_liberty::Cell>, pin: usize, load: f64) -> f64 {
+    match cell {
+        None => 0.0,
+        Some(c) => {
+            let out = c.pins.iter().find(|p| p.direction == chatls_liberty::PinDir::Output);
+            match out {
+                None => 0.0,
+                Some(o) => o
+                    .timing
+                    .get(pin)
+                    .or_else(|| o.timing.first())
+                    .map(|arc| arc.delay(load))
+                    .unwrap_or(0.0),
+            }
+        }
+    }
+}
+
+/// Kahn topological order over live combinational gates; gates on cycles
+/// are appended last (pessimistic single-pass arrivals).
+fn comb_topo(design: &MappedDesign, driver: &[Option<usize>]) -> Vec<usize> {
+    let n = design.netlist.gates.len();
+    let mut indeg = vec![0u32; n];
+    let mut consumers: Vec<Vec<usize>> = vec![Vec::new(); n];
+    let comb_driver = |net: u32| -> Option<usize> {
+        driver[net as usize].filter(|&gi| !design.netlist.gates[gi].kind.is_sequential())
+    };
+    for (gi, gate) in design.netlist.gates.iter().enumerate() {
+        if design.is_dead(gi) || gate.kind.is_sequential() {
+            continue;
+        }
+        for &inp in &gate.inputs {
+            if let Some(dep) = comb_driver(inp) {
+                if !design.is_dead(dep) {
+                    consumers[dep].push(gi);
+                    indeg[gi] += 1;
+                }
+            }
+        }
+    }
+    let mut queue: Vec<usize> = (0..n)
+        .filter(|&gi| {
+            !design.is_dead(gi)
+                && !design.netlist.gates[gi].kind.is_sequential()
+                && indeg[gi] == 0
+        })
+        .collect();
+    let mut order = Vec::with_capacity(queue.len());
+    let mut qi = 0;
+    while qi < queue.len() {
+        let g = queue[qi];
+        qi += 1;
+        order.push(g);
+        for &c in &consumers[g] {
+            indeg[c] -= 1;
+            if indeg[c] == 0 {
+                queue.push(c);
+            }
+        }
+    }
+    // Append any cycle remnants deterministically.
+    for gi in 0..n {
+        if !design.is_dead(gi)
+            && !design.netlist.gates[gi].kind.is_sequential()
+            && indeg[gi] > 0
+        {
+            order.push(gi);
+        }
+    }
+    order
+}
+
+fn trace_path(
+    design: &MappedDesign,
+    library: &Library,
+    arrival: &[f64],
+    loads: &[f64],
+    worst: &EndpointSlack,
+    driver: &[Option<usize>],
+) -> Vec<PathStep> {
+    // Find the endpoint's data net.
+    let mut net: Option<u32> = None;
+    for (gi, gate) in design.netlist.gates.iter().enumerate() {
+        if design.is_dead(gi) || !gate.kind.is_sequential() {
+            continue;
+        }
+        if format!("{}/D", design.netlist.nets[gate.output as usize].name) == worst.endpoint {
+            net = Some(gate.inputs[0]);
+            break;
+        }
+    }
+    if net.is_none() {
+        net = design
+            .netlist
+            .outputs
+            .iter()
+            .find(|(n, _)| *n == worst.endpoint)
+            .map(|(_, id)| *id);
+    }
+    let mut steps = Vec::new();
+    let mut guard = 0;
+    while let Some(cur) = net {
+        guard += 1;
+        if guard > design.netlist.gates.len() + 2 {
+            break;
+        }
+        match driver[cur as usize] {
+            None => {
+                steps.push(PathStep {
+                    net: design.netlist.nets[cur as usize].name.clone(),
+                    cell: String::new(),
+                    module_path: design.netlist.name.clone(),
+                    arrival: arrival[cur as usize].max(0.0),
+                });
+                break;
+            }
+            Some(gi) => {
+                let gate = &design.netlist.gates[gi];
+                steps.push(PathStep {
+                    net: design.netlist.nets[cur as usize].name.clone(),
+                    cell: design.cells[gi].clone(),
+                    module_path: gate.path.clone(),
+                    arrival: arrival[cur as usize].max(0.0),
+                });
+                if gate.kind.is_sequential() || gate.inputs.is_empty() {
+                    break;
+                }
+                // Walk to the input that set the max arrival.
+                let cell = library.cell(&design.cells[gi]);
+                let out_load = loads[gate.output as usize];
+                let mut best_in = gate.inputs[0];
+                let mut best_arr = f64::NEG_INFINITY;
+                for (pin, &inp) in gate.inputs.iter().enumerate() {
+                    let a = arrival[inp as usize].max(0.0) + arc_delay_for(cell, pin, out_load);
+                    if a > best_arr {
+                        best_arr = a;
+                        best_in = inp;
+                    }
+                }
+                net = Some(best_in);
+            }
+        }
+    }
+    steps.reverse();
+    steps
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use chatls_liberty::nangate45;
+    use chatls_verilog::{lower_to_netlist, parse};
+
+    fn map(src: &str, top: &str) -> MappedDesign {
+        let sf = parse(src).unwrap();
+        let nl = lower_to_netlist(&sf, top).unwrap();
+        MappedDesign::map(nl, &nangate45()).unwrap()
+    }
+
+    fn cons(period: f64) -> Constraints {
+        Constraints { clock_period: period, ..Constraints::default() }
+    }
+
+    #[test]
+    fn comb_chain_arrival_accumulates() {
+        let d = map(
+            "module c(input a, output y);
+                wire w1, w2;
+                assign w1 = ~a;
+                assign w2 = ~w1;
+                assign y = ~w2;
+            endmodule",
+            "c",
+        );
+        let lib = nangate45();
+        let r = analyze(&d, &lib, &cons(10.0));
+        assert!(r.met());
+        // Three inverters plus buffers: arrival must exceed one INV delay.
+        let ep = r.endpoints.iter().find(|e| e.endpoint == "y").unwrap();
+        assert!(ep.arrival > 0.02, "arrival {}", ep.arrival);
+    }
+
+    #[test]
+    fn tight_clock_fails_timing() {
+        let d = map(
+            "module m(input [7:0] a, b, input clk, output reg [7:0] q);
+                always @(posedge clk) q <= a * b;
+            endmodule",
+            "m",
+        );
+        let lib = nangate45();
+        let fast = analyze(&d, &lib, &cons(0.1));
+        let slow = analyze(&d, &lib, &cons(50.0));
+        assert!(fast.cps < 0.0, "multiplier cannot close 0.1ns: cps={}", fast.cps);
+        assert!(slow.met());
+        assert_eq!(fast.wns, fast.cps.min(0.0));
+    }
+
+    #[test]
+    fn slack_identity_holds_everywhere() {
+        let d = map(
+            "module m(input [3:0] a, b, input clk, output reg [3:0] q);
+                always @(posedge clk) q <= a + b;
+            endmodule",
+            "m",
+        );
+        let lib = nangate45();
+        let r = analyze(&d, &lib, &cons(1.0));
+        for ep in &r.endpoints {
+            assert!((ep.slack - (ep.required - ep.arrival)).abs() < 1e-9);
+        }
+        let min_slack = r.endpoints.iter().map(|e| e.slack).fold(f64::INFINITY, f64::min);
+        assert!((r.cps - min_slack).abs() < 1e-9);
+        let tns: f64 = r.endpoints.iter().map(|e| e.slack.min(0.0)).sum();
+        assert!((r.tns - tns).abs() < 1e-9);
+        assert!(r.wns <= 0.0);
+    }
+
+    #[test]
+    fn register_to_register_path_includes_clk_q_and_setup() {
+        let d = map(
+            "module p(input clk, d, output reg q2);
+                reg q1;
+                always @(posedge clk) begin q1 <= d; q2 <= ~q1; end
+            endmodule",
+            "p",
+        );
+        let lib = nangate45();
+        let r = analyze(&d, &lib, &cons(1.0));
+        // Endpoint q2/D: arrival >= clk_q(DFF) + inv delay.
+        let ep = r
+            .endpoints
+            .iter()
+            .find(|e| e.endpoint.contains("q2") && e.endpoint.ends_with("/D"))
+            .unwrap();
+        assert!(ep.arrival > 0.09, "arrival {} must include clk->q", ep.arrival);
+        assert!(ep.required < 1.0, "required {} must include setup", ep.required);
+    }
+
+    #[test]
+    fn critical_path_trace_is_monotone() {
+        let d = map(
+            "module m(input [7:0] a, b, input clk, output reg [7:0] q);
+                always @(posedge clk) q <= (a + b) * (a - b);
+            endmodule",
+            "m",
+        );
+        let lib = nangate45();
+        let r = analyze(&d, &lib, &cons(1.0));
+        assert!(r.critical_path.len() >= 2);
+        for w in r.critical_path.windows(2) {
+            assert!(w[0].arrival <= w[1].arrival + 1e-9, "path arrivals must not decrease");
+        }
+    }
+
+    #[test]
+    fn wireload_model_slows_design() {
+        let d = map(
+            "module f(input a, input clk, output reg [15:0] q);
+                always @(posedge clk) q <= {16{a}};
+            endmodule",
+            "f",
+        );
+        let lib = nangate45();
+        let heavy = analyze(&d, &lib, &Constraints { wire_load: Some("5K_heavy_1k".into()), ..cons(1.0) });
+        let ideal = analyze(&d, &lib, &Constraints { wire_load: None, ..cons(1.0) });
+        assert!(heavy.cps < ideal.cps, "heavy {} vs ideal {}", heavy.cps, ideal.cps);
+    }
+
+    #[test]
+    fn qor_report_fields_consistent() {
+        let d = map(
+            "module m(input [3:0] a, input clk, output reg [3:0] q);
+                always @(posedge clk) q <= a + 4'd1;
+            endmodule",
+            "m",
+        );
+        let lib = nangate45();
+        let q = qor(&d, &lib, &cons(2.0));
+        assert_eq!(q.registers, 4);
+        assert!(q.area > 4.0 * 4.5, "at least four DFFs of area");
+        assert!(q.cells > 4);
+        let text = q.to_string();
+        assert!(text.contains("WNS"));
+        assert!(text.contains("um^2"));
+    }
+
+    #[test]
+    fn module_slacks_attribute_paths() {
+        let d = map(
+            "module slow(input [7:0] x, output [7:0] y); assign y = x * x; endmodule
+             module top(input [7:0] a, input clk, output reg [7:0] q);
+                wire [7:0] w;
+                slow u_slow (.x(a), .y(w));
+                always @(posedge clk) q <= w;
+             endmodule",
+            "top",
+        );
+        let lib = nangate45();
+        let r = analyze(&d, &lib, &cons(0.3));
+        let slacks = r.module_slacks();
+        assert!(slacks.keys().any(|k| k == "top"), "keys: {:?}", slacks.keys());
+    }
+}

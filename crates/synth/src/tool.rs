@@ -1,0 +1,951 @@
+//! The simulated logic-synthesis tool: a Design-Compiler-style command
+//! interpreter driving the mapping, optimization and STA machinery.
+//!
+//! [`SynthSession::run_script`] executes a Tcl-subset script against a
+//! loaded design. Unknown commands and invalid options abort the run with a
+//! [`ScriptError`] — exactly the failure mode the ChatLS paper attributes
+//! to hallucinated commands — leaving the design in its state at the abort
+//! point. [`command_manual`] documents every supported command; SynthRAG
+//! builds its text-retrieval corpus from these entries.
+
+use crate::design::MappedDesign;
+use crate::passes::{
+    buffer_high_fanout, compile, fix_hold, insert_clock_gating, retime, sweep, ungroup_all,
+    Effort,
+};
+use crate::script::{parse_script, Command};
+use crate::sta::{analyze, qor, Constraints, QorReport, TimingReport};
+use chatls_liberty::Library;
+use chatls_verilog::netlist::Netlist;
+use serde::{Deserialize, Serialize};
+use std::error::Error;
+use std::fmt;
+
+/// Error raised by a script command.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ScriptError {
+    /// 1-based script line.
+    pub line: u32,
+    /// Offending command name.
+    pub command: String,
+    /// Description.
+    pub message: String,
+}
+
+impl fmt::Display for ScriptError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "error at line {} ({}): {}", self.line, self.command, self.message)
+    }
+}
+
+impl Error for ScriptError {}
+
+/// Outcome of a script run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RunResult {
+    /// Commands successfully executed.
+    pub executed: usize,
+    /// First error, if the run aborted.
+    pub error: Option<ScriptError>,
+    /// QoR at the end of the run (or at the abort point).
+    pub qor: QorReport,
+    /// Tool transcript (reports requested by the script, notes).
+    pub log: Vec<String>,
+}
+
+impl RunResult {
+    /// True when the whole script executed.
+    pub fn ok(&self) -> bool {
+        self.error.is_none()
+    }
+}
+
+/// One entry of the tool's user manual.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ManualEntry {
+    /// Command name.
+    pub name: &'static str,
+    /// One-line synopsis with options.
+    pub synopsis: &'static str,
+    /// What the command does and when to use it.
+    pub description: &'static str,
+    /// Usage requirements and constraints.
+    pub requirements: &'static str,
+}
+
+/// The tool's full user manual (SynthRAG's text corpus).
+pub fn command_manual() -> &'static [ManualEntry] {
+    &[
+        ManualEntry {
+            name: "read_verilog",
+            synopsis: "read_verilog <file>",
+            description: "Reads an RTL design into the tool. In this environment the design is preloaded, so the command is accepted and ignored.",
+            requirements: "Must appear before synthesis commands in traditional flows.",
+        },
+        ManualEntry {
+            name: "current_design",
+            synopsis: "current_design <name>",
+            description: "Selects the design to work on. Accepted for compatibility; the loaded design is always current.",
+            requirements: "The named design must be loaded.",
+        },
+        ManualEntry {
+            name: "link",
+            synopsis: "link",
+            description: "Resolves references between the design and the target library.",
+            requirements: "Run after reading the design and before compile.",
+        },
+        ManualEntry {
+            name: "check_design",
+            synopsis: "check_design",
+            description: "Checks the netlist for structural problems such as multiply driven or undriven nets, and reports them.",
+            requirements: "None.",
+        },
+        ManualEntry {
+            name: "create_clock",
+            synopsis: "create_clock -period <ns> [-name <clk>] [get_ports <port>]",
+            description: "Defines the clock and its period. Every register-to-register and input-to-register path is constrained against this period. The basic configuration including the time period must not be changed when customizing a script whose clock is already defined.",
+            requirements: "-period must be a positive number of nanoseconds.",
+        },
+        ManualEntry {
+            name: "set_input_delay",
+            synopsis: "set_input_delay <ns> [-clock <clk>] [all_inputs|get_ports <p>]",
+            description: "Declares how late primary inputs arrive relative to the clock edge, tightening input-to-register paths.",
+            requirements: "Delay must be a number; a clock should exist.",
+        },
+        ManualEntry {
+            name: "set_output_delay",
+            synopsis: "set_output_delay <ns> [-clock <clk>] [all_outputs|get_ports <p>]",
+            description: "Declares the external margin required at primary outputs, tightening register-to-output paths.",
+            requirements: "Delay must be a number; a clock should exist.",
+        },
+        ManualEntry {
+            name: "set_wire_load_model",
+            synopsis: "set_wire_load_model -name <model>",
+            description: "Selects the wireload model used to estimate net capacitance from fanout. The 5K_heavy_1k model penalizes high-fanout nets heavily; 5K_light_1k is gentler.",
+            requirements: "The model must exist in the target library.",
+        },
+        ManualEntry {
+            name: "set_driving_cell",
+            synopsis: "set_driving_cell -lib_cell <cell> [all_inputs]",
+            description: "Models the external cell driving primary inputs; a stronger driving cell reduces input-net delay on high-fanout input ports.",
+            requirements: "The cell must exist in the target library.",
+        },
+        ManualEntry {
+            name: "set_max_area",
+            synopsis: "set_max_area <um2>",
+            description: "Sets the area target. A value of 0 asks for maximum area recovery: compile will downsize cells off the critical path.",
+            requirements: "Value must be a non-negative number.",
+        },
+        ManualEntry {
+            name: "set_critical_range",
+            synopsis: "set_critical_range <ns> [current_design]",
+            description: "Widens the band of near-critical paths that timing optimization works on. Larger values let compile improve sub-critical paths at some area cost.",
+            requirements: "Value must be a non-negative number of nanoseconds.",
+        },
+        ManualEntry {
+            name: "set_max_fanout",
+            synopsis: "set_max_fanout <n> [current_design]",
+            description: "Sets the fanout limit used by buffer insertion. Compile at high effort and balance_buffers split nets with more sinks than this limit into buffer trees. Effective for designs whose critical paths run through high-fanout nets such as enables and broadcast buses.",
+            requirements: "Value must be a positive integer.",
+        },
+        ManualEntry {
+            name: "compile",
+            synopsis: "compile [-map_effort low|medium|high] [-incremental]",
+            description: "Maps and optimizes the design: constant propagation, cleanup, and timing-driven gate sizing. Higher effort adds fanout buffering and more sizing iterations. Use after constraints are set.",
+            requirements: "-map_effort must be low, medium or high. A clock should be defined first.",
+        },
+        ManualEntry {
+            name: "compile_ultra",
+            synopsis: "compile_ultra [-incremental] [-no_autoungroup] [-retime]",
+            description: "Highest-effort compile: automatic ungrouping (unless -no_autoungroup), fanout buffering, aggressive sizing, and register retiming when -retime is given. Best default for timing closure on large designs.",
+            requirements: "A clock must be defined. -retime requires a sequential design.",
+        },
+        ManualEntry {
+            name: "optimize_registers",
+            synopsis: "optimize_registers",
+            description: "Register retiming: moves registers across combinational logic to balance pipeline stage delays. Most effective when a design has long combinational cones feeding registers — e.g. unbalanced pipelines with excessively long logic before the capture register. Not helpful for high-fanout or wire-dominated timing problems; use buffering there.",
+            requirements: "Design must be sequential. Registers are moved only within a module unless the design is ungrouped.",
+        },
+        ManualEntry {
+            name: "balance_buffers",
+            synopsis: "balance_buffers [-max_fanout <n>]",
+            description: "Buffer balancing: splits high-fanout nets into balanced buffer trees, reducing the load seen by each driver. The right tool when timing violations come from high-fanout nets (enables, resets used as data, broadcast buses) rather than logic depth; prefer retiming for deep unbalanced logic.",
+            requirements: "Fanout limit must be a positive integer (default from set_max_fanout, else 12).",
+        },
+        ManualEntry {
+            name: "ungroup",
+            synopsis: "ungroup -all [-flatten]",
+            description: "Dissolves module boundaries so optimization (sizing, retiming, buffering) can work across the former hierarchy. Recommended when critical paths cross module boundaries; loses per-module reporting.",
+            requirements: "Use -all to ungroup the whole design.",
+        },
+        ManualEntry {
+            name: "set_clock_gating_style",
+            synopsis: "set_clock_gating_style [-sequential_cell latch]",
+            description: "Configures the clock-gating style to be used by insert_clock_gating.",
+            requirements: "Must be issued before insert_clock_gating.",
+        },
+        ManualEntry {
+            name: "insert_clock_gating",
+            synopsis: "insert_clock_gating [-global]",
+            description: "Replaces enable-recirculation (hold) muxes in front of registers with gated clocks, saving the mux area and shortening the data path. Effective on register-rich designs with load-enable registers (register files, pipeline stages with stalls).",
+            requirements: "Design must contain enable-recirculation registers to benefit.",
+        },
+        ManualEntry {
+            name: "report_timing",
+            synopsis: "report_timing [-max_paths <n>]",
+            description: "Reports the critical path with per-stage arrival times, plus WNS/CPS/TNS.",
+            requirements: "None.",
+        },
+        ManualEntry {
+            name: "report_area",
+            synopsis: "report_area",
+            description: "Reports total cell area, cell count and register count.",
+            requirements: "None.",
+        },
+        ManualEntry {
+            name: "report_qor",
+            synopsis: "report_qor",
+            description: "Reports the combined quality-of-results summary: WNS, CPS, TNS and area.",
+            requirements: "None.",
+        },
+        ManualEntry {
+            name: "write",
+            synopsis: "write -format verilog [-output <file>]",
+            description: "Writes the synthesized gate-level Verilog netlist. The text is kept in the session (retrievable via netlist_verilog) and logged; no file is written in this environment.",
+            requirements: "-format must be verilog.",
+        },
+        ManualEntry {
+            name: "set_false_path",
+            synopsis: "set_false_path [-from [get_ports <p>]] [-to <endpoint>]",
+            description: "Declares paths as not timing-relevant: launch points named with -from (primary inputs) or capture points named with -to are excluded from WNS/TNS. Use for configuration inputs and static control.",
+            requirements: "At least one of -from/-to must be given.",
+        },
+        ManualEntry {
+            name: "set_multicycle_path",
+            synopsis: "set_multicycle_path <n> -to <endpoint>",
+            description: "Gives matching endpoints n clock periods instead of one. Use for handshaked or slow-enable register banks.",
+            requirements: "n must be a positive integer; -to is required.",
+        },
+        ManualEntry {
+            name: "report_power",
+            synopsis: "report_power",
+            description: "Estimates leakage and dynamic power. Dynamic power uses switching activity measured under random stimulus; clock gating and area recovery reduce it.",
+            requirements: "None.",
+        },
+        ManualEntry {
+            name: "report_hold",
+            synopsis: "report_hold",
+            description: "Reports hold-time slack at every register data pin using fastest-path arrival times.",
+            requirements: "None.",
+        },
+        ManualEntry {
+            name: "set_fix_hold",
+            synopsis: "set_fix_hold [all_clocks]",
+            description: "Fixes hold violations by inserting protected delay buffers in front of failing register data pins. Use after setup timing is closed; the inserted delay does not disturb setup-critical paths noticeably.",
+            requirements: "Run after compile so the netlist is mapped.",
+        },
+    ]
+}
+
+/// Names of all commands the tool accepts.
+pub fn known_commands() -> Vec<&'static str> {
+    command_manual().iter().map(|e| e.name).collect()
+}
+
+/// A scripted synthesis session over one design.
+#[derive(Debug, Clone)]
+pub struct SynthSession {
+    library: Library,
+    design: MappedDesign,
+    constraints: Constraints,
+    ungrouped: bool,
+    max_fanout: Option<usize>,
+    clock_defined: bool,
+    gating_style_set: bool,
+    log: Vec<String>,
+    last_netlist: Option<String>,
+}
+
+impl SynthSession {
+    /// Loads a netlist, mapping it onto the library at lowest drive.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the library lacks cells for the netlist's gates.
+    pub fn new(netlist: Netlist, library: Library) -> Result<Self, crate::design::SynthesisError> {
+        let design = MappedDesign::map(netlist, &library)?;
+        Ok(Self {
+            library,
+            design,
+            constraints: Constraints::default(),
+            ungrouped: false,
+            max_fanout: None,
+            clock_defined: false,
+            gating_style_set: false,
+            log: Vec::new(),
+            last_netlist: None,
+        })
+    }
+
+    /// Current constraints.
+    pub fn constraints(&self) -> &Constraints {
+        &self.constraints
+    }
+
+    /// The design in its current state.
+    pub fn design(&self) -> &MappedDesign {
+        &self.design
+    }
+
+    /// The target library.
+    pub fn library(&self) -> &Library {
+        &self.library
+    }
+
+    /// QoR of the current design state.
+    pub fn qor(&self) -> QorReport {
+        qor(&self.design, &self.library, &self.constraints)
+    }
+
+    /// Full timing report of the current design state.
+    pub fn timing_report(&self) -> TimingReport {
+        analyze(&self.design, &self.library, &self.constraints)
+    }
+
+    /// The gate-level netlist text from the last `write -format verilog`.
+    pub fn netlist_verilog(&self) -> Option<&str> {
+        self.last_netlist.as_deref()
+    }
+
+    /// Parses and executes a script, aborting at the first error.
+    pub fn run_script(&mut self, script: &str) -> RunResult {
+        let commands = match parse_script(script) {
+            Ok(c) => c,
+            Err(e) => {
+                return RunResult {
+                    executed: 0,
+                    error: Some(ScriptError {
+                        line: e.line,
+                        command: String::new(),
+                        message: e.message,
+                    }),
+                    qor: self.qor(),
+                    log: self.log.clone(),
+                }
+            }
+        };
+        let mut executed = 0;
+        for cmd in &commands {
+            match self.run_command(cmd) {
+                Ok(()) => executed += 1,
+                Err(e) => {
+                    return RunResult {
+                        executed,
+                        error: Some(e),
+                        qor: self.qor(),
+                        log: std::mem::take(&mut self.log),
+                    }
+                }
+            }
+        }
+        RunResult { executed, error: None, qor: self.qor(), log: std::mem::take(&mut self.log) }
+    }
+
+    fn err(&self, cmd: &Command, message: impl Into<String>) -> ScriptError {
+        ScriptError { line: cmd.line, command: cmd.name.clone(), message: message.into() }
+    }
+
+    fn require_f64(&self, cmd: &Command, value: Option<&str>, what: &str) -> Result<f64, ScriptError> {
+        value
+            .and_then(|v| v.parse::<f64>().ok())
+            .ok_or_else(|| self.err(cmd, format!("{what} must be a number")))
+    }
+
+    fn run_command(&mut self, cmd: &Command) -> Result<(), ScriptError> {
+        match cmd.name.as_str() {
+            "read_verilog" | "analyze" | "elaborate" | "current_design" | "link" | "echo"
+            | "set" | "lappend" | "exit" | "quit" => {
+                self.log.push(format!("(info) {} accepted", cmd.name));
+                Ok(())
+            }
+            "write" => {
+                match cmd.option("-format") {
+                    None | Some("verilog") => {
+                        let text =
+                            crate::netlist_out::write_verilog(&self.design, &self.library);
+                        self.log
+                            .push(format!("write: netlist generated ({} lines)", text.lines().count()));
+                        self.last_netlist = Some(text);
+                        Ok(())
+                    }
+                    Some(other) => Err(self.err(cmd, format!("unsupported -format '{other}'"))),
+                }
+            }
+            "report_power" => {
+                let report = crate::power::estimate_power(
+                    &self.design,
+                    &self.library,
+                    &self.constraints,
+                    7,
+                    48,
+                );
+                self.log.push(report.to_string());
+                Ok(())
+            }
+            "report_hold" => {
+                let slacks = crate::sta::hold_slacks(&self.design, &self.library, &self.constraints);
+                let worst = slacks.first().map(|e| e.slack).unwrap_or(f64::INFINITY);
+                let violating = slacks.iter().filter(|e| e.slack < 0.0).count();
+                self.log.push(format!(
+                    "report_hold: worst {worst:.3} ns, {violating} violating endpoints of {}",
+                    slacks.len()
+                ));
+                Ok(())
+            }
+            "set_fix_hold" => {
+                let stats = fix_hold(&mut self.design, &self.library, &self.constraints);
+                self.log.push(format!("set_fix_hold: inserted {} delay buffers", stats.added));
+                Ok(())
+            }
+            "check_design" => {
+                let mut d = self.design.clone();
+                d.compact();
+                match d.netlist.check() {
+                    Ok(()) => self.log.push("check_design: no issues".into()),
+                    Err(m) => self.log.push(format!("check_design: {m}")),
+                }
+                Ok(())
+            }
+            "create_clock" => {
+                let period = self.require_f64(cmd, cmd.option("-period"), "-period")?;
+                if period <= 0.0 {
+                    return Err(self.err(cmd, "-period must be positive"));
+                }
+                self.constraints.clock_period = period;
+                if let Some(gp) = cmd.bracket("get_ports") {
+                    if let Some(port) = gp.positional().first() {
+                        self.constraints.clock_port = Some(port.to_string());
+                    }
+                }
+                self.clock_defined = true;
+                self.log.push(format!("clock period set to {period} ns"));
+                Ok(())
+            }
+            "set_input_delay" => {
+                let v = self.require_f64(cmd, cmd.positional().first().copied(), "delay")?;
+                self.constraints.input_delay = v;
+                Ok(())
+            }
+            "set_output_delay" => {
+                let v = self.require_f64(cmd, cmd.positional().first().copied(), "delay")?;
+                self.constraints.output_delay = v;
+                Ok(())
+            }
+            "set_wire_load_model" => {
+                let name = cmd
+                    .option("-name")
+                    .ok_or_else(|| self.err(cmd, "-name <model> is required"))?;
+                if self.library.wire_load(name).is_none() {
+                    return Err(self.err(cmd, format!("wireload model '{name}' not in library")));
+                }
+                self.constraints.wire_load = Some(name.to_string());
+                Ok(())
+            }
+            "set_driving_cell" => {
+                let name = cmd
+                    .option("-lib_cell")
+                    .ok_or_else(|| self.err(cmd, "-lib_cell <cell> is required"))?;
+                let cell = self
+                    .library
+                    .cell(name)
+                    .ok_or_else(|| self.err(cmd, format!("cell '{name}' not in library")))?;
+                self.constraints.input_drive_resistance = cell
+                    .output_pin()
+                    .timing
+                    .first()
+                    .map(|a| a.drive_resistance)
+                    .unwrap_or(0.004);
+                Ok(())
+            }
+            "set_max_area" => {
+                let v = self.require_f64(cmd, cmd.positional().first().copied(), "area")?;
+                if v < 0.0 {
+                    return Err(self.err(cmd, "area must be non-negative"));
+                }
+                self.constraints.max_area = Some(v);
+                Ok(())
+            }
+            "set_critical_range" => {
+                let v = self.require_f64(cmd, cmd.positional().first().copied(), "range")?;
+                if v < 0.0 {
+                    return Err(self.err(cmd, "range must be non-negative"));
+                }
+                self.constraints.critical_range = v;
+                Ok(())
+            }
+            "set_max_fanout" => {
+                let v = cmd
+                    .positional()
+                    .first()
+                    .and_then(|v| v.parse::<usize>().ok())
+                    .filter(|&v| v > 0)
+                    .ok_or_else(|| self.err(cmd, "fanout must be a positive integer"))?;
+                self.max_fanout = Some(v);
+                Ok(())
+            }
+            "compile" => {
+                if !self.clock_defined {
+                    self.log.push("(warning) compile without create_clock; using default period".into());
+                }
+                let effort = match cmd.option("-map_effort") {
+                    None => Effort::Medium,
+                    Some("low") => Effort::Low,
+                    Some("medium") => Effort::Medium,
+                    Some("high") => Effort::High,
+                    Some(other) => {
+                        return Err(self.err(cmd, format!("invalid -map_effort '{other}'")))
+                    }
+                };
+                let stats = compile(&mut self.design, &self.library, &self.constraints, effort);
+                self.log.push(format!(
+                    "compile: removed {} added {} resized {}",
+                    stats.removed, stats.added, stats.resized
+                ));
+                Ok(())
+            }
+            "compile_ultra" => {
+                if !self.clock_defined {
+                    self.log.push("(warning) compile_ultra without create_clock; using default period".into());
+                }
+                if !cmd.has_flag("-no_autoungroup") {
+                    ungroup_all(&mut self.design);
+                    self.ungrouped = true;
+                }
+                let mut stats =
+                    compile(&mut self.design, &self.library, &self.constraints, Effort::High);
+                if cmd.has_flag("-retime") {
+                    stats.merge(retime(
+                        &mut self.design,
+                        &self.library,
+                        &self.constraints,
+                        self.ungrouped,
+                        64,
+                    ));
+                    stats.merge(compile(
+                        &mut self.design,
+                        &self.library,
+                        &self.constraints,
+                        Effort::High,
+                    ));
+                }
+                self.log.push(format!(
+                    "compile_ultra: removed {} added {} resized {}",
+                    stats.removed, stats.added, stats.resized
+                ));
+                Ok(())
+            }
+            "optimize_registers" => {
+                let regs = self
+                    .design
+                    .netlist
+                    .gates
+                    .iter()
+                    .enumerate()
+                    .filter(|(i, g)| !self.design.is_dead(*i) && g.kind.is_sequential())
+                    .count();
+                if regs == 0 {
+                    return Err(self.err(cmd, "design has no registers to retime"));
+                }
+                let stats = retime(
+                    &mut self.design,
+                    &self.library,
+                    &self.constraints,
+                    self.ungrouped,
+                    64,
+                );
+                // Retiming leaves new register inputs unsized; clean up.
+                let stats2 = compile(&mut self.design, &self.library, &self.constraints, Effort::Medium);
+                self.log.push(format!(
+                    "optimize_registers: moved {} registers (resized {})",
+                    stats.added,
+                    stats.resized + stats2.resized
+                ));
+                Ok(())
+            }
+            "balance_buffers" => {
+                let limit = match cmd.option("-max_fanout") {
+                    Some(v) => v
+                        .parse::<usize>()
+                        .ok()
+                        .filter(|&v| v > 0)
+                        .ok_or_else(|| self.err(cmd, "-max_fanout must be a positive integer"))?,
+                    None => self.max_fanout.unwrap_or(12),
+                };
+                // Like the real command, buffering is QoR-driven: a tree
+                // that slows the clock down is not committed.
+                let snapshot = self.design.clone();
+                let before = analyze(&self.design, &self.library, &self.constraints);
+                let stats = buffer_high_fanout(&mut self.design, &self.library, limit);
+                let after = analyze(&self.design, &self.library, &self.constraints);
+                if after.cps < before.cps {
+                    self.design = snapshot;
+                    self.log.push("balance_buffers: no beneficial trees found".into());
+                } else {
+                    self.log.push(format!("balance_buffers: inserted {} buffers", stats.added));
+                }
+                Ok(())
+            }
+            "ungroup" => {
+                if !cmd.has_flag("-all") {
+                    return Err(self.err(cmd, "only 'ungroup -all' is supported"));
+                }
+                let n = ungroup_all(&mut self.design);
+                self.ungrouped = true;
+                self.log.push(format!("ungroup: dissolved {n} hierarchical gates"));
+                Ok(())
+            }
+            "set_clock_gating_style" => {
+                self.gating_style_set = true;
+                Ok(())
+            }
+            "insert_clock_gating" => {
+                if !self.gating_style_set {
+                    self.log
+                        .push("(warning) insert_clock_gating without set_clock_gating_style".into());
+                }
+                let stats = insert_clock_gating(&mut self.design);
+                sweep(&mut self.design);
+                self.log.push(format!("insert_clock_gating: gated {} registers", stats.removed));
+                Ok(())
+            }
+            "set_false_path" => {
+                let from = cmd
+                    .bracket("get_ports")
+                    .and_then(|g| g.positional().first().map(|s| s.to_string()))
+                    .or_else(|| cmd.option("-from").map(str::to_string));
+                let to = cmd.option("-to").map(str::to_string);
+                if from.is_none() && to.is_none() {
+                    return Err(self.err(cmd, "need -from or -to"));
+                }
+                if let Some(f) = from {
+                    self.constraints
+                        .exceptions
+                        .push(crate::sta::TimingException::FalseFrom(f));
+                }
+                if let Some(t) = to {
+                    self.constraints
+                        .exceptions
+                        .push(crate::sta::TimingException::FalseTo(t));
+                }
+                Ok(())
+            }
+            "set_multicycle_path" => {
+                let n = cmd
+                    .positional()
+                    .first()
+                    .and_then(|v| v.parse::<u32>().ok())
+                    .filter(|&n| n >= 1)
+                    .ok_or_else(|| self.err(cmd, "multiplier must be a positive integer"))?;
+                let to = cmd
+                    .option("-to")
+                    .ok_or_else(|| self.err(cmd, "-to <endpoint> is required"))?;
+                self.constraints
+                    .exceptions
+                    .push(crate::sta::TimingException::MulticycleTo(to.to_string(), n));
+                Ok(())
+            }
+            "report_timing" => {
+                let report = self.timing_report();
+                let mut text = format!(
+                    "report_timing: wns {:.3} cps {:.3} tns {:.3}\n",
+                    report.wns, report.cps, report.tns
+                );
+                for step in &report.critical_path {
+                    text.push_str(&format!(
+                        "  {:<40} {:<10} {:>8.3} ns  ({})\n",
+                        step.net, step.cell, step.arrival, step.module_path
+                    ));
+                }
+                self.log.push(text);
+                Ok(())
+            }
+            "report_area" => {
+                let q = self.qor();
+                self.log.push(format!(
+                    "report_area: {:.2} um^2, {} cells, {} registers",
+                    q.area, q.cells, q.registers
+                ));
+                Ok(())
+            }
+            "report_qor" => {
+                let q = self.qor();
+                self.log.push(q.to_string());
+                Ok(())
+            }
+            unknown => Err(self.err(
+                cmd,
+                format!("unknown command '{unknown}' (not in the tool manual)"),
+            )),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use chatls_liberty::nangate45;
+    use chatls_verilog::{lower_to_netlist, parse};
+
+    fn session(src: &str, top: &str) -> SynthSession {
+        let sf = parse(src).unwrap();
+        let nl = lower_to_netlist(&sf, top).unwrap();
+        SynthSession::new(nl, nangate45()).unwrap()
+    }
+
+    const PIPE: &str = "module pipe(input clk, input [15:0] a, b, output reg [15:0] q);
+        always @(posedge clk) q <= (a + b) + (a ^ b) + (a & b);
+    endmodule";
+
+    #[test]
+    fn baseline_script_runs_clean() {
+        let mut s = session(PIPE, "pipe");
+        let r = s.run_script(
+            "read_verilog pipe.v
+             link
+             create_clock -period 0.6 [get_ports clk]
+             set_wire_load_model -name 5K_heavy_1k
+             compile
+             report_qor",
+        );
+        assert!(r.ok(), "{:?}", r.error);
+        assert_eq!(r.executed, 6);
+        assert!(r.log.iter().any(|l| l.contains("QoR report")));
+    }
+
+    #[test]
+    fn unknown_command_aborts_with_error() {
+        let mut s = session(PIPE, "pipe");
+        let r = s.run_script(
+            "create_clock -period 0.6 [get_ports clk]
+             optimize_timing_magic -hard
+             compile",
+        );
+        assert!(!r.ok());
+        let e = r.error.unwrap();
+        assert_eq!(e.command, "optimize_timing_magic");
+        assert_eq!(r.executed, 1, "aborts before compile");
+    }
+
+    #[test]
+    fn invalid_option_value_is_an_error() {
+        let mut s = session(PIPE, "pipe");
+        let r = s.run_script("create_clock -period 1.0 [get_ports clk]\ncompile -map_effort extreme");
+        assert!(!r.ok());
+        assert!(r.error.unwrap().message.contains("map_effort"));
+    }
+
+    #[test]
+    fn bad_wireload_is_an_error() {
+        let mut s = session(PIPE, "pipe");
+        let r = s.run_script("set_wire_load_model -name no_such_model");
+        assert!(!r.ok());
+    }
+
+    #[test]
+    fn retime_script_beats_plain_compile_on_unbalanced_pipe() {
+        let run = |script: &str| {
+            let mut s = session(PIPE, "pipe");
+            s.run_script(script)
+        };
+        let base = run("create_clock -period 0.45 [get_ports clk]\ncompile");
+        let tuned = run(
+            "create_clock -period 0.45 [get_ports clk]
+             compile
+             optimize_registers
+             compile -map_effort high",
+        );
+        assert!(base.ok() && tuned.ok());
+        assert!(
+            tuned.qor.cps > base.qor.cps,
+            "retimed {} vs base {}",
+            tuned.qor.cps,
+            base.qor.cps
+        );
+    }
+
+    #[test]
+    fn clock_gating_saves_area_on_enable_registers() {
+        const GATED: &str = "module g(input clk, en, input [31:0] dIn, output reg [31:0] q);
+            always @(posedge clk) if (en) q <= dIn;
+        endmodule";
+        let run = |script: &str| {
+            let mut s = session(GATED, "g");
+            s.run_script(script)
+        };
+        let base = run("create_clock -period 2.0 [get_ports clk]\ncompile");
+        let gated = run(
+            "create_clock -period 2.0 [get_ports clk]
+             set_clock_gating_style -sequential_cell latch
+             insert_clock_gating
+             compile",
+        );
+        assert!(base.ok() && gated.ok());
+        assert!(gated.qor.area < base.qor.area, "{} vs {}", gated.qor.area, base.qor.area);
+    }
+
+    #[test]
+    fn qor_reflects_tighter_clock() {
+        let mut a = session(PIPE, "pipe");
+        let slow = a.run_script("create_clock -period 5.0 [get_ports clk]\ncompile");
+        let mut b = session(PIPE, "pipe");
+        let fast = b.run_script("create_clock -period 0.2 [get_ports clk]\ncompile");
+        assert!(slow.qor.cps > fast.qor.cps);
+        assert!(fast.qor.tns < 0.0);
+    }
+
+    #[test]
+    fn manual_covers_all_known_commands() {
+        let names = known_commands();
+        for n in ["compile", "compile_ultra", "optimize_registers", "balance_buffers", "ungroup"] {
+            assert!(names.contains(&n), "manual missing {n}");
+        }
+        for entry in command_manual() {
+            assert!(!entry.description.is_empty());
+            assert!(!entry.synopsis.is_empty());
+        }
+    }
+
+    #[test]
+    fn report_timing_logs_path() {
+        let mut s = session(PIPE, "pipe");
+        let r = s.run_script("create_clock -period 1.0 [get_ports clk]\ncompile\nreport_timing");
+        assert!(r.log.iter().any(|l| l.contains("report_timing") && l.contains("ns")));
+    }
+
+    #[test]
+    fn report_power_and_hold_log() {
+        let mut s = session(PIPE, "pipe");
+        let r = s.run_script(
+            "create_clock -period 1.0 [get_ports clk]
+compile
+report_power
+report_hold",
+        );
+        assert!(r.ok(), "{:?}", r.error);
+        assert!(r.log.iter().any(|l| l.contains("power report")));
+        assert!(r.log.iter().any(|l| l.contains("report_hold: worst")));
+    }
+
+    #[test]
+    fn write_generates_parseable_netlist() {
+        let mut s = session(PIPE, "pipe");
+        let r = s.run_script(
+            "create_clock -period 1.0 [get_ports clk]
+compile
+write -format verilog -output out.v",
+        );
+        assert!(r.ok());
+        let text = s.netlist_verilog().expect("netlist stored");
+        assert!(text.contains("DFF_X"), "mapped registers present");
+        // Structural output parses with the front-end grammar... except the
+        // cell instances reference undefined modules, which parse fine.
+        chatls_verilog::parse(text).unwrap_or_else(|e| panic!("{e}\n{text}"));
+    }
+
+    #[test]
+    fn write_rejects_unknown_format() {
+        let mut s = session(PIPE, "pipe");
+        let r = s.run_script("write -format edif");
+        assert!(!r.ok());
+    }
+
+    #[test]
+    fn set_fix_hold_clears_hold_violations() {
+        // Direct input-to-register path: min arrival 0 < hold 0.01.
+        let mut s = session(
+            "module h(input clk, d, output reg q); always @(posedge clk) q <= d; endmodule",
+            "h",
+        );
+        let r = s.run_script(
+            "create_clock -period 2.0 [get_ports clk]
+compile
+set_fix_hold [all_clocks]
+report_hold",
+        );
+        assert!(r.ok(), "{:?}", r.error);
+        let hold = crate::sta::hold_slacks(s.design(), s.library(), s.constraints());
+        assert!(
+            hold.iter().all(|e| e.slack >= 0.0),
+            "violations remain: {:?}",
+            hold.first()
+        );
+    }
+
+    #[test]
+    fn false_path_from_input_unconstrains_its_cone() {
+        // Deep cone from a "config" input to a register: false-path it away.
+        let src = "module fp(input clk, input [15:0] cfg, data, output reg [15:0] q);
+            always @(posedge clk) q <= data ^ (cfg * cfg);
+        endmodule";
+        let run = |extra: &str| {
+            let mut s = session(src, "fp");
+            s.run_script(&format!(
+                "create_clock -period 1.2 [get_ports clk]
+{extra}compile
+"
+            ))
+        };
+        let plain = run("");
+        let excepted = run("set_false_path -from [get_ports cfg]
+");
+        assert!(plain.ok() && excepted.ok());
+        assert!(
+            excepted.qor.cps > plain.qor.cps,
+            "false path must relax timing: {} vs {}",
+            excepted.qor.cps,
+            plain.qor.cps
+        );
+    }
+
+    #[test]
+    fn multicycle_path_relaxes_endpoints() {
+        let mut s = session(PIPE, "pipe");
+        let tight = s.run_script("create_clock -period 0.4 [get_ports clk]
+compile");
+        assert!(tight.qor.wns < 0.0, "needs a violation to relax");
+        let mut s2 = session(PIPE, "pipe");
+        let relaxed = s2.run_script(
+            "create_clock -period 0.4 [get_ports clk]
+set_multicycle_path 2 -to pipe/q
+compile",
+        );
+        assert!(relaxed.ok(), "{:?}", relaxed.error);
+        assert!(
+            relaxed.qor.wns > tight.qor.wns,
+            "multicycle must relax: {} vs {}",
+            relaxed.qor.wns,
+            tight.qor.wns
+        );
+    }
+
+    #[test]
+    fn false_path_requires_an_argument() {
+        let mut s = session(PIPE, "pipe");
+        let r = s.run_script("set_false_path");
+        assert!(!r.ok());
+    }
+
+    #[test]
+    fn set_driving_cell_strengthens_inputs() {
+        let mut weak = session(PIPE, "pipe");
+        let rw = weak.run_script("create_clock -period 0.5 [get_ports clk]\ncompile");
+        let mut strong = session(PIPE, "pipe");
+        let rs = strong.run_script(
+            "create_clock -period 0.5 [get_ports clk]
+             set_driving_cell -lib_cell BUF_X8 [all_inputs]
+             compile",
+        );
+        assert!(rw.ok() && rs.ok());
+        assert!(rs.qor.cps >= rw.qor.cps);
+    }
+}

@@ -1,0 +1,162 @@
+//! Property tests: optimization passes preserve functionality and
+//! structural invariants on randomly generated netlists.
+
+use chatls_liberty::nangate45;
+use chatls_synth::passes::{
+    buffer_high_fanout, compile, const_propagate, insert_clock_gating, sweep, Effort,
+};
+use chatls_synth::sta::{analyze, Constraints};
+use chatls_synth::MappedDesign;
+use chatls_verilog::netlist::{GateKind, Netlist, Simulator};
+use proptest::prelude::*;
+
+/// Builds a random layered DAG netlist: `inputs` primary inputs, `layers`
+/// of random 2-input gates, a register layer, and a few outputs.
+fn random_netlist(inputs: usize, layers: usize, per_layer: usize, seed: u64) -> Netlist {
+    let mut nl = Netlist::new("rand");
+    let mut rng = seed;
+    let mut next = move || {
+        rng ^= rng << 13;
+        rng ^= rng >> 7;
+        rng ^= rng << 17;
+        rng
+    };
+    let mut pool: Vec<u32> = (0..inputs)
+        .map(|i| {
+            let n = nl.add_net(format!("in{i}"));
+            nl.inputs.push((format!("in{i}"), n));
+            n
+        })
+        .collect();
+    // A couple of constants feed the pool so const-prop has work to do.
+    let c0 = nl.add_net("c0");
+    nl.add_gate(GateKind::Const0, &[], c0, "rand");
+    let c1 = nl.add_net("c1");
+    nl.add_gate(GateKind::Const1, &[], c1, "rand");
+    pool.push(c0);
+    pool.push(c1);
+
+    for layer in 0..layers {
+        let mut new_pool = pool.clone();
+        for g in 0..per_layer {
+            let kinds = [GateKind::And, GateKind::Or, GateKind::Xor, GateKind::Not, GateKind::Mux];
+            let kind = kinds[(next() % kinds.len() as u64) as usize];
+            let pick = |r: u64| pool[(r % pool.len() as u64) as usize];
+            let out = nl.add_net(format!("l{layer}g{g}"));
+            match kind {
+                GateKind::Not => {
+                    let a = pick(next());
+                    nl.add_gate(GateKind::Not, &[a], out, "rand");
+                }
+                GateKind::Mux => {
+                    let (s, a, b) = (pick(next()), pick(next()), pick(next()));
+                    nl.add_gate(GateKind::Mux, &[s, a, b], out, "rand");
+                }
+                k => {
+                    let (a, b) = (pick(next()), pick(next()));
+                    nl.add_gate(k, &[a, b], out, "rand");
+                }
+            }
+            new_pool.push(out);
+        }
+        pool = new_pool;
+    }
+    // Register a few nets and expose outputs.
+    for i in 0..4usize {
+        let d = pool[(i * 7 + 3) % pool.len()];
+        let q = nl.add_net(format!("q{i}"));
+        nl.add_dff(d, q, "rand", false, None);
+        nl.outputs.push((format!("q{i}"), q));
+    }
+    let last = *pool.last().expect("non-empty pool");
+    nl.outputs.push(("comb_out".into(), last));
+    nl
+}
+
+/// Output signature over deterministic stimulus.
+fn signature(nl: &Netlist, cycles: usize) -> Vec<u64> {
+    let mut sim = Simulator::new(nl);
+    let mut sig = Vec::new();
+    for step in 0..cycles as u64 {
+        for (i, _) in nl.inputs.clone().iter().enumerate() {
+            sim.set_input(&format!("in{i}"), &[((step >> (i % 8)) & 1) as u8]);
+        }
+        sim.step().expect("acyclic");
+        sim.settle().expect("acyclic");
+        for (name, _) in &nl.outputs {
+            sig.push(sim.output(name).unwrap_or(0) as u64);
+        }
+    }
+    sig
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// The full compile pipeline preserves behaviour and structure on
+    /// random netlists, at every effort level.
+    #[test]
+    fn compile_preserves_function(
+        seed in 1u64..5000,
+        layers in 1usize..4,
+        per_layer in 2usize..8,
+        effort_pick in 0u8..3,
+    ) {
+        let lib = nangate45();
+        let nl = random_netlist(5, layers, per_layer, seed);
+        let golden = signature(&nl, 16);
+        let mut mapped = MappedDesign::map(nl, &lib).expect("maps");
+        let constraints = Constraints { clock_period: 2.0, ..Constraints::default() };
+        let effort = [Effort::Low, Effort::Medium, Effort::High][effort_pick as usize];
+        compile(&mut mapped, &lib, &constraints, effort);
+        mapped.compact();
+        mapped.netlist.check().expect("structurally sound after compile");
+        prop_assert_eq!(signature(&mapped.netlist, 16), golden);
+    }
+
+    /// Individual passes compose in any order without breaking function.
+    #[test]
+    fn pass_sequences_preserve_function(
+        seed in 1u64..5000,
+        order in 0u8..6,
+    ) {
+        let lib = nangate45();
+        let nl = random_netlist(4, 2, 6, seed);
+        let golden = signature(&nl, 12);
+        let mut mapped = MappedDesign::map(nl, &lib).expect("maps");
+        let apply = |d: &mut MappedDesign, which: u8| match which {
+            0 => { sweep(d); }
+            1 => { const_propagate(d, &lib); }
+            2 => { buffer_high_fanout(d, &lib, 4); }
+            _ => { insert_clock_gating(d); }
+        };
+        // Two passes in a seed-dependent order.
+        apply(&mut mapped, order % 4);
+        apply(&mut mapped, (order + 1) % 4);
+        mapped.compact();
+        mapped.netlist.check().expect("sound");
+        prop_assert_eq!(signature(&mapped.netlist, 12), golden);
+    }
+
+    /// STA invariants on random netlists: slack identity and WNS/TNS/CPS
+    /// consistency at an arbitrary clock.
+    #[test]
+    fn sta_invariants(seed in 1u64..5000, period_tenths in 2u64..40) {
+        let lib = nangate45();
+        let nl = random_netlist(4, 2, 6, seed);
+        let mapped = MappedDesign::map(nl, &lib).expect("maps");
+        let constraints = Constraints {
+            clock_period: period_tenths as f64 / 10.0,
+            ..Constraints::default()
+        };
+        let r = analyze(&mapped, &lib, &constraints);
+        for ep in &r.endpoints {
+            prop_assert!((ep.slack - (ep.required - ep.arrival)).abs() < 1e-9);
+        }
+        let min_slack = r.endpoints.iter().map(|e| e.slack).fold(f64::INFINITY, f64::min);
+        prop_assert!((r.cps - min_slack).abs() < 1e-9);
+        prop_assert!((r.wns - min_slack.min(0.0)).abs() < 1e-9);
+        let tns: f64 = r.endpoints.iter().map(|e| e.slack.min(0.0)).sum();
+        prop_assert!((r.tns - tns).abs() < 1e-9);
+    }
+}

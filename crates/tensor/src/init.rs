@@ -1,0 +1,67 @@
+//! Deterministic parameter initializers.
+//!
+//! All initializers take an explicit [`rand::Rng`] so callers control
+//! seeding; the GNN trainer seeds a [`rand::rngs::StdRng`] from its config,
+//! making every training run in the workspace reproducible.
+
+use crate::Matrix;
+use rand::Rng;
+
+/// Glorot/Xavier uniform initialization: `U(-a, a)` with
+/// `a = sqrt(6 / (fan_in + fan_out))`.
+///
+/// # Examples
+///
+/// ```
+/// use rand::SeedableRng;
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+/// let w = chatls_tensor::init::glorot_uniform(4, 8, &mut rng);
+/// assert_eq!((w.rows(), w.cols()), (4, 8));
+/// ```
+pub fn glorot_uniform(fan_in: usize, fan_out: usize, rng: &mut impl Rng) -> Matrix {
+    let a = (6.0 / (fan_in + fan_out) as f32).sqrt();
+    let data = (0..fan_in * fan_out).map(|_| rng.gen_range(-a..=a)).collect();
+    Matrix::from_vec(fan_in, fan_out, data)
+}
+
+/// Uniform initialization in `[-bound, bound]`.
+pub fn uniform(rows: usize, cols: usize, bound: f32, rng: &mut impl Rng) -> Matrix {
+    let data = (0..rows * cols).map(|_| rng.gen_range(-bound..=bound)).collect();
+    Matrix::from_vec(rows, cols, data)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn glorot_within_bound() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let w = glorot_uniform(10, 20, &mut rng);
+        let a = (6.0f32 / 30.0).sqrt();
+        assert!(w.as_slice().iter().all(|&x| x.abs() <= a + 1e-6));
+    }
+
+    #[test]
+    fn same_seed_same_weights() {
+        let w1 = glorot_uniform(5, 5, &mut StdRng::seed_from_u64(42));
+        let w2 = glorot_uniform(5, 5, &mut StdRng::seed_from_u64(42));
+        assert_eq!(w1, w2);
+    }
+
+    #[test]
+    fn different_seed_different_weights() {
+        let w1 = glorot_uniform(5, 5, &mut StdRng::seed_from_u64(1));
+        let w2 = glorot_uniform(5, 5, &mut StdRng::seed_from_u64(2));
+        assert_ne!(w1, w2);
+    }
+
+    #[test]
+    fn uniform_respects_bound() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let w = uniform(8, 8, 0.1, &mut rng);
+        assert!(w.as_slice().iter().all(|&x| x.abs() <= 0.1 + 1e-7));
+    }
+}

@@ -1,0 +1,116 @@
+//! Dense `f32` matrix and vector kernels used by the ChatLS GNN substrate.
+//!
+//! The ChatLS paper trains a hierarchical GraphSAGE model with PyTorch; this
+//! crate is the minimal deterministic replacement: a row-major [`Matrix`]
+//! type with the linear-algebra kernels the GNN needs (matmul, transpose,
+//! elementwise maps, reductions, row normalization), parameter
+//! [initializers](init), and first-order [optimizers](opt) (SGD, Adam).
+//!
+//! Everything is plain safe Rust with no SIMD intrinsics; determinism and
+//! testability are prioritized over raw throughput, which is plenty for the
+//! circuit graphs in this reproduction (thousands of nodes).
+//!
+//! # Examples
+//!
+//! ```
+//! use chatls_tensor::Matrix;
+//!
+//! let a = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]);
+//! let b = Matrix::identity(2);
+//! assert_eq!(a.matmul(&b), a);
+//! ```
+
+pub mod init;
+pub mod opt;
+
+mod matrix;
+
+pub use matrix::Matrix;
+
+/// Numerical tolerance used by the crate's own tests and recommended for
+/// comparing results of iterative optimization.
+pub const EPSILON: f32 = 1e-5;
+
+/// Cosine similarity between two equal-length vectors.
+///
+/// Returns 0.0 if either vector has zero norm (instead of NaN), which is the
+/// behaviour retrieval code wants: an all-zero embedding matches nothing.
+///
+/// # Panics
+///
+/// Panics if `a.len() != b.len()`.
+///
+/// # Examples
+///
+/// ```
+/// let sim = chatls_tensor::cosine(&[1.0, 0.0], &[1.0, 0.0]);
+/// assert!((sim - 1.0).abs() < 1e-6);
+/// ```
+pub fn cosine(a: &[f32], b: &[f32]) -> f32 {
+    assert_eq!(a.len(), b.len(), "cosine: length mismatch");
+    let dot: f32 = a.iter().zip(b).map(|(x, y)| x * y).sum();
+    let na: f32 = a.iter().map(|x| x * x).sum::<f32>().sqrt();
+    let nb: f32 = b.iter().map(|x| x * x).sum::<f32>().sqrt();
+    if na == 0.0 || nb == 0.0 {
+        0.0
+    } else {
+        dot / (na * nb)
+    }
+}
+
+/// Squared Euclidean distance between two equal-length vectors.
+///
+/// # Panics
+///
+/// Panics if `a.len() != b.len()`.
+pub fn l2_squared(a: &[f32], b: &[f32]) -> f32 {
+    assert_eq!(a.len(), b.len(), "l2_squared: length mismatch");
+    a.iter().zip(b).map(|(x, y)| (x - y) * (x - y)).sum()
+}
+
+/// Euclidean norm of a vector.
+pub fn norm(a: &[f32]) -> f32 {
+    a.iter().map(|x| x * x).sum::<f32>().sqrt()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cosine_orthogonal_is_zero() {
+        assert_eq!(cosine(&[1.0, 0.0], &[0.0, 1.0]), 0.0);
+    }
+
+    #[test]
+    fn cosine_zero_vector_is_zero_not_nan() {
+        assert_eq!(cosine(&[0.0, 0.0], &[1.0, 2.0]), 0.0);
+    }
+
+    #[test]
+    fn cosine_antiparallel_is_minus_one() {
+        let sim = cosine(&[1.0, 2.0], &[-1.0, -2.0]);
+        assert!((sim + 1.0).abs() < EPSILON);
+    }
+
+    #[test]
+    fn l2_squared_of_identical_is_zero() {
+        assert_eq!(l2_squared(&[1.0, 2.0, 3.0], &[1.0, 2.0, 3.0]), 0.0);
+    }
+
+    #[test]
+    fn l2_squared_simple() {
+        assert_eq!(l2_squared(&[0.0, 0.0], &[3.0, 4.0]), 25.0);
+    }
+
+    #[test]
+    fn norm_simple() {
+        assert_eq!(norm(&[3.0, 4.0]), 5.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn cosine_length_mismatch_panics() {
+        cosine(&[1.0], &[1.0, 2.0]);
+    }
+}

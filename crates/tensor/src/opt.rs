@@ -1,0 +1,197 @@
+//! First-order optimizers for training the GNN substrate.
+//!
+//! Both optimizers update a set of parameter matrices in place given
+//! same-shaped gradient matrices. The [`Optimizer`] trait is object-safe so
+//! trainers can hold a `Box<dyn Optimizer>` chosen at runtime.
+
+use crate::Matrix;
+
+/// A first-order optimizer over an indexed set of parameter matrices.
+///
+/// Implementations keep per-parameter state (e.g. Adam moments) keyed by the
+/// `slot` index; callers must use a stable slot per parameter across steps.
+pub trait Optimizer {
+    /// Applies one update: mutates `param` using `grad` for parameter `slot`.
+    ///
+    /// # Panics
+    ///
+    /// Implementations panic if `param` and `grad` shapes differ.
+    fn step(&mut self, slot: usize, param: &mut Matrix, grad: &Matrix);
+
+    /// The current learning rate.
+    fn learning_rate(&self) -> f32;
+}
+
+/// Plain stochastic gradient descent with optional L2 weight decay.
+///
+/// # Examples
+///
+/// ```
+/// use chatls_tensor::{Matrix, opt::{Optimizer, Sgd}};
+///
+/// let mut sgd = Sgd::new(0.1);
+/// let mut w = Matrix::filled(1, 1, 1.0);
+/// let g = Matrix::filled(1, 1, 1.0);
+/// sgd.step(0, &mut w, &g);
+/// assert!((w[(0, 0)] - 0.9).abs() < 1e-6);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Sgd {
+    lr: f32,
+    weight_decay: f32,
+}
+
+impl Sgd {
+    /// Creates an SGD optimizer with learning rate `lr` and no weight decay.
+    pub fn new(lr: f32) -> Self {
+        Self { lr, weight_decay: 0.0 }
+    }
+
+    /// Sets the L2 weight-decay coefficient.
+    pub fn with_weight_decay(mut self, wd: f32) -> Self {
+        self.weight_decay = wd;
+        self
+    }
+}
+
+impl Optimizer for Sgd {
+    fn step(&mut self, _slot: usize, param: &mut Matrix, grad: &Matrix) {
+        if self.weight_decay != 0.0 {
+            let decay = self.lr * self.weight_decay;
+            let snapshot = param.clone();
+            param.axpy(-decay, &snapshot);
+        }
+        param.axpy(-self.lr, grad);
+    }
+
+    fn learning_rate(&self) -> f32 {
+        self.lr
+    }
+}
+
+/// Adam (Kingma & Ba, 2015) with bias correction.
+#[derive(Debug, Clone)]
+pub struct Adam {
+    lr: f32,
+    beta1: f32,
+    beta2: f32,
+    eps: f32,
+    t: u64,
+    moments: Vec<Option<(Matrix, Matrix)>>,
+}
+
+impl Adam {
+    /// Creates an Adam optimizer with standard hyperparameters
+    /// (`β₁ = 0.9`, `β₂ = 0.999`, `ε = 1e-8`).
+    pub fn new(lr: f32) -> Self {
+        Self { lr, beta1: 0.9, beta2: 0.999, eps: 1e-8, t: 0, moments: Vec::new() }
+    }
+
+    /// Advances the shared timestep. Call once per optimization step, before
+    /// the per-parameter [`Optimizer::step`] calls of that step.
+    pub fn next_step(&mut self) {
+        self.t += 1;
+    }
+}
+
+impl Optimizer for Adam {
+    fn step(&mut self, slot: usize, param: &mut Matrix, grad: &Matrix) {
+        if self.t == 0 {
+            self.t = 1;
+        }
+        if self.moments.len() <= slot {
+            self.moments.resize(slot + 1, None);
+        }
+        let (m, v) = self.moments[slot].get_or_insert_with(|| {
+            (Matrix::zeros(param.rows(), param.cols()), Matrix::zeros(param.rows(), param.cols()))
+        });
+        assert_eq!(
+            (param.rows(), param.cols()),
+            (grad.rows(), grad.cols()),
+            "adam: parameter/gradient shape mismatch"
+        );
+        let (b1, b2) = (self.beta1, self.beta2);
+        for ((mi, vi), (&gi, pi)) in m
+            .as_mut_slice()
+            .iter_mut()
+            .zip(v.as_mut_slice())
+            .zip(grad.as_slice().iter().zip(param.as_mut_slice()))
+        {
+            *mi = b1 * *mi + (1.0 - b1) * gi;
+            *vi = b2 * *vi + (1.0 - b2) * gi * gi;
+            let mhat = *mi / (1.0 - b1.powi(self.t as i32));
+            let vhat = *vi / (1.0 - b2.powi(self.t as i32));
+            *pi -= self.lr * mhat / (vhat.sqrt() + self.eps);
+        }
+    }
+
+    fn learning_rate(&self) -> f32 {
+        self.lr
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Minimizes f(w) = (w - 3)^2 and checks convergence.
+    fn converges(mut opt: impl Optimizer, mut advance: impl FnMut(&mut dyn FnMut())) -> f32 {
+        let mut w = Matrix::filled(1, 1, 0.0);
+        for _ in 0..500 {
+            advance(&mut || {});
+            let g = Matrix::filled(1, 1, 2.0 * (w[(0, 0)] - 3.0));
+            opt.step(0, &mut w, &g);
+        }
+        w[(0, 0)]
+    }
+
+    #[test]
+    fn sgd_converges_on_quadratic() {
+        let w = converges(Sgd::new(0.05), |_| {});
+        assert!((w - 3.0).abs() < 1e-3, "w = {w}");
+    }
+
+    #[test]
+    fn adam_converges_on_quadratic() {
+        let mut adam = Adam::new(0.1);
+        let mut w = Matrix::filled(1, 1, 0.0);
+        for _ in 0..500 {
+            adam.next_step();
+            let g = Matrix::filled(1, 1, 2.0 * (w[(0, 0)] - 3.0));
+            adam.step(0, &mut w, &g);
+        }
+        assert!((w[(0, 0)] - 3.0).abs() < 1e-2, "w = {}", w[(0, 0)]);
+    }
+
+    #[test]
+    fn sgd_weight_decay_shrinks_params() {
+        let mut sgd = Sgd::new(0.1).with_weight_decay(1.0);
+        let mut w = Matrix::filled(1, 1, 1.0);
+        let zero_grad = Matrix::zeros(1, 1);
+        sgd.step(0, &mut w, &zero_grad);
+        assert!(w[(0, 0)] < 1.0);
+    }
+
+    #[test]
+    fn adam_separate_slots_do_not_interfere() {
+        let mut adam = Adam::new(0.1);
+        adam.next_step();
+        let mut w0 = Matrix::filled(1, 1, 1.0);
+        let mut w1 = Matrix::filled(2, 2, 1.0);
+        adam.step(0, &mut w0, &Matrix::filled(1, 1, 1.0));
+        adam.step(1, &mut w1, &Matrix::filled(2, 2, 1.0));
+        assert!(w0[(0, 0)] < 1.0);
+        assert!(w1[(1, 1)] < 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "shape mismatch")]
+    fn adam_shape_mismatch_panics() {
+        let mut adam = Adam::new(0.1);
+        adam.next_step();
+        let mut w = Matrix::zeros(2, 2);
+        adam.step(0, &mut w, &Matrix::zeros(2, 2));
+        // Second call with a different gradient shape for the same slot.
+        adam.step(0, &mut w, &Matrix::zeros(1, 2));
+    }
+}

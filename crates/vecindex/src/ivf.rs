@@ -1,0 +1,280 @@
+//! Inverted-file (IVF) approximate index: coarse k-means + probed lists.
+
+use crate::{sort_hits, Hit, Metric};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// A FAISS-style IVF index: vectors are assigned to the nearest of `nlist`
+/// k-means centroids; a query scans only the `nprobe` closest lists.
+///
+/// `nprobe == nlist` degenerates to exact search over all stored vectors,
+/// which the property tests exploit.
+///
+/// # Examples
+///
+/// ```
+/// use chatls_vecindex::{IvfIndex, Metric};
+///
+/// let mut index = IvfIndex::new(2, Metric::L2, 4, 7);
+/// for i in 0..100u64 {
+///     let x = (i % 10) as f32;
+///     let y = (i / 10) as f32;
+///     index.add(i, vec![x, y]);
+/// }
+/// index.train();
+/// let hits = index.search(&[3.1, 4.2], 5, 2);
+/// assert_eq!(hits.len(), 5);
+/// ```
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct IvfIndex {
+    dim: usize,
+    metric: Metric,
+    nlist: usize,
+    seed: u64,
+    ids: Vec<u64>,
+    vectors: Vec<Vec<f32>>,
+    centroids: Vec<Vec<f32>>,
+    lists: Vec<Vec<usize>>,
+    trained: bool,
+}
+
+impl IvfIndex {
+    /// Creates an untrained index with `nlist` coarse clusters.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `nlist == 0`.
+    pub fn new(dim: usize, metric: Metric, nlist: usize, seed: u64) -> Self {
+        assert!(nlist > 0, "nlist must be positive");
+        Self {
+            dim,
+            metric,
+            nlist,
+            seed,
+            ids: Vec::new(),
+            vectors: Vec::new(),
+            centroids: Vec::new(),
+            lists: Vec::new(),
+            trained: false,
+        }
+    }
+
+    /// Number of stored vectors.
+    pub fn len(&self) -> usize {
+        self.ids.len()
+    }
+
+    /// True when no vectors are stored.
+    pub fn is_empty(&self) -> bool {
+        self.ids.is_empty()
+    }
+
+    /// Number of coarse clusters.
+    pub fn nlist(&self) -> usize {
+        self.nlist
+    }
+
+    /// Adds a vector. Call [`IvfIndex::train`] after the last `add`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the vector dimension differs from the index dimension.
+    pub fn add(&mut self, id: u64, vector: Vec<f32>) {
+        assert_eq!(vector.len(), self.dim, "vector dimension mismatch");
+        self.ids.push(id);
+        self.vectors.push(vector);
+        self.trained = false;
+    }
+
+    /// Runs k-means (seeded, fixed 20 iterations) and builds inverted lists.
+    pub fn train(&mut self) {
+        let k = self.nlist.min(self.vectors.len().max(1));
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        if self.vectors.is_empty() {
+            self.centroids = vec![vec![0.0; self.dim]];
+            self.lists = vec![Vec::new()];
+            self.trained = true;
+            return;
+        }
+        // k-means++ style seeding: random distinct picks.
+        let mut centroids: Vec<Vec<f32>> = Vec::with_capacity(k);
+        let mut picked = Vec::new();
+        while centroids.len() < k {
+            let i = rng.gen_range(0..self.vectors.len());
+            if picked.contains(&i) && picked.len() < self.vectors.len() {
+                continue;
+            }
+            picked.push(i);
+            centroids.push(self.vectors[i].clone());
+        }
+        for _ in 0..20 {
+            let mut sums = vec![vec![0.0f32; self.dim]; k];
+            let mut counts = vec![0usize; k];
+            for v in &self.vectors {
+                let c = nearest_centroid(&centroids, v);
+                counts[c] += 1;
+                for (s, &x) in sums[c].iter_mut().zip(v) {
+                    *s += x;
+                }
+            }
+            for c in 0..k {
+                if counts[c] > 0 {
+                    for s in &mut sums[c] {
+                        *s /= counts[c] as f32;
+                    }
+                    centroids[c] = sums[c].clone();
+                }
+            }
+        }
+        self.lists = vec![Vec::new(); k];
+        for (i, v) in self.vectors.iter().enumerate() {
+            let c = nearest_centroid(&centroids, v);
+            self.lists[c].push(i);
+        }
+        self.centroids = centroids;
+        self.trained = true;
+    }
+
+    /// Top-`k` search probing the `nprobe` nearest lists.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the index is untrained (call [`IvfIndex::train`]) or the
+    /// query dimension differs.
+    pub fn search(&self, query: &[f32], k: usize, nprobe: usize) -> Vec<Hit> {
+        assert!(self.trained, "IvfIndex::search called before train()");
+        assert_eq!(query.len(), self.dim, "query dimension mismatch");
+        let mut order: Vec<usize> = (0..self.centroids.len()).collect();
+        order.sort_by(|&a, &b| {
+            let da = crate::l2_squared(query, &self.centroids[a]);
+            let db = crate::l2_squared(query, &self.centroids[b]);
+            da.partial_cmp(&db).unwrap_or(std::cmp::Ordering::Equal)
+        });
+        let mut hits = Vec::new();
+        for &list in order.iter().take(nprobe.max(1)) {
+            for &vi in &self.lists[list] {
+                hits.push(Hit {
+                    id: self.ids[vi],
+                    score: self.metric.score(query, &self.vectors[vi]),
+                });
+            }
+        }
+        sort_hits(&mut hits);
+        hits.truncate(k);
+        hits
+    }
+}
+
+fn nearest_centroid(centroids: &[Vec<f32>], v: &[f32]) -> usize {
+    let mut best = 0;
+    let mut best_d = f32::INFINITY;
+    for (i, c) in centroids.iter().enumerate() {
+        let d = crate::l2_squared(v, c);
+        if d < best_d {
+            best_d = d;
+            best = i;
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::FlatIndex;
+
+    fn corpus(n: usize) -> Vec<Vec<f32>> {
+        (0..n)
+            .map(|i| {
+                vec![
+                    (i as f32 * 0.17).sin() * 3.0,
+                    (i as f32 * 0.31).cos() * 3.0,
+                    ((i % 7) as f32) * 0.5,
+                ]
+            })
+            .collect()
+    }
+
+    #[test]
+    fn full_probe_matches_flat_exactly() {
+        let vecs = corpus(60);
+        let mut ivf = IvfIndex::new(3, Metric::L2, 8, 42);
+        let mut flat = FlatIndex::new(3, Metric::L2);
+        for (i, v) in vecs.iter().enumerate() {
+            ivf.add(i as u64, v.clone());
+            flat.add(i as u64, v.clone());
+        }
+        ivf.train();
+        let q = [0.5, -0.5, 1.0];
+        let a = ivf.search(&q, 10, 8);
+        let b = flat.search(&q, 10);
+        let a_ids: Vec<u64> = a.iter().map(|h| h.id).collect();
+        let b_ids: Vec<u64> = b.iter().map(|h| h.id).collect();
+        assert_eq!(a_ids, b_ids);
+    }
+
+    #[test]
+    fn partial_probe_recall_reasonable() {
+        let vecs = corpus(200);
+        let mut ivf = IvfIndex::new(3, Metric::L2, 16, 7);
+        let mut flat = FlatIndex::new(3, Metric::L2);
+        for (i, v) in vecs.iter().enumerate() {
+            ivf.add(i as u64, v.clone());
+            flat.add(i as u64, v.clone());
+        }
+        ivf.train();
+        let mut found = 0;
+        let mut total = 0;
+        for qi in 0..20 {
+            let q = [(qi as f32 * 0.4).sin() * 3.0, (qi as f32 * 0.6).cos() * 3.0, 1.0];
+            let exact: Vec<u64> = flat.search(&q, 5).iter().map(|h| h.id).collect();
+            let approx: Vec<u64> = ivf.search(&q, 5, 4).iter().map(|h| h.id).collect();
+            total += exact.len();
+            found += exact.iter().filter(|id| approx.contains(id)).count();
+        }
+        let recall = found as f64 / total as f64;
+        assert!(recall >= 0.6, "recall@5 with nprobe=4/16 was {recall}");
+    }
+
+    #[test]
+    fn train_is_deterministic_per_seed() {
+        let vecs = corpus(50);
+        let build = |seed| {
+            let mut ivf = IvfIndex::new(3, Metric::Cosine, 4, seed);
+            for (i, v) in vecs.iter().enumerate() {
+                ivf.add(i as u64, v.clone());
+            }
+            ivf.train();
+            ivf.search(&[1.0, 0.0, 0.0], 5, 2)
+        };
+        assert_eq!(build(9), build(9));
+    }
+
+    #[test]
+    fn empty_index_trains_and_searches() {
+        let mut ivf = IvfIndex::new(2, Metric::L2, 4, 0);
+        ivf.train();
+        assert!(ivf.search(&[0.0, 0.0], 3, 2).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "before train")]
+    fn search_before_train_panics() {
+        let mut ivf = IvfIndex::new(2, Metric::L2, 2, 0);
+        ivf.add(1, vec![0.0, 0.0]);
+        ivf.search(&[0.0, 0.0], 1, 1);
+    }
+
+    #[test]
+    fn more_vectors_than_lists_distributes() {
+        let vecs = corpus(40);
+        let mut ivf = IvfIndex::new(3, Metric::L2, 4, 3);
+        for (i, v) in vecs.iter().enumerate() {
+            ivf.add(i as u64, v.clone());
+        }
+        ivf.train();
+        // All 40 vectors reachable with full probe.
+        assert_eq!(ivf.search(&[0.0; 3], 40, 4).len(), 40);
+    }
+}

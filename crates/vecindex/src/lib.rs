@@ -1,0 +1,313 @@
+//! Vector similarity indexes for ChatLS retrieval (FAISS substitute).
+//!
+//! SynthRAG's *graph-embedding-based retrieval* (paper Eq. 4) searches a
+//! database of circuit-design embeddings for nearest neighbours of a query
+//! embedding, then applies a domain-specific rerank (paper Eq. 5) that mixes
+//! similarity with QoR characteristics. This crate supplies both:
+//!
+//! - [`FlatIndex`] — exact brute-force k-NN, the ground truth.
+//! - [`IvfIndex`] — an inverted-file (coarse k-means) approximate index in
+//!   the style of FAISS `IVF`, with an `nprobe` recall/latency knob.
+//! - [`rerank`] — the Eq. 5 score `α·sim + β·c` over retrieved candidates.
+//!
+//! # Examples
+//!
+//! ```
+//! use chatls_vecindex::{FlatIndex, Metric};
+//!
+//! let mut index = FlatIndex::new(2, Metric::Cosine);
+//! index.add(1, vec![1.0, 0.0]);
+//! index.add(2, vec![0.0, 1.0]);
+//! let hits = index.search(&[0.9, 0.1], 1);
+//! assert_eq!(hits[0].id, 1);
+//! ```
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+mod ivf;
+
+pub use ivf::IvfIndex;
+
+/// Distance/similarity metric.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Metric {
+    /// Cosine similarity (higher = closer).
+    Cosine,
+    /// Negative squared Euclidean distance (higher = closer).
+    L2,
+}
+
+impl Metric {
+    /// Similarity score: higher is always closer, for both metrics.
+    pub fn score(self, a: &[f32], b: &[f32]) -> f32 {
+        match self {
+            Metric::Cosine => cosine(a, b),
+            Metric::L2 => -l2_squared(a, b),
+        }
+    }
+}
+
+fn cosine(a: &[f32], b: &[f32]) -> f32 {
+    let dot: f32 = a.iter().zip(b).map(|(x, y)| x * y).sum();
+    let na: f32 = a.iter().map(|x| x * x).sum::<f32>().sqrt();
+    let nb: f32 = b.iter().map(|x| x * x).sum::<f32>().sqrt();
+    if na == 0.0 || nb == 0.0 {
+        0.0
+    } else {
+        dot / (na * nb)
+    }
+}
+
+fn l2_squared(a: &[f32], b: &[f32]) -> f32 {
+    a.iter().zip(b).map(|(x, y)| (x - y) * (x - y)).sum()
+}
+
+/// A search hit.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Hit {
+    /// Caller-assigned vector id.
+    pub id: u64,
+    /// Similarity score (higher = closer).
+    pub score: f32,
+}
+
+/// Error for dimension mismatches.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DimensionError {
+    /// Expected dimension.
+    pub expected: usize,
+    /// Provided dimension.
+    pub got: usize,
+}
+
+impl fmt::Display for DimensionError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "vector dimension mismatch: expected {}, got {}", self.expected, self.got)
+    }
+}
+
+impl std::error::Error for DimensionError {}
+
+/// Exact brute-force k-NN index.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct FlatIndex {
+    dim: usize,
+    metric: Metric,
+    ids: Vec<u64>,
+    vectors: Vec<Vec<f32>>,
+}
+
+impl FlatIndex {
+    /// Creates an empty index for `dim`-dimensional vectors.
+    pub fn new(dim: usize, metric: Metric) -> Self {
+        Self { dim, metric, ids: Vec::new(), vectors: Vec::new() }
+    }
+
+    /// Vector dimensionality.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Number of stored vectors.
+    pub fn len(&self) -> usize {
+        self.ids.len()
+    }
+
+    /// True when no vectors are stored.
+    pub fn is_empty(&self) -> bool {
+        self.ids.is_empty()
+    }
+
+    /// Adds a vector under a caller-chosen id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the vector dimension differs from the index dimension.
+    pub fn add(&mut self, id: u64, vector: Vec<f32>) {
+        assert_eq!(vector.len(), self.dim, "vector dimension mismatch");
+        self.ids.push(id);
+        self.vectors.push(vector);
+    }
+
+    /// Exact top-`k` most similar vectors, best first.
+    ///
+    /// Ties break toward the smaller id so results are deterministic.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the query dimension differs from the index dimension.
+    pub fn search(&self, query: &[f32], k: usize) -> Vec<Hit> {
+        assert_eq!(query.len(), self.dim, "query dimension mismatch");
+        let mut hits: Vec<Hit> = self
+            .ids
+            .iter()
+            .zip(&self.vectors)
+            .map(|(&id, v)| Hit { id, score: self.metric.score(query, v) })
+            .collect();
+        sort_hits(&mut hits);
+        hits.truncate(k);
+        hits
+    }
+
+    /// Borrow of the stored vector for `id`, if present.
+    pub fn vector(&self, id: u64) -> Option<&[f32]> {
+        self.ids.iter().position(|&i| i == id).map(|p| self.vectors[p].as_slice())
+    }
+
+    /// Iterates over `(id, vector)` pairs in insertion order.
+    pub fn iter(&self) -> impl Iterator<Item = (u64, &[f32])> {
+        self.ids.iter().copied().zip(self.vectors.iter().map(|v| v.as_slice()))
+    }
+}
+
+/// Sorts hits best-first with deterministic id tie-breaking.
+pub(crate) fn sort_hits(hits: &mut [Hit]) {
+    hits.sort_by(|a, b| {
+        b.score
+            .partial_cmp(&a.score)
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then(a.id.cmp(&b.id))
+    });
+}
+
+/// Domain-specific reranking (paper Eq. 5):
+/// `Score(z_i) = α·sim(z_query, z_i) + β·c_i`.
+///
+/// `characteristics` maps each hit id to its QoR characteristic `c_i`
+/// (e.g. a normalized timing/area/power figure); hits without an entry get
+/// `c_i = 0`. Returns a new best-first ordering. The output is always a
+/// permutation of the input hits.
+///
+/// # Examples
+///
+/// ```
+/// use chatls_vecindex::{rerank, Hit};
+///
+/// let hits = vec![Hit { id: 1, score: 0.9 }, Hit { id: 2, score: 0.8 }];
+/// // Heavily weight the characteristic: id 2 wins despite lower similarity.
+/// let ranked = rerank(&hits, |id| if id == 2 { 1.0 } else { 0.0 }, 1.0, 0.5);
+/// assert_eq!(ranked[0].id, 2);
+/// ```
+pub fn rerank(hits: &[Hit], characteristics: impl Fn(u64) -> f32, alpha: f32, beta: f32) -> Vec<Hit> {
+    let mut out: Vec<Hit> = hits
+        .iter()
+        .map(|h| Hit { id: h.id, score: alpha * h.score + beta * characteristics(h.id) })
+        .collect();
+    sort_hits(&mut out);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> FlatIndex {
+        let mut idx = FlatIndex::new(3, Metric::Cosine);
+        idx.add(10, vec![1.0, 0.0, 0.0]);
+        idx.add(20, vec![0.0, 1.0, 0.0]);
+        idx.add(30, vec![0.0, 0.0, 1.0]);
+        idx.add(40, vec![0.7, 0.7, 0.0]);
+        idx
+    }
+
+    #[test]
+    fn flat_search_exact_order() {
+        let idx = sample();
+        let hits = idx.search(&[1.0, 0.1, 0.0], 4);
+        assert_eq!(hits[0].id, 10);
+        assert_eq!(hits[1].id, 40);
+        assert_eq!(hits.len(), 4);
+    }
+
+    #[test]
+    fn flat_search_truncates_to_k() {
+        let idx = sample();
+        assert_eq!(idx.search(&[1.0, 0.0, 0.0], 2).len(), 2);
+    }
+
+    #[test]
+    fn l2_metric_orders_by_distance() {
+        let mut idx = FlatIndex::new(1, Metric::L2);
+        idx.add(1, vec![0.0]);
+        idx.add(2, vec![5.0]);
+        let hits = idx.search(&[4.0], 2);
+        assert_eq!(hits[0].id, 2);
+    }
+
+    #[test]
+    fn ties_break_by_id() {
+        let mut idx = FlatIndex::new(1, Metric::Cosine);
+        idx.add(7, vec![1.0]);
+        idx.add(3, vec![2.0]); // same cosine direction
+        let hits = idx.search(&[1.0], 2);
+        assert_eq!(hits[0].id, 3);
+    }
+
+    #[test]
+    fn rerank_is_permutation() {
+        let idx = sample();
+        let hits = idx.search(&[1.0, 0.1, 0.0], 4);
+        let ranked = rerank(&hits, |_| 0.0, 1.0, 1.0);
+        let mut a: Vec<u64> = hits.iter().map(|h| h.id).collect();
+        let mut b: Vec<u64> = ranked.iter().map(|h| h.id).collect();
+        a.sort();
+        b.sort();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn rerank_beta_zero_preserves_order() {
+        let idx = sample();
+        let hits = idx.search(&[1.0, 0.1, 0.0], 4);
+        let ranked = rerank(&hits, |id| id as f32, 1.0, 0.0);
+        let a: Vec<u64> = hits.iter().map(|h| h.id).collect();
+        let b: Vec<u64> = ranked.iter().map(|h| h.id).collect();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn vector_lookup() {
+        let idx = sample();
+        assert_eq!(idx.vector(20), Some([0.0, 1.0, 0.0].as_slice()));
+        assert_eq!(idx.vector(99), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "dimension mismatch")]
+    fn wrong_dim_panics() {
+        let mut idx = FlatIndex::new(2, Metric::Cosine);
+        idx.add(1, vec![1.0]);
+    }
+
+    proptest::proptest! {
+        #[test]
+        fn flat_top1_matches_bruteforce(
+            n in 1usize..30,
+            qx in -1.0f32..1.0,
+            qy in -1.0f32..1.0,
+        ) {
+            let mut idx = FlatIndex::new(2, Metric::L2);
+            let vecs: Vec<Vec<f32>> = (0..n)
+                .map(|i| vec![(i as f32 * 0.37).sin(), (i as f32 * 0.71).cos()])
+                .collect();
+            for (i, v) in vecs.iter().enumerate() {
+                idx.add(i as u64, v.clone());
+            }
+            let q = [qx, qy];
+            let hit = idx.search(&q, 1)[0];
+            let best = vecs
+                .iter()
+                .enumerate()
+                .min_by(|(_, a), (_, b)| {
+                    l2_squared(&q, a).partial_cmp(&l2_squared(&q, b)).unwrap()
+                })
+                .map(|(i, _)| i as u64)
+                .unwrap();
+            // Allow ties: scores must match even if ids differ.
+            let hit_d = l2_squared(&q, vecs[hit.id as usize].as_slice());
+            let best_d = l2_squared(&q, vecs[best as usize].as_slice());
+            proptest::prop_assert!((hit_d - best_d).abs() < 1e-6);
+        }
+    }
+}

@@ -1,0 +1,494 @@
+//! Abstract syntax tree for the supported synthesizable Verilog subset.
+//!
+//! The AST mirrors the hierarchy the ChatLS paper builds its circuit graph
+//! from (Fig. 3): a [`SourceFile`] holds [`Module`]s; each module holds port
+//! and net declarations, continuous [`Assign`]s, [`Always`] blocks and
+//! submodule [`Instance`]s. Every node keeps enough information for the
+//! pretty-printer in [`crate::print`] to regenerate parseable source, which
+//! is what CircuitMentor attaches to graph nodes for the LLM to read.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A parsed source file: an ordered list of module definitions.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize, Default)]
+pub struct SourceFile {
+    /// Modules in source order.
+    pub modules: Vec<Module>,
+}
+
+impl SourceFile {
+    /// Creates an empty source file.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Looks up a module by name.
+    pub fn module(&self, name: &str) -> Option<&Module> {
+        self.modules.iter().find(|m| m.name == name)
+    }
+}
+
+/// Direction of a module port.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum PortDir {
+    /// `input`
+    Input,
+    /// `output`
+    Output,
+    /// `inout`
+    Inout,
+}
+
+impl fmt::Display for PortDir {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            PortDir::Input => "input",
+            PortDir::Output => "output",
+            PortDir::Inout => "inout",
+        })
+    }
+}
+
+/// An optional `[msb:lsb]` packed range. `None` means a scalar (1-bit) net.
+///
+/// Ranges may reference parameters, so bounds are expressions until
+/// elaboration.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Range {
+    /// Most-significant bound expression.
+    pub msb: Expr,
+    /// Least-significant bound expression.
+    pub lsb: Expr,
+}
+
+/// A module port declaration (ANSI style).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Port {
+    /// Port direction.
+    pub dir: PortDir,
+    /// True when declared `reg` (`output reg …`).
+    pub is_reg: bool,
+    /// Optional packed range.
+    pub range: Option<Range>,
+    /// Port name.
+    pub name: String,
+}
+
+/// Kind of a net declaration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum NetKind {
+    /// `wire`
+    Wire,
+    /// `reg`
+    Reg,
+}
+
+/// A `wire`/`reg` declaration inside a module body.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct NetDecl {
+    /// Wire or reg.
+    pub kind: NetKind,
+    /// Optional packed range.
+    pub range: Option<Range>,
+    /// Declared names (one declaration may introduce several nets).
+    pub names: Vec<String>,
+}
+
+/// A `parameter`/`localparam` declaration.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ParamDecl {
+    /// True for `localparam`.
+    pub local: bool,
+    /// Parameter name.
+    pub name: String,
+    /// Default value expression.
+    pub value: Expr,
+}
+
+/// A continuous assignment: `assign lhs = rhs;`.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Assign {
+    /// Left-hand side (identifier, bit/part select, or concatenation).
+    pub lhs: Expr,
+    /// Right-hand side expression.
+    pub rhs: Expr,
+}
+
+/// Sensitivity of an `always` block.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Sensitivity {
+    /// `always @(*)` — combinational.
+    Combinational,
+    /// `always @(posedge clk)` or with an async reset
+    /// `always @(posedge clk or posedge rst)` / `negedge rst`.
+    Clocked {
+        /// Clock signal name.
+        clock: String,
+        /// Optional asynchronous reset: `(signal, active_high)`.
+        reset: Option<(String, bool)>,
+    },
+}
+
+/// An `always` block.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Always {
+    /// Sensitivity list.
+    pub sensitivity: Sensitivity,
+    /// Body statement (usually a `begin … end` block).
+    pub body: Stmt,
+}
+
+/// A procedural statement.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Stmt {
+    /// `begin … end`
+    Block(Vec<Stmt>),
+    /// Blocking (`=`) or nonblocking (`<=`) assignment.
+    Assign {
+        /// Target expression.
+        lhs: Expr,
+        /// Source expression.
+        rhs: Expr,
+        /// True for `<=`.
+        nonblocking: bool,
+    },
+    /// `if (cond) then_stmt [else else_stmt]`
+    If {
+        /// Condition.
+        cond: Expr,
+        /// Taken branch.
+        then_stmt: Box<Stmt>,
+        /// Optional else branch.
+        else_stmt: Option<Box<Stmt>>,
+    },
+    /// `case (expr) … endcase`
+    Case {
+        /// Scrutinee.
+        scrutinee: Expr,
+        /// `(labels, body)` arms; multiple labels share a body.
+        arms: Vec<(Vec<Expr>, Stmt)>,
+        /// Optional `default:` body.
+        default: Option<Box<Stmt>>,
+    },
+    /// Empty statement (`;`).
+    Empty,
+}
+
+/// A submodule instantiation.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Instance {
+    /// Name of the instantiated module.
+    pub module: String,
+    /// Instance name.
+    pub name: String,
+    /// Parameter overrides `#(.NAME(expr), …)`.
+    pub params: Vec<(String, Expr)>,
+    /// Named port connections `.port(expr)`; `None` expr means unconnected.
+    pub connections: Vec<(String, Option<Expr>)>,
+}
+
+/// An item inside a module body, in source order.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Item {
+    /// Net declaration.
+    Net(NetDecl),
+    /// Parameter declaration.
+    Param(ParamDecl),
+    /// Continuous assignment.
+    Assign(Assign),
+    /// Always block.
+    Always(Always),
+    /// Submodule instance.
+    Instance(Instance),
+}
+
+/// A module definition.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Module {
+    /// Module name.
+    pub name: String,
+    /// ANSI port list.
+    pub ports: Vec<Port>,
+    /// Body items in source order.
+    pub items: Vec<Item>,
+}
+
+impl Module {
+    /// Creates an empty module with the given name.
+    pub fn new(name: impl Into<String>) -> Self {
+        Self { name: name.into(), ports: Vec::new(), items: Vec::new() }
+    }
+
+    /// Iterates over submodule instances in the body.
+    pub fn instances(&self) -> impl Iterator<Item = &Instance> {
+        self.items.iter().filter_map(|i| match i {
+            Item::Instance(inst) => Some(inst),
+            _ => None,
+        })
+    }
+
+    /// Iterates over continuous assignments in the body.
+    pub fn assigns(&self) -> impl Iterator<Item = &Assign> {
+        self.items.iter().filter_map(|i| match i {
+            Item::Assign(a) => Some(a),
+            _ => None,
+        })
+    }
+
+    /// Iterates over always blocks in the body.
+    pub fn always_blocks(&self) -> impl Iterator<Item = &Always> {
+        self.items.iter().filter_map(|i| match i {
+            Item::Always(a) => Some(a),
+            _ => None,
+        })
+    }
+
+    /// Looks up a port by name.
+    pub fn port(&self, name: &str) -> Option<&Port> {
+        self.ports.iter().find(|p| p.name == name)
+    }
+}
+
+/// Unary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum UnaryOp {
+    /// `~` bitwise not
+    Not,
+    /// `!` logical not
+    LogicalNot,
+    /// `-` arithmetic negation
+    Neg,
+    /// `&` reduction and
+    ReduceAnd,
+    /// `|` reduction or
+    ReduceOr,
+    /// `^` reduction xor
+    ReduceXor,
+}
+
+impl UnaryOp {
+    /// Source token for the operator.
+    pub fn symbol(self) -> &'static str {
+        match self {
+            UnaryOp::Not => "~",
+            UnaryOp::LogicalNot => "!",
+            UnaryOp::Neg => "-",
+            UnaryOp::ReduceAnd => "&",
+            UnaryOp::ReduceOr => "|",
+            UnaryOp::ReduceXor => "^",
+        }
+    }
+}
+
+/// Binary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum BinaryOp {
+    /// `+`
+    Add,
+    /// `-`
+    Sub,
+    /// `*`
+    Mul,
+    /// `&`
+    And,
+    /// `|`
+    Or,
+    /// `^`
+    Xor,
+    /// `&&`
+    LogicalAnd,
+    /// `||`
+    LogicalOr,
+    /// `==`
+    Eq,
+    /// `!=`
+    Ne,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// `<<`
+    Shl,
+    /// `>>`
+    Shr,
+}
+
+impl BinaryOp {
+    /// Source token for the operator.
+    pub fn symbol(self) -> &'static str {
+        match self {
+            BinaryOp::Add => "+",
+            BinaryOp::Sub => "-",
+            BinaryOp::Mul => "*",
+            BinaryOp::And => "&",
+            BinaryOp::Or => "|",
+            BinaryOp::Xor => "^",
+            BinaryOp::LogicalAnd => "&&",
+            BinaryOp::LogicalOr => "||",
+            BinaryOp::Eq => "==",
+            BinaryOp::Ne => "!=",
+            BinaryOp::Lt => "<",
+            BinaryOp::Le => "<=",
+            BinaryOp::Gt => ">",
+            BinaryOp::Ge => ">=",
+            BinaryOp::Shl => "<<",
+            BinaryOp::Shr => ">>",
+        }
+    }
+
+    /// Binding power for the parser/printer; higher binds tighter.
+    pub fn precedence(self) -> u8 {
+        match self {
+            BinaryOp::Mul => 10,
+            BinaryOp::Add | BinaryOp::Sub => 9,
+            BinaryOp::Shl | BinaryOp::Shr => 8,
+            BinaryOp::Lt | BinaryOp::Le | BinaryOp::Gt | BinaryOp::Ge => 7,
+            BinaryOp::Eq | BinaryOp::Ne => 6,
+            BinaryOp::And => 5,
+            BinaryOp::Xor => 4,
+            BinaryOp::Or => 3,
+            BinaryOp::LogicalAnd => 2,
+            BinaryOp::LogicalOr => 1,
+        }
+    }
+}
+
+/// An expression.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Expr {
+    /// Identifier reference.
+    Ident(String),
+    /// Integer literal with optional explicit width (`8'hFF` → width 8).
+    Literal {
+        /// Value (two's-complement bits, low 64).
+        value: u64,
+        /// Explicit bit width, if one was written.
+        width: Option<u32>,
+    },
+    /// Bit select `name[idx]`.
+    BitSelect {
+        /// Base expression (identifier in the supported subset).
+        base: Box<Expr>,
+        /// Index expression.
+        index: Box<Expr>,
+    },
+    /// Part select `name[msb:lsb]`.
+    PartSelect {
+        /// Base expression.
+        base: Box<Expr>,
+        /// MSB expression.
+        msb: Box<Expr>,
+        /// LSB expression.
+        lsb: Box<Expr>,
+    },
+    /// Unary operation.
+    Unary {
+        /// Operator.
+        op: UnaryOp,
+        /// Operand.
+        operand: Box<Expr>,
+    },
+    /// Binary operation.
+    Binary {
+        /// Operator.
+        op: BinaryOp,
+        /// Left operand.
+        lhs: Box<Expr>,
+        /// Right operand.
+        rhs: Box<Expr>,
+    },
+    /// Ternary `cond ? a : b`.
+    Ternary {
+        /// Condition.
+        cond: Box<Expr>,
+        /// Value when true.
+        then_expr: Box<Expr>,
+        /// Value when false.
+        else_expr: Box<Expr>,
+    },
+    /// Concatenation `{a, b, c}` (MSB first).
+    Concat(Vec<Expr>),
+    /// Replication `{n{expr}}`.
+    Repeat {
+        /// Repetition count expression (must be a constant).
+        count: Box<Expr>,
+        /// Replicated expression.
+        expr: Box<Expr>,
+    },
+}
+
+impl Expr {
+    /// Convenience constructor for an identifier expression.
+    pub fn ident(name: impl Into<String>) -> Self {
+        Expr::Ident(name.into())
+    }
+
+    /// Convenience constructor for an unsized literal.
+    pub fn lit(value: u64) -> Self {
+        Expr::Literal { value, width: None }
+    }
+
+    /// Convenience constructor for a sized literal.
+    pub fn sized(width: u32, value: u64) -> Self {
+        Expr::Literal { value, width: Some(width) }
+    }
+
+    /// Convenience constructor for a binary operation.
+    pub fn bin(op: BinaryOp, lhs: Expr, rhs: Expr) -> Self {
+        Expr::Binary { op, lhs: Box::new(lhs), rhs: Box::new(rhs) }
+    }
+
+    /// Convenience constructor for a unary operation.
+    pub fn un(op: UnaryOp, operand: Expr) -> Self {
+        Expr::Unary { op, operand: Box::new(operand) }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn module_lookups() {
+        let mut sf = SourceFile::new();
+        sf.modules.push(Module::new("top"));
+        assert!(sf.module("top").is_some());
+        assert!(sf.module("missing").is_none());
+    }
+
+    #[test]
+    fn precedence_orders_mul_above_add() {
+        assert!(BinaryOp::Mul.precedence() > BinaryOp::Add.precedence());
+        assert!(BinaryOp::Add.precedence() > BinaryOp::Or.precedence());
+        assert!(BinaryOp::Or.precedence() > BinaryOp::LogicalOr.precedence());
+    }
+
+    #[test]
+    fn expr_builders() {
+        let e = Expr::bin(BinaryOp::Add, Expr::ident("a"), Expr::lit(1));
+        match e {
+            Expr::Binary { op: BinaryOp::Add, .. } => {}
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn module_item_iterators() {
+        let mut m = Module::new("m");
+        m.items.push(Item::Assign(Assign { lhs: Expr::ident("y"), rhs: Expr::ident("x") }));
+        m.items.push(Item::Instance(Instance {
+            module: "sub".into(),
+            name: "u0".into(),
+            params: vec![],
+            connections: vec![],
+        }));
+        assert_eq!(m.assigns().count(), 1);
+        assert_eq!(m.instances().count(), 1);
+        assert_eq!(m.always_blocks().count(), 0);
+    }
+}

@@ -1,0 +1,57 @@
+//! Error types for the Verilog front-end.
+
+use std::error::Error;
+use std::fmt;
+
+/// Error produced while lexing or parsing Verilog source.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseVerilogError {
+    /// 1-based source line.
+    pub line: u32,
+    /// 1-based source column.
+    pub col: u32,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl fmt::Display for ParseVerilogError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "parse error at {}:{}: {}", self.line, self.col, self.message)
+    }
+}
+
+impl Error for ParseVerilogError {}
+
+/// Error produced during elaboration or netlist lowering.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ElaborateError {
+    /// Module being elaborated when the error occurred.
+    pub module: String,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl fmt::Display for ElaborateError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "elaboration error in module '{}': {}", self.module, self.message)
+    }
+}
+
+impl Error for ElaborateError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_includes_position() {
+        let e = ParseVerilogError { line: 3, col: 7, message: "boom".into() };
+        assert_eq!(e.to_string(), "parse error at 3:7: boom");
+    }
+
+    #[test]
+    fn elaborate_display_includes_module() {
+        let e = ElaborateError { module: "alu".into(), message: "bad width".into() };
+        assert!(e.to_string().contains("alu"));
+    }
+}

@@ -1,0 +1,287 @@
+//! Tokenizer for the supported Verilog subset.
+
+use crate::error::ParseVerilogError;
+use std::fmt;
+
+/// A lexical token.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Token {
+    /// Identifier or keyword (keywords are distinguished by the parser).
+    Ident(String),
+    /// Unsized decimal literal.
+    Number(u64),
+    /// Sized literal like `8'hFF`: `(width, value)`.
+    SizedNumber(u32, u64),
+    /// Any punctuation / operator token, as written.
+    Symbol(&'static str),
+}
+
+impl fmt::Display for Token {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Token::Ident(s) => write!(f, "{s}"),
+            Token::Number(n) => write!(f, "{n}"),
+            Token::SizedNumber(w, v) => write!(f, "{w}'d{v}"),
+            Token::Symbol(s) => write!(f, "{s}"),
+        }
+    }
+}
+
+/// A token together with its source position (1-based line/column).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Spanned {
+    /// The token.
+    pub token: Token,
+    /// 1-based source line.
+    pub line: u32,
+    /// 1-based source column.
+    pub col: u32,
+}
+
+/// Multi-character symbols, longest first so maximal munch works.
+const SYMBOLS: &[&str] = &[
+    "<<", ">>", "<=", ">=", "==", "!=", "&&", "||", "(", ")", "[", "]", "{", "}", ",", ";", ":",
+    "?", "=", "+", "-", "*", "/", "&", "|", "^", "~", "!", "<", ">", "@", ".", "#", "'",
+];
+
+/// Tokenizes `src`, skipping whitespace, `//` line comments and
+/// `/* */` block comments.
+///
+/// # Errors
+///
+/// Returns [`ParseVerilogError`] on unterminated block comments, malformed
+/// sized literals, or characters outside the supported subset.
+pub fn lex(src: &str) -> Result<Vec<Spanned>, ParseVerilogError> {
+    let bytes = src.as_bytes();
+    let mut out = Vec::new();
+    let mut i = 0usize;
+    let mut line = 1u32;
+    let mut col = 1u32;
+
+    let err = |line: u32, col: u32, msg: String| ParseVerilogError { line, col, message: msg };
+
+    while i < bytes.len() {
+        let c = bytes[i] as char;
+        // Whitespace.
+        if c == '\n' {
+            line += 1;
+            col = 1;
+            i += 1;
+            continue;
+        }
+        if c.is_whitespace() {
+            i += 1;
+            col += 1;
+            continue;
+        }
+        // Comments.
+        if c == '/' && i + 1 < bytes.len() {
+            match bytes[i + 1] as char {
+                '/' => {
+                    while i < bytes.len() && bytes[i] as char != '\n' {
+                        i += 1;
+                    }
+                    continue;
+                }
+                '*' => {
+                    let (sl, sc) = (line, col);
+                    i += 2;
+                    col += 2;
+                    loop {
+                        if i + 1 >= bytes.len() {
+                            return Err(err(sl, sc, "unterminated block comment".into()));
+                        }
+                        if bytes[i] as char == '\n' {
+                            line += 1;
+                            col = 1;
+                            i += 1;
+                            continue;
+                        }
+                        if bytes[i] as char == '*' && bytes[i + 1] as char == '/' {
+                            i += 2;
+                            col += 2;
+                            break;
+                        }
+                        i += 1;
+                        col += 1;
+                    }
+                    continue;
+                }
+                _ => {}
+            }
+        }
+        // Identifiers / keywords.
+        if c.is_ascii_alphabetic() || c == '_' || c == '\\' {
+            let start = i;
+            if c == '\\' {
+                // Escaped identifier: up to whitespace.
+                i += 1;
+                while i < bytes.len() && !(bytes[i] as char).is_whitespace() {
+                    i += 1;
+                }
+            } else {
+                while i < bytes.len() {
+                    let ch = bytes[i] as char;
+                    if ch.is_ascii_alphanumeric() || ch == '_' || ch == '$' {
+                        i += 1;
+                    } else {
+                        break;
+                    }
+                }
+            }
+            let text = &src[start..i];
+            out.push(Spanned { token: Token::Ident(text.trim_start_matches('\\').to_string()), line, col });
+            col += (i - start) as u32;
+            continue;
+        }
+        // Numbers (possibly sized: 8'hFF, 4'b1010, 16'd255, 3'o7).
+        if c.is_ascii_digit() {
+            let start = i;
+            while i < bytes.len() && (bytes[i] as char).is_ascii_digit() {
+                i += 1;
+            }
+            let dec: u64 = src[start..i]
+                .parse()
+                .map_err(|_| err(line, col, format!("integer literal too large: {}", &src[start..i])))?;
+            // Check for a base specifier.
+            let mut j = i;
+            while j < bytes.len() && (bytes[j] as char) == ' ' {
+                j += 1;
+            }
+            if j < bytes.len() && bytes[j] as char == '\'' {
+                let width: u32 = u32::try_from(dec)
+                    .ok()
+                    .filter(|&w| w > 0 && w <= 64)
+                    .ok_or_else(|| err(line, col, format!("unsupported literal width {dec}")))?;
+                j += 1;
+                if j >= bytes.len() {
+                    return Err(err(line, col, "truncated sized literal".into()));
+                }
+                let base_char = (bytes[j] as char).to_ascii_lowercase();
+                let radix = match base_char {
+                    'h' => 16,
+                    'd' => 10,
+                    'b' => 2,
+                    'o' => 8,
+                    other => return Err(err(line, col, format!("unknown literal base '{other}'"))),
+                };
+                j += 1;
+                let vstart = j;
+                while j < bytes.len() {
+                    let ch = (bytes[j] as char).to_ascii_lowercase();
+                    if ch.is_ascii_alphanumeric() || ch == '_' {
+                        j += 1;
+                    } else {
+                        break;
+                    }
+                }
+                let digits: String = src[vstart..j].chars().filter(|&ch| ch != '_').collect();
+                if digits.is_empty() {
+                    return Err(err(line, col, "sized literal missing digits".into()));
+                }
+                let value = u64::from_str_radix(&digits, radix)
+                    .map_err(|_| err(line, col, format!("invalid digits '{digits}' for base {radix}")))?;
+                let masked = if width == 64 { value } else { value & ((1u64 << width) - 1) };
+                out.push(Spanned { token: Token::SizedNumber(width, masked), line, col });
+                col += (j - start) as u32;
+                i = j;
+            } else {
+                out.push(Spanned { token: Token::Number(dec), line, col });
+                col += (i - start) as u32;
+            }
+            continue;
+        }
+        // Symbols (maximal munch).
+        let rest = &src[i..];
+        if let Some(sym) = SYMBOLS.iter().find(|s| rest.starts_with(**s)) {
+            out.push(Spanned { token: Token::Symbol(sym), line, col });
+            i += sym.len();
+            col += sym.len() as u32;
+            continue;
+        }
+        return Err(err(line, col, format!("unexpected character '{c}'")));
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toks(src: &str) -> Vec<Token> {
+        lex(src).unwrap().into_iter().map(|s| s.token).collect()
+    }
+
+    #[test]
+    fn lexes_module_header() {
+        assert_eq!(
+            toks("module m;"),
+            vec![Token::Ident("module".into()), Token::Ident("m".into()), Token::Symbol(";")]
+        );
+    }
+
+    #[test]
+    fn lexes_sized_literals_all_bases() {
+        assert_eq!(toks("8'hFF"), vec![Token::SizedNumber(8, 255)]);
+        assert_eq!(toks("4'b1010"), vec![Token::SizedNumber(4, 10)]);
+        assert_eq!(toks("16'd255"), vec![Token::SizedNumber(16, 255)]);
+        assert_eq!(toks("3'o7"), vec![Token::SizedNumber(3, 7)]);
+    }
+
+    #[test]
+    fn sized_literal_masks_to_width() {
+        assert_eq!(toks("4'hFF"), vec![Token::SizedNumber(4, 0xF)]);
+    }
+
+    #[test]
+    fn underscores_in_literals_ignored() {
+        assert_eq!(toks("32'hDEAD_BEEF"), vec![Token::SizedNumber(32, 0xDEAD_BEEF)]);
+    }
+
+    #[test]
+    fn line_comments_skipped() {
+        assert_eq!(toks("a // comment\nb"), vec![Token::Ident("a".into()), Token::Ident("b".into())]);
+    }
+
+    #[test]
+    fn block_comments_skipped() {
+        assert_eq!(toks("a /* x\ny */ b"), vec![Token::Ident("a".into()), Token::Ident("b".into())]);
+    }
+
+    #[test]
+    fn unterminated_block_comment_errors() {
+        assert!(lex("/* never ends").is_err());
+    }
+
+    #[test]
+    fn maximal_munch_on_operators() {
+        assert_eq!(
+            toks("a<=b<<c"),
+            vec![
+                Token::Ident("a".into()),
+                Token::Symbol("<="),
+                Token::Ident("b".into()),
+                Token::Symbol("<<"),
+                Token::Ident("c".into()),
+            ]
+        );
+    }
+
+    #[test]
+    fn positions_track_lines() {
+        let spanned = lex("a\n  b").unwrap();
+        assert_eq!(spanned[0].line, 1);
+        assert_eq!(spanned[1].line, 2);
+        assert_eq!(spanned[1].col, 3);
+    }
+
+    #[test]
+    fn bad_base_errors() {
+        assert!(lex("8'q12").is_err());
+    }
+
+    #[test]
+    fn dollar_in_identifier_ok() {
+        assert_eq!(toks("a$b"), vec![Token::Ident("a$b".into())]);
+    }
+}

@@ -1,0 +1,46 @@
+//! Synthesizable-subset Verilog front-end for the ChatLS reproduction.
+//!
+//! This crate is the RTL substrate the paper's pipeline rests on. It
+//! provides, end to end:
+//!
+//! 1. [`parse`] — lexer + recursive-descent parser producing the [`ast`]
+//!    the ChatLS **CircuitMentor** turns into its hierarchical circuit graph
+//!    (paper Fig. 3).
+//! 2. [`print`](mod@print) — a pretty-printer whose output round-trips through the
+//!    parser, used to attach per-module source code to graph nodes.
+//! 3. [`lower_to_netlist`] — elaboration (parameter resolution, hierarchy
+//!    flattening) and bit-blasting to a primitive-gate [`netlist::Netlist`],
+//!    the input of the simulated synthesis tool.
+//! 4. [`netlist::Simulator`] — a functional simulator used throughout the
+//!    workspace to prove optimization passes preserve behaviour.
+//!
+//! # Examples
+//!
+//! ```
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! use chatls_verilog::{lower_to_netlist, parse};
+//!
+//! let sf = parse(
+//!     "module majority(input a, b, c, output y);
+//!          assign y = (a & b) | (b & c) | (a & c);
+//!      endmodule",
+//! )?;
+//! let netlist = lower_to_netlist(&sf, "majority")?;
+//! assert!(netlist.num_comb_gates() > 0);
+//! # Ok(())
+//! # }
+//! ```
+
+pub mod ast;
+pub mod netlist;
+pub mod print;
+
+mod error;
+mod lexer;
+mod lower;
+mod parser;
+
+pub use error::{ElaborateError, ParseVerilogError};
+pub use lower::lower_to_netlist;
+pub use parser::{parse, parse_expr};
+pub use print::{print_expr, print_module, print_source};

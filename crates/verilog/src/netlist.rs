@@ -1,0 +1,666 @@
+//! Gate-level netlist: the output of RTL lowering and the input to the
+//! simulated synthesis tool.
+//!
+//! A [`Netlist`] is a flat sea of two-input gates, inverters, 2:1 muxes and
+//! D flip-flops connected by single-bit [`Net`]s. Every gate records the
+//! hierarchical instance path it was lowered from, which the synthesis tool
+//! uses for per-module reporting and which CircuitMentor uses to tie timing
+//! paths back to source modules.
+//!
+//! The module also contains a small event-free functional simulator
+//! ([`Netlist::eval_comb`] / [`Simulator`]) used by tests to prove that
+//! optimization passes preserve functionality.
+
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use std::fmt;
+
+/// Index of a net within a [`Netlist`].
+pub type NetId = u32;
+
+/// Index of a gate within a [`Netlist`].
+pub type GateId = u32;
+
+/// Primitive gate kinds produced by RTL lowering.
+///
+/// Technology mapping in the synthesis crate maps these onto library cells;
+/// until then delay/area are abstract.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum GateKind {
+    /// Constant 0 driver (no inputs).
+    Const0,
+    /// Constant 1 driver (no inputs).
+    Const1,
+    /// Buffer (1 input).
+    Buf,
+    /// Inverter (1 input).
+    Not,
+    /// 2-input AND.
+    And,
+    /// 2-input OR.
+    Or,
+    /// 2-input XOR.
+    Xor,
+    /// 2-input NAND (introduced by the mapper's inverter absorption; RTL
+    /// lowering never emits it).
+    Nand,
+    /// 2-input NOR (mapper-introduced).
+    Nor,
+    /// 2-input XNOR (mapper-introduced).
+    Xnor,
+    /// 2:1 multiplexer; inputs are `[sel, a, b]`, output is `sel ? b : a`.
+    Mux,
+    /// D flip-flop; inputs are `[d]` or `[d, reset]`.
+    ///
+    /// The reset, when present, is asynchronous and drives the register to
+    /// its `reset_value` (encoded by the lowering as a mux on `d` for sync
+    /// resets, or as the second input here for async).
+    Dff,
+}
+
+impl GateKind {
+    /// Number of data inputs this gate kind expects (Dff may have 1 or 2).
+    pub fn arity(self) -> usize {
+        match self {
+            GateKind::Const0 | GateKind::Const1 => 0,
+            GateKind::Buf | GateKind::Not => 1,
+            GateKind::And | GateKind::Or | GateKind::Xor => 2,
+            GateKind::Nand | GateKind::Nor | GateKind::Xnor => 2,
+            GateKind::Mux => 3,
+            GateKind::Dff => 1,
+        }
+    }
+
+    /// True for sequential elements.
+    pub fn is_sequential(self) -> bool {
+        matches!(self, GateKind::Dff)
+    }
+}
+
+impl fmt::Display for GateKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            GateKind::Const0 => "CONST0",
+            GateKind::Const1 => "CONST1",
+            GateKind::Buf => "BUF",
+            GateKind::Not => "NOT",
+            GateKind::And => "AND",
+            GateKind::Or => "OR",
+            GateKind::Xor => "XOR",
+            GateKind::Nand => "NAND",
+            GateKind::Nor => "NOR",
+            GateKind::Xnor => "XNOR",
+            GateKind::Mux => "MUX",
+            GateKind::Dff => "DFF",
+        };
+        f.write_str(s)
+    }
+}
+
+/// A single-bit net.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Net {
+    /// Debug name (`"top/u_alu/sum[3]"`).
+    pub name: String,
+}
+
+/// A gate instance.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Gate {
+    /// Gate kind.
+    pub kind: GateKind,
+    /// Input nets, in kind-specific order.
+    pub inputs: Vec<NetId>,
+    /// Output net.
+    pub output: NetId,
+    /// Hierarchical instance path of the module this gate was lowered from
+    /// (`"top/u_core/u_alu"`); `"top"` for gates in the root module.
+    pub path: String,
+    /// For [`GateKind::Dff`]: value the register takes under reset.
+    pub reset_value: bool,
+    /// For [`GateKind::Dff`]: asynchronous reset net, if any.
+    pub async_reset: Option<NetId>,
+    /// For [`GateKind::Dff`]: active-high clock/load enable; when the net is
+    /// low the register holds its value. `None` = always enabled. Inserted
+    /// by the synthesis tool's clock-gating pass, never by RTL lowering.
+    pub enable: Option<NetId>,
+    /// Protects the gate from cleanup passes (`set_dont_touch` semantics);
+    /// set on deliberately inserted buffer trees.
+    pub dont_touch: bool,
+}
+
+/// A flattened gate-level netlist.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize, Default)]
+pub struct Netlist {
+    /// Top module name.
+    pub name: String,
+    /// All nets.
+    pub nets: Vec<Net>,
+    /// All gates.
+    pub gates: Vec<Gate>,
+    /// Primary input nets with port bit names (`clk` and resets included).
+    pub inputs: Vec<(String, NetId)>,
+    /// Primary output nets with port bit names.
+    pub outputs: Vec<(String, NetId)>,
+    /// Name of the clock signal, if the design is sequential.
+    pub clock: Option<String>,
+}
+
+impl Netlist {
+    /// Creates an empty netlist with the given top name.
+    pub fn new(name: impl Into<String>) -> Self {
+        Self { name: name.into(), ..Self::default() }
+    }
+
+    /// Adds a net and returns its id.
+    pub fn add_net(&mut self, name: impl Into<String>) -> NetId {
+        let id = self.nets.len() as NetId;
+        self.nets.push(Net { name: name.into() });
+        id
+    }
+
+    /// Adds a combinational gate and returns the id of its output net.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `inputs.len()` does not match the gate kind's arity, or if
+    /// the kind is [`GateKind::Dff`] (use [`Netlist::add_dff`]).
+    pub fn add_gate(&mut self, kind: GateKind, inputs: &[NetId], output: NetId, path: &str) -> GateId {
+        assert!(!kind.is_sequential(), "use add_dff for sequential gates");
+        assert_eq!(inputs.len(), kind.arity(), "gate {kind} expects {} inputs", kind.arity());
+        let id = self.gates.len() as GateId;
+        self.gates.push(Gate {
+            kind,
+            inputs: inputs.to_vec(),
+            output,
+            path: path.to_string(),
+            reset_value: false,
+            async_reset: None,
+            enable: None,
+            dont_touch: false,
+        });
+        id
+    }
+
+    /// Adds a D flip-flop.
+    pub fn add_dff(
+        &mut self,
+        d: NetId,
+        q: NetId,
+        path: &str,
+        reset_value: bool,
+        async_reset: Option<NetId>,
+    ) -> GateId {
+        let id = self.gates.len() as GateId;
+        self.gates.push(Gate {
+            kind: GateKind::Dff,
+            inputs: vec![d],
+            output: q,
+            path: path.to_string(),
+            reset_value,
+            async_reset,
+            enable: None,
+            dont_touch: false,
+        });
+        id
+    }
+
+    /// Number of sequential elements.
+    pub fn num_registers(&self) -> usize {
+        self.gates.iter().filter(|g| g.kind.is_sequential()).count()
+    }
+
+    /// Number of combinational gates.
+    pub fn num_comb_gates(&self) -> usize {
+        self.gates.len() - self.num_registers()
+    }
+
+    /// Map from net id to the gate driving it, if any.
+    pub fn driver_map(&self) -> Vec<Option<GateId>> {
+        let mut map = vec![None; self.nets.len()];
+        for (i, g) in self.gates.iter().enumerate() {
+            map[g.output as usize] = Some(i as GateId);
+        }
+        map
+    }
+
+    /// Map from net id to the gate ids consuming it.
+    pub fn fanout_map(&self) -> Vec<Vec<GateId>> {
+        let mut map = vec![Vec::new(); self.nets.len()];
+        for (i, g) in self.gates.iter().enumerate() {
+            for &inp in &g.inputs {
+                map[inp as usize].push(i as GateId);
+            }
+            if let Some(r) = g.async_reset {
+                map[r as usize].push(i as GateId);
+            }
+            if let Some(e) = g.enable {
+                map[e as usize].push(i as GateId);
+            }
+        }
+        map
+    }
+
+    /// Checks structural sanity: every net driven at most once; every gate
+    /// input refers to an existing net; every primary output is driven or is
+    /// a primary input.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first violation found.
+    pub fn check(&self) -> Result<(), String> {
+        let mut driven = vec![false; self.nets.len()];
+        for (name, id) in &self.inputs {
+            let slot = driven
+                .get_mut(*id as usize)
+                .ok_or_else(|| format!("input {name} refers to missing net {id}"))?;
+            if *slot {
+                return Err(format!("input net {name} is multiply driven"));
+            }
+            *slot = true;
+        }
+        for (gi, g) in self.gates.iter().enumerate() {
+            for &inp in &g.inputs {
+                if inp as usize >= self.nets.len() {
+                    return Err(format!("gate {gi} input refers to missing net {inp}"));
+                }
+            }
+            let out = g.output as usize;
+            if out >= self.nets.len() {
+                return Err(format!("gate {gi} output refers to missing net {}", g.output));
+            }
+            if driven[out] {
+                return Err(format!("net '{}' is multiply driven", self.nets[out].name));
+            }
+            driven[out] = true;
+        }
+        for (name, id) in &self.outputs {
+            if *id as usize >= self.nets.len() {
+                return Err(format!("output {name} refers to missing net {id}"));
+            }
+            if !driven[*id as usize] {
+                return Err(format!("primary output '{name}' is undriven"));
+            }
+        }
+        Ok(())
+    }
+
+    /// Topological order of combinational gates (inputs and register outputs
+    /// are sources; registers are not ordered).
+    ///
+    /// # Errors
+    ///
+    /// Returns the names of nets on a combinational cycle if one exists.
+    pub fn topo_order(&self) -> Result<Vec<GateId>, String> {
+        let mut indegree: Vec<u32> = Vec::with_capacity(self.gates.len());
+        let driver = self.driver_map();
+        // A combinational gate depends on the combinational gates driving
+        // its inputs.
+        let dep_of = |net: NetId| -> Option<GateId> {
+            driver[net as usize].filter(|&gid| !self.gates[gid as usize].kind.is_sequential())
+        };
+        let mut consumers: Vec<Vec<GateId>> = vec![Vec::new(); self.gates.len()];
+        for (gi, g) in self.gates.iter().enumerate() {
+            if g.kind.is_sequential() {
+                indegree.push(0);
+                continue;
+            }
+            let mut deg = 0;
+            for &inp in &g.inputs {
+                if let Some(dep) = dep_of(inp) {
+                    consumers[dep as usize].push(gi as GateId);
+                    deg += 1;
+                }
+            }
+            indegree.push(deg);
+        }
+        let mut queue: Vec<GateId> = (0..self.gates.len() as GateId)
+            .filter(|&g| !self.gates[g as usize].kind.is_sequential() && indegree[g as usize] == 0)
+            .collect();
+        let mut order = Vec::new();
+        let mut qi = 0;
+        while qi < queue.len() {
+            let g = queue[qi];
+            qi += 1;
+            order.push(g);
+            for &c in &consumers[g as usize] {
+                indegree[c as usize] -= 1;
+                if indegree[c as usize] == 0 {
+                    queue.push(c);
+                }
+            }
+        }
+        let comb_total = self.num_comb_gates();
+        if order.len() != comb_total {
+            let stuck: Vec<&str> = self
+                .gates
+                .iter()
+                .enumerate()
+                .filter(|(i, g)| !g.kind.is_sequential() && indegree[*i] > 0)
+                .take(5)
+                .map(|(_, g)| self.nets[g.output as usize].name.as_str())
+                .collect();
+            return Err(format!("combinational cycle through nets: {}", stuck.join(", ")));
+        }
+        Ok(order)
+    }
+
+    /// Evaluates the combinational logic for the given input assignment and
+    /// current register state, returning all net values.
+    ///
+    /// `inputs` maps primary-input net ids to values; `regs` maps DFF output
+    /// net ids to their current state. Missing entries default to `false`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the netlist has a combinational cycle.
+    pub fn eval_comb(
+        &self,
+        inputs: &HashMap<NetId, bool>,
+        regs: &HashMap<NetId, bool>,
+    ) -> Result<Vec<bool>, String> {
+        let order = self.topo_order()?;
+        let mut values = vec![false; self.nets.len()];
+        for (&net, &v) in inputs {
+            values[net as usize] = v;
+        }
+        for (&net, &v) in regs {
+            values[net as usize] = v;
+        }
+        for gid in order {
+            let g = &self.gates[gid as usize];
+            let v = match g.kind {
+                GateKind::Const0 => false,
+                GateKind::Const1 => true,
+                GateKind::Buf => values[g.inputs[0] as usize],
+                GateKind::Not => !values[g.inputs[0] as usize],
+                GateKind::And => values[g.inputs[0] as usize] & values[g.inputs[1] as usize],
+                GateKind::Or => values[g.inputs[0] as usize] | values[g.inputs[1] as usize],
+                GateKind::Xor => values[g.inputs[0] as usize] ^ values[g.inputs[1] as usize],
+                GateKind::Nand => !(values[g.inputs[0] as usize] & values[g.inputs[1] as usize]),
+                GateKind::Nor => !(values[g.inputs[0] as usize] | values[g.inputs[1] as usize]),
+                GateKind::Xnor => !(values[g.inputs[0] as usize] ^ values[g.inputs[1] as usize]),
+                GateKind::Mux => {
+                    if values[g.inputs[0] as usize] {
+                        values[g.inputs[2] as usize]
+                    } else {
+                        values[g.inputs[1] as usize]
+                    }
+                }
+                GateKind::Dff => continue,
+            };
+            values[g.output as usize] = v;
+        }
+        Ok(values)
+    }
+}
+
+/// Cycle-accurate simulator over a [`Netlist`].
+///
+/// # Examples
+///
+/// ```
+/// # use chatls_verilog::netlist::{Netlist, GateKind, Simulator};
+/// let mut nl = Netlist::new("t");
+/// let a = nl.add_net("a");
+/// let q = nl.add_net("q");
+/// nl.inputs.push(("a".into(), a));
+/// nl.outputs.push(("q".into(), q));
+/// nl.add_dff(a, q, "t", false, None);
+/// let mut sim = Simulator::new(&nl);
+/// sim.set_input("a", &[1]);
+/// sim.step().unwrap();
+/// sim.settle().unwrap();
+/// assert_eq!(sim.output("q"), Some(1));
+/// ```
+#[derive(Debug)]
+pub struct Simulator<'a> {
+    netlist: &'a Netlist,
+    inputs: HashMap<NetId, bool>,
+    regs: HashMap<NetId, bool>,
+    values: Vec<bool>,
+}
+
+impl<'a> Simulator<'a> {
+    /// Creates a simulator with all registers reset to their reset values.
+    pub fn new(netlist: &'a Netlist) -> Self {
+        let mut regs = HashMap::new();
+        for g in &netlist.gates {
+            if g.kind.is_sequential() {
+                regs.insert(g.output, g.reset_value);
+            }
+        }
+        Self { netlist, inputs: HashMap::new(), regs, values: vec![false; netlist.nets.len()] }
+    }
+
+    /// Sets a (possibly multi-bit) primary input by port name. `bits[0]` is
+    /// bit 0. Port bit nets are named `port` (scalar) or `port[i]`.
+    pub fn set_input(&mut self, port: &str, bits: &[u8]) {
+        for (name, id) in &self.netlist.inputs {
+            if name == port {
+                self.inputs.insert(*id, bits.first().copied().unwrap_or(0) != 0);
+            } else if let Some(idx) = bit_index(name, port) {
+                self.inputs.insert(*id, bits.get(idx).copied().unwrap_or(0) != 0);
+            }
+        }
+    }
+
+    /// Sets a primary input port from an integer value, LSB = bit 0.
+    pub fn set_input_u64(&mut self, port: &str, value: u64) {
+        let bits: Vec<u8> = (0..64).map(|i| ((value >> i) & 1) as u8).collect();
+        self.set_input(port, &bits);
+    }
+
+    /// Evaluates combinational logic and advances registers by one clock.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the netlist has a combinational cycle.
+    pub fn step(&mut self) -> Result<(), String> {
+        self.values = self.netlist.eval_comb(&self.inputs, &self.regs)?;
+        let mut next = HashMap::with_capacity(self.regs.len());
+        for g in &self.netlist.gates {
+            if !g.kind.is_sequential() {
+                continue;
+            }
+            let reset_active =
+                g.async_reset.map(|r| self.values[r as usize]).unwrap_or(false);
+            let enabled = g.enable.map(|e| self.values[e as usize]).unwrap_or(true);
+            let v = if reset_active {
+                g.reset_value
+            } else if enabled {
+                self.values[g.inputs[0] as usize]
+            } else {
+                self.regs.get(&g.output).copied().unwrap_or(g.reset_value)
+            };
+            next.insert(g.output, v);
+        }
+        self.regs = next;
+        Ok(())
+    }
+
+    /// Evaluates combinational logic only (no register update).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the netlist has a combinational cycle.
+    pub fn settle(&mut self) -> Result<(), String> {
+        self.values = self.netlist.eval_comb(&self.inputs, &self.regs)?;
+        Ok(())
+    }
+
+    /// Reads a scalar output value after [`Simulator::step`]/[`settle`].
+    ///
+    /// [`settle`]: Simulator::settle
+    pub fn output(&self, port: &str) -> Option<u8> {
+        self.netlist
+            .outputs
+            .iter()
+            .find(|(n, _)| n == port)
+            .map(|(_, id)| self.values[*id as usize] as u8)
+    }
+
+    /// Snapshot of every net's value after the last `step`/`settle`.
+    ///
+    /// Index = net id. Used by power estimation to count toggles.
+    pub fn values_snapshot(&self) -> Vec<bool> {
+        self.values.clone()
+    }
+
+    /// Reads a multi-bit output as an integer, LSB = bit 0.
+    pub fn output_u64(&self, port: &str) -> u64 {
+        let mut v = 0u64;
+        for (name, id) in &self.netlist.outputs {
+            if name == port && self.values[*id as usize] {
+                v |= 1;
+            } else if let Some(idx) = bit_index(name, port) {
+                if idx < 64 && self.values[*id as usize] {
+                    v |= 1 << idx;
+                }
+            }
+        }
+        v
+    }
+}
+
+/// If `name` is `port[i]`, returns `Some(i)`.
+fn bit_index(name: &str, port: &str) -> Option<usize> {
+    let rest = name.strip_prefix(port)?;
+    let inner = rest.strip_prefix('[')?.strip_suffix(']')?;
+    inner.parse().ok()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn xor_netlist() -> Netlist {
+        let mut nl = Netlist::new("xor2");
+        let a = nl.add_net("a");
+        let b = nl.add_net("b");
+        let y = nl.add_net("y");
+        nl.inputs.push(("a".into(), a));
+        nl.inputs.push(("b".into(), b));
+        nl.outputs.push(("y".into(), y));
+        nl.add_gate(GateKind::Xor, &[a, b], y, "xor2");
+        nl
+    }
+
+    #[test]
+    fn xor_truth_table() {
+        let nl = xor_netlist();
+        for (a, b, y) in [(0, 0, 0), (0, 1, 1), (1, 0, 1), (1, 1, 0)] {
+            let mut sim = Simulator::new(&nl);
+            sim.set_input("a", &[a]);
+            sim.set_input("b", &[b]);
+            sim.settle().unwrap();
+            assert_eq!(sim.output("y"), Some(y), "a={a} b={b}");
+        }
+    }
+
+    #[test]
+    fn check_catches_multiple_drivers() {
+        let mut nl = xor_netlist();
+        let a = 0;
+        let y = 2;
+        nl.add_gate(GateKind::Buf, &[a], y, "xor2");
+        assert!(nl.check().unwrap_err().contains("multiply driven"));
+    }
+
+    #[test]
+    fn check_catches_undriven_output() {
+        let mut nl = Netlist::new("bad");
+        let y = nl.add_net("y");
+        nl.outputs.push(("y".into(), y));
+        assert!(nl.check().unwrap_err().contains("undriven"));
+    }
+
+    #[test]
+    fn topo_detects_cycle() {
+        let mut nl = Netlist::new("loop");
+        let a = nl.add_net("a");
+        let b = nl.add_net("b");
+        nl.add_gate(GateKind::Not, &[a], b, "loop");
+        nl.add_gate(GateKind::Not, &[b], a, "loop");
+        assert!(nl.topo_order().unwrap_err().contains("cycle"));
+    }
+
+    #[test]
+    fn register_pipeline_delays_by_one_cycle() {
+        let mut nl = Netlist::new("pipe");
+        let d = nl.add_net("d");
+        let q1 = nl.add_net("q1");
+        let q2 = nl.add_net("q2");
+        nl.inputs.push(("d".into(), d));
+        nl.outputs.push(("q2".into(), q2));
+        nl.add_dff(d, q1, "pipe", false, None);
+        nl.add_dff(q1, q2, "pipe", false, None);
+        let mut sim = Simulator::new(&nl);
+        sim.set_input("d", &[1]);
+        sim.step().unwrap();
+        sim.settle().unwrap();
+        assert_eq!(sim.output("q2"), Some(0), "after one clock");
+        sim.step().unwrap();
+        sim.settle().unwrap();
+        assert_eq!(sim.output("q2"), Some(1), "after two clocks");
+    }
+
+    #[test]
+    fn async_reset_overrides_data() {
+        let mut nl = Netlist::new("r");
+        let d = nl.add_net("d");
+        let rst = nl.add_net("rst");
+        let q = nl.add_net("q");
+        nl.inputs.push(("d".into(), d));
+        nl.inputs.push(("rst".into(), rst));
+        nl.outputs.push(("q".into(), q));
+        nl.add_dff(d, q, "r", false, Some(rst));
+        let mut sim = Simulator::new(&nl);
+        sim.set_input("d", &[1]);
+        sim.set_input("rst", &[1]);
+        sim.step().unwrap();
+        sim.settle().unwrap();
+        assert_eq!(sim.output("q"), Some(0));
+        sim.set_input("rst", &[0]);
+        sim.step().unwrap();
+        sim.settle().unwrap();
+        assert_eq!(sim.output("q"), Some(1));
+    }
+
+    #[test]
+    fn mux_selects_correct_input() {
+        let mut nl = Netlist::new("m");
+        let s = nl.add_net("s");
+        let a = nl.add_net("a");
+        let b = nl.add_net("b");
+        let y = nl.add_net("y");
+        nl.inputs.extend([("s".into(), s), ("a".into(), a), ("b".into(), b)]);
+        nl.outputs.push(("y".into(), y));
+        nl.add_gate(GateKind::Mux, &[s, a, b], y, "m");
+        let mut sim = Simulator::new(&nl);
+        sim.set_input("a", &[1]);
+        sim.set_input("b", &[0]);
+        sim.set_input("s", &[0]);
+        sim.settle().unwrap();
+        assert_eq!(sim.output("y"), Some(1));
+        sim.set_input("s", &[1]);
+        sim.settle().unwrap();
+        assert_eq!(sim.output("y"), Some(0));
+    }
+
+    #[test]
+    fn bit_index_parses() {
+        assert_eq!(bit_index("bus[3]", "bus"), Some(3));
+        assert_eq!(bit_index("bus", "bus"), None);
+        assert_eq!(bit_index("other[3]", "bus"), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "expects 2 inputs")]
+    fn wrong_arity_panics() {
+        let mut nl = Netlist::new("t");
+        let a = nl.add_net("a");
+        let y = nl.add_net("y");
+        nl.add_gate(GateKind::And, &[a], y, "t");
+    }
+}

@@ -1,0 +1,732 @@
+//! Recursive-descent parser for the supported Verilog subset.
+//!
+//! Supported constructs: ANSI-style module headers with `parameter` lists,
+//! `wire`/`reg`/`parameter`/`localparam` declarations, continuous `assign`s,
+//! `always @(*)` and `always @(posedge …)` blocks with `if`/`case`/`begin`,
+//! and named-connection module instantiation. Expressions cover the operators
+//! enumerated in [`crate::ast::BinaryOp`]/[`crate::ast::UnaryOp`] plus
+//! bit/part selects, concatenation, replication and the ternary operator.
+
+use crate::ast::*;
+use crate::error::ParseVerilogError;
+use crate::lexer::{lex, Spanned, Token};
+
+/// Parses a full source file.
+///
+/// # Errors
+///
+/// Returns [`ParseVerilogError`] with a 1-based source position when the
+/// input is not in the supported subset.
+///
+/// # Examples
+///
+/// ```
+/// # fn main() -> Result<(), chatls_verilog::ParseVerilogError> {
+/// let sf = chatls_verilog::parse("module inv(input a, output y); assign y = ~a; endmodule")?;
+/// assert_eq!(sf.modules[0].name, "inv");
+/// # Ok(())
+/// # }
+/// ```
+pub fn parse(src: &str) -> Result<SourceFile, ParseVerilogError> {
+    let tokens = lex(src)?;
+    let mut p = Parser { tokens, pos: 0 };
+    let mut sf = SourceFile::new();
+    while !p.at_end() {
+        p.expect_kw("module")?;
+        sf.modules.push(p.module()?);
+    }
+    Ok(sf)
+}
+
+/// Parses a single expression (used by tests and by the Cypher-to-code
+/// bridge in the core crate).
+///
+/// # Errors
+///
+/// Returns [`ParseVerilogError`] if the input is not a single valid
+/// expression.
+pub fn parse_expr(src: &str) -> Result<Expr, ParseVerilogError> {
+    let tokens = lex(src)?;
+    let mut p = Parser { tokens, pos: 0 };
+    let e = p.expr()?;
+    if !p.at_end() {
+        return Err(p.error("trailing tokens after expression"));
+    }
+    Ok(e)
+}
+
+struct Parser {
+    tokens: Vec<Spanned>,
+    pos: usize,
+}
+
+impl Parser {
+    fn at_end(&self) -> bool {
+        self.pos >= self.tokens.len()
+    }
+
+    fn peek(&self) -> Option<&Token> {
+        self.tokens.get(self.pos).map(|s| &s.token)
+    }
+
+    fn peek2(&self) -> Option<&Token> {
+        self.tokens.get(self.pos + 1).map(|s| &s.token)
+    }
+
+    fn error(&self, msg: impl Into<String>) -> ParseVerilogError {
+        let (line, col) = self
+            .tokens
+            .get(self.pos.min(self.tokens.len().saturating_sub(1)))
+            .map(|s| (s.line, s.col))
+            .unwrap_or((0, 0));
+        ParseVerilogError { line, col, message: msg.into() }
+    }
+
+    fn is_sym(&self, s: &str) -> bool {
+        matches!(self.peek(), Some(Token::Symbol(sym)) if *sym == s)
+    }
+
+    fn is_kw(&self, kw: &str) -> bool {
+        matches!(self.peek(), Some(Token::Ident(id)) if id == kw)
+    }
+
+    fn eat_sym(&mut self, s: &str) -> bool {
+        if self.is_sym(s) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn eat_kw(&mut self, kw: &str) -> bool {
+        if self.is_kw(kw) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect_sym(&mut self, s: &str) -> Result<(), ParseVerilogError> {
+        if self.eat_sym(s) {
+            Ok(())
+        } else {
+            Err(self.error(format!("expected '{s}', found {}", self.describe())))
+        }
+    }
+
+    fn expect_kw(&mut self, kw: &str) -> Result<(), ParseVerilogError> {
+        if self.eat_kw(kw) {
+            Ok(())
+        } else {
+            Err(self.error(format!("expected keyword '{kw}', found {}", self.describe())))
+        }
+    }
+
+    fn describe(&self) -> String {
+        match self.peek() {
+            Some(t) => format!("'{t}'"),
+            None => "end of input".into(),
+        }
+    }
+
+    fn ident(&mut self) -> Result<String, ParseVerilogError> {
+        match self.peek() {
+            Some(Token::Ident(s)) => {
+                let s = s.clone();
+                self.pos += 1;
+                Ok(s)
+            }
+            _ => Err(self.error(format!("expected identifier, found {}", self.describe()))),
+        }
+    }
+
+    // module NAME [#(param,…)] (ports…); items… endmodule
+    fn module(&mut self) -> Result<Module, ParseVerilogError> {
+        let name = self.ident()?;
+        let mut module = Module::new(name);
+        // Optional parameter header #( parameter NAME = expr, … )
+        if self.eat_sym("#") {
+            self.expect_sym("(")?;
+            loop {
+                self.eat_kw("parameter");
+                let pname = self.ident()?;
+                self.expect_sym("=")?;
+                let value = self.expr()?;
+                module.items.push(Item::Param(ParamDecl { local: false, name: pname, value }));
+                if !self.eat_sym(",") {
+                    break;
+                }
+            }
+            self.expect_sym(")")?;
+        }
+        // Port list.
+        if self.eat_sym("(") {
+            if !self.is_sym(")") {
+                let mut dir = PortDir::Input;
+                let mut is_reg = false;
+                let mut range: Option<Range> = None;
+                loop {
+                    if self.eat_kw("input") {
+                        dir = PortDir::Input;
+                        is_reg = false;
+                        range = None;
+                    } else if self.eat_kw("output") {
+                        dir = PortDir::Output;
+                        is_reg = false;
+                        range = None;
+                    } else if self.eat_kw("inout") {
+                        dir = PortDir::Inout;
+                        is_reg = false;
+                        range = None;
+                    }
+                    if self.eat_kw("reg") {
+                        is_reg = true;
+                    }
+                    self.eat_kw("wire");
+                    if self.is_sym("[") {
+                        range = Some(self.range()?);
+                    }
+                    let pname = self.ident()?;
+                    module.ports.push(Port { dir, is_reg, range: range.clone(), name: pname });
+                    if !self.eat_sym(",") {
+                        break;
+                    }
+                }
+            }
+            self.expect_sym(")")?;
+        }
+        self.expect_sym(";")?;
+        // Body.
+        while !self.is_kw("endmodule") {
+            if self.at_end() {
+                return Err(self.error("unexpected end of input inside module body"));
+            }
+            let item = self.item()?;
+            module.items.push(item);
+        }
+        self.expect_kw("endmodule")?;
+        Ok(module)
+    }
+
+    fn range(&mut self) -> Result<Range, ParseVerilogError> {
+        self.expect_sym("[")?;
+        let msb = self.expr()?;
+        self.expect_sym(":")?;
+        let lsb = self.expr()?;
+        self.expect_sym("]")?;
+        Ok(Range { msb, lsb })
+    }
+
+    fn item(&mut self) -> Result<Item, ParseVerilogError> {
+        if self.eat_kw("wire") || self.is_kw("reg") {
+            let kind = if self.eat_kw("reg") { NetKind::Reg } else { NetKind::Wire };
+            let range = if self.is_sym("[") { Some(self.range()?) } else { None };
+            let mut names = vec![self.ident()?];
+            // Support `wire [7:0] a = expr;` as decl + assign is NOT in the
+            // subset; declarations are name lists only.
+            while self.eat_sym(",") {
+                names.push(self.ident()?);
+            }
+            self.expect_sym(";")?;
+            return Ok(Item::Net(NetDecl { kind, range, names }));
+        }
+        if self.is_kw("parameter") || self.is_kw("localparam") {
+            let local = self.eat_kw("localparam");
+            if !local {
+                self.expect_kw("parameter")?;
+            }
+            let name = self.ident()?;
+            self.expect_sym("=")?;
+            let value = self.expr()?;
+            self.expect_sym(";")?;
+            return Ok(Item::Param(ParamDecl { local, name, value }));
+        }
+        if self.eat_kw("assign") {
+            let lhs = self.lvalue()?;
+            self.expect_sym("=")?;
+            let rhs = self.expr()?;
+            self.expect_sym(";")?;
+            return Ok(Item::Assign(Assign { lhs, rhs }));
+        }
+        if self.eat_kw("always") {
+            return Ok(Item::Always(self.always()?));
+        }
+        // Otherwise: a module instantiation `Type [#(…)] name ( .p(e), … );`
+        let module = self.ident()?;
+        let mut params = Vec::new();
+        if self.eat_sym("#") {
+            self.expect_sym("(")?;
+            loop {
+                self.expect_sym(".")?;
+                let pname = self.ident()?;
+                self.expect_sym("(")?;
+                let value = self.expr()?;
+                self.expect_sym(")")?;
+                params.push((pname, value));
+                if !self.eat_sym(",") {
+                    break;
+                }
+            }
+            self.expect_sym(")")?;
+        }
+        let name = self.ident()?;
+        self.expect_sym("(")?;
+        let mut connections = Vec::new();
+        if !self.is_sym(")") {
+            loop {
+                self.expect_sym(".")?;
+                let port = self.ident()?;
+                self.expect_sym("(")?;
+                let expr = if self.is_sym(")") { None } else { Some(self.expr()?) };
+                self.expect_sym(")")?;
+                connections.push((port, expr));
+                if !self.eat_sym(",") {
+                    break;
+                }
+            }
+        }
+        self.expect_sym(")")?;
+        self.expect_sym(";")?;
+        Ok(Item::Instance(Instance { module, name, params, connections }))
+    }
+
+    fn always(&mut self) -> Result<Always, ParseVerilogError> {
+        self.expect_sym("@")?;
+        self.expect_sym("(")?;
+        let sensitivity = if self.eat_sym("*") {
+            Sensitivity::Combinational
+        } else if self.eat_kw("posedge") {
+            let clock = self.ident()?;
+            let mut reset = None;
+            if self.eat_kw("or") {
+                if self.eat_kw("posedge") {
+                    reset = Some((self.ident()?, true));
+                } else if self.eat_kw("negedge") {
+                    reset = Some((self.ident()?, false));
+                } else {
+                    return Err(self.error("expected posedge/negedge after 'or'"));
+                }
+            }
+            Sensitivity::Clocked { clock, reset }
+        } else {
+            return Err(self.error("expected '*' or 'posedge' in sensitivity list"));
+        };
+        self.expect_sym(")")?;
+        let body = self.stmt()?;
+        Ok(Always { sensitivity, body })
+    }
+
+    fn stmt(&mut self) -> Result<Stmt, ParseVerilogError> {
+        if self.eat_kw("begin") {
+            let mut stmts = Vec::new();
+            while !self.is_kw("end") {
+                if self.at_end() {
+                    return Err(self.error("unexpected end of input inside begin/end"));
+                }
+                stmts.push(self.stmt()?);
+            }
+            self.expect_kw("end")?;
+            return Ok(Stmt::Block(stmts));
+        }
+        if self.eat_kw("if") {
+            self.expect_sym("(")?;
+            let cond = self.expr()?;
+            self.expect_sym(")")?;
+            let then_stmt = Box::new(self.stmt()?);
+            let else_stmt =
+                if self.eat_kw("else") { Some(Box::new(self.stmt()?)) } else { None };
+            return Ok(Stmt::If { cond, then_stmt, else_stmt });
+        }
+        if self.eat_kw("case") {
+            self.expect_sym("(")?;
+            let scrutinee = self.expr()?;
+            self.expect_sym(")")?;
+            let mut arms = Vec::new();
+            let mut default = None;
+            while !self.is_kw("endcase") {
+                if self.at_end() {
+                    return Err(self.error("unexpected end of input inside case"));
+                }
+                if self.eat_kw("default") {
+                    self.eat_sym(":");
+                    default = Some(Box::new(self.stmt()?));
+                    continue;
+                }
+                let mut labels = vec![self.expr()?];
+                while self.eat_sym(",") {
+                    labels.push(self.expr()?);
+                }
+                self.expect_sym(":")?;
+                let body = self.stmt()?;
+                arms.push((labels, body));
+            }
+            self.expect_kw("endcase")?;
+            return Ok(Stmt::Case { scrutinee, arms, default });
+        }
+        if self.eat_sym(";") {
+            return Ok(Stmt::Empty);
+        }
+        // Assignment. The lvalue is parsed with a restricted grammar so the
+        // `<=` of a nonblocking assignment is not consumed as the
+        // less-or-equal operator.
+        let lhs = self.lvalue()?;
+        let nonblocking = if self.eat_sym("<=") {
+            true
+        } else if self.eat_sym("=") {
+            false
+        } else {
+            return Err(self.error(format!("expected '=' or '<=', found {}", self.describe())));
+        };
+        let rhs = self.expr()?;
+        self.expect_sym(";")?;
+        Ok(Stmt::Assign { lhs, rhs, nonblocking })
+    }
+
+    fn expr(&mut self) -> Result<Expr, ParseVerilogError> {
+        self.ternary()
+    }
+
+    /// Restricted expression grammar for assignment targets: an identifier
+    /// with optional bit/part selects, or a concatenation of lvalues.
+    fn lvalue(&mut self) -> Result<Expr, ParseVerilogError> {
+        if self.eat_sym("{") {
+            let mut parts = vec![self.lvalue()?];
+            while self.eat_sym(",") {
+                parts.push(self.lvalue()?);
+            }
+            self.expect_sym("}")?;
+            return Ok(Expr::Concat(parts));
+        }
+        let name = self.ident()?;
+        let mut base = Expr::Ident(name);
+        while self.is_sym("[") {
+            self.pos += 1;
+            let first = self.expr()?;
+            if self.eat_sym(":") {
+                let lsb = self.expr()?;
+                self.expect_sym("]")?;
+                base = Expr::PartSelect {
+                    base: Box::new(base),
+                    msb: Box::new(first),
+                    lsb: Box::new(lsb),
+                };
+            } else {
+                self.expect_sym("]")?;
+                base = Expr::BitSelect { base: Box::new(base), index: Box::new(first) };
+            }
+        }
+        Ok(base)
+    }
+
+    fn ternary(&mut self) -> Result<Expr, ParseVerilogError> {
+        let cond = self.binary(0)?;
+        if self.eat_sym("?") {
+            let then_expr = self.expr()?;
+            self.expect_sym(":")?;
+            let else_expr = self.expr()?;
+            Ok(Expr::Ternary {
+                cond: Box::new(cond),
+                then_expr: Box::new(then_expr),
+                else_expr: Box::new(else_expr),
+            })
+        } else {
+            Ok(cond)
+        }
+    }
+
+    fn peek_binop(&self) -> Option<BinaryOp> {
+        let sym = match self.peek() {
+            Some(Token::Symbol(s)) => *s,
+            _ => return None,
+        };
+        Some(match sym {
+            "+" => BinaryOp::Add,
+            "-" => BinaryOp::Sub,
+            "*" => BinaryOp::Mul,
+            "&" => BinaryOp::And,
+            "|" => BinaryOp::Or,
+            "^" => BinaryOp::Xor,
+            "&&" => BinaryOp::LogicalAnd,
+            "||" => BinaryOp::LogicalOr,
+            "==" => BinaryOp::Eq,
+            "!=" => BinaryOp::Ne,
+            "<" => BinaryOp::Lt,
+            "<=" => BinaryOp::Le,
+            ">" => BinaryOp::Gt,
+            ">=" => BinaryOp::Ge,
+            "<<" => BinaryOp::Shl,
+            ">>" => BinaryOp::Shr,
+            _ => return None,
+        })
+    }
+
+    fn binary(&mut self, min_prec: u8) -> Result<Expr, ParseVerilogError> {
+        let mut lhs = self.unary()?;
+        while let Some(op) = self.peek_binop() {
+            let prec = op.precedence();
+            if prec < min_prec {
+                break;
+            }
+            self.pos += 1;
+            let rhs = self.binary(prec + 1)?;
+            lhs = Expr::bin(op, lhs, rhs);
+        }
+        Ok(lhs)
+    }
+
+    fn unary(&mut self) -> Result<Expr, ParseVerilogError> {
+        for (sym, op) in [
+            ("~", UnaryOp::Not),
+            ("!", UnaryOp::LogicalNot),
+            ("-", UnaryOp::Neg),
+            ("&", UnaryOp::ReduceAnd),
+            ("|", UnaryOp::ReduceOr),
+            ("^", UnaryOp::ReduceXor),
+        ] {
+            if self.is_sym(sym) {
+                self.pos += 1;
+                let operand = self.unary()?;
+                return Ok(Expr::un(op, operand));
+            }
+        }
+        self.postfix()
+    }
+
+    fn postfix(&mut self) -> Result<Expr, ParseVerilogError> {
+        let mut base = self.primary()?;
+        while self.is_sym("[") {
+            self.pos += 1;
+            let first = self.expr()?;
+            if self.eat_sym(":") {
+                let lsb = self.expr()?;
+                self.expect_sym("]")?;
+                base = Expr::PartSelect {
+                    base: Box::new(base),
+                    msb: Box::new(first),
+                    lsb: Box::new(lsb),
+                };
+            } else {
+                self.expect_sym("]")?;
+                base = Expr::BitSelect { base: Box::new(base), index: Box::new(first) };
+            }
+        }
+        Ok(base)
+    }
+
+    fn primary(&mut self) -> Result<Expr, ParseVerilogError> {
+        match self.peek().cloned() {
+            Some(Token::Ident(name)) => {
+                self.pos += 1;
+                Ok(Expr::Ident(name))
+            }
+            Some(Token::Number(n)) => {
+                self.pos += 1;
+                Ok(Expr::Literal { value: n, width: None })
+            }
+            Some(Token::SizedNumber(w, v)) => {
+                self.pos += 1;
+                Ok(Expr::Literal { value: v, width: Some(w) })
+            }
+            Some(Token::Symbol("(")) => {
+                self.pos += 1;
+                let e = self.expr()?;
+                self.expect_sym(")")?;
+                Ok(e)
+            }
+            Some(Token::Symbol("{")) => {
+                self.pos += 1;
+                // Replication `{N{expr}}`: a constant followed by `{`.
+                let is_repeat = matches!(
+                    (self.peek(), self.peek2()),
+                    (Some(Token::Number(_)), Some(Token::Symbol("{")))
+                        | (Some(Token::SizedNumber(_, _)), Some(Token::Symbol("{")))
+                );
+                if is_repeat {
+                    let count = self.primary()?;
+                    self.expect_sym("{")?;
+                    let inner = self.expr()?;
+                    self.expect_sym("}")?;
+                    self.expect_sym("}")?;
+                    return Ok(Expr::Repeat { count: Box::new(count), expr: Box::new(inner) });
+                }
+                let mut parts = vec![self.expr()?];
+                while self.eat_sym(",") {
+                    parts.push(self.expr()?);
+                }
+                self.expect_sym("}")?;
+                Ok(Expr::Concat(parts))
+            }
+            _ => Err(self.error(format!("expected expression, found {}", self.describe()))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_minimal_module() {
+        let sf = parse("module m; endmodule").unwrap();
+        assert_eq!(sf.modules.len(), 1);
+        assert_eq!(sf.modules[0].name, "m");
+    }
+
+    #[test]
+    fn parses_ports_with_ranges() {
+        let sf = parse("module m(input [7:0] a, output reg [3:0] y, input clk); endmodule").unwrap();
+        let m = &sf.modules[0];
+        assert_eq!(m.ports.len(), 3);
+        assert_eq!(m.ports[0].dir, PortDir::Input);
+        assert!(m.ports[0].range.is_some());
+        assert!(m.ports[1].is_reg);
+        // Trailing `input clk` resets range: clk is scalar.
+        assert!(m.ports[2].range.is_none());
+    }
+
+    #[test]
+    fn port_without_direction_inherits_previous() {
+        let sf = parse("module m(input a, b, output y); endmodule").unwrap();
+        let m = &sf.modules[0];
+        assert_eq!(m.ports[1].dir, PortDir::Input);
+        assert_eq!(m.ports[2].dir, PortDir::Output);
+    }
+
+    #[test]
+    fn parses_assign_with_precedence() {
+        let sf = parse("module m(input a, b, c, output y); assign y = a + b * c; endmodule").unwrap();
+        let a = sf.modules[0].assigns().next().unwrap();
+        // a + (b * c)
+        match &a.rhs {
+            Expr::Binary { op: BinaryOp::Add, rhs, .. } => match rhs.as_ref() {
+                Expr::Binary { op: BinaryOp::Mul, .. } => {}
+                other => panic!("expected mul on rhs, got {other:?}"),
+            },
+            other => panic!("expected add at top, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_clocked_always_with_reset() {
+        let src = "module m(input clk, rst, d, output reg q);
+            always @(posedge clk or posedge rst)
+                if (rst) q <= 1'b0; else q <= d;
+        endmodule";
+        let sf = parse(src).unwrap();
+        let alw = sf.modules[0].always_blocks().next().unwrap();
+        match &alw.sensitivity {
+            Sensitivity::Clocked { clock, reset } => {
+                assert_eq!(clock, "clk");
+                assert_eq!(reset.as_ref().unwrap(), &("rst".to_string(), true));
+            }
+            other => panic!("unexpected sensitivity {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_case_with_default() {
+        let src = "module m(input [1:0] s, output reg y);
+            always @(*) case (s)
+                2'd0: y = 1'b0;
+                2'd1, 2'd2: y = 1'b1;
+                default: y = 1'b0;
+            endcase
+        endmodule";
+        let sf = parse(src).unwrap();
+        let alw = sf.modules[0].always_blocks().next().unwrap();
+        match &alw.body {
+            Stmt::Case { arms, default, .. } => {
+                assert_eq!(arms.len(), 2);
+                assert_eq!(arms[1].0.len(), 2);
+                assert!(default.is_some());
+            }
+            other => panic!("unexpected body {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_instance_with_params() {
+        let src = "module top(input clk);
+            wire [7:0] d, q;
+            dff #(.WIDTH(8)) u_dff (.clk(clk), .d(d), .q(q));
+        endmodule";
+        let sf = parse(src).unwrap();
+        let inst = sf.modules[0].instances().next().unwrap();
+        assert_eq!(inst.module, "dff");
+        assert_eq!(inst.name, "u_dff");
+        assert_eq!(inst.params.len(), 1);
+        assert_eq!(inst.connections.len(), 3);
+    }
+
+    #[test]
+    fn parses_concat_and_repeat() {
+        let e = parse_expr("{a, 2'b01, {4{b}}}").unwrap();
+        match e {
+            Expr::Concat(parts) => {
+                assert_eq!(parts.len(), 3);
+                assert!(matches!(parts[2], Expr::Repeat { .. }));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_part_select() {
+        let e = parse_expr("bus[15:8]").unwrap();
+        assert!(matches!(e, Expr::PartSelect { .. }));
+    }
+
+    #[test]
+    fn parses_ternary_nesting() {
+        let e = parse_expr("a ? b : c ? d : e").unwrap();
+        // Right-associative: a ? b : (c ? d : e)
+        match e {
+            Expr::Ternary { else_expr, .. } => assert!(matches!(*else_expr, Expr::Ternary { .. })),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parameter_header_and_body() {
+        let src = "module m #(parameter WIDTH = 8, DEPTH = 4) (input [WIDTH-1:0] a);
+            localparam HALF = WIDTH >> 1;
+        endmodule";
+        let sf = parse(src).unwrap();
+        let params: Vec<_> = sf.modules[0]
+            .items
+            .iter()
+            .filter_map(|i| match i {
+                Item::Param(p) => Some(p.name.clone()),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(params, vec!["WIDTH", "DEPTH", "HALF"]);
+    }
+
+    #[test]
+    fn error_has_position() {
+        let err = parse("module m(input a; endmodule").unwrap_err();
+        assert!(err.line >= 1);
+        assert!(!err.message.is_empty());
+    }
+
+    #[test]
+    fn reduction_operators_parse() {
+        let e = parse_expr("&a ^ |b").unwrap();
+        match e {
+            Expr::Binary { op: BinaryOp::Xor, lhs, rhs } => {
+                assert!(matches!(*lhs, Expr::Unary { op: UnaryOp::ReduceAnd, .. }));
+                assert!(matches!(*rhs, Expr::Unary { op: UnaryOp::ReduceOr, .. }));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn multiple_modules() {
+        let sf = parse("module a; endmodule module b; endmodule").unwrap();
+        assert_eq!(sf.modules.len(), 2);
+    }
+}

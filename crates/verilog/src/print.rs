@@ -1,0 +1,346 @@
+//! Pretty-printer: regenerates parseable source from the AST.
+//!
+//! CircuitMentor stores per-module source on graph nodes so the generator
+//! can read module code retrieved by graph-structure queries; this printer
+//! produces that text. The printer and [`crate::parse`] round-trip:
+//! `parse(print(ast)) == ast` for every AST in the supported subset (covered
+//! by property tests in the crate root).
+
+use crate::ast::*;
+use std::fmt::Write;
+
+/// Renders a full source file.
+pub fn print_source(sf: &SourceFile) -> String {
+    let mut out = String::new();
+    for (i, m) in sf.modules.iter().enumerate() {
+        if i > 0 {
+            out.push('\n');
+        }
+        out.push_str(&print_module(m));
+    }
+    out
+}
+
+/// Renders a single module.
+pub fn print_module(m: &Module) -> String {
+    let mut s = String::new();
+    let header_params: Vec<&ParamDecl> = m
+        .items
+        .iter()
+        .filter_map(|i| match i {
+            Item::Param(p) if !p.local => Some(p),
+            _ => None,
+        })
+        .collect();
+    write!(s, "module {}", m.name).unwrap();
+    if !header_params.is_empty() {
+        s.push_str(" #(");
+        for (i, p) in header_params.iter().enumerate() {
+            if i > 0 {
+                s.push_str(", ");
+            }
+            write!(s, "parameter {} = {}", p.name, print_expr(&p.value)).unwrap();
+        }
+        s.push(')');
+    }
+    if m.ports.is_empty() {
+        s.push_str(";\n");
+    } else {
+        s.push_str(" (\n");
+        for (i, p) in m.ports.iter().enumerate() {
+            write!(s, "  {}", p.dir).unwrap();
+            if p.is_reg {
+                s.push_str(" reg");
+            }
+            if let Some(r) = &p.range {
+                write!(s, " [{}:{}]", print_expr(&r.msb), print_expr(&r.lsb)).unwrap();
+            }
+            write!(s, " {}", p.name).unwrap();
+            s.push_str(if i + 1 < m.ports.len() { ",\n" } else { "\n" });
+        }
+        s.push_str(");\n");
+    }
+    for item in &m.items {
+        match item {
+            Item::Param(p) if !p.local => {} // printed in the header
+            Item::Param(p) => {
+                writeln!(s, "  localparam {} = {};", p.name, print_expr(&p.value)).unwrap();
+            }
+            Item::Net(d) => {
+                let kw = match d.kind {
+                    NetKind::Wire => "wire",
+                    NetKind::Reg => "reg",
+                };
+                write!(s, "  {kw}").unwrap();
+                if let Some(r) = &d.range {
+                    write!(s, " [{}:{}]", print_expr(&r.msb), print_expr(&r.lsb)).unwrap();
+                }
+                writeln!(s, " {};", d.names.join(", ")).unwrap();
+            }
+            Item::Assign(a) => {
+                writeln!(s, "  assign {} = {};", print_expr(&a.lhs), print_expr(&a.rhs)).unwrap();
+            }
+            Item::Always(a) => {
+                match &a.sensitivity {
+                    Sensitivity::Combinational => s.push_str("  always @(*)"),
+                    Sensitivity::Clocked { clock, reset } => {
+                        write!(s, "  always @(posedge {clock}").unwrap();
+                        if let Some((sig, active_high)) = reset {
+                            let edge = if *active_high { "posedge" } else { "negedge" };
+                            write!(s, " or {edge} {sig}").unwrap();
+                        }
+                        s.push(')');
+                    }
+                }
+                s.push('\n');
+                print_stmt(&mut s, &a.body, 2);
+            }
+            Item::Instance(inst) => {
+                write!(s, "  {}", inst.module).unwrap();
+                if !inst.params.is_empty() {
+                    s.push_str(" #(");
+                    for (i, (n, v)) in inst.params.iter().enumerate() {
+                        if i > 0 {
+                            s.push_str(", ");
+                        }
+                        write!(s, ".{n}({})", print_expr(v)).unwrap();
+                    }
+                    s.push(')');
+                }
+                write!(s, " {} (", inst.name).unwrap();
+                for (i, (port, conn)) in inst.connections.iter().enumerate() {
+                    if i > 0 {
+                        s.push_str(", ");
+                    }
+                    match conn {
+                        Some(e) => write!(s, ".{port}({})", print_expr(e)).unwrap(),
+                        None => write!(s, ".{port}()").unwrap(),
+                    }
+                }
+                s.push_str(");\n");
+            }
+        }
+    }
+    s.push_str("endmodule\n");
+    s
+}
+
+fn indent(s: &mut String, level: usize) {
+    for _ in 0..level {
+        s.push_str("  ");
+    }
+}
+
+fn print_stmt(s: &mut String, stmt: &Stmt, level: usize) {
+    match stmt {
+        Stmt::Block(stmts) => {
+            indent(s, level);
+            s.push_str("begin\n");
+            for st in stmts {
+                print_stmt(s, st, level + 1);
+            }
+            indent(s, level);
+            s.push_str("end\n");
+        }
+        Stmt::Assign { lhs, rhs, nonblocking } => {
+            indent(s, level);
+            let op = if *nonblocking { "<=" } else { "=" };
+            writeln!(s, "{} {op} {};", print_expr(lhs), print_expr(rhs)).unwrap();
+        }
+        Stmt::If { cond, then_stmt, else_stmt } => {
+            indent(s, level);
+            writeln!(s, "if ({})", print_expr(cond)).unwrap();
+            print_stmt(s, then_stmt, level + 1);
+            if let Some(e) = else_stmt {
+                indent(s, level);
+                s.push_str("else\n");
+                print_stmt(s, e, level + 1);
+            }
+        }
+        Stmt::Case { scrutinee, arms, default } => {
+            indent(s, level);
+            writeln!(s, "case ({})", print_expr(scrutinee)).unwrap();
+            for (labels, body) in arms {
+                indent(s, level + 1);
+                let labels: Vec<String> = labels.iter().map(print_expr).collect();
+                writeln!(s, "{}:", labels.join(", ")).unwrap();
+                print_stmt(s, body, level + 2);
+            }
+            if let Some(d) = default {
+                indent(s, level + 1);
+                s.push_str("default:\n");
+                print_stmt(s, d, level + 2);
+            }
+            indent(s, level);
+            s.push_str("endcase\n");
+        }
+        Stmt::Empty => {
+            indent(s, level);
+            s.push_str(";\n");
+        }
+    }
+}
+
+/// Renders an expression with minimal but sufficient parenthesization.
+pub fn print_expr(e: &Expr) -> String {
+    print_prec(e, 0)
+}
+
+fn print_prec(e: &Expr, min_prec: u8) -> String {
+    match e {
+        Expr::Ident(name) => name.clone(),
+        Expr::Literal { value, width } => match width {
+            Some(w) => format!("{w}'d{value}"),
+            None => format!("{value}"),
+        },
+        Expr::BitSelect { base, index } => {
+            format!("{}[{}]", print_prec(base, u8::MAX), print_expr(index))
+        }
+        Expr::PartSelect { base, msb, lsb } => format!(
+            "{}[{}:{}]",
+            print_prec(base, u8::MAX),
+            print_expr(msb),
+            print_expr(lsb)
+        ),
+        Expr::Unary { op, operand } => {
+            // A nested unary must be parenthesized: `&&x` would re-lex as
+            // the logical-and token instead of two reductions.
+            let inner = match operand.as_ref() {
+                Expr::Unary { .. } => format!("({})", print_expr(operand)),
+                _ => print_prec(operand, u8::MAX),
+            };
+            format!("{}{inner}", op.symbol())
+        }
+        Expr::Binary { op, lhs, rhs } => {
+            let prec = op.precedence();
+            let body = format!(
+                "{} {} {}",
+                print_prec(lhs, prec),
+                op.symbol(),
+                // Right side uses prec+1: operators here are left-associative.
+                print_prec(rhs, prec + 1)
+            );
+            if prec < min_prec {
+                format!("({body})")
+            } else {
+                body
+            }
+        }
+        Expr::Ternary { cond, then_expr, else_expr } => {
+            // Ternary binds loosest; parenthesize unless at top level.
+            let body = format!(
+                "{} ? {} : {}",
+                print_prec(cond, 1),
+                print_expr(then_expr),
+                print_expr(else_expr)
+            );
+            if min_prec > 0 {
+                format!("({body})")
+            } else {
+                body
+            }
+        }
+        Expr::Concat(parts) => {
+            let inner: Vec<String> = parts.iter().map(print_expr).collect();
+            format!("{{{}}}", inner.join(", "))
+        }
+        Expr::Repeat { count, expr } => {
+            format!("{{{}{{{}}}}}", print_expr(count), print_expr(expr))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::{parse, parse_expr};
+
+    fn roundtrip_expr(src: &str) {
+        let e1 = parse_expr(src).unwrap();
+        let printed = print_expr(&e1);
+        let e2 = parse_expr(&printed)
+            .unwrap_or_else(|err| panic!("reprint of '{printed}' failed: {err}"));
+        assert_eq!(e1, e2, "printed form: {printed}");
+    }
+
+    #[test]
+    fn expr_roundtrips() {
+        for src in [
+            "a + b * c",
+            "(a + b) * c",
+            "a ? b : c",
+            "(a ? b : c) + 1",
+            "~a & b | c ^ d",
+            "{a, b[3:0], {2{c}}}",
+            "x[i] == 4'd7 && y < z",
+            "a << 2 >> 1",
+            "-a + !b",
+            "&bus | ^bus2",
+        ] {
+            roundtrip_expr(src);
+        }
+    }
+
+    #[test]
+    fn module_roundtrips() {
+        let src = "module counter #(parameter W = 4) (
+  input clk,
+  input rst,
+  output reg [3:0] q
+);
+  wire [3:0] next;
+  assign next = q + 4'd1;
+  always @(posedge clk or posedge rst)
+    begin
+      if (rst)
+        q <= 4'd0;
+      else
+        q <= next;
+    end
+endmodule
+";
+        let sf1 = parse(src).unwrap();
+        let printed = print_source(&sf1);
+        let sf2 = parse(&printed).unwrap();
+        assert_eq!(sf1, sf2, "printed:\n{printed}");
+    }
+
+    #[test]
+    fn instance_roundtrips() {
+        let src = "module top(input clk); wire a, b;
+            sub #(.W(8)) u0 (.clk(clk), .x(a), .y(b), .nc());
+        endmodule module sub; endmodule";
+        let sf1 = parse(src).unwrap();
+        let sf2 = parse(&print_source(&sf1)).unwrap();
+        assert_eq!(sf1, sf2);
+    }
+
+    #[test]
+    fn case_roundtrips() {
+        let src = "module m(input [1:0] s, input a, b, c, output reg y);
+            always @(*) case (s)
+                2'd0: y = a;
+                2'd1, 2'd2: y = b;
+                default: y = c;
+            endcase
+        endmodule";
+        let sf1 = parse(src).unwrap();
+        let sf2 = parse(&print_source(&sf1)).unwrap();
+        assert_eq!(sf1, sf2);
+    }
+
+    #[test]
+    fn ternary_inside_binary_parenthesized() {
+        let e = Expr::bin(
+            BinaryOp::Add,
+            Expr::Ternary {
+                cond: Box::new(Expr::ident("c")),
+                then_expr: Box::new(Expr::ident("a")),
+                else_expr: Box::new(Expr::ident("b")),
+            },
+            Expr::lit(1),
+        );
+        let s = print_expr(&e);
+        assert_eq!(s, "(c ? a : b) + 1");
+    }
+}

@@ -1,0 +1,59 @@
+//! Quickstart: parse RTL, synthesize it with a script, and let ChatLS
+//! customize that script.
+//!
+//! ```bash
+//! cargo run --release --example quickstart
+//! ```
+
+use chatls::llm::Generator;
+use chatls::pipeline::{prepare_task, ChatLs};
+use chatls::{DbConfig, ExpertDatabase};
+use chatls_synth::SynthSession;
+use std::error::Error;
+
+fn main() -> Result<(), Box<dyn Error>> {
+    // 1. Some RTL: a small multiply-accumulate pipeline.
+    let rtl = "
+        module macc(input clk, input [7:0] a, b, output reg [15:0] acc);
+            wire [15:0] prod;
+            assign prod = a * b;
+            always @(posedge clk) acc <= acc + prod;
+        endmodule";
+    let source = chatls_verilog::parse(rtl)?;
+    let netlist = chatls_verilog::lower_to_netlist(&source, "macc")?;
+    println!(
+        "parsed and lowered: {} gates, {} registers",
+        netlist.num_comb_gates(),
+        netlist.num_registers()
+    );
+
+    // 2. Synthesize with a hand-written script.
+    let mut session = SynthSession::new(netlist, chatls_liberty::nangate45())?;
+    let result = session.run_script(
+        "create_clock -period 1.2 [get_ports clk]
+         set_wire_load_model -name 5K_heavy_1k
+         compile
+         report_qor",
+    );
+    println!("\nhand-written script result:\n{}", result.qor);
+
+    // 3. Let ChatLS customize the baseline script for a benchmark design.
+    //    (DbConfig::quick() keeps this example fast; the experiments use
+    //    the full configuration.)
+    println!("building a quick expert database…");
+    let db = ExpertDatabase::build(&DbConfig::quick());
+    let chatls = ChatLs::new(&db);
+    let design = chatls_designs::by_name("aes").expect("benchmark design");
+    let task = prepare_task(&design, "close timing at the fixed clock period");
+    println!(
+        "baseline for {}: wns {:.2}, area {:.0}",
+        design.name, task.baseline.wns, task.baseline.area
+    );
+
+    let script = chatls.generate(&task, 0);
+    println!("\nChatLS customized script:\n{script}");
+    let mut session = SynthSession::new(design.netlist(), chatls_liberty::nangate45())?;
+    let result = session.run_script(&script);
+    println!("customized result:\n{}", result.qor);
+    Ok(())
+}

@@ -1,0 +1,42 @@
+//! SoC component retrieval: the Fig. 5 workload as a library user sees it.
+//!
+//! Generates a Chipyard-style SoC configuration, embeds it with the trained
+//! CircuitMentor, and asks SynthRAG which database designs it resembles —
+//! then checks the answer against the SoC's actual component list.
+//!
+//! ```bash
+//! cargo run --release --example soc_retrieval
+//! ```
+
+use chatls::circuit_mentor::build_circuit_graph;
+use chatls::eval::f1_score;
+use chatls::synthrag::SynthRag;
+use chatls::{DbConfig, ExpertDatabase};
+use std::error::Error;
+
+fn main() -> Result<(), Box<dyn Error>> {
+    println!("building a quick expert database…");
+    let db = ExpertDatabase::build(&DbConfig::quick());
+    let rag = SynthRag::new(&db);
+
+    for cfg in chatls_designs::soc_configs(3, 7) {
+        println!("\n== {} ==", cfg.name);
+        println!("actually assembled from: {}", cfg.derived_from.join(", "));
+
+        let graph = build_circuit_graph(&cfg.design);
+        let embedding = db.mentor().design_embedding(&graph);
+        let k = cfg.derived_from.len();
+        let hits = rag.similar_designs(&embedding, k);
+        let names: Vec<String> = hits.iter().map(|h| h.name.clone()).collect();
+        println!("SynthRAG retrieved:      {}", names.join(", "));
+
+        let eval = f1_score(&names, &cfg.derived_from);
+        println!(
+            "precision {:.2}  recall {:.2}  F1 {:.2}",
+            eval.precision(),
+            eval.recall(),
+            eval.f1()
+        );
+    }
+    Ok(())
+}

@@ -1,0 +1,59 @@
+//! Timing rescue: watch ChatLS reason a violating design toward closure.
+//!
+//! The motivating scenario of the paper's introduction: a design misses
+//! timing under the baseline script, and the right fix depends on *why* —
+//! retiming for unbalanced pipelines, buffer balancing for high-fanout
+//! nets. This example prints ChatLS's full chain-of-thought trace: every
+//! step's retrieval query, what came back, and the revision it caused.
+//!
+//! ```bash
+//! cargo run --release --example timing_rescue
+//! ```
+
+use chatls::pipeline::{prepare_task, ChatLs};
+use chatls::{DbConfig, ExpertDatabase};
+use chatls_synth::SynthSession;
+use std::error::Error;
+
+fn main() -> Result<(), Box<dyn Error>> {
+    println!("building a quick expert database…");
+    let db = ExpertDatabase::build(&DbConfig::quick());
+    let chatls = ChatLs::new(&db);
+
+    let design = chatls_designs::by_name("tinyRocket").expect("benchmark design");
+    let task = prepare_task(&design, "rescue the timing without touching the clock");
+    println!(
+        "\n{}: baseline WNS {:.2} ns (clock {:.2} ns), area {:.0} um^2",
+        design.name, task.baseline.wns, task.period, task.baseline.area
+    );
+    println!("critical path runs through: {}", task.baseline.critical_modules.join(" -> "));
+
+    let outcome = chatls.customize(&design, &task, 0);
+    println!("\nretrieved similar designs:");
+    for hit in &outcome.similar {
+        println!("  {:<10} score {:>6.3}  best strategy {}", hit.name, hit.score, hit.best_strategy);
+    }
+
+    println!("\nchain-of-thought trace:");
+    for step in &outcome.trace.steps {
+        println!("\n  T{}: {}", step.index, step.thought);
+        if !step.query.is_empty() {
+            println!("      Q{}: {}", step.index, step.query);
+        }
+        for r in step.retrieved.iter().take(3) {
+            println!("      R: {r}");
+        }
+        if !step.revision.is_empty() {
+            println!("      revision: {}", step.revision);
+        }
+    }
+
+    println!("\nfinal script:\n{}", outcome.script());
+    let mut session = SynthSession::new(design.netlist(), chatls_liberty::nangate45())?;
+    let result = session.run_script(outcome.script());
+    println!(
+        "result: WNS {:.2} -> {:.2} ns, area {:.0} -> {:.0} um^2",
+        task.baseline.wns, result.qor.wns, task.baseline.area, result.qor.area
+    );
+    Ok(())
+}

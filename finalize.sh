@@ -1,0 +1,8 @@
+#!/usr/bin/env bash
+# Final pipeline: experiments sweep -> EXPERIMENTS.md -> bench capture -> test capture.
+set -u
+cd /root/repo
+./run_experiments.sh
+cargo bench --workspace 2>&1 | tee /root/repo/bench_output.txt | tail -5
+cargo test --workspace --no-fail-fast 2>&1 | tee /root/repo/test_output.txt | grep -cE "test result: ok"
+echo FINALIZE_DONE

@@ -1,0 +1,14 @@
+#!/usr/bin/env bash
+# Regenerates every table/figure of the paper plus the ablations.
+# Outputs: stdout + target/experiments/*.json + experiments_log/*.txt
+set -u
+mkdir -p experiments_log
+for exp in tab4_baseline tab2_database tab1_query_methods fig3_circuitmentor \
+           fig4_metric_learning fig5_synthrag_f1 tab3_comparison \
+           ablation_rerank ablation_cot ablation_gnn ablation_iterations; do
+    echo "=== running $exp ==="
+    cargo run --release -p chatls-bench --bin "$exp" >"experiments_log/$exp.txt" 2>&1
+    echo "    exit $? -> experiments_log/$exp.txt"
+done
+cargo run --release -p chatls-bench --bin make_experiments_md
+echo "all experiments done"

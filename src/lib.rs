@@ -1,0 +1,18 @@
+//! ChatLS suite: the workspace's integration surface.
+//!
+//! This root package exists to host the runnable [examples](../examples)
+//! and the cross-crate integration tests in `tests/`. The library itself is
+//! a convenience prelude re-exporting the crates a downstream user needs.
+//!
+//! Start with the `quickstart` example:
+//!
+//! ```bash
+//! cargo run --release --example quickstart
+//! ```
+
+pub use chatls;
+pub use chatls_designs as designs;
+pub use chatls_graphdb as graphdb;
+pub use chatls_liberty as liberty;
+pub use chatls_synth as synth;
+pub use chatls_verilog as verilog;

@@ -1,0 +1,95 @@
+//! Whole-pipeline integration: database build → retrieval → ChatLS
+//! customization → synthesis, across every crate in the workspace.
+
+use chatls::circuit_mentor::build_circuit_graph;
+use chatls::eval::{f1_score, pass_at_k};
+use chatls::llm::{gpt_like, Generator};
+use chatls::pipeline::{prepare_task, ChatLs};
+use chatls::synthrag::SynthRag;
+use chatls::{DbConfig, ExpertDatabase};
+use std::sync::OnceLock;
+
+fn db() -> &'static ExpertDatabase {
+    static DB: OnceLock<ExpertDatabase> = OnceLock::new();
+    DB.get_or_init(|| ExpertDatabase::build(&DbConfig::quick()))
+}
+
+#[test]
+fn chatls_improves_timing_and_beats_one_shot_on_aes() {
+    let design = chatls_designs::by_name("aes").expect("benchmark");
+    let task = prepare_task(&design, "optimize timing at the fixed clock");
+    let chatls = ChatLs::new(db());
+    let gpt = gpt_like();
+
+    let ours = pass_at_k(&chatls, &design, &task, 3);
+    let theirs = pass_at_k(&gpt, &design, &task, 3);
+    assert!(ours.cps >= task.baseline.cps, "must improve baseline");
+    assert!(
+        ours.cps >= theirs.cps - 1e-9,
+        "ChatLS {:.3} must be at least as good as one-shot {:.3}",
+        ours.cps,
+        theirs.cps
+    );
+    assert_eq!(ours.valid_samples, 3, "every ChatLS sample must be valid");
+}
+
+#[test]
+fn chatls_is_deterministic_per_seed() {
+    let design = chatls_designs::by_name("dynamic_node").expect("benchmark");
+    let task = prepare_task(&design, "optimize timing");
+    let chatls = ChatLs::new(db());
+    assert_eq!(chatls.generate(&task, 5), chatls.generate(&task, 5));
+}
+
+#[test]
+fn retrieval_pipeline_finds_soc_components() {
+    let rag = SynthRag::new(db());
+    let mut any_hit = false;
+    for cfg in chatls_designs::soc_configs(3, 3) {
+        let graph = build_circuit_graph(&cfg.design);
+        let emb = db().mentor().design_embedding(&graph);
+        let hits: Vec<String> = rag
+            .similar_designs(&emb, cfg.derived_from.len())
+            .into_iter()
+            .map(|h| h.name)
+            .collect();
+        if f1_score(&hits, &cfg.derived_from).f1() > 0.0 {
+            any_hit = true;
+        }
+    }
+    assert!(any_hit, "at least one SoC must retrieve a true component");
+}
+
+#[test]
+fn expert_trace_grounds_every_revision() {
+    let design = chatls_designs::by_name("ethmac").expect("benchmark");
+    let task = prepare_task(&design, "optimize timing");
+    let chatls = ChatLs::new(db());
+    let outcome = chatls.customize(&design, &task, 2);
+    // Six CoT steps, queries formulated, retrieval recorded.
+    assert_eq!(outcome.trace.steps.len(), 6);
+    let with_retrieval = outcome.trace.steps.iter().filter(|s| !s.retrieved.is_empty()).count();
+    assert!(with_retrieval >= 3, "most steps must carry retrieved evidence");
+    // ethmac's dominant trait must show up as a buffering revision.
+    assert!(
+        outcome.trace.script.contains("balance_buffers")
+            || outcome.trace.script.contains("set_max_fanout"),
+        "{}",
+        outcome.trace.script
+    );
+}
+
+#[test]
+fn manual_and_graph_retrieval_cross_check() {
+    let rag = SynthRag::new(db());
+    // The manual's balance_buffers entry and the graph's BUF cells must
+    // tell a consistent story.
+    let hits = rag.manual_search("split a high fanout net with buffers", 2);
+    assert!(
+        hits.iter().any(|h| h.command == "balance_buffers"),
+        "got {:?}",
+        hits.iter().map(|h| h.command.as_str()).collect::<Vec<_>>()
+    );
+    let buf = rag.strongest_cell("BUF").expect("library in graph");
+    assert!(buf.drive >= 8);
+}

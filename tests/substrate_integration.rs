@@ -1,0 +1,112 @@
+//! Cross-crate integration: design generators → Verilog front-end →
+//! synthesis tool → STA, without the LLM layer.
+
+use chatls_liberty::nangate45;
+use chatls_synth::passes::{compile, Effort};
+use chatls_synth::sta::{qor, Constraints};
+use chatls_synth::{MappedDesign, SynthSession};
+use chatls_verilog::netlist::Simulator;
+
+/// Every benchmark design flows through map → compile → STA cleanly.
+#[test]
+fn all_benchmarks_synthesize_end_to_end() {
+    let lib = nangate45();
+    for design in chatls_designs::benchmarks() {
+        let netlist = design.netlist();
+        let mut mapped = MappedDesign::map(netlist, &lib).expect("mapping succeeds");
+        let constraints = Constraints {
+            clock_period: design.default_period,
+            ..Constraints::default()
+        };
+        compile(&mut mapped, &lib, &constraints, Effort::Medium);
+        mapped.compact();
+        mapped.netlist.check().unwrap_or_else(|e| panic!("{}: {e}", design.name));
+        let q = qor(&mapped, &lib, &constraints);
+        assert!(q.area > 0.0, "{}", design.name);
+        assert!(q.cells > 100, "{}", design.name);
+    }
+}
+
+/// Optimization preserves functionality: a design simulates identically
+/// before and after a full high-effort compile.
+#[test]
+fn compile_preserves_function_on_real_design() {
+    let lib = nangate45();
+    let design = chatls_designs::by_name("riscv32i").expect("benchmark");
+    let netlist = design.netlist();
+
+    let run = |nl: &chatls_verilog::netlist::Netlist| -> Vec<u64> {
+        let mut sim = Simulator::new(nl);
+        let mut out = Vec::new();
+        for step in 0..40u64 {
+            sim.set_input_u64("instr", step.wrapping_mul(0x9E3779B97F4A7C15));
+            sim.set_input("rst", &[u8::from(step == 0)]);
+            sim.step().expect("no combinational cycles");
+            sim.settle().expect("no combinational cycles");
+            out.push(sim.output_u64("result"));
+            out.push(sim.output_u64("pc_out"));
+        }
+        out
+    };
+
+    let golden = run(&netlist);
+    let mut mapped = MappedDesign::map(netlist, &lib).expect("mapping succeeds");
+    let constraints = Constraints { clock_period: design.default_period, ..Constraints::default() };
+    compile(&mut mapped, &lib, &constraints, Effort::High);
+    mapped.compact();
+    assert_eq!(run(&mapped.netlist), golden, "compile must preserve behaviour");
+}
+
+/// The scripted tool gives the same QoR as driving the passes directly.
+#[test]
+fn scripted_and_direct_flows_agree() {
+    let lib = nangate45();
+    let design = chatls_designs::by_name("aes").expect("benchmark");
+    let period = design.default_period;
+
+    let mut session = SynthSession::new(design.netlist(), lib.clone()).expect("session");
+    let result = session.run_script(&format!(
+        "create_clock -period {period:.3} [get_ports clk]\nset_wire_load_model -name 5K_heavy_1k\ncompile\n"
+    ));
+    assert!(result.ok());
+
+    let mut mapped = MappedDesign::map(design.netlist(), &lib).expect("mapping succeeds");
+    let constraints = Constraints { clock_period: period, ..Constraints::default() };
+    compile(&mut mapped, &lib, &constraints, Effort::Medium);
+    let direct = qor(&mapped, &lib, &constraints);
+
+    assert!((result.qor.cps - direct.cps).abs() < 1e-9, "{} vs {}", result.qor.cps, direct.cps);
+    assert!((result.qor.area - direct.area).abs() < 1e-6);
+}
+
+/// Table IV shape: baseline slack signs per design match the paper.
+#[test]
+fn baseline_slack_signs_match_table_iv() {
+    let lib = nangate45();
+    for design in chatls_designs::benchmarks() {
+        let mut session = SynthSession::new(design.netlist(), lib.clone()).expect("session");
+        let r = session.run_script(&chatls::baseline_script(design.default_period));
+        assert!(r.ok(), "{}", design.name);
+        let violates = r.qor.wns < 0.0;
+        let expected = !matches!(design.name.as_str(), "riscv32i" | "swerv");
+        assert_eq!(
+            violates, expected,
+            "{}: wns {:.3} (expected violating={expected})",
+            design.name, r.qor.wns
+        );
+    }
+}
+
+/// SoC configurations also synthesize (they feed the Fig. 5 experiment).
+#[test]
+fn soc_configs_synthesize() {
+    let lib = nangate45();
+    for cfg in chatls_designs::soc_configs(2, 11) {
+        let mut session = SynthSession::new(cfg.design.netlist(), lib.clone()).expect("session");
+        let r = session.run_script(&format!(
+            "create_clock -period {:.3} [get_ports clk]\ncompile -map_effort low\n",
+            cfg.design.default_period * 4.0
+        ));
+        assert!(r.ok(), "{}: {:?}", cfg.name, r.error);
+    }
+}
