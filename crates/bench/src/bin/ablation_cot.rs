@@ -73,10 +73,7 @@ fn main() {
     let models: [&dyn Generator; 4] = [&one_shot, &rag_only, &cot_only, &full];
 
     let mut rows: Vec<EvalRow> = Vec::new();
-    println!(
-        "\n{:<14} {:<22} {:>8} {:>12} {:>6}",
-        "design", "variant", "CPS", "Area", "valid"
-    );
+    println!("\n{:<14} {:<22} {:>8} {:>12} {:>6}", "design", "variant", "CPS", "Area", "valid");
     for design in chatls_designs::benchmarks() {
         let task = prepare_task(&design, "optimize timing at the fixed clock");
         for model in models {

@@ -47,11 +47,19 @@ fn main() {
         ("untrained".into(), None),
         (
             "mean+contrastive d2".into(),
-            Some(cfg(Aggregator::Mean, MetricLoss::Contrastive { margin: 1.0 }, vec![FEATURE_DIM, 32, 16])),
+            Some(cfg(
+                Aggregator::Mean,
+                MetricLoss::Contrastive { margin: 1.0 },
+                vec![FEATURE_DIM, 32, 16],
+            )),
         ),
         (
             "max+contrastive d2".into(),
-            Some(cfg(Aggregator::Max, MetricLoss::Contrastive { margin: 1.0 }, vec![FEATURE_DIM, 32, 16])),
+            Some(cfg(
+                Aggregator::Max,
+                MetricLoss::Contrastive { margin: 1.0 },
+                vec![FEATURE_DIM, 32, 16],
+            )),
         ),
         (
             "mean+multisim d2".into(),
@@ -63,7 +71,11 @@ fn main() {
         ),
         (
             "mean+contrastive d1".into(),
-            Some(cfg(Aggregator::Mean, MetricLoss::Contrastive { margin: 1.0 }, vec![FEATURE_DIM, 16])),
+            Some(cfg(
+                Aggregator::Mean,
+                MetricLoss::Contrastive { margin: 1.0 },
+                vec![FEATURE_DIM, 16],
+            )),
         ),
         (
             "mean+contrastive d3".into(),
@@ -94,11 +106,8 @@ fn main() {
         for cfgn in &configs {
             let g = build_circuit_graph(&cfgn.design);
             let emb = mentor.design_embedding(&g);
-            let hits: Vec<String> = index
-                .search(&emb, 3)
-                .into_iter()
-                .map(|h| names[h.id as usize].clone())
-                .collect();
+            let hits: Vec<String> =
+                index.search(&emb, 3).into_iter().map(|h| names[h.id as usize].clone()).collect();
             agg.merge(f1_score(&hits, &cfgn.derived_from));
         }
         println!("{name:<24} {:>8.3} {:>12.3}", agg.f1(), separation);

@@ -30,12 +30,11 @@ fn main() {
         })
         .collect();
 
-    println!(
-        "\n{:>6} {:>6} {:>8} {:>22}",
-        "alpha", "beta", "F1@3", "mean top-1 best cps"
-    );
+    println!("\n{:>6} {:>6} {:>8} {:>22}", "alpha", "beta", "F1@3", "mean top-1 best cps");
     let mut points = Vec::new();
-    for (alpha, beta) in [(1.0f32, 0.0f32), (1.0, 0.25), (1.0, 0.5), (1.0, 1.0), (1.0, 2.0), (0.5, 1.0)] {
+    for (alpha, beta) in
+        [(1.0f32, 0.0f32), (1.0, 0.25), (1.0, 0.5), (1.0, 1.0), (1.0, 2.0), (0.5, 1.0)]
+    {
         let mut agg = RetrievalEval::default();
         let mut top1_quality = 0.0f64;
         for (emb, relevant) in &embeddings {

@@ -65,12 +65,15 @@ fn main() {
     let traits = detect_traits(&design.netlist());
     println!("\nstep 5: netlist traits feeding the CoT steps: {traits:?}");
 
-    save_json("fig3_circuitmentor", &Output {
-        design: design.name.clone(),
-        instances: graph.instances.len(),
-        graph_nodes: graph.db.node_count(),
-        graph_rels: graph.db.rel_count(),
-        embedding_dim: emb.len(),
-        traits,
-    });
+    save_json(
+        "fig3_circuitmentor",
+        &Output {
+            design: design.name.clone(),
+            instances: graph.instances.len(),
+            graph_nodes: graph.db.node_count(),
+            graph_rels: graph.db.rel_count(),
+            embedding_dim: emb.len(),
+            traits,
+        },
+    );
 }

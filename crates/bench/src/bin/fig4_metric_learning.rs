@@ -98,10 +98,8 @@ fn main() {
     }
     assert!(after > before, "paper shape: clusters must form during training");
     println!("\nShape check: separation improved {before:.3} -> {after:.3} (paper Fig. 4: scattered -> clustered)");
-    save_json("fig4_metric_learning", &Output {
-        epochs: main_series,
-        before_separation: before,
-        after_separation: after,
-        losses,
-    });
+    save_json(
+        "fig4_metric_learning",
+        &Output { epochs: main_series, before_separation: before, after_separation: after, losses },
+    );
 }

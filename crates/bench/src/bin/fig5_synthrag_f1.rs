@@ -47,7 +47,12 @@ fn main() {
             agg.merge(f1_score(&hits, &cfg.derived_from));
         }
         println!("{k:>3} {:>10.3} {:>8.3} {:>8.3}", agg.precision(), agg.recall(), agg.f1());
-        design_level.push(Series { k, precision: agg.precision(), recall: agg.recall(), f1: agg.f1() });
+        design_level.push(Series {
+            k,
+            precision: agg.precision(),
+            recall: agg.recall(),
+            f1: agg.f1(),
+        });
     }
 
     // Module-level: query each SoC module's embedding; relevant = database
@@ -79,7 +84,12 @@ fn main() {
             }
         }
         println!("{k:>3} {:>10.3} {:>8.3} {:>8.3}", agg.precision(), agg.recall(), agg.f1());
-        module_level.push(Series { k, precision: agg.precision(), recall: agg.recall(), f1: agg.f1() });
+        module_level.push(Series {
+            k,
+            precision: agg.precision(),
+            recall: agg.recall(),
+            f1: agg.f1(),
+        });
     }
 
     // Shape check per the paper: retrieval works (clearly above chance).

@@ -19,7 +19,10 @@ fn main() {
     let g = build_circuit_graph(&query);
     let emb = db.mentor().design_embedding(&g);
     for hit in rag.similar_designs(&emb, 3) {
-        println!("  retrieved design {:<10} score {:>6.3}  best strategy: {}", hit.name, hit.score, hit.best_strategy);
+        println!(
+            "  retrieved design {:<10} score {:>6.3}  best strategy: {}",
+            hit.name, hit.score, hit.best_strategy
+        );
     }
 
     println!("\nRow 2 — circuit design code | graph structure | direct Cypher");

@@ -65,9 +65,7 @@ fn main() {
 
     // Shape checks against the paper.
     let get = |design: &str, model: &str| -> &EvalRow {
-        rows.iter()
-            .find(|r| r.design == design && r.model.contains(model))
-            .expect("row present")
+        rows.iter().find(|r| r.design == design && r.model.contains(model)).expect("row present")
     };
     let mut violations = Vec::new();
     for (design, _, base_cps, _, _) in &baseline {

@@ -80,7 +80,7 @@ mod tests {
     fn rows_align_with_header() {
         let h = qor_header();
         let r = qor_row("aes", -0.17, -0.17, -31.64, 16408.21);
-        assert_eq!(h.len() >= r.len() - 6, true);
+        assert!(h.len() >= r.len() - 6);
         assert!(r.contains("aes"));
     }
 

@@ -5,6 +5,7 @@
 //! chatls analyze <design>
 //! chatls customize <design> [--request "…"] [--db chatls_db.json] [--seed N]
 //! chatls evaluate <design> [--db chatls_db.json] [--k 5]
+//! chatls lint <script.tcl> [--design <name>] [--json]
 //! chatls designs
 //! ```
 //!
@@ -36,6 +37,7 @@ fn main() -> ExitCode {
         "analyze" => cmd_analyze(&rest),
         "customize" => cmd_customize(&rest),
         "evaluate" => cmd_evaluate(&rest),
+        "lint" => cmd_lint(&rest),
         "designs" => cmd_designs(),
         "help" | "--help" | "-h" => {
             println!("{USAGE}");
@@ -59,6 +61,8 @@ const USAGE: &str = "usage:
                    [--db <file>] [--seed N] [--trace]
   chatls evaluate <design> [--db <file>] [--k N]
                                              Pass@k comparison vs simulated baselines
+  chatls lint <script> [--design <name>]     ScriptLint static analysis of a script
+               [--json] [--fix]              (exit 1 when errors are found)
   chatls designs                             list built-in designs";
 
 fn opt<'a>(rest: &'a [&str], flag: &str) -> Option<&'a str> {
@@ -74,9 +78,8 @@ fn positional<'a>(rest: &'a [&str]) -> Option<&'a str> {
 }
 
 fn find_design(name: &str) -> Result<chatls_designs::GeneratedDesign, String> {
-    chatls_designs::by_name(name).ok_or_else(|| {
-        format!("unknown design '{name}' (run `chatls designs` for the list)")
-    })
+    chatls_designs::by_name(name)
+        .ok_or_else(|| format!("unknown design '{name}' (run `chatls designs` for the list)"))
 }
 
 fn open_db(rest: &[&str]) -> Result<ExpertDatabase, String> {
@@ -93,7 +96,14 @@ fn open_db(rest: &[&str]) -> Result<ExpertDatabase, String> {
 fn cmd_build_db(rest: &[&str]) -> Result<(), String> {
     let out = opt(rest, "--out").unwrap_or("chatls_db.json");
     let config = if flag(rest, "--quick") { DbConfig::quick() } else { DbConfig::default() };
-    eprintln!("building expert database ({} strategies)…", if config.strategies.is_empty() { "all".to_string() } else { config.strategies.len().to_string() });
+    eprintln!(
+        "building expert database ({} strategies)…",
+        if config.strategies.is_empty() {
+            "all".to_string()
+        } else {
+            config.strategies.len().to_string()
+        }
+    );
     let db = ExpertDatabase::build(&config);
     db.save(out).map_err(|e| format!("writing {out}: {e}"))?;
     println!("wrote {out} ({} designs)", db.entries().len());
@@ -107,13 +117,27 @@ fn cmd_analyze(rest: &[&str]) -> Result<(), String> {
     let netlist = design.netlist();
     let traits = detect_traits(&netlist);
     println!("design {name} ({}):", design.category);
-    println!("  {} module instances, {} graph nodes, {} relationships",
-        graph.instances.len(), graph.db.node_count(), graph.db.rel_count());
+    println!(
+        "  {} module instances, {} graph nodes, {} relationships",
+        graph.instances.len(),
+        graph.db.node_count(),
+        graph.db.rel_count()
+    );
     println!("  {} gates, {} registers", netlist.gates.len(), netlist.num_registers());
-    println!("  traits: max fanout {}, depth {}, enable-regs {:.0}%, {} module paths",
-        traits.max_fanout, traits.logic_depth, traits.enable_reg_fraction * 100.0, traits.module_paths);
-    println!("  levers: buffering={} retiming={} ungrouping={} gating={}",
-        traits.high_fanout(), traits.deep_logic(), traits.hierarchical(), traits.enable_heavy());
+    println!(
+        "  traits: max fanout {}, depth {}, enable-regs {:.0}%, {} module paths",
+        traits.max_fanout,
+        traits.logic_depth,
+        traits.enable_reg_fraction * 100.0,
+        traits.module_paths
+    );
+    println!(
+        "  levers: buffering={} retiming={} ungrouping={} gating={}",
+        traits.high_fanout(),
+        traits.deep_logic(),
+        traits.hierarchical(),
+        traits.enable_heavy()
+    );
     Ok(())
 }
 
@@ -121,7 +145,8 @@ fn cmd_customize(rest: &[&str]) -> Result<(), String> {
     let name = positional(rest).ok_or("customize needs a design name")?;
     let design = find_design(name)?;
     let request = opt(rest, "--request").unwrap_or("optimize timing at the fixed clock");
-    let seed: u64 = opt(rest, "--seed").unwrap_or("0").parse().map_err(|_| "--seed must be an integer")?;
+    let seed: u64 =
+        opt(rest, "--seed").unwrap_or("0").parse().map_err(|_| "--seed must be an integer")?;
     let db = open_db(rest)?;
     let chatls = ChatLs::new(&db);
     eprintln!("running baseline synthesis for the report…");
@@ -164,14 +189,71 @@ fn cmd_evaluate(rest: &[&str]) -> Result<(), String> {
     Ok(())
 }
 
+fn cmd_lint(rest: &[&str]) -> Result<(), String> {
+    let path = positional(rest).ok_or("lint needs a script file (or '-' for stdin)")?;
+    let src = if path == "-" {
+        use std::io::Read;
+        let mut s = String::new();
+        std::io::stdin().read_to_string(&mut s).map_err(|e| format!("reading stdin: {e}"))?;
+        s
+    } else {
+        std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?
+    };
+    let report = match opt(rest, "--design") {
+        Some(name) => {
+            let design = find_design(name)?;
+            chatls_lint::lint_script_for_design(&src, &design.netlist())
+        }
+        None => chatls_lint::lint_script(&src),
+    };
+    if flag(rest, "--fix") {
+        let out = chatls_lint::repair_script(&src);
+        for f in &out.fixes {
+            eprintln!("fix: {f}");
+        }
+        print!("{}", out.script);
+        return if out.remaining.has_errors() {
+            Err(format!("{} error(s) not auto-fixable", out.remaining.error_count()))
+        } else {
+            Ok(())
+        };
+    }
+    if flag(rest, "--json") {
+        println!("{}", serde_json::to_string_pretty(&report).map_err(|e| e.to_string())?);
+    } else {
+        for d in &report.diagnostics {
+            println!("{path}:{}: {}[{}]: {}", d.line, d.severity, d.code, d.message);
+            if let Some(s) = &d.suggestion {
+                println!("    suggestion: {s}");
+            }
+        }
+        println!("{} error(s), {} warning(s)", report.error_count(), report.warning_count());
+    }
+    if report.has_errors() {
+        Err(format!("{} lint error(s) in {path}", report.error_count()))
+    } else {
+        Ok(())
+    }
+}
+
 fn cmd_designs() -> Result<(), String> {
     println!("benchmark designs (paper Table IV):");
     for d in chatls_designs::benchmarks() {
-        println!("  {:<14} {:<30} clock {:.2} ns", d.name, d.category.to_string(), d.default_period);
+        println!(
+            "  {:<14} {:<30} clock {:.2} ns",
+            d.name,
+            d.category.to_string(),
+            d.default_period
+        );
     }
     println!("database designs (paper Table II):");
     for d in chatls_designs::database_designs() {
-        println!("  {:<14} {:<30} clock {:.2} ns", d.name, d.category.to_string(), d.default_period);
+        println!(
+            "  {:<14} {:<30} clock {:.2} ns",
+            d.name,
+            d.category.to_string(),
+            d.default_period
+        );
     }
     Ok(())
 }

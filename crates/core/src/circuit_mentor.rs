@@ -200,13 +200,7 @@ pub fn build_circuit_graph(design: &GeneratedDesign) -> CircuitGraph {
     let num_modules = module_index.len().max(1) as u32;
     let feature_graph = FeatureGraph::with_modules(feat, edges, module_ids, num_modules);
 
-    CircuitGraph {
-        db,
-        feature_graph,
-        instances,
-        design_name: design.name.clone(),
-        design_node,
-    }
+    CircuitGraph { db, feature_graph, instances, design_name: design.name.clone(), design_node }
 }
 
 /// Netlist-level traits that drive command selection.
@@ -349,11 +343,8 @@ pub fn detect_traits(netlist: &Netlist) -> DesignTraits {
     }
 
     let comb = netlist.num_comb_gates().max(1);
-    let xor_gates = netlist
-        .gates
-        .iter()
-        .filter(|g| matches!(g.kind, GateKind::Xor | GateKind::Xnor))
-        .count();
+    let xor_gates =
+        netlist.gates.iter().filter(|g| matches!(g.kind, GateKind::Xor | GateKind::Xnor)).count();
     let mut paths: Vec<&str> = netlist.gates.iter().map(|g| g.path.as_str()).collect();
     paths.sort();
     paths.dedup();
@@ -388,10 +379,8 @@ impl CircuitMentor {
     /// Trains the GNN with metric learning over a labelled corpus
     /// (paper Fig. 4): designs of the same category are pulled together.
     pub fn train_on(corpus: &[(GeneratedDesign, u32)], config: Option<TrainConfig>) -> Self {
-        let graphs: Vec<FeatureGraph> = corpus
-            .iter()
-            .map(|(d, _)| build_circuit_graph(d).feature_graph)
-            .collect();
+        let graphs: Vec<FeatureGraph> =
+            corpus.iter().map(|(d, _)| build_circuit_graph(d).feature_graph).collect();
         let labels: Vec<u32> = corpus.iter().map(|(_, l)| *l).collect();
         let config = config.unwrap_or(TrainConfig {
             dims: vec![FEATURE_DIM, 32, 16],
@@ -458,11 +447,8 @@ mod tests {
     fn graph_db_queryable_for_module_code() {
         let d = by_name("riscv32i").unwrap();
         let g = build_circuit_graph(&d);
-        let rs = chatls_graphdb::query(
-            &g.db,
-            "MATCH (m:Module {name: 'rv_alu'}) RETURN m.code",
-        )
-        .unwrap();
+        let rs = chatls_graphdb::query(&g.db, "MATCH (m:Module {name: 'rv_alu'}) RETURN m.code")
+            .unwrap();
         let code = rs.scalar().unwrap().to_string();
         assert!(code.contains("module rv_alu"), "{code}");
     }

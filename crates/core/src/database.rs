@@ -43,12 +43,14 @@ impl Strategy {
 
 /// The library of candidate strategies explored when building the database.
 pub fn strategy_library() -> Vec<Strategy> {
-    let s = |name: &str, tags: &[&str], body: &str| Strategy {
+    let s = |name: &str, tags: &[&str], body: &str| {
+        Strategy {
         name: name.into(),
         tags: tags.iter().map(|t| t.to_string()).collect(),
         template: format!(
             "create_clock -period {{period}} [get_ports clk]\nset_wire_load_model -name 5K_heavy_1k\n{body}\n"
         ),
+    }
     };
     vec![
         s("baseline", &[], "compile"),
@@ -311,7 +313,10 @@ impl ExpertDatabase {
         for entry in command_manual() {
             manual.add(
                 entry.name,
-                format!("{}\n{}\n{}\n{}", entry.name, entry.synopsis, entry.description, entry.requirements),
+                format!(
+                    "{}\n{}\n{}\n{}",
+                    entry.name, entry.synopsis, entry.description, entry.requirements
+                ),
             );
         }
         manual.build();
@@ -371,7 +376,13 @@ impl ExpertDatabase {
 
     /// Graph-embedding retrieval with the Eq. 5 rerank:
     /// `Score = α·sim + β·c_i`.
-    pub fn similar_designs(&self, query: &[f32], k: usize, alpha: f32, beta: f32) -> Vec<DesignHit> {
+    pub fn similar_designs(
+        &self,
+        query: &[f32],
+        k: usize,
+        alpha: f32,
+        beta: f32,
+    ) -> Vec<DesignHit> {
         let hits = self.design_index.search(query, k.max(1) * 2);
         let ranked = rerank(
             &hits,
@@ -415,7 +426,10 @@ impl ExpertDatabase {
     /// # Errors
     ///
     /// Returns an error for queries outside the supported Cypher subset.
-    pub fn query_graph(&self, cypher: &str) -> Result<ResultSet, Box<dyn std::error::Error + Send + Sync>> {
+    pub fn query_graph(
+        &self,
+        cypher: &str,
+    ) -> Result<ResultSet, Box<dyn std::error::Error + Send + Sync>> {
         chatls_graphdb::query(&self.graph, cypher)
     }
 
@@ -454,12 +468,12 @@ fn merge_graph(graph: &mut Graph, cg: &CircuitGraph, outcomes: &[StrategyOutcome
     // Re-add nodes with the same labels/properties; remap relationships.
     let mut remap: HashMap<chatls_graphdb::NodeId, chatls_graphdb::NodeId> = HashMap::new();
     for node in cg.db.nodes() {
-        let id = graph.add_node(node.labels.clone(), node.props.clone().into_iter());
+        let id = graph.add_node(node.labels.clone(), node.props.clone());
         remap.insert(node.id, id);
     }
     for node in cg.db.nodes() {
         for rel in cg.db.out_rels(node.id) {
-            graph.add_rel(remap[&rel.start], remap[&rel.end], &rel.rel_type, rel.props.clone().into_iter());
+            graph.add_rel(remap[&rel.start], remap[&rel.end], &rel.rel_type, rel.props.clone());
         }
     }
     // Attach strategy nodes to the design node.
@@ -548,11 +562,8 @@ mod tests {
         let db = quick_db();
         let hits = {
             let e = db.entry("nvdla").unwrap();
-            let (_, mac_emb) = e
-                .module_embeddings
-                .iter()
-                .find(|(m, _)| m == "ma_pe")
-                .expect("nvdla has ma_pe");
+            let (_, mac_emb) =
+                e.module_embeddings.iter().find(|(m, _)| m == "ma_pe").expect("nvdla has ma_pe");
             db.similar_modules(mac_emb, 3)
         };
         assert_eq!(hits[0].module, "ma_pe");
@@ -561,9 +572,7 @@ mod tests {
     #[test]
     fn graph_serves_cell_info() {
         let db = quick_db();
-        let rs = db
-            .query_graph("MATCH (c:Cell {name: 'INV_X1'}) RETURN c.area")
-            .unwrap();
+        let rs = db.query_graph("MATCH (c:Cell {name: 'INV_X1'}) RETURN c.area").unwrap();
         assert!(rs.scalar().is_some());
     }
 
@@ -592,7 +601,9 @@ mod tests {
         let db = quick_db();
         // Raw embedding retrieval must surface the right entry in the top 3;
         // SynthRAG's reranker (tested separately) promotes it to the top.
-        let hits = db.manual().search("registers moved across combinational logic to balance pipeline stages", 3);
+        let hits = db
+            .manual()
+            .search("registers moved across combinational logic to balance pipeline stages", 3);
         assert!(
             hits.iter().any(|h| h.0 == "optimize_registers"),
             "got {:?}",
@@ -618,11 +629,17 @@ mod tests {
         assert_eq!(loaded.entries().len(), db.entries().len());
         // Retrieval behaviour survives the round-trip.
         let e = db.entry("sha3").expect("entry");
-        let a: Vec<String> = db.similar_designs(&e.embedding, 3, 1.0, 0.5).into_iter().map(|h| h.name).collect();
-        let b: Vec<String> = loaded.similar_designs(&e.embedding, 3, 1.0, 0.5).into_iter().map(|h| h.name).collect();
+        let a: Vec<String> =
+            db.similar_designs(&e.embedding, 3, 1.0, 0.5).into_iter().map(|h| h.name).collect();
+        let b: Vec<String> =
+            loaded.similar_designs(&e.embedding, 3, 1.0, 0.5).into_iter().map(|h| h.name).collect();
         assert_eq!(a, b);
         // Graph and manual come back too.
-        assert!(loaded.query_graph("MATCH (c:Cell {name: 'INV_X1'}) RETURN c.area").unwrap().scalar().is_some());
+        assert!(loaded
+            .query_graph("MATCH (c:Cell {name: 'INV_X1'}) RETURN c.area")
+            .unwrap()
+            .scalar()
+            .is_some());
         assert!(!loaded.manual().search("compile", 1).is_empty());
     }
 

@@ -76,8 +76,7 @@ pub fn pass_at_k(
         let better = match &best {
             None => true,
             Some((bq, bvalid, _)) => {
-                (sample_valid, qor.cps, -qor.area)
-                    > (*bvalid, bq.cps, -bq.area)
+                (sample_valid, qor.cps, -qor.area) > (*bvalid, bq.cps, -bq.area)
             }
         };
         if better {
@@ -216,9 +215,7 @@ mod tests {
     fn pass_at_k_disqualifies_period_changes() {
         let d = by_name("riscv32i").unwrap();
         let task = prepare_task(&d, "optimize timing");
-        let model = FixedScript(
-            "create_clock -period 99.0 [get_ports clk]\ncompile\n".to_string(),
-        );
+        let model = FixedScript("create_clock -period 99.0 [get_ports clk]\ncompile\n".to_string());
         let row = pass_at_k(&model, &d, &task, 1);
         assert_eq!(row.valid_samples, 0);
         // Scored as baseline, not as the 99ns fantasy.

@@ -149,7 +149,10 @@ fn walk_expr(e: &Expr, s: &mut ModuleStats) {
             if matches!(op, UnaryOp::ReduceXor) {
                 s.xor += 1;
             }
-            if matches!(op, UnaryOp::Not | UnaryOp::ReduceAnd | UnaryOp::ReduceOr | UnaryOp::ReduceXor) {
+            if matches!(
+                op,
+                UnaryOp::Not | UnaryOp::ReduceAnd | UnaryOp::ReduceOr | UnaryOp::ReduceXor
+            ) {
                 s.bitwise += 1;
             }
             walk_expr(operand, s);
@@ -163,7 +166,11 @@ fn walk_expr(e: &Expr, s: &mut ModuleStats) {
                     s.bitwise += 1;
                     s.xor += 1;
                 }
-                BinaryOp::Eq | BinaryOp::Ne | BinaryOp::Lt | BinaryOp::Le | BinaryOp::Gt
+                BinaryOp::Eq
+                | BinaryOp::Ne
+                | BinaryOp::Lt
+                | BinaryOp::Le
+                | BinaryOp::Gt
                 | BinaryOp::Ge => s.cmp += 1,
                 BinaryOp::Shl | BinaryOp::Shr => s.shift += 1,
                 BinaryOp::LogicalAnd | BinaryOp::LogicalOr => {}

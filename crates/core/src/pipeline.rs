@@ -54,11 +54,7 @@ pub fn prepare_task(design: &GeneratedDesign, user_request: &str) -> TaskContext
         }
         seen
     };
-    let starts_at_input = timing
-        .critical_path
-        .first()
-        .map(|s| s.cell.is_empty())
-        .unwrap_or(false);
+    let starts_at_input = timing.critical_path.first().map(|s| s.cell.is_empty()).unwrap_or(false);
     TaskContext {
         design_name: design.name.clone(),
         period: design.default_period,
@@ -94,6 +90,20 @@ impl ChatLsOutcome {
     pub fn script(&self) -> &str {
         &self.trace.script
     }
+
+    /// Condensed ScriptLint statistics: findings on the raw draft vs. on
+    /// the final script. A healthy run has `final_errors == 0` however
+    /// broken the draft was.
+    pub fn lint_stats(&self) -> chatls_lint::LintStats {
+        let count =
+            |ds: &[chatls_lint::Diagnostic], sev| ds.iter().filter(|d| d.severity == sev).count();
+        chatls_lint::LintStats {
+            draft_errors: count(&self.trace.draft_lint, chatls_lint::Severity::Error),
+            draft_warnings: count(&self.trace.draft_lint, chatls_lint::Severity::Warning),
+            final_errors: count(&self.trace.final_lint, chatls_lint::Severity::Error),
+            final_warnings: count(&self.trace.final_lint, chatls_lint::Severity::Warning),
+        }
+    }
 }
 
 /// The ChatLS framework instance.
@@ -121,7 +131,12 @@ impl<'db> ChatLs<'db> {
     }
 
     /// Full pipeline with intermediate artifacts.
-    pub fn customize(&self, design: &GeneratedDesign, task: &TaskContext, seed: u64) -> ChatLsOutcome {
+    pub fn customize(
+        &self,
+        design: &GeneratedDesign,
+        task: &TaskContext,
+        seed: u64,
+    ) -> ChatLsOutcome {
         // 1. CircuitMentor.
         let graph = build_circuit_graph(design);
         let embedding = self.db.mentor().design_embedding(&graph);
@@ -281,8 +296,7 @@ mod tests {
         let outcome = chatls.customize(&d, &task, 0);
         assert!(!outcome.similar.is_empty());
         assert_eq!(outcome.embedding.len(), db.mentor().embedding_dim());
-        let mut session =
-            SynthSession::new(d.netlist(), chatls_liberty::nangate45()).unwrap();
+        let mut session = SynthSession::new(d.netlist(), chatls_liberty::nangate45()).unwrap();
         let r = session.run_script(outcome.script());
         assert!(r.ok(), "{:?}\n{}", r.error, outcome.script());
     }
@@ -317,14 +331,26 @@ mod tests {
     }
 
     #[test]
+    fn outcome_records_lint_stats_and_final_script_is_error_free() {
+        let db = quick_db();
+        let chatls = ChatLs::new(db);
+        let d = by_name("aes").unwrap();
+        let task = prepare_task(&d, "optimize timing");
+        let outcome = chatls.customize(&d, &task, 3);
+        let stats = outcome.lint_stats();
+        assert_eq!(stats.final_errors, 0, "final lint: {:?}", outcome.trace.final_lint);
+        let report = chatls_lint::lint_script(outcome.script());
+        assert!(!report.has_errors(), "{report}");
+    }
+
+    #[test]
     fn chatls_beats_baseline_timing_on_aes() {
         let db = quick_db();
         let chatls = ChatLs::new(db);
         let d = by_name("aes").unwrap();
         let task = prepare_task(&d, "optimize timing");
         let script = chatls.generate(&task, 1);
-        let mut session =
-            SynthSession::new(d.netlist(), chatls_liberty::nangate45()).unwrap();
+        let mut session = SynthSession::new(d.netlist(), chatls_liberty::nangate45()).unwrap();
         let r = session.run_script(&script);
         assert!(r.ok());
         assert!(

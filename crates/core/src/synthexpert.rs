@@ -24,6 +24,7 @@
 
 use crate::llm::TaskContext;
 use crate::synthrag::SynthRag;
+use chatls_lint::Diagnostic;
 use chatls_synth::script::{parse_script, Command};
 use serde::{Deserialize, Serialize};
 
@@ -50,6 +51,11 @@ pub struct ExpertTrace {
     pub steps: Vec<ThoughtStep>,
     /// The final customized script.
     pub script: String,
+    /// ScriptLint diagnostics on the incoming draft, before any revision.
+    pub draft_lint: Vec<Diagnostic>,
+    /// ScriptLint diagnostics remaining on the final script (expected
+    /// empty; anything here survived every repair pass).
+    pub final_lint: Vec<Diagnostic>,
 }
 
 /// The SynthExpert refinement engine.
@@ -70,6 +76,7 @@ impl<'db> SynthExpert<'db> {
 
     /// Refines a drafted script for the task, returning the trace.
     pub fn refine(&self, task: &TaskContext, draft: &str) -> ExpertTrace {
+        let draft_lint = chatls_lint::lint_script(draft).diagnostics;
         let mut steps = Vec::new();
         let mut commands: Vec<String> = draft
             .lines()
@@ -104,7 +111,8 @@ impl<'db> SynthExpert<'db> {
             }
             steps.push(ThoughtStep {
                 index: 1,
-                thought: "Verify the base configuration (clock period, wireload) is unchanged".into(),
+                thought: "Verify the base configuration (clock period, wireload) is unchanged"
+                    .into(),
                 query: "create_clock requirements".into(),
                 retrieved: self
                     .rag
@@ -136,6 +144,21 @@ impl<'db> SynthExpert<'db> {
                 }
             }
             commands = validated;
+            // ScriptLint pass: the manual check above catches hallucinated
+            // commands; the linter additionally catches malformed options,
+            // ordering hazards and redundancy — and repairs them statically,
+            // before any simulated synthesis runs.
+            let report = chatls_lint::lint_script(&commands.join("\n"));
+            if !report.is_clean() {
+                let outcome = chatls_lint::repair_script(&commands.join("\n"));
+                commands = outcome.script.lines().map(str::to_string).collect();
+                revisions.extend(outcome.fixes);
+                retrieved.push(format!(
+                    "lint: {} error(s), {} warning(s) flagged statically",
+                    report.error_count(),
+                    report.warning_count()
+                ));
+            }
             retrieved.sort();
             retrieved.dedup();
             steps.push(ThoughtStep {
@@ -318,7 +341,8 @@ impl<'db> SynthExpert<'db> {
                 retrieved: Vec::new(),
                 revision: String::new(),
             });
-            return ExpertTrace { steps, script };
+            let final_lint = chatls_lint::lint_script(&script).diagnostics;
+            ExpertTrace { steps, script, draft_lint, final_lint }
         }
     }
 
@@ -332,10 +356,15 @@ impl<'db> SynthExpert<'db> {
             // Hallucination: repair to the nearest documented command when
             // the match is strong, else drop.
             return match self.rag.nearest_command(&name) {
-                Some(hit) if hit.score > 0.3 && is_optimization(&hit.command) => Validation::Repaired(
-                    hit.command.clone(),
-                    format!("replaced unknown command '{name}' with documented '{}'", hit.command),
-                ),
+                Some(hit) if hit.score > 0.3 && is_optimization(&hit.command) => {
+                    Validation::Repaired(
+                        hit.command.clone(),
+                        format!(
+                            "replaced unknown command '{name}' with documented '{}'",
+                            hit.command
+                        ),
+                    )
+                }
                 _ => Validation::Dropped(format!("dropped unknown command '{name}'")),
             };
         }
@@ -351,11 +380,9 @@ impl<'db> SynthExpert<'db> {
             }
         }
         if name == "compile_ultra" {
-            let ok_flags = parsed
-                .args
-                .iter()
-                .filter_map(|a| a.as_word())
-                .all(|w| !w.starts_with('-') || matches!(w, "-incremental" | "-no_autoungroup" | "-retime"));
+            let ok_flags = parsed.args.iter().filter_map(|a| a.as_word()).all(|w| {
+                !w.starts_with('-') || matches!(w, "-incremental" | "-no_autoungroup" | "-retime")
+            });
             if !ok_flags {
                 return Validation::Repaired(
                     "compile_ultra".into(),
@@ -373,7 +400,8 @@ impl<'db> SynthExpert<'db> {
                 }
             }
         }
-        if name == "set_max_area" && parsed.positional().first().and_then(|v| v.parse::<f64>().ok()).is_none()
+        if name == "set_max_area"
+            && parsed.positional().first().and_then(|v| v.parse::<f64>().ok()).is_none()
         {
             return Validation::Repaired(
                 "set_max_area 0".into(),
@@ -411,7 +439,10 @@ fn trait_question(traits: &crate::circuit_mentor::DesignTraits) -> String {
         parts.push(format!("high fanout nets up to {} sinks", traits.max_fanout));
     }
     if traits.deep_logic() {
-        parts.push(format!("deep combinational logic of {} levels before registers", traits.logic_depth));
+        parts.push(format!(
+            "deep combinational logic of {} levels before registers",
+            traits.logic_depth
+        ));
     }
     if traits.hierarchical() {
         parts.push(format!("hierarchy of {} module paths", traits.module_paths));
@@ -433,7 +464,11 @@ fn wants_area(request: &str) -> bool {
 fn is_optimization(command: &str) -> bool {
     matches!(
         command,
-        "compile" | "compile_ultra" | "optimize_registers" | "balance_buffers" | "ungroup"
+        "compile"
+            | "compile_ultra"
+            | "optimize_registers"
+            | "balance_buffers"
+            | "ungroup"
             | "insert_clock_gating"
     )
 }
@@ -447,10 +482,7 @@ fn insert_before_reports(commands: &mut Vec<String>, cmd: &str) {
 }
 
 fn first_compile_index(commands: &[String]) -> usize {
-    commands
-        .iter()
-        .position(|c| c.starts_with("compile"))
-        .unwrap_or(commands.len())
+    commands.iter().position(|c| c.starts_with("compile")).unwrap_or(commands.len())
 }
 
 /// Orders commands: constraints → structure setup → optimization → reports.
@@ -460,15 +492,20 @@ fn order_commands(commands: Vec<String>) -> Vec<String> {
         match name {
             "read_verilog" | "analyze" | "elaborate" | "current_design" | "link" => 0,
             "create_clock" => 1,
-            "set_input_delay" | "set_output_delay" | "set_wire_load_model"
-            | "set_driving_cell" | "set_max_fanout" | "set_critical_range" | "set_max_area"
+            "set_input_delay"
+            | "set_output_delay"
+            | "set_wire_load_model"
+            | "set_driving_cell"
+            | "set_max_fanout"
+            | "set_critical_range"
+            | "set_max_area"
             | "set_clock_gating_style" => 2,
             "ungroup" | "insert_clock_gating" => 3,
             "report_timing" | "report_area" | "report_qor" | "write" | "check_design" => 9,
             _ => 5, // compiles and optimizations keep their relative order
         }
     }
-    let mut out: Vec<(usize, String)> = commands.into_iter().enumerate().map(|(i, c)| (i, c)).collect();
+    let mut out: Vec<(usize, String)> = commands.into_iter().enumerate().collect();
     out.sort_by_key(|(i, c)| (rank(c), *i));
     // Constraint-class commands are idempotent: keep the first occurrence
     // only. Optimization commands may legitimately repeat, so for those we
@@ -526,7 +563,8 @@ mod tests {
     #[test]
     fn drops_or_repairs_hallucinated_commands() {
         let t = task("aes", "optimize timing", -0.1);
-        let draft = "create_clock -period 1.100 [get_ports clk]\nfix_timing_violations -all\ncompile\n";
+        let draft =
+            "create_clock -period 1.100 [get_ports clk]\nfix_timing_violations -all\ncompile\n";
         let trace = expert().refine(&t, draft);
         assert!(!trace.script.contains("fix_timing_violations"), "{}", trace.script);
         assert!(trace.steps[1].revision.contains("fix_timing_violations"));
@@ -595,8 +633,12 @@ mod tests {
 ";
         let trace = expert().refine(&t, draft);
         let wl = trace.script.matches("set_wire_load_model").count();
-        assert_eq!(wl, 1, "constraints are idempotent:
-{}", trace.script);
+        assert_eq!(
+            wl, 1,
+            "constraints are idempotent:
+{}",
+            trace.script
+        );
         // Repeated compiles survive (they are legitimate re-optimization).
         assert!(trace.script.matches("compile").count() >= 2);
     }
@@ -604,8 +646,10 @@ mod tests {
     #[test]
     fn appends_area_recovery_for_timing_requests() {
         let t = task("riscv32i", "optimize timing", 0.5);
-        let trace = expert().refine(&t, "compile
-");
+        let trace = expert().refine(
+            &t, "compile
+",
+        );
         assert!(trace.script.contains("set_max_area 0"), "{}", trace.script);
         assert!(trace.steps[4].revision.contains("area recovery"));
     }
@@ -616,6 +660,48 @@ mod tests {
         let trace = expert().refine(&t, "compile\n");
         assert_eq!(trace.steps.len(), 6);
         assert!(trace.steps.iter().take(5).any(|s| !s.retrieved.is_empty()));
+    }
+
+    #[test]
+    fn lint_flagged_draft_is_repaired_statically() {
+        // The draft is riddled with lint findings: an invalid enum value,
+        // an undocumented flag, a premature write, a duplicate clock.
+        // refine() must fix all of them purely statically — this test never
+        // constructs a SynthSession, so no simulated synthesis can run.
+        let t = task("aes", "optimize timing", -0.1);
+        let draft = "create_clock -period 1.100 [get_ports clk]
+write -format verilog
+create_clock -period 1.100 [get_ports clk]
+compile -map_effort ultra -fast
+";
+        let trace = expert().refine(&t, draft);
+        assert!(
+            trace.draft_lint.iter().any(|d| d.code == "SL006"),
+            "draft lint must flag the bad enum: {:?}",
+            trace.draft_lint
+        );
+        assert!(
+            trace.draft_lint.iter().any(|d| d.code == "SL009"),
+            "draft lint must flag the premature write: {:?}",
+            trace.draft_lint
+        );
+        assert!(trace.script.contains("compile -map_effort high"), "{}", trace.script);
+        assert!(!trace.script.contains("-fast"), "{}", trace.script);
+        assert_eq!(trace.script.matches("create_clock").count(), 1, "{}", trace.script);
+        let lines: Vec<&str> = trace.script.lines().collect();
+        let write = lines.iter().position(|l| l.starts_with("write")).unwrap();
+        let compile = lines.iter().position(|l| l.starts_with("compile")).unwrap();
+        assert!(compile < write, "write stays after compile:\n{}", trace.script);
+        assert!(
+            trace.final_lint.iter().all(|d| d.severity != chatls_lint::Severity::Error),
+            "final script must lint error-free: {:?}",
+            trace.final_lint
+        );
+        assert!(
+            trace.steps[1].revision.contains("removed duplicate create_clock"),
+            "T2 records the lint repairs: {}",
+            trace.steps[1].revision
+        );
     }
 
     #[test]
@@ -634,7 +720,13 @@ mod tests {
                     let mut session =
                         chatls_synth::SynthSession::new(nl.clone(), lib.clone()).unwrap();
                     let r = session.run_script(&trace.script);
-                    assert!(r.ok(), "{name} seed {seed} {}: {:?}\n{}", g.name(), r.error, trace.script);
+                    assert!(
+                        r.ok(),
+                        "{name} seed {seed} {}: {:?}\n{}",
+                        g.name(),
+                        r.error,
+                        trace.script
+                    );
                 }
             }
         }

@@ -96,9 +96,11 @@ impl<'db> SynthRag<'db> {
             // The hierarchical path ends with the instance name; resolve the
             // module via the graph's path property first, then by name.
             let q = format!("MATCH (m:Module {{path: '{p}'}}) RETURN m.name, m.code LIMIT 1");
-            let resolved = self.db.query_graph(&q).ok().and_then(|rs| {
-                rs.rows.first().map(|r| (r[0].to_string(), r[1].to_string()))
-            });
+            let resolved = self
+                .db
+                .query_graph(&q)
+                .ok()
+                .and_then(|rs| rs.rows.first().map(|r| (r[0].to_string(), r[1].to_string())));
             let (name, code) = match resolved {
                 Some(x) => x,
                 None => match self.module_code(module) {
@@ -160,7 +162,10 @@ impl<'db> SynthRag<'db> {
     /// # Errors
     ///
     /// Returns an error for queries outside the Cypher subset.
-    pub fn cypher(&self, query: &str) -> Result<chatls_graphdb::ResultSet, Box<dyn std::error::Error + Send + Sync>> {
+    pub fn cypher(
+        &self,
+        query: &str,
+    ) -> Result<chatls_graphdb::ResultSet, Box<dyn std::error::Error + Send + Sync>> {
         self.db.query_graph(query)
     }
 
@@ -171,20 +176,21 @@ impl<'db> SynthRag<'db> {
         // their singulars — the kind of lexical smoothing the paper's
         // LLM-based reranker gets for free.
         fn stem(t: &str) -> &str {
-            if t.len() > 4 { t.strip_suffix('s').unwrap_or(t) } else { t }
+            if t.len() > 4 {
+                t.strip_suffix('s').unwrap_or(t)
+            } else {
+                t
+            }
         }
         let raw = self.db.manual().search(query, k.max(1) * 3);
-        let q_tokens: Vec<String> =
-            tokenize(query).iter().map(|t| stem(t).to_string()).collect();
+        let q_tokens: Vec<String> = tokenize(query).iter().map(|t| stem(t).to_string()).collect();
         let mut hits: Vec<ManualHit> = raw
             .into_iter()
             .map(|(name, text, score)| {
                 let d_tokens: Vec<String> =
                     tokenize(text).iter().map(|t| stem(t).to_string()).collect();
-                let overlap = q_tokens
-                    .iter()
-                    .filter(|t| t.len() > 3 && d_tokens.contains(*t))
-                    .count() as f32;
+                let overlap =
+                    q_tokens.iter().filter(|t| t.len() > 3 && d_tokens.contains(*t)).count() as f32;
                 let norm = (q_tokens.len().max(1)) as f32;
                 ManualHit {
                     command: name.to_string(),
@@ -256,16 +262,23 @@ mod tests {
             "registers moved across combinational logic to balance pipeline stage delays",
             3,
         );
-        assert_eq!(hits[0].command, "optimize_registers", "got {:?}",
-            hits.iter().map(|h| h.command.as_str()).collect::<Vec<_>>());
+        assert_eq!(
+            hits[0].command,
+            "optimize_registers",
+            "got {:?}",
+            hits.iter().map(|h| h.command.as_str()).collect::<Vec<_>>()
+        );
     }
 
     #[test]
     fn manual_search_fanout_finds_buffers() {
         let rag = SynthRag::new(db());
-        let hits = rag.manual_search("timing violations from high fanout nets need buffer trees", 3);
+        let hits =
+            rag.manual_search("timing violations from high fanout nets need buffer trees", 3);
         assert!(
-            hits.iter().take(2).any(|h| h.command == "balance_buffers" || h.command == "set_max_fanout"),
+            hits.iter()
+                .take(2)
+                .any(|h| h.command == "balance_buffers" || h.command == "set_max_fanout"),
             "got {:?}",
             hits.iter().map(|h| h.command.as_str()).collect::<Vec<_>>()
         );

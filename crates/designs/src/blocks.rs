@@ -132,11 +132,8 @@ pub fn regfile(name: &str, regs: u32, width: u32) -> String {
 pub fn fifo(name: &str, depth: u32, width: u32) -> String {
     let w = width - 1;
     let mut s = String::new();
-    writeln!(
-        s,
-        "module {name}(input clk, input shift, input [{w}:0] din, output [{w}:0] dout);"
-    )
-    .unwrap();
+    writeln!(s, "module {name}(input clk, input shift, input [{w}:0] din, output [{w}:0] dout);")
+        .unwrap();
     for d in 0..depth {
         writeln!(s, "  reg [{w}:0] st{d};").unwrap();
     }

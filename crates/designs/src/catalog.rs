@@ -108,8 +108,7 @@ impl GeneratedDesign {
     ///
     /// Panics if the generator produced invalid source.
     pub fn ast(&self) -> chatls_verilog::ast::SourceFile {
-        chatls_verilog::parse(&self.source)
-            .unwrap_or_else(|e| panic!("design {}: {e}", self.name))
+        chatls_verilog::parse(&self.source).unwrap_or_else(|e| panic!("design {}: {e}", self.name))
     }
 }
 
@@ -584,10 +583,7 @@ pub fn database_designs() -> Vec<GeneratedDesign> {
 
 /// Looks up any design (benchmark or database) by name.
 pub fn by_name(name: &str) -> Option<GeneratedDesign> {
-    benchmarks()
-        .into_iter()
-        .chain(database_designs())
-        .find(|d| d.name == name)
+    benchmarks().into_iter().chain(database_designs()).find(|d| d.name == name)
 }
 
 // ---- helpers for derived designs ----
@@ -595,10 +591,7 @@ pub fn by_name(name: &str) -> Option<GeneratedDesign> {
 fn scale_processor(name: &str, base: GeneratedDesign, _factor: u32) -> GeneratedDesign {
     // Rename and widen the tinyRocket profile: a second execution lane.
     let mut d = base;
-    let src = d
-        .source
-        .replace("tinyRocket", name)
-        .replace("tr_", "rk_");
+    let src = d.source.replace("tinyRocket", name).replace("tr_", "rk_");
     d.source = src;
     d.top = name.into();
     d.name = name.into();

@@ -145,12 +145,8 @@ pub fn separation_score(embeddings: &Matrix, labels: &[u32]) -> f32 {
     let mut centroids = Vec::new();
     let mut spreads = Vec::new();
     for &cl in &classes {
-        let rows: Vec<usize> = labels
-            .iter()
-            .enumerate()
-            .filter(|(_, &l)| l == cl)
-            .map(|(i, _)| i)
-            .collect();
+        let rows: Vec<usize> =
+            labels.iter().enumerate().filter(|(_, &l)| l == cl).map(|(i, _)| i).collect();
         let mut centroid = vec![0.0f32; dim];
         for &r in &rows {
             for f in 0..dim {
@@ -177,8 +173,8 @@ pub fn separation_score(embeddings: &Matrix, labels: &[u32]) -> f32 {
     for i in 0..centroids.len() {
         for j in (i + 1)..centroids.len() {
             let mut d2 = 0.0;
-            for f in 0..dim {
-                let d = centroids[i][f] - centroids[j][f];
+            for (a, b) in centroids[i].iter().zip(&centroids[j]).take(dim) {
+                let d = a - b;
                 d2 += d * d;
             }
             inter += d2.sqrt();
@@ -200,12 +196,7 @@ mod tests {
     use chatls_tensor::Matrix;
 
     fn toy() -> (Matrix, Vec<u32>) {
-        let e = Matrix::from_rows(&[
-            &[1.0, 0.1],
-            &[0.9, -0.1],
-            &[-1.0, 0.2],
-            &[-0.8, -0.2],
-        ]);
+        let e = Matrix::from_rows(&[&[1.0, 0.1], &[0.9, -0.1], &[-1.0, 0.2], &[-0.8, -0.2]]);
         (e, vec![0, 0, 1, 1])
     }
 
@@ -231,10 +222,7 @@ mod tests {
         assert_eq!(loss, 0.0);
     }
 
-    fn finite_diff_check(
-        lossfn: impl Fn(&Matrix) -> (f32, Matrix),
-        mut e: Matrix,
-    ) {
+    fn finite_diff_check(lossfn: impl Fn(&Matrix) -> (f32, Matrix), mut e: Matrix) {
         let (_, grad) = lossfn(&e);
         let eps = 1e-3f32;
         for r in 0..e.rows() {
@@ -269,12 +257,7 @@ mod tests {
 
     #[test]
     fn gradient_descent_on_contrastive_improves_separation() {
-        let mut e = Matrix::from_rows(&[
-            &[0.1, 0.0],
-            &[0.0, 0.1],
-            &[-0.1, 0.0],
-            &[0.0, -0.1],
-        ]);
+        let mut e = Matrix::from_rows(&[&[0.1, 0.0], &[0.0, 0.1], &[-0.1, 0.0], &[0.0, -0.1]]);
         let labels = vec![0, 0, 1, 1];
         let before = separation_score(&e, &labels);
         for _ in 0..200 {
@@ -287,12 +270,7 @@ mod tests {
 
     #[test]
     fn gradient_descent_on_ms_improves_separation() {
-        let mut e = Matrix::from_rows(&[
-            &[0.3, 0.1],
-            &[0.2, 0.2],
-            &[0.1, 0.3],
-            &[0.25, 0.15],
-        ]);
+        let mut e = Matrix::from_rows(&[&[0.3, 0.1], &[0.2, 0.2], &[0.1, 0.3], &[0.25, 0.15]]);
         let labels = vec![0, 1, 0, 1];
         let before = separation_score(&e, &labels);
         for _ in 0..300 {

@@ -324,12 +324,7 @@ mod tests {
     use super::*;
 
     fn toy_graph() -> FeatureGraph {
-        let features = Matrix::from_rows(&[
-            &[1.0, 0.0],
-            &[0.0, 1.0],
-            &[0.5, 0.5],
-            &[0.2, -0.3],
-        ]);
+        let features = Matrix::from_rows(&[&[1.0, 0.0], &[0.0, 1.0], &[0.5, 0.5], &[0.2, -0.3]]);
         FeatureGraph::with_modules(features, vec![(0, 1), (1, 2), (2, 3)], vec![0, 0, 1, 1], 2)
     }
 
@@ -388,19 +383,9 @@ mod tests {
         let modules = vec![0u32, 0, 1];
         let pooled = pool_modules(&nodes, &modules, 2);
         let y = Matrix::from_rows(&[&[0.3, -0.7], &[0.9, 0.1]]);
-        let lhs: f32 = pooled
-            .as_slice()
-            .iter()
-            .zip(y.as_slice())
-            .map(|(a, b)| a * b)
-            .sum();
+        let lhs: f32 = pooled.as_slice().iter().zip(y.as_slice()).map(|(a, b)| a * b).sum();
         let unpooled = unpool_modules(&y, &modules, 3);
-        let rhs: f32 = nodes
-            .as_slice()
-            .iter()
-            .zip(unpooled.as_slice())
-            .map(|(a, b)| a * b)
-            .sum();
+        let rhs: f32 = nodes.as_slice().iter().zip(unpooled.as_slice()).map(|(a, b)| a * b).sum();
         assert!((lhs - rhs).abs() < 1e-5);
     }
 

@@ -124,11 +124,8 @@ pub fn train(graphs: &[FeatureGraph], labels: &[u32], config: &TrainConfig) -> T
         history.push(EpochStats { epoch, loss, separation: separation_score(&embeds, labels) });
 
         // Backprop: global mean pooling distributes the gradient evenly.
-        let mut weight_grads: Vec<Matrix> = model
-            .layers
-            .iter()
-            .map(|l| Matrix::zeros(l.weight.rows(), l.weight.cols()))
-            .collect();
+        let mut weight_grads: Vec<Matrix> =
+            model.layers.iter().map(|l| Matrix::zeros(l.weight.rows(), l.weight.cols())).collect();
         for (gi, (graph, cache)) in graphs.iter().zip(&caches).enumerate() {
             let n = graph.num_nodes().max(1);
             let mut d_out = Matrix::zeros(n, out_dim);

@@ -172,11 +172,13 @@ impl ReturnItem {
     /// Column name in the result table.
     pub fn column_name(&self) -> String {
         match self {
-            ReturnItem::Operand { operand, alias } => alias.clone().unwrap_or_else(|| match operand {
-                Operand::Literal(v) => v.to_string(),
-                Operand::Property(v, p) => format!("{v}.{p}"),
-                Operand::Var(v) => v.clone(),
-            }),
+            ReturnItem::Operand { operand, alias } => {
+                alias.clone().unwrap_or_else(|| match operand {
+                    Operand::Literal(v) => v.to_string(),
+                    Operand::Property(v, p) => format!("{v}.{p}"),
+                    Operand::Var(v) => v.clone(),
+                })
+            }
             ReturnItem::CountStar { alias } => alias.clone().unwrap_or_else(|| "count(*)".into()),
         }
     }
@@ -304,10 +306,7 @@ impl<'a> Cursor<'a> {
                     if ch.is_ascii_digit() {
                         self.pos += 1;
                     } else if ch == '.'
-                        && self
-                            .src
-                            .get(self.pos + 1)
-                            .is_some_and(|&b| (b as char).is_ascii_digit())
+                        && self.src.get(self.pos + 1).is_some_and(|&b| (b as char).is_ascii_digit())
                     {
                         is_float = true;
                         self.pos += 1;
@@ -379,7 +378,8 @@ impl<'a> Cursor<'a> {
         if !incoming && !self.eat_str("-") {
             return Ok(None);
         }
-        let mut rp = RelPattern { var: None, rel_type: None, direction: Direction::Either, hops: None };
+        let mut rp =
+            RelPattern { var: None, rel_type: None, direction: Direction::Either, hops: None };
         if self.eat('[') {
             self.skip_ws();
             if let Some(c) = self.peek() {
@@ -392,11 +392,7 @@ impl<'a> Cursor<'a> {
             }
             if self.eat('*') {
                 let min = self.opt_int().unwrap_or(1);
-                let max = if self.eat_str("..") {
-                    self.opt_int().unwrap_or(8)
-                } else {
-                    min.max(8)
-                };
+                let max = if self.eat_str("..") { self.opt_int().unwrap_or(8) } else { min.max(8) };
                 rp.hops = Some((min, max));
             }
             if !self.eat(']') {

@@ -215,11 +215,8 @@ pub fn execute(graph: &Graph, q: &Query) -> Result<ResultSet, QueryError> {
 
     if !q.order_by.is_empty() {
         // Pre-compute sort keys. ORDER BY may reference RETURN aliases.
-        let alias_index: HashMap<&str, usize> = columns
-            .iter()
-            .enumerate()
-            .map(|(i, c)| (c.as_str(), i))
-            .collect();
+        let alias_index: HashMap<&str, usize> =
+            columns.iter().enumerate().map(|(i, c)| (c.as_str(), i)).collect();
         let keyed: Vec<(Vec<Value>, Vec<Value>)> = rows
             .into_iter()
             .enumerate()
@@ -295,7 +292,10 @@ fn validate_vars(q: &Query) -> Result<(), QueryError> {
             _ => Ok(()),
         }
     };
-    fn walk(p: &Predicate, f: &dyn Fn(&Operand) -> Result<(), QueryError>) -> Result<(), QueryError> {
+    fn walk(
+        p: &Predicate,
+        f: &dyn Fn(&Operand) -> Result<(), QueryError>,
+    ) -> Result<(), QueryError> {
         match p {
             Predicate::And(a, b) | Predicate::Or(a, b) => {
                 walk(a, f)?;
@@ -420,6 +420,7 @@ fn extend(
     }
 }
 
+#[allow(clippy::too_many_arguments)]
 fn step_into(
     graph: &Graph,
     pattern: &Pattern,
@@ -557,19 +558,35 @@ mod tests {
         let soc = g.add_node(["Design"], [("name", Value::from("soc"))]);
         let alu = g.add_node(
             ["Module"],
-            [("name", Value::from("alu")), ("kind", Value::from("arith")), ("gates", Value::Int(400))],
+            [
+                ("name", Value::from("alu")),
+                ("kind", Value::from("arith")),
+                ("gates", Value::Int(400)),
+            ],
         );
         let mac = g.add_node(
             ["Module"],
-            [("name", Value::from("mac")), ("kind", Value::from("arith")), ("gates", Value::Int(900))],
+            [
+                ("name", Value::from("mac")),
+                ("kind", Value::from("arith")),
+                ("gates", Value::Int(900)),
+            ],
         );
         let ctrl = g.add_node(
             ["Module"],
-            [("name", Value::from("ctrl")), ("kind", Value::from("control")), ("gates", Value::Int(150))],
+            [
+                ("name", Value::from("ctrl")),
+                ("kind", Value::from("control")),
+                ("gates", Value::Int(150)),
+            ],
         );
         let regs = g.add_node(
             ["Module"],
-            [("name", Value::from("regfile")), ("kind", Value::from("memory")), ("gates", Value::Int(600))],
+            [
+                ("name", Value::from("regfile")),
+                ("kind", Value::from("memory")),
+                ("gates", Value::Int(600)),
+            ],
         );
         for m in [alu, mac, ctrl, regs] {
             g.add_rel(soc, m, "CONTAINS", [("inst", Value::from("u"))]);
@@ -601,36 +618,34 @@ mod tests {
     #[test]
     fn where_filters_and_orders() {
         let g = design_graph();
-        let rs = query(
-            &g,
-            "MATCH (m:Module) WHERE m.kind = 'arith' RETURN m.name AS n ORDER BY n",
-        )
-        .unwrap();
+        let rs = query(&g, "MATCH (m:Module) WHERE m.kind = 'arith' RETURN m.name AS n ORDER BY n")
+            .unwrap();
         assert_eq!(names(&rs), vec!["alu", "mac"]);
     }
 
     #[test]
     fn where_numeric_comparison() {
         let g = design_graph();
-        let rs = query(&g, "MATCH (m:Module) WHERE m.gates >= 600 RETURN m.name AS n ORDER BY n").unwrap();
+        let rs = query(&g, "MATCH (m:Module) WHERE m.gates >= 600 RETURN m.name AS n ORDER BY n")
+            .unwrap();
         assert_eq!(names(&rs), vec!["mac", "regfile"]);
     }
 
     #[test]
     fn relationship_traversal() {
         let g = design_graph();
-        let rs = query(
-            &g,
-            "MATCH (d:Design)-[:CONTAINS]->(m:Module {kind: 'memory'}) RETURN m.name",
-        )
-        .unwrap();
+        let rs =
+            query(&g, "MATCH (d:Design)-[:CONTAINS]->(m:Module {kind: 'memory'}) RETURN m.name")
+                .unwrap();
         assert_eq!(names(&rs), vec!["regfile"]);
     }
 
     #[test]
     fn incoming_direction() {
         let g = design_graph();
-        let rs = query(&g, "MATCH (m:Module)<-[:CONNECTS]-(src:Module) RETURN m.name AS n ORDER BY n").unwrap();
+        let rs =
+            query(&g, "MATCH (m:Module)<-[:CONNECTS]-(src:Module) RETURN m.name AS n ORDER BY n")
+                .unwrap();
         assert_eq!(names(&rs), vec!["alu", "mac", "regfile"]);
     }
 
@@ -644,11 +659,9 @@ mod tests {
         )
         .unwrap();
         assert_eq!(names(&rs), vec!["alu", "mac", "regfile"]);
-        let rs = query(
-            &g,
-            "MATCH (a:Module {name: 'ctrl'})-[:CONNECTS*2..2]->(b:Module) RETURN b.name",
-        )
-        .unwrap();
+        let rs =
+            query(&g, "MATCH (a:Module {name: 'ctrl'})-[:CONNECTS*2..2]->(b:Module) RETURN b.name")
+                .unwrap();
         assert_eq!(names(&rs), vec!["mac"]);
     }
 
@@ -662,7 +675,8 @@ mod tests {
     #[test]
     fn count_star_groups_by_other_items() {
         let g = design_graph();
-        let rs = query(&g, "MATCH (m:Module) RETURN m.kind AS k, count(*) AS c ORDER BY c DESC").unwrap();
+        let rs = query(&g, "MATCH (m:Module) RETURN m.kind AS k, count(*) AS c ORDER BY c DESC")
+            .unwrap();
         assert_eq!(rs.rows[0][0], Value::Str("arith".into()));
         assert_eq!(rs.rows[0][1], Value::Int(2));
     }
@@ -718,11 +732,8 @@ mod tests {
     #[test]
     fn rel_property_accessible() {
         let g = design_graph();
-        let rs = query(
-            &g,
-            "MATCH (d:Design)-[r:CONTAINS]->(m:Module {name: 'alu'}) RETURN r.inst",
-        )
-        .unwrap();
+        let rs = query(&g, "MATCH (d:Design)-[r:CONTAINS]->(m:Module {name: 'alu'}) RETURN r.inst")
+            .unwrap();
         assert_eq!(rs.scalar(), Some(&Value::Str("u".into())));
     }
 
@@ -741,7 +752,8 @@ mod tests {
         g.add_rel(a, b, "E", Vec::<(String, Value)>::new());
         g.add_rel(b, a, "E", Vec::<(String, Value)>::new());
         // A 2-cycle: (x)->(y)->(x) must bind x consistently.
-        let rs = query(&g, "MATCH (x:N)-[:E]->(y:N)-[:E]->(x) RETURN x.name AS n ORDER BY n").unwrap();
+        let rs =
+            query(&g, "MATCH (x:N)-[:E]->(y:N)-[:E]->(x) RETURN x.name AS n ORDER BY n").unwrap();
         assert_eq!(names(&rs), vec!["a", "b"]);
     }
 }

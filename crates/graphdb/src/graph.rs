@@ -129,10 +129,8 @@ impl Graph {
         let id = self.next_rel;
         self.next_rel += 1;
         let props = props.into_iter().map(|(k, v)| (k.into(), v)).collect();
-        self.rels.insert(
-            id,
-            Relationship { id, start, end, rel_type: rel_type.to_string(), props },
-        );
+        self.rels
+            .insert(id, Relationship { id, start, end, rel_type: rel_type.to_string(), props });
         self.out_adj.entry(start).or_default().push(id);
         self.in_adj.entry(end).or_default().push(id);
         id
@@ -173,27 +171,17 @@ impl Graph {
 
     /// Outgoing relationships of a node.
     pub fn out_rels(&self, id: NodeId) -> impl Iterator<Item = &Relationship> {
-        self.out_adj
-            .get(&id)
-            .into_iter()
-            .flatten()
-            .filter_map(move |rid| self.rels.get(rid))
+        self.out_adj.get(&id).into_iter().flatten().filter_map(move |rid| self.rels.get(rid))
     }
 
     /// Incoming relationships of a node.
     pub fn in_rels(&self, id: NodeId) -> impl Iterator<Item = &Relationship> {
-        self.in_adj
-            .get(&id)
-            .into_iter()
-            .flatten()
-            .filter_map(move |rid| self.rels.get(rid))
+        self.in_adj.get(&id).into_iter().flatten().filter_map(move |rid| self.rels.get(rid))
     }
 
     /// First node with `label` whose property `key` equals `value`.
     pub fn find(&self, label: &str, key: &str, value: &Value) -> Option<&Node> {
-        self.nodes_with_label(label)
-            .into_iter()
-            .find(|n| n.prop(key).loose_eq(value))
+        self.nodes_with_label(label).into_iter().find(|n| n.prop(key).loose_eq(value))
     }
 }
 
@@ -204,8 +192,12 @@ mod tests {
     fn sample() -> (Graph, NodeId, NodeId, NodeId) {
         let mut g = Graph::new();
         let d = g.add_node(["Design"], [("name", Value::from("soc"))]);
-        let m1 = g.add_node(["Module"], [("name", Value::from("alu")), ("kind", Value::from("arith"))]);
-        let m2 = g.add_node(["Module"], [("name", Value::from("ctrl")), ("kind", Value::from("control"))]);
+        let m1 =
+            g.add_node(["Module"], [("name", Value::from("alu")), ("kind", Value::from("arith"))]);
+        let m2 = g.add_node(
+            ["Module"],
+            [("name", Value::from("ctrl")), ("kind", Value::from("control"))],
+        );
         g.add_rel(d, m1, "CONTAINS", [("inst", Value::from("u_alu"))]);
         g.add_rel(d, m2, "CONTAINS", [("inst", Value::from("u_ctrl"))]);
         g.add_rel(m2, m1, "CONNECTS", Vec::<(String, Value)>::new());

@@ -133,7 +133,7 @@ mod tests {
 
     #[test]
     fn ordering_is_total() {
-        let mut vals = vec![
+        let mut vals = [
             Value::Str("b".into()),
             Value::Int(2),
             Value::Null,

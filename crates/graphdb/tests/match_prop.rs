@@ -11,7 +11,10 @@ fn build(n: usize, labels: &[bool], props: &[i64], edges: &[(usize, usize)]) -> 
     let ids: Vec<_> = (0..n)
         .map(|i| {
             let label = if labels[i] { "A" } else { "B" };
-            g.add_node([label], [("v", Value::Int(props[i])), ("name", Value::from(format!("n{i}")))])
+            g.add_node(
+                [label],
+                [("v", Value::Int(props[i])), ("name", Value::from(format!("n{i}")))],
+            )
         })
         .collect();
     for &(a, b) in edges {

@@ -120,10 +120,7 @@ impl Cell {
 
     /// Drive strength parsed from a `_X<n>` suffix; 1 when absent.
     pub fn drive_strength(&self) -> u32 {
-        self.name
-            .rsplit_once("_X")
-            .and_then(|(_, s)| s.parse().ok())
-            .unwrap_or(1)
+        self.name.rsplit_once("_X").and_then(|(_, s)| s.parse().ok()).unwrap_or(1)
     }
 
     /// Base function name without the drive suffix (`NAND2_X2` → `NAND2`).
@@ -133,11 +130,7 @@ impl Cell {
 
     /// Worst-case arc delay from any input to the output for a load.
     pub fn worst_delay(&self, load_ff: f64) -> f64 {
-        self.pins
-            .iter()
-            .flat_map(|p| &p.timing)
-            .map(|arc| arc.delay(load_ff))
-            .fold(0.0, f64::max)
+        self.pins.iter().flat_map(|p| &p.timing).map(|arc| arc.delay(load_ff)).fold(0.0, f64::max)
     }
 
     /// True for sequential cells.

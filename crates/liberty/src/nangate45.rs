@@ -60,17 +60,36 @@ fn comb2(
     }
 }
 
-fn comb1(name: &str, area: f64, leakage: f64, function: &str, in_cap: f64, intrinsic: f64, resistance: f64) -> Cell {
+fn comb1(
+    name: &str,
+    area: f64,
+    leakage: f64,
+    function: &str,
+    in_cap: f64,
+    intrinsic: f64,
+    resistance: f64,
+) -> Cell {
     Cell {
         name: name.into(),
         area,
         leakage,
-        pins: vec![pin_in("A", in_cap), pin_out("ZN", function, vec![arc("A", intrinsic, resistance)])],
+        pins: vec![
+            pin_in("A", in_cap),
+            pin_out("ZN", function, vec![arc("A", intrinsic, resistance)]),
+        ],
         ff: None,
     }
 }
 
-fn mux2(name: &str, area: f64, leakage: f64, data_cap: f64, sel_cap: f64, intrinsic: f64, resistance: f64) -> Cell {
+fn mux2(
+    name: &str,
+    area: f64,
+    leakage: f64,
+    data_cap: f64,
+    sel_cap: f64,
+    intrinsic: f64,
+    resistance: f64,
+) -> Cell {
     Cell {
         name: name.into(),
         area,
@@ -94,7 +113,18 @@ fn mux2(name: &str, area: f64, leakage: f64, data_cap: f64, sel_cap: f64, intrin
     }
 }
 
-fn dff(name: &str, area: f64, leakage: f64, d_cap: f64, ck_cap: f64, setup: f64, hold: f64, clk_q_int: f64, clk_q_res: f64) -> Cell {
+#[allow(clippy::too_many_arguments)]
+fn dff(
+    name: &str,
+    area: f64,
+    leakage: f64,
+    d_cap: f64,
+    ck_cap: f64,
+    setup: f64,
+    hold: f64,
+    clk_q_int: f64,
+    clk_q_res: f64,
+) -> Cell {
     let clk_to_q = arc("CK", clk_q_int, clk_q_res);
     Cell {
         name: name.into(),

@@ -229,9 +229,9 @@ impl<'a> Cursor<'a> {
                     }
                 }
                 other => {
-                    return Err(self.err(format!(
-                        "expected ':' or '(' after '{name}', found {other:?}"
-                    )))
+                    return Err(
+                        self.err(format!("expected ':' or '(' after '{name}', found {other:?}"))
+                    )
                 }
             }
         }
@@ -330,7 +330,11 @@ pub fn parse_library(src: &str) -> Result<Library, ParseLibertyError> {
             };
             for tg in pg.groups_of("timing") {
                 let arc = TimingArc {
-                    related_pin: tg.attr("related_pin").unwrap_or_default().trim_matches('"').to_string(),
+                    related_pin: tg
+                        .attr("related_pin")
+                        .unwrap_or_default()
+                        .trim_matches('"')
+                        .to_string(),
                     intrinsic: tg.attr_f64("intrinsic_delay").unwrap_or(0.0),
                     drive_resistance: tg.attr_f64("drive_resistance").unwrap_or(0.0),
                 };

@@ -1,0 +1,84 @@
+//! Fuzz-style robustness tests: the linter and repairer must never panic,
+//! whatever bytes they are fed. Lint runs inside the SynthExpert revision
+//! loop on model-generated drafts, so "garbage in" is the expected case,
+//! not the exceptional one.
+
+use chatls_lint::{lint_script, repair_script};
+use proptest::prelude::*;
+
+/// Script-flavoured fragments: enough structure to reach deep into the
+/// rule machinery, with mutations that break it in interesting ways.
+fn arb_fragment() -> impl Strategy<Value = String> {
+    prop_oneof![
+        prop_oneof![
+            Just("create_clock"),
+            Just("compile"),
+            Just("compile_ultra"),
+            Just("set_max_area"),
+            Just("set_fix_hold"),
+            Just("insert_clock_gating"),
+            Just("write"),
+            Just("frobnicate"),
+        ]
+        .prop_map(str::to_string),
+        prop_oneof![Just("-period"), Just("-map_effort"), Just("-incremental"), Just("-bogus"),]
+            .prop_map(str::to_string),
+        prop_oneof![Just("1.5"), Just("high"), Just("ultra"), Just("-0.5"), Just("x")]
+            .prop_map(str::to_string),
+        prop_oneof![
+            Just("[get_ports clk]"),
+            Just("[get_ports"),
+            Just("]"),
+            Just("{a b"),
+            Just("\""),
+            Just(";"),
+            Just("\\"),
+            Just("#"),
+        ]
+        .prop_map(str::to_string),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Arbitrary bytes (via lossy UTF-8) never panic the linter or the
+    /// repairer, and repair output always re-parses if non-empty.
+    #[test]
+    fn arbitrary_bytes_never_panic(bytes in proptest::collection::vec(any::<u8>(), 0..256)) {
+        let src = String::from_utf8_lossy(&bytes);
+        let _ = lint_script(&src);
+        let out = repair_script(&src);
+        if !out.script.is_empty() {
+            prop_assert!(chatls_synth::script::parse_script(&out.script).is_ok(),
+                "repair emitted unparseable script: {}", out.script);
+        }
+    }
+
+    /// Random compositions of script-like fragments never panic, and the
+    /// only error repair may leave behind is SL007 with no clock in the
+    /// script at all — the one fix that needs information (the clock
+    /// period) the repairer does not have.
+    #[test]
+    fn script_like_soup_never_panics(
+        parts in proptest::collection::vec(arb_fragment(), 0..24),
+        seps in proptest::collection::vec(prop_oneof![Just(" "), Just("\n"), Just("; ")], 0..24),
+    ) {
+        let mut src = String::new();
+        for (i, p) in parts.iter().enumerate() {
+            src.push_str(p);
+            src.push_str(seps.get(i).copied().unwrap_or("\n"));
+        }
+        let _ = lint_script(&src);
+        let out = repair_script(&src);
+        for d in &out.remaining.diagnostics {
+            if d.severity == chatls_lint::Severity::Error {
+                prop_assert_eq!(&d.code, "SL007",
+                    "repair left a fixable error:\n{}\nfrom input:\n{}", &out.remaining, &src);
+                let cmds = chatls_synth::script::parse_script(&out.script).unwrap();
+                prop_assert!(!cmds.iter().any(|c| c.name == "create_clock"),
+                    "SL007 remained although a clock existed to move:\n{}", &out.script);
+            }
+        }
+    }
+}

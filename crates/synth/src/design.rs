@@ -72,9 +72,9 @@ impl MappedDesign {
                 None => cells.push(String::new()),
                 Some(base) => {
                     let variants = library.variants(base);
-                    let cell = variants.first().ok_or_else(|| {
-                        serr(format!("library has no cell for base '{base}'"))
-                    })?;
+                    let cell = variants
+                        .first()
+                        .ok_or_else(|| serr(format!("library has no cell for base '{base}'")))?;
                     cells.push(cell.name.clone());
                 }
             }
@@ -178,13 +178,8 @@ impl MappedDesign {
     pub fn net_loads(&self, library: &Library, wire_load: Option<&str>) -> Vec<f64> {
         let wlm = wire_load.and_then(|w| library.wire_load(w));
         let sinks = self.sink_map();
-        let primary_out: HashMap<u32, usize> = self
-            .netlist
-            .outputs
-            .iter()
-            .enumerate()
-            .map(|(i, (_, id))| (*id, i))
-            .collect();
+        let primary_out: HashMap<u32, usize> =
+            self.netlist.outputs.iter().enumerate().map(|(i, (_, id))| (*id, i)).collect();
         let mut loads = vec![0.0f64; self.netlist.nets.len()];
         for (net, net_sinks) in sinks.iter().enumerate() {
             let mut cap = 0.0;

@@ -150,10 +150,8 @@ mod tests {
 
     #[test]
     fn instance_count_matches_live_gates() {
-        let d = mapped(
-            "module m(input [3:0] a, b, output [3:0] y); assign y = a & b; endmodule",
-            "m",
-        );
+        let d =
+            mapped("module m(input [3:0] a, b, output [3:0] y); assign y = a & b; endmodule", "m");
         let lib = nangate45();
         let text = write_verilog(&d, &lib);
         let instances = text.matches("  AND2_X1 U").count() + text.matches("  BUF_X1 U").count();
@@ -163,8 +161,7 @@ mod tests {
             .iter()
             .enumerate()
             .filter(|(i, g)| {
-                !d.is_dead(*i)
-                    && !matches!(g.kind, GateKind::Const0 | GateKind::Const1)
+                !d.is_dead(*i) && !matches!(g.kind, GateKind::Const0 | GateKind::Const1)
             })
             .count();
         assert_eq!(instances, live);

@@ -81,12 +81,9 @@ pub fn sweep(design: &mut MappedDesign) -> PassStats {
             let out = design.netlist.gates[gi].output;
             let used = !sinks[out as usize].is_empty()
                 || primary_outputs.contains(&out)
-                || design
-                    .netlist
-                    .gates
-                    .iter()
-                    .enumerate()
-                    .any(|(oi, g)| !design.is_dead(oi) && (g.enable == Some(out) || g.async_reset == Some(out)));
+                || design.netlist.gates.iter().enumerate().any(|(oi, g)| {
+                    !design.is_dead(oi) && (g.enable == Some(out) || g.async_reset == Some(out))
+                });
             if !used {
                 design.kill(gi);
                 stats.removed += 1;
@@ -127,18 +124,21 @@ pub fn const_propagate(design: &mut MappedDesign, library: &Library) -> PassStat
                 continue;
             }
             let g = design.netlist.gates[gi].clone();
-            let cv: Vec<Option<bool>> =
-                g.inputs.iter().map(|&i| constness[i as usize]).collect();
+            let cv: Vec<Option<bool>> = g.inputs.iter().map(|&i| constness[i as usize]).collect();
             // (new kind, new inputs, new cell)
             let rewrite: Option<(GateKind, Vec<u32>, String)> = match g.kind {
                 GateKind::And => match (cv[0], cv[1]) {
-                    (Some(false), _) | (_, Some(false)) => Some((GateKind::Const0, vec![], String::new())),
+                    (Some(false), _) | (_, Some(false)) => {
+                        Some((GateKind::Const0, vec![], String::new()))
+                    }
                     (Some(true), _) => Some((GateKind::Buf, vec![g.inputs[1]], buf_cell.clone())),
                     (_, Some(true)) => Some((GateKind::Buf, vec![g.inputs[0]], buf_cell.clone())),
                     _ => None,
                 },
                 GateKind::Or => match (cv[0], cv[1]) {
-                    (Some(true), _) | (_, Some(true)) => Some((GateKind::Const1, vec![], String::new())),
+                    (Some(true), _) | (_, Some(true)) => {
+                        Some((GateKind::Const1, vec![], String::new()))
+                    }
                     (Some(false), _) => Some((GateKind::Buf, vec![g.inputs[1]], buf_cell.clone())),
                     (_, Some(false)) => Some((GateKind::Buf, vec![g.inputs[0]], buf_cell.clone())),
                     _ => None,
@@ -155,14 +155,9 @@ pub fn const_propagate(design: &mut MappedDesign, library: &Library) -> PassStat
                     (_, Some(true)) => Some((GateKind::Not, vec![g.inputs[0]], inv_cell.clone())),
                     (None, None) => None,
                 },
-                GateKind::Not => match cv[0] {
-                    Some(v) => Some((
-                        if v { GateKind::Const0 } else { GateKind::Const1 },
-                        vec![],
-                        String::new(),
-                    )),
-                    None => None,
-                },
+                GateKind::Not => cv[0].map(|v| {
+                    (if v { GateKind::Const0 } else { GateKind::Const1 }, vec![], String::new())
+                }),
                 GateKind::Mux => match cv[0] {
                     Some(false) => Some((GateKind::Buf, vec![g.inputs[1]], buf_cell.clone())),
                     Some(true) => Some((GateKind::Buf, vec![g.inputs[2]], buf_cell.clone())),
@@ -205,8 +200,7 @@ pub fn strash(design: &mut MappedDesign) -> PassStats {
     let mut stats = PassStats::default();
     loop {
         let mut changed = false;
-        let primary_outputs: Vec<u32> =
-            design.netlist.outputs.iter().map(|(_, id)| *id).collect();
+        let primary_outputs: Vec<u32> = design.netlist.outputs.iter().map(|(_, id)| *id).collect();
         let mut seen: HashMap<(GateKind, Vec<u32>), u32> = HashMap::new();
         let mut replace: Vec<(u32, u32)> = Vec::new(); // (dup net, canonical net)
         for gi in 0..design.netlist.gates.len() {
@@ -295,8 +289,7 @@ pub fn absorb_inverters(design: &mut MappedDesign, library: &Library) -> PassSta
         let mut restart = false;
         let driver = design.driver_map();
         let sinks = design.sink_map();
-        let primary_outputs: Vec<u32> =
-            design.netlist.outputs.iter().map(|(_, id)| *id).collect();
+        let primary_outputs: Vec<u32> = design.netlist.outputs.iter().map(|(_, id)| *id).collect();
         for gi in 0..design.netlist.gates.len() {
             if restart {
                 break;
@@ -675,7 +668,9 @@ pub fn insert_clock_gating(design: &mut MappedDesign) -> PassStats {
             continue;
         }
         // Mux must feed only this register.
-        if sinks[d_net as usize].len() != 1 || design.netlist.outputs.iter().any(|(_, id)| *id == d_net) {
+        if sinks[d_net as usize].len() != 1
+            || design.netlist.outputs.iter().any(|(_, id)| *id == d_net)
+        {
             continue;
         }
         design.netlist.gates[gi].inputs[0] = mux.inputs[2];
@@ -721,9 +716,11 @@ pub fn fix_hold(
             }
             let d = design.netlist.gates[gi].inputs[0];
             let path = design.netlist.gates[gi].path.clone();
-            let new_net = design
-                .netlist
-                .add_net(format!("{}$hold{}", design.netlist.nets[d as usize].name, design.netlist.nets.len()));
+            let new_net = design.netlist.add_net(format!(
+                "{}$hold{}",
+                design.netlist.nets[d as usize].name,
+                design.netlist.nets.len()
+            ));
             let gate = chatls_verilog::netlist::Gate {
                 kind: GateKind::Buf,
                 inputs: vec![d],
@@ -877,7 +874,8 @@ mod tests {
         sig
     }
 
-    const ALU_SRC: &str = "module alu(input clk, input [7:0] a, b, input [1:0] op, output reg [7:0] y);
+    const ALU_SRC: &str =
+        "module alu(input clk, input [7:0] a, b, input [1:0] op, output reg [7:0] y);
         wire [7:0] r;
         assign r = (op == 2'd0) ? a + b :
                    (op == 2'd1) ? a - b :
@@ -1034,7 +1032,12 @@ mod tests {
         compile(&mut high, &lib, &c, Effort::High);
         let q_low = qor(&low, &lib, &c);
         let q_high = qor(&high, &lib, &c);
-        assert!(q_high.cps >= q_low.cps, "high effort never worse: {} vs {}", q_high.cps, q_low.cps);
+        assert!(
+            q_high.cps >= q_low.cps,
+            "high effort never worse: {} vs {}",
+            q_high.cps,
+            q_low.cps
+        );
     }
 
     #[test]
@@ -1206,10 +1209,7 @@ mod absorb_tests {
     #[test]
     fn absorbs_not_of_and_into_nand() {
         // eq comparison lowers to XOR tree + OR reduce + NOT: absorption food.
-        let mut d = map(
-            "module m(input [7:0] a, b, output y); assign y = a == b; endmodule",
-            "m",
-        );
+        let mut d = map("module m(input [7:0] a, b, output y); assign y = a == b; endmodule", "m");
         let lib = nangate45();
         sweep(&mut d);
         let sig = signature(&d, 1, 40);
@@ -1217,7 +1217,10 @@ mod absorb_tests {
         let stats = absorb_inverters(&mut d, &lib);
         assert!(stats.removed > 0, "equality logic must offer merges");
         assert!(d.live_gates() < before);
-        assert!(d.cells.iter().any(|c| c.starts_with("NOR2") || c.starts_with("NAND2") || c.starts_with("XNOR2")));
+        assert!(d
+            .cells
+            .iter()
+            .any(|c| c.starts_with("NOR2") || c.starts_with("NAND2") || c.starts_with("XNOR2")));
         assert_eq!(signature(&d, 1, 40), sig);
         d.compact();
         d.netlist.check().unwrap();

@@ -43,7 +43,11 @@ impl fmt::Display for PowerReport {
         writeln!(f, "  leakage : {:>12.2}", self.leakage)?;
         writeln!(f, "  dynamic : {:>12.2}", self.dynamic)?;
         writeln!(f, "  total   : {:>12.2}", self.total())?;
-        writeln!(f, "  activity: {:>12.4} toggles/cycle over {} cycles", self.mean_activity, self.cycles)
+        writeln!(
+            f,
+            "  activity: {:>12.4} toggles/cycle over {} cycles",
+            self.mean_activity, self.cycles
+        )
     }
 }
 
@@ -68,11 +72,8 @@ pub fn estimate_power(
     let mut rng = StdRng::seed_from_u64(seed);
     let mut sim = Simulator::new(nl);
     let ports: Vec<String> = {
-        let mut p: Vec<String> = nl
-            .inputs
-            .iter()
-            .map(|(n, _)| n.split('[').next().unwrap_or(n).to_string())
-            .collect();
+        let mut p: Vec<String> =
+            nl.inputs.iter().map(|(n, _)| n.split('[').next().unwrap_or(n).to_string()).collect();
         p.sort();
         p.dedup();
         p

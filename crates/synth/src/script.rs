@@ -65,12 +65,17 @@ pub struct Command {
 
 impl Command {
     /// Value following the option flag `-name`, as a word.
+    ///
+    /// A following word that is itself a flag (starts with `-` and is not a
+    /// negative number) is *not* a value: `compile -map_effort -incremental`
+    /// yields `None` for `-map_effort` rather than `"-incremental"`.
     pub fn option(&self, flag: &str) -> Option<&str> {
         self.args
             .iter()
             .position(|a| a.as_word() == Some(flag))
             .and_then(|i| self.args.get(i + 1))
             .and_then(|a| a.as_word())
+            .filter(|w| !(w.starts_with('-') && w.parse::<f64>().is_err()))
     }
 
     /// True if the flag appears among the arguments.
@@ -264,9 +269,7 @@ fn parse_command(chars: &[char], pos: &mut usize, line: u32) -> Result<Command, 
             }
             _ => {
                 let start = *pos;
-                while *pos < chars.len()
-                    && !matches!(chars[*pos], ' ' | '\t' | '\n' | '[' | ']')
-                {
+                while *pos < chars.len() && !matches!(chars[*pos], ' ' | '\t' | '\n' | '[' | ']') {
                     *pos += 1;
                 }
                 let word: String = chars[start..*pos].iter().collect();
@@ -348,6 +351,20 @@ mod tests {
         assert_eq!(cmds[0].option("-map_effort"), Some("high"));
         assert!(cmds[0].has_flag("-incremental"));
         assert!(!cmds[0].has_flag("-exact"));
+    }
+
+    #[test]
+    fn option_value_is_never_a_following_flag() {
+        // A trailing flag must not be mistaken for the missing value.
+        let cmds = parse_script("compile -map_effort -incremental\n").unwrap();
+        assert_eq!(cmds[0].option("-map_effort"), None);
+        assert!(cmds[0].has_flag("-incremental"));
+        // …but a negative number *is* a legitimate value.
+        let cmds = parse_script("set_input_delay -max -0.5 [all_inputs]\n").unwrap();
+        assert_eq!(cmds[0].option("-max"), Some("-0.5"));
+        // A flag at end of line has no value either.
+        let cmds = parse_script("compile -map_effort\n").unwrap();
+        assert_eq!(cmds[0].option("-map_effort"), None);
     }
 
     #[test]

@@ -236,18 +236,22 @@ pub fn slack_map(design: &MappedDesign, library: &Library, constraints: &Constra
     SlackMap { arrival: a.arrival, required }
 }
 
-fn compute_arrivals(design: &MappedDesign, library: &Library, constraints: &Constraints) -> Arrivals {
+fn compute_arrivals(
+    design: &MappedDesign,
+    library: &Library,
+    constraints: &Constraints,
+) -> Arrivals {
     let nets = design.netlist.nets.len();
     let loads = design.net_loads(library, constraints.wire_load.as_deref());
     let mut arrival = vec![f64::NEG_INFINITY; nets];
 
     // Sources: primary inputs and register outputs.
-    let clock_name = constraints
-        .clock_port
-        .clone()
-        .or_else(|| design.netlist.clock.clone());
+    let clock_name = constraints.clock_port.clone().or_else(|| design.netlist.clock.clone());
     for (name, id) in &design.netlist.inputs {
-        let is_clock = clock_name.as_deref().map(|c| name == c || name.starts_with(&format!("{c}["))).unwrap_or(false);
+        let is_clock = clock_name
+            .as_deref()
+            .map(|c| name == c || name.starts_with(&format!("{c}[")))
+            .unwrap_or(false);
         let false_from = constraints.exceptions.iter().any(|e| {
             matches!(e, TimingException::FalseFrom(p)
                 if name == p || name.starts_with(&format!("{p}[")))
@@ -255,8 +259,7 @@ fn compute_arrivals(design: &MappedDesign, library: &Library, constraints: &Cons
         arrival[*id as usize] = if is_clock || false_from {
             0.0
         } else {
-            constraints.input_delay
-                + constraints.input_drive_resistance * loads[*id as usize]
+            constraints.input_delay + constraints.input_drive_resistance * loads[*id as usize]
         };
         if false_from {
             // Exclude the launch point entirely: downstream max() never
@@ -309,7 +312,11 @@ fn compute_arrivals(design: &MappedDesign, library: &Library, constraints: &Cons
 /// Dead (tombstoned) gates are ignored. Combinational loops make arrival
 /// times ill-defined; the propagation is capped at graph-size iterations so
 /// the analysis terminates, and loop nets report pessimistic arrivals.
-pub fn analyze(design: &MappedDesign, library: &Library, constraints: &Constraints) -> TimingReport {
+pub fn analyze(
+    design: &MappedDesign,
+    library: &Library,
+    constraints: &Constraints,
+) -> TimingReport {
     let Arrivals { arrival, loads, order: _, driver } =
         compute_arrivals(design, library, constraints);
 
@@ -377,13 +384,14 @@ pub fn analyze(design: &MappedDesign, library: &Library, constraints: &Constrain
 /// `input_delay`, register outputs at their clock-to-Q intrinsic delay.
 /// Gate arcs contribute their intrinsic delay only (the fastest corner of
 /// the linear model).
-pub fn min_arrivals(design: &MappedDesign, library: &Library, constraints: &Constraints) -> Vec<f64> {
+pub fn min_arrivals(
+    design: &MappedDesign,
+    library: &Library,
+    constraints: &Constraints,
+) -> Vec<f64> {
     let nets = design.netlist.nets.len();
     let mut arrival = vec![f64::INFINITY; nets];
-    let clock_name = constraints
-        .clock_port
-        .clone()
-        .or_else(|| design.netlist.clock.clone());
+    let clock_name = constraints.clock_port.clone().or_else(|| design.netlist.clock.clone());
     for (name, id) in &design.netlist.inputs {
         let is_clock = clock_name
             .as_deref()
@@ -440,7 +448,11 @@ fn intrinsic_for(cell: Option<&chatls_liberty::Cell>, pin: usize) -> f64 {
 
 /// Hold-timing report: slack of every register data pin against its hold
 /// requirement, worst first.
-pub fn hold_slacks(design: &MappedDesign, library: &Library, constraints: &Constraints) -> Vec<EndpointSlack> {
+pub fn hold_slacks(
+    design: &MappedDesign,
+    library: &Library,
+    constraints: &Constraints,
+) -> Vec<EndpointSlack> {
     let min_arr = min_arrivals(design, library, constraints);
     let mut endpoints = Vec::new();
     for (gi, gate) in design.netlist.gates.iter().enumerate() {
@@ -494,9 +506,9 @@ fn apply_exceptions(endpoints: &mut Vec<EndpointSlack>, constraints: &Constraint
         return;
     }
     endpoints.retain(|ep| {
-        !constraints.exceptions.iter().any(|e| {
-            matches!(e, TimingException::FalseTo(p) if ep.endpoint.starts_with(p.as_str()))
-        })
+        !constraints.exceptions.iter().any(
+            |e| matches!(e, TimingException::FalseTo(p) if ep.endpoint.starts_with(p.as_str())),
+        )
     });
     for ep in endpoints.iter_mut() {
         for e in &constraints.exceptions {
@@ -553,9 +565,7 @@ fn comb_topo(design: &MappedDesign, driver: &[Option<usize>]) -> Vec<usize> {
     }
     let mut queue: Vec<usize> = (0..n)
         .filter(|&gi| {
-            !design.is_dead(gi)
-                && !design.netlist.gates[gi].kind.is_sequential()
-                && indeg[gi] == 0
+            !design.is_dead(gi) && !design.netlist.gates[gi].kind.is_sequential() && indeg[gi] == 0
         })
         .collect();
     let mut order = Vec::with_capacity(queue.len());
@@ -572,11 +582,8 @@ fn comb_topo(design: &MappedDesign, driver: &[Option<usize>]) -> Vec<usize> {
         }
     }
     // Append any cycle remnants deterministically.
-    for gi in 0..n {
-        if !design.is_dead(gi)
-            && !design.netlist.gates[gi].kind.is_sequential()
-            && indeg[gi] > 0
-        {
+    for (gi, &deg) in indeg.iter().enumerate().take(n) {
+        if !design.is_dead(gi) && !design.netlist.gates[gi].kind.is_sequential() && deg > 0 {
             order.push(gi);
         }
     }
@@ -603,12 +610,7 @@ fn trace_path(
         }
     }
     if net.is_none() {
-        net = design
-            .netlist
-            .outputs
-            .iter()
-            .find(|(n, _)| *n == worst.endpoint)
-            .map(|(_, id)| *id);
+        net = design.netlist.outputs.iter().find(|(n, _)| *n == worst.endpoint).map(|(_, id)| *id);
     }
     let mut steps = Vec::new();
     let mut guard = 0;
@@ -775,7 +777,8 @@ mod tests {
             "f",
         );
         let lib = nangate45();
-        let heavy = analyze(&d, &lib, &Constraints { wire_load: Some("5K_heavy_1k".into()), ..cons(1.0) });
+        let heavy =
+            analyze(&d, &lib, &Constraints { wire_load: Some("5K_heavy_1k".into()), ..cons(1.0) });
         let ideal = analyze(&d, &lib, &Constraints { wire_load: None, ..cons(1.0) });
         assert!(heavy.cps < ideal.cps, "heavy {} vs ideal {}", heavy.cps, ideal.cps);
     }

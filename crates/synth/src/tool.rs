@@ -10,8 +10,7 @@
 
 use crate::design::MappedDesign;
 use crate::passes::{
-    buffer_high_fanout, compile, fix_hold, insert_clock_gating, retime, sweep, ungroup_all,
-    Effort,
+    buffer_high_fanout, compile, fix_hold, insert_clock_gating, retime, sweep, ungroup_all, Effort,
 };
 use crate::script::{parse_script, Command};
 use crate::sta::{analyze, qor, Constraints, QorReport, TimingReport};
@@ -252,6 +251,278 @@ pub fn known_commands() -> Vec<&'static str> {
     command_manual().iter().map(|e| e.name).collect()
 }
 
+/// Commands [`SynthSession::run_script`] accepts but the manual does not
+/// document: Tcl housekeeping and flow aliases treated as no-ops.
+pub fn accepted_aliases() -> &'static [&'static str] {
+    &["analyze", "elaborate", "echo", "set", "lappend", "exit", "quit"]
+}
+
+/// Every command name [`SynthSession::run_script`] accepts (manual entries
+/// plus the no-op aliases).
+pub fn accepted_commands() -> Vec<&'static str> {
+    let mut names = known_commands();
+    names.extend_from_slice(accepted_aliases());
+    names
+}
+
+/// What kind of value an option or positional argument takes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ValueKind {
+    /// Bare flag, no value (`-incremental`).
+    Flag,
+    /// Any number (`-period 2.0`).
+    Number,
+    /// Positive integer (`-max_fanout 16`).
+    PositiveInt,
+    /// One of a fixed set of words (`-map_effort low|medium|high`).
+    Enum(&'static [&'static str]),
+    /// Any word (`-name 5K_heavy_1k`).
+    Word,
+}
+
+/// One option a command understands.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct OptionSpec {
+    /// The flag, dash included (`"-period"`).
+    pub flag: &'static str,
+    /// Value the flag takes ([`ValueKind::Flag`] = none).
+    pub value: ValueKind,
+    /// Whether the command is invalid without this option.
+    pub required: bool,
+}
+
+/// One positional argument a command expects.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PositionalSpec {
+    /// Value kind expected at this position.
+    pub value: ValueKind,
+    /// Whether the command is invalid without it.
+    pub required: bool,
+}
+
+/// Machine-checkable argument grammar for one command — the structured
+/// counterpart of [`ManualEntry`], consumed by the `chatls-lint` analyzer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CommandSpec {
+    /// Command name.
+    pub name: &'static str,
+    /// Options the command understands.
+    pub options: &'static [OptionSpec],
+    /// Positional arguments, in order. Extra positionals and bracket
+    /// selectors (`[all_inputs]`) beyond these are always tolerated, as the
+    /// tool tolerates them.
+    pub positional: &'static [PositionalSpec],
+    /// At least one of these flags must be present (empty = no constraint).
+    /// For `set_false_path`, a `[get_ports …]` selector also satisfies it,
+    /// mirroring [`SynthSession::run_script`].
+    pub requires_any: &'static [&'static str],
+}
+
+const EFFORTS: &[&str] = &["low", "medium", "high"];
+const NO_OPTS: &[OptionSpec] = &[];
+const NO_POS: &[PositionalSpec] = &[];
+const NONE_REQ: &[&str] = &[];
+const NUM_POS: &[PositionalSpec] = &[PositionalSpec { value: ValueKind::Number, required: true }];
+
+/// The argument grammar of every documented command.
+///
+/// Kept in lockstep with [`SynthSession::run_script`]: anything this table
+/// calls an error is rejected (or silently misread) by the interpreter, and
+/// anything the interpreter accepts passes the table.
+pub fn command_specs() -> &'static [CommandSpec] {
+    macro_rules! opt {
+        ($flag:literal, $value:expr) => {
+            OptionSpec { flag: $flag, value: $value, required: false }
+        };
+        ($flag:literal, $value:expr, required) => {
+            OptionSpec { flag: $flag, value: $value, required: true }
+        };
+    }
+    &[
+        CommandSpec {
+            name: "read_verilog",
+            options: NO_OPTS,
+            positional: &[PositionalSpec { value: ValueKind::Word, required: false }],
+            requires_any: NONE_REQ,
+        },
+        CommandSpec {
+            name: "current_design",
+            options: NO_OPTS,
+            positional: &[PositionalSpec { value: ValueKind::Word, required: false }],
+            requires_any: NONE_REQ,
+        },
+        CommandSpec { name: "link", options: NO_OPTS, positional: NO_POS, requires_any: NONE_REQ },
+        CommandSpec {
+            name: "check_design",
+            options: NO_OPTS,
+            positional: NO_POS,
+            requires_any: NONE_REQ,
+        },
+        CommandSpec {
+            name: "create_clock",
+            options: &[
+                opt!("-period", ValueKind::Number, required),
+                opt!("-name", ValueKind::Word),
+            ],
+            positional: NO_POS,
+            requires_any: NONE_REQ,
+        },
+        CommandSpec {
+            name: "set_input_delay",
+            options: &[opt!("-clock", ValueKind::Word)],
+            positional: NUM_POS,
+            requires_any: NONE_REQ,
+        },
+        CommandSpec {
+            name: "set_output_delay",
+            options: &[opt!("-clock", ValueKind::Word)],
+            positional: NUM_POS,
+            requires_any: NONE_REQ,
+        },
+        CommandSpec {
+            name: "set_wire_load_model",
+            options: &[opt!("-name", ValueKind::Word, required)],
+            positional: NO_POS,
+            requires_any: NONE_REQ,
+        },
+        CommandSpec {
+            name: "set_driving_cell",
+            options: &[opt!("-lib_cell", ValueKind::Word, required)],
+            positional: NO_POS,
+            requires_any: NONE_REQ,
+        },
+        CommandSpec {
+            name: "set_max_area",
+            options: NO_OPTS,
+            positional: NUM_POS,
+            requires_any: NONE_REQ,
+        },
+        CommandSpec {
+            name: "set_critical_range",
+            options: NO_OPTS,
+            positional: NUM_POS,
+            requires_any: NONE_REQ,
+        },
+        CommandSpec {
+            name: "set_max_fanout",
+            options: NO_OPTS,
+            positional: &[PositionalSpec { value: ValueKind::PositiveInt, required: true }],
+            requires_any: NONE_REQ,
+        },
+        CommandSpec {
+            name: "compile",
+            options: &[
+                opt!("-map_effort", ValueKind::Enum(EFFORTS)),
+                opt!("-incremental", ValueKind::Flag),
+            ],
+            positional: NO_POS,
+            requires_any: NONE_REQ,
+        },
+        CommandSpec {
+            name: "compile_ultra",
+            options: &[
+                opt!("-incremental", ValueKind::Flag),
+                opt!("-no_autoungroup", ValueKind::Flag),
+                opt!("-retime", ValueKind::Flag),
+            ],
+            positional: NO_POS,
+            requires_any: NONE_REQ,
+        },
+        CommandSpec {
+            name: "optimize_registers",
+            options: NO_OPTS,
+            positional: NO_POS,
+            requires_any: NONE_REQ,
+        },
+        CommandSpec {
+            name: "balance_buffers",
+            options: &[opt!("-max_fanout", ValueKind::PositiveInt)],
+            positional: NO_POS,
+            requires_any: NONE_REQ,
+        },
+        CommandSpec {
+            name: "ungroup",
+            options: &[opt!("-all", ValueKind::Flag), opt!("-flatten", ValueKind::Flag)],
+            positional: NO_POS,
+            requires_any: &["-all"],
+        },
+        CommandSpec {
+            name: "set_clock_gating_style",
+            options: &[opt!("-sequential_cell", ValueKind::Word)],
+            positional: NO_POS,
+            requires_any: NONE_REQ,
+        },
+        CommandSpec {
+            name: "insert_clock_gating",
+            options: &[opt!("-global", ValueKind::Flag)],
+            positional: NO_POS,
+            requires_any: NONE_REQ,
+        },
+        CommandSpec {
+            name: "report_timing",
+            options: &[opt!("-max_paths", ValueKind::PositiveInt)],
+            positional: NO_POS,
+            requires_any: NONE_REQ,
+        },
+        CommandSpec {
+            name: "report_area",
+            options: NO_OPTS,
+            positional: NO_POS,
+            requires_any: NONE_REQ,
+        },
+        CommandSpec {
+            name: "report_qor",
+            options: NO_OPTS,
+            positional: NO_POS,
+            requires_any: NONE_REQ,
+        },
+        CommandSpec {
+            name: "write",
+            options: &[
+                opt!("-format", ValueKind::Enum(&["verilog"])),
+                opt!("-output", ValueKind::Word),
+            ],
+            positional: NO_POS,
+            requires_any: NONE_REQ,
+        },
+        CommandSpec {
+            name: "set_false_path",
+            options: &[opt!("-from", ValueKind::Word), opt!("-to", ValueKind::Word)],
+            positional: NO_POS,
+            requires_any: &["-from", "-to"],
+        },
+        CommandSpec {
+            name: "set_multicycle_path",
+            options: &[opt!("-to", ValueKind::Word, required)],
+            positional: &[PositionalSpec { value: ValueKind::PositiveInt, required: true }],
+            requires_any: NONE_REQ,
+        },
+        CommandSpec {
+            name: "report_power",
+            options: NO_OPTS,
+            positional: NO_POS,
+            requires_any: NONE_REQ,
+        },
+        CommandSpec {
+            name: "report_hold",
+            options: NO_OPTS,
+            positional: NO_POS,
+            requires_any: NONE_REQ,
+        },
+        CommandSpec {
+            name: "set_fix_hold",
+            options: NO_OPTS,
+            positional: &[PositionalSpec { value: ValueKind::Word, required: false }],
+            requires_any: NONE_REQ,
+        },
+    ]
+}
+
+/// The [`CommandSpec`] for a command name, if it is documented.
+pub fn command_spec(name: &str) -> Option<&'static CommandSpec> {
+    command_specs().iter().find(|s| s.name == name)
+}
+
 /// A scripted synthesis session over one design.
 #[derive(Debug, Clone)]
 pub struct SynthSession {
@@ -355,7 +626,12 @@ impl SynthSession {
         ScriptError { line: cmd.line, command: cmd.name.clone(), message: message.into() }
     }
 
-    fn require_f64(&self, cmd: &Command, value: Option<&str>, what: &str) -> Result<f64, ScriptError> {
+    fn require_f64(
+        &self,
+        cmd: &Command,
+        value: Option<&str>,
+        what: &str,
+    ) -> Result<f64, ScriptError> {
         value
             .and_then(|v| v.parse::<f64>().ok())
             .ok_or_else(|| self.err(cmd, format!("{what} must be a number")))
@@ -368,19 +644,16 @@ impl SynthSession {
                 self.log.push(format!("(info) {} accepted", cmd.name));
                 Ok(())
             }
-            "write" => {
-                match cmd.option("-format") {
-                    None | Some("verilog") => {
-                        let text =
-                            crate::netlist_out::write_verilog(&self.design, &self.library);
-                        self.log
-                            .push(format!("write: netlist generated ({} lines)", text.lines().count()));
-                        self.last_netlist = Some(text);
-                        Ok(())
-                    }
-                    Some(other) => Err(self.err(cmd, format!("unsupported -format '{other}'"))),
+            "write" => match cmd.option("-format") {
+                None | Some("verilog") => {
+                    let text = crate::netlist_out::write_verilog(&self.design, &self.library);
+                    self.log
+                        .push(format!("write: netlist generated ({} lines)", text.lines().count()));
+                    self.last_netlist = Some(text);
+                    Ok(())
                 }
-            }
+                Some(other) => Err(self.err(cmd, format!("unsupported -format '{other}'"))),
+            },
             "report_power" => {
                 let report = crate::power::estimate_power(
                     &self.design,
@@ -393,7 +666,8 @@ impl SynthSession {
                 Ok(())
             }
             "report_hold" => {
-                let slacks = crate::sta::hold_slacks(&self.design, &self.library, &self.constraints);
+                let slacks =
+                    crate::sta::hold_slacks(&self.design, &self.library, &self.constraints);
                 let worst = slacks.first().map(|e| e.slack).unwrap_or(f64::INFINITY);
                 let violating = slacks.iter().filter(|e| e.slack < 0.0).count();
                 self.log.push(format!(
@@ -459,12 +733,8 @@ impl SynthSession {
                     .library
                     .cell(name)
                     .ok_or_else(|| self.err(cmd, format!("cell '{name}' not in library")))?;
-                self.constraints.input_drive_resistance = cell
-                    .output_pin()
-                    .timing
-                    .first()
-                    .map(|a| a.drive_resistance)
-                    .unwrap_or(0.004);
+                self.constraints.input_drive_resistance =
+                    cell.output_pin().timing.first().map(|a| a.drive_resistance).unwrap_or(0.004);
                 Ok(())
             }
             "set_max_area" => {
@@ -495,7 +765,9 @@ impl SynthSession {
             }
             "compile" => {
                 if !self.clock_defined {
-                    self.log.push("(warning) compile without create_clock; using default period".into());
+                    self.log.push(
+                        "(warning) compile without create_clock; using default period".into(),
+                    );
                 }
                 let effort = match cmd.option("-map_effort") {
                     None => Effort::Medium,
@@ -515,7 +787,9 @@ impl SynthSession {
             }
             "compile_ultra" => {
                 if !self.clock_defined {
-                    self.log.push("(warning) compile_ultra without create_clock; using default period".into());
+                    self.log.push(
+                        "(warning) compile_ultra without create_clock; using default period".into(),
+                    );
                 }
                 if !cmd.has_flag("-no_autoungroup") {
                     ungroup_all(&mut self.design);
@@ -556,15 +830,11 @@ impl SynthSession {
                 if regs == 0 {
                     return Err(self.err(cmd, "design has no registers to retime"));
                 }
-                let stats = retime(
-                    &mut self.design,
-                    &self.library,
-                    &self.constraints,
-                    self.ungrouped,
-                    64,
-                );
+                let stats =
+                    retime(&mut self.design, &self.library, &self.constraints, self.ungrouped, 64);
                 // Retiming leaves new register inputs unsized; clean up.
-                let stats2 = compile(&mut self.design, &self.library, &self.constraints, Effort::Medium);
+                let stats2 =
+                    compile(&mut self.design, &self.library, &self.constraints, Effort::Medium);
                 self.log.push(format!(
                     "optimize_registers: moved {} registers (resized {})",
                     stats.added,
@@ -573,14 +843,13 @@ impl SynthSession {
                 Ok(())
             }
             "balance_buffers" => {
-                let limit = match cmd.option("-max_fanout") {
-                    Some(v) => v
-                        .parse::<usize>()
-                        .ok()
-                        .filter(|&v| v > 0)
-                        .ok_or_else(|| self.err(cmd, "-max_fanout must be a positive integer"))?,
-                    None => self.max_fanout.unwrap_or(12),
-                };
+                let limit =
+                    match cmd.option("-max_fanout") {
+                        Some(v) => v.parse::<usize>().ok().filter(|&v| v > 0).ok_or_else(|| {
+                            self.err(cmd, "-max_fanout must be a positive integer")
+                        })?,
+                        None => self.max_fanout.unwrap_or(12),
+                    };
                 // Like the real command, buffering is QoR-driven: a tree
                 // that slows the clock down is not committed.
                 let snapshot = self.design.clone();
@@ -610,8 +879,9 @@ impl SynthSession {
             }
             "insert_clock_gating" => {
                 if !self.gating_style_set {
-                    self.log
-                        .push("(warning) insert_clock_gating without set_clock_gating_style".into());
+                    self.log.push(
+                        "(warning) insert_clock_gating without set_clock_gating_style".into(),
+                    );
                 }
                 let stats = insert_clock_gating(&mut self.design);
                 sweep(&mut self.design);
@@ -628,14 +898,10 @@ impl SynthSession {
                     return Err(self.err(cmd, "need -from or -to"));
                 }
                 if let Some(f) = from {
-                    self.constraints
-                        .exceptions
-                        .push(crate::sta::TimingException::FalseFrom(f));
+                    self.constraints.exceptions.push(crate::sta::TimingException::FalseFrom(f));
                 }
                 if let Some(t) = to {
-                    self.constraints
-                        .exceptions
-                        .push(crate::sta::TimingException::FalseTo(t));
+                    self.constraints.exceptions.push(crate::sta::TimingException::FalseTo(t));
                 }
                 Ok(())
             }
@@ -646,9 +912,8 @@ impl SynthSession {
                     .and_then(|v| v.parse::<u32>().ok())
                     .filter(|&n| n >= 1)
                     .ok_or_else(|| self.err(cmd, "multiplier must be a positive integer"))?;
-                let to = cmd
-                    .option("-to")
-                    .ok_or_else(|| self.err(cmd, "-to <endpoint> is required"))?;
+                let to =
+                    cmd.option("-to").ok_or_else(|| self.err(cmd, "-to <endpoint> is required"))?;
                 self.constraints
                     .exceptions
                     .push(crate::sta::TimingException::MulticycleTo(to.to_string(), n));
@@ -682,10 +947,9 @@ impl SynthSession {
                 self.log.push(q.to_string());
                 Ok(())
             }
-            unknown => Err(self.err(
-                cmd,
-                format!("unknown command '{unknown}' (not in the tool manual)"),
-            )),
+            unknown => {
+                Err(self.err(cmd, format!("unknown command '{unknown}' (not in the tool manual)")))
+            }
         }
     }
 }
@@ -739,7 +1003,8 @@ mod tests {
     #[test]
     fn invalid_option_value_is_an_error() {
         let mut s = session(PIPE, "pipe");
-        let r = s.run_script("create_clock -period 1.0 [get_ports clk]\ncompile -map_effort extreme");
+        let r =
+            s.run_script("create_clock -period 1.0 [get_ports clk]\ncompile -map_effort extreme");
         assert!(!r.ok());
         assert!(r.error.unwrap().message.contains("map_effort"));
     }
@@ -758,19 +1023,12 @@ mod tests {
             s.run_script(script)
         };
         let base = run("create_clock -period 0.45 [get_ports clk]\ncompile");
-        let tuned = run(
-            "create_clock -period 0.45 [get_ports clk]
+        let tuned = run("create_clock -period 0.45 [get_ports clk]
              compile
              optimize_registers
-             compile -map_effort high",
-        );
+             compile -map_effort high");
         assert!(base.ok() && tuned.ok());
-        assert!(
-            tuned.qor.cps > base.qor.cps,
-            "retimed {} vs base {}",
-            tuned.qor.cps,
-            base.qor.cps
-        );
+        assert!(tuned.qor.cps > base.qor.cps, "retimed {} vs base {}", tuned.qor.cps, base.qor.cps);
     }
 
     #[test]
@@ -783,12 +1041,10 @@ mod tests {
             s.run_script(script)
         };
         let base = run("create_clock -period 2.0 [get_ports clk]\ncompile");
-        let gated = run(
-            "create_clock -period 2.0 [get_ports clk]
+        let gated = run("create_clock -period 2.0 [get_ports clk]
              set_clock_gating_style -sequential_cell latch
              insert_clock_gating
-             compile",
-        );
+             compile");
         assert!(base.ok() && gated.ok());
         assert!(gated.qor.area < base.qor.area, "{} vs {}", gated.qor.area, base.qor.area);
     }
@@ -812,6 +1068,24 @@ mod tests {
         for entry in command_manual() {
             assert!(!entry.description.is_empty());
             assert!(!entry.synopsis.is_empty());
+        }
+    }
+
+    #[test]
+    fn specs_cover_exactly_the_manual() {
+        let manual: Vec<&str> = known_commands();
+        let specs: Vec<&str> = command_specs().iter().map(|s| s.name).collect();
+        for name in &manual {
+            assert!(specs.contains(name), "no CommandSpec for manual entry {name}");
+        }
+        for name in &specs {
+            assert!(manual.contains(name), "spec {name} has no manual entry");
+        }
+        assert!(command_spec("compile").is_some());
+        assert!(command_spec("no_such_command").is_none());
+        for alias in accepted_aliases() {
+            assert!(accepted_commands().contains(alias));
+            assert!(!manual.contains(alias), "alias {alias} should stay undocumented");
         }
     }
 
@@ -874,11 +1148,7 @@ report_hold",
         );
         assert!(r.ok(), "{:?}", r.error);
         let hold = crate::sta::hold_slacks(s.design(), s.library(), s.constraints());
-        assert!(
-            hold.iter().all(|e| e.slack >= 0.0),
-            "violations remain: {:?}",
-            hold.first()
-        );
+        assert!(hold.iter().all(|e| e.slack >= 0.0), "violations remain: {:?}", hold.first());
     }
 
     #[test]
@@ -910,8 +1180,10 @@ report_hold",
     #[test]
     fn multicycle_path_relaxes_endpoints() {
         let mut s = session(PIPE, "pipe");
-        let tight = s.run_script("create_clock -period 0.4 [get_ports clk]
-compile");
+        let tight = s.run_script(
+            "create_clock -period 0.4 [get_ports clk]
+compile",
+        );
         assert!(tight.qor.wns < 0.0, "needs a violation to relax");
         let mut s2 = session(PIPE, "pipe");
         let relaxed = s2.run_script(

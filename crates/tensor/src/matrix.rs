@@ -168,11 +168,7 @@ impl Matrix {
 
     /// Applies `f` to every element, returning a new matrix.
     pub fn map(&self, f: impl Fn(f32) -> f32) -> Matrix {
-        Matrix {
-            rows: self.rows,
-            cols: self.cols,
-            data: self.data.iter().map(|&x| f(x)).collect(),
-        }
+        Matrix { rows: self.rows, cols: self.cols, data: self.data.iter().map(|&x| f(x)).collect() }
     }
 
     /// Applies `f` to every element in place.
@@ -197,11 +193,7 @@ impl Matrix {
     ///
     /// Panics if the shapes differ.
     pub fn zip_with(&self, other: &Matrix, f: impl Fn(f32, f32) -> f32) -> Matrix {
-        assert_eq!(
-            (self.rows, self.cols),
-            (other.rows, other.cols),
-            "zip_with: shape mismatch"
-        );
+        assert_eq!((self.rows, self.cols), (other.rows, other.cols), "zip_with: shape mismatch");
         Matrix {
             rows: self.rows,
             cols: self.cols,
@@ -215,11 +207,7 @@ impl Matrix {
     ///
     /// Panics if the shapes differ.
     pub fn axpy(&mut self, alpha: f32, other: &Matrix) {
-        assert_eq!(
-            (self.rows, self.cols),
-            (other.rows, other.cols),
-            "axpy: shape mismatch"
-        );
+        assert_eq!((self.rows, self.cols), (other.rows, other.cols), "axpy: shape mismatch");
         for (a, &b) in self.data.iter_mut().zip(&other.data) {
             *a += alpha * b;
         }

@@ -204,18 +204,13 @@ impl DocIndex {
     ///
     /// Panics if [`DocIndex::build`] has not been called since the last add.
     pub fn search(&self, query: &str, k: usize) -> Vec<(&str, &str, f32)> {
-        let embedder = self
-            .embedder
-            .as_ref()
-            .expect("DocIndex::search called before build()");
+        let embedder = self.embedder.as_ref().expect("DocIndex::search called before build()");
         let q = embedder.embed(query);
-        let mut scored: Vec<(usize, f32)> = self
-            .vectors
-            .iter()
-            .enumerate()
-            .map(|(i, v)| (i, cosine(&q, v)))
-            .collect();
-        scored.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal).then(a.0.cmp(&b.0)));
+        let mut scored: Vec<(usize, f32)> =
+            self.vectors.iter().enumerate().map(|(i, v)| (i, cosine(&q, v))).collect();
+        scored.sort_by(|a, b| {
+            b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal).then(a.0.cmp(&b.0))
+        });
         scored
             .into_iter()
             .take(k)
@@ -230,7 +225,10 @@ mod tests {
 
     #[test]
     fn tokenizer_keeps_underscores() {
-        assert_eq!(tokenize("run compile_ultra -incremental!"), vec!["run", "compile_ultra", "incremental"]);
+        assert_eq!(
+            tokenize("run compile_ultra -incremental!"),
+            vec!["run", "compile_ultra", "incremental"]
+        );
     }
 
     #[test]
@@ -282,7 +280,10 @@ mod tests {
     #[test]
     fn doc_index_ranks_relevant_first() {
         let mut idx = DocIndex::new(256);
-        idx.add("retime", "retime moves registers across combinational logic to balance stage delays");
+        idx.add(
+            "retime",
+            "retime moves registers across combinational logic to balance stage delays",
+        );
         idx.add("buffer", "insert buffers to split high fanout nets and reduce load");
         idx.add("area", "area recovery downsizes gates off the critical path");
         idx.build();
@@ -314,8 +315,10 @@ mod tests {
             idx.add(format!("d{i}"), format!("shared words plus token{i}"));
         }
         idx.build();
-        let a: Vec<String> = idx.search("shared words", 10).iter().map(|h| h.0.to_string()).collect();
-        let b: Vec<String> = idx.search("shared words", 10).iter().map(|h| h.0.to_string()).collect();
+        let a: Vec<String> =
+            idx.search("shared words", 10).iter().map(|h| h.0.to_string()).collect();
+        let b: Vec<String> =
+            idx.search("shared words", 10).iter().map(|h| h.0.to_string()).collect();
         assert_eq!(a, b);
     }
 

@@ -164,10 +164,7 @@ impl FlatIndex {
 /// Sorts hits best-first with deterministic id tie-breaking.
 pub(crate) fn sort_hits(hits: &mut [Hit]) {
     hits.sort_by(|a, b| {
-        b.score
-            .partial_cmp(&a.score)
-            .unwrap_or(std::cmp::Ordering::Equal)
-            .then(a.id.cmp(&b.id))
+        b.score.partial_cmp(&a.score).unwrap_or(std::cmp::Ordering::Equal).then(a.id.cmp(&b.id))
     });
 }
 
@@ -189,7 +186,12 @@ pub(crate) fn sort_hits(hits: &mut [Hit]) {
 /// let ranked = rerank(&hits, |id| if id == 2 { 1.0 } else { 0.0 }, 1.0, 0.5);
 /// assert_eq!(ranked[0].id, 2);
 /// ```
-pub fn rerank(hits: &[Hit], characteristics: impl Fn(u64) -> f32, alpha: f32, beta: f32) -> Vec<Hit> {
+pub fn rerank(
+    hits: &[Hit],
+    characteristics: impl Fn(u64) -> f32,
+    alpha: f32,
+    beta: f32,
+) -> Vec<Hit> {
     let mut out: Vec<Hit> = hits
         .iter()
         .map(|h| Hit { id: h.id, score: alpha * h.score + beta * characteristics(h.id) })

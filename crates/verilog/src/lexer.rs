@@ -130,7 +130,11 @@ pub fn lex(src: &str) -> Result<Vec<Spanned>, ParseVerilogError> {
                 }
             }
             let text = &src[start..i];
-            out.push(Spanned { token: Token::Ident(text.trim_start_matches('\\').to_string()), line, col });
+            out.push(Spanned {
+                token: Token::Ident(text.trim_start_matches('\\').to_string()),
+                line,
+                col,
+            });
             col += (i - start) as u32;
             continue;
         }
@@ -140,9 +144,9 @@ pub fn lex(src: &str) -> Result<Vec<Spanned>, ParseVerilogError> {
             while i < bytes.len() && (bytes[i] as char).is_ascii_digit() {
                 i += 1;
             }
-            let dec: u64 = src[start..i]
-                .parse()
-                .map_err(|_| err(line, col, format!("integer literal too large: {}", &src[start..i])))?;
+            let dec: u64 = src[start..i].parse().map_err(|_| {
+                err(line, col, format!("integer literal too large: {}", &src[start..i]))
+            })?;
             // Check for a base specifier.
             let mut j = i;
             while j < bytes.len() && (bytes[j] as char) == ' ' {
@@ -179,8 +183,9 @@ pub fn lex(src: &str) -> Result<Vec<Spanned>, ParseVerilogError> {
                 if digits.is_empty() {
                     return Err(err(line, col, "sized literal missing digits".into()));
                 }
-                let value = u64::from_str_radix(&digits, radix)
-                    .map_err(|_| err(line, col, format!("invalid digits '{digits}' for base {radix}")))?;
+                let value = u64::from_str_radix(&digits, radix).map_err(|_| {
+                    err(line, col, format!("invalid digits '{digits}' for base {radix}"))
+                })?;
                 let masked = if width == 64 { value } else { value & ((1u64 << width) - 1) };
                 out.push(Spanned { token: Token::SizedNumber(width, masked), line, col });
                 col += (j - start) as u32;
@@ -240,12 +245,18 @@ mod tests {
 
     #[test]
     fn line_comments_skipped() {
-        assert_eq!(toks("a // comment\nb"), vec![Token::Ident("a".into()), Token::Ident("b".into())]);
+        assert_eq!(
+            toks("a // comment\nb"),
+            vec![Token::Ident("a".into()), Token::Ident("b".into())]
+        );
     }
 
     #[test]
     fn block_comments_skipped() {
-        assert_eq!(toks("a /* x\ny */ b"), vec![Token::Ident("a".into()), Token::Ident("b".into())]);
+        assert_eq!(
+            toks("a /* x\ny */ b"),
+            vec![Token::Ident("a".into()), Token::Ident("b".into())]
+        );
     }
 
     #[test]

@@ -43,17 +43,9 @@ use std::collections::HashMap;
 /// # }
 /// ```
 pub fn lower_to_netlist(sf: &SourceFile, top: &str) -> Result<Netlist, ElaborateError> {
-    let mut lw = Lowerer {
-        sf,
-        nl: Netlist::new(top),
-        const0: None,
-        const1: None,
-        fresh: 0,
-        depth: 0,
-    };
-    let module = sf
-        .module(top)
-        .ok_or_else(|| err(top, format!("top module '{top}' not found")))?;
+    let mut lw =
+        Lowerer { sf, nl: Netlist::new(top), const0: None, const1: None, fresh: 0, depth: 0 };
+    let module = sf.module(top).ok_or_else(|| err(top, format!("top module '{top}' not found")))?;
 
     let mut ctx = ModuleCtx {
         module_name: top.to_string(),
@@ -84,9 +76,7 @@ pub fn lower_to_netlist(sf: &SourceFile, top: &str) -> Result<Netlist, Elaborate
         }
     }
     lw.lower_module_body(module, &mut ctx)?;
-    lw.nl
-        .check()
-        .map_err(|m| err(top, format!("lowered netlist failed check: {m}")))?;
+    lw.nl.check().map_err(|m| err(top, format!("lowered netlist failed check: {m}")))?;
     Ok(lw.nl)
 }
 
@@ -461,7 +451,11 @@ impl<'a> Lowerer<'a> {
         Ok(())
     }
 
-    fn lower_instance(&mut self, inst: &Instance, ctx: &mut ModuleCtx) -> Result<(), ElaborateError> {
+    fn lower_instance(
+        &mut self,
+        inst: &Instance,
+        ctx: &mut ModuleCtx,
+    ) -> Result<(), ElaborateError> {
         if self.depth >= MAX_DEPTH {
             return Err(err(
                 &ctx.module_name,
@@ -518,7 +512,9 @@ impl<'a> Lowerer<'a> {
                             b
                         }
                         _ => (0..width)
-                            .map(|i| self.nl.add_net(format!("{}/{}_nc[{i}]", child_ctx.path, port.name)))
+                            .map(|i| {
+                                self.nl.add_net(format!("{}/{}_nc[{i}]", child_ctx.path, port.name))
+                            })
                             .collect(),
                     };
                     child_ctx.signals.insert(port.name.clone(), SignalBits { lsb, bits });
@@ -585,7 +581,8 @@ impl<'a> Lowerer<'a> {
                 for (labels, body) in arms.iter().rev() {
                     let mut match_any: Option<NetId> = None;
                     for label in labels {
-                        let lval = self.lower_expr(label, scrut.len(), frozen.unwrap_or(env), ctx)?;
+                        let lval =
+                            self.lower_expr(label, scrut.len(), frozen.unwrap_or(env), ctx)?;
                         let eq = self.equality(&scrut, &lval, &ctx.path);
                         match_any = Some(match match_any {
                             None => eq,
@@ -669,9 +666,17 @@ impl<'a> Lowerer<'a> {
     }
 
     /// Muxes every signal that differs between the two branch environments.
-    fn merge_envs(&mut self, cond: NetId, then_env: Env, else_env: Env, out: &mut Env, ctx: &ModuleCtx) {
+    fn merge_envs(
+        &mut self,
+        cond: NetId,
+        then_env: Env,
+        else_env: Env,
+        out: &mut Env,
+        ctx: &ModuleCtx,
+    ) {
         let path = ctx.path.clone();
-        let mut keys: Vec<String> = then_env.values.keys().chain(else_env.values.keys()).cloned().collect();
+        let mut keys: Vec<String> =
+            then_env.values.keys().chain(else_env.values.keys()).cloned().collect();
         keys.sort();
         keys.dedup();
         for key in keys {
@@ -727,13 +732,11 @@ impl<'a> Lowerer<'a> {
                 | BinaryOp::LogicalAnd
                 | BinaryOp::LogicalOr => 1,
                 BinaryOp::Shl | BinaryOp::Shr => self.natural_width(lhs, env, ctx),
-                _ => self
-                    .natural_width(lhs, env, ctx)
-                    .max(self.natural_width(rhs, env, ctx)),
+                _ => self.natural_width(lhs, env, ctx).max(self.natural_width(rhs, env, ctx)),
             },
-            Expr::Ternary { then_expr, else_expr, .. } => self
-                .natural_width(then_expr, env, ctx)
-                .max(self.natural_width(else_expr, env, ctx)),
+            Expr::Ternary { then_expr, else_expr, .. } => {
+                self.natural_width(then_expr, env, ctx).max(self.natural_width(else_expr, env, ctx))
+            }
             Expr::Concat(parts) => parts.iter().map(|p| self.natural_width(p, env, ctx)).sum(),
             Expr::Repeat { count, expr } => {
                 let c = self.const_eval(count, ctx).unwrap_or(1) as usize;
@@ -788,9 +791,10 @@ impl<'a> Lowerer<'a> {
                 Err(fail(format!("use of undeclared signal '{name}'")))
             }
             Expr::Literal { value, width } => {
-                let w = width.map(|w| w as usize).unwrap_or(hint.max(1)).max(
-                    (64 - value.leading_zeros()).max(1) as usize,
-                );
+                let w = width
+                    .map(|w| w as usize)
+                    .unwrap_or(hint.max(1))
+                    .max((64 - value.leading_zeros()).max(1) as usize);
                 Ok(self.literal_bits(*value, w))
             }
             Expr::BitSelect { base, index } => {
@@ -806,7 +810,9 @@ impl<'a> Lowerer<'a> {
                     let pos = idx
                         .checked_sub(lsb)
                         .and_then(|p| bits.get(p as usize).copied())
-                        .ok_or_else(|| fail(format!("bit index {idx} out of range for '{name}'")))?;
+                        .ok_or_else(|| {
+                            fail(format!("bit index {idx} out of range for '{name}'"))
+                        })?;
                     Ok(vec![pos])
                 } else {
                     // Dynamic bit select: mux tree over the index.
@@ -839,42 +845,40 @@ impl<'a> Lowerer<'a> {
                 }
                 Ok(bits[lo..=hi].to_vec())
             }
-            Expr::Unary { op, operand } => {
-                match op {
-                    UnaryOp::Not => {
-                        let nat = self.natural_width(operand, env, ctx).max(hint);
-                        let bits = self.lower_expr(operand, nat, env, ctx)?;
-                        Ok(bits.iter().map(|&b| self.not(b, &path)).collect())
-                    }
-                    UnaryOp::Neg => {
-                        let nat = self.natural_width(operand, env, ctx).max(hint);
-                        let bits = self.lower_expr(operand, nat, env, ctx)?;
-                        let zero = vec![self.const_bit(false); nat];
-                        Ok(self.subtract(&zero, &bits, &path))
-                    }
-                    UnaryOp::LogicalNot => {
-                        let nat = self.natural_width(operand, env, ctx);
-                        let bits = self.lower_expr(operand, nat, env, ctx)?;
-                        let any = self.reduce_or(&bits, &path);
-                        Ok(vec![self.not(any, &path)])
-                    }
-                    UnaryOp::ReduceAnd => {
-                        let nat = self.natural_width(operand, env, ctx);
-                        let bits = self.lower_expr(operand, nat, env, ctx)?;
-                        Ok(vec![self.reduce(&bits, GateKind::And, &path)])
-                    }
-                    UnaryOp::ReduceOr => {
-                        let nat = self.natural_width(operand, env, ctx);
-                        let bits = self.lower_expr(operand, nat, env, ctx)?;
-                        Ok(vec![self.reduce_or(&bits, &path)])
-                    }
-                    UnaryOp::ReduceXor => {
-                        let nat = self.natural_width(operand, env, ctx);
-                        let bits = self.lower_expr(operand, nat, env, ctx)?;
-                        Ok(vec![self.reduce(&bits, GateKind::Xor, &path)])
-                    }
+            Expr::Unary { op, operand } => match op {
+                UnaryOp::Not => {
+                    let nat = self.natural_width(operand, env, ctx).max(hint);
+                    let bits = self.lower_expr(operand, nat, env, ctx)?;
+                    Ok(bits.iter().map(|&b| self.not(b, &path)).collect())
                 }
-            }
+                UnaryOp::Neg => {
+                    let nat = self.natural_width(operand, env, ctx).max(hint);
+                    let bits = self.lower_expr(operand, nat, env, ctx)?;
+                    let zero = vec![self.const_bit(false); nat];
+                    Ok(self.subtract(&zero, &bits, &path))
+                }
+                UnaryOp::LogicalNot => {
+                    let nat = self.natural_width(operand, env, ctx);
+                    let bits = self.lower_expr(operand, nat, env, ctx)?;
+                    let any = self.reduce_or(&bits, &path);
+                    Ok(vec![self.not(any, &path)])
+                }
+                UnaryOp::ReduceAnd => {
+                    let nat = self.natural_width(operand, env, ctx);
+                    let bits = self.lower_expr(operand, nat, env, ctx)?;
+                    Ok(vec![self.reduce(&bits, GateKind::And, &path)])
+                }
+                UnaryOp::ReduceOr => {
+                    let nat = self.natural_width(operand, env, ctx);
+                    let bits = self.lower_expr(operand, nat, env, ctx)?;
+                    Ok(vec![self.reduce_or(&bits, &path)])
+                }
+                UnaryOp::ReduceXor => {
+                    let nat = self.natural_width(operand, env, ctx);
+                    let bits = self.lower_expr(operand, nat, env, ctx)?;
+                    Ok(vec![self.reduce(&bits, GateKind::Xor, &path)])
+                }
+            },
             Expr::Binary { op, lhs, rhs } => {
                 use BinaryOp::*;
                 let wide = self

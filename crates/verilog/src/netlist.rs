@@ -129,6 +129,18 @@ pub struct Gate {
     pub dont_touch: bool,
 }
 
+/// One structural problem found by [`Netlist::lint`].
+///
+/// `code` is a stable `NL0xx` rule identifier (see the table on
+/// [`Netlist::lint`]); `message` names the offending net or gate.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct NetlistIssue {
+    /// Stable rule code (`"NL001"` …).
+    pub code: String,
+    /// Human-readable description naming the offending element.
+    pub message: String,
+}
+
 /// A flattened gate-level netlist.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize, Default)]
 pub struct Netlist {
@@ -165,7 +177,13 @@ impl Netlist {
     ///
     /// Panics if `inputs.len()` does not match the gate kind's arity, or if
     /// the kind is [`GateKind::Dff`] (use [`Netlist::add_dff`]).
-    pub fn add_gate(&mut self, kind: GateKind, inputs: &[NetId], output: NetId, path: &str) -> GateId {
+    pub fn add_gate(
+        &mut self,
+        kind: GateKind,
+        inputs: &[NetId],
+        output: NetId,
+        path: &str,
+    ) -> GateId {
         assert!(!kind.is_sequential(), "use add_dff for sequential gates");
         assert_eq!(inputs.len(), kind.arity(), "gate {kind} expects {} inputs", kind.arity());
         let id = self.gates.len() as GateId;
@@ -283,6 +301,130 @@ impl Netlist {
             }
         }
         Ok(())
+    }
+
+    /// Structural lint: the structured counterpart of [`Netlist::check`].
+    ///
+    /// Where `check` stops at the first violation and reports it as a bare
+    /// string, `lint` walks the whole netlist and returns every issue it
+    /// finds as a [`NetlistIssue`] with a stable rule code:
+    ///
+    /// | code  | meaning |
+    /// |-------|---------|
+    /// | NL001 | net driven by more than one source |
+    /// | NL002 | floating net: consumed but never driven |
+    /// | NL003 | combinational loop |
+    /// | NL004 | dead gate: output feeds nothing |
+    /// | NL005 | dangling reference to a net id outside the netlist |
+    ///
+    /// Never panics, even on malformed netlists (dangling ids suppress the
+    /// analyses that would need to index through them).
+    pub fn lint(&self) -> Vec<NetlistIssue> {
+        let mut issues = Vec::new();
+        let n = self.nets.len();
+        let net_name = |id: NetId| -> String {
+            self.nets
+                .get(id as usize)
+                .map(|net| net.name.clone())
+                .unwrap_or_else(|| format!("<net {id}>"))
+        };
+
+        // NL005: dangling net references (checked first; they poison the
+        // index-based analyses below).
+        let mut dangling = false;
+        let flag_ref = |issues: &mut Vec<NetlistIssue>, id: NetId, what: String| {
+            if id as usize >= n {
+                issues.push(NetlistIssue {
+                    code: "NL005".into(),
+                    message: format!("{what} refers to missing net {id}"),
+                });
+                true
+            } else {
+                false
+            }
+        };
+        for (name, id) in &self.inputs {
+            dangling |= flag_ref(&mut issues, *id, format!("primary input '{name}'"));
+        }
+        for (name, id) in &self.outputs {
+            dangling |= flag_ref(&mut issues, *id, format!("primary output '{name}'"));
+        }
+        for (gi, g) in self.gates.iter().enumerate() {
+            for &inp in &g.inputs {
+                dangling |= flag_ref(&mut issues, inp, format!("gate {gi} ({}) input", g.kind));
+            }
+            dangling |= flag_ref(&mut issues, g.output, format!("gate {gi} ({}) output", g.kind));
+            if let Some(r) = g.async_reset {
+                dangling |= flag_ref(&mut issues, r, format!("gate {gi} ({}) async reset", g.kind));
+            }
+            if let Some(e) = g.enable {
+                dangling |= flag_ref(&mut issues, e, format!("gate {gi} ({}) enable", g.kind));
+            }
+        }
+        if dangling {
+            return issues;
+        }
+
+        // Driver census (primary inputs count as drivers, as in `check`).
+        let mut drivers: Vec<u32> = vec![0; n];
+        for (_, id) in &self.inputs {
+            drivers[*id as usize] += 1;
+        }
+        for g in &self.gates {
+            drivers[g.output as usize] += 1;
+        }
+        // NL001: multiple drivers.
+        for (id, &count) in drivers.iter().enumerate() {
+            if count > 1 {
+                issues.push(NetlistIssue {
+                    code: "NL001".into(),
+                    message: format!(
+                        "net '{}' is driven by {count} sources",
+                        net_name(id as NetId)
+                    ),
+                });
+            }
+        }
+        // NL002: floating nets — consumed somewhere but never driven.
+        let fanout = self.fanout_map();
+        let mut consumed: Vec<bool> = fanout.iter().map(|f| !f.is_empty()).collect();
+        for (_, id) in &self.outputs {
+            consumed[*id as usize] = true;
+        }
+        for (id, (&count, &used)) in drivers.iter().zip(consumed.iter()).enumerate() {
+            if used && count == 0 {
+                issues.push(NetlistIssue {
+                    code: "NL002".into(),
+                    message: format!(
+                        "net '{}' floats: consumed but undriven",
+                        net_name(id as NetId)
+                    ),
+                });
+            }
+        }
+        // NL003: combinational loops.
+        if let Err(cycle) = self.topo_order() {
+            issues.push(NetlistIssue { code: "NL003".into(), message: cycle });
+        }
+        // NL004: dead gates — output feeds no gate and no primary output.
+        let is_output: std::collections::HashSet<NetId> =
+            self.outputs.iter().map(|(_, id)| *id).collect();
+        for (gi, g) in self.gates.iter().enumerate() {
+            if g.dont_touch {
+                continue;
+            }
+            if fanout[g.output as usize].is_empty() && !is_output.contains(&g.output) {
+                issues.push(NetlistIssue {
+                    code: "NL004".into(),
+                    message: format!(
+                        "gate {gi} ({}) drives net '{}' which feeds nothing",
+                        g.kind,
+                        net_name(g.output)
+                    ),
+                });
+            }
+        }
+        issues
     }
 
     /// Topological order of combinational gates (inputs and register outputs
@@ -463,8 +605,7 @@ impl<'a> Simulator<'a> {
             if !g.kind.is_sequential() {
                 continue;
             }
-            let reset_active =
-                g.async_reset.map(|r| self.values[r as usize]).unwrap_or(false);
+            let reset_active = g.async_reset.map(|r| self.values[r as usize]).unwrap_or(false);
             let enabled = g.enable.map(|e| self.values[e as usize]).unwrap_or(true);
             let v = if reset_active {
                 g.reset_value
@@ -646,6 +787,73 @@ mod tests {
         sim.set_input("s", &[1]);
         sim.settle().unwrap();
         assert_eq!(sim.output("y"), Some(0));
+    }
+
+    fn codes(issues: &[NetlistIssue]) -> Vec<&str> {
+        issues.iter().map(|i| i.code.as_str()).collect()
+    }
+
+    #[test]
+    fn lint_clean_netlist_reports_nothing() {
+        assert!(xor_netlist().lint().is_empty());
+    }
+
+    #[test]
+    fn lint_flags_multiple_drivers() {
+        let mut nl = xor_netlist();
+        nl.add_gate(GateKind::Buf, &[0], 2, "xor2");
+        assert!(codes(&nl.lint()).contains(&"NL001"));
+    }
+
+    #[test]
+    fn lint_flags_floating_net() {
+        let mut nl = Netlist::new("f");
+        let a = nl.add_net("a"); // never driven
+        let y = nl.add_net("y");
+        nl.outputs.push(("y".into(), y));
+        nl.add_gate(GateKind::Buf, &[a], y, "f");
+        let issues = nl.lint();
+        assert!(codes(&issues).contains(&"NL002"), "{issues:?}");
+        assert!(issues.iter().any(|i| i.message.contains("'a'")));
+    }
+
+    #[test]
+    fn lint_flags_combinational_loop() {
+        let mut nl = Netlist::new("loop");
+        let a = nl.add_net("a");
+        let b = nl.add_net("b");
+        nl.add_gate(GateKind::Not, &[a], b, "loop");
+        nl.add_gate(GateKind::Not, &[b], a, "loop");
+        assert!(codes(&nl.lint()).contains(&"NL003"));
+    }
+
+    #[test]
+    fn lint_flags_dead_gate_but_not_dont_touch() {
+        let mut nl = xor_netlist();
+        let dead = nl.add_net("dead");
+        let gid = nl.add_gate(GateKind::Not, &[0], dead, "xor2");
+        assert!(codes(&nl.lint()).contains(&"NL004"));
+        nl.gates[gid as usize].dont_touch = true;
+        assert!(!codes(&nl.lint()).contains(&"NL004"));
+    }
+
+    #[test]
+    fn lint_flags_dangling_reference_without_panicking() {
+        let mut nl = Netlist::new("bad");
+        let y = nl.add_net("y");
+        nl.outputs.push(("y".into(), y));
+        nl.gates.push(Gate {
+            kind: GateKind::Buf,
+            inputs: vec![99],
+            output: y,
+            path: "bad".into(),
+            reset_value: false,
+            async_reset: None,
+            enable: None,
+            dont_touch: false,
+        });
+        let issues = nl.lint();
+        assert_eq!(codes(&issues), vec!["NL005"]);
     }
 
     #[test]

@@ -335,8 +335,7 @@ impl Parser {
             let cond = self.expr()?;
             self.expect_sym(")")?;
             let then_stmt = Box::new(self.stmt()?);
-            let else_stmt =
-                if self.eat_kw("else") { Some(Box::new(self.stmt()?)) } else { None };
+            let else_stmt = if self.eat_kw("else") { Some(Box::new(self.stmt()?)) } else { None };
             return Ok(Stmt::If { cond, then_stmt, else_stmt });
         }
         if self.eat_kw("case") {
@@ -576,7 +575,8 @@ mod tests {
 
     #[test]
     fn parses_ports_with_ranges() {
-        let sf = parse("module m(input [7:0] a, output reg [3:0] y, input clk); endmodule").unwrap();
+        let sf =
+            parse("module m(input [7:0] a, output reg [3:0] y, input clk); endmodule").unwrap();
         let m = &sf.modules[0];
         assert_eq!(m.ports.len(), 3);
         assert_eq!(m.ports[0].dir, PortDir::Input);
@@ -596,7 +596,8 @@ mod tests {
 
     #[test]
     fn parses_assign_with_precedence() {
-        let sf = parse("module m(input a, b, c, output y); assign y = a + b * c; endmodule").unwrap();
+        let sf =
+            parse("module m(input a, b, c, output y); assign y = a + b * c; endmodule").unwrap();
         let a = sf.modules[0].assigns().next().unwrap();
         // a + (b * c)
         match &a.rhs {

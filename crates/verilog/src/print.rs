@@ -196,12 +196,9 @@ fn print_prec(e: &Expr, min_prec: u8) -> String {
         Expr::BitSelect { base, index } => {
             format!("{}[{}]", print_prec(base, u8::MAX), print_expr(index))
         }
-        Expr::PartSelect { base, msb, lsb } => format!(
-            "{}[{}:{}]",
-            print_prec(base, u8::MAX),
-            print_expr(msb),
-            print_expr(lsb)
-        ),
+        Expr::PartSelect { base, msb, lsb } => {
+            format!("{}[{}:{}]", print_prec(base, u8::MAX), print_expr(msb), print_expr(lsb))
+        }
         Expr::Unary { op, operand } => {
             // A nested unary must be parenthesized: `&&x` would re-lex as
             // the logical-and token instead of two reductions.

@@ -8,7 +8,7 @@ use proptest::prelude::*;
 /// Strategy for arbitrary expressions over a fixed set of identifiers.
 fn arb_expr() -> impl Strategy<Value = Expr> {
     let leaf = prop_oneof![
-        prop_oneof![Just("a"), Just("b"), Just("c")].prop_map(|n| Expr::ident(n)),
+        prop_oneof![Just("a"), Just("b"), Just("c")].prop_map(Expr::ident),
         (1u64..255).prop_map(Expr::lit),
         (1u32..16, 0u64..0xFFFF).prop_map(|(w, v)| Expr::sized(w, v & ((1 << w) - 1))),
     ];

@@ -41,10 +41,16 @@ fn main() -> Result<(), Box<dyn Error + Send + Sync>> {
 
     // Netlist-level traits that drive optimization choices.
     let traits = detect_traits(&design.netlist());
-    println!("\ntraits: max fanout {}, logic depth {}, enable-reg fraction {:.2}",
-        traits.max_fanout, traits.logic_depth, traits.enable_reg_fraction);
-    println!("  -> high fanout? {}  deep logic? {}  hierarchical? {}",
-        traits.high_fanout(), traits.deep_logic(), traits.hierarchical());
+    println!(
+        "\ntraits: max fanout {}, logic depth {}, enable-reg fraction {:.2}",
+        traits.max_fanout, traits.logic_depth, traits.enable_reg_fraction
+    );
+    println!(
+        "  -> high fanout? {}  deep logic? {}  hierarchical? {}",
+        traits.high_fanout(),
+        traits.deep_logic(),
+        traits.hierarchical()
+    );
 
     // Embeddings from an (untrained, for speed) hierarchical GraphSAGE.
     let mentor = CircuitMentor::untrained(42);

@@ -31,7 +31,10 @@ fn main() -> Result<(), Box<dyn Error>> {
     let outcome = chatls.customize(&design, &task, 0);
     println!("\nretrieved similar designs:");
     for hit in &outcome.similar {
-        println!("  {:<10} score {:>6.3}  best strategy {}", hit.name, hit.score, hit.best_strategy);
+        println!(
+            "  {:<10} score {:>6.3}  best strategy {}",
+            hit.name, hit.score, hit.best_strategy
+        );
     }
 
     println!("\nchain-of-thought trace:");

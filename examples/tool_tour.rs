@@ -54,7 +54,8 @@ fn main() -> Result<(), Box<dyn Error>> {
 
     // Show the hallucination failure mode the paper describes.
     let mut fresh = SynthSession::new(design.netlist(), chatls_liberty::nangate45())?;
-    let bad = fresh.run_script("create_clock -period 5.0 [get_ports clk]\nfix_timing_violations -all\n");
+    let bad =
+        fresh.run_script("create_clock -period 5.0 [get_ports clk]\nfix_timing_violations -all\n");
     println!("\nhallucinated command result: {}", bad.error.expect("aborts"));
     Ok(())
 }

@@ -1,0 +1,83 @@
+//! ScriptLint integration: every script the pipeline emits — for every
+//! benchmark design, across drafting seeds and both fallibility profiles —
+//! must lint without errors, and the netlists the generators produce must
+//! pass structural lint. This pins the linter's spec table to the
+//! interpreter: a rule that drifted stricter than the tool would fail
+//! here on a legitimately runnable script.
+
+use chatls::llm::{claude_like, gpt_like, Generator};
+use chatls::pipeline::{baseline_script, prepare_task, ChatLs};
+use chatls::{DbConfig, ExpertDatabase};
+use std::sync::OnceLock;
+
+fn db() -> &'static ExpertDatabase {
+    static DB: OnceLock<ExpertDatabase> = OnceLock::new();
+    DB.get_or_init(|| ExpertDatabase::build(&DbConfig::quick()))
+}
+
+/// The hand-written baseline script lints completely clean.
+#[test]
+fn baseline_scripts_lint_clean() {
+    for design in chatls_designs::benchmarks() {
+        let report = chatls_lint::lint_script_for_design(
+            &baseline_script(design.default_period),
+            &design.netlist(),
+        );
+        assert!(report.is_clean(), "{}: {report}", design.name);
+    }
+}
+
+/// Every pipeline-emitted script across the benchmark catalog lints
+/// error-free, with design context (port references included).
+#[test]
+fn pipeline_scripts_lint_error_free_across_the_catalog() {
+    let chatls = ChatLs::new(db());
+    for design in chatls_designs::benchmarks() {
+        let task = prepare_task(&design, "optimize timing at the fixed clock");
+        let netlist = design.netlist();
+        for seed in 0..3 {
+            let outcome = chatls.customize(&design, &task, seed);
+            let report = chatls_lint::lint_script_for_design(outcome.script(), &netlist);
+            assert!(
+                !report.has_errors(),
+                "{} seed {seed}:\n{report}\nscript:\n{}",
+                design.name,
+                outcome.script()
+            );
+            assert_eq!(outcome.lint_stats().final_errors, 0, "{} seed {seed}", design.name);
+        }
+    }
+}
+
+/// The expert repairs drafts from both fallibility profiles into
+/// lint-error-free scripts — the draft may be arbitrarily broken.
+#[test]
+fn refined_one_shot_drafts_lint_error_free() {
+    use chatls::synthexpert::SynthExpert;
+    use chatls::synthrag::SynthRag;
+    let design = chatls_designs::by_name("aes").expect("benchmark");
+    let task = prepare_task(&design, "optimize timing at the fixed clock");
+    for seed in 0..4 {
+        for g in [gpt_like(), claude_like()] {
+            let draft = g.generate(&task, seed);
+            let expert = SynthExpert::new(SynthRag::new(db()));
+            let trace = expert.refine(&task, &draft);
+            let report = chatls_lint::lint_script(&trace.script);
+            assert!(
+                !report.has_errors(),
+                "{} seed {seed}:\n{report}\nscript:\n{}",
+                g.name(),
+                trace.script
+            );
+        }
+    }
+}
+
+/// Generated benchmark netlists are structurally sound under netlist lint.
+#[test]
+fn benchmark_netlists_pass_structural_lint() {
+    for design in chatls_designs::benchmarks() {
+        let report = chatls_lint::lint_netlist(&design.netlist());
+        assert!(!report.has_errors(), "{}: {report}", design.name);
+    }
+}

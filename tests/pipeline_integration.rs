@@ -48,11 +48,8 @@ fn retrieval_pipeline_finds_soc_components() {
     for cfg in chatls_designs::soc_configs(3, 3) {
         let graph = build_circuit_graph(&cfg.design);
         let emb = db().mentor().design_embedding(&graph);
-        let hits: Vec<String> = rag
-            .similar_designs(&emb, cfg.derived_from.len())
-            .into_iter()
-            .map(|h| h.name)
-            .collect();
+        let hits: Vec<String> =
+            rag.similar_designs(&emb, cfg.derived_from.len()).into_iter().map(|h| h.name).collect();
         if f1_score(&hits, &cfg.derived_from).f1() > 0.0 {
             any_hit = true;
         }

@@ -14,10 +14,8 @@ fn all_benchmarks_synthesize_end_to_end() {
     for design in chatls_designs::benchmarks() {
         let netlist = design.netlist();
         let mut mapped = MappedDesign::map(netlist, &lib).expect("mapping succeeds");
-        let constraints = Constraints {
-            clock_period: design.default_period,
-            ..Constraints::default()
-        };
+        let constraints =
+            Constraints { clock_period: design.default_period, ..Constraints::default() };
         compile(&mut mapped, &lib, &constraints, Effort::Medium);
         mapped.compact();
         mapped.netlist.check().unwrap_or_else(|e| panic!("{}: {e}", design.name));

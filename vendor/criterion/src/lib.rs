@@ -1,0 +1,192 @@
+//! Offline vendored stand-in for the `criterion` crate.
+//!
+//! Provides the subset this workspace's benches use — [`Criterion`],
+//! [`Bencher::iter`], [`Bencher::iter_batched`], [`BatchSize`], and the
+//! `criterion_group!`/`criterion_main!` macros — with a simple wall-clock
+//! measurement loop: a short warm-up, then timed batches until the sample
+//! budget is spent, reporting mean time per iteration. No statistical
+//! analysis, plots, or baselines; good enough to measure and to keep
+//! `cargo bench` compiling offline.
+
+use std::time::{Duration, Instant};
+
+/// Per-iteration input regime for [`Bencher::iter_batched`]. Retained for
+/// API compatibility; this harness times each batch element individually
+/// regardless of size.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small setup output; upstream batches many per measurement.
+    SmallInput,
+    /// Large setup output; upstream times one per measurement.
+    LargeInput,
+    /// One setup per measurement.
+    PerIteration,
+}
+
+/// The benchmark context handed to `bench_function` closures.
+pub struct Bencher {
+    samples: usize,
+    /// Mean nanoseconds per iteration, recorded by the measurement loop.
+    mean_ns: f64,
+    iters: u64,
+}
+
+impl Bencher {
+    /// Times `routine` repeatedly and records the mean per-call duration.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warm-up: run until ~10ms or 3 calls, whichever is later.
+        let warm_start = Instant::now();
+        let mut warm_calls = 0u64;
+        while warm_calls < 3 || warm_start.elapsed() < Duration::from_millis(10) {
+            std::hint::black_box(routine());
+            warm_calls += 1;
+            if warm_calls >= 1_000_000 {
+                break;
+            }
+        }
+        let per_call = warm_start.elapsed().as_nanos() as f64 / warm_calls as f64;
+        // Aim each sample at ~max(1 call, 5ms) of work.
+        let calls_per_sample = ((5_000_000.0 / per_call.max(1.0)) as u64).clamp(1, 1_000_000);
+        let mut total = Duration::ZERO;
+        let mut iters = 0u64;
+        for _ in 0..self.samples {
+            let t = Instant::now();
+            for _ in 0..calls_per_sample {
+                std::hint::black_box(routine());
+            }
+            total += t.elapsed();
+            iters += calls_per_sample;
+        }
+        self.mean_ns = total.as_nanos() as f64 / iters as f64;
+        self.iters = iters;
+    }
+
+    /// Times `routine` over fresh inputs produced by `setup`; only the
+    /// routine is on the clock.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        let mut total = Duration::ZERO;
+        let mut iters = 0u64;
+        // One timed call per sample; setup stays off the clock.
+        for _ in 0..self.samples.max(1) {
+            let input = setup();
+            let t = Instant::now();
+            std::hint::black_box(routine(input));
+            total += t.elapsed();
+            iters += 1;
+        }
+        self.mean_ns = total.as_nanos() as f64 / iters as f64;
+        self.iters = iters;
+    }
+}
+
+/// Benchmark harness entry point.
+pub struct Criterion {
+    sample_size: usize,
+    filter: Option<String>,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        // Honor `cargo bench -- <filter>` the way upstream does.
+        let filter = std::env::args().skip(1).find(|a| !a.starts_with('-') && a != "--bench");
+        Self { sample_size: 20, filter }
+    }
+}
+
+impl Criterion {
+    /// Sets how many timed samples each benchmark takes.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Runs one named benchmark and prints its mean time.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        if let Some(filter) = &self.filter {
+            if !name.contains(filter.as_str()) {
+                return self;
+            }
+        }
+        let mut b = Bencher { samples: self.sample_size, mean_ns: 0.0, iters: 0 };
+        f(&mut b);
+        println!("{name:<40} {:>14}/iter ({} iters)", format_ns(b.mean_ns), b.iters);
+        self
+    }
+}
+
+fn format_ns(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.3} s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.3} ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.3} us", ns / 1e3)
+    } else {
+        format!("{ns:.1} ns")
+    }
+}
+
+/// Declares a benchmark group: a function running each target against a
+/// configured [`Criterion`].
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion = $config;
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group! {
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        }
+    };
+}
+
+/// Declares the bench `main` that runs each group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_bench(c: &mut Criterion) {
+        c.bench_function("tiny/sum", |b| b.iter(|| (0..100u64).sum::<u64>()));
+        c.bench_function("tiny/batched", |b| {
+            b.iter_batched(|| vec![1u64; 64], |v| v.iter().sum::<u64>(), BatchSize::LargeInput)
+        });
+    }
+
+    #[test]
+    fn harness_runs_and_reports() {
+        let mut c = Criterion { sample_size: 2, filter: None };
+        tiny_bench(&mut c);
+    }
+
+    #[test]
+    fn filter_skips_nonmatching() {
+        let mut c = Criterion { sample_size: 2, filter: Some("nomatch".into()) };
+        c.bench_function("other/name", |_b| panic!("filtered benches must not run"));
+    }
+
+    #[test]
+    fn format_is_scaled() {
+        assert_eq!(format_ns(12.0), "12.0 ns");
+        assert_eq!(format_ns(1_500.0), "1.500 us");
+        assert_eq!(format_ns(2_500_000.0), "2.500 ms");
+        assert_eq!(format_ns(3_200_000_000.0), "3.200 s");
+    }
+}

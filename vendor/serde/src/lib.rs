@@ -1,0 +1,683 @@
+//! Offline vendored stand-in for `serde`.
+//!
+//! The build container has no crates.io access, so the workspace vendors a
+//! minimal serde: instead of upstream's visitor-based zero-copy model,
+//! [`Serialize`] renders a type into an owned JSON-like [`Value`] tree and
+//! [`Deserialize`] reads it back. The `#[derive(Serialize, Deserialize)]`
+//! macros (from the sibling `serde_derive` crate, enabled by the `derive`
+//! feature) cover the plain structs and enums this workspace defines — no
+//! generics, no `#[serde(...)]` attributes.
+//!
+//! `serde_json` in `vendor/serde_json` supplies the text layer
+//! (`to_string`, `to_string_pretty`, `from_str`) over the same [`Value`].
+
+use std::collections::HashMap;
+use std::error::Error;
+use std::fmt;
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};
+
+/// The JSON-like data model all (de)serialization goes through.
+///
+/// Maps preserve insertion order so serialized output is stable.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// JSON `null`.
+    Null,
+    /// JSON boolean.
+    Bool(bool),
+    /// Signed integer (JSON number without fraction that fits `i64`).
+    I64(i64),
+    /// Unsigned integer above `i64::MAX`.
+    U64(u64),
+    /// Floating-point number.
+    F64(f64),
+    /// JSON string.
+    Str(String),
+    /// JSON array.
+    Seq(Vec<Value>),
+    /// JSON object, insertion-ordered.
+    Map(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// Object field lookup (`None` for missing keys or non-objects).
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        match self {
+            Value::Map(m) => m.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The value as `f64` if it is any kind of number.
+    pub fn as_f64(&self) -> Option<f64> {
+        match *self {
+            Value::I64(i) => Some(i as f64),
+            Value::U64(u) => Some(u as f64),
+            Value::F64(f) => Some(f),
+            _ => None,
+        }
+    }
+
+    /// The value as `u64` if it is a non-negative integer.
+    pub fn as_u64(&self) -> Option<u64> {
+        match *self {
+            Value::I64(i) if i >= 0 => Some(i as u64),
+            Value::U64(u) => Some(u),
+            Value::F64(f) if f >= 0.0 && f.fract() == 0.0 && f <= u64::MAX as f64 => Some(f as u64),
+            _ => None,
+        }
+    }
+
+    /// The value as `i64` if it is an integer in range.
+    pub fn as_i64(&self) -> Option<i64> {
+        match *self {
+            Value::I64(i) => Some(i),
+            Value::U64(u) if u <= i64::MAX as u64 => Some(u as i64),
+            Value::F64(f) if f.fract() == 0.0 && f.abs() <= i64::MAX as f64 => Some(f as i64),
+            _ => None,
+        }
+    }
+
+    /// The value as `bool` if it is one.
+    pub fn as_bool(&self) -> Option<bool> {
+        match *self {
+            Value::Bool(b) => Some(b),
+            _ => None,
+        }
+    }
+
+    /// The value as `&str` if it is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The value as an array slice if it is one.
+    pub fn as_array(&self) -> Option<&Vec<Value>> {
+        match self {
+            Value::Seq(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// True for `Value::Null`.
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null)
+    }
+}
+
+static NULL: Value = Value::Null;
+
+impl std::ops::Index<&str> for Value {
+    type Output = Value;
+    /// `value["key"]`, yielding `Null` for missing keys (like `serde_json`).
+    fn index(&self, key: &str) -> &Value {
+        self.get(key).unwrap_or(&NULL)
+    }
+}
+
+impl std::ops::Index<usize> for Value {
+    type Output = Value;
+    /// `value[i]`, yielding `Null` out of bounds (like `serde_json`).
+    fn index(&self, i: usize) -> &Value {
+        match self {
+            Value::Seq(s) => s.get(i).unwrap_or(&NULL),
+            _ => &NULL,
+        }
+    }
+}
+
+impl PartialEq<str> for Value {
+    fn eq(&self, other: &str) -> bool {
+        self.as_str() == Some(other)
+    }
+}
+
+impl PartialEq<&str> for Value {
+    fn eq(&self, other: &&str) -> bool {
+        self.as_str() == Some(*other)
+    }
+}
+
+impl PartialEq<String> for Value {
+    fn eq(&self, other: &String) -> bool {
+        self.as_str() == Some(other.as_str())
+    }
+}
+
+/// Writes a JSON string literal with escaping.
+fn write_json_str(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+fn write_f64(out: &mut String, f: f64) {
+    if f.is_finite() {
+        // `{:?}` is Rust's shortest round-trip float formatting.
+        let s = format!("{f:?}");
+        out.push_str(&s);
+    } else {
+        // JSON has no non-finite numbers; mirror serde_json.
+        out.push_str("null");
+    }
+}
+
+impl Value {
+    /// Compact JSON rendering.
+    pub fn write_compact(&self, out: &mut String) {
+        match self {
+            Value::Null => out.push_str("null"),
+            Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Value::I64(i) => out.push_str(&i.to_string()),
+            Value::U64(u) => out.push_str(&u.to_string()),
+            Value::F64(f) => write_f64(out, *f),
+            Value::Str(s) => write_json_str(out, s),
+            Value::Seq(items) => {
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    item.write_compact(out);
+                }
+                out.push(']');
+            }
+            Value::Map(entries) => {
+                out.push('{');
+                for (i, (k, v)) in entries.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    write_json_str(out, k);
+                    out.push(':');
+                    v.write_compact(out);
+                }
+                out.push('}');
+            }
+        }
+    }
+
+    /// Pretty JSON rendering with 2-space indentation.
+    pub fn write_pretty(&self, out: &mut String, indent: usize) {
+        let pad = "  ".repeat(indent);
+        let inner_pad = "  ".repeat(indent + 1);
+        match self {
+            Value::Seq(items) if !items.is_empty() => {
+                out.push_str("[\n");
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push_str(",\n");
+                    }
+                    out.push_str(&inner_pad);
+                    item.write_pretty(out, indent + 1);
+                }
+                out.push('\n');
+                out.push_str(&pad);
+                out.push(']');
+            }
+            Value::Map(entries) if !entries.is_empty() => {
+                out.push_str("{\n");
+                for (i, (k, v)) in entries.iter().enumerate() {
+                    if i > 0 {
+                        out.push_str(",\n");
+                    }
+                    out.push_str(&inner_pad);
+                    write_json_str(out, k);
+                    out.push_str(": ");
+                    v.write_pretty(out, indent + 1);
+                }
+                out.push('\n');
+                out.push_str(&pad);
+                out.push('}');
+            }
+            other => other.write_compact(out),
+        }
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut s = String::new();
+        self.write_compact(&mut s);
+        f.write_str(&s)
+    }
+}
+
+impl From<String> for Value {
+    fn from(s: String) -> Self {
+        Value::Str(s)
+    }
+}
+
+impl From<&str> for Value {
+    fn from(s: &str) -> Self {
+        Value::Str(s.to_string())
+    }
+}
+
+/// Deserialization failure: what was expected, where.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DeError(pub String);
+
+impl DeError {
+    /// A free-form error.
+    pub fn msg(m: impl Into<String>) -> Self {
+        DeError(m.into())
+    }
+
+    /// A missing struct field.
+    pub fn missing(ty: &str, field: &str) -> Self {
+        DeError(format!("missing field '{field}' for {ty}"))
+    }
+
+    /// A type mismatch.
+    pub fn expected(what: &str, got: &Value) -> Self {
+        let kind = match got {
+            Value::Null => "null",
+            Value::Bool(_) => "bool",
+            Value::I64(_) | Value::U64(_) | Value::F64(_) => "number",
+            Value::Str(_) => "string",
+            Value::Seq(_) => "array",
+            Value::Map(_) => "object",
+        };
+        DeError(format!("expected {what}, got {kind}"))
+    }
+}
+
+impl fmt::Display for DeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl Error for DeError {}
+
+/// Types renderable into a [`Value`] tree.
+pub trait Serialize {
+    /// Renders `self` into the data model.
+    fn serialize(&self) -> Value;
+}
+
+/// Types reconstructible from a [`Value`] tree.
+pub trait Deserialize: Sized {
+    /// Reconstructs `Self`, or explains why the value does not fit.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DeError`] on shape or type mismatches.
+    fn deserialize(v: &Value) -> Result<Self, DeError>;
+}
+
+impl Serialize for Value {
+    fn serialize(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl Deserialize for Value {
+    fn deserialize(v: &Value) -> Result<Self, DeError> {
+        Ok(v.clone())
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn serialize(&self) -> Value {
+        (**self).serialize()
+    }
+}
+
+impl Serialize for bool {
+    fn serialize(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn deserialize(v: &Value) -> Result<Self, DeError> {
+        v.as_bool().ok_or_else(|| DeError::expected("bool", v))
+    }
+}
+
+macro_rules! ser_de_unsigned {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize(&self) -> Value {
+                let u = *self as u64;
+                if u <= i64::MAX as u64 { Value::I64(u as i64) } else { Value::U64(u) }
+            }
+        }
+        impl Deserialize for $t {
+            fn deserialize(v: &Value) -> Result<Self, DeError> {
+                let u = v.as_u64().ok_or_else(|| DeError::expected(stringify!($t), v))?;
+                <$t>::try_from(u).map_err(|_| DeError::msg(format!(
+                    "{u} out of range for {}", stringify!($t))))
+            }
+        }
+    )*};
+}
+
+ser_de_unsigned!(u8, u16, u32, u64, usize);
+
+macro_rules! ser_de_signed {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize(&self) -> Value {
+                Value::I64(*self as i64)
+            }
+        }
+        impl Deserialize for $t {
+            fn deserialize(v: &Value) -> Result<Self, DeError> {
+                let i = v.as_i64().ok_or_else(|| DeError::expected(stringify!($t), v))?;
+                <$t>::try_from(i).map_err(|_| DeError::msg(format!(
+                    "{i} out of range for {}", stringify!($t))))
+            }
+        }
+    )*};
+}
+
+ser_de_signed!(i8, i16, i32, i64, isize);
+
+impl Serialize for f64 {
+    fn serialize(&self) -> Value {
+        Value::F64(*self)
+    }
+}
+
+impl Deserialize for f64 {
+    fn deserialize(v: &Value) -> Result<Self, DeError> {
+        match v {
+            // Non-finite floats serialize as null (JSON has no NaN/inf).
+            Value::Null => Ok(f64::NAN),
+            _ => v.as_f64().ok_or_else(|| DeError::expected("f64", v)),
+        }
+    }
+}
+
+impl Serialize for f32 {
+    fn serialize(&self) -> Value {
+        Value::F64(f64::from(*self))
+    }
+}
+
+impl Deserialize for f32 {
+    fn deserialize(v: &Value) -> Result<Self, DeError> {
+        f64::deserialize(v).map(|f| f as f32)
+    }
+}
+
+impl Serialize for String {
+    fn serialize(&self) -> Value {
+        Value::Str(self.clone())
+    }
+}
+
+impl Deserialize for String {
+    fn deserialize(v: &Value) -> Result<Self, DeError> {
+        v.as_str().map(str::to_string).ok_or_else(|| DeError::expected("string", v))
+    }
+}
+
+impl Serialize for str {
+    fn serialize(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+
+impl Serialize for char {
+    fn serialize(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+
+impl Deserialize for char {
+    fn deserialize(v: &Value) -> Result<Self, DeError> {
+        let s = v.as_str().ok_or_else(|| DeError::expected("char", v))?;
+        let mut chars = s.chars();
+        match (chars.next(), chars.next()) {
+            (Some(c), None) => Ok(c),
+            _ => Err(DeError::msg(format!("expected one-char string, got '{s}'"))),
+        }
+    }
+}
+
+/// `&'static str` deserialization leaks the owned string. Static-str fields
+/// only appear on manual-entry tables that are deserialized at most once
+/// per process, so the leak is bounded and acceptable for this workspace.
+impl Deserialize for &'static str {
+    fn deserialize(v: &Value) -> Result<Self, DeError> {
+        let s = v.as_str().ok_or_else(|| DeError::expected("string", v))?;
+        Ok(Box::leak(s.to_string().into_boxed_str()))
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn serialize(&self) -> Value {
+        match self {
+            None => Value::Null,
+            Some(t) => t.serialize(),
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn deserialize(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Null => Ok(None),
+            other => T::deserialize(other).map(Some),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Box<T> {
+    fn serialize(&self) -> Value {
+        (**self).serialize()
+    }
+}
+
+impl<T: Deserialize> Deserialize for Box<T> {
+    fn deserialize(v: &Value) -> Result<Self, DeError> {
+        T::deserialize(v).map(Box::new)
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn serialize(&self) -> Value {
+        Value::Seq(self.iter().map(Serialize::serialize).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn deserialize(v: &Value) -> Result<Self, DeError> {
+        v.as_array()
+            .ok_or_else(|| DeError::expected("array", v))?
+            .iter()
+            .map(T::deserialize)
+            .collect()
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn serialize(&self) -> Value {
+        Value::Seq(self.iter().map(Serialize::serialize).collect())
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn serialize(&self) -> Value {
+        Value::Seq(self.iter().map(Serialize::serialize).collect())
+    }
+}
+
+macro_rules! ser_de_tuple {
+    ($( ($($name:ident : $idx:tt),+) )*) => {$(
+        impl<$($name: Serialize),+> Serialize for ($($name,)+) {
+            fn serialize(&self) -> Value {
+                Value::Seq(vec![$( self.$idx.serialize() ),+])
+            }
+        }
+        impl<$($name: Deserialize),+> Deserialize for ($($name,)+) {
+            fn deserialize(v: &Value) -> Result<Self, DeError> {
+                let items = v.as_array().ok_or_else(|| DeError::expected("tuple array", v))?;
+                let expected = [$( $idx ),+].len();
+                if items.len() != expected {
+                    return Err(DeError::msg(format!(
+                        "expected {expected}-tuple, got {} elements", items.len())));
+                }
+                Ok(( $( $name::deserialize(&items[$idx])? ,)+ ))
+            }
+        }
+    )*};
+}
+
+ser_de_tuple! {
+    (A: 0)
+    (A: 0, B: 1)
+    (A: 0, B: 1, C: 2)
+    (A: 0, B: 1, C: 2, D: 3)
+    (A: 0, B: 1, C: 2, D: 3, E: 4)
+    (A: 0, B: 1, C: 2, D: 3, E: 4, F: 5)
+    (A: 0, B: 1, C: 2, D: 3, E: 4, F: 5, G: 6)
+    (A: 0, B: 1, C: 2, D: 3, E: 4, F: 5, G: 6, H: 7)
+}
+
+/// Map keys usable in the JSON object representation.
+pub trait MapKey: Sized {
+    /// Renders the key as an object-key string.
+    fn to_key(&self) -> String;
+    /// Parses the key back.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DeError`] when the string does not parse as this key type.
+    fn from_key(s: &str) -> Result<Self, DeError>;
+}
+
+impl MapKey for String {
+    fn to_key(&self) -> String {
+        self.clone()
+    }
+    fn from_key(s: &str) -> Result<Self, DeError> {
+        Ok(s.to_string())
+    }
+}
+
+macro_rules! int_map_key {
+    ($($t:ty),*) => {$(
+        impl MapKey for $t {
+            fn to_key(&self) -> String {
+                self.to_string()
+            }
+            fn from_key(s: &str) -> Result<Self, DeError> {
+                s.parse().map_err(|_| DeError::msg(format!(
+                    "invalid {} map key '{s}'", stringify!($t))))
+            }
+        }
+    )*};
+}
+
+int_map_key!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl<K, V, S> Serialize for HashMap<K, V, S>
+where
+    K: MapKey + Ord,
+    V: Serialize,
+    S: std::hash::BuildHasher,
+{
+    fn serialize(&self) -> Value {
+        // Sort for stable output: HashMap iteration order is unspecified.
+        let mut entries: Vec<(&K, &V)> = self.iter().collect();
+        entries.sort_by(|a, b| a.0.cmp(b.0));
+        Value::Map(entries.into_iter().map(|(k, v)| (k.to_key(), v.serialize())).collect())
+    }
+}
+
+impl<K, V, S> Deserialize for HashMap<K, V, S>
+where
+    K: MapKey + std::hash::Hash + Eq,
+    V: Deserialize,
+    S: std::hash::BuildHasher + Default,
+{
+    fn deserialize(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Map(entries) => {
+                entries.iter().map(|(k, val)| Ok((K::from_key(k)?, V::deserialize(val)?))).collect()
+            }
+            _ => Err(DeError::expected("object", v)),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitives_roundtrip() {
+        assert_eq!(u32::deserialize(&7u32.serialize()).unwrap(), 7);
+        assert_eq!(i64::deserialize(&(-3i64).serialize()).unwrap(), -3);
+        assert_eq!(f64::deserialize(&1.25f64.serialize()).unwrap(), 1.25);
+        assert_eq!(String::deserialize(&"hi".to_string().serialize()).unwrap(), "hi");
+        assert!(bool::deserialize(&true.serialize()).unwrap());
+    }
+
+    #[test]
+    fn collections_roundtrip() {
+        let v: Vec<(String, u32)> = vec![("a".into(), 1), ("b".into(), 2)];
+        let back: Vec<(String, u32)> = Deserialize::deserialize(&v.serialize()).unwrap();
+        assert_eq!(v, back);
+
+        let mut m: HashMap<u32, String> = HashMap::new();
+        m.insert(3, "x".into());
+        m.insert(1, "y".into());
+        let back: HashMap<u32, String> = Deserialize::deserialize(&m.serialize()).unwrap();
+        assert_eq!(m, back);
+    }
+
+    #[test]
+    fn option_none_is_null() {
+        let n: Option<u8> = None;
+        assert_eq!(n.serialize(), Value::Null);
+        assert_eq!(Option::<u8>::deserialize(&Value::Null).unwrap(), None);
+        assert_eq!(Option::<u8>::deserialize(&Value::I64(3)).unwrap(), Some(3));
+    }
+
+    #[test]
+    fn index_and_eq_sugar() {
+        let v = Value::Map(vec![
+            ("name".into(), Value::Str("aes".into())),
+            ("rows".into(), Value::Seq(vec![Value::I64(1), Value::I64(2)])),
+        ]);
+        assert!(v["name"] == "aes");
+        assert_eq!(v["rows"][1].as_i64(), Some(2));
+        assert!(v["missing"].is_null());
+    }
+
+    #[test]
+    fn type_errors_are_described() {
+        let e = u32::deserialize(&Value::Str("no".into())).unwrap_err();
+        assert!(e.to_string().contains("u32"), "{e}");
+    }
+
+    #[test]
+    fn nonfinite_floats_become_null() {
+        assert_eq!(f64::NAN.serialize().to_string(), "null");
+        assert!(f64::deserialize(&Value::Null).unwrap().is_nan());
+    }
+}
