@@ -1,0 +1,147 @@
+//! Criterion benchmarks for the synthesis execution engine: `run_script`
+//! (fresh session vs. a reusable [`SessionTemplate`]), full STA on the
+//! largest catalog design, one GNN training epoch, and the tensor matmul
+//! kernel.
+//!
+//! Uses a custom `main` instead of `criterion_main!` so the recorded
+//! measurements can be written to `BENCH_synth.json` at the workspace root
+//! — the perf trajectory is tracked in-tree from this PR onward. In test
+//! mode (`cargo bench -- --test`) every routine runs once, untimed, and no
+//! file is written.
+
+use chatls::eval::{run_script_in, session_template};
+use chatls_gnn::{train, TrainConfig};
+use chatls_tensor::Matrix;
+use criterion::{BenchResult, Criterion};
+use rand::rngs::StdRng;
+use rand::{Rng as _, SeedableRng};
+use std::hint::black_box;
+
+const SCRIPT: &str = "create_clock -period 9.0 [get_ports clk]\n\
+                      compile -map_effort high\n\
+                      fix_timing_violations -all\n\
+                      report_qor\n";
+
+fn bench_run_script(c: &mut Criterion) {
+    let design = chatls_designs::by_name("aes").expect("catalog design");
+
+    // Cold path: parse + lower + map the netlist for every script run.
+    c.bench_function("synth/run_script_aes_fresh_session", |b| {
+        b.iter(|| {
+            let template = session_template(black_box(&design));
+            run_script_in(&template, black_box(SCRIPT))
+        })
+    });
+
+    // Warm path: build the template once, stamp cheap sessions per run —
+    // the `pass_at_k` / database-build regime after the SessionTemplate
+    // split.
+    let template = session_template(&design);
+    c.bench_function("synth/run_script_aes_from_template", |b| {
+        b.iter(|| run_script_in(black_box(&template), black_box(SCRIPT)))
+    });
+}
+
+fn bench_sta(c: &mut Criterion) {
+    // swerv is the largest Table IV catalog design.
+    let design = chatls_designs::by_name("swerv").expect("catalog design");
+    let template = session_template(&design);
+    let session = template.session();
+
+    c.bench_function("synth/full_sta_swerv", |b| b.iter(|| black_box(&session).timing_report()));
+    c.bench_function("synth/qor_swerv", |b| b.iter(|| black_box(&session).qor()));
+}
+
+fn bench_gnn_epoch(c: &mut Criterion) {
+    let corpus = chatls_designs::database_designs();
+    let graphs: Vec<_> =
+        corpus.iter().map(|d| chatls::build_circuit_graph(d).feature_graph).collect();
+    let labels: Vec<u32> = {
+        let mut cats: Vec<String> = Vec::new();
+        corpus
+            .iter()
+            .map(|d| {
+                let cat = d.category.to_string();
+                match cats.iter().position(|c| *c == cat) {
+                    Some(i) => i as u32,
+                    None => {
+                        cats.push(cat);
+                        (cats.len() - 1) as u32
+                    }
+                }
+            })
+            .collect()
+    };
+    let config = TrainConfig {
+        dims: vec![chatls::features::FEATURE_DIM, 32, 16],
+        epochs: 1,
+        ..TrainConfig::default()
+    };
+
+    c.bench_function("gnn/train_one_epoch_catalog", |b| {
+        b.iter(|| train(black_box(&graphs), black_box(&labels), black_box(&config)))
+    });
+}
+
+fn bench_matmul(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(7);
+    let mut random = |rows: usize, cols: usize| {
+        Matrix::from_vec(rows, cols, (0..rows * cols).map(|_| rng.gen_range(-1.0..1.0)).collect())
+    };
+    let a = random(128, 256);
+    let b_mat = random(256, 192);
+
+    c.bench_function("tensor/matmul_128x256x192", |b| {
+        b.iter(|| black_box(&a).matmul(black_box(&b_mat)))
+    });
+}
+
+fn main() {
+    let mut criterion = Criterion::default().sample_size(10);
+    bench_run_script(&mut criterion);
+    bench_sta(&mut criterion);
+    bench_gnn_epoch(&mut criterion);
+    bench_matmul(&mut criterion);
+
+    if criterion::is_test_mode() {
+        return;
+    }
+
+    #[derive(serde::Serialize)]
+    struct Row {
+        name: String,
+        mean_ns: f64,
+        mean_human: String,
+        iters: u64,
+    }
+    let rows: Vec<Row> = criterion
+        .results()
+        .iter()
+        .map(|r: &BenchResult| Row {
+            name: r.name.clone(),
+            mean_ns: r.mean_ns,
+            mean_human: human_time(r.mean_ns),
+            iters: r.iters,
+        })
+        .collect();
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_synth.json");
+    match serde_json::to_string_pretty(&rows) {
+        Ok(json) => match std::fs::write(path, json + "\n") {
+            Ok(()) => println!("\n[artifact] {path}"),
+            Err(e) => eprintln!("could not write {path}: {e}"),
+        },
+        Err(e) => eprintln!("could not serialize bench results: {e}"),
+    }
+}
+
+fn human_time(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.3} s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.3} ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.3} us", ns / 1e3)
+    } else {
+        format!("{ns:.1} ns")
+    }
+}

@@ -17,6 +17,8 @@ use chatls::synthexpert::SynthExpert;
 use chatls::synthrag::SynthRag;
 use chatls::ExpertDatabase;
 use chatls_bench::{header, save_json};
+use chatls_exec::ExecPool;
+use std::fmt::Write as _;
 
 struct RagOnly<'db> {
     db: &'db ExpertDatabase,
@@ -72,19 +74,31 @@ fn main() {
     let full = ChatLs::new(&db);
     let models: [&dyn Generator; 4] = [&one_shot, &rag_only, &cot_only, &full];
 
-    let mut rows: Vec<EvalRow> = Vec::new();
     println!("\n{:<14} {:<22} {:>8} {:>12} {:>6}", "design", "variant", "CPS", "Area", "valid");
-    for design in chatls_designs::benchmarks() {
-        let task = prepare_task(&design, "optimize timing at the fixed clock");
+    // Per-design ablations are independent: evaluate on the pool, print
+    // collected blocks in catalog order (byte-identical to serial).
+    let designs = chatls_designs::benchmarks();
+    let evaluated = ExecPool::global().map(&designs, |design| {
+        let task = prepare_task(design, "optimize timing at the fixed clock");
+        let mut block = String::new();
+        let mut design_rows = Vec::new();
         for model in models {
-            let row = pass_at_k(model, &design, &task, 3);
-            println!(
+            let row = pass_at_k(model, design, &task, 3);
+            writeln!(
+                block,
                 "{:<14} {:<22} {:>8.2} {:>12.1} {:>5}/3",
                 row.design, row.model, row.cps, row.area, row.valid_samples
-            );
-            rows.push(row);
+            )
+            .expect("writing to a String cannot fail");
+            design_rows.push(row);
         }
+        (design_rows, block)
+    });
+    let mut rows: Vec<EvalRow> = Vec::new();
+    for (design_rows, block) in evaluated {
+        print!("{block}");
         println!();
+        rows.extend(design_rows);
     }
 
     // Summary: mean cps per variant and total invalid samples.

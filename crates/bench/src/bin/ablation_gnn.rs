@@ -9,6 +9,7 @@ use chatls::circuit_mentor::{build_circuit_graph, CircuitMentor};
 use chatls::eval::{f1_score, RetrievalEval};
 use chatls::features::FEATURE_DIM;
 use chatls_bench::{header, save_json};
+use chatls_exec::ExecPool;
 use chatls_gnn::{Aggregator, MetricLoss, TrainConfig};
 
 use chatls_vecindex::{FlatIndex, Metric};
@@ -88,30 +89,36 @@ fn main() {
     ];
 
     println!("\n{:<24} {:>8} {:>12}", "variant", "F1@3", "separation");
-    let mut points = Vec::new();
-    for (name, config) in variants {
+    // The circuit graphs are shared by every variant: extract them once,
+    // in parallel, instead of once per variant.
+    let pool = ExecPool::global();
+    let corpus_graphs = pool.map(&corpus, |(d, _)| build_circuit_graph(d));
+    let config_graphs = pool.map(&configs, |cfgn| build_circuit_graph(&cfgn.design));
+    // Each variant trains its own mentor — independent work, fanned out on
+    // the pool; results print in declaration order.
+    let points: Vec<Point> = pool.map(&variants, |(name, config)| {
         let mentor = match config {
             None => CircuitMentor::untrained(7),
-            Some(c) => CircuitMentor::train_on(&corpus, Some(c)),
+            Some(c) => CircuitMentor::train_on(&corpus, Some(c.clone())),
         };
         let separation = mentor.history().last().map(|e| e.separation).unwrap_or(0.0);
         // Index the database designs with this mentor.
         let mut index = FlatIndex::new(mentor.embedding_dim(), Metric::Cosine);
         let names: Vec<String> = corpus.iter().map(|(d, _)| d.name.clone()).collect();
-        for (i, (d, _)) in corpus.iter().enumerate() {
-            let g = build_circuit_graph(d);
-            index.add(i as u64, mentor.design_embedding(&g));
+        for (i, g) in corpus_graphs.iter().enumerate() {
+            index.add(i as u64, mentor.design_embedding(g));
         }
         let mut agg = RetrievalEval::default();
-        for cfgn in &configs {
-            let g = build_circuit_graph(&cfgn.design);
-            let emb = mentor.design_embedding(&g);
+        for (cfgn, g) in configs.iter().zip(&config_graphs) {
+            let emb = mentor.design_embedding(g);
             let hits: Vec<String> =
                 index.search(&emb, 3).into_iter().map(|h| names[h.id as usize].clone()).collect();
             agg.merge(f1_score(&hits, &cfgn.derived_from));
         }
-        println!("{name:<24} {:>8.3} {:>12.3}", agg.f1(), separation);
-        points.push(Point { variant: name, f1_at_3: agg.f1(), separation });
+        Point { variant: name.clone(), f1_at_3: agg.f1(), separation }
+    });
+    for p in &points {
+        println!("{:<24} {:>8.3} {:>12.3}", p.variant, p.f1_at_3, p.separation);
     }
     save_json("ablation_gnn", &points);
 }

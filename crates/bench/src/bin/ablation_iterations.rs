@@ -10,7 +10,9 @@
 
 use chatls::pipeline::ChatLs;
 use chatls_bench::{header, save_json};
+use chatls_exec::ExecPool;
 use serde::Serialize;
+use std::fmt::Write as _;
 
 #[derive(Serialize)]
 struct Output {
@@ -24,15 +26,20 @@ fn main() {
     let db = chatls_bench::shared_full_db();
     let chatls = ChatLs::new(&db);
 
-    let mut outputs = Vec::new();
-    for name in ["ethmac", "tinyRocket"] {
+    // The two hard designs iterate independently: run both on the pool,
+    // print in fixed order (byte-identical to the serial loop).
+    let names = ["ethmac", "tinyRocket"];
+    let evaluated = ExecPool::global().map(&names, |name| {
         let design = chatls_designs::by_name(name).expect("benchmark");
-        println!("\n{name} (clock {:.2} ns):", design.default_period);
-        println!("{:>10} {:>8} {:>8} {:>12}", "iteration", "WNS", "CPS", "Area(um2)");
+        let mut block = String::new();
+        writeln!(block, "\n{name} (clock {:.2} ns):", design.default_period).unwrap();
+        writeln!(block, "{:>10} {:>8} {:>8} {:>12}", "iteration", "WNS", "CPS", "Area(um2)")
+            .unwrap();
         let records = chatls.iterate(&design, "resolve the remaining timing violations", 4, 0);
         let mut trajectory = Vec::new();
         for r in &records {
-            println!("{:>10} {:>8.3} {:>8.3} {:>12.1}", r.iteration, r.wns, r.cps, r.area);
+            writeln!(block, "{:>10} {:>8.3} {:>8.3} {:>12.1}", r.iteration, r.wns, r.cps, r.area)
+                .unwrap();
             trajectory.push((r.iteration, r.wns, r.cps, r.area));
         }
         let first = records.first().expect("at least one round");
@@ -43,13 +50,20 @@ fn main() {
             first.wns,
             last.wns
         );
-        println!(
+        writeln!(
+            block,
             "  -> WNS {:.3} after 1 iteration, {:.3} after {} (paper: more iterations needed)",
             first.wns,
             last.wns,
             records.len()
-        );
-        outputs.push(Output { design: name.to_string(), trajectory });
+        )
+        .unwrap();
+        (Output { design: name.to_string(), trajectory }, block)
+    });
+    let mut outputs = Vec::new();
+    for (output, block) in evaluated {
+        print!("{block}");
+        outputs.push(output);
     }
     save_json("ablation_iterations", &outputs);
 }

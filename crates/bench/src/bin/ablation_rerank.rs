@@ -7,6 +7,7 @@
 use chatls::circuit_mentor::build_circuit_graph;
 use chatls::eval::{f1_score, RetrievalEval};
 use chatls_bench::{header, save_json};
+use chatls_exec::ExecPool;
 use serde::Serialize;
 
 #[derive(Serialize)]
@@ -22,13 +23,12 @@ fn main() {
     println!("building expert database…");
     let db = chatls_bench::shared_full_db();
     let configs = chatls_designs::soc_configs(12, 2024);
-    let embeddings: Vec<(Vec<f32>, Vec<String>)> = configs
-        .iter()
-        .map(|cfg| {
-            let g = build_circuit_graph(&cfg.design);
-            (db.mentor().design_embedding(&g), cfg.derived_from.clone())
-        })
-        .collect();
+    // Embedding the SoCs is the heavy part of this ablation; the α/β
+    // sweep itself is index math. Fan the embeddings out on the pool.
+    let embeddings: Vec<(Vec<f32>, Vec<String>)> = ExecPool::global().map(&configs, |cfg| {
+        let g = build_circuit_graph(&cfg.design);
+        (db.mentor().design_embedding(&g), cfg.derived_from.clone())
+    });
 
     println!("\n{:>6} {:>6} {:>8} {:>22}", "alpha", "beta", "F1@3", "mean top-1 best cps");
     let mut points = Vec::new();

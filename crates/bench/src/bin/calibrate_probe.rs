@@ -2,24 +2,29 @@
 //! ChatLS-strength script (the canonical trait-matched recipe), used to
 //! place the catalog clock periods so the Table III/IV slack signs hold.
 
-use chatls_liberty::nangate45;
-use chatls_synth::SynthSession;
+use chatls_exec::ExecPool;
+use chatls_synth::SessionTemplate;
 
 fn main() {
     println!(
         "{:<14} {:>8} {:>10} {:>10} {:>12}",
         "design", "period", "base cps", "best cps", "best area"
     );
-    for design in chatls_designs::benchmarks() {
+    // One line per design, computed on the pool, printed in catalog order.
+    let designs = chatls_designs::benchmarks();
+    let lines = ExecPool::global().map(&designs, |design| {
         let p = design.default_period;
+        let template = chatls::eval::session_template(design);
         let base = run(
-            &design,
+            &template,
+            design,
             &format!(
                 "create_clock -period {p:.3} [get_ports clk]\nset_wire_load_model -name 5K_heavy_1k\ncompile\n"
             ),
         );
         let strong = run(
-            &design,
+            &template,
+            design,
             &format!(
                 "create_clock -period {p:.3} [get_ports clk]\n\
                  set_wire_load_model -name 5K_heavy_1k\n\
@@ -36,16 +41,22 @@ fn main() {
                  compile -map_effort high\n"
             ),
         );
-        println!(
+        format!(
             "{:<14} {:>8.2} {:>10.3} {:>10.3} {:>12.1}",
             design.name, p, base.0, strong.0, strong.1
-        );
+        )
+    });
+    for line in lines {
+        println!("{line}");
     }
 }
 
-fn run(design: &chatls_designs::GeneratedDesign, script: &str) -> (f64, f64) {
-    let mut session = SynthSession::new(design.netlist(), nangate45()).expect("maps");
-    let r = session.run_script(script);
+fn run(
+    template: &SessionTemplate,
+    design: &chatls_designs::GeneratedDesign,
+    script: &str,
+) -> (f64, f64) {
+    let r = template.session().run_script(script);
     assert!(r.ok(), "{}: {:?}", design.name, r.error);
     (r.qor.cps, r.qor.area)
 }

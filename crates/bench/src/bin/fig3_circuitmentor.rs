@@ -7,7 +7,9 @@
 
 use chatls::circuit_mentor::{build_circuit_graph, detect_traits, CircuitMentor};
 use chatls_bench::{header, save_json};
+use chatls_exec::ExecPool;
 use serde::Serialize;
+use std::fmt::Write as _;
 
 #[derive(Serialize)]
 struct Output {
@@ -36,22 +38,30 @@ fn main() {
     }
 
     println!("\nstep 3: Cypher queries over the graph (as in the figure):");
-    for q in [
+    // The three queries are independent reads: run them on the pool and
+    // print the blocks in declaration order (byte-identical to serial).
+    let queries = [
         "MATCH (d:Design)-[:CONTAINS]->(t)-[:CONTAINS]->(m:Module) RETURN m.name, m.kind ORDER BY m.name",
         "MATCH (m:Module {name: 'tr_mul'}) RETURN m.code",
         "MATCH (a:Module)-[:CONNECTS]-(b:Module) RETURN DISTINCT a.name, b.name ORDER BY a.name LIMIT 5",
-    ] {
-        println!("\n> {q}");
+    ];
+    let blocks = ExecPool::global().map(&queries, |q| {
+        let mut block = String::new();
+        writeln!(block, "\n> {q}").unwrap();
         match chatls_graphdb::query(&graph.db, q) {
             Ok(rs) => {
                 let text = rs.to_string();
                 for line in text.lines().take(8) {
                     let short: String = line.chars().take(100).collect();
-                    println!("  {short}");
+                    writeln!(block, "  {short}").unwrap();
                 }
             }
-            Err(e) => println!("  error: {e}"),
+            Err(e) => writeln!(block, "  error: {e}").unwrap(),
         }
+        block
+    });
+    for block in blocks {
+        print!("{block}");
     }
 
     println!("\nstep 4: GNN feature extraction");

@@ -8,8 +8,10 @@
 
 use chatls::circuit_mentor::{build_circuit_graph, CircuitMentor};
 use chatls_bench::{header, save_json};
+use chatls_exec::ExecPool;
 use chatls_gnn::{Aggregator, MetricLoss, TrainConfig};
 use serde::Serialize;
+use std::fmt::Write as _;
 
 #[derive(Serialize)]
 struct Output {
@@ -39,18 +41,18 @@ fn main() {
             .collect()
     };
 
-    let mut losses = Vec::new();
-    let mut main_series = Vec::new();
-    let mut before = 0.0f32;
-    let mut after = 0.0f32;
-    for (label, loss) in [
+    // The two metric losses train independent mentors: run both on the
+    // pool, collect each run's printed block, and print in declaration
+    // order so stdout matches the serial loop byte for byte.
+    let loss_variants = [
         ("contrastive", MetricLoss::Contrastive { margin: 1.0 }),
         ("multi_similarity", MetricLoss::MultiSimilarity { alpha: 2.0, beta: 10.0, lambda: 0.5 }),
-    ] {
+    ];
+    let trained = ExecPool::global().map(&loss_variants, |(label, loss)| {
         let cfg = TrainConfig {
             dims: vec![chatls::features::FEATURE_DIM, 32, 16],
             aggregator: Aggregator::Mean,
-            loss,
+            loss: *loss,
             epochs: 120,
             learning_rate: 0.01,
             seed: 7,
@@ -59,22 +61,23 @@ fn main() {
         let hist = mentor.history();
         let first = hist.first().expect("epochs > 0");
         let last = hist.last().expect("epochs > 0");
-        println!(
+        let mut block = String::new();
+        writeln!(
+            block,
             "{label:<18} separation {:.3} -> {:.3}   loss {:.4} -> {:.4}",
             first.separation, last.separation, first.loss, last.loss
-        );
-        losses.push((label.to_string(), first.separation, last.separation));
-        if label == "contrastive" {
-            before = first.separation;
-            after = last.separation;
-            main_series = hist.iter().map(|e| (e.epoch, e.loss, e.separation)).collect();
-            println!("\nepoch   loss     separation");
+        )
+        .unwrap();
+        let mut series = Vec::new();
+        if *label == "contrastive" {
+            series = hist.iter().map(|e| (e.epoch, e.loss, e.separation)).collect();
+            writeln!(block, "\nepoch   loss     separation").unwrap();
             for e in hist.iter().step_by(15) {
-                println!("{:>5} {:>8.4} {:>10.3}", e.epoch, e.loss, e.separation);
+                writeln!(block, "{:>5} {:>8.4} {:>10.3}", e.epoch, e.loss, e.separation).unwrap();
             }
             // Before/after pairwise distances between design embeddings.
             let designs: Vec<_> = corpus.iter().map(|(d, _)| d).collect();
-            println!("\npairwise cosine similarity (trained):");
+            writeln!(block, "\npairwise cosine similarity (trained):").unwrap();
             let embs: Vec<(String, Vec<f32>)> = designs
                 .iter()
                 .map(|d| {
@@ -82,19 +85,33 @@ fn main() {
                     (d.name.clone(), mentor.design_embedding(&g))
                 })
                 .collect();
-            print!("{:<10}", "");
+            write!(block, "{:<10}", "").unwrap();
             for (n, _) in &embs {
-                print!("{n:>9}");
+                write!(block, "{n:>9}").unwrap();
             }
-            println!();
+            writeln!(block).unwrap();
             for (n1, e1) in &embs {
-                print!("{n1:<10}");
+                write!(block, "{n1:<10}").unwrap();
                 for (_, e2) in &embs {
-                    print!("{:>9.2}", chatls_tensor::cosine(e1, e2));
+                    write!(block, "{:>9.2}", chatls_tensor::cosine(e1, e2)).unwrap();
                 }
-                println!();
+                writeln!(block).unwrap();
             }
         }
+        (label.to_string(), first.separation, last.separation, series, block)
+    });
+    let mut losses = Vec::new();
+    let mut main_series = Vec::new();
+    let mut before = 0.0f32;
+    let mut after = 0.0f32;
+    for (label, first_sep, last_sep, series, block) in trained {
+        print!("{block}");
+        if label == "contrastive" {
+            before = first_sep;
+            after = last_sep;
+            main_series = series;
+        }
+        losses.push((label, first_sep, last_sep));
     }
     assert!(after > before, "paper shape: clusters must form during training");
     println!("\nShape check: separation improved {before:.3} -> {after:.3} (paper Fig. 4: scattered -> clustered)");

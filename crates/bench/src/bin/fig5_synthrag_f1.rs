@@ -10,6 +10,7 @@ use chatls::circuit_mentor::build_circuit_graph;
 use chatls::eval::{f1_score, RetrievalEval};
 use chatls::synthrag::SynthRag;
 use chatls_bench::{header, save_json};
+use chatls_exec::ExecPool;
 use serde::Serialize;
 
 #[derive(Serialize)]
@@ -34,16 +35,22 @@ fn main() {
     let rag = SynthRag::new(&db);
     let configs = chatls_designs::soc_configs(12, 2024);
 
+    // Embed every SoC once on the pool (graph extraction + GNN forward is
+    // the heavy part and was previously recomputed for every k).
+    type SocEmbedding = (Vec<f32>, Vec<(String, Vec<f32>)>);
+    let embedded: Vec<SocEmbedding> = ExecPool::global().map(&configs, |cfg| {
+        let g = build_circuit_graph(&cfg.design);
+        (db.mentor().design_embedding(&g), db.mentor().module_embeddings(&g))
+    });
+
     let mut design_level = Vec::new();
     println!("\ndesign-level retrieval (query: SoC embedding → database designs)");
     println!("{:>3} {:>10} {:>8} {:>8}", "k", "precision", "recall", "F1");
     for k in [1usize, 2, 3, 4, 5] {
         let mut agg = RetrievalEval::default();
-        for cfg in &configs {
-            let g = build_circuit_graph(&cfg.design);
-            let emb = db.mentor().design_embedding(&g);
+        for (cfg, (emb, _)) in configs.iter().zip(&embedded) {
             let hits: Vec<String> =
-                rag.similar_designs(&emb, k).into_iter().map(|h| h.name).collect();
+                rag.similar_designs(emb, k).into_iter().map(|h| h.name).collect();
             agg.merge(f1_score(&hits, &cfg.derived_from));
         }
         println!("{k:>3} {:>10.3} {:>8.3} {:>8.3}", agg.precision(), agg.recall(), agg.f1());
@@ -62,21 +69,20 @@ fn main() {
     println!("{:>3} {:>10} {:>8} {:>8}", "k", "precision", "recall", "F1");
     for k in [1usize, 3, 5] {
         let mut agg = RetrievalEval::default();
-        for cfg in &configs {
-            let g = build_circuit_graph(&cfg.design);
-            for (module, emb) in db.mentor().module_embeddings(&g) {
+        for (_, module_embeddings) in &embedded {
+            for (module, emb) in module_embeddings {
                 // Ground truth: database entries containing this module.
                 let relevant: Vec<String> = db
                     .entries()
                     .iter()
-                    .filter(|e| e.module_embeddings.iter().any(|(m, _)| *m == module))
+                    .filter(|e| e.module_embeddings.iter().any(|(m, _)| m == module))
                     .map(|e| format!("{}/{}", e.name, module))
                     .collect();
                 if relevant.is_empty() {
                     continue;
                 }
                 let hits: Vec<String> = rag
-                    .similar_modules(&emb, k)
+                    .similar_modules(emb, k)
                     .into_iter()
                     .map(|h| format!("{}/{}", h.design, h.module))
                     .collect();

@@ -7,6 +7,7 @@ use chatls::circuit_mentor::build_circuit_graph;
 use chatls::synthrag::SynthRag;
 use chatls::{DbConfig, ExpertDatabase};
 use chatls_bench::header;
+use chatls_exec::ExecPool;
 
 fn main() {
     header("Table I: SynthRAG query methods, demonstrated");
@@ -40,13 +41,19 @@ fn main() {
     }
 
     println!("\nRow 4 — tool user manual | text embedding | k-NN + reranker");
-    for q in [
+    // Independent text-retrieval queries: answer them on the pool, print
+    // in declaration order.
+    let queries = [
         "how do I fix high fanout nets",
         "move registers to balance pipeline stages",
         "recover area when timing is already met",
-    ] {
+    ];
+    let lines = ExecPool::global().map(&queries, |q| {
         let hits = rag.manual_search(q, 2);
         let names: Vec<&str> = hits.iter().map(|h| h.command.as_str()).collect();
-        println!("  '{q}' -> {names:?}");
+        format!("  '{q}' -> {names:?}")
+    });
+    for line in lines {
+        println!("{line}");
     }
 }

@@ -6,8 +6,10 @@
 //! optimization and compilation strategies … treated as expert drafts").
 
 use chatls_bench::{header, save_json};
+use chatls_exec::ExecPool;
 use serde::Serialize;
 use std::collections::BTreeMap;
+use std::fmt::Write as _;
 
 #[derive(Serialize)]
 struct Entry {
@@ -33,19 +35,27 @@ fn main() {
     }
 
     println!("\nper-design strategy exploration (expert drafts):");
-    let mut out = Vec::new();
-    for e in db.entries() {
-        println!("\n  {} (period {:.2} ns)", e.name, e.period);
+    // Format per-entry blocks on the pool, print in database order.
+    let formatted = ExecPool::global().map(db.entries(), |e| {
+        let mut block = String::new();
+        writeln!(block, "\n  {} (period {:.2} ns)", e.name, e.period).unwrap();
         for o in &e.outcomes {
-            println!("    {:<14} cps {:>7.3}  area {:>10.1}", o.strategy, o.cps, o.area);
+            writeln!(block, "    {:<14} cps {:>7.3}  area {:>10.1}", o.strategy, o.cps, o.area)
+                .unwrap();
         }
-        out.push(Entry {
+        let entry = Entry {
             design: e.name.clone(),
             category: e.category.clone(),
             period: e.period,
             strategies: e.outcomes.iter().map(|o| (o.strategy.clone(), o.cps, o.area)).collect(),
             best: e.best().strategy.clone(),
-        });
+        };
+        (entry, block)
+    });
+    let mut out = Vec::new();
+    for (entry, block) in formatted {
+        print!("{block}");
+        out.push(entry);
     }
     save_json("tab2_database", &out);
 }

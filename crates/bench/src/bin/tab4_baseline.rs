@@ -8,8 +8,7 @@
 
 use chatls::pipeline::baseline_script;
 use chatls_bench::{header, qor_header, qor_row, save_json};
-use chatls_liberty::nangate45;
-use chatls_synth::SynthSession;
+use chatls_exec::ExecPool;
 use serde::Serialize;
 
 #[derive(Serialize)]
@@ -27,15 +26,15 @@ struct Row {
 fn main() {
     header("Table IV: baseline QoR of the benchmark designs");
     println!("{}", qor_header());
-    let mut rows = Vec::new();
-    for design in chatls_designs::benchmarks() {
-        let mut session = SynthSession::new(design.netlist(), nangate45())
-            .expect("library covers all primitive gates");
-        let result = session.run_script(&baseline_script(design.default_period));
+    // One independent baseline run per design: sweep on the pool, print
+    // in catalog order (byte-identical to the serial loop).
+    let designs = chatls_designs::benchmarks();
+    let rows: Vec<Row> = ExecPool::global().map(&designs, |design| {
+        let template = chatls::eval::session_template(design);
+        let result = template.session().run_script(&baseline_script(design.default_period));
         assert!(result.ok(), "baseline script must run clean: {:?}", result.error);
-        let q = &result.qor;
-        println!("{}", qor_row(&design.name, q.wns, q.cps, q.tns, q.area));
-        rows.push(Row {
+        let q = result.qor;
+        Row {
             design: design.name.clone(),
             period: design.default_period,
             wns: q.wns,
@@ -44,7 +43,10 @@ fn main() {
             area: q.area,
             cells: q.cells,
             registers: q.registers,
-        });
+        }
+    });
+    for r in &rows {
+        println!("{}", qor_row(&r.design, r.wns, r.cps, r.tns, r.area));
     }
     save_json("tab4_baseline", &rows);
 }

@@ -14,10 +14,11 @@
 
 use crate::circuit_mentor::{build_circuit_graph, CircuitGraph, CircuitMentor};
 use chatls_designs::{database_designs, GeneratedDesign};
+use chatls_exec::ExecPool;
 use chatls_gnn::TrainConfig;
 use chatls_graphdb::{Graph, ResultSet, Value};
 use chatls_liberty::{nangate45, Library};
-use chatls_synth::{command_manual, SynthSession};
+use chatls_synth::{command_manual, SessionTemplate};
 use chatls_textembed::DocIndex;
 use chatls_vecindex::{rerank, FlatIndex, Metric};
 use serde::{Deserialize, Serialize};
@@ -260,19 +261,23 @@ impl ExpertDatabase {
         let mut module_index = FlatIndex::new(mentor.embedding_dim(), Metric::Cosine);
         let mut module_ids = Vec::new();
 
-        for (di, design) in corpus.iter().enumerate() {
+        // Per-design work (graph extraction, embeddings, strategy
+        // exploration) is independent across the corpus: fan it out on the
+        // pool, then merge serially in corpus order so indexes, graph and
+        // entries come out identical to the serial build. Each design is
+        // elaborated and mapped once; all strategies stamp sessions from
+        // that template.
+        let artifacts = ExecPool::global().map(corpus, |design| {
             let cg = build_circuit_graph(design);
             let embedding = mentor.design_embedding(&cg);
             let module_embeddings = mentor.module_embeddings(&cg);
-            // Explore strategies.
-            let netlist = design.netlist();
+            let template = SessionTemplate::new(design.netlist(), library.clone())
+                .expect("library covers all gate kinds");
             let mut outcomes: Vec<StrategyOutcome> = chosen
                 .iter()
                 .map(|st| {
                     let script = st.script(design.default_period);
-                    let mut session = SynthSession::new(netlist.clone(), library.clone())
-                        .expect("library covers all gate kinds");
-                    let result = session.run_script(&script);
+                    let result = template.session().run_script(&script);
                     StrategyOutcome {
                         strategy: st.name.clone(),
                         script,
@@ -287,6 +292,12 @@ impl ExpertDatabase {
                     .unwrap_or(std::cmp::Ordering::Equal)
                     .then(a.area.partial_cmp(&b.area).unwrap_or(std::cmp::Ordering::Equal))
             });
+            (cg, embedding, module_embeddings, outcomes)
+        });
+
+        for (di, (design, (cg, embedding, module_embeddings, outcomes))) in
+            corpus.iter().zip(artifacts).enumerate()
+        {
             let characteristic = (outcomes[0].cps / design.default_period) as f32;
 
             design_index.add(di as u64, embedding.clone());

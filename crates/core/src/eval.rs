@@ -10,9 +10,11 @@
 
 use crate::llm::{respects_fixed_period, Generator, TaskContext};
 use chatls_designs::GeneratedDesign;
+use chatls_exec::{fnv1a, CacheStats, ExecPool, ShardedCache};
 use chatls_liberty::nangate45;
-use chatls_synth::{QorReport, SynthSession};
+use chatls_synth::{QorReport, SessionTemplate};
 use serde::{Deserialize, Serialize};
+use std::sync::OnceLock;
 
 /// Result of one evaluated model on one design.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -36,40 +38,200 @@ pub struct EvalRow {
     pub best_seed: u64,
 }
 
-/// Runs a script against a fresh session for the design; returns the QoR
+/// Stable 64-bit fingerprint of a design: everything that determines its
+/// synthesis outcome (name, RTL source, top module, default period).
+/// Editing the catalog entry changes the fingerprint, so stale QoR cache
+/// entries can never be served for a modified design.
+pub fn design_fingerprint(design: &GeneratedDesign) -> u64 {
+    let mut buf = Vec::with_capacity(design.source.len() + 64);
+    buf.extend_from_slice(design.name.as_bytes());
+    buf.push(0);
+    buf.extend_from_slice(design.top.as_bytes());
+    buf.push(0);
+    buf.extend_from_slice(design.default_period.to_bits().to_le_bytes().as_slice());
+    buf.extend_from_slice(design.source.as_bytes());
+    fnv1a(&buf)
+}
+
+/// Canonical form of a script for cache keying: leading/trailing
+/// whitespace trimmed per line, blank lines and whole-line `#` comments
+/// dropped. Two scripts with the same canonical form execute the same
+/// command sequence, so they may share one QoR cache entry. Inline
+/// comments are left alone (a `#` inside braces or quotes is not a
+/// comment), which at worst costs a cache miss, never a wrong hit.
+pub fn canonicalize_script(script: &str) -> String {
+    let mut out = String::with_capacity(script.len());
+    for line in script.lines() {
+        let t = line.trim();
+        if t.is_empty() || t.starts_with('#') {
+            continue;
+        }
+        out.push_str(t);
+        out.push('\n');
+    }
+    out
+}
+
+/// Memoized synthesis results: (design fingerprint, canonical script) →
+/// (QoR, valid). Sharded and lock-striped ([`ShardedCache`]), so parallel
+/// `pass_at_k` workers and concurrent bench sweeps share one cache
+/// without serializing on a single lock.
+///
+/// Only *pure* script evaluations are cached — runs whose only outputs
+/// are the final QoR and the ok flag. Flows that also need the live
+/// session afterwards (timing reports for the feedback loop) bypass the
+/// cache.
+pub struct QorCache {
+    inner: ShardedCache<(u64, String), (QorReport, bool)>,
+}
+
+impl QorCache {
+    /// An empty cache.
+    pub fn new() -> Self {
+        Self { inner: ShardedCache::new() }
+    }
+
+    /// The process-wide cache shared by [`run_script`] and the default
+    /// [`pass_at_k`] entry point.
+    pub fn global() -> &'static QorCache {
+        static GLOBAL: OnceLock<QorCache> = OnceLock::new();
+        GLOBAL.get_or_init(QorCache::new)
+    }
+
+    /// The cached result for `script` on the design fingerprinted `fp`,
+    /// or `run()` memoized under that key.
+    pub fn get_or_run<F: FnOnce() -> (QorReport, bool)>(
+        &self,
+        fp: u64,
+        script: &str,
+        run: F,
+    ) -> (QorReport, bool) {
+        self.inner.get_or_insert_with((fp, canonicalize_script(script)), run)
+    }
+
+    /// Hit/miss counters.
+    pub fn stats(&self) -> CacheStats {
+        self.inner.stats()
+    }
+
+    /// Number of memoized (design, script) pairs.
+    pub fn len(&self) -> usize {
+        self.inner.len()
+    }
+
+    /// True when nothing is memoized.
+    pub fn is_empty(&self) -> bool {
+        self.inner.is_empty()
+    }
+
+    /// Drops all entries and zeroes the counters.
+    pub fn clear(&self) {
+        self.inner.clear()
+    }
+}
+
+impl Default for QorCache {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Builds the reusable session template for a design: Verilog elaborated
+/// and mapped onto the library once; sessions stamp out cheaply from it.
+///
+/// # Panics
+///
+/// Panics if the design cannot be mapped onto the library (catalog bug).
+pub fn session_template(design: &GeneratedDesign) -> SessionTemplate {
+    SessionTemplate::new(design.netlist(), nangate45()).expect("library covers all primitive gates")
+}
+
+/// Runs a script on a session stamped from `template`; returns the QoR
 /// and whether the run was fully valid.
-pub fn run_script(design: &GeneratedDesign, script: &str) -> (QorReport, bool) {
-    let mut session = SynthSession::new(design.netlist(), nangate45())
-        .expect("library covers all primitive gates");
-    let result = session.run_script(script);
+pub fn run_script_in(template: &SessionTemplate, script: &str) -> (QorReport, bool) {
+    let result = template.session().run_script(script);
     let ok = result.ok();
     (result.qor, ok)
+}
+
+/// Runs a script against a fresh session for the design; returns the QoR
+/// and whether the run was fully valid. Results are memoized in the
+/// global [`QorCache`] (script evaluation is pure, so a hit is
+/// indistinguishable from a re-run apart from being instant).
+pub fn run_script(design: &GeneratedDesign, script: &str) -> (QorReport, bool) {
+    QorCache::global().get_or_run(design_fingerprint(design), script, || {
+        run_script_in(&session_template(design), script)
+    })
 }
 
 /// The Table III protocol: best of `k` customizations.
 ///
 /// Selection prefers (1) legal, error-free runs, (2) higher CPS,
 /// (3) smaller area.
+///
+/// Seeds are evaluated on the global [`ExecPool`] against the global
+/// [`QorCache`]; see [`pass_at_k_on`] for the determinism contract.
 pub fn pass_at_k(
     model: &dyn Generator,
     design: &GeneratedDesign,
     task: &TaskContext,
     k: u64,
 ) -> EvalRow {
-    let mut best: Option<(QorReport, bool, u64)> = None;
-    let mut valid = 0usize;
-    for seed in 0..k {
-        let script = model.generate(task, seed);
+    pass_at_k_on(ExecPool::global(), QorCache::global(), model, design, task, k)
+}
+
+/// [`pass_at_k`] with explicit execution resources.
+///
+/// The `k` candidate scripts are generated and synthesized in parallel on
+/// `pool` (generators are deterministic per `(task, seed)` and scripts
+/// are pure functions of the pristine design, so order of evaluation
+/// cannot matter); the winner is then selected by a serial scan in seed
+/// order, reproducing the serial loop's first-better-wins tie-breaking
+/// exactly. The returned row is identical for any pool width.
+///
+/// The design is elaborated and mapped at most once per call (lazily — a
+/// fully cached evaluation never touches the Verilog), and the baseline
+/// QoR used to score disqualified samples is computed at most once
+/// instead of once per disqualified seed.
+pub fn pass_at_k_on(
+    pool: &ExecPool,
+    cache: &QorCache,
+    model: &dyn Generator,
+    design: &GeneratedDesign,
+    task: &TaskContext,
+    k: u64,
+) -> EvalRow {
+    let fp = design_fingerprint(design);
+    let template: OnceLock<SessionTemplate> = OnceLock::new();
+    let template = || template.get_or_init(|| session_template(design));
+    // Baseline QoR for disqualified samples: invariant across seeds, so
+    // computed at most once per call (and usually served by the cache —
+    // the baseline is what every evaluation in a sweep re-runs).
+    let baseline: OnceLock<QorReport> = OnceLock::new();
+    let samples: Vec<(QorReport, bool)> = pool.run(k as usize, |i| {
+        let script = model.generate(task, i as u64);
         let legal = respects_fixed_period(&script, task.period);
-        let (qor, ok) = if legal {
-            run_script(design, &script)
+        if legal {
+            let (qor, ok) = cache.get_or_run(fp, &script, || run_script_in(template(), &script));
+            (qor, ok && legal)
         } else {
             // Disqualified: the period was tampered with. Score as the
             // baseline (no improvement) to mirror a rejected submission.
-            let (q, _) = run_script(design, &task.baseline_script);
+            let q = baseline
+                .get_or_init(|| {
+                    cache
+                        .get_or_run(fp, &task.baseline_script, || {
+                            run_script_in(template(), &task.baseline_script)
+                        })
+                        .0
+                })
+                .clone();
             (q, false)
-        };
-        let sample_valid = ok && legal;
+        }
+    });
+    let mut best: Option<(QorReport, bool, u64)> = None;
+    let mut valid = 0usize;
+    for (seed, (qor, sample_valid)) in samples.into_iter().enumerate() {
         if sample_valid {
             valid += 1;
         }
@@ -80,7 +242,7 @@ pub fn pass_at_k(
             }
         };
         if better {
-            best = Some((qor, sample_valid, seed));
+            best = Some((qor, sample_valid, seed as u64));
         }
     }
     let (qor, _, best_seed) = best.expect("k >= 1");

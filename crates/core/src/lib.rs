@@ -53,7 +53,10 @@ pub mod synthrag;
 
 pub use circuit_mentor::{build_circuit_graph, detect_traits, CircuitMentor, DesignTraits};
 pub use database::{DbConfig, ExpertDatabase};
-pub use eval::{f1_score, pass_at_k, EvalRow, RetrievalEval};
+pub use eval::{
+    canonicalize_script, design_fingerprint, f1_score, pass_at_k, pass_at_k_on, run_script,
+    session_template, EvalRow, QorCache, RetrievalEval,
+};
 pub use llm::{claude_like, gpt_like, Generator, TaskContext};
 pub use pipeline::{baseline_script, prepare_task, ChatLs, ChatLsOutcome};
 pub use synthexpert::{ExpertTrace, SynthExpert, ThoughtStep};

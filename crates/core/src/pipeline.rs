@@ -195,12 +195,13 @@ impl<'db> ChatLs<'db> {
     ) -> Vec<IterationRecord> {
         let mut records: Vec<IterationRecord> = Vec::new();
         let mut task = prepare_task(design, user_request);
-        let library = chatls_liberty::nangate45();
+        // One elaboration + mapping for the whole loop; each round stamps
+        // a pristine session from the shared template.
+        let template = crate::eval::session_template(design);
         for iteration in 0..iterations {
             let outcome = self.customize(design, &task, seed + iteration as u64);
             let script = outcome.trace.script.clone();
-            let mut session = SynthSession::new(design.netlist(), library.clone())
-                .expect("library covers all primitive gates");
+            let mut session = template.session();
             let result = session.run_script(&script);
             let timing = session.timing_report();
             // Best-so-far semantics: a round that regresses is rejected and

@@ -1,0 +1,333 @@
+//! In-tree execution engine for the ChatLS reproduction.
+//!
+//! Every paper table is reproduced by fanning the simulated synthesis flow
+//! out over a (design × script × seed) grid; this crate supplies the two
+//! substrates that make those sweeps fast without changing their results:
+//!
+//! - [`ExecPool`] — a `std::thread::scope`-based pool with a chunked
+//!   self-scheduling queue. [`ExecPool::run`] and [`ExecPool::map`] return
+//!   results in input order, so a sweep's output is byte-for-byte identical
+//!   to the serial loop it replaces regardless of thread count. The pool
+//!   width comes from the `CHATLS_THREADS` environment variable (falling
+//!   back to the machine's available parallelism).
+//! - [`ShardedCache`] — a lock-striped memo map with hit/miss counters,
+//!   the substrate under `chatls_core`'s QoR cache: each shard is an
+//!   independent `Mutex<HashMap>`, so concurrent lookups on different keys
+//!   rarely contend.
+//!
+//! Neither primitive pulls in external dependencies; everything is built on
+//! `std` so the workspace keeps compiling offline.
+
+use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Mutex, OnceLock};
+
+/// A scoped thread pool with deterministic result ordering.
+///
+/// Work items are indexed `0..n`; workers claim contiguous chunks off a
+/// shared atomic cursor (chunked self-scheduling — cheap dynamic load
+/// balancing without a deque per worker) and tag every result with its
+/// index. [`ExecPool::run`] sorts the tags back into input order before
+/// returning, which is what makes parallel sweeps byte-identical to their
+/// serial counterparts.
+#[derive(Debug, Clone, Copy)]
+pub struct ExecPool {
+    threads: usize,
+}
+
+impl ExecPool {
+    /// A pool that runs work on `threads` workers. Width 0 or 1 means
+    /// serial execution on the calling thread.
+    pub fn new(threads: usize) -> Self {
+        Self { threads: threads.max(1) }
+    }
+
+    /// A pool sized from the environment: `CHATLS_THREADS` if set to a
+    /// positive integer, otherwise the machine's available parallelism.
+    pub fn from_env() -> Self {
+        let threads = std::env::var("CHATLS_THREADS")
+            .ok()
+            .and_then(|v| v.trim().parse::<usize>().ok())
+            .filter(|&n| n > 0)
+            .unwrap_or_else(|| std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1));
+        Self::new(threads)
+    }
+
+    /// The process-wide pool, sized once from the environment.
+    pub fn global() -> &'static ExecPool {
+        static GLOBAL: OnceLock<ExecPool> = OnceLock::new();
+        GLOBAL.get_or_init(ExecPool::from_env)
+    }
+
+    /// Worker count.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Evaluates `f(0), f(1), …, f(n-1)` across the pool and returns the
+    /// results in index order — identical to `(0..n).map(f).collect()`.
+    ///
+    /// Panics in `f` propagate to the caller (the scope joins all workers
+    /// first).
+    pub fn run<R, F>(&self, n: usize, f: F) -> Vec<R>
+    where
+        R: Send,
+        F: Fn(usize) -> R + Sync,
+    {
+        if self.threads <= 1 || n <= 1 {
+            return (0..n).map(f).collect();
+        }
+        let workers = self.threads.min(n);
+        // Chunks small enough that a slow item doesn't serialize its
+        // neighbors, large enough to amortize the cursor bump.
+        let chunk = (n / (workers * 4)).max(1);
+        let cursor = AtomicUsize::new(0);
+        let collected: Mutex<Vec<(usize, R)>> = Mutex::new(Vec::with_capacity(n));
+        std::thread::scope(|scope| {
+            for _ in 0..workers {
+                scope.spawn(|| {
+                    let mut local: Vec<(usize, R)> = Vec::new();
+                    loop {
+                        let start = cursor.fetch_add(chunk, Ordering::Relaxed);
+                        if start >= n {
+                            break;
+                        }
+                        for i in start..(start + chunk).min(n) {
+                            local.push((i, f(i)));
+                        }
+                    }
+                    collected.lock().unwrap().append(&mut local);
+                });
+            }
+        });
+        let mut tagged = collected.into_inner().unwrap();
+        tagged.sort_by_key(|&(i, _)| i);
+        debug_assert_eq!(tagged.len(), n);
+        tagged.into_iter().map(|(_, r)| r).collect()
+    }
+
+    /// Maps `f` over `items` across the pool, preserving input order —
+    /// identical to `items.iter().map(f).collect()`.
+    pub fn map<T, R, F>(&self, items: &[T], f: F) -> Vec<R>
+    where
+        T: Sync,
+        R: Send,
+        F: Fn(&T) -> R + Sync,
+    {
+        self.run(items.len(), |i| f(&items[i]))
+    }
+}
+
+/// Hit/miss counters of a [`ShardedCache`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CacheStats {
+    /// Lookups answered from the cache.
+    pub hits: u64,
+    /// Lookups that had to compute.
+    pub misses: u64,
+}
+
+impl CacheStats {
+    /// Hits / (hits + misses); 0 when the cache was never consulted.
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+const SHARDS: usize = 16;
+
+/// A lock-striped memo map: `SHARDS` independent `Mutex<HashMap>` shards
+/// selected by key hash, plus atomic hit/miss counters.
+///
+/// [`ShardedCache::get_or_insert_with`] releases the shard lock while the
+/// value is computed, so a slow miss never blocks lookups of other keys in
+/// the same shard. Two threads racing on the same absent key may both
+/// compute it (last write wins); since cached computations are pure this
+/// only shows up in the miss counter, never in results.
+pub struct ShardedCache<K, V> {
+    shards: Vec<Mutex<HashMap<K, V>>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl<K: Hash + Eq + Clone, V: Clone> ShardedCache<K, V> {
+    /// An empty cache.
+    pub fn new() -> Self {
+        Self {
+            shards: (0..SHARDS).map(|_| Mutex::new(HashMap::new())).collect(),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+        }
+    }
+
+    fn shard(&self, key: &K) -> &Mutex<HashMap<K, V>> {
+        let mut h = std::collections::hash_map::DefaultHasher::new();
+        key.hash(&mut h);
+        &self.shards[(h.finish() as usize) % SHARDS]
+    }
+
+    /// The cached value for `key`, or `compute()` stored under it. Counts
+    /// a hit or a miss accordingly.
+    pub fn get_or_insert_with<F: FnOnce() -> V>(&self, key: K, compute: F) -> V {
+        let shard = self.shard(&key);
+        if let Some(v) = shard.lock().unwrap().get(&key) {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return v.clone();
+        }
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        let v = compute();
+        shard.lock().unwrap().insert(key, v.clone());
+        v
+    }
+
+    /// The cached value for `key`, if present (counts nothing).
+    pub fn peek(&self, key: &K) -> Option<V> {
+        self.shard(key).lock().unwrap().get(key).cloned()
+    }
+
+    /// Number of cached entries across all shards.
+    pub fn len(&self) -> usize {
+        self.shards.iter().map(|s| s.lock().unwrap().len()).sum()
+    }
+
+    /// True when no entries are cached.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Current hit/miss counters.
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Drops all entries and zeroes the counters.
+    pub fn clear(&self) {
+        for shard in &self.shards {
+            shard.lock().unwrap().clear();
+        }
+        self.hits.store(0, Ordering::Relaxed);
+        self.misses.store(0, Ordering::Relaxed);
+    }
+}
+
+impl<K: Hash + Eq + Clone, V: Clone> Default for ShardedCache<K, V> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// FNV-1a over `bytes` — the workspace's stable 64-bit fingerprint
+/// function (content-addressed cache keys, seed derivation).
+pub fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU32;
+
+    #[test]
+    fn run_matches_serial_in_order() {
+        let serial: Vec<u64> = (0..257).map(|i| (i as u64) * 3 + 1).collect();
+        for threads in [1, 2, 4, 7] {
+            let pool = ExecPool::new(threads);
+            let parallel = pool.run(257, |i| (i as u64) * 3 + 1);
+            assert_eq!(parallel, serial, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn map_preserves_input_order() {
+        let items: Vec<String> = (0..50).map(|i| format!("d{i}")).collect();
+        let pool = ExecPool::new(4);
+        let out = pool.map(&items, |s| format!("{s}!"));
+        let expect: Vec<String> = items.iter().map(|s| format!("{s}!")).collect();
+        assert_eq!(out, expect);
+    }
+
+    #[test]
+    fn run_handles_empty_and_single() {
+        let pool = ExecPool::new(8);
+        assert_eq!(pool.run(0, |i| i), Vec::<usize>::new());
+        assert_eq!(pool.run(1, |i| i + 10), vec![10]);
+    }
+
+    #[test]
+    fn every_index_runs_exactly_once() {
+        let n = 1000;
+        let counts: Vec<AtomicU32> = (0..n).map(|_| AtomicU32::new(0)).collect();
+        let pool = ExecPool::new(6);
+        pool.run(n, |i| counts[i].fetch_add(1, Ordering::Relaxed));
+        for (i, c) in counts.iter().enumerate() {
+            assert_eq!(c.load(Ordering::Relaxed), 1, "index {i}");
+        }
+    }
+
+    #[test]
+    fn from_env_reads_override() {
+        // Serialize against other tests via a local lock on the env var.
+        std::env::set_var("CHATLS_THREADS", "3");
+        assert_eq!(ExecPool::from_env().threads(), 3);
+        std::env::set_var("CHATLS_THREADS", "not-a-number");
+        assert!(ExecPool::from_env().threads() >= 1);
+        std::env::remove_var("CHATLS_THREADS");
+    }
+
+    #[test]
+    fn cache_hits_and_misses_count() {
+        let cache: ShardedCache<u64, String> = ShardedCache::new();
+        let a = cache.get_or_insert_with(7, || "seven".to_string());
+        assert_eq!(a, "seven");
+        let b = cache.get_or_insert_with(7, || panic!("must hit"));
+        assert_eq!(b, "seven");
+        let stats = cache.stats();
+        assert_eq!((stats.hits, stats.misses), (1, 1));
+        assert!((stats.hit_rate() - 0.5).abs() < 1e-12);
+        assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn cache_is_safe_under_contention() {
+        let cache: ShardedCache<usize, usize> = ShardedCache::new();
+        let pool = ExecPool::new(8);
+        let out = pool.run(400, |i| cache.get_or_insert_with(i % 10, || (i % 10) * 2));
+        for (i, v) in out.iter().enumerate() {
+            assert_eq!(*v, (i % 10) * 2);
+        }
+        assert_eq!(cache.len(), 10);
+        let stats = cache.stats();
+        assert_eq!(stats.hits + stats.misses, 400);
+        assert!(stats.hits > 0);
+    }
+
+    #[test]
+    fn cache_clear_resets() {
+        let cache: ShardedCache<u8, u8> = ShardedCache::new();
+        cache.get_or_insert_with(1, || 2);
+        cache.clear();
+        assert!(cache.is_empty());
+        assert_eq!(cache.stats(), CacheStats::default());
+    }
+
+    #[test]
+    fn fnv1a_is_stable_and_discriminating() {
+        assert_eq!(fnv1a(b""), 0xcbf2_9ce4_8422_2325);
+        assert_ne!(fnv1a(b"compile"), fnv1a(b"compile_ultra"));
+        assert_eq!(fnv1a(b"aes"), fnv1a(b"aes"));
+    }
+}

@@ -35,4 +35,4 @@ mod trainer;
 
 pub use graph::FeatureGraph;
 pub use sage::{pool_modules, unpool_modules, Aggregator, ForwardCache, SageLayer, SageModel};
-pub use trainer::{train, EpochStats, MetricLoss, TrainConfig, Trained};
+pub use trainer::{train, train_with, EpochStats, MetricLoss, TrainConfig, Trained};

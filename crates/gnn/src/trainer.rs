@@ -9,6 +9,7 @@
 use crate::graph::FeatureGraph;
 use crate::metric::{contrastive_loss, multi_similarity_loss, separation_score};
 use crate::sage::{Aggregator, SageModel};
+use chatls_exec::ExecPool;
 use chatls_tensor::opt::{Adam, Optimizer};
 use chatls_tensor::Matrix;
 use serde::{Deserialize, Serialize};
@@ -101,6 +102,18 @@ pub struct Trained {
 /// assert_eq!(trained.history.len(), 5);
 /// ```
 pub fn train(graphs: &[FeatureGraph], labels: &[u32], config: &TrainConfig) -> Trained {
+    train_with(ExecPool::global(), graphs, labels, config)
+}
+
+/// [`train`] on an explicit pool. The trained model is bitwise identical
+/// for any pool width: per-graph forward/backward fan out, but gradient
+/// accumulation and the optimizer step stay serial in graph order.
+pub fn train_with(
+    pool: &ExecPool,
+    graphs: &[FeatureGraph],
+    labels: &[u32],
+    config: &TrainConfig,
+) -> Trained {
     assert_eq!(graphs.len(), labels.len(), "labels length mismatch");
     assert!(!graphs.is_empty(), "need at least one graph");
     let mut model = SageModel::new(&config.dims, config.aggregator, config.seed);
@@ -109,8 +122,9 @@ pub fn train(graphs: &[FeatureGraph], labels: &[u32], config: &TrainConfig) -> T
     let mut history = Vec::with_capacity(config.epochs);
 
     for epoch in 0..config.epochs {
-        // Forward all graphs; collect global embeddings.
-        let caches: Vec<_> = graphs.iter().map(|g| model.forward(g)).collect();
+        // Forward all graphs in parallel (the model is immutable within an
+        // epoch); caches come back in graph order.
+        let caches: Vec<_> = pool.map(graphs, |g| model.forward(g));
         let mut embeds = Matrix::zeros(graphs.len(), out_dim);
         for (gi, cache) in caches.iter().enumerate() {
             embeds.set_row(gi, &cache.output.mean_rows());
@@ -124,9 +138,12 @@ pub fn train(graphs: &[FeatureGraph], labels: &[u32], config: &TrainConfig) -> T
         history.push(EpochStats { epoch, loss, separation: separation_score(&embeds, labels) });
 
         // Backprop: global mean pooling distributes the gradient evenly.
-        let mut weight_grads: Vec<Matrix> =
-            model.layers.iter().map(|l| Matrix::zeros(l.weight.rows(), l.weight.cols())).collect();
-        for (gi, (graph, cache)) in graphs.iter().zip(&caches).enumerate() {
+        // Per-graph gradients are independent, so they run in parallel;
+        // accumulation stays serial in graph order, which keeps every
+        // float-add in the same order as the serial loop — the trained
+        // model is bitwise identical for any pool width.
+        let per_graph: Vec<Vec<Matrix>> = pool.run(graphs.len(), |gi| {
+            let (graph, cache) = (&graphs[gi], &caches[gi]);
             let n = graph.num_nodes().max(1);
             let mut d_out = Matrix::zeros(n, out_dim);
             for v in 0..n {
@@ -134,8 +151,12 @@ pub fn train(graphs: &[FeatureGraph], labels: &[u32], config: &TrainConfig) -> T
                     d_out[(v, f)] = d_embeds[(gi, f)] / n as f32;
                 }
             }
-            let grads = model.backward(graph, cache, &d_out);
-            for (acc, g) in weight_grads.iter_mut().zip(&grads) {
+            model.backward(graph, cache, &d_out)
+        });
+        let mut weight_grads: Vec<Matrix> =
+            model.layers.iter().map(|l| Matrix::zeros(l.weight.rows(), l.weight.cols())).collect();
+        for grads in &per_graph {
+            for (acc, g) in weight_grads.iter_mut().zip(grads) {
                 acc.axpy(1.0, g);
             }
         }
@@ -239,6 +260,18 @@ mod tests {
         let a = train(&graphs, &labels, &cfg);
         let b = train(&graphs, &labels, &cfg);
         assert_eq!(a.model, b.model);
+    }
+
+    #[test]
+    fn thread_count_does_not_change_the_model() {
+        let (graphs, labels) = families(2);
+        let cfg = TrainConfig { dims: vec![4, 6, 4], epochs: 15, ..TrainConfig::default() };
+        let serial = train_with(&ExecPool::new(1), &graphs, &labels, &cfg);
+        for threads in [2, 4, 8] {
+            let parallel = train_with(&ExecPool::new(threads), &graphs, &labels, &cfg);
+            assert_eq!(parallel.model, serial.model, "threads={threads}");
+            assert_eq!(parallel.history, serial.history, "threads={threads}");
+        }
     }
 
     #[test]

@@ -48,4 +48,6 @@ pub mod tool;
 
 pub use design::{MappedDesign, SynthesisError};
 pub use sta::{Constraints, QorReport, TimingReport};
-pub use tool::{command_manual, ManualEntry, RunResult, ScriptError, SynthSession};
+pub use tool::{
+    command_manual, ManualEntry, RunResult, ScriptError, SessionTemplate, SynthSession,
+};

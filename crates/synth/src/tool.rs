@@ -523,6 +523,61 @@ pub fn command_spec(name: &str) -> Option<&'static CommandSpec> {
     command_specs().iter().find(|s| s.name == name)
 }
 
+/// The immutable, shareable part of a synthesis session: one design's
+/// netlist elaborated and mapped onto the library exactly once.
+///
+/// Building a [`SynthSession`] from scratch re-parses the Verilog, lowers
+/// it and re-maps every gate — the dominant cost when the same design is
+/// synthesized under many candidate scripts. A template pays that cost
+/// once; [`SessionTemplate::session`] then stamps out fresh sessions by
+/// cloning the mapped design, which is cheap and side-effect free, so one
+/// template can serve many threads concurrently (`&SessionTemplate` is
+/// `Sync`: the struct is immutable after construction).
+#[derive(Debug, Clone)]
+pub struct SessionTemplate {
+    library: Library,
+    design: MappedDesign,
+}
+
+impl SessionTemplate {
+    /// Maps `netlist` onto `library` at lowest drive, once.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the library lacks cells for the netlist's gates.
+    pub fn new(netlist: Netlist, library: Library) -> Result<Self, crate::design::SynthesisError> {
+        let design = MappedDesign::map(netlist, &library)?;
+        Ok(Self { library, design })
+    }
+
+    /// The target library.
+    pub fn library(&self) -> &Library {
+        &self.library
+    }
+
+    /// The mapped design in its pristine (pre-script) state.
+    pub fn design(&self) -> &MappedDesign {
+        &self.design
+    }
+
+    /// A fresh session over the pristine mapped design: default
+    /// constraints, empty log, nothing ungrouped. Equivalent to
+    /// [`SynthSession::new`] minus the elaboration and mapping cost.
+    pub fn session(&self) -> SynthSession {
+        SynthSession {
+            library: self.library.clone(),
+            design: self.design.clone(),
+            constraints: Constraints::default(),
+            ungrouped: false,
+            max_fanout: None,
+            clock_defined: false,
+            gating_style_set: false,
+            log: Vec::new(),
+            last_netlist: None,
+        }
+    }
+}
+
 /// A scripted synthesis session over one design.
 #[derive(Debug, Clone)]
 pub struct SynthSession {
@@ -544,18 +599,7 @@ impl SynthSession {
     ///
     /// Returns an error if the library lacks cells for the netlist's gates.
     pub fn new(netlist: Netlist, library: Library) -> Result<Self, crate::design::SynthesisError> {
-        let design = MappedDesign::map(netlist, &library)?;
-        Ok(Self {
-            library,
-            design,
-            constraints: Constraints::default(),
-            ungrouped: false,
-            max_fanout: None,
-            clock_defined: false,
-            gating_style_set: false,
-            log: Vec::new(),
-            last_netlist: None,
-        })
+        Ok(SessionTemplate::new(netlist, library)?.session())
     }
 
     /// Current constraints.
@@ -969,6 +1013,22 @@ mod tests {
     const PIPE: &str = "module pipe(input clk, input [15:0] a, b, output reg [15:0] q);
         always @(posedge clk) q <= (a + b) + (a ^ b) + (a & b);
     endmodule";
+
+    #[test]
+    fn template_sessions_match_fresh_sessions() {
+        let sf = parse(PIPE).unwrap();
+        let nl = lower_to_netlist(&sf, "pipe").unwrap();
+        let template = SessionTemplate::new(nl.clone(), nangate45()).unwrap();
+        let script =
+            "create_clock -period 0.6 [get_ports clk]\ncompile -map_effort high\nreport_qor";
+        let fresh = SynthSession::new(nl, nangate45()).unwrap().run_script(script);
+        // Two stamped sessions: the second must see pristine state (the
+        // first run's compile/log must not leak through the template).
+        let first = template.session().run_script(script);
+        let second = template.session().run_script(script);
+        assert_eq!(first, fresh);
+        assert_eq!(second, fresh);
+    }
 
     #[test]
     fn baseline_script_runs_clean() {

@@ -1,0 +1,66 @@
+//! Thread-count invariance of the parallel evaluation engine.
+//!
+//! The tab3-style evaluation must produce identical QoR reports whether it
+//! runs on one thread or many, and identical results on a cold or a warm
+//! [`QorCache`] — cache statistics are observability, never outputs.
+
+use chatls::eval::{pass_at_k_on, QorCache};
+use chatls::llm::gpt_like;
+use chatls::pipeline::prepare_task;
+use chatls_exec::ExecPool;
+
+#[test]
+fn pass_at_k_is_identical_across_thread_counts() {
+    let design = chatls_designs::by_name("dynamic_node").expect("benchmark");
+    let task = prepare_task(&design, "optimize timing");
+    let model = gpt_like();
+
+    let serial_cache = QorCache::new();
+    let serial = pass_at_k_on(&ExecPool::new(1), &serial_cache, &model, &design, &task, 4);
+    for threads in [2, 4, 8] {
+        let cache = QorCache::new();
+        let row = pass_at_k_on(&ExecPool::new(threads), &cache, &model, &design, &task, 4);
+        assert_eq!(serial, row, "{threads}-thread evaluation must match serial");
+    }
+}
+
+#[test]
+fn warm_cache_changes_statistics_not_results() {
+    let design = chatls_designs::by_name("riscv32i").expect("benchmark");
+    let task = prepare_task(&design, "optimize timing");
+    let model = gpt_like();
+    let pool = ExecPool::new(4);
+    let cache = QorCache::new();
+
+    let cold = pass_at_k_on(&pool, &cache, &model, &design, &task, 3);
+    let cold_stats = cache.stats();
+    assert!(cold_stats.misses > 0, "a cold cache must record misses");
+
+    let warm = pass_at_k_on(&pool, &cache, &model, &design, &task, 3);
+    let warm_stats = cache.stats();
+    assert_eq!(cold, warm, "memoized rerun must be byte-identical");
+    assert!(warm_stats.hits > 0, "a repeated evaluation must hit the cache");
+    assert!(warm_stats.hit_rate() > 0.0);
+    // Every script of the rerun was already cached: no new entries.
+    assert_eq!(warm_stats.misses, cold_stats.misses);
+}
+
+#[test]
+fn caches_are_design_keyed() {
+    // Two designs sharing a script must not collide in one cache.
+    let a = chatls_designs::by_name("riscv32i").expect("benchmark");
+    let b = chatls_designs::by_name("dynamic_node").expect("benchmark");
+    let cache = QorCache::new();
+    let script = "create_clock -period 9.0 [get_ports clk]\ncompile\nreport_qor\n";
+
+    let fp_a = chatls::eval::design_fingerprint(&a);
+    let fp_b = chatls::eval::design_fingerprint(&b);
+    assert_ne!(fp_a, fp_b);
+
+    let ta = chatls::eval::session_template(&a);
+    let tb = chatls::eval::session_template(&b);
+    let (qa, _) = cache.get_or_run(fp_a, script, || chatls::eval::run_script_in(&ta, script));
+    let (qb, _) = cache.get_or_run(fp_b, script, || chatls::eval::run_script_in(&tb, script));
+    assert_ne!(qa.area, qb.area, "designs must be cached independently");
+    assert_eq!(cache.len(), 2);
+}

@@ -29,11 +29,19 @@ pub struct Bencher {
     /// Mean nanoseconds per iteration, recorded by the measurement loop.
     mean_ns: f64,
     iters: u64,
+    /// In test mode (`cargo bench -- --test`) each routine runs exactly
+    /// once, untimed — a smoke check that benches still compile and run.
+    test_mode: bool,
 }
 
 impl Bencher {
     /// Times `routine` repeatedly and records the mean per-call duration.
     pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        if self.test_mode {
+            std::hint::black_box(routine());
+            self.iters = 1;
+            return;
+        }
         // Warm-up: run until ~10ms or 3 calls, whichever is later.
         let warm_start = Instant::now();
         let mut warm_calls = 0u64;
@@ -68,6 +76,11 @@ impl Bencher {
         S: FnMut() -> I,
         R: FnMut(I) -> O,
     {
+        if self.test_mode {
+            std::hint::black_box(routine(setup()));
+            self.iters = 1;
+            return;
+        }
         let mut total = Duration::ZERO;
         let mut iters = 0u64;
         // One timed call per sample; setup stays off the clock.
@@ -83,17 +96,36 @@ impl Bencher {
     }
 }
 
+/// True when the process was invoked with `--test` (as `cargo bench --
+/// --test` does): benches run once each, untimed — the CI smoke mode.
+pub fn is_test_mode() -> bool {
+    std::env::args().skip(1).any(|a| a == "--test")
+}
+
+/// One completed measurement, retrievable via [`Criterion::results`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct BenchResult {
+    /// Benchmark name as passed to `bench_function`.
+    pub name: String,
+    /// Mean wall-clock nanoseconds per iteration.
+    pub mean_ns: f64,
+    /// Total timed iterations.
+    pub iters: u64,
+}
+
 /// Benchmark harness entry point.
 pub struct Criterion {
     sample_size: usize,
     filter: Option<String>,
+    test_mode: bool,
+    results: Vec<BenchResult>,
 }
 
 impl Default for Criterion {
     fn default() -> Self {
         // Honor `cargo bench -- <filter>` the way upstream does.
         let filter = std::env::args().skip(1).find(|a| !a.starts_with('-') && a != "--bench");
-        Self { sample_size: 20, filter }
+        Self { sample_size: 20, filter, test_mode: is_test_mode(), results: Vec::new() }
     }
 }
 
@@ -104,17 +136,38 @@ impl Criterion {
         self
     }
 
-    /// Runs one named benchmark and prints its mean time.
+    /// Runs one named benchmark and prints its mean time. In test mode the
+    /// routine runs exactly once, nothing is timed, and no result is
+    /// recorded.
     pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
         if let Some(filter) = &self.filter {
             if !name.contains(filter.as_str()) {
                 return self;
             }
         }
-        let mut b = Bencher { samples: self.sample_size, mean_ns: 0.0, iters: 0 };
+        let mut b = Bencher {
+            samples: self.sample_size,
+            mean_ns: 0.0,
+            iters: 0,
+            test_mode: self.test_mode,
+        };
         f(&mut b);
-        println!("{name:<40} {:>14}/iter ({} iters)", format_ns(b.mean_ns), b.iters);
+        if self.test_mode {
+            println!("{name:<40} ok (test mode, 1 iter)");
+        } else {
+            println!("{name:<40} {:>14}/iter ({} iters)", format_ns(b.mean_ns), b.iters);
+            self.results.push(BenchResult {
+                name: name.to_string(),
+                mean_ns: b.mean_ns,
+                iters: b.iters,
+            });
+        }
         self
+    }
+
+    /// Measurements recorded so far (empty in test mode).
+    pub fn results(&self) -> &[BenchResult] {
+        &self.results
     }
 }
 
@@ -170,16 +223,39 @@ mod tests {
         });
     }
 
+    fn test_criterion(filter: Option<String>, test_mode: bool) -> Criterion {
+        Criterion { sample_size: 2, filter, test_mode, results: Vec::new() }
+    }
+
     #[test]
     fn harness_runs_and_reports() {
-        let mut c = Criterion { sample_size: 2, filter: None };
+        let mut c = test_criterion(None, false);
         tiny_bench(&mut c);
+        let names: Vec<&str> = c.results().iter().map(|r| r.name.as_str()).collect();
+        assert_eq!(names, ["tiny/sum", "tiny/batched"]);
+        assert!(c.results().iter().all(|r| r.iters >= 1 && r.mean_ns >= 0.0));
     }
 
     #[test]
     fn filter_skips_nonmatching() {
-        let mut c = Criterion { sample_size: 2, filter: Some("nomatch".into()) };
+        let mut c = test_criterion(Some("nomatch".into()), false);
         c.bench_function("other/name", |_b| panic!("filtered benches must not run"));
+    }
+
+    #[test]
+    fn test_mode_runs_once_and_records_nothing() {
+        let mut c = test_criterion(None, true);
+        let mut calls = 0u32;
+        c.bench_function("smoke/once", |b| {
+            b.iter(|| calls += 1);
+        });
+        assert_eq!(calls, 1);
+        let mut batched = 0u32;
+        c.bench_function("smoke/batched", |b| {
+            b.iter_batched(|| 7u64, |_x| batched += 1, BatchSize::SmallInput)
+        });
+        assert_eq!(batched, 1);
+        assert!(c.results().is_empty());
     }
 
     #[test]
