@@ -85,7 +85,7 @@ fn bench_textembed(c: &mut Criterion) {
 fn bench_synth(c: &mut Criterion) {
     use chatls_synth::passes::{compile, Effort};
     use chatls_synth::sta::{analyze, Constraints};
-    use chatls_synth::MappedDesign;
+    use chatls_synth::{MappedDesign, TimingGraph, TimingView};
     let lib = chatls_liberty::nangate45();
     let design = chatls_designs::by_name("aes").expect("benchmark");
     let netlist = design.netlist();
@@ -97,7 +97,11 @@ fn bench_synth(c: &mut Criterion) {
     c.bench_function("synth/compile_medium_aes", |b| {
         b.iter_batched(
             || mapped.clone(),
-            |mut d| compile(&mut d, &lib, &constraints, Effort::Medium),
+            |mut d| {
+                let mut graph = TimingGraph::new();
+                let mut view = TimingView::new(&mut d, &mut graph, &lib, &constraints);
+                compile(&mut view, Effort::Medium)
+            },
             BatchSize::LargeInput,
         )
     });

@@ -1,16 +1,21 @@
 //! Criterion benchmarks for the synthesis execution engine: `run_script`
-//! (fresh session vs. a reusable [`SessionTemplate`]), full STA on the
-//! largest catalog design, one GNN training epoch, and the tensor matmul
-//! kernel.
+//! (fresh session vs. a reusable [`SessionTemplate`]), full vs. incremental
+//! STA on the largest catalog design, timing-driven sizing with and without
+//! the persistent timing graph, one GNN training epoch, and the tensor
+//! matmul kernel.
 //!
 //! Uses a custom `main` instead of `criterion_main!` so the recorded
 //! measurements can be written to `BENCH_synth.json` at the workspace root
 //! — the perf trajectory is tracked in-tree from this PR onward. In test
-//! mode (`cargo bench -- --test`) every routine runs once, untimed, and no
-//! file is written.
+//! mode (`cargo bench -- --test`) every routine runs once, untimed, no file
+//! is written, and the clean-design cache guard still runs — CI fails if a
+//! clean repeated query stops hitting the incremental cache.
 
 use chatls::eval::{run_script_in, session_template};
 use chatls_gnn::{train, TrainConfig};
+use chatls_synth::passes::{next_drive, size_cells};
+use chatls_synth::sta::{self, Constraints};
+use chatls_synth::{MappedDesign, TimingGraph, TimingView};
 use chatls_tensor::Matrix;
 use criterion::{BenchResult, Criterion};
 use rand::rngs::StdRng;
@@ -46,10 +51,189 @@ fn bench_sta(c: &mut Criterion) {
     // swerv is the largest Table IV catalog design.
     let design = chatls_designs::by_name("swerv").expect("catalog design");
     let template = session_template(&design);
-    let session = template.session();
+    let mut session = template.session();
 
-    c.bench_function("synth/full_sta_swerv", |b| b.iter(|| black_box(&session).timing_report()));
-    c.bench_function("synth/qor_swerv", |b| b.iter(|| black_box(&session).qor()));
+    // From-scratch analysis on every iteration — the pre-incremental cost.
+    c.bench_function("synth/full_sta_swerv", |b| {
+        b.iter(|| {
+            sta::analyze(
+                black_box(session.design()),
+                session.library(),
+                black_box(session.constraints()),
+            )
+        })
+    });
+    // The session path: served from the persistent graph once warm.
+    c.bench_function("synth/qor_swerv", |b| b.iter(|| black_box(&mut session).qor()));
+}
+
+/// Upsizes and immediately downsizes one critical gate per iteration so the
+/// design returns to its starting state; `query` is charged with making the
+/// timing report current again after each pair of edits.
+fn resize_roundtrip(
+    design: &mut MappedDesign,
+    graph: &mut TimingGraph,
+    lib: &chatls_liberty::Library,
+    cons: &Constraints,
+    victims: &[usize],
+    i: usize,
+    full_recompute: bool,
+) -> f64 {
+    let gi = victims[i % victims.len()];
+    let graph_query = |d: &mut MappedDesign, g: &mut TimingGraph, gi: usize, up: bool| {
+        let mut view = TimingView::new(d, g, lib, cons);
+        let next = next_drive(lib, &view.design().cells[gi], up).expect("drive step");
+        view.resize_cell(gi, next);
+        view.report().wns
+    };
+    if full_recompute {
+        let up = next_drive(lib, &design.cells[gi], true).expect("drive step");
+        design.cells[gi] = up;
+        let w1 = sta::analyze(design, lib, cons).wns;
+        let down = next_drive(lib, &design.cells[gi], false).expect("drive step");
+        design.cells[gi] = down;
+        w1 + sta::analyze(design, lib, cons).wns
+    } else {
+        graph_query(design, graph, gi, true) + graph_query(design, graph, gi, false)
+    }
+}
+
+fn bench_incremental_sta(c: &mut Criterion) {
+    let design = chatls_designs::by_name("swerv").expect("catalog design");
+    let template = session_template(&design);
+    let lib = template.library().clone();
+    let cons = Constraints { clock_period: 0.9, ..Constraints::default() };
+    let mut mapped = template.design().clone();
+    // Gates that can step a drive strength both ways.
+    let victims: Vec<usize> = (0..mapped.netlist.gates.len())
+        .filter(|&gi| {
+            !mapped.is_dead(gi)
+                && next_drive(&lib, &mapped.cells[gi], true).is_some()
+                && !mapped.netlist.gates[gi].kind.is_sequential()
+        })
+        .take(64)
+        .collect();
+    assert!(!victims.is_empty(), "swerv must have resizable gates");
+
+    let mut graph = TimingGraph::new();
+    {
+        // Warm build outside the timed region.
+        let mut view = TimingView::new(&mut mapped, &mut graph, &lib, &cons);
+        view.report();
+    }
+    let mut i = 0usize;
+    c.bench_function("synth/incremental_sta_resize_swerv", |b| {
+        b.iter(|| {
+            i += 1;
+            resize_roundtrip(&mut mapped, &mut graph, &lib, &cons, &victims, i, false)
+        })
+    });
+    let mut j = 0usize;
+    c.bench_function("synth/full_recompute_resize_swerv", |b| {
+        b.iter(|| {
+            j += 1;
+            resize_roundtrip(&mut mapped, &mut graph, &lib, &cons, &victims, j, true)
+        })
+    });
+}
+
+/// The pre-incremental `size_cells` loop: a fresh full `analyze` and
+/// `slack_map` per round, exactly as the pass ran before the persistent
+/// timing graph (the comparison baseline for `size_cells_rounds_aes`).
+fn size_cells_full_recompute(
+    design: &mut MappedDesign,
+    library: &chatls_liberty::Library,
+    constraints: &Constraints,
+    rounds: usize,
+) -> usize {
+    let mut resized = 0usize;
+    for _ in 0..rounds {
+        let before = sta::analyze(design, library, constraints);
+        if before.cps >= constraints.critical_range.max(0.0) {
+            break;
+        }
+        let slacks = sta::slack_map(design, library, constraints);
+        let threshold = before.cps + constraints.critical_range;
+        let snapshot = design.cells.clone();
+        let mut any = false;
+        for gi in 0..design.netlist.gates.len() {
+            if design.is_dead(gi) || design.cells[gi].is_empty() {
+                continue;
+            }
+            let out = design.netlist.gates[gi].output;
+            if slacks.slack(out) > threshold {
+                continue;
+            }
+            if let Some(next) = next_drive(library, &design.cells[gi], true) {
+                design.cells[gi] = next;
+                resized += 1;
+                any = true;
+            }
+        }
+        if !any {
+            break;
+        }
+        let after = sta::analyze(design, library, constraints);
+        if after.cps < before.cps {
+            design.cells = snapshot;
+            break;
+        }
+    }
+    resized
+}
+
+fn bench_size_cells(c: &mut Criterion) {
+    let design = chatls_designs::by_name("aes").expect("catalog design");
+    let template = session_template(&design);
+    let lib = template.library().clone();
+    let cons = Constraints { clock_period: 0.7, ..Constraints::default() };
+    let reference = template.design().clone();
+
+    c.bench_function("synth/size_cells_rounds_aes", |b| {
+        b.iter(|| {
+            let mut d = reference.clone();
+            let mut g = TimingGraph::new();
+            let mut view = TimingView::new(&mut d, &mut g, &lib, &cons);
+            black_box(size_cells(&mut view, 4))
+        })
+    });
+    c.bench_function("synth/size_cells_rounds_aes_full_recompute", |b| {
+        b.iter(|| {
+            let mut d = reference.clone();
+            black_box(size_cells_full_recompute(&mut d, &lib, &cons, 4))
+        })
+    });
+}
+
+/// CI guard: a clean repeated query on an unmodified design must be served
+/// from the incremental cache, never by a fresh rebuild. Runs in both bench
+/// and `--test` smoke mode, so the pipeline fails if the incremental path
+/// regresses to full recomputation.
+fn assert_clean_design_hits_cache() {
+    let design = chatls_designs::by_name("dynamic_node").expect("catalog design");
+    let template = session_template(&design);
+    let lib = template.library().clone();
+    let cons = Constraints { clock_period: 0.9, ..Constraints::default() };
+    let mut mapped = template.design().clone();
+    let mut graph = TimingGraph::new();
+    {
+        let mut view = TimingView::new(&mut mapped, &mut graph, &lib, &cons);
+        view.report();
+        view.report();
+        view.qor();
+        view.slack_map();
+    }
+    let stats = graph.stats();
+    assert_eq!(
+        stats.full_builds, 1,
+        "clean design rebuilt {} times: the incremental path fell back to full recompute",
+        stats.full_builds
+    );
+    assert!(
+        stats.clean_hits >= 3,
+        "expected >=3 clean-cache hits on an unmodified design, saw {}",
+        stats.clean_hits
+    );
 }
 
 fn bench_gnn_epoch(c: &mut Criterion) {
@@ -97,9 +281,13 @@ fn bench_matmul(c: &mut Criterion) {
 }
 
 fn main() {
+    assert_clean_design_hits_cache();
+
     let mut criterion = Criterion::default().sample_size(10);
     bench_run_script(&mut criterion);
     bench_sta(&mut criterion);
+    bench_incremental_sta(&mut criterion);
+    bench_size_cells(&mut criterion);
     bench_gnn_epoch(&mut criterion);
     bench_matmul(&mut criterion);
 

@@ -10,7 +10,7 @@
 //! Table IV baseline; ChatLS achieves the best timing on every design;
 //! ethmac and tinyRocket keep residual violations after one iteration.
 
-use chatls::eval::{pass_at_k, EvalRow, QorCache};
+use chatls::eval::{pass_at_k, EvalRow};
 use chatls::llm::{claude_like, gpt_like, Generator};
 use chatls::pipeline::{prepare_task, ChatLs};
 use chatls_bench::{header, save_json};
@@ -119,16 +119,9 @@ fn main() {
         }
     }
     save_json("tab3_comparison", &Output { rows, baseline });
-    // Cache telemetry goes to stderr: stdout and the JSON artifact stay
-    // byte-identical whatever the hit pattern was.
-    let stats = QorCache::global().stats();
-    eprintln!(
-        "QorCache: {} hits / {} misses (hit-rate {:.1}%, {} entries)",
-        stats.hits,
-        stats.misses,
-        stats.hit_rate() * 100.0,
-        QorCache::global().len()
-    );
+    // Cache and incremental-STA telemetry go to stderr: stdout and the JSON
+    // artifact stay byte-identical whatever the hit pattern was.
+    chatls::eval::print_eval_telemetry();
 }
 
 fn short(model: &str) -> &str {

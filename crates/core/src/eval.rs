@@ -136,6 +136,27 @@ impl Default for QorCache {
     }
 }
 
+/// Prints evaluation-engine telemetry to stderr: the global [`QorCache`]
+/// hit/miss counters and the process-wide incremental-STA counters (full
+/// rebuilds vs. dirty-worklist updates vs. clean-cache hits). Stdout is
+/// never touched, so experiment output stays byte-identical whatever the
+/// cache and timing-graph hit patterns were.
+pub fn print_eval_telemetry() {
+    let stats = QorCache::global().stats();
+    eprintln!(
+        "QorCache: {} hits / {} misses (hit-rate {:.1}%, {} entries)",
+        stats.hits,
+        stats.misses,
+        stats.hit_rate() * 100.0,
+        QorCache::global().len()
+    );
+    let sta = chatls_synth::sta_telemetry();
+    eprintln!(
+        "IncrementalSTA: {} full rebuilds / {} worklist updates / {} clean hits",
+        sta.full_builds, sta.incremental_updates, sta.clean_hits
+    );
+}
+
 /// Builds the reusable session template for a design: Verilog elaborated
 /// and mapped onto the library once; sessions stamp out cheaply from it.
 ///

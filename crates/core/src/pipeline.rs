@@ -69,6 +69,7 @@ pub fn prepare_task(design: &GeneratedDesign, user_request: &str) -> TaskContext
             critical_modules,
             starts_at_input,
         },
+        timing_lint: chatls_lint::lint_timing(&timing).diagnostics,
     }
 }
 

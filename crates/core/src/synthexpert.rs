@@ -173,10 +173,14 @@ impl<'db> SynthExpert<'db> {
         // T3: critical-path evidence.
         {
             let code = self.rag.code_for_path(&task.baseline.critical_modules);
-            let retrieved: Vec<String> = code
+            let mut retrieved: Vec<String> = code
                 .iter()
                 .map(|(name, text)| format!("{name} ({} lines)", text.lines().count()))
                 .collect();
+            // Timing-analysis hazards from the baseline run (e.g. NL006
+            // cycle remnants): the expert must know when the slack numbers
+            // it is reasoning from are single-pass pessimistic.
+            retrieved.extend(task.timing_lint.iter().map(|d| d.to_string()));
             steps.push(ThoughtStep {
                 index: 3,
                 thought: "Inspect the modules on the reported critical path".into(),
@@ -543,6 +547,7 @@ mod tests {
             user_request: request.into(),
             traits: detect_traits(&d.netlist()),
             baseline: TimingSummary { cps, wns: cps.min(0.0), ..TimingSummary::default() },
+            timing_lint: Vec::new(),
         }
     }
 

@@ -32,7 +32,9 @@
 //! Netlist issues from [`chatls_verilog::netlist::Netlist::lint`] surface
 //! through [`lint_netlist`] under their `NL0xx` codes (NL001 multiple
 //! drivers, NL002 floating net, NL003 combinational loop, NL004 dead
-//! gate, NL005 dangling reference).
+//! gate, NL005 dangling reference). Timing-analysis hazards surface
+//! through [`lint_timing`] (NL006: combinational cycle remnants make the
+//! reported arrivals single-pass pessimistic).
 //!
 //! The argument grammar comes from
 //! [`chatls_synth::tool::command_specs`], which is kept in lockstep with
@@ -545,6 +547,31 @@ pub fn lint_netlist(netlist: &Netlist) -> LintReport {
             diag(&issue.code, severity, 0, issue.message, None)
         })
         .collect();
+    LintReport { diagnostics }
+}
+
+/// Lints a timing report for analysis-quality hazards (rule NL006).
+///
+/// NL006 fires when the combinational topo sort left gates on feedback
+/// loops: arrival times through those cones are single-pass pessimistic
+/// rather than fixed-point values, so the reported WNS/CPS/TNS may
+/// understate the design's real timing. Surfaced to SynthExpert so a
+/// revision round knows the numbers it is optimizing against are suspect.
+pub fn lint_timing(report: &chatls_synth::TimingReport) -> LintReport {
+    let mut diagnostics = Vec::new();
+    if report.combinational_cycles > 0 {
+        diagnostics.push(diag(
+            "NL006",
+            Severity::Warning,
+            0,
+            format!(
+                "{} combinational gate(s) sit on feedback loops; arrival times through \
+                 them are single-pass pessimistic, not fixed-point values",
+                report.combinational_cycles
+            ),
+            Some("break the combinational cycle (e.g. register the loop) before trusting WNS/CPS/TNS".into()),
+        ));
+    }
     LintReport { diagnostics }
 }
 

@@ -44,10 +44,15 @@ pub mod passes;
 pub mod power;
 pub mod script;
 pub mod sta;
+pub mod timing_graph;
 pub mod tool;
 
 pub use design::{MappedDesign, SynthesisError};
 pub use sta::{Constraints, QorReport, TimingReport};
+pub use timing_graph::{
+    reset_sta_telemetry, set_sta_check, sta_check_enabled, sta_telemetry, StaTelemetry,
+    TimingGraph, TimingView,
+};
 pub use tool::{
     command_manual, ManualEntry, RunResult, ScriptError, SessionTemplate, SynthSession,
 };

@@ -6,7 +6,7 @@
 //! simulating random stimulus before and after each pass.
 
 use crate::design::MappedDesign;
-use crate::sta::{analyze, slack_map, Constraints};
+use crate::timing_graph::TimingView;
 use chatls_liberty::Library;
 use chatls_verilog::netlist::GateKind;
 use serde::{Deserialize, Serialize};
@@ -378,25 +378,21 @@ pub fn absorb_inverters(design: &mut MappedDesign, library: &Library) -> PassSta
 /// Each round computes the slack map and bumps every driver of a net whose
 /// slack is within `constraints.critical_range` of the worst slack to the
 /// next drive variant. Rounds that fail to improve CPS are rolled back.
-pub fn size_cells(
-    design: &mut MappedDesign,
-    library: &Library,
-    constraints: &Constraints,
-    rounds: usize,
-) -> PassStats {
+pub fn size_cells(view: &mut TimingView, rounds: usize) -> PassStats {
     let mut stats = PassStats::default();
+    let critical_range = view.constraints().critical_range;
     for _ in 0..rounds {
-        let before = analyze(design, library, constraints);
+        let before_cps = view.report().cps;
         // Keep pushing until there is a little positive margin (the
         // critical range), not just bare closure.
-        if before.cps >= constraints.critical_range.max(0.0) {
+        if before_cps >= critical_range.max(0.0) {
             break;
         }
-        let slacks = slack_map(design, library, constraints);
-        let threshold = before.cps + constraints.critical_range;
-        let snapshot = design.cells.clone();
-        let mut any = false;
-        for gi in 0..design.netlist.gates.len() {
+        let slacks = view.slack_map();
+        let threshold = before_cps + critical_range;
+        let mut round_edits: Vec<(usize, String)> = Vec::new();
+        for gi in 0..view.design().netlist.gates.len() {
+            let design = view.design();
             if design.is_dead(gi) || design.cells[gi].is_empty() {
                 continue;
             }
@@ -404,18 +400,21 @@ pub fn size_cells(
             if slacks.slack(out) > threshold {
                 continue;
             }
-            if let Some(next) = next_drive(library, &design.cells[gi], true) {
-                design.cells[gi] = next;
+            if let Some(next) = view.next_drive(gi, true) {
+                round_edits.push((gi, design.cells[gi].clone()));
+                view.resize_cell(gi, next);
                 stats.resized += 1;
-                any = true;
             }
         }
-        if !any {
+        if round_edits.is_empty() {
             break;
         }
-        let after = analyze(design, library, constraints);
-        if after.cps < before.cps {
-            design.cells = snapshot;
+        let after_cps = view.report().cps;
+        if after_cps < before_cps {
+            // Roll back through the hooks so the graph stays incremental.
+            for (gi, old) in round_edits.into_iter().rev() {
+                view.resize_cell(gi, old);
+            }
             break;
         }
     }
@@ -426,50 +425,50 @@ pub fn size_cells(
 ///
 /// Active when `set_max_area` is configured; never accepted if it worsens
 /// CPS below zero or below its previous value.
-pub fn area_recovery(
-    design: &mut MappedDesign,
-    library: &Library,
-    constraints: &Constraints,
-) -> PassStats {
+pub fn area_recovery(view: &mut TimingView) -> PassStats {
     let mut stats = PassStats::default();
-    let before = analyze(design, library, constraints);
-    let slacks = slack_map(design, library, constraints);
-    let snapshot = design.cells.clone();
+    let critical_range = view.constraints().critical_range;
+    let clock_period = view.constraints().clock_period;
+    let before_cps = view.report().cps;
+    let slacks = view.slack_map();
     // Downsizing reduces the input capacitance the upstream drivers see, so
     // recovery often *helps* timing; still, the pass never commits a CPS
     // regression. A failed aggressive attempt retries more conservatively.
     for attempt in 0..2 {
-        let margin = constraints.critical_range.max(0.05) * if attempt == 0 { 4.0 } else { 12.0 };
-        let mut resized = 0;
-        for gi in 0..design.netlist.gates.len() {
+        let margin = critical_range.max(0.05) * if attempt == 0 { 4.0 } else { 12.0 };
+        let mut attempt_edits: Vec<(usize, String)> = Vec::new();
+        for gi in 0..view.design().netlist.gates.len() {
+            let design = view.design();
             if design.is_dead(gi) || design.cells[gi].is_empty() {
                 continue;
             }
             let out = design.netlist.gates[gi].output;
             let s = slacks.slack(out);
             if s.is_finite() && s > margin {
-                if let Some(prev) = next_drive(library, &design.cells[gi], false) {
-                    design.cells[gi] = prev;
-                    resized += 1;
+                if let Some(prev) = view.next_drive(gi, false) {
+                    attempt_edits.push((gi, design.cells[gi].clone()));
+                    view.resize_cell(gi, prev);
                 }
             }
         }
-        let after = analyze(design, library, constraints);
+        let after_cps = view.report().cps;
         // Accept when timing did not regress, or when the design still has
         // a very comfortable margin (≥ a quarter period) — the slack-rich
         // regime where trading slack for area is what set_max_area asks.
-        let comfortable = 0.25 * constraints.clock_period;
-        if after.cps + 1e-9 >= before.cps || after.cps >= comfortable {
-            stats.resized = resized;
+        let comfortable = 0.25 * clock_period;
+        if after_cps + 1e-9 >= before_cps || after_cps >= comfortable {
+            stats.resized = attempt_edits.len();
             return stats;
         }
-        design.cells = snapshot.clone();
+        for (gi, old) in attempt_edits.into_iter().rev() {
+            view.resize_cell(gi, old);
+        }
     }
     stats
 }
 
 /// Next drive variant up (`up = true`) or down of a cell, if any.
-fn next_drive(library: &Library, cell_name: &str, up: bool) -> Option<String> {
+pub fn next_drive(library: &Library, cell_name: &str, up: bool) -> Option<String> {
     let cell = library.cell(cell_name)?;
     let variants = library.variants(cell.base_name());
     let pos = variants.iter().position(|c| c.name == cell_name)?;
@@ -542,24 +541,22 @@ pub fn buffer_high_fanout(
 /// Legality: the driving gate's output must feed only this register bank,
 /// the gate's zero-input value must be 0 (reset-state preservation), and —
 /// unless `ungrouped` — the gate and register share a module path.
-pub fn retime(
-    design: &mut MappedDesign,
-    library: &Library,
-    constraints: &Constraints,
-    ungrouped: bool,
-    max_moves: usize,
-) -> PassStats {
+pub fn retime(view: &mut TimingView, ungrouped: bool, max_moves: usize) -> PassStats {
     let mut stats = PassStats::default();
-    let dff_cell = match library.variants("DFF").first() {
+    let dff_cell = match view.library().variants("DFF").first() {
         Some(c) => c.name.clone(),
         None => return stats,
     };
     for _ in 0..max_moves {
-        let before = analyze(design, library, constraints);
-        if before.met() {
+        let (before_met, before_cps) = {
+            let r = view.report();
+            (r.met(), r.cps)
+        };
+        if before_met {
             break;
         }
-        let slacks = slack_map(design, library, constraints);
+        let slacks = view.slack_map();
+        let design = view.design();
         let driver = design.driver_map();
         let sinks = design.sink_map();
         // Candidate: live DFF with the worst D-pin slack whose driver is a
@@ -597,39 +594,42 @@ pub fn retime(
             None => break,
         };
         // Apply: register each input of the gate, gate drives old Q directly.
-        let snapshot = design.clone();
-        let comb = design.netlist.gates[gate_i].clone();
-        let q_net = design.netlist.gates[dff_i].output;
-        let path = design.netlist.gates[dff_i].path.clone();
-        let mut new_inputs = Vec::with_capacity(comb.inputs.len());
-        for (k, &inp) in comb.inputs.iter().enumerate() {
-            let nq = design.netlist.add_net(format!(
-                "{}$ret{}_{k}",
-                design.netlist.nets[q_net as usize].name,
-                design.netlist.nets.len()
-            ));
-            let dff = chatls_verilog::netlist::Gate {
-                kind: GateKind::Dff,
-                inputs: vec![inp],
-                output: nq,
-                path: path.clone(),
-                reset_value: false,
-                async_reset: None,
-                enable: None,
-                dont_touch: false,
-            };
-            design.push_gate(dff, dff_cell.clone());
-            stats.added += 1;
-            new_inputs.push(nq);
-        }
-        design.netlist.gates[gate_i].inputs = new_inputs;
-        design.netlist.gates[gate_i].output = q_net;
-        design.kill(dff_i);
+        let snapshot = view.snapshot();
+        let comb = view.design().netlist.gates[gate_i].clone();
+        let moved_inputs = comb.inputs.len();
+        view.with_design_mut(|design| {
+            let q_net = design.netlist.gates[dff_i].output;
+            let path = design.netlist.gates[dff_i].path.clone();
+            let mut new_inputs = Vec::with_capacity(comb.inputs.len());
+            for (k, &inp) in comb.inputs.iter().enumerate() {
+                let nq = design.netlist.add_net(format!(
+                    "{}$ret{}_{k}",
+                    design.netlist.nets[q_net as usize].name,
+                    design.netlist.nets.len()
+                ));
+                let dff = chatls_verilog::netlist::Gate {
+                    kind: GateKind::Dff,
+                    inputs: vec![inp],
+                    output: nq,
+                    path: path.clone(),
+                    reset_value: false,
+                    async_reset: None,
+                    enable: None,
+                    dont_touch: false,
+                };
+                design.push_gate(dff, dff_cell.clone());
+                new_inputs.push(nq);
+            }
+            design.netlist.gates[gate_i].inputs = new_inputs;
+            design.netlist.gates[gate_i].output = q_net;
+            design.kill(dff_i);
+        });
+        stats.added += moved_inputs;
         stats.removed += 1;
-        let after = analyze(design, library, constraints);
-        if after.cps <= before.cps {
-            *design = snapshot;
-            stats.added = stats.added.saturating_sub(comb.inputs.len());
+        let after_cps = view.report().cps;
+        if after_cps <= before_cps {
+            view.restore(snapshot);
+            stats.added = stats.added.saturating_sub(moved_inputs);
             stats.removed = stats.removed.saturating_sub(1);
             break;
         }
@@ -685,58 +685,58 @@ pub fn insert_clock_gating(design: &mut MappedDesign) -> PassStats {
 /// Hold fixing (`set_fix_hold`): inserts protected delay buffers in front
 /// of register data pins whose fastest path arrives before the hold
 /// requirement.
-pub fn fix_hold(
-    design: &mut MappedDesign,
-    library: &Library,
-    constraints: &Constraints,
-) -> PassStats {
+pub fn fix_hold(view: &mut TimingView) -> PassStats {
     let mut stats = PassStats::default();
-    let buf = match library.variants("BUF").first() {
+    let buf = match view.library().variants("BUF").first() {
         Some(c) => c.name.clone(),
         None => return stats,
     };
     for _ in 0..8 {
-        let violations: Vec<String> = crate::sta::hold_slacks(design, library, constraints)
-            .into_iter()
+        let violations: Vec<String> = view
+            .hold_slacks()
+            .iter()
             .filter(|e| e.slack < 0.0)
-            .map(|e| e.endpoint)
+            .map(|e| e.endpoint.clone())
             .collect();
         if violations.is_empty() {
             break;
         }
-        let mut fixed_any = false;
-        for gi in 0..design.netlist.gates.len() {
-            if design.is_dead(gi) || !design.netlist.gates[gi].kind.is_sequential() {
-                continue;
+        let added = view.with_design_mut(|design| {
+            let mut added = 0usize;
+            for gi in 0..design.netlist.gates.len() {
+                if design.is_dead(gi) || !design.netlist.gates[gi].kind.is_sequential() {
+                    continue;
+                }
+                let q = design.netlist.gates[gi].output;
+                let name = format!("{}/D (hold)", design.netlist.nets[q as usize].name);
+                if !violations.contains(&name) {
+                    continue;
+                }
+                let d = design.netlist.gates[gi].inputs[0];
+                let path = design.netlist.gates[gi].path.clone();
+                let new_net = design.netlist.add_net(format!(
+                    "{}$hold{}",
+                    design.netlist.nets[d as usize].name,
+                    design.netlist.nets.len()
+                ));
+                let gate = chatls_verilog::netlist::Gate {
+                    kind: GateKind::Buf,
+                    inputs: vec![d],
+                    output: new_net,
+                    path,
+                    reset_value: false,
+                    async_reset: None,
+                    enable: None,
+                    dont_touch: true,
+                };
+                design.push_gate(gate, buf.clone());
+                design.netlist.gates[gi].inputs[0] = new_net;
+                added += 1;
             }
-            let q = design.netlist.gates[gi].output;
-            let name = format!("{}/D (hold)", design.netlist.nets[q as usize].name);
-            if !violations.contains(&name) {
-                continue;
-            }
-            let d = design.netlist.gates[gi].inputs[0];
-            let path = design.netlist.gates[gi].path.clone();
-            let new_net = design.netlist.add_net(format!(
-                "{}$hold{}",
-                design.netlist.nets[d as usize].name,
-                design.netlist.nets.len()
-            ));
-            let gate = chatls_verilog::netlist::Gate {
-                kind: GateKind::Buf,
-                inputs: vec![d],
-                output: new_net,
-                path,
-                reset_value: false,
-                async_reset: None,
-                enable: None,
-                dont_touch: true,
-            };
-            design.push_gate(gate, buf.clone());
-            design.netlist.gates[gi].inputs[0] = new_net;
-            stats.added += 1;
-            fixed_any = true;
-        }
-        if !fixed_any {
+            added
+        });
+        stats.added += added;
+        if added == 0 {
             break;
         }
     }
@@ -770,52 +770,52 @@ pub enum Effort {
 }
 
 /// The main mapping-and-optimization pipeline behind `compile`.
-pub fn compile(
-    design: &mut MappedDesign,
-    library: &Library,
-    constraints: &Constraints,
-    effort: Effort,
-) -> PassStats {
+pub fn compile(view: &mut TimingView, effort: Effort) -> PassStats {
     let mut stats = PassStats::default();
-    stats.merge(const_propagate(design, library));
-    stats.merge(strash(design));
-    stats.merge(absorb_inverters(design, library));
-    stats.merge(strash(design));
+    let library = view.library();
+    let max_area = view.constraints().max_area;
+    stats.merge(view.with_design_mut(|design| {
+        let mut s = const_propagate(design, library);
+        s.merge(strash(design));
+        s.merge(absorb_inverters(design, library));
+        s.merge(strash(design));
+        s
+    }));
     match effort {
         Effort::Low => {}
         Effort::Medium => {
-            stats.merge(size_cells(design, library, constraints, 2));
+            stats.merge(size_cells(view, 2));
         }
         Effort::High => {
             // Size first (structural hashing trades fanout for area, so the
             // netlist usually needs drive repair), then try buffering, then
             // size again around the new trees.
-            stats.merge(size_cells(design, library, constraints, 3));
+            stats.merge(size_cells(view, 3));
             // Fanout buffering is only kept when it helps the clock: blind
             // buffer trees on met designs would add delay for nothing.
-            let snapshot = design.clone();
-            let before = analyze(design, library, constraints);
-            let buf_stats = buffer_high_fanout(design, library, 12);
-            let after = analyze(design, library, constraints);
-            if after.cps < before.cps {
-                *design = snapshot;
+            let snapshot = view.snapshot();
+            let before_cps = view.report().cps;
+            let buf_stats = view.with_design_mut(|design| buffer_high_fanout(design, library, 12));
+            let after_cps = view.report().cps;
+            if after_cps < before_cps {
+                view.restore(snapshot);
             } else {
                 stats.merge(buf_stats);
             }
-            stats.merge(size_cells(design, library, constraints, 3));
-            if constraints.max_area.is_some() {
-                stats.merge(area_recovery(design, library, constraints));
+            stats.merge(size_cells(view, 3));
+            if max_area.is_some() {
+                stats.merge(area_recovery(view));
             }
         }
     }
-    stats.merge(sweep(design));
+    stats.merge(view.with_design_mut(sweep));
     stats
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::sta::qor;
+    use crate::sta::{qor, Constraints};
     use chatls_liberty::nangate45;
     use chatls_verilog::netlist::Simulator;
     use chatls_verilog::{lower_to_netlist, parse};
@@ -830,6 +830,18 @@ mod tests {
 
     fn cons(period: f64) -> Constraints {
         Constraints { clock_period: period, ..Constraints::default() }
+    }
+
+    /// Runs a timing-driven pass through a throwaway graph + view.
+    fn with_view<R>(
+        d: &mut MappedDesign,
+        lib: &Library,
+        c: &Constraints,
+        f: impl FnOnce(&mut TimingView) -> R,
+    ) -> R {
+        let mut g = crate::timing_graph::TimingGraph::new();
+        let mut view = TimingView::new(d, &mut g, lib, c);
+        f(&mut view)
     }
 
     /// Collects outputs over random stimulus for equivalence checking.
@@ -923,7 +935,7 @@ mod tests {
         sweep(&mut d);
         let before = qor(&d, &lib, &c);
         let sig = signature(&d, 3, 20);
-        size_cells(&mut d, &lib, &c, 5);
+        with_view(&mut d, &lib, &c, |v| size_cells(v, 5));
         let after = qor(&d, &lib, &c);
         assert!(after.cps > before.cps, "sizing must help: {} -> {}", before.cps, after.cps);
         assert!(after.area > before.area, "upsizing costs area");
@@ -972,7 +984,7 @@ mod tests {
         sweep(&mut d);
         let before = qor(&d, &lib, &c);
         assert!(before.cps < 0.0, "test needs a violating start: {}", before.cps);
-        let stats = retime(&mut d, &lib, &c, false, 64);
+        let stats = with_view(&mut d, &lib, &c, |v| retime(v, false, 64));
         let after = qor(&d, &lib, &c);
         assert!(stats.added > 0, "retime should move registers");
         assert!(after.cps > before.cps, "retime must help: {} -> {}", before.cps, after.cps);
@@ -994,11 +1006,11 @@ mod tests {
         let c = cons(0.4);
         let mut grouped = map(src, "top");
         sweep(&mut grouped);
-        let g_stats = retime(&mut grouped, &lib, &c, false, 16);
+        let g_stats = with_view(&mut grouped, &lib, &c, |v| retime(v, false, 16));
         let mut ungrouped = map(src, "top");
         sweep(&mut ungrouped);
         ungroup_all(&mut ungrouped);
-        let u_stats = retime(&mut ungrouped, &lib, &c, true, 16);
+        let u_stats = with_view(&mut ungrouped, &lib, &c, |v| retime(v, true, 16));
         // Grouped: the worst path's driver lives in u_s, so no move.
         assert_eq!(g_stats.added, 0, "must not retime across a module boundary");
         assert!(u_stats.added > 0, "ungrouped retime should move registers");
@@ -1027,9 +1039,9 @@ mod tests {
         let lib = nangate45();
         let c = cons(1.0);
         let mut low = map(ALU_SRC, "alu");
-        compile(&mut low, &lib, &c, Effort::Low);
+        with_view(&mut low, &lib, &c, |v| compile(v, Effort::Low));
         let mut high = map(ALU_SRC, "alu");
-        compile(&mut high, &lib, &c, Effort::High);
+        with_view(&mut high, &lib, &c, |v| compile(v, Effort::High));
         let q_low = qor(&low, &lib, &c);
         let q_high = qor(&high, &lib, &c);
         assert!(
@@ -1054,7 +1066,7 @@ mod tests {
         }
         let before = d.area(&lib);
         let sig = signature(&d, 6, 20);
-        area_recovery(&mut d, &lib, &c);
+        with_view(&mut d, &lib, &c, area_recovery);
         assert!(d.area(&lib) < before, "recovery must reclaim area");
         assert_eq!(signature(&d, 6, 20), sig);
         assert!(qor(&d, &lib, &c).cps >= 0.0);
@@ -1152,7 +1164,7 @@ mod strash_tests {
 #[cfg(test)]
 mod absorb_tests {
     use super::*;
-    use crate::sta::qor;
+    use crate::sta::{qor, Constraints};
     use chatls_liberty::nangate45;
     use chatls_verilog::netlist::Simulator;
     use chatls_verilog::{lower_to_netlist, parse};

@@ -119,6 +119,10 @@ pub struct TimingReport {
     pub endpoints: Vec<EndpointSlack>,
     /// The critical path, source first.
     pub critical_path: Vec<PathStep>,
+    /// Number of live combinational gates left on feedback loops. When
+    /// nonzero, arrival times through those cones are single-pass
+    /// pessimistic, not fixed-point values.
+    pub combinational_cycles: usize,
 }
 
 impl TimingReport {
@@ -173,11 +177,13 @@ impl fmt::Display for QorReport {
 }
 
 /// Arrival times, loads and the topological order used to compute them.
-struct Arrivals {
-    arrival: Vec<f64>,
-    loads: Vec<f64>,
-    order: Vec<usize>,
-    driver: Vec<Option<usize>>,
+pub(crate) struct Arrivals {
+    pub(crate) arrival: Vec<f64>,
+    pub(crate) loads: Vec<f64>,
+    pub(crate) order: Vec<usize>,
+    pub(crate) driver: Vec<Option<usize>>,
+    /// Live combinational gates stuck on feedback loops.
+    pub(crate) cycles: usize,
 }
 
 /// Per-net arrival/required/slack view used by timing-driven passes.
@@ -200,6 +206,19 @@ impl SlackMap {
 /// endpoints), for timing-driven optimization passes.
 pub fn slack_map(design: &MappedDesign, library: &Library, constraints: &Constraints) -> SlackMap {
     let a = compute_arrivals(design, library, constraints);
+    let required = required_times(design, library, constraints, &a.loads, &a.order);
+    SlackMap { arrival: a.arrival, required }
+}
+
+/// Backward required-time propagation over `order` (any valid topological
+/// order of the live combinational gates; tombstoned entries are skipped).
+pub(crate) fn required_times(
+    design: &MappedDesign,
+    library: &Library,
+    constraints: &Constraints,
+    loads: &[f64],
+    order: &[usize],
+) -> Vec<f64> {
     let nets = design.netlist.nets.len();
     let mut required = vec![f64::INFINITY; nets];
     for (gi, gate) in design.netlist.gates.iter().enumerate() {
@@ -218,14 +237,17 @@ pub fn slack_map(design: &MappedDesign, library: &Library, constraints: &Constra
         let r = constraints.clock_period - constraints.output_delay;
         required[*id as usize] = required[*id as usize].min(r);
     }
-    for &gi in a.order.iter().rev() {
+    for &gi in order.iter().rev() {
+        if design.is_dead(gi) {
+            continue;
+        }
         let gate = &design.netlist.gates[gi];
         let cell = library.cell(&design.cells[gi]);
         let out_req = required[gate.output as usize];
         if !out_req.is_finite() {
             continue;
         }
-        let load = a.loads[gate.output as usize];
+        let load = loads[gate.output as usize];
         for (pin, &inp) in gate.inputs.iter().enumerate() {
             let r = out_req - arc_delay_for(cell, pin, load);
             if r < required[inp as usize] {
@@ -233,10 +255,10 @@ pub fn slack_map(design: &MappedDesign, library: &Library, constraints: &Constra
             }
         }
     }
-    SlackMap { arrival: a.arrival, required }
+    required
 }
 
-fn compute_arrivals(
+pub(crate) fn compute_arrivals(
     design: &MappedDesign,
     library: &Library,
     constraints: &Constraints,
@@ -281,7 +303,7 @@ fn compute_arrivals(
 
     // Topological propagation over live combinational gates.
     let driver = design.driver_map();
-    let order = comb_topo(design, &driver);
+    let (order, cycles) = comb_topo(design, &driver);
     for &gi in &order {
         let gate = &design.netlist.gates[gi];
         let cell = library.cell(&design.cells[gi]);
@@ -304,7 +326,7 @@ fn compute_arrivals(
         }
     }
 
-    Arrivals { arrival, loads, order, driver }
+    Arrivals { arrival, loads, order, driver, cycles }
 }
 
 /// Runs static timing analysis.
@@ -317,20 +339,54 @@ pub fn analyze(
     library: &Library,
     constraints: &Constraints,
 ) -> TimingReport {
-    let Arrivals { arrival, loads, order: _, driver } =
+    let Arrivals { arrival, loads, order: _, driver, cycles } =
         compute_arrivals(design, library, constraints);
+    report_from_parts(design, library, constraints, &arrival, &loads, &driver, cycles)
+}
 
+/// Builds the full [`TimingReport`] from already-computed arrivals and
+/// loads — the shared back half of [`analyze`], also used by the
+/// incremental [`crate::timing_graph::TimingGraph`].
+pub(crate) fn report_from_parts(
+    design: &MappedDesign,
+    library: &Library,
+    constraints: &Constraints,
+    arrival: &[f64],
+    loads: &[f64],
+    driver: &[Option<usize>],
+    cycles: usize,
+) -> TimingReport {
+    let setup_of = |gi: usize| {
+        library
+            .cell(&design.cells[gi])
+            .and_then(|c| c.ff.as_ref())
+            .map(|ff| ff.setup)
+            .unwrap_or(0.05)
+    };
+    report_from_parts_with(design, library, constraints, arrival, loads, driver, cycles, &setup_of)
+}
+
+/// [`report_from_parts`] with register setup times resolved through
+/// `setup_of` — the incremental timing graph passes its cached resolver so
+/// report construction skips the per-gate library name scans.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn report_from_parts_with(
+    design: &MappedDesign,
+    library: &Library,
+    constraints: &Constraints,
+    arrival: &[f64],
+    loads: &[f64],
+    driver: &[Option<usize>],
+    cycles: usize,
+    setup_of: &dyn Fn(usize) -> f64,
+) -> TimingReport {
     // Endpoints.
     let mut endpoints = Vec::new();
     for (gi, gate) in design.netlist.gates.iter().enumerate() {
         if design.is_dead(gi) || !gate.kind.is_sequential() {
             continue;
         }
-        let setup = library
-            .cell(&design.cells[gi])
-            .and_then(|c| c.ff.as_ref())
-            .map(|ff| ff.setup)
-            .unwrap_or(0.05);
+        let setup = setup_of(gi);
         let d_net = gate.inputs[0] as usize;
         let arr = arrival[d_net];
         if !arr.is_finite() {
@@ -372,10 +428,10 @@ pub fn analyze(
     let tns: f64 = endpoints.iter().map(|e| e.slack.min(0.0)).sum();
     let critical_path = endpoints
         .first()
-        .map(|worst| trace_path(design, library, &arrival, &loads, worst, &driver))
+        .map(|worst| trace_path(design, library, arrival, loads, worst, driver))
         .unwrap_or_default();
 
-    TimingReport { wns, cps, tns, endpoints, critical_path }
+    TimingReport { wns, cps, tns, endpoints, critical_path, combinational_cycles: cycles }
 }
 
 /// Minimum (fastest-path) arrival times, for hold analysis.
@@ -388,6 +444,19 @@ pub fn min_arrivals(
     design: &MappedDesign,
     library: &Library,
     constraints: &Constraints,
+) -> Vec<f64> {
+    let driver = design.driver_map();
+    let (order, _) = comb_topo(design, &driver);
+    min_arrivals_in(design, library, constraints, &order)
+}
+
+/// Forward minimum-arrival propagation over `order` (any valid topological
+/// order of the live combinational gates; tombstoned entries are skipped).
+pub(crate) fn min_arrivals_in(
+    design: &MappedDesign,
+    library: &Library,
+    constraints: &Constraints,
+    order: &[usize],
 ) -> Vec<f64> {
     let nets = design.netlist.nets.len();
     let mut arrival = vec![f64::INFINITY; nets];
@@ -410,9 +479,10 @@ pub fn min_arrivals(
             .unwrap_or(0.05);
         arrival[gate.output as usize] = clk_q;
     }
-    let driver = design.driver_map();
-    let order = comb_topo(design, &driver);
-    for &gi in &order {
+    for &gi in order {
+        if design.is_dead(gi) {
+            continue;
+        }
         let gate = &design.netlist.gates[gi];
         let cell = library.cell(&design.cells[gi]);
         let mut best = match gate.kind {
@@ -454,6 +524,16 @@ pub fn hold_slacks(
     constraints: &Constraints,
 ) -> Vec<EndpointSlack> {
     let min_arr = min_arrivals(design, library, constraints);
+    hold_from_min(design, library, &min_arr)
+}
+
+/// Hold endpoints from already-computed minimum arrivals — the shared back
+/// half of [`hold_slacks`], also used by the incremental timing graph.
+pub(crate) fn hold_from_min(
+    design: &MappedDesign,
+    library: &Library,
+    min_arr: &[f64],
+) -> Vec<EndpointSlack> {
     let mut endpoints = Vec::new();
     for (gi, gate) in design.netlist.gates.iter().enumerate() {
         if design.is_dead(gi) || !gate.kind.is_sequential() {
@@ -481,6 +561,16 @@ pub fn hold_slacks(
 /// Full QoR (timing + area) in one call.
 pub fn qor(design: &MappedDesign, library: &Library, constraints: &Constraints) -> QorReport {
     let timing = analyze(design, library, constraints);
+    qor_from_timing(design, library, &timing)
+}
+
+/// QoR summary from an already-computed timing report, sharing one graph
+/// build between the timing and area halves.
+pub(crate) fn qor_from_timing(
+    design: &MappedDesign,
+    library: &Library,
+    timing: &TimingReport,
+) -> QorReport {
     QorReport {
         design: design.netlist.name.clone(),
         wns: timing.wns,
@@ -501,7 +591,7 @@ pub fn qor(design: &MappedDesign, library: &Library, constraints: &Constraints) 
 
 /// Applies `-to` exceptions: false paths drop out, multicycle endpoints
 /// get extra periods.
-fn apply_exceptions(endpoints: &mut Vec<EndpointSlack>, constraints: &Constraints) {
+pub(crate) fn apply_exceptions(endpoints: &mut Vec<EndpointSlack>, constraints: &Constraints) {
     if constraints.exceptions.is_empty() {
         return;
     }
@@ -523,7 +613,7 @@ fn apply_exceptions(endpoints: &mut Vec<EndpointSlack>, constraints: &Constraint
 }
 
 /// Arc delay for a cell's `pin`-th input driving `load`.
-fn arc_delay_for(cell: Option<&chatls_liberty::Cell>, pin: usize, load: f64) -> f64 {
+pub(crate) fn arc_delay_for(cell: Option<&chatls_liberty::Cell>, pin: usize, load: f64) -> f64 {
     match cell {
         None => 0.0,
         Some(c) => {
@@ -542,8 +632,9 @@ fn arc_delay_for(cell: Option<&chatls_liberty::Cell>, pin: usize, load: f64) -> 
 }
 
 /// Kahn topological order over live combinational gates; gates on cycles
-/// are appended last (pessimistic single-pass arrivals).
-fn comb_topo(design: &MappedDesign, driver: &[Option<usize>]) -> Vec<usize> {
+/// are appended last (pessimistic single-pass arrivals). Returns the order
+/// and the number of appended cycle-remnant gates.
+pub(crate) fn comb_topo(design: &MappedDesign, driver: &[Option<usize>]) -> (Vec<usize>, usize) {
     let n = design.netlist.gates.len();
     let mut indeg = vec![0u32; n];
     let mut consumers: Vec<Vec<usize>> = vec![Vec::new(); n];
@@ -582,15 +673,17 @@ fn comb_topo(design: &MappedDesign, driver: &[Option<usize>]) -> Vec<usize> {
         }
     }
     // Append any cycle remnants deterministically.
+    let mut cycles = 0;
     for (gi, &deg) in indeg.iter().enumerate().take(n) {
         if !design.is_dead(gi) && !design.netlist.gates[gi].kind.is_sequential() && deg > 0 {
             order.push(gi);
+            cycles += 1;
         }
     }
-    order
+    (order, cycles)
 }
 
-fn trace_path(
+pub(crate) fn trace_path(
     design: &MappedDesign,
     library: &Library,
     arrival: &[f64],

@@ -13,7 +13,8 @@ use crate::passes::{
     buffer_high_fanout, compile, fix_hold, insert_clock_gating, retime, sweep, ungroup_all, Effort,
 };
 use crate::script::{parse_script, Command};
-use crate::sta::{analyze, qor, Constraints, QorReport, TimingReport};
+use crate::sta::{Constraints, QorReport, TimingReport};
+use crate::timing_graph::{TimingGraph, TimingView};
 use chatls_liberty::Library;
 use chatls_verilog::netlist::Netlist;
 use serde::{Deserialize, Serialize};
@@ -567,6 +568,7 @@ impl SessionTemplate {
         SynthSession {
             library: self.library.clone(),
             design: self.design.clone(),
+            graph: TimingGraph::new(),
             constraints: Constraints::default(),
             ungrouped: false,
             max_fanout: None,
@@ -583,6 +585,7 @@ impl SessionTemplate {
 pub struct SynthSession {
     library: Library,
     design: MappedDesign,
+    graph: TimingGraph,
     constraints: Constraints,
     ungrouped: bool,
     max_fanout: Option<usize>,
@@ -617,14 +620,21 @@ impl SynthSession {
         &self.library
     }
 
-    /// QoR of the current design state.
-    pub fn qor(&self) -> QorReport {
-        qor(&self.design, &self.library, &self.constraints)
+    /// A [`TimingView`] lensing the design and its persistent timing graph.
+    fn view(&mut self) -> TimingView<'_> {
+        TimingView::new(&mut self.design, &mut self.graph, &self.library, &self.constraints)
     }
 
-    /// Full timing report of the current design state.
-    pub fn timing_report(&self) -> TimingReport {
-        analyze(&self.design, &self.library, &self.constraints)
+    /// QoR of the current design state, served from the incremental timing
+    /// graph (one shared build for the timing and area halves).
+    pub fn qor(&mut self) -> QorReport {
+        self.view().qor()
+    }
+
+    /// Full timing report of the current design state, served from the
+    /// incremental timing graph.
+    pub fn timing_report(&mut self) -> TimingReport {
+        self.view().report().clone()
     }
 
     /// The gate-level netlist text from the last `write -format verilog`.
@@ -710,18 +720,22 @@ impl SynthSession {
                 Ok(())
             }
             "report_hold" => {
-                let slacks =
-                    crate::sta::hold_slacks(&self.design, &self.library, &self.constraints);
-                let worst = slacks.first().map(|e| e.slack).unwrap_or(f64::INFINITY);
-                let violating = slacks.iter().filter(|e| e.slack < 0.0).count();
+                let (worst, violating, total) = {
+                    let mut view = self.view();
+                    let slacks = view.hold_slacks();
+                    (
+                        slacks.first().map(|e| e.slack).unwrap_or(f64::INFINITY),
+                        slacks.iter().filter(|e| e.slack < 0.0).count(),
+                        slacks.len(),
+                    )
+                };
                 self.log.push(format!(
-                    "report_hold: worst {worst:.3} ns, {violating} violating endpoints of {}",
-                    slacks.len()
+                    "report_hold: worst {worst:.3} ns, {violating} violating endpoints of {total}"
                 ));
                 Ok(())
             }
             "set_fix_hold" => {
-                let stats = fix_hold(&mut self.design, &self.library, &self.constraints);
+                let stats = fix_hold(&mut self.view());
                 self.log.push(format!("set_fix_hold: inserted {} delay buffers", stats.added));
                 Ok(())
             }
@@ -822,7 +836,7 @@ impl SynthSession {
                         return Err(self.err(cmd, format!("invalid -map_effort '{other}'")))
                     }
                 };
-                let stats = compile(&mut self.design, &self.library, &self.constraints, effort);
+                let stats = compile(&mut self.view(), effort);
                 self.log.push(format!(
                     "compile: removed {} added {} resized {}",
                     stats.removed, stats.added, stats.resized
@@ -836,25 +850,15 @@ impl SynthSession {
                     );
                 }
                 if !cmd.has_flag("-no_autoungroup") {
-                    ungroup_all(&mut self.design);
+                    self.view().with_design_mut(ungroup_all);
                     self.ungrouped = true;
                 }
-                let mut stats =
-                    compile(&mut self.design, &self.library, &self.constraints, Effort::High);
+                let ungrouped = self.ungrouped;
+                let mut stats = compile(&mut self.view(), Effort::High);
                 if cmd.has_flag("-retime") {
-                    stats.merge(retime(
-                        &mut self.design,
-                        &self.library,
-                        &self.constraints,
-                        self.ungrouped,
-                        64,
-                    ));
-                    stats.merge(compile(
-                        &mut self.design,
-                        &self.library,
-                        &self.constraints,
-                        Effort::High,
-                    ));
+                    let mut view = self.view();
+                    stats.merge(retime(&mut view, ungrouped, 64));
+                    stats.merge(compile(&mut view, Effort::High));
                 }
                 self.log.push(format!(
                     "compile_ultra: removed {} added {} resized {}",
@@ -874,11 +878,13 @@ impl SynthSession {
                 if regs == 0 {
                     return Err(self.err(cmd, "design has no registers to retime"));
                 }
-                let stats =
-                    retime(&mut self.design, &self.library, &self.constraints, self.ungrouped, 64);
-                // Retiming leaves new register inputs unsized; clean up.
-                let stats2 =
-                    compile(&mut self.design, &self.library, &self.constraints, Effort::Medium);
+                let ungrouped = self.ungrouped;
+                let (stats, stats2) = {
+                    let mut view = self.view();
+                    let stats = retime(&mut view, ungrouped, 64);
+                    // Retiming leaves new register inputs unsized; clean up.
+                    (stats, compile(&mut view, Effort::Medium))
+                };
                 self.log.push(format!(
                     "optimize_registers: moved {} registers (resized {})",
                     stats.added,
@@ -896,15 +902,24 @@ impl SynthSession {
                     };
                 // Like the real command, buffering is QoR-driven: a tree
                 // that slows the clock down is not committed.
-                let snapshot = self.design.clone();
-                let before = analyze(&self.design, &self.library, &self.constraints);
-                let stats = buffer_high_fanout(&mut self.design, &self.library, limit);
-                let after = analyze(&self.design, &self.library, &self.constraints);
-                if after.cps < before.cps {
-                    self.design = snapshot;
-                    self.log.push("balance_buffers: no beneficial trees found".into());
+                let (kept, added) = {
+                    let mut view = self.view();
+                    let snapshot = view.snapshot();
+                    let before_cps = view.report().cps;
+                    let lib = view.library();
+                    let stats = view.with_design_mut(|d| buffer_high_fanout(d, lib, limit));
+                    let after_cps = view.report().cps;
+                    if after_cps < before_cps {
+                        view.restore(snapshot);
+                        (false, 0)
+                    } else {
+                        (true, stats.added)
+                    }
+                };
+                if kept {
+                    self.log.push(format!("balance_buffers: inserted {added} buffers"));
                 } else {
-                    self.log.push(format!("balance_buffers: inserted {} buffers", stats.added));
+                    self.log.push("balance_buffers: no beneficial trees found".into());
                 }
                 Ok(())
             }
@@ -912,7 +927,7 @@ impl SynthSession {
                 if !cmd.has_flag("-all") {
                     return Err(self.err(cmd, "only 'ungroup -all' is supported"));
                 }
-                let n = ungroup_all(&mut self.design);
+                let n = self.view().with_design_mut(ungroup_all);
                 self.ungrouped = true;
                 self.log.push(format!("ungroup: dissolved {n} hierarchical gates"));
                 Ok(())
@@ -927,8 +942,11 @@ impl SynthSession {
                         "(warning) insert_clock_gating without set_clock_gating_style".into(),
                     );
                 }
-                let stats = insert_clock_gating(&mut self.design);
-                sweep(&mut self.design);
+                let stats = self.view().with_design_mut(|d| {
+                    let s = insert_clock_gating(d);
+                    sweep(d);
+                    s
+                });
                 self.log.push(format!("insert_clock_gating: gated {} registers", stats.removed));
                 Ok(())
             }
@@ -976,6 +994,13 @@ impl SynthSession {
                     ));
                 }
                 self.log.push(text);
+                if report.combinational_cycles > 0 {
+                    self.log.push(format!(
+                        "(warning) report_timing: {} combinational gates sit on feedback \
+                         loops; arrivals through them are single-pass pessimistic",
+                        report.combinational_cycles
+                    ));
+                }
                 Ok(())
             }
             "report_area" => {

@@ -1,0 +1,198 @@
+//! Property tests: the incremental timing graph is indistinguishable from
+//! a from-scratch `analyze()` after arbitrary edit sequences.
+//!
+//! Random layered netlists receive random sequences of cell resizes, gate
+//! kills and buffer insertions through [`TimingView`]; after every edit the
+//! incrementally maintained report must match a fresh full analysis bit for
+//! bit — WNS/CPS/TNS and every endpoint slack — and at the end of the
+//! sequence the slack map and hold slacks must match their oracles too.
+
+use chatls_liberty::nangate45;
+use chatls_synth::passes::{buffer_high_fanout, next_drive};
+use chatls_synth::sta::{self, Constraints, TimingReport};
+use chatls_synth::{MappedDesign, TimingGraph, TimingView};
+use chatls_verilog::netlist::{GateKind, Netlist};
+use proptest::prelude::*;
+
+/// Random layered DAG: `inputs` primary inputs, `layers` of random gates,
+/// a register layer, and a few outputs (same shape as passes_prop.rs).
+fn random_netlist(inputs: usize, layers: usize, per_layer: usize, seed: u64) -> Netlist {
+    let mut nl = Netlist::new("rand");
+    let mut rng = seed;
+    let mut next = move || {
+        rng ^= rng << 13;
+        rng ^= rng >> 7;
+        rng ^= rng << 17;
+        rng
+    };
+    let mut pool: Vec<u32> = (0..inputs)
+        .map(|i| {
+            let n = nl.add_net(format!("in{i}"));
+            nl.inputs.push((format!("in{i}"), n));
+            n
+        })
+        .collect();
+    for layer in 0..layers {
+        let mut new_pool = pool.clone();
+        for g in 0..per_layer {
+            let kinds = [GateKind::And, GateKind::Or, GateKind::Xor, GateKind::Not];
+            let kind = kinds[(next() % kinds.len() as u64) as usize];
+            let pick = |r: u64| pool[(r % pool.len() as u64) as usize];
+            let out = nl.add_net(format!("l{layer}g{g}"));
+            match kind {
+                GateKind::Not => {
+                    let a = pick(next());
+                    nl.add_gate(GateKind::Not, &[a], out, "rand");
+                }
+                k => {
+                    let (a, b) = (pick(next()), pick(next()));
+                    nl.add_gate(k, &[a, b], out, "rand");
+                }
+            }
+            new_pool.push(out);
+        }
+        pool = new_pool;
+    }
+    for i in 0..3usize {
+        let d = pool[(i * 7 + 3) % pool.len()];
+        let q = nl.add_net(format!("q{i}"));
+        nl.add_dff(d, q, "rand", false, None);
+        nl.outputs.push((format!("q{i}"), q));
+    }
+    let last = *pool.last().expect("non-empty pool");
+    nl.outputs.push(("comb_out".into(), last));
+    nl
+}
+
+/// Bitwise report equality: summary figures and every endpoint.
+fn assert_bitwise(incremental: &TimingReport, fresh: &TimingReport, ctx: &str) {
+    assert_eq!(incremental.wns.to_bits(), fresh.wns.to_bits(), "WNS diverged {ctx}");
+    assert_eq!(incremental.cps.to_bits(), fresh.cps.to_bits(), "CPS diverged {ctx}");
+    assert_eq!(incremental.tns.to_bits(), fresh.tns.to_bits(), "TNS diverged {ctx}");
+    assert_eq!(incremental.endpoints.len(), fresh.endpoints.len(), "endpoint count {ctx}");
+    for (a, b) in incremental.endpoints.iter().zip(&fresh.endpoints) {
+        assert_eq!(a.endpoint, b.endpoint, "endpoint order {ctx}");
+        assert_eq!(a.arrival.to_bits(), b.arrival.to_bits(), "{}: arrival {ctx}", a.endpoint);
+        assert_eq!(a.required.to_bits(), b.required.to_bits(), "{}: required {ctx}", a.endpoint);
+        assert_eq!(a.slack.to_bits(), b.slack.to_bits(), "{}: slack {ctx}", a.endpoint);
+    }
+    assert_eq!(incremental.combinational_cycles, fresh.combinational_cycles, "cycles {ctx}");
+}
+
+/// One random edit; returns true when it was structural (buffer insertion),
+/// i.e. expected to trigger a full rebuild on the next query.
+fn apply_edit(view: &mut TimingView, lib: &chatls_liberty::Library, pick: u64, kind: u8) -> bool {
+    let live: Vec<usize> = (0..view.design().netlist.gates.len())
+        .filter(|&gi| !view.design().is_dead(gi) && !view.design().cells[gi].is_empty())
+        .collect();
+    if live.is_empty() {
+        return false;
+    }
+    let gi = live[(pick % live.len() as u64) as usize];
+    match kind % 4 {
+        // Upsize / downsize through the resize hook.
+        0 | 1 => {
+            let up = kind.is_multiple_of(4);
+            if let Some(next) = next_drive(lib, &view.design().cells[gi], up) {
+                view.resize_cell(gi, next);
+            }
+            false
+        }
+        // Kill: timing must track the tombstone even though the netlist is
+        // no longer logically meaningful.
+        2 => {
+            view.kill_gate(gi);
+            false
+        }
+        // Buffer insertion: structural, goes through the invalidate path.
+        _ => {
+            view.with_design_mut(|d| buffer_high_fanout(d, lib, 2));
+            true
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// After every edit in a random sequence, the incremental report equals
+    /// a fresh full analysis bitwise, and the graph only rebuilds for
+    /// structural edits.
+    #[test]
+    fn incremental_matches_fresh_analysis_bitwise(
+        seed in 1u64..5000,
+        layers in 1usize..4,
+        per_layer in 2usize..7,
+        period_tenths in 4u64..20,
+        edits in proptest::collection::vec((any::<u64>(), any::<u8>()), 1..8),
+    ) {
+        let lib = nangate45();
+        let nl = random_netlist(4, layers, per_layer, seed);
+        let mut mapped = MappedDesign::map(nl, &lib).expect("maps");
+        let constraints = Constraints {
+            clock_period: period_tenths as f64 / 10.0,
+            ..Constraints::default()
+        };
+        let mut graph = TimingGraph::new();
+        let mut structural = 0u64;
+        {
+            let mut view = TimingView::new(&mut mapped, &mut graph, &lib, &constraints);
+            view.report();
+            for (step, &(pick, kind)) in edits.iter().enumerate() {
+                if apply_edit(&mut view, &lib, pick, kind) {
+                    structural += 1;
+                }
+                let incremental = view.report().clone();
+                let fresh = sta::analyze(view.design(), &lib, &constraints);
+                assert_bitwise(&incremental, &fresh, &format!("after edit {step}"));
+            }
+            // Derived views agree with their oracles at the end too.
+            let sm = view.slack_map();
+            let fresh_sm = sta::slack_map(view.design(), &lib, &constraints);
+            for (net, (a, b)) in sm.arrival.iter().zip(&fresh_sm.arrival).enumerate() {
+                prop_assert_eq!(a.to_bits(), b.to_bits(), "arrival of net {}", net);
+            }
+            for (net, (a, b)) in sm.required.iter().zip(&fresh_sm.required).enumerate() {
+                prop_assert_eq!(a.to_bits(), b.to_bits(), "required of net {}", net);
+            }
+            let hold = view.hold_slacks().to_vec();
+            let fresh_hold = sta::hold_slacks(view.design(), &lib, &constraints);
+            prop_assert_eq!(hold, fresh_hold);
+        }
+        // Resizes and kills ride the worklist; only structural edits (and
+        // the initial build) may rebuild from scratch.
+        let stats = graph.stats();
+        prop_assert!(
+            stats.full_builds <= 1 + structural,
+            "non-structural edits forced rebuilds: {} builds for {} structural edits",
+            stats.full_builds,
+            structural
+        );
+    }
+
+    /// The `CHATLS_STA_CHECK` oracle hook passes over random edit
+    /// sequences: every internal query self-checks against scratch.
+    #[test]
+    fn oracle_mode_accepts_random_edits(
+        seed in 1u64..2000,
+        edits in proptest::collection::vec((any::<u64>(), any::<u8>()), 1..6),
+    ) {
+        let lib = nangate45();
+        let nl = random_netlist(4, 2, 5, seed);
+        let mut mapped = MappedDesign::map(nl, &lib).expect("maps");
+        let constraints = Constraints { clock_period: 0.8, ..Constraints::default() };
+        chatls_synth::set_sta_check(true);
+        let mut graph = TimingGraph::new();
+        {
+            let mut view = TimingView::new(&mut mapped, &mut graph, &lib, &constraints);
+            view.report();
+            for &(pick, kind) in &edits {
+                apply_edit(&mut view, &lib, pick, kind);
+                view.report();
+                view.slack_map();
+            }
+            view.hold_slacks();
+        }
+        chatls_synth::set_sta_check(false);
+    }
+}

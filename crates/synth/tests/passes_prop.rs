@@ -6,7 +6,7 @@ use chatls_synth::passes::{
     buffer_high_fanout, compile, const_propagate, insert_clock_gating, sweep, Effort,
 };
 use chatls_synth::sta::{analyze, Constraints};
-use chatls_synth::MappedDesign;
+use chatls_synth::{MappedDesign, TimingGraph, TimingView};
 use chatls_verilog::netlist::{GateKind, Netlist, Simulator};
 use proptest::prelude::*;
 
@@ -108,7 +108,11 @@ proptest! {
         let mut mapped = MappedDesign::map(nl, &lib).expect("maps");
         let constraints = Constraints { clock_period: 2.0, ..Constraints::default() };
         let effort = [Effort::Low, Effort::Medium, Effort::High][effort_pick as usize];
-        compile(&mut mapped, &lib, &constraints, effort);
+        {
+            let mut graph = TimingGraph::new();
+            let mut view = TimingView::new(&mut mapped, &mut graph, &lib, &constraints);
+            compile(&mut view, effort);
+        }
         mapped.compact();
         mapped.netlist.check().expect("structurally sound after compile");
         prop_assert_eq!(signature(&mapped.netlist, 16), golden);

@@ -1,0 +1,83 @@
+//! Session-level guarantees of the incremental timing engine.
+//!
+//! Scripted synthesis runs keep a persistent [`TimingGraph`] inside the
+//! session; repeated reports must be served from cache, every served report
+//! must equal a from-scratch analysis bitwise, and arming the
+//! `CHATLS_STA_CHECK` oracle must not change a single output byte at any
+//! thread count.
+
+use chatls::eval::{pass_at_k_on, session_template, QorCache};
+use chatls::llm::gpt_like;
+use chatls::pipeline::prepare_task;
+use chatls_exec::ExecPool;
+use chatls_synth::sta;
+
+const SCRIPT: &str = "create_clock -period 0.9 [get_ports clk]\n\
+                      set_max_fanout 12\n\
+                      compile\n\
+                      report_timing\n\
+                      report_qor\n";
+
+#[test]
+fn session_reports_match_fresh_analysis_bitwise() {
+    let design = chatls_designs::by_name("dynamic_node").expect("benchmark");
+    let template = session_template(&design);
+    let mut session = template.session();
+    let result = session.run_script(SCRIPT);
+    assert!(result.ok(), "script must run clean");
+
+    let served = session.timing_report();
+    let fresh = sta::analyze(session.design(), session.library(), session.constraints());
+    assert_eq!(served.wns.to_bits(), fresh.wns.to_bits());
+    assert_eq!(served.cps.to_bits(), fresh.cps.to_bits());
+    assert_eq!(served.tns.to_bits(), fresh.tns.to_bits());
+    assert_eq!(served.endpoints.len(), fresh.endpoints.len());
+    for (a, b) in served.endpoints.iter().zip(&fresh.endpoints) {
+        assert_eq!(a.endpoint, b.endpoint);
+        assert_eq!(a.slack.to_bits(), b.slack.to_bits());
+    }
+
+    // A clean repeat is a cache hit, not a recompute: the process-wide
+    // clean-hit counter must advance (it is monotonic, so this holds even
+    // with other tests running in parallel).
+    let before = chatls_synth::sta_telemetry();
+    let repeat = session.timing_report();
+    let after = chatls_synth::sta_telemetry();
+    assert_eq!(repeat.wns.to_bits(), served.wns.to_bits());
+    assert!(after.clean_hits > before.clean_hits, "clean repeat must hit the graph cache");
+}
+
+#[test]
+fn oracle_mode_keeps_scripted_outputs_identical() {
+    let design = chatls_designs::by_name("riscv32i").expect("benchmark");
+    let template = session_template(&design);
+
+    let plain = {
+        let mut session = template.session();
+        session.run_script(SCRIPT)
+    };
+    chatls_synth::set_sta_check(true);
+    let checked = {
+        let mut session = template.session();
+        session.run_script(SCRIPT)
+    };
+    chatls_synth::set_sta_check(false);
+    assert_eq!(plain.log, checked.log, "oracle mode must not change a single output byte");
+}
+
+#[test]
+fn oracle_mode_is_thread_count_invariant() {
+    let design = chatls_designs::by_name("dynamic_node").expect("benchmark");
+    let task = prepare_task(&design, "optimize timing");
+    let model = gpt_like();
+
+    chatls_synth::set_sta_check(true);
+    let serial_cache = QorCache::new();
+    let serial = pass_at_k_on(&ExecPool::new(1), &serial_cache, &model, &design, &task, 3);
+    for threads in [2, 4] {
+        let cache = QorCache::new();
+        let row = pass_at_k_on(&ExecPool::new(threads), &cache, &model, &design, &task, 3);
+        assert_eq!(serial, row, "{threads}-thread oracle run must match serial");
+    }
+    chatls_synth::set_sta_check(false);
+}

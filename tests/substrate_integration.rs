@@ -4,7 +4,7 @@
 use chatls_liberty::nangate45;
 use chatls_synth::passes::{compile, Effort};
 use chatls_synth::sta::{qor, Constraints};
-use chatls_synth::{MappedDesign, SynthSession};
+use chatls_synth::{MappedDesign, SynthSession, TimingGraph, TimingView};
 use chatls_verilog::netlist::Simulator;
 
 /// Every benchmark design flows through map → compile → STA cleanly.
@@ -16,7 +16,11 @@ fn all_benchmarks_synthesize_end_to_end() {
         let mut mapped = MappedDesign::map(netlist, &lib).expect("mapping succeeds");
         let constraints =
             Constraints { clock_period: design.default_period, ..Constraints::default() };
-        compile(&mut mapped, &lib, &constraints, Effort::Medium);
+        {
+            let mut graph = TimingGraph::new();
+            let mut view = TimingView::new(&mut mapped, &mut graph, &lib, &constraints);
+            compile(&mut view, Effort::Medium);
+        }
         mapped.compact();
         mapped.netlist.check().unwrap_or_else(|e| panic!("{}: {e}", design.name));
         let q = qor(&mapped, &lib, &constraints);
@@ -50,7 +54,11 @@ fn compile_preserves_function_on_real_design() {
     let golden = run(&netlist);
     let mut mapped = MappedDesign::map(netlist, &lib).expect("mapping succeeds");
     let constraints = Constraints { clock_period: design.default_period, ..Constraints::default() };
-    compile(&mut mapped, &lib, &constraints, Effort::High);
+    {
+        let mut graph = TimingGraph::new();
+        let mut view = TimingView::new(&mut mapped, &mut graph, &lib, &constraints);
+        compile(&mut view, Effort::High);
+    }
     mapped.compact();
     assert_eq!(run(&mapped.netlist), golden, "compile must preserve behaviour");
 }
@@ -70,7 +78,11 @@ fn scripted_and_direct_flows_agree() {
 
     let mut mapped = MappedDesign::map(design.netlist(), &lib).expect("mapping succeeds");
     let constraints = Constraints { clock_period: period, ..Constraints::default() };
-    compile(&mut mapped, &lib, &constraints, Effort::Medium);
+    {
+        let mut graph = TimingGraph::new();
+        let mut view = TimingView::new(&mut mapped, &mut graph, &lib, &constraints);
+        compile(&mut view, Effort::Medium);
+    }
     let direct = qor(&mapped, &lib, &constraints);
 
     assert!((result.qor.cps - direct.cps).abs() < 1e-9, "{} vs {}", result.qor.cps, direct.cps);
