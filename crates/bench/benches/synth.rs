@@ -8,8 +8,9 @@
 //! measurements can be written to `BENCH_synth.json` at the workspace root
 //! — the perf trajectory is tracked in-tree from this PR onward. In test
 //! mode (`cargo bench -- --test`) every routine runs once, untimed, no file
-//! is written, and the clean-design cache guard still runs — CI fails if a
-//! clean repeated query stops hitting the incremental cache.
+//! is written, and the CI guards still run — the pipeline fails if a clean
+//! repeated query stops hitting the incremental cache, or if obs recording
+//! adds measurable overhead to the incremental-STA hot path.
 
 use chatls::eval::{run_script_in, session_template};
 use chatls_gnn::{train, TrainConfig};
@@ -236,6 +237,56 @@ fn assert_clean_design_hits_cache() {
     );
 }
 
+/// CI guard: telemetry must be observation-only. The incremental-STA resize
+/// loop touches the obs registry on every query (`synth.sta.*` counters), so
+/// timing it with recording enabled vs. paused bounds the whole substrate's
+/// hot-path cost. Min-of-N on each side filters scheduler noise; the 5%
+/// relative bound carries a small absolute slack because 5% of a ~2ms
+/// roundtrip is close to timer jitter on a loaded CI box.
+fn assert_obs_overhead_negligible() {
+    let design = chatls_designs::by_name("swerv").expect("catalog design");
+    let template = session_template(&design);
+    let lib = template.library().clone();
+    let cons = Constraints { clock_period: 0.9, ..Constraints::default() };
+    let mut mapped = template.design().clone();
+    let victims: Vec<usize> = (0..mapped.netlist.gates.len())
+        .filter(|&gi| {
+            !mapped.is_dead(gi)
+                && next_drive(&lib, &mapped.cells[gi], true).is_some()
+                && !mapped.netlist.gates[gi].kind.is_sequential()
+        })
+        .take(64)
+        .collect();
+    let mut graph = TimingGraph::new();
+    {
+        let mut view = TimingView::new(&mut mapped, &mut graph, &lib, &cons);
+        view.report();
+    }
+
+    let mut time_min = |paused: bool| {
+        chatls_obs::pause_recording(paused);
+        let mut best = u64::MAX;
+        for i in 0..12 {
+            let start = std::time::Instant::now();
+            black_box(resize_roundtrip(&mut mapped, &mut graph, &lib, &cons, &victims, i, false));
+            best = best.min(start.elapsed().as_nanos() as u64);
+        }
+        chatls_obs::pause_recording(false);
+        best
+    };
+    // Interleave a warmup pass per side so both measure the same cache state.
+    time_min(true);
+    let paused_ns = time_min(true);
+    time_min(false);
+    let recording_ns = time_min(false);
+    let bound_ns = paused_ns + paused_ns / 20 + 200_000;
+    assert!(
+        recording_ns <= bound_ns,
+        "obs recording overhead too high: {recording_ns} ns recording vs {paused_ns} ns paused \
+         (bound {bound_ns} ns)"
+    );
+}
+
 fn bench_gnn_epoch(c: &mut Criterion) {
     let corpus = chatls_designs::database_designs();
     let graphs: Vec<_> =
@@ -282,6 +333,7 @@ fn bench_matmul(c: &mut Criterion) {
 
 fn main() {
     assert_clean_design_hits_cache();
+    assert_obs_overhead_negligible();
 
     let mut criterion = Criterion::default().sample_size(10);
     bench_run_script(&mut criterion);

@@ -115,4 +115,5 @@ fn main() {
          pipeline needs both — the paper's §IV-C argument."
     );
     save_json("ablation_cot", &rows);
+    chatls_bench::finalize_telemetry();
 }

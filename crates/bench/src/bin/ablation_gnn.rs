@@ -121,6 +121,7 @@ fn main() {
         println!("{:<24} {:>8.3} {:>12.3}", p.variant, p.f1_at_3, p.separation);
     }
     save_json("ablation_gnn", &points);
+    chatls_bench::finalize_telemetry();
 }
 
 fn cfg(aggregator: Aggregator, loss: MetricLoss, dims: Vec<usize>) -> TrainConfig {

@@ -66,4 +66,5 @@ fn main() {
         outputs.push(output);
     }
     save_json("ablation_iterations", &outputs);
+    chatls_bench::finalize_telemetry();
 }

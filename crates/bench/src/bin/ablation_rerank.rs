@@ -57,4 +57,5 @@ fn main() {
          stated goal of folding timing/area characteristics into the ranking."
     );
     save_json("ablation_rerank", &points);
+    chatls_bench::finalize_telemetry();
 }

@@ -49,4 +49,5 @@ fn main() {
     for block in blocks {
         print!("{block}");
     }
+    chatls_bench::finalize_telemetry();
 }

@@ -49,6 +49,7 @@ fn main() {
     for line in lines {
         println!("{line}");
     }
+    chatls_bench::finalize_telemetry();
 }
 
 fn run(

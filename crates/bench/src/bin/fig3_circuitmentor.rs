@@ -86,4 +86,5 @@ fn main() {
             traits,
         },
     );
+    chatls_bench::finalize_telemetry();
 }

@@ -119,4 +119,5 @@ fn main() {
         "fig4_metric_learning",
         &Output { epochs: main_series, before_separation: before, after_separation: after, losses },
     );
+    chatls_bench::finalize_telemetry();
 }

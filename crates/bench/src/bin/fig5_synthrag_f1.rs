@@ -104,4 +104,5 @@ fn main() {
     println!("\nShape check: best design-level F1 {best_f1:.3} vs chance-level {chance:.3}");
     assert!(best_f1 > chance, "retrieval must beat chance");
     save_json("fig5_synthrag_f1", &Output { design_level, module_level, configs: configs.len() });
+    chatls_bench::finalize_telemetry();
 }

@@ -56,4 +56,5 @@ fn main() {
     for line in lines {
         println!("{line}");
     }
+    chatls_bench::finalize_telemetry();
 }

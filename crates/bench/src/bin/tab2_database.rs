@@ -58,4 +58,5 @@ fn main() {
         out.push(entry);
     }
     save_json("tab2_database", &out);
+    chatls_bench::finalize_telemetry();
 }

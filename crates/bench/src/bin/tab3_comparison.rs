@@ -122,6 +122,7 @@ fn main() {
     // Cache and incremental-STA telemetry go to stderr: stdout and the JSON
     // artifact stay byte-identical whatever the hit pattern was.
     chatls::eval::print_eval_telemetry();
+    chatls_bench::finalize_telemetry();
 }
 
 fn short(model: &str) -> &str {

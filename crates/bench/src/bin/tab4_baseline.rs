@@ -49,4 +49,5 @@ fn main() {
         println!("{}", qor_row(&r.design, r.wns, r.cps, r.tns, r.area));
     }
     save_json("tab4_baseline", &rows);
+    chatls_bench::finalize_telemetry();
 }

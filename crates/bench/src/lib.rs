@@ -72,6 +72,20 @@ pub fn shared_full_db() -> chatls::ExpertDatabase {
     db
 }
 
+/// Terminal telemetry sink for the experiment binaries: flushes the global
+/// [`chatls_obs::ObsCtx`] — stderr span/metrics summary plus the JSON
+/// document when `CHATLS_TELEMETRY` names a path. With telemetry disabled
+/// (the default) this is a no-op, so every `main` calls it unconditionally
+/// as its last statement; stdout is never touched either way.
+pub fn finalize_telemetry() {
+    let obs = chatls_obs::ObsCtx::global();
+    if obs.is_enabled() {
+        if let Err(e) = obs.finish() {
+            eprintln!("telemetry: {e}");
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

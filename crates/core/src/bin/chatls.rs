@@ -9,6 +9,10 @@
 //! chatls designs
 //! ```
 //!
+//! Every subcommand also accepts the global `--telemetry-json <path>`
+//! (write the JSON telemetry document on exit) and `--quiet` (suppress
+//! stderr telemetry) flags; neither changes a byte of stdout.
+//!
 //! Designs are the built-in benchmark/database generators (`chatls designs`
 //! lists them). The expert database is built once with `build-db` and
 //! reused from disk by the other subcommands (or rebuilt quickly on the fly
@@ -22,7 +26,27 @@ use chatls::{DbConfig, ExpertDatabase};
 use std::process::ExitCode;
 
 fn main() -> ExitCode {
-    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    // Global telemetry flags, valid on every subcommand. They are stripped
+    // (flag and value) before dispatch so positional parsing never sees
+    // them, and they only touch stderr/JSON sinks — stdout is identical
+    // with telemetry on or off.
+    let telemetry_json = match take_value_flag(&mut args, "--telemetry-json") {
+        Ok(v) => v,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let quiet = take_flag(&mut args, "--quiet");
+    if quiet {
+        chatls_obs::set_global_quiet(true);
+    }
+    if let Some(path) = &telemetry_json {
+        let ctx = chatls_obs::ObsCtx::new();
+        ctx.set_json_path(Some(path.into()));
+        chatls_obs::init_global(ctx);
+    }
     let mut it = args.iter();
     let cmd = match it.next() {
         Some(c) => c.as_str(),
@@ -32,26 +56,61 @@ fn main() -> ExitCode {
         }
     };
     let rest: Vec<&str> = it.map(String::as_str).collect();
-    let result = match cmd {
-        "build-db" => cmd_build_db(&rest),
-        "analyze" => cmd_analyze(&rest),
-        "customize" => cmd_customize(&rest),
-        "evaluate" => cmd_evaluate(&rest),
-        "lint" => cmd_lint(&rest),
-        "designs" => cmd_designs(),
-        "help" | "--help" | "-h" => {
-            println!("{USAGE}");
-            Ok(())
+    let obs = chatls_obs::ObsCtx::global();
+    let result = {
+        let _span = if obs.is_enabled() { Some(obs.span(&format!("cli.{cmd}"))) } else { None };
+        match cmd {
+            "build-db" => cmd_build_db(&rest),
+            "analyze" => cmd_analyze(&rest),
+            "customize" => cmd_customize(&rest),
+            "evaluate" => cmd_evaluate(&rest),
+            "lint" => cmd_lint(&rest),
+            "designs" => cmd_designs(),
+            "help" | "--help" | "-h" => {
+                println!("{USAGE}");
+                Ok(())
+            }
+            other => Err(format!("unknown subcommand '{other}'\n{USAGE}")),
         }
-        other => Err(format!("unknown subcommand '{other}'\n{USAGE}")),
     };
-    match result {
-        Ok(()) => ExitCode::SUCCESS,
-        Err(e) => {
+    // Finalize telemetry on every exit path: stderr summary (unless
+    // --quiet) and the JSON document when a path was configured.
+    if obs.is_enabled() {
+        chatls::eval::sync_eval_gauges();
+    }
+    let finished = chatls_obs::ObsCtx::global().finish();
+    match (result, finished) {
+        (Ok(()), Ok(())) => ExitCode::SUCCESS,
+        (Err(e), _) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+        (_, Err(e)) => {
             eprintln!("error: {e}");
             ExitCode::FAILURE
         }
     }
+}
+
+/// Removes `flag` from `args`, returning whether it was present.
+fn take_flag(args: &mut Vec<String>, flag: &str) -> bool {
+    match args.iter().position(|a| a == flag) {
+        Some(i) => {
+            args.remove(i);
+            true
+        }
+        None => false,
+    }
+}
+
+/// Removes `flag` and its value from `args`, returning the value.
+fn take_value_flag(args: &mut Vec<String>, flag: &str) -> Result<Option<String>, String> {
+    let Some(i) = args.iter().position(|a| a == flag) else { return Ok(None) };
+    if i + 1 >= args.len() {
+        return Err(format!("{flag} needs a value"));
+    }
+    args.remove(i);
+    Ok(Some(args.remove(i)))
 }
 
 const USAGE: &str = "usage:
@@ -63,7 +122,11 @@ const USAGE: &str = "usage:
                                              Pass@k comparison vs simulated baselines
   chatls lint <script> [--design <name>]     ScriptLint static analysis of a script
                [--json] [--fix]              (exit 1 when errors are found)
-  chatls designs                             list built-in designs";
+  chatls designs                             list built-in designs
+
+global flags (every subcommand):
+  --telemetry-json <file>   write the JSON telemetry document (spans + metrics)
+  --quiet                   suppress stderr telemetry (stdout is unaffected)";
 
 fn opt<'a>(rest: &'a [&str], flag: &str) -> Option<&'a str> {
     rest.iter().position(|a| *a == flag).and_then(|i| rest.get(i + 1)).copied()

@@ -141,13 +141,22 @@ pub fn build_circuit_graph(design: &GeneratedDesign) -> CircuitGraph {
             })
             .collect();
         let _ = children;
-        // Add CONNECTS edges between children sharing a net name.
+        // Add CONNECTS edges between children sharing a net name. Nets are
+        // visited in first-appearance order, never HashMap iteration order:
+        // edge order feeds the GNN float accumulation and the graph-db
+        // relationship ids, so a randomized order would make embeddings and
+        // query output vary run to run.
         let mut by_net: HashMap<&str, Vec<usize>> = HashMap::new();
+        let mut net_order: Vec<&str> = Vec::new();
         for (net, child) in &conn_nets {
-            by_net.entry(net.as_str()).or_default().push(*child);
+            let peers = by_net.entry(net.as_str()).or_default();
+            if peers.is_empty() {
+                net_order.push(net.as_str());
+            }
+            peers.push(*child);
         }
         let mut linked: Vec<(usize, usize)> = Vec::new();
-        for peers in by_net.values() {
+        for peers in net_order.iter().map(|net| &by_net[net]) {
             for w in peers.windows(2) {
                 let (a, b) = (w[0].min(w[1]), w[0].max(w[1]));
                 if a != b && !linked.contains(&(a, b)) {

@@ -18,7 +18,7 @@ use chatls_exec::ExecPool;
 use chatls_gnn::TrainConfig;
 use chatls_graphdb::{Graph, ResultSet, Value};
 use chatls_liberty::{nangate45, Library};
-use chatls_synth::{command_manual, SessionTemplate};
+use chatls_synth::command_manual;
 use chatls_textembed::DocIndex;
 use chatls_vecindex::{rerank, FlatIndex, Metric};
 use serde::{Deserialize, Serialize};
@@ -271,7 +271,8 @@ impl ExpertDatabase {
             let cg = build_circuit_graph(design);
             let embedding = mentor.design_embedding(&cg);
             let module_embeddings = mentor.module_embeddings(&cg);
-            let template = SessionTemplate::new(design.netlist(), library.clone())
+            let template = chatls_synth::SessionBuilder::new(design.netlist(), library.clone())
+                .template()
                 .expect("library covers all gate kinds");
             let mut outcomes: Vec<StrategyOutcome> = chosen
                 .iter()

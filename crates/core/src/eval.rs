@@ -12,7 +12,8 @@ use crate::llm::{respects_fixed_period, Generator, TaskContext};
 use chatls_designs::GeneratedDesign;
 use chatls_exec::{fnv1a, CacheStats, ExecPool, ShardedCache};
 use chatls_liberty::nangate45;
-use chatls_synth::{QorReport, SessionTemplate};
+use chatls_obs::ObsCtx;
+use chatls_synth::{QorReport, SessionBuilder, SessionTemplate};
 use serde::{Deserialize, Serialize};
 use std::sync::OnceLock;
 
@@ -86,9 +87,12 @@ pub struct QorCache {
 }
 
 impl QorCache {
-    /// An empty cache.
+    /// An empty cache. Hit/miss counters are mirrored into the obs
+    /// registry as `core.qorcache.hits` / `core.qorcache.misses` (every
+    /// instance feeds the same process-wide counters; the local
+    /// [`CacheStats`] stay per-instance).
     pub fn new() -> Self {
-        Self { inner: ShardedCache::new() }
+        Self { inner: ShardedCache::named("core.qorcache") }
     }
 
     /// The process-wide cache shared by [`run_script`] and the default
@@ -136,35 +140,54 @@ impl Default for QorCache {
     }
 }
 
-/// Prints evaluation-engine telemetry to stderr: the global [`QorCache`]
-/// hit/miss counters and the process-wide incremental-STA counters (full
-/// rebuilds vs. dirty-worklist updates vs. clean-cache hits). Stdout is
-/// never touched, so experiment output stays byte-identical whatever the
-/// cache and timing-graph hit patterns were.
+/// Emits evaluation-engine telemetry on stderr through the obs metrics
+/// sink: the migrated `core.qorcache.*` hit/miss counters (plus a fresh
+/// `core.qorcache.entries` gauge snapshot) and the `synth.sta.*`
+/// incremental-STA counters, all in the registry's one
+/// `stage.subsystem.metric` schema. Stdout is never touched, so experiment
+/// output stays byte-identical whatever the cache and timing-graph hit
+/// patterns were; `--quiet` / [`chatls_obs::set_global_quiet`] suppresses
+/// the emission entirely. When the process-wide [`chatls_obs::ObsCtx`] is
+/// enabled (`CHATLS_TELEMETRY`), emission is deferred to the terminal
+/// `finish()` sink so the metrics tables print exactly once.
 pub fn print_eval_telemetry() {
-    let stats = QorCache::global().stats();
-    eprintln!(
-        "QorCache: {} hits / {} misses (hit-rate {:.1}%, {} entries)",
-        stats.hits,
-        stats.misses,
-        stats.hit_rate() * 100.0,
-        QorCache::global().len()
-    );
-    let sta = chatls_synth::sta_telemetry();
-    eprintln!(
-        "IncrementalSTA: {} full rebuilds / {} worklist updates / {} clean hits",
-        sta.full_builds, sta.incremental_updates, sta.clean_hits
-    );
+    sync_eval_gauges();
+    if !chatls_obs::ObsCtx::global().is_enabled() {
+        chatls_obs::emit_metrics_stderr();
+    }
+}
+
+/// Refreshes the point-in-time gauges the eval engine owns (currently the
+/// global QorCache entry count) so sinks render current values. Called by
+/// [`print_eval_telemetry`] and by the CLI right before it finalizes the
+/// telemetry document.
+pub fn sync_eval_gauges() {
+    chatls_obs::gauge("core.qorcache.entries").set(QorCache::global().len() as i64);
 }
 
 /// Builds the reusable session template for a design: Verilog elaborated
 /// and mapped onto the library once; sessions stamp out cheaply from it.
+/// Spans land in the process-wide [`ObsCtx::global`] context.
 ///
 /// # Panics
 ///
 /// Panics if the design cannot be mapped onto the library (catalog bug).
 pub fn session_template(design: &GeneratedDesign) -> SessionTemplate {
-    SessionTemplate::new(design.netlist(), nangate45()).expect("library covers all primitive gates")
+    session_template_obs(design, ObsCtx::global())
+}
+
+/// [`session_template`] with an explicit observability context: the
+/// mapping step and every script command on stamped sessions record spans
+/// there.
+///
+/// # Panics
+///
+/// Panics if the design cannot be mapped onto the library (catalog bug).
+pub fn session_template_obs(design: &GeneratedDesign, obs: &ObsCtx) -> SessionTemplate {
+    SessionBuilder::new(design.netlist(), nangate45())
+        .obs(obs.clone())
+        .template()
+        .expect("library covers all primitive gates")
 }
 
 /// Runs a script on a session stamped from `template`; returns the QoR
@@ -198,10 +221,11 @@ pub fn pass_at_k(
     task: &TaskContext,
     k: u64,
 ) -> EvalRow {
-    pass_at_k_on(ExecPool::global(), QorCache::global(), model, design, task, k)
+    pass_at_k_on(ExecPool::global(), QorCache::global(), ObsCtx::global(), model, design, task, k)
 }
 
-/// [`pass_at_k`] with explicit execution resources.
+/// [`pass_at_k`] with explicit execution resources and observability
+/// context.
 ///
 /// The `k` candidate scripts are generated and synthesized in parallel on
 /// `pool` (generators are deterministic per `(task, seed)` and scripts
@@ -214,30 +238,44 @@ pub fn pass_at_k(
 /// fully cached evaluation never touches the Verilog), and the baseline
 /// QoR used to score disqualified samples is computed at most once
 /// instead of once per disqualified seed.
+///
+/// Telemetry: the call runs under a `core.eval.pass_at_k` span in `obs`
+/// (worker-side spans surface as roots — the pool boundary is kept
+/// visible), samples count into `core.eval.samples`, per-sample wall time
+/// into the `core.eval.sample_wall_ns` histogram, and period-tampering
+/// disqualifications into `core.eval.disqualified`.
 pub fn pass_at_k_on(
     pool: &ExecPool,
     cache: &QorCache,
+    obs: &ObsCtx,
     model: &dyn Generator,
     design: &GeneratedDesign,
     task: &TaskContext,
     k: u64,
 ) -> EvalRow {
+    let _span = if obs.is_enabled() { Some(obs.span("core.eval.pass_at_k")) } else { None };
+    chatls_obs::counter("core.eval.samples").add(k);
+    let disqualified = chatls_obs::counter("core.eval.disqualified");
+    let sample_wall =
+        chatls_obs::histogram("core.eval.sample_wall_ns", chatls_obs::DURATION_NS_BOUNDS);
     let fp = design_fingerprint(design);
     let template: OnceLock<SessionTemplate> = OnceLock::new();
-    let template = || template.get_or_init(|| session_template(design));
+    let template = || template.get_or_init(|| session_template_obs(design, obs));
     // Baseline QoR for disqualified samples: invariant across seeds, so
     // computed at most once per call (and usually served by the cache —
     // the baseline is what every evaluation in a sweep re-runs).
     let baseline: OnceLock<QorReport> = OnceLock::new();
     let samples: Vec<(QorReport, bool)> = pool.run(k as usize, |i| {
+        let started = std::time::Instant::now();
         let script = model.generate(task, i as u64);
         let legal = respects_fixed_period(&script, task.period);
-        if legal {
+        let sample = if legal {
             let (qor, ok) = cache.get_or_run(fp, &script, || run_script_in(template(), &script));
             (qor, ok && legal)
         } else {
             // Disqualified: the period was tampered with. Score as the
             // baseline (no improvement) to mirror a rejected submission.
+            disqualified.inc();
             let q = baseline
                 .get_or_init(|| {
                     cache
@@ -248,7 +286,9 @@ pub fn pass_at_k_on(
                 })
                 .clone();
             (q, false)
-        }
+        };
+        sample_wall.record(started.elapsed().as_nanos() as f64);
+        sample
     });
     let mut best: Option<(QorReport, bool, u64)> = None;
     let mut valid = 0usize;

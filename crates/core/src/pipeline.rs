@@ -19,7 +19,8 @@ use crate::llm::{Generator, OneShot, OneShotProfile, TaskContext, TimingSummary}
 use crate::synthexpert::{ExpertTrace, SynthExpert};
 use crate::synthrag::SynthRag;
 use chatls_designs::GeneratedDesign;
-use chatls_synth::SynthSession;
+use chatls_obs::ObsCtx;
+use chatls_synth::SessionBuilder;
 use serde::{Deserialize, Serialize};
 
 /// The baseline script the evaluation customizes (the paper adapts the
@@ -38,9 +39,13 @@ pub fn baseline_script(period: f64) -> String {
 ///
 /// Panics if the design cannot be mapped onto the library (generator bug).
 pub fn prepare_task(design: &GeneratedDesign, user_request: &str) -> TaskContext {
+    let obs = ObsCtx::global();
+    let _span = if obs.is_enabled() { Some(obs.span("core.prepare_task")) } else { None };
     let netlist = design.netlist();
     let traits = detect_traits(&netlist);
-    let mut session = SynthSession::new(netlist, chatls_liberty::nangate45())
+    let mut session = SessionBuilder::new(netlist, chatls_liberty::nangate45())
+        .obs(obs.clone())
+        .session()
         .expect("library covers all primitive gates");
     let script = baseline_script(design.default_period);
     let result = session.run_script(&script);
@@ -111,19 +116,32 @@ impl ChatLsOutcome {
 pub struct ChatLs<'db> {
     db: &'db ExpertDatabase,
     drafter: OneShot,
+    obs: ObsCtx,
     /// Number of similar designs to retrieve.
     pub retrieve_k: usize,
 }
 
 impl<'db> ChatLs<'db> {
-    /// Creates a ChatLS instance over a built expert database.
+    /// Creates a ChatLS instance over a built expert database, recording
+    /// telemetry into the process-wide [`ObsCtx::global`] context.
     ///
     /// The internal drafting model uses the same fallibility profile as the
     /// GPT-4o baseline: ChatLS's advantage in the evaluation comes from
     /// retrieval grounding and stepwise revision, not from a better
     /// underlying "model".
     pub fn new(db: &'db ExpertDatabase) -> Self {
-        Self { db, drafter: OneShot::new(OneShotProfile::gpt_like()), retrieve_k: 3 }
+        Self {
+            db,
+            drafter: OneShot::new(OneShotProfile::gpt_like()),
+            obs: ObsCtx::global().clone(),
+            retrieve_k: 3,
+        }
+    }
+
+    /// Replaces the observability context spans are recorded into.
+    pub fn with_obs(mut self, obs: ObsCtx) -> Self {
+        self.obs = obs;
+        self
     }
 
     /// The database in use.
@@ -131,22 +149,39 @@ impl<'db> ChatLs<'db> {
         self.db
     }
 
-    /// Full pipeline with intermediate artifacts.
+    /// Full pipeline with intermediate artifacts. Each stage runs inside
+    /// its own span (`core.mentor.embed`, `core.synthrag.retrieve`,
+    /// `core.draft.generate`, `core.synthexpert.refine`) under a
+    /// `core.pipeline.customize` parent.
     pub fn customize(
         &self,
         design: &GeneratedDesign,
         task: &TaskContext,
         seed: u64,
     ) -> ChatLsOutcome {
+        let on = self.obs.is_enabled();
+        let _span = if on { Some(self.obs.span("core.pipeline.customize")) } else { None };
         // 1. CircuitMentor.
-        let graph = build_circuit_graph(design);
-        let embedding = self.db.mentor().design_embedding(&graph);
+        let embedding = {
+            let _s = if on { Some(self.obs.span("core.mentor.embed")) } else { None };
+            let graph = build_circuit_graph(design);
+            self.db.mentor().design_embedding(&graph)
+        };
         // 2. SynthRAG: similar designs + their measured best strategies.
         let rag = SynthRag::new(self.db);
-        let similar = rag.similar_designs(&embedding, self.retrieve_k);
+        let similar = {
+            let _s = if on { Some(self.obs.span("core.synthrag.retrieve")) } else { None };
+            let similar = rag.similar_designs(&embedding, self.retrieve_k);
+            chatls_obs::counter("core.synthrag.queries").inc();
+            chatls_obs::counter("core.synthrag.retrieved").add(similar.len() as u64);
+            similar
+        };
         // 3. Draft: the fallible base model, augmented with the retrieved
         //    expert strategy body (RAG-augmented generation).
-        let mut draft = self.drafter.generate(task, seed);
+        let mut draft = {
+            let _s = if on { Some(self.obs.span("core.draft.generate")) } else { None };
+            self.drafter.generate(task, seed)
+        };
         if let Some(best) = similar.first() {
             draft.push_str("\n# retrieved strategy from similar design\n");
             for line in best.script.lines() {
@@ -157,8 +192,11 @@ impl<'db> ChatLs<'db> {
             }
         }
         // 4. SynthExpert revision (CoT × RAG).
-        let expert = SynthExpert::new(rag);
-        let trace = expert.refine(task, &draft);
+        let trace = {
+            let _s = if on { Some(self.obs.span("core.synthexpert.refine")) } else { None };
+            let expert = SynthExpert::new(rag);
+            expert.refine(task, &draft)
+        };
         ChatLsOutcome { embedding, similar, draft, trace }
     }
 }
@@ -298,7 +336,8 @@ mod tests {
         let outcome = chatls.customize(&d, &task, 0);
         assert!(!outcome.similar.is_empty());
         assert_eq!(outcome.embedding.len(), db.mentor().embedding_dim());
-        let mut session = SynthSession::new(d.netlist(), chatls_liberty::nangate45()).unwrap();
+        let mut session =
+            SessionBuilder::new(d.netlist(), chatls_liberty::nangate45()).session().unwrap();
         let r = session.run_script(outcome.script());
         assert!(r.ok(), "{:?}\n{}", r.error, outcome.script());
     }
@@ -352,7 +391,8 @@ mod tests {
         let d = by_name("aes").unwrap();
         let task = prepare_task(&d, "optimize timing");
         let script = chatls.generate(&task, 1);
-        let mut session = SynthSession::new(d.netlist(), chatls_liberty::nangate45()).unwrap();
+        let mut session =
+            SessionBuilder::new(d.netlist(), chatls_liberty::nangate45()).session().unwrap();
         let r = session.run_script(&script);
         assert!(r.ok());
         assert!(

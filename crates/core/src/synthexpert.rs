@@ -76,6 +76,7 @@ impl<'db> SynthExpert<'db> {
 
     /// Refines a drafted script for the task, returning the trace.
     pub fn refine(&self, task: &TaskContext, draft: &str) -> ExpertTrace {
+        chatls_obs::counter("core.synthexpert.refinements").inc();
         let draft_lint = chatls_lint::lint_script(draft).diagnostics;
         let mut steps = Vec::new();
         let mut commands: Vec<String> = draft
@@ -152,6 +153,8 @@ impl<'db> SynthExpert<'db> {
             if !report.is_clean() {
                 let outcome = chatls_lint::repair_script(&commands.join("\n"));
                 commands = outcome.script.lines().map(str::to_string).collect();
+                chatls_obs::counter("core.synthexpert.lint_repairs")
+                    .add(outcome.fixes.len() as u64);
                 revisions.extend(outcome.fixes);
                 retrieved.push(format!(
                     "lint: {} error(s), {} warning(s) flagged statically",
@@ -346,6 +349,7 @@ impl<'db> SynthExpert<'db> {
                 revision: String::new(),
             });
             let final_lint = chatls_lint::lint_script(&script).diagnostics;
+            chatls_obs::counter("core.synthexpert.rounds").add(steps.len() as u64);
             ExpertTrace { steps, script, draft_lint, final_lint }
         }
     }
@@ -576,7 +580,9 @@ mod tests {
         // Result must execute cleanly.
         let d = by_name("aes").unwrap();
         let mut session =
-            chatls_synth::SynthSession::new(d.netlist(), chatls_liberty::nangate45()).unwrap();
+            chatls_synth::SessionBuilder::new(d.netlist(), chatls_liberty::nangate45())
+                .session()
+                .unwrap();
         let r = session.run_script(&trace.script);
         assert!(r.ok(), "{:?}", r.error);
     }
@@ -722,8 +728,9 @@ compile -map_effort ultra -fast
                 for g in [gpt_like(), claude_like()] {
                     let draft = g.generate(&t, seed);
                     let trace = expert().refine(&t, &draft);
-                    let mut session =
-                        chatls_synth::SynthSession::new(nl.clone(), lib.clone()).unwrap();
+                    let mut session = chatls_synth::SessionBuilder::new(nl.clone(), lib.clone())
+                        .session()
+                        .unwrap();
                     let r = session.run_script(&trace.script);
                     assert!(
                         r.ok(),

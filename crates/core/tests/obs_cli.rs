@@ -1,0 +1,118 @@
+//! End-to-end telemetry contract of the `chatls` CLI.
+//!
+//! Two invariants:
+//!
+//! 1. stdout is byte-identical with telemetry off, with `--telemetry-json`,
+//!    and with `--quiet`, at 1/2/4 worker threads — telemetry only ever
+//!    touches stderr and the JSON file.
+//! 2. the JSON telemetry document is schema-stable: fixed schema id,
+//!    required top-level keys, per-stage spans with sane durations, and
+//!    the migrated QorCache/STA counters present by name.
+
+use std::path::PathBuf;
+use std::process::Command;
+
+fn chatls(args: &[&str], threads: &str) -> (String, String) {
+    let out = Command::new(env!("CARGO_BIN_EXE_chatls"))
+        .args(args)
+        .env("CHATLS_THREADS", threads)
+        .env_remove("CHATLS_TELEMETRY")
+        .current_dir(std::env::temp_dir())
+        .output()
+        .expect("chatls binary runs");
+    assert!(
+        out.status.success(),
+        "chatls {args:?} failed: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    (
+        String::from_utf8(out.stdout).expect("utf8 stdout"),
+        String::from_utf8_lossy(&out.stderr).into_owned(),
+    )
+}
+
+fn temp_json(tag: &str) -> PathBuf {
+    std::env::temp_dir().join(format!("chatls_obs_cli_{tag}_{}.json", std::process::id()))
+}
+
+#[test]
+fn stdout_is_byte_identical_with_telemetry_on_off_and_across_threads() {
+    let (baseline, _) = chatls(&["analyze", "aes"], "1");
+    assert!(baseline.contains("design aes"), "sanity: analyze prints the report");
+    for threads in ["1", "2", "4"] {
+        let (plain, _) = chatls(&["analyze", "aes"], threads);
+        assert_eq!(plain, baseline, "telemetry-off stdout at {threads} threads");
+
+        let json = temp_json(&format!("analyze_{threads}"));
+        let (with_telemetry, stderr) =
+            chatls(&["analyze", "aes", "--telemetry-json", json.to_str().unwrap()], threads);
+        assert_eq!(with_telemetry, baseline, "telemetry-on stdout at {threads} threads");
+        assert!(stderr.contains("[obs]"), "telemetry-on run prints the stderr summary");
+        assert!(json.exists(), "telemetry document written");
+        let _ = std::fs::remove_file(&json);
+
+        let json = temp_json(&format!("analyze_quiet_{threads}"));
+        let (quiet_stdout, quiet_stderr) = chatls(
+            &["analyze", "aes", "--quiet", "--telemetry-json", json.to_str().unwrap()],
+            threads,
+        );
+        assert_eq!(quiet_stdout, baseline, "quiet stdout at {threads} threads");
+        assert!(!quiet_stderr.contains("[obs]"), "--quiet suppresses the stderr summary");
+        assert!(json.exists(), "--quiet still writes the JSON document");
+        let _ = std::fs::remove_file(&json);
+    }
+}
+
+#[test]
+fn telemetry_json_is_schema_stable_for_a_catalog_run() {
+    let json_path = temp_json("customize");
+    let (stdout, _) = chatls(
+        &["customize", "aes", "--seed", "0", "--telemetry-json", json_path.to_str().unwrap()],
+        "2",
+    );
+    assert!(stdout.contains("create_clock"), "customize prints the script on stdout");
+
+    let text = std::fs::read_to_string(&json_path).expect("telemetry document readable");
+    let _ = std::fs::remove_file(&json_path);
+    let doc = serde_json::parse_value(&text).expect("telemetry document is valid JSON");
+
+    assert_eq!(
+        doc.get("schema").and_then(|v| v.as_str()),
+        Some("chatls.telemetry.v1"),
+        "schema id is stable"
+    );
+    for key in ["enabled", "dropped_spans", "spans", "counters", "gauges", "histograms"] {
+        assert!(doc.get(key).is_some(), "required key '{key}' present");
+    }
+
+    let spans = doc.get("spans").and_then(|v| v.as_array()).expect("spans is an array");
+    assert!(!spans.is_empty(), "a customize run records spans");
+    let mut names = Vec::new();
+    for span in spans {
+        for key in ["id", "parent", "name", "start_ns", "wall_ns", "cpu_ns"] {
+            assert!(span.get(key).is_some(), "span key '{key}' present");
+        }
+        let wall = span.get("wall_ns").and_then(|v| v.as_f64()).expect("wall_ns numeric");
+        assert!(wall >= 0.0, "span durations are non-negative");
+        names.push(span.get("name").and_then(|v| v.as_str()).expect("name str").to_string());
+    }
+    for expected in
+        ["cli.customize", "core.prepare_task", "core.pipeline.customize", "core.synthexpert.refine"]
+    {
+        assert!(names.iter().any(|n| n == expected), "per-stage span '{expected}' recorded");
+    }
+    assert!(names.iter().any(|n| n.starts_with("synth.cmd.")), "per-command synth spans recorded");
+
+    // The migrated counters live in the same document under their
+    // stage.subsystem.metric names.
+    let counters = doc.get("counters").expect("counters object");
+    for name in ["core.qorcache.hits", "core.qorcache.misses", "synth.sta.full_builds"] {
+        assert!(counters.get(name).is_some(), "migrated counter '{name}' present");
+    }
+    let sta_activity =
+        ["synth.sta.full_builds", "synth.sta.incremental_updates", "synth.sta.clean_hits"]
+            .iter()
+            .filter_map(|n| counters.get(n).and_then(|v| v.as_u64()))
+            .sum::<u64>();
+    assert!(sta_activity > 0, "a synthesis run exercises the STA counters");
+}

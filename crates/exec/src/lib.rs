@@ -13,10 +13,12 @@
 //! - [`ShardedCache`] — a lock-striped memo map with hit/miss counters,
 //!   the substrate under `chatls_core`'s QoR cache: each shard is an
 //!   independent `Mutex<HashMap>`, so concurrent lookups on different keys
-//!   rarely contend.
+//!   rarely contend. [`ShardedCache::named`] mirrors the hit/miss counters
+//!   into the `chatls_obs` registry so telemetry sinks can render them.
 //!
-//! Neither primitive pulls in external dependencies; everything is built on
-//! `std` so the workspace keeps compiling offline.
+//! Both primitives report into the `chatls_obs` metrics registry
+//! (`exec.pool.*`, `<cache-name>.*`) and pull in nothing outside `std`, so
+//! the workspace keeps compiling offline.
 
 use std::collections::HashMap;
 use std::hash::{Hash, Hasher};
@@ -75,6 +77,9 @@ impl ExecPool {
         R: Send,
         F: Fn(usize) -> R + Sync,
     {
+        let (runs, tasks) = pool_counters();
+        runs.inc();
+        tasks.add(n as u64);
         if self.threads <= 1 || n <= 1 {
             return (0..n).map(f).collect();
         }
@@ -119,6 +124,15 @@ impl ExecPool {
     }
 }
 
+/// Process-wide pool counters (`exec.pool.*`), resolved once.
+fn pool_counters() -> (&'static chatls_obs::Counter, &'static chatls_obs::Counter) {
+    static HANDLES: OnceLock<(&'static chatls_obs::Counter, &'static chatls_obs::Counter)> =
+        OnceLock::new();
+    *HANDLES.get_or_init(|| {
+        (chatls_obs::counter("exec.pool.runs"), chatls_obs::counter("exec.pool.tasks"))
+    })
+}
+
 /// Hit/miss counters of a [`ShardedCache`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct CacheStats {
@@ -154,6 +168,9 @@ pub struct ShardedCache<K, V> {
     shards: Vec<Mutex<HashMap<K, V>>>,
     hits: AtomicU64,
     misses: AtomicU64,
+    /// Mirrored `<name>.hits` / `<name>.misses` handles in the process-wide
+    /// obs registry, for caches built with [`ShardedCache::named`].
+    obs: Option<(&'static chatls_obs::Counter, &'static chatls_obs::Counter)>,
 }
 
 impl<K: Hash + Eq + Clone, V: Clone> ShardedCache<K, V> {
@@ -163,7 +180,22 @@ impl<K: Hash + Eq + Clone, V: Clone> ShardedCache<K, V> {
             shards: (0..SHARDS).map(|_| Mutex::new(HashMap::new())).collect(),
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
+            obs: None,
         }
+    }
+
+    /// An empty cache whose hit/miss counters are mirrored into the obs
+    /// registry as `<name>.hits` / `<name>.misses` (`name` follows the
+    /// `stage.subsystem` convention, e.g. `core.qorcache`). The local
+    /// [`CacheStats`] counters keep working unchanged; the registry copies
+    /// are what the telemetry sinks render.
+    pub fn named(name: &str) -> Self {
+        let mut cache = Self::new();
+        cache.obs = Some((
+            chatls_obs::counter_dyn(&format!("{name}.hits")),
+            chatls_obs::counter_dyn(&format!("{name}.misses")),
+        ));
+        cache
     }
 
     fn shard(&self, key: &K) -> &Mutex<HashMap<K, V>> {
@@ -178,9 +210,15 @@ impl<K: Hash + Eq + Clone, V: Clone> ShardedCache<K, V> {
         let shard = self.shard(&key);
         if let Some(v) = shard.lock().unwrap().get(&key) {
             self.hits.fetch_add(1, Ordering::Relaxed);
+            if let Some((hits, _)) = self.obs {
+                hits.inc();
+            }
             return v.clone();
         }
         self.misses.fetch_add(1, Ordering::Relaxed);
+        if let Some((_, misses)) = self.obs {
+            misses.inc();
+        }
         let v = compute();
         shard.lock().unwrap().insert(key, v.clone());
         v
@@ -216,6 +254,10 @@ impl<K: Hash + Eq + Clone, V: Clone> ShardedCache<K, V> {
         }
         self.hits.store(0, Ordering::Relaxed);
         self.misses.store(0, Ordering::Relaxed);
+        if let Some((hits, misses)) = self.obs {
+            hits.reset();
+            misses.reset();
+        }
     }
 }
 
@@ -322,6 +364,30 @@ mod tests {
         cache.clear();
         assert!(cache.is_empty());
         assert_eq!(cache.stats(), CacheStats::default());
+    }
+
+    #[test]
+    fn named_cache_mirrors_into_obs_registry() {
+        let cache: ShardedCache<u64, u64> = ShardedCache::named("exec.test_cache");
+        let hits = chatls_obs::counter_dyn("exec.test_cache.hits");
+        let misses = chatls_obs::counter_dyn("exec.test_cache.misses");
+        hits.reset();
+        misses.reset();
+        cache.get_or_insert_with(1, || 10);
+        cache.get_or_insert_with(1, || unreachable!("second lookup must hit"));
+        assert_eq!((hits.get(), misses.get()), (1, 1));
+        assert_eq!(cache.stats(), CacheStats { hits: 1, misses: 1 });
+        cache.clear();
+        assert_eq!((hits.get(), misses.get()), (0, 0));
+    }
+
+    #[test]
+    fn pool_runs_bump_obs_counters() {
+        let tasks = chatls_obs::counter("exec.pool.tasks");
+        let before = tasks.get();
+        ExecPool::new(2).run(25, |i| i);
+        // Other tests drive pools concurrently, so assert a lower bound.
+        assert!(tasks.get() - before >= 25);
     }
 
     #[test]

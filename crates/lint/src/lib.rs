@@ -1276,7 +1276,8 @@ report_qor
         assert!(lint_script(broken).has_errors());
         let out = repair_script(broken);
         assert!(out.remaining.is_clean(), "{}", out.remaining);
-        let mut session = chatls_synth::SynthSession::new(nl, chatls_liberty::nangate45()).unwrap();
+        let mut session =
+            chatls_synth::SessionBuilder::new(nl, chatls_liberty::nangate45()).session().unwrap();
         let r = session.run_script(&out.script);
         assert!(r.ok(), "{:?}\n{}", r.error, out.script);
     }

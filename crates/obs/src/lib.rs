@@ -1,0 +1,1043 @@
+//! Observability substrate for the ChatLS workspace.
+//!
+//! One telemetry API for every layer of the analysis → retrieval → CoT →
+//! synthesis → STA pipeline:
+//!
+//! - **Metrics** — a process-wide [`Registry`] of named [`Counter`]s,
+//!   [`Gauge`]s and fixed-bucket [`Histogram`]s. Handles are `&'static`
+//!   and every update is a single relaxed atomic, so instrumenting a hot
+//!   path (the incremental-STA worklist, `ShardedCache` lookups under
+//!   `ExecPool` fan-out) costs the same as the bespoke `static AtomicU64`
+//!   counters it replaces. Names follow the `stage.subsystem.metric`
+//!   convention (`synth.sta.full_builds`, `core.qorcache.hits`).
+//! - **Spans** — hierarchical wall/CPU timings recorded into an
+//!   [`ObsCtx`]. A disabled context ([`ObsCtx::disabled`]) turns every
+//!   span into a no-op branch, so instrumented code needs no `cfg` gates.
+//! - **Sinks** — [`ObsCtx::render_summary`] produces the human span-tree
+//!   and metrics summary for stderr, and [`ObsCtx::telemetry_json`]
+//!   renders the stable machine-readable document behind the CLI's
+//!   `--telemetry-json` flag / `CHATLS_TELEMETRY` variable (schema
+//!   [`TELEMETRY_SCHEMA`]).
+//!
+//! Telemetry never touches stdout: experiment output stays byte-identical
+//! whether recording is on or off, at any thread count.
+//!
+//! Everything is built on `std` — no external dependencies — so the
+//! workspace keeps compiling offline.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, AtomicI64, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+use std::time::Instant;
+
+/// Schema identifier stamped into every JSON telemetry document. Bump only
+/// with a documented migration: downstream tooling keys on it.
+pub const TELEMETRY_SCHEMA: &str = "chatls.telemetry.v1";
+
+// ---------------------------------------------------------------------------
+// Metrics
+// ---------------------------------------------------------------------------
+
+/// A monotonically increasing counter (resettable for tests/benches).
+#[derive(Debug, Default)]
+pub struct Counter {
+    value: AtomicU64,
+}
+
+impl Counter {
+    /// Adds 1.
+    #[inline]
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Adds `n`. A single relaxed `fetch_add` unless recording is paused
+    /// (see [`pause_recording`]).
+    #[inline]
+    pub fn add(&self, n: u64) {
+        if recording() {
+            self.value.fetch_add(n, Ordering::Relaxed);
+        }
+    }
+
+    /// Current value.
+    #[inline]
+    pub fn get(&self) -> u64 {
+        self.value.load(Ordering::Relaxed)
+    }
+
+    /// Zeroes the counter (benchmarks and tests).
+    pub fn reset(&self) {
+        self.value.store(0, Ordering::Relaxed);
+    }
+}
+
+/// A last-write-wins signed gauge.
+#[derive(Debug, Default)]
+pub struct Gauge {
+    value: AtomicI64,
+}
+
+impl Gauge {
+    /// Sets the gauge.
+    #[inline]
+    pub fn set(&self, v: i64) {
+        if recording() {
+            self.value.store(v, Ordering::Relaxed);
+        }
+    }
+
+    /// Current value.
+    #[inline]
+    pub fn get(&self) -> i64 {
+        self.value.load(Ordering::Relaxed)
+    }
+
+    /// Zeroes the gauge.
+    pub fn reset(&self) {
+        self.value.store(0, Ordering::Relaxed);
+    }
+}
+
+/// A fixed-bucket histogram: cumulative-style bucket counts against a set
+/// of upper bounds, plus total count and sum. Bounds are fixed at
+/// registration, so concurrent `record` calls are lock-free.
+#[derive(Debug)]
+pub struct Histogram {
+    /// Upper bounds, ascending; an implicit `+inf` bucket follows.
+    bounds: Vec<f64>,
+    /// `buckets[i]` counts observations `<= bounds[i]`; the last slot
+    /// (index `bounds.len()`) counts the rest.
+    buckets: Vec<AtomicU64>,
+    count: AtomicU64,
+    /// Sum as an f64 bit pattern, updated by compare-exchange.
+    sum_bits: AtomicU64,
+}
+
+/// Default histogram bounds for nanosecond durations: decades from 1 µs to
+/// 10 s. Coarse on purpose — stage timings, not instruction profiling.
+pub const DURATION_NS_BOUNDS: &[f64] = &[1e3, 1e4, 1e5, 1e6, 1e7, 1e8, 1e9, 1e10];
+
+impl Histogram {
+    fn new(bounds: &[f64]) -> Self {
+        debug_assert!(bounds.windows(2).all(|w| w[0] < w[1]), "bounds must ascend");
+        Self {
+            bounds: bounds.to_vec(),
+            buckets: (0..=bounds.len()).map(|_| AtomicU64::new(0)).collect(),
+            count: AtomicU64::new(0),
+            sum_bits: AtomicU64::new(0f64.to_bits()),
+        }
+    }
+
+    /// Records one observation.
+    pub fn record(&self, v: f64) {
+        if !recording() {
+            return;
+        }
+        let idx = self.bounds.iter().position(|&b| v <= b).unwrap_or(self.bounds.len());
+        self.buckets[idx].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        let mut cur = self.sum_bits.load(Ordering::Relaxed);
+        loop {
+            let next = (f64::from_bits(cur) + v).to_bits();
+            match self.sum_bits.compare_exchange_weak(
+                cur,
+                next,
+                Ordering::Relaxed,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => break,
+                Err(actual) => cur = actual,
+            }
+        }
+    }
+
+    /// Total observations.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Sum of observations.
+    pub fn sum(&self) -> f64 {
+        f64::from_bits(self.sum_bits.load(Ordering::Relaxed))
+    }
+
+    /// `(upper_bound, count)` per bucket; the final entry has bound
+    /// `f64::INFINITY`.
+    pub fn buckets(&self) -> Vec<(f64, u64)> {
+        self.bounds
+            .iter()
+            .copied()
+            .chain(std::iter::once(f64::INFINITY))
+            .zip(self.buckets.iter().map(|b| b.load(Ordering::Relaxed)))
+            .collect()
+    }
+
+    /// Clears all buckets, the count and the sum.
+    pub fn reset(&self) {
+        for b in &self.buckets {
+            b.store(0, Ordering::Relaxed);
+        }
+        self.count.store(0, Ordering::Relaxed);
+        self.sum_bits.store(0f64.to_bits(), Ordering::Relaxed);
+    }
+}
+
+enum Metric {
+    Counter(&'static Counter),
+    Gauge(&'static Gauge),
+    Histogram(&'static Histogram),
+}
+
+const REGISTRY_STRIPES: usize = 8;
+
+/// The process-wide metric registry: name → metric, lock-striped so
+/// registration from concurrent `ExecPool` workers never contends on one
+/// lock. Lookups happen once per call site (handles are cached in
+/// `OnceLock`s); updates never touch the registry.
+pub struct Registry {
+    stripes: Vec<Mutex<HashMap<&'static str, Metric>>>,
+}
+
+impl Registry {
+    fn new() -> Self {
+        Self { stripes: (0..REGISTRY_STRIPES).map(|_| Mutex::new(HashMap::new())).collect() }
+    }
+
+    /// The process-wide registry.
+    pub fn global() -> &'static Registry {
+        static GLOBAL: OnceLock<Registry> = OnceLock::new();
+        GLOBAL.get_or_init(Registry::new)
+    }
+
+    fn stripe(&self, name: &str) -> &Mutex<HashMap<&'static str, Metric>> {
+        // FNV-1a over the name; cheap and stable.
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in name.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        &self.stripes[(h as usize) % REGISTRY_STRIPES]
+    }
+
+    /// The counter named `name`, created on first use. Panics if the name
+    /// is already registered as a different metric kind (an instrumentation
+    /// bug worth failing loudly on).
+    ///
+    /// Metric storage is leaked intentionally: metrics live for the whole
+    /// process and the set of names is small and static, so `&'static`
+    /// handles make every update allocation- and refcount-free.
+    pub fn counter(&self, name: &'static str) -> &'static Counter {
+        let found = {
+            let mut map = self.stripe(name).lock().unwrap();
+            match map
+                .entry(name)
+                .or_insert_with(|| Metric::Counter(Box::leak(Box::new(Counter::default()))))
+            {
+                Metric::Counter(c) => Some(*c),
+                _ => None,
+            }
+            // Lock released here, *before* any panic, so a kind mismatch
+            // cannot poison the stripe for unrelated metrics.
+        };
+        found.unwrap_or_else(|| panic!("metric '{name}' already registered with a different kind"))
+    }
+
+    /// The counter named `name`, for names built at runtime (a cache or
+    /// pass name parameterizing the metric). The name string is copied and
+    /// leaked once, on first registration; later calls look it up borrowed.
+    /// Call sites should cache the returned handle rather than re-resolve
+    /// per update.
+    pub fn counter_dyn(&self, name: &str) -> &'static Counter {
+        let found = {
+            let mut map = self.stripe(name).lock().unwrap();
+            if !map.contains_key(name) {
+                let leaked: &'static str = Box::leak(name.to_string().into_boxed_str());
+                map.insert(leaked, Metric::Counter(Box::leak(Box::new(Counter::default()))));
+            }
+            match map.get(name) {
+                Some(Metric::Counter(c)) => Some(*c),
+                _ => None,
+            }
+        };
+        found.unwrap_or_else(|| panic!("metric '{name}' already registered with a different kind"))
+    }
+
+    /// The gauge named `name`, created on first use.
+    pub fn gauge(&self, name: &'static str) -> &'static Gauge {
+        let found = {
+            let mut map = self.stripe(name).lock().unwrap();
+            match map
+                .entry(name)
+                .or_insert_with(|| Metric::Gauge(Box::leak(Box::new(Gauge::default()))))
+            {
+                Metric::Gauge(g) => Some(*g),
+                _ => None,
+            }
+        };
+        found.unwrap_or_else(|| panic!("metric '{name}' already registered with a different kind"))
+    }
+
+    /// The histogram named `name`, created on first use with `bounds`
+    /// (ignored when the histogram already exists).
+    pub fn histogram(&self, name: &'static str, bounds: &[f64]) -> &'static Histogram {
+        let found = {
+            let mut map = self.stripe(name).lock().unwrap();
+            match map
+                .entry(name)
+                .or_insert_with(|| Metric::Histogram(Box::leak(Box::new(Histogram::new(bounds)))))
+            {
+                Metric::Histogram(h) => Some(*h),
+                _ => None,
+            }
+        };
+        found.unwrap_or_else(|| panic!("metric '{name}' already registered with a different kind"))
+    }
+
+    /// Snapshot of every registered metric, sorted by name — the stable
+    /// order both sinks render in.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        let mut counters = Vec::new();
+        let mut gauges = Vec::new();
+        let mut histograms = Vec::new();
+        for stripe in &self.stripes {
+            for (name, metric) in stripe.lock().unwrap().iter() {
+                match metric {
+                    Metric::Counter(c) => counters.push((*name, c.get())),
+                    Metric::Gauge(g) => gauges.push((*name, g.get())),
+                    Metric::Histogram(h) => {
+                        histograms.push((*name, h.count(), h.sum(), h.buckets()))
+                    }
+                }
+            }
+        }
+        counters.sort_by_key(|&(n, _)| n);
+        gauges.sort_by_key(|&(n, _)| n);
+        histograms.sort_by_key(|&(n, ..)| n);
+        MetricsSnapshot { counters, gauges, histograms }
+    }
+}
+
+/// One histogram in a [`MetricsSnapshot`]: `(name, count, sum, buckets)`,
+/// buckets as `(upper_bound, count)` pairs ending at `+inf`.
+pub type HistogramSnapshot = (&'static str, u64, f64, Vec<(f64, u64)>);
+
+/// Point-in-time copy of the registry, sorted by name.
+pub struct MetricsSnapshot {
+    /// `(name, value)` per counter.
+    pub counters: Vec<(&'static str, u64)>,
+    /// `(name, value)` per gauge.
+    pub gauges: Vec<(&'static str, i64)>,
+    /// One entry per histogram.
+    pub histograms: Vec<HistogramSnapshot>,
+}
+
+/// Shorthand for [`Registry::global`]`.counter(name)`.
+pub fn counter(name: &'static str) -> &'static Counter {
+    Registry::global().counter(name)
+}
+
+/// Shorthand for [`Registry::global`]`.counter_dyn(name)`.
+pub fn counter_dyn(name: &str) -> &'static Counter {
+    Registry::global().counter_dyn(name)
+}
+
+/// Shorthand for [`Registry::global`]`.gauge(name)`.
+pub fn gauge(name: &'static str) -> &'static Gauge {
+    Registry::global().gauge(name)
+}
+
+/// Shorthand for [`Registry::global`]`.histogram(name, bounds)`.
+pub fn histogram(name: &'static str, bounds: &[f64]) -> &'static Histogram {
+    Registry::global().histogram(name, bounds)
+}
+
+static RECORDING: AtomicBool = AtomicBool::new(true);
+
+#[inline]
+fn recording() -> bool {
+    RECORDING.load(Ordering::Relaxed)
+}
+
+/// Globally pauses (or resumes) metric updates. Used by the bench smoke's
+/// overhead guard to measure the instrumented hot path against the same
+/// path with updates elided; not meant for production flows.
+pub fn pause_recording(paused: bool) {
+    RECORDING.store(!paused, Ordering::Relaxed);
+}
+
+// ---------------------------------------------------------------------------
+// Spans
+// ---------------------------------------------------------------------------
+
+/// One finished (or still-open) span.
+#[derive(Debug, Clone)]
+pub struct SpanRecord {
+    /// Creation-ordered id, 0-based.
+    pub id: u32,
+    /// Parent span id, `None` for roots.
+    pub parent: Option<u32>,
+    /// Span name (`stage.subsystem` convention).
+    pub name: String,
+    /// Start offset from the context's origin, monotonic, ns.
+    pub start_ns: u64,
+    /// Wall-clock duration, ns (0 while open).
+    pub wall_ns: u64,
+    /// Thread CPU time consumed inside the span, ns, when the platform
+    /// exposes it (`/proc/thread-self/schedstat` on Linux).
+    pub cpu_ns: Option<u64>,
+}
+
+/// Hard cap on recorded spans per context: long sweeps keep their metrics
+/// but stop growing the span arena. Overflow is counted and reported.
+const SPAN_CAP: usize = 1 << 16;
+
+#[derive(Debug)]
+struct CtxInner {
+    origin: Instant,
+    spans: Mutex<Vec<SpanRecord>>,
+    dropped: AtomicUsize,
+    quiet: AtomicBool,
+    json_path: Mutex<Option<std::path::PathBuf>>,
+}
+
+/// The observability context threaded through the pipeline.
+///
+/// Cheaply cloneable (an `Arc` underneath); clones share one span arena.
+/// A disabled context records nothing and costs one branch per span.
+#[derive(Clone)]
+pub struct ObsCtx {
+    inner: Option<Arc<CtxInner>>,
+}
+
+thread_local! {
+    /// Per-thread open-span stack: `(inner ptr, span id)`. Parent linkage
+    /// is thread-local by design — spans opened on `ExecPool` workers
+    /// become roots (the pool boundary is visible in the tree rather than
+    /// papered over with a racy global stack).
+    static SPAN_STACK: std::cell::RefCell<Vec<(usize, u32)>> =
+        const { std::cell::RefCell::new(Vec::new()) };
+}
+
+impl ObsCtx {
+    /// An active context recording spans from "now".
+    pub fn new() -> Self {
+        Self {
+            inner: Some(Arc::new(CtxInner {
+                origin: Instant::now(),
+                spans: Mutex::new(Vec::new()),
+                dropped: AtomicUsize::new(0),
+                quiet: AtomicBool::new(false),
+                json_path: Mutex::new(None),
+            })),
+        }
+    }
+
+    /// A no-op context: spans cost one branch, nothing is recorded.
+    pub fn disabled() -> Self {
+        Self { inner: None }
+    }
+
+    /// The process-wide context. Initialized by the first call to
+    /// [`init_global`], else lazily from the environment: active when
+    /// `CHATLS_TELEMETRY` names a JSON output path (written by
+    /// [`ObsCtx::finish`]), disabled otherwise.
+    pub fn global() -> &'static ObsCtx {
+        GLOBAL_CTX.get_or_init(|| match std::env::var("CHATLS_TELEMETRY") {
+            Ok(path) if !path.trim().is_empty() => {
+                let ctx = ObsCtx::new();
+                ctx.set_json_path(Some(path.trim().into()));
+                ctx
+            }
+            _ => ObsCtx::disabled(),
+        })
+    }
+
+    /// True when this context records spans.
+    pub fn is_enabled(&self) -> bool {
+        self.inner.is_some()
+    }
+
+    /// Suppresses the stderr summary emitted by [`ObsCtx::finish`].
+    pub fn set_quiet(&self, quiet: bool) {
+        if let Some(inner) = &self.inner {
+            inner.quiet.store(quiet, Ordering::Relaxed);
+        }
+    }
+
+    /// True when the stderr summary is suppressed.
+    pub fn is_quiet(&self) -> bool {
+        self.inner.as_ref().map(|i| i.quiet.load(Ordering::Relaxed)).unwrap_or(true)
+    }
+
+    /// Sets (or clears) the JSON document path written by
+    /// [`ObsCtx::finish`].
+    pub fn set_json_path(&self, path: Option<std::path::PathBuf>) {
+        if let Some(inner) = &self.inner {
+            *inner.json_path.lock().unwrap() = path;
+        }
+    }
+
+    /// Opens a span; it closes when the guard drops. Nested spans opened
+    /// on the same thread become children.
+    pub fn span(&self, name: &str) -> SpanGuard {
+        let Some(inner) = &self.inner else {
+            return SpanGuard { ctx: None, id: 0, start: None, cpu_start: None };
+        };
+        let start = Instant::now();
+        let start_ns = start.duration_since(inner.origin).as_nanos() as u64;
+        let mut spans = inner.spans.lock().unwrap();
+        if spans.len() >= SPAN_CAP {
+            inner.dropped.fetch_add(1, Ordering::Relaxed);
+            return SpanGuard { ctx: None, id: 0, start: None, cpu_start: None };
+        }
+        let id = spans.len() as u32;
+        let key = Arc::as_ptr(inner) as usize;
+        let parent = SPAN_STACK
+            .with(|s| s.borrow().iter().rev().find(|&&(k, _)| k == key).map(|&(_, id)| id));
+        spans.push(SpanRecord {
+            id,
+            parent,
+            name: name.to_string(),
+            start_ns,
+            wall_ns: 0,
+            cpu_ns: None,
+        });
+        drop(spans);
+        SPAN_STACK.with(|s| s.borrow_mut().push((key, id)));
+        SpanGuard { ctx: Some(self.clone()), id, start: Some(start), cpu_start: thread_cpu_ns() }
+    }
+
+    /// All spans recorded so far (open spans have `wall_ns == 0`).
+    pub fn spans(&self) -> Vec<SpanRecord> {
+        self.inner.as_ref().map(|i| i.spans.lock().unwrap().clone()).unwrap_or_default()
+    }
+
+    /// Spans dropped after the arena filled.
+    pub fn dropped_spans(&self) -> usize {
+        self.inner.as_ref().map(|i| i.dropped.load(Ordering::Relaxed)).unwrap_or(0)
+    }
+
+    /// Human-readable span-tree + metrics summary (the stderr sink's
+    /// payload). Stable ordering: spans in creation order, metrics by
+    /// name.
+    pub fn render_summary(&self) -> String {
+        let mut out = String::new();
+        let spans = self.spans();
+        if !spans.is_empty() {
+            out.push_str("[obs] spans (wall ms):\n");
+            // Children grouped under parents, creation order within level.
+            let mut children: Vec<Vec<usize>> = vec![Vec::new(); spans.len()];
+            let mut roots = Vec::new();
+            for (i, s) in spans.iter().enumerate() {
+                match s.parent {
+                    Some(p) => children[p as usize].push(i),
+                    None => roots.push(i),
+                }
+            }
+            fn walk(
+                out: &mut String,
+                spans: &[SpanRecord],
+                children: &[Vec<usize>],
+                i: usize,
+                depth: usize,
+            ) {
+                let s = &spans[i];
+                let cpu = match s.cpu_ns {
+                    Some(c) => format!(" (cpu {:.3})", c as f64 / 1e6),
+                    None => String::new(),
+                };
+                out.push_str(&format!(
+                    "  {:indent$}{:<32} {:>10.3}{}\n",
+                    "",
+                    s.name,
+                    s.wall_ns as f64 / 1e6,
+                    cpu,
+                    indent = depth * 2
+                ));
+                for &c in &children[i] {
+                    walk(out, spans, children, c, depth + 1);
+                }
+            }
+            for &r in &roots {
+                walk(&mut out, &spans, &children, r, 0);
+            }
+            let dropped = self.dropped_spans();
+            if dropped > 0 {
+                out.push_str(&format!("  … {dropped} spans dropped (cap {SPAN_CAP})\n"));
+            }
+        }
+        out.push_str(&render_metrics_summary());
+        out
+    }
+
+    /// The stable JSON telemetry document ([`TELEMETRY_SCHEMA`]).
+    ///
+    /// Deterministic layout: fixed key order, spans in creation order,
+    /// metrics sorted by name. Only the measured numbers vary run to run.
+    pub fn telemetry_json(&self) -> String {
+        let mut out = String::with_capacity(4096);
+        out.push_str("{\n");
+        out.push_str(&format!("  \"schema\": \"{TELEMETRY_SCHEMA}\",\n"));
+        out.push_str(&format!("  \"enabled\": {},\n", self.is_enabled()));
+        out.push_str(&format!("  \"dropped_spans\": {},\n", self.dropped_spans()));
+        out.push_str("  \"spans\": [");
+        let spans = self.spans();
+        for (i, s) in spans.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str("\n    {");
+            out.push_str(&format!("\"id\": {}, ", s.id));
+            match s.parent {
+                Some(p) => out.push_str(&format!("\"parent\": {p}, ")),
+                None => out.push_str("\"parent\": null, "),
+            }
+            out.push_str(&format!("\"name\": {}, ", json_string(&s.name)));
+            out.push_str(&format!("\"start_ns\": {}, ", s.start_ns));
+            out.push_str(&format!("\"wall_ns\": {}, ", s.wall_ns));
+            match s.cpu_ns {
+                Some(c) => out.push_str(&format!("\"cpu_ns\": {c}")),
+                None => out.push_str("\"cpu_ns\": null"),
+            }
+            out.push('}');
+        }
+        if !spans.is_empty() {
+            out.push_str("\n  ");
+        }
+        out.push_str("],\n");
+        let snap = Registry::global().snapshot();
+        out.push_str("  \"counters\": {");
+        for (i, (name, v)) in snap.counters.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!("\n    {}: {}", json_string(name), v));
+        }
+        if !snap.counters.is_empty() {
+            out.push_str("\n  ");
+        }
+        out.push_str("},\n");
+        out.push_str("  \"gauges\": {");
+        for (i, (name, v)) in snap.gauges.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!("\n    {}: {}", json_string(name), v));
+        }
+        if !snap.gauges.is_empty() {
+            out.push_str("\n  ");
+        }
+        out.push_str("},\n");
+        out.push_str("  \"histograms\": {");
+        for (i, (name, count, sum, buckets)) in snap.histograms.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "\n    {}: {{\"count\": {}, \"sum\": {}, \"buckets\": [",
+                json_string(name),
+                count,
+                json_f64(*sum)
+            ));
+            for (j, (le, c)) in buckets.iter().enumerate() {
+                if j > 0 {
+                    out.push_str(", ");
+                }
+                out.push_str(&format!("{{\"le\": {}, \"count\": {}}}", json_f64(*le), c));
+            }
+            out.push_str("]}");
+        }
+        if !snap.histograms.is_empty() {
+            out.push_str("\n  ");
+        }
+        out.push_str("}\n}\n");
+        out
+    }
+
+    /// Terminal sink: prints the summary to stderr (unless quiet or
+    /// disabled) and writes the JSON document when a path is configured.
+    /// Returns an error only for JSON I/O failures.
+    pub fn finish(&self) -> Result<(), String> {
+        let Some(inner) = &self.inner else { return Ok(()) };
+        if !self.is_quiet() && !global_quiet() {
+            eprint!("{}", self.render_summary());
+        }
+        let path = inner.json_path.lock().unwrap().clone();
+        if let Some(path) = path {
+            std::fs::write(&path, self.telemetry_json())
+                .map_err(|e| format!("writing telemetry to {}: {e}", path.display()))?;
+        }
+        Ok(())
+    }
+}
+
+impl Default for ObsCtx {
+    fn default() -> Self {
+        Self::disabled()
+    }
+}
+
+impl std::fmt::Debug for ObsCtx {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ObsCtx").field("enabled", &self.is_enabled()).finish()
+    }
+}
+
+/// The metrics section of the human summary (counters, gauges,
+/// histograms from the process-wide registry), in stable name order.
+pub fn render_metrics_summary() -> String {
+    let mut out = String::new();
+    let snap = Registry::global().snapshot();
+    if !snap.counters.is_empty() {
+        out.push_str("[obs] counters:\n");
+        for (name, v) in &snap.counters {
+            out.push_str(&format!("  {name} {v}\n"));
+        }
+    }
+    if !snap.gauges.is_empty() {
+        out.push_str("[obs] gauges:\n");
+        for (name, v) in &snap.gauges {
+            out.push_str(&format!("  {name} {v}\n"));
+        }
+    }
+    if !snap.histograms.is_empty() {
+        out.push_str("[obs] histograms:\n");
+        for (name, count, sum, _) in &snap.histograms {
+            let mean = if *count > 0 { sum / *count as f64 } else { 0.0 };
+            out.push_str(&format!("  {name} count {count} mean {mean:.1}\n"));
+        }
+    }
+    out
+}
+
+static GLOBAL_QUIET: AtomicBool = AtomicBool::new(false);
+
+/// Globally suppresses the stderr sinks ([`emit_metrics_stderr`] and the
+/// summary printed by [`ObsCtx::finish`]). The CLI's `--quiet` flag sets
+/// this; stdout is unaffected either way.
+pub fn set_global_quiet(quiet: bool) {
+    GLOBAL_QUIET.store(quiet, Ordering::Relaxed);
+}
+
+/// True when stderr telemetry is globally suppressed.
+pub fn global_quiet() -> bool {
+    GLOBAL_QUIET.load(Ordering::Relaxed)
+}
+
+/// Stderr sink for metrics-only telemetry: prints the current registry
+/// contents unless globally quieted. This is the one sanctioned way to put
+/// counter telemetry on stderr — instrumented crates call this instead of
+/// hand-rolled `eprintln!` formats.
+pub fn emit_metrics_stderr() {
+    if !global_quiet() {
+        eprint!("{}", render_metrics_summary());
+    }
+}
+
+static GLOBAL_CTX: OnceLock<ObsCtx> = OnceLock::new();
+
+/// Installs `ctx` as the process-wide context (first caller wins; the CLI
+/// calls this before dispatching a subcommand). Returns false when a
+/// global context already existed.
+pub fn init_global(ctx: ObsCtx) -> bool {
+    GLOBAL_CTX.set(ctx).is_ok()
+}
+
+/// Closes its span on drop.
+pub struct SpanGuard {
+    ctx: Option<ObsCtx>,
+    id: u32,
+    start: Option<Instant>,
+    cpu_start: Option<u64>,
+}
+
+impl SpanGuard {
+    /// The span's id within its context (0 for no-op guards).
+    pub fn id(&self) -> u32 {
+        self.id
+    }
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        let (Some(ctx), Some(start)) = (&self.ctx, self.start) else { return };
+        let Some(inner) = &ctx.inner else { return };
+        let wall = start.elapsed().as_nanos() as u64;
+        let cpu = match (self.cpu_start, thread_cpu_ns()) {
+            (Some(a), Some(b)) => Some(b.saturating_sub(a)),
+            _ => None,
+        };
+        let key = Arc::as_ptr(inner) as usize;
+        SPAN_STACK.with(|s| {
+            let mut stack = s.borrow_mut();
+            if let Some(pos) = stack.iter().rposition(|&(k, id)| k == key && id == self.id) {
+                stack.remove(pos);
+            }
+        });
+        let mut spans = inner.spans.lock().unwrap();
+        if let Some(rec) = spans.get_mut(self.id as usize) {
+            rec.wall_ns = wall;
+            rec.cpu_ns = cpu;
+        }
+    }
+}
+
+/// Thread CPU time in ns, when the platform exposes it cheaply.
+#[cfg(target_os = "linux")]
+fn thread_cpu_ns() -> Option<u64> {
+    // schedstat field 1 is the thread's cumulative on-CPU time in ns.
+    let text = std::fs::read_to_string("/proc/thread-self/schedstat").ok()?;
+    text.split_whitespace().next()?.parse().ok()
+}
+
+#[cfg(not(target_os = "linux"))]
+fn thread_cpu_ns() -> Option<u64> {
+    None
+}
+
+fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+fn json_f64(v: f64) -> String {
+    if v.is_infinite() {
+        // JSON has no infinity; histogram overflow buckets use a sentinel
+        // beyond any real bound.
+        if v > 0.0 {
+            "1e308".to_string()
+        } else {
+            "-1e308".to_string()
+        }
+    } else if v == v.trunc() && v.abs() < 1e15 {
+        format!("{:.1}", v)
+    } else {
+        format!("{v}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Serializes tests that assert exact metric values against the test
+    /// that pauses global recording.
+    fn recording_lock() -> std::sync::MutexGuard<'static, ()> {
+        static LOCK: Mutex<()> = Mutex::new(());
+        LOCK.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    #[test]
+    fn counters_add_and_reset() {
+        let _g = recording_lock();
+        let c = counter("test.obs.counter_basic");
+        c.reset();
+        c.inc();
+        c.add(4);
+        assert_eq!(c.get(), 5);
+        c.reset();
+        assert_eq!(c.get(), 0);
+        // Same name → same handle.
+        assert!(std::ptr::eq(c, counter("test.obs.counter_basic")));
+    }
+
+    #[test]
+    fn gauges_last_write_wins() {
+        let _lock = recording_lock();
+        let g = gauge("test.obs.gauge_basic");
+        g.set(7);
+        g.set(-3);
+        assert_eq!(g.get(), -3);
+        g.reset();
+        assert_eq!(g.get(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "different kind")]
+    fn kind_mismatch_panics() {
+        counter("test.obs.kind_mismatch");
+        gauge("test.obs.kind_mismatch");
+    }
+
+    #[test]
+    fn histogram_bucketing_places_boundaries_inclusively() {
+        let _lock = recording_lock();
+        let h = histogram("test.obs.hist_bucketing", &[10.0, 100.0, 1000.0]);
+        h.reset();
+        for v in [5.0, 10.0, 10.5, 99.0, 100.0, 101.0, 5000.0] {
+            h.record(v);
+        }
+        let buckets = h.buckets();
+        assert_eq!(buckets.len(), 4);
+        // <=10: 5.0, 10.0. <=100: 10.5, 99.0, 100.0. <=1000: 101.0. +inf: 5000.0.
+        assert_eq!(buckets[0], (10.0, 2));
+        assert_eq!(buckets[1], (100.0, 3));
+        assert_eq!(buckets[2], (1000.0, 1));
+        assert_eq!(buckets[3].1, 1);
+        assert!(buckets[3].0.is_infinite());
+        assert_eq!(h.count(), 7);
+        assert!((h.sum() - 5325.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn histogram_sum_is_exact_under_contention() {
+        let _lock = recording_lock();
+        let h = histogram("test.obs.hist_contended", DURATION_NS_BOUNDS);
+        h.reset();
+        std::thread::scope(|s| {
+            for _ in 0..8 {
+                s.spawn(|| {
+                    for _ in 0..1000 {
+                        h.record(2.0);
+                    }
+                });
+            }
+        });
+        assert_eq!(h.count(), 8000);
+        assert!((h.sum() - 16000.0).abs() < 1e-6, "CAS sum lost updates: {}", h.sum());
+    }
+
+    #[test]
+    fn concurrent_counter_increments_are_lossless() {
+        let _lock = recording_lock();
+        let c = counter("test.obs.counter_contended");
+        c.reset();
+        std::thread::scope(|s| {
+            for _ in 0..8 {
+                s.spawn(|| {
+                    for _ in 0..10_000 {
+                        c.inc();
+                    }
+                });
+            }
+        });
+        assert_eq!(c.get(), 80_000);
+    }
+
+    #[test]
+    fn span_nesting_links_parents_on_one_thread() {
+        let ctx = ObsCtx::new();
+        {
+            let _a = ctx.span("outer");
+            {
+                let _b = ctx.span("middle");
+                let _c = ctx.span("inner");
+            }
+            let _d = ctx.span("sibling");
+        }
+        let spans = ctx.spans();
+        assert_eq!(spans.len(), 4);
+        assert_eq!(spans[0].parent, None);
+        assert_eq!(spans[1].parent, Some(0), "middle under outer");
+        assert_eq!(spans[2].parent, Some(1), "inner under middle");
+        assert_eq!(spans[3].parent, Some(0), "sibling under outer, not inner");
+        for s in &spans {
+            assert!(s.wall_ns > 0, "span {} must have closed", s.name);
+        }
+        // Children start no earlier than their parent.
+        assert!(spans[1].start_ns >= spans[0].start_ns);
+    }
+
+    #[test]
+    fn spans_on_other_threads_become_roots() {
+        let ctx = ObsCtx::new();
+        let _outer = ctx.span("outer");
+        std::thread::scope(|s| {
+            s.spawn(|| {
+                let _w = ctx.span("worker");
+            });
+        });
+        let spans = ctx.spans();
+        let worker = spans.iter().find(|s| s.name == "worker").unwrap();
+        assert_eq!(worker.parent, None, "cross-thread spans root at the pool boundary");
+    }
+
+    #[test]
+    fn disabled_ctx_records_nothing() {
+        let ctx = ObsCtx::disabled();
+        {
+            let _s = ctx.span("ignored");
+        }
+        assert!(ctx.spans().is_empty());
+        assert!(!ctx.is_enabled());
+        assert!(ctx.finish().is_ok());
+    }
+
+    #[test]
+    fn summary_renders_tree_and_metrics() {
+        let _lock = recording_lock();
+        let ctx = ObsCtx::new();
+        counter("test.obs.summary_counter").inc();
+        {
+            let _a = ctx.span("root.stage");
+            let _b = ctx.span("root.child");
+        }
+        let text = ctx.render_summary();
+        assert!(text.contains("root.stage"));
+        assert!(text.contains("root.child"));
+        assert!(text.contains("test.obs.summary_counter"));
+    }
+
+    #[test]
+    fn telemetry_json_has_stable_schema() {
+        let _lock = recording_lock();
+        let ctx = ObsCtx::new();
+        {
+            let _a = ctx.span("json.outer");
+            let _b = ctx.span("json \"quoted\"\nname");
+        }
+        counter("test.obs.json_counter").add(3);
+        gauge("test.obs.json_gauge").set(-4);
+        histogram("test.obs.json_hist", &[1.0, 2.0]).record(1.5);
+        let doc = ctx.telemetry_json();
+        for key in ["\"schema\"", "\"spans\"", "\"counters\"", "\"gauges\"", "\"histograms\""] {
+            assert!(doc.contains(key), "missing {key} in {doc}");
+        }
+        assert!(doc.contains(TELEMETRY_SCHEMA));
+        assert!(doc.contains("\\\"quoted\\\""), "string escaping broken");
+        assert!(doc.contains("\\n"), "newline escaping broken");
+        assert!(!doc.contains("inf"), "raw infinity leaked into JSON");
+    }
+
+    #[test]
+    fn pause_recording_elides_updates() {
+        let _lock = recording_lock();
+        let c = counter("test.obs.paused");
+        c.reset();
+        pause_recording(true);
+        c.inc();
+        pause_recording(false);
+        assert_eq!(c.get(), 0);
+        c.inc();
+        assert_eq!(c.get(), 1);
+    }
+
+    #[test]
+    fn finish_writes_json_document() {
+        let ctx = ObsCtx::new();
+        ctx.set_quiet(true);
+        let path = std::env::temp_dir().join("chatls_obs_selftest.json");
+        ctx.set_json_path(Some(path.clone()));
+        {
+            let _s = ctx.span("finish.test");
+        }
+        ctx.finish().unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert!(text.contains(TELEMETRY_SCHEMA));
+        let _ = std::fs::remove_file(path);
+    }
+}

@@ -23,14 +23,14 @@
 //!
 //! ```
 //! # fn main() -> Result<(), Box<dyn std::error::Error>> {
-//! use chatls_synth::tool::SynthSession;
+//! use chatls_synth::tool::SessionBuilder;
 //!
 //! let sf = chatls_verilog::parse(
 //!     "module m(input clk, input [7:0] a, b, output reg [7:0] q);
 //!          always @(posedge clk) q <= a + b;
 //!      endmodule")?;
 //! let netlist = chatls_verilog::lower_to_netlist(&sf, "m")?;
-//! let mut session = SynthSession::new(netlist, chatls_liberty::nangate45())?;
+//! let mut session = SessionBuilder::new(netlist, chatls_liberty::nangate45()).session()?;
 //! let result = session.run_script(
 //!     "create_clock -period 1.0 [get_ports clk]\ncompile\nreport_qor");
 //! assert!(result.ok());
@@ -54,5 +54,6 @@ pub use timing_graph::{
     TimingGraph, TimingView,
 };
 pub use tool::{
-    command_manual, ManualEntry, RunResult, ScriptError, SessionTemplate, SynthSession,
+    command_manual, ManualEntry, RunResult, ScriptError, SessionBuilder, SessionTemplate,
+    SynthSession,
 };

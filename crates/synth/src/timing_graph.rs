@@ -32,13 +32,28 @@ use chatls_liberty::{Library, WireLoadModel};
 use chatls_verilog::netlist::GateKind;
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::OnceLock;
 
-static FULL_BUILDS: AtomicU64 = AtomicU64::new(0);
-static INCR_UPDATES: AtomicU64 = AtomicU64::new(0);
-static CLEAN_HITS: AtomicU64 = AtomicU64::new(0);
 static STA_CHECK_FORCE: AtomicBool = AtomicBool::new(false);
+
+/// The process-wide `synth.sta.*` counters in the obs registry, resolved
+/// once. These are the single source of truth — [`sta_telemetry`] reads
+/// them and the telemetry sinks render them, so there is exactly one copy
+/// of each count.
+fn sta_counters(
+) -> (&'static chatls_obs::Counter, &'static chatls_obs::Counter, &'static chatls_obs::Counter) {
+    type Handles =
+        (&'static chatls_obs::Counter, &'static chatls_obs::Counter, &'static chatls_obs::Counter);
+    static HANDLES: OnceLock<Handles> = OnceLock::new();
+    *HANDLES.get_or_init(|| {
+        (
+            chatls_obs::counter("synth.sta.full_builds"),
+            chatls_obs::counter("synth.sta.incremental_updates"),
+            chatls_obs::counter("synth.sta.clean_hits"),
+        )
+    })
+}
 
 /// Process-wide incremental-STA counters (summed across threads).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -51,20 +66,23 @@ pub struct StaTelemetry {
     pub clean_hits: u64,
 }
 
-/// Snapshot of the process-wide incremental-STA counters.
+/// Snapshot of the process-wide incremental-STA counters (now backed by the
+/// `synth.sta.*` counters in the obs registry).
 pub fn sta_telemetry() -> StaTelemetry {
+    let (full, incr, clean) = sta_counters();
     StaTelemetry {
-        full_builds: FULL_BUILDS.load(Ordering::Relaxed),
-        incremental_updates: INCR_UPDATES.load(Ordering::Relaxed),
-        clean_hits: CLEAN_HITS.load(Ordering::Relaxed),
+        full_builds: full.get(),
+        incremental_updates: incr.get(),
+        clean_hits: clean.get(),
     }
 }
 
 /// Resets the incremental-STA counters (benchmarks and tests).
 pub fn reset_sta_telemetry() {
-    FULL_BUILDS.store(0, Ordering::Relaxed);
-    INCR_UPDATES.store(0, Ordering::Relaxed);
-    CLEAN_HITS.store(0, Ordering::Relaxed);
+    let (full, incr, clean) = sta_counters();
+    full.reset();
+    incr.reset();
+    clean.reset();
 }
 
 fn sta_check_env() -> bool {
@@ -241,23 +259,24 @@ impl TimingGraph {
             || self.geometry_mismatch(design)
             || self.cached_constraints.as_ref() != Some(constraints)
             || (self.cycles > 0 && pending);
+        let (full_builds, incr_updates, clean_hits) = sta_counters();
         if stale {
             self.rebuild(design, library, constraints);
-            FULL_BUILDS.fetch_add(1, Ordering::Relaxed);
+            full_builds.inc();
             self.local.full_builds += 1;
         } else if pending {
             self.flush(design, library);
             if self.full_dirty {
                 // Worklist guard tripped (unexpected structure): fall back.
                 self.rebuild(design, library, constraints);
-                FULL_BUILDS.fetch_add(1, Ordering::Relaxed);
+                full_builds.inc();
                 self.local.full_builds += 1;
             } else {
-                INCR_UPDATES.fetch_add(1, Ordering::Relaxed);
+                incr_updates.inc();
                 self.local.incremental_updates += 1;
             }
         } else {
-            CLEAN_HITS.fetch_add(1, Ordering::Relaxed);
+            clean_hits.inc();
             self.local.clean_hits += 1;
         }
     }

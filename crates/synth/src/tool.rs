@@ -538,6 +538,109 @@ pub fn command_spec(name: &str) -> Option<&'static CommandSpec> {
 pub struct SessionTemplate {
     library: Library,
     design: MappedDesign,
+    obs: chatls_obs::ObsCtx,
+}
+
+/// The one construction path for synthesis sessions.
+///
+/// Collects everything session setup used to scatter across constructors
+/// and process-global switches — the design, an observability context, the
+/// STA-check oracle flag, a thread-count hint — then builds either a
+/// [`SessionTemplate`] (for stamping many sessions) or a single
+/// [`SynthSession`]:
+///
+/// ```
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// use chatls_synth::tool::SessionBuilder;
+///
+/// let sf = chatls_verilog::parse(
+///     "module t(input a, input b, output y); assign y = a & b; endmodule")?;
+/// let netlist = chatls_verilog::lower_to_netlist(&sf, "t")?;
+/// let mut session = SessionBuilder::new(netlist, chatls_liberty::nangate45())
+///     .obs(chatls_obs::ObsCtx::disabled())
+///     .session()?;
+/// let result = session.run_script("compile\n");
+/// assert!(result.ok());
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct SessionBuilder {
+    netlist: Netlist,
+    library: Library,
+    obs: chatls_obs::ObsCtx,
+    sta_check: Option<bool>,
+    threads: Option<usize>,
+}
+
+impl SessionBuilder {
+    /// Starts a builder over `netlist` targeting `library`. Defaults: a
+    /// disabled observability context, STA-check oracle left as-is, no
+    /// thread hint.
+    pub fn new(netlist: Netlist, library: Library) -> Self {
+        Self {
+            netlist,
+            library,
+            obs: chatls_obs::ObsCtx::disabled(),
+            sta_check: None,
+            threads: None,
+        }
+    }
+
+    /// Attaches an observability context; the mapping step and every script
+    /// command run inside spans recorded there.
+    pub fn obs(mut self, obs: chatls_obs::ObsCtx) -> Self {
+        self.obs = obs;
+        self
+    }
+
+    /// Arms (or disarms) the STA-check oracle for the process at build
+    /// time — the builder form of [`crate::timing_graph::set_sta_check`].
+    pub fn sta_check(mut self, on: bool) -> Self {
+        self.sta_check = Some(on);
+        self
+    }
+
+    /// Records a thread-count hint for callers that fan sessions out over
+    /// a pool (exported as the `synth.session.threads` gauge). The session
+    /// itself is single-threaded either way.
+    pub fn threads(mut self, threads: usize) -> Self {
+        self.threads = Some(threads);
+        self
+    }
+
+    /// The thread-count hint, if one was set.
+    pub fn threads_hint(&self) -> Option<usize> {
+        self.threads
+    }
+
+    /// Maps the netlist once and returns the reusable template.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the library lacks cells for the netlist's gates.
+    pub fn template(self) -> Result<SessionTemplate, crate::design::SynthesisError> {
+        if let Some(on) = self.sta_check {
+            crate::timing_graph::set_sta_check(on);
+        }
+        if let Some(threads) = self.threads {
+            chatls_obs::gauge("synth.session.threads").set(threads as i64);
+        }
+        let design = {
+            let _span = self.obs.span("synth.session.map");
+            MappedDesign::map(self.netlist, &self.library)?
+        };
+        Ok(SessionTemplate { library: self.library, design, obs: self.obs })
+    }
+
+    /// Builds a single ready-to-run session (template + one stamp).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the library lacks cells for the netlist's gates.
+    pub fn session(self) -> Result<SynthSession, crate::design::SynthesisError> {
+        Ok(self.template()?.session())
+    }
 }
 
 impl SessionTemplate {
@@ -546,9 +649,9 @@ impl SessionTemplate {
     /// # Errors
     ///
     /// Returns an error if the library lacks cells for the netlist's gates.
+    #[deprecated(note = "construct through SessionBuilder::new(netlist, library).template()")]
     pub fn new(netlist: Netlist, library: Library) -> Result<Self, crate::design::SynthesisError> {
-        let design = MappedDesign::map(netlist, &library)?;
-        Ok(Self { library, design })
+        SessionBuilder::new(netlist, library).template()
     }
 
     /// The target library.
@@ -576,7 +679,14 @@ impl SessionTemplate {
             gating_style_set: false,
             log: Vec::new(),
             last_netlist: None,
+            obs: self.obs.clone(),
         }
+    }
+
+    /// The observability context sessions stamped from this template
+    /// inherit.
+    pub fn obs(&self) -> &chatls_obs::ObsCtx {
+        &self.obs
     }
 }
 
@@ -593,6 +703,7 @@ pub struct SynthSession {
     gating_style_set: bool,
     log: Vec<String>,
     last_netlist: Option<String>,
+    obs: chatls_obs::ObsCtx,
 }
 
 impl SynthSession {
@@ -601,8 +712,9 @@ impl SynthSession {
     /// # Errors
     ///
     /// Returns an error if the library lacks cells for the netlist's gates.
+    #[deprecated(note = "construct through SessionBuilder::new(netlist, library).session()")]
     pub fn new(netlist: Netlist, library: Library) -> Result<Self, crate::design::SynthesisError> {
-        Ok(SessionTemplate::new(netlist, library)?.session())
+        SessionBuilder::new(netlist, library).session()
     }
 
     /// Current constraints.
@@ -642,8 +754,12 @@ impl SynthSession {
         self.last_netlist.as_deref()
     }
 
-    /// Parses and executes a script, aborting at the first error.
+    /// Parses and executes a script, aborting at the first error. With an
+    /// enabled observability context, the run records a `synth.run_script`
+    /// span with one `synth.cmd.<name>` child per executed command.
     pub fn run_script(&mut self, script: &str) -> RunResult {
+        let _run_span =
+            if self.obs.is_enabled() { Some(self.obs.span("synth.run_script")) } else { None };
         let commands = match parse_script(script) {
             Ok(c) => c,
             Err(e) => {
@@ -661,6 +777,13 @@ impl SynthSession {
         };
         let mut executed = 0;
         for cmd in &commands {
+            // Gated on is_enabled so the disabled path skips the name
+            // allocation, not just the span record.
+            let _cmd_span = if self.obs.is_enabled() {
+                Some(self.obs.span(&format!("synth.cmd.{}", cmd.name)))
+            } else {
+                None
+            };
             match self.run_command(cmd) {
                 Ok(()) => executed += 1,
                 Err(e) => {
@@ -1032,7 +1155,7 @@ mod tests {
     fn session(src: &str, top: &str) -> SynthSession {
         let sf = parse(src).unwrap();
         let nl = lower_to_netlist(&sf, top).unwrap();
-        SynthSession::new(nl, nangate45()).unwrap()
+        SessionBuilder::new(nl, nangate45()).session().unwrap()
     }
 
     const PIPE: &str = "module pipe(input clk, input [15:0] a, b, output reg [15:0] q);
@@ -1043,10 +1166,10 @@ mod tests {
     fn template_sessions_match_fresh_sessions() {
         let sf = parse(PIPE).unwrap();
         let nl = lower_to_netlist(&sf, "pipe").unwrap();
-        let template = SessionTemplate::new(nl.clone(), nangate45()).unwrap();
+        let template = SessionBuilder::new(nl.clone(), nangate45()).template().unwrap();
         let script =
             "create_clock -period 0.6 [get_ports clk]\ncompile -map_effort high\nreport_qor";
-        let fresh = SynthSession::new(nl, nangate45()).unwrap().run_script(script);
+        let fresh = SessionBuilder::new(nl, nangate45()).session().unwrap().run_script(script);
         // Two stamped sessions: the second must see pristine state (the
         // first run's compile/log must not leak through the template).
         let first = template.session().run_script(script);

@@ -8,7 +8,7 @@
 use chatls::llm::Generator;
 use chatls::pipeline::{prepare_task, ChatLs};
 use chatls::{DbConfig, ExpertDatabase};
-use chatls_synth::SynthSession;
+use chatls_synth::SessionBuilder;
 use std::error::Error;
 
 fn main() -> Result<(), Box<dyn Error>> {
@@ -28,7 +28,7 @@ fn main() -> Result<(), Box<dyn Error>> {
     );
 
     // 2. Synthesize with a hand-written script.
-    let mut session = SynthSession::new(netlist, chatls_liberty::nangate45())?;
+    let mut session = SessionBuilder::new(netlist, chatls_liberty::nangate45()).session()?;
     let result = session.run_script(
         "create_clock -period 1.2 [get_ports clk]
          set_wire_load_model -name 5K_heavy_1k
@@ -52,7 +52,8 @@ fn main() -> Result<(), Box<dyn Error>> {
 
     let script = chatls.generate(&task, 0);
     println!("\nChatLS customized script:\n{script}");
-    let mut session = SynthSession::new(design.netlist(), chatls_liberty::nangate45())?;
+    let mut session =
+        SessionBuilder::new(design.netlist(), chatls_liberty::nangate45()).session()?;
     let result = session.run_script(&script);
     println!("customized result:\n{}", result.qor);
     Ok(())

@@ -12,7 +12,7 @@
 
 use chatls::pipeline::{prepare_task, ChatLs};
 use chatls::{DbConfig, ExpertDatabase};
-use chatls_synth::SynthSession;
+use chatls_synth::SessionBuilder;
 use std::error::Error;
 
 fn main() -> Result<(), Box<dyn Error>> {
@@ -52,7 +52,8 @@ fn main() -> Result<(), Box<dyn Error>> {
     }
 
     println!("\nfinal script:\n{}", outcome.script());
-    let mut session = SynthSession::new(design.netlist(), chatls_liberty::nangate45())?;
+    let mut session =
+        SessionBuilder::new(design.netlist(), chatls_liberty::nangate45()).session()?;
     let result = session.run_script(outcome.script());
     println!(
         "result: WNS {:.2} -> {:.2} ns, area {:.0} -> {:.0} um^2",

@@ -6,12 +6,13 @@
 //! cargo run --release --example tool_tour
 //! ```
 
-use chatls_synth::SynthSession;
+use chatls_synth::SessionBuilder;
 use std::error::Error;
 
 fn main() -> Result<(), Box<dyn Error>> {
     let design = chatls_designs::by_name("riscv32i").expect("benchmark design");
-    let mut session = SynthSession::new(design.netlist(), chatls_liberty::nangate45())?;
+    let mut session =
+        SessionBuilder::new(design.netlist(), chatls_liberty::nangate45()).session()?;
 
     let script = format!(
         "read_verilog riscv32i.v
@@ -53,7 +54,7 @@ fn main() -> Result<(), Box<dyn Error>> {
     }
 
     // Show the hallucination failure mode the paper describes.
-    let mut fresh = SynthSession::new(design.netlist(), chatls_liberty::nangate45())?;
+    let mut fresh = SessionBuilder::new(design.netlist(), chatls_liberty::nangate45()).session()?;
     let bad =
         fresh.run_script("create_clock -period 5.0 [get_ports clk]\nfix_timing_violations -all\n");
     println!("\nhallucinated command result: {}", bad.error.expect("aborts"));

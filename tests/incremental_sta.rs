@@ -10,6 +10,7 @@ use chatls::eval::{pass_at_k_on, session_template, QorCache};
 use chatls::llm::gpt_like;
 use chatls::pipeline::prepare_task;
 use chatls_exec::ExecPool;
+use chatls_obs::ObsCtx;
 use chatls_synth::sta;
 
 const SCRIPT: &str = "create_clock -period 0.9 [get_ports clk]\n\
@@ -73,10 +74,26 @@ fn oracle_mode_is_thread_count_invariant() {
 
     chatls_synth::set_sta_check(true);
     let serial_cache = QorCache::new();
-    let serial = pass_at_k_on(&ExecPool::new(1), &serial_cache, &model, &design, &task, 3);
+    let serial = pass_at_k_on(
+        &ExecPool::new(1),
+        &serial_cache,
+        &ObsCtx::disabled(),
+        &model,
+        &design,
+        &task,
+        3,
+    );
     for threads in [2, 4] {
         let cache = QorCache::new();
-        let row = pass_at_k_on(&ExecPool::new(threads), &cache, &model, &design, &task, 3);
+        let row = pass_at_k_on(
+            &ExecPool::new(threads),
+            &cache,
+            &ObsCtx::disabled(),
+            &model,
+            &design,
+            &task,
+            3,
+        );
         assert_eq!(serial, row, "{threads}-thread oracle run must match serial");
     }
     chatls_synth::set_sta_check(false);

@@ -1,0 +1,86 @@
+//! In-process observability contract.
+//!
+//! Telemetry is pure observation: running the evaluation engine with an
+//! enabled [`ObsCtx`] must produce exactly the same results as running it
+//! with a disabled one, while the enabled context records the per-stage
+//! span tree and the JSON document stays schema-stable.
+
+use chatls::eval::{pass_at_k_on, QorCache};
+use chatls::llm::gpt_like;
+use chatls::pipeline::prepare_task;
+use chatls_exec::ExecPool;
+use chatls_obs::ObsCtx;
+
+#[test]
+fn telemetry_never_changes_evaluation_results() {
+    let design = chatls_designs::by_name("dynamic_node").expect("benchmark");
+    let task = prepare_task(&design, "optimize timing");
+    let model = gpt_like();
+
+    let ctx = ObsCtx::new();
+    ctx.set_quiet(true);
+    for threads in [1, 2, 4] {
+        let pool = ExecPool::new(threads);
+        let off =
+            pass_at_k_on(&pool, &QorCache::new(), &ObsCtx::disabled(), &model, &design, &task, 3);
+        let on = pass_at_k_on(&pool, &QorCache::new(), &ctx, &model, &design, &task, 3);
+        assert_eq!(off, on, "telemetry must not perturb results at {threads} threads");
+    }
+
+    let spans = ctx.spans();
+    let eval_span = spans
+        .iter()
+        .find(|s| s.name == "core.eval.pass_at_k")
+        .expect("enabled context records the evaluation span");
+    assert!(eval_span.wall_ns > 0, "a closed evaluation span carries a wall duration");
+}
+
+#[test]
+fn disabled_context_records_nothing() {
+    let ctx = ObsCtx::disabled();
+    assert!(!ctx.is_enabled());
+    {
+        let _s = ctx.span("never.recorded");
+    }
+    assert!(ctx.spans().is_empty());
+    // Even a disabled context renders a schema-stable (empty) document.
+    let doc = serde_json::parse_value(&ctx.telemetry_json()).expect("valid JSON");
+    assert_eq!(doc.get("enabled").and_then(|v| v.as_bool()), Some(false));
+    assert!(doc.get("spans").and_then(|v| v.as_array()).is_some_and(|s| s.is_empty()));
+}
+
+#[test]
+fn telemetry_document_is_schema_stable_in_process() {
+    let design = chatls_designs::by_name("dynamic_node").expect("benchmark");
+    let task = prepare_task(&design, "optimize timing");
+    let model = gpt_like();
+
+    let ctx = ObsCtx::new();
+    ctx.set_quiet(true);
+    pass_at_k_on(&ExecPool::new(2), &QorCache::new(), &ctx, &model, &design, &task, 2);
+
+    let doc = serde_json::parse_value(&ctx.telemetry_json()).expect("document is valid JSON");
+    assert_eq!(doc.get("schema").and_then(|v| v.as_str()), Some("chatls.telemetry.v1"));
+    for key in ["enabled", "dropped_spans", "spans", "counters", "gauges", "histograms"] {
+        assert!(doc.get(key).is_some(), "required key '{key}' present");
+    }
+    let spans = doc.get("spans").and_then(|v| v.as_array()).expect("spans array");
+    assert!(!spans.is_empty());
+    for span in spans {
+        let wall = span.get("wall_ns").and_then(|v| v.as_f64()).expect("wall_ns");
+        assert!(wall >= 0.0, "span durations are non-negative");
+    }
+    // Global-registry metrics (process-wide) ride along in every document.
+    let counters = doc.get("counters").expect("counters object");
+    for name in ["core.eval.samples", "synth.sta.full_builds"] {
+        assert!(counters.get(name).is_some(), "counter '{name}' present");
+    }
+    let hist = doc
+        .get("histograms")
+        .and_then(|h| h.get("core.eval.sample_wall_ns"))
+        .expect("sample wall-time histogram present");
+    assert!(
+        hist.get("count").and_then(|v| v.as_u64()).is_some_and(|c| c > 0),
+        "histogram recorded observations"
+    );
+}

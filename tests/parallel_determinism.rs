@@ -8,6 +8,7 @@ use chatls::eval::{pass_at_k_on, QorCache};
 use chatls::llm::gpt_like;
 use chatls::pipeline::prepare_task;
 use chatls_exec::ExecPool;
+use chatls_obs::ObsCtx;
 
 #[test]
 fn pass_at_k_is_identical_across_thread_counts() {
@@ -16,10 +17,26 @@ fn pass_at_k_is_identical_across_thread_counts() {
     let model = gpt_like();
 
     let serial_cache = QorCache::new();
-    let serial = pass_at_k_on(&ExecPool::new(1), &serial_cache, &model, &design, &task, 4);
+    let serial = pass_at_k_on(
+        &ExecPool::new(1),
+        &serial_cache,
+        &ObsCtx::disabled(),
+        &model,
+        &design,
+        &task,
+        4,
+    );
     for threads in [2, 4, 8] {
         let cache = QorCache::new();
-        let row = pass_at_k_on(&ExecPool::new(threads), &cache, &model, &design, &task, 4);
+        let row = pass_at_k_on(
+            &ExecPool::new(threads),
+            &cache,
+            &ObsCtx::disabled(),
+            &model,
+            &design,
+            &task,
+            4,
+        );
         assert_eq!(serial, row, "{threads}-thread evaluation must match serial");
     }
 }
@@ -32,11 +49,11 @@ fn warm_cache_changes_statistics_not_results() {
     let pool = ExecPool::new(4);
     let cache = QorCache::new();
 
-    let cold = pass_at_k_on(&pool, &cache, &model, &design, &task, 3);
+    let cold = pass_at_k_on(&pool, &cache, &ObsCtx::disabled(), &model, &design, &task, 3);
     let cold_stats = cache.stats();
     assert!(cold_stats.misses > 0, "a cold cache must record misses");
 
-    let warm = pass_at_k_on(&pool, &cache, &model, &design, &task, 3);
+    let warm = pass_at_k_on(&pool, &cache, &ObsCtx::disabled(), &model, &design, &task, 3);
     let warm_stats = cache.stats();
     assert_eq!(cold, warm, "memoized rerun must be byte-identical");
     assert!(warm_stats.hits > 0, "a repeated evaluation must hit the cache");

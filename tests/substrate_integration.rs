@@ -4,7 +4,7 @@
 use chatls_liberty::nangate45;
 use chatls_synth::passes::{compile, Effort};
 use chatls_synth::sta::{qor, Constraints};
-use chatls_synth::{MappedDesign, SynthSession, TimingGraph, TimingView};
+use chatls_synth::{MappedDesign, SessionBuilder, TimingGraph, TimingView};
 use chatls_verilog::netlist::Simulator;
 
 /// Every benchmark design flows through map → compile → STA cleanly.
@@ -70,7 +70,8 @@ fn scripted_and_direct_flows_agree() {
     let design = chatls_designs::by_name("aes").expect("benchmark");
     let period = design.default_period;
 
-    let mut session = SynthSession::new(design.netlist(), lib.clone()).expect("session");
+    let mut session =
+        SessionBuilder::new(design.netlist(), lib.clone()).session().expect("session");
     let result = session.run_script(&format!(
         "create_clock -period {period:.3} [get_ports clk]\nset_wire_load_model -name 5K_heavy_1k\ncompile\n"
     ));
@@ -94,7 +95,8 @@ fn scripted_and_direct_flows_agree() {
 fn baseline_slack_signs_match_table_iv() {
     let lib = nangate45();
     for design in chatls_designs::benchmarks() {
-        let mut session = SynthSession::new(design.netlist(), lib.clone()).expect("session");
+        let mut session =
+            SessionBuilder::new(design.netlist(), lib.clone()).session().expect("session");
         let r = session.run_script(&chatls::baseline_script(design.default_period));
         assert!(r.ok(), "{}", design.name);
         let violates = r.qor.wns < 0.0;
@@ -112,7 +114,8 @@ fn baseline_slack_signs_match_table_iv() {
 fn soc_configs_synthesize() {
     let lib = nangate45();
     for cfg in chatls_designs::soc_configs(2, 11) {
-        let mut session = SynthSession::new(cfg.design.netlist(), lib.clone()).expect("session");
+        let mut session =
+            SessionBuilder::new(cfg.design.netlist(), lib.clone()).session().expect("session");
         let r = session.run_script(&format!(
             "create_clock -period {:.3} [get_ports clk]\ncompile -map_effort low\n",
             cfg.design.default_period * 4.0
