@@ -1,0 +1,283 @@
+//! Closed-loop load generator for `chatls serve`.
+//!
+//! Spawns the serving stack in-process (port 0), then drives it with N
+//! client threads issuing a fixed request mix over plain TCP — each
+//! thread sends its next request only after the previous response
+//! arrives, so offered load adapts to service rate instead of piling up.
+//!
+//! Reports cold-vs-warm customize latency, warm p50/p95/p99, eval
+//! latency, throughput and the session-pool hit rate, and merges the
+//! rows into `BENCH_synth.json` at the workspace root (replacing
+//! earlier `serve/…` rows, keeping everything else).
+//!
+//! ```text
+//! cargo run --release -p chatls-bench --bin load_serve [-- --threads 4 --requests 50]
+//! ```
+
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+use chatls::database::{DbConfig, ExpertDatabase};
+use chatls::ChatLsService;
+use chatls_serve::{ServeConfig, Server};
+
+/// Designs in the request mix: three database designs plus a benchmark
+/// design, so the pool sees repeats without a single hot key.
+const DESIGNS: &[&str] = &["fft", "simd", "sha3", "dynamic_node"];
+
+/// One blocking HTTP/1.1 exchange (`Connection: close` on both sides);
+/// returns the status code and the elapsed wall time in nanoseconds.
+fn http(addr: &str, method: &str, path: &str, body: &str) -> (u16, u64) {
+    let started = Instant::now();
+    let mut stream = TcpStream::connect(addr).expect("connect to in-process server");
+    let request = format!(
+        "{method} {path} HTTP/1.1\r\nHost: {addr}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
+        body.len()
+    );
+    stream.write_all(request.as_bytes()).expect("write request");
+    let mut response = Vec::new();
+    stream.read_to_end(&mut response).expect("read response");
+    let elapsed = started.elapsed().as_nanos() as u64;
+    let head = String::from_utf8_lossy(&response);
+    let status: u16 = head
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or_else(|| panic!("malformed response: {:.80}", head));
+    (status, elapsed)
+}
+
+fn http_body(addr: &str, method: &str, path: &str, body: &str) -> String {
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    let request = format!(
+        "{method} {path} HTTP/1.1\r\nHost: {addr}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
+        body.len()
+    );
+    stream.write_all(request.as_bytes()).expect("write request");
+    let mut response = Vec::new();
+    stream.read_to_end(&mut response).expect("read response");
+    let text = String::from_utf8_lossy(&response);
+    match text.split_once("\r\n\r\n") {
+        Some((_, body)) => body.to_string(),
+        None => String::new(),
+    }
+}
+
+fn quantile(sorted_ns: &[u64], q: f64) -> u64 {
+    if sorted_ns.is_empty() {
+        return 0;
+    }
+    let rank = ((q * sorted_ns.len() as f64).ceil() as usize).clamp(1, sorted_ns.len());
+    sorted_ns[rank - 1]
+}
+
+fn human_time(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.3} s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.3} ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.3} us", ns / 1e3)
+    } else {
+        format!("{ns:.1} ns")
+    }
+}
+
+/// A `serve.<name> <value>` line from the plain-text metrics exposition.
+fn metric(metrics: &str, name: &str) -> f64 {
+    metrics
+        .lines()
+        .find_map(|l| l.strip_prefix(name).and_then(|rest| rest.trim().parse().ok()))
+        .unwrap_or(0.0)
+}
+
+fn arg<T: std::str::FromStr>(name: &str, default: T) -> T {
+    let args: Vec<String> = std::env::args().collect();
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+fn main() {
+    let threads: usize = arg("--threads", 4);
+    let per_thread: usize = arg("--requests", 50);
+
+    eprintln!("building expert database (quick)…");
+    let db = ExpertDatabase::build(&DbConfig::quick());
+    let service = Arc::new(ChatLsService::new(db, 16));
+    let config = ServeConfig { addr: "127.0.0.1:0".to_string(), ..ServeConfig::default() };
+    let server = Server::bind(config, service).expect("bind port 0");
+    let addr = server.local_addr().expect("bound address").to_string();
+    let shutdown = server.shutdown_handle();
+    let server_thread = std::thread::spawn(move || server.run());
+    eprintln!("server on {addr}; {threads} client threads x {per_thread} requests");
+
+    // Cold-vs-warm: the first customize of a design pays mapping +
+    // baseline synthesis; the repeat should come from the warm pool.
+    let customize = |d: &str| format!("{{\"design\": \"{d}\"}}");
+    let (status, cold_ns) = http(&addr, "POST", "/v1/customize", &customize(DESIGNS[0]));
+    assert_eq!(status, 200, "cold customize failed");
+    let (_, warm_once_ns) = http(&addr, "POST", "/v1/customize", &customize(DESIGNS[0]));
+    eprintln!(
+        "cold customize {} -> warm repeat {}",
+        human_time(cold_ns as f64),
+        human_time(warm_once_ns as f64)
+    );
+
+    // Closed loop: each thread walks the mix — mostly warm customizes,
+    // some batched evals, an occasional health probe.
+    let next = Arc::new(AtomicUsize::new(0));
+    let started = Instant::now();
+    let mut handles = Vec::new();
+    for _ in 0..threads {
+        let addr = addr.clone();
+        let next = Arc::clone(&next);
+        handles.push(std::thread::spawn(move || {
+            let mut customize_ns = Vec::new();
+            let mut eval_ns = Vec::new();
+            for _ in 0..per_thread {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                let design = DESIGNS[i % DESIGNS.len()];
+                match i % 10 {
+                    8 => {
+                        let body = format!(
+                            "{{\"design\": \"{design}\", \"scripts\": [\
+                             \"create_clock -period 1.4 [get_ports clk]\\ncompile\\n\", \
+                             \"create_clock -period 1.4 [get_ports clk]\\ncompile -map_effort high\\n\"]}}"
+                        );
+                        let (status, ns) = http(&addr, "POST", "/v1/eval", &body);
+                        assert_eq!(status, 200, "eval failed");
+                        eval_ns.push(ns);
+                    }
+                    9 => {
+                        let (status, _) = http(&addr, "GET", "/healthz", "");
+                        assert_eq!(status, 200, "healthz failed");
+                    }
+                    _ => {
+                        let (status, ns) =
+                            http(&addr, "POST", "/v1/customize", &customize(design));
+                        assert_eq!(status, 200, "customize failed");
+                        customize_ns.push(ns);
+                    }
+                }
+            }
+            (customize_ns, eval_ns)
+        }));
+    }
+    let mut customize_ns = Vec::new();
+    let mut eval_ns = Vec::new();
+    for h in handles {
+        let (c, e) = h.join().expect("client thread");
+        customize_ns.extend(c);
+        eval_ns.extend(e);
+    }
+    let wall = started.elapsed();
+    let total = threads * per_thread;
+    let rps = total as f64 / wall.as_secs_f64();
+    customize_ns.sort_unstable();
+    eval_ns.sort_unstable();
+
+    let metrics = http_body(&addr, "GET", "/metrics", "");
+    let hits = metric(&metrics, "serve.pool.hit");
+    let misses = metric(&metrics, "serve.pool.miss");
+    let hit_rate = if hits + misses > 0.0 { 100.0 * hits / (hits + misses) } else { 0.0 };
+
+    shutdown.shutdown();
+    server_thread.join().expect("server thread").expect("server run");
+
+    let p50 = quantile(&customize_ns, 0.50);
+    let p95 = quantile(&customize_ns, 0.95);
+    let p99 = quantile(&customize_ns, 0.99);
+    let eval_p50 = quantile(&eval_ns, 0.50);
+    println!("{total} requests in {:.2}s ({rps:.1} req/s)", wall.as_secs_f64());
+    println!(
+        "customize warm p50 {} p95 {} p99 {} ({} samples)",
+        human_time(p50 as f64),
+        human_time(p95 as f64),
+        human_time(p99 as f64),
+        customize_ns.len()
+    );
+    println!("eval p50 {} ({} samples)", human_time(eval_p50 as f64), eval_ns.len());
+    println!("session-pool hit rate {hit_rate:.1}% ({hits:.0} hits / {misses:.0} misses)");
+
+    #[derive(serde::Serialize)]
+    struct Row {
+        name: String,
+        mean_ns: f64,
+        mean_human: String,
+        iters: u64,
+    }
+    let row = |name: &str, ns: f64, human: String, iters: u64| Row {
+        name: name.to_string(),
+        mean_ns: ns,
+        mean_human: human,
+        iters,
+    };
+    let rows = vec![
+        row("serve/customize_cold_ns", cold_ns as f64, human_time(cold_ns as f64), 1),
+        row(
+            "serve/customize_warm_p50_ns",
+            p50 as f64,
+            human_time(p50 as f64),
+            customize_ns.len() as u64,
+        ),
+        row(
+            "serve/customize_warm_p95_ns",
+            p95 as f64,
+            human_time(p95 as f64),
+            customize_ns.len() as u64,
+        ),
+        row(
+            "serve/customize_warm_p99_ns",
+            p99 as f64,
+            human_time(p99 as f64),
+            customize_ns.len() as u64,
+        ),
+        row(
+            "serve/eval_p50_ns",
+            eval_p50 as f64,
+            human_time(eval_p50 as f64),
+            eval_ns.len() as u64,
+        ),
+        row("serve/throughput_rps", rps, format!("{rps:.1} req/s"), total as u64),
+        row(
+            "serve/pool_hit_rate_pct",
+            hit_rate,
+            format!("{hit_rate:.1} %"),
+            (hits + misses) as u64,
+        ),
+    ];
+
+    // Merge into BENCH_synth.json: replace earlier serve/ rows, keep the
+    // synth-bench rows untouched.
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_synth.json");
+    let mut merged: Vec<serde_json::Value> = match std::fs::read_to_string(path) {
+        Ok(text) => match serde_json::parse_value(&text) {
+            Ok(serde_json::Value::Seq(rows)) => rows
+                .into_iter()
+                .filter(|r| {
+                    r.get("name").and_then(|n| n.as_str()).is_none_or(|n| !n.starts_with("serve/"))
+                })
+                .collect(),
+            _ => Vec::new(),
+        },
+        Err(_) => Vec::new(),
+    };
+    for r in &rows {
+        let json = serde_json::to_string(r).expect("serialize row");
+        merged.push(serde_json::parse_value(&json).expect("reparse row"));
+    }
+    let doc = serde_json::Value::Seq(merged);
+    match serde_json::to_string_pretty(&doc) {
+        Ok(json) => match std::fs::write(path, json + "\n") {
+            Ok(()) => println!("[artifact] {path}"),
+            Err(e) => eprintln!("could not write {path}: {e}"),
+        },
+        Err(e) => eprintln!("could not serialize bench results: {e}"),
+    }
+}

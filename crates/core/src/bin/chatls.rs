@@ -7,6 +7,8 @@
 //! chatls evaluate <design> [--db chatls_db.json] [--k 5]
 //! chatls lint <script.tcl> [--design <name>] [--json]
 //! chatls designs
+//! chatls serve [--addr HOST:PORT] [--workers N] [--queue-depth N]
+//!              [--timeout-ms N] [--max-sessions N] [--db chatls_db.json]
 //! ```
 //!
 //! Every subcommand also accepts the global `--telemetry-json <path>`
@@ -66,6 +68,7 @@ fn main() -> ExitCode {
             "evaluate" => cmd_evaluate(&rest),
             "lint" => cmd_lint(&rest),
             "designs" => cmd_designs(),
+            "serve" => cmd_serve(&rest),
             "help" | "--help" | "-h" => {
                 println!("{USAGE}");
                 Ok(())
@@ -123,6 +126,9 @@ const USAGE: &str = "usage:
   chatls lint <script> [--design <name>]     ScriptLint static analysis of a script
                [--json] [--fix]              (exit 1 when errors are found)
   chatls designs                             list built-in designs
+  chatls serve [--addr HOST:PORT]            serve the pipeline over HTTP/JSON
+               [--workers N] [--queue-depth N] [--timeout-ms N]
+               [--max-sessions N] [--db <file>]
 
 global flags (every subcommand):
   --telemetry-json <file>   write the JSON telemetry document (spans + metrics)
@@ -297,6 +303,31 @@ fn cmd_lint(rest: &[&str]) -> Result<(), String> {
     } else {
         Ok(())
     }
+}
+
+fn cmd_serve(rest: &[&str]) -> Result<(), String> {
+    fn numeric<T: std::str::FromStr>(rest: &[&str], name: &str, default: T) -> Result<T, String> {
+        match opt(rest, name) {
+            Some(v) => v.parse().map_err(|_| format!("{name} must be a number")),
+            None => Ok(default),
+        }
+    }
+    let defaults = chatls_serve::ServeConfig::default();
+    let config = chatls_serve::ServeConfig {
+        addr: opt(rest, "--addr").unwrap_or("127.0.0.1:8080").to_string(),
+        workers: numeric(rest, "--workers", defaults.workers)?,
+        queue_depth: numeric(rest, "--queue-depth", defaults.queue_depth)?,
+        timeout_ms: numeric(rest, "--timeout-ms", defaults.timeout_ms)?,
+    };
+    let max_sessions: usize = numeric(rest, "--max-sessions", 16)?;
+    let db = open_db(rest)?;
+    let service = std::sync::Arc::new(chatls::ChatLsService::new(db, max_sessions));
+    chatls_serve::install_signal_handlers();
+    let server = chatls_serve::Server::bind(config, service)
+        .map_err(|e| format!("binding listener: {e}"))?;
+    let addr = server.local_addr().map_err(|e| format!("resolving bound address: {e}"))?;
+    eprintln!("chatls serve listening on http://{addr} (ctrl-c or SIGTERM to drain and stop)");
+    server.run().map_err(|e| format!("serving: {e}"))
 }
 
 fn cmd_designs() -> Result<(), String> {

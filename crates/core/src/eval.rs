@@ -10,7 +10,7 @@
 
 use crate::llm::{respects_fixed_period, Generator, TaskContext};
 use chatls_designs::GeneratedDesign;
-use chatls_exec::{fnv1a, CacheStats, ExecPool, ShardedCache};
+use chatls_exec::{fnv1a, CacheStats, CancelToken, Cancelled, ExecPool, ShardedCache};
 use chatls_liberty::nangate45;
 use chatls_obs::ObsCtx;
 use chatls_synth::{QorReport, SessionBuilder, SessionTemplate};
@@ -113,6 +113,32 @@ impl QorCache {
         self.inner.get_or_insert_with((fp, canonicalize_script(script)), run)
     }
 
+    /// [`QorCache::get_or_run`] with a cooperative cancel token. A hit is
+    /// served regardless of token state (it costs nothing); on a miss the
+    /// run may abort, and a cancelled run is *not* memoized — the next
+    /// caller re-runs the script rather than being served a truncated
+    /// QoR.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Cancelled`] when the miss path's run was aborted.
+    pub fn get_or_run_cancellable<F: FnOnce() -> Result<(QorReport, bool), Cancelled>>(
+        &self,
+        fp: u64,
+        script: &str,
+        run: F,
+    ) -> Result<(QorReport, bool), Cancelled> {
+        let key = (fp, canonicalize_script(script));
+        if let Some(v) = self.inner.peek(&key) {
+            // Route through get_or_insert_with so the hit is counted.
+            return Ok(self.inner.get_or_insert_with(key, || v));
+        }
+        let value = run()?;
+        // Two concurrent misses may both run; get_or_insert_with keeps one
+        // entry either way (runs are deterministic per key).
+        Ok(self.inner.get_or_insert_with(key, || value))
+    }
+
     /// Hit/miss counters.
     pub fn stats(&self) -> CacheStats {
         self.inner.stats()
@@ -196,6 +222,29 @@ pub fn run_script_in(template: &SessionTemplate, script: &str) -> (QorReport, bo
     let result = template.session().run_script(script);
     let ok = result.ok();
     (result.qor, ok)
+}
+
+/// [`run_script_in`] honouring a cooperative cancel token: the stamped
+/// session checks it before every command and inside the long
+/// optimization passes. The pooled template itself is never mutated, so
+/// a cancelled run cannot poison later stamps.
+///
+/// # Errors
+///
+/// Returns [`Cancelled`] when the token fired mid-run.
+pub fn run_script_in_cancellable(
+    template: &SessionTemplate,
+    script: &str,
+    cancel: &CancelToken,
+) -> Result<(QorReport, bool), Cancelled> {
+    let mut session = template.session();
+    session.set_cancel_token(cancel.clone());
+    let result = session.run_script(script);
+    if result.was_cancelled() {
+        return Err(Cancelled);
+    }
+    let ok = result.ok();
+    Ok((result.qor, ok))
 }
 
 /// Runs a script against a fresh session for the design; returns the QoR

@@ -48,6 +48,7 @@ pub mod eval;
 pub mod features;
 pub mod llm;
 pub mod pipeline;
+pub mod service;
 pub mod synthexpert;
 pub mod synthrag;
 
@@ -59,6 +60,7 @@ pub use eval::{
 };
 pub use llm::{claude_like, gpt_like, Generator, TaskContext};
 pub use pipeline::{baseline_script, prepare_task, ChatLs, ChatLsOutcome};
+pub use service::ChatLsService;
 pub use synthexpert::{ExpertTrace, SynthExpert, ThoughtStep};
 pub use synthrag::SynthRag;
 

@@ -19,8 +19,9 @@ use crate::llm::{Generator, OneShot, OneShotProfile, TaskContext, TimingSummary}
 use crate::synthexpert::{ExpertTrace, SynthExpert};
 use crate::synthrag::SynthRag;
 use chatls_designs::GeneratedDesign;
+use chatls_exec::{CancelToken, Cancelled};
 use chatls_obs::ObsCtx;
-use chatls_synth::SessionBuilder;
+use chatls_synth::SessionTemplate;
 use serde::{Deserialize, Serialize};
 
 /// The baseline script the evaluation customizes (the paper adapts the
@@ -39,16 +40,40 @@ pub fn baseline_script(period: f64) -> String {
 ///
 /// Panics if the design cannot be mapped onto the library (generator bug).
 pub fn prepare_task(design: &GeneratedDesign, user_request: &str) -> TaskContext {
+    let template = crate::eval::session_template(design);
+    prepare_task_in(design, user_request, &template, &CancelToken::never())
+        .expect("a never-token cannot cancel task preparation")
+}
+
+/// [`prepare_task`] against an already-built [`SessionTemplate`] (the
+/// serving layer's warm path: parse/lower/map is not re-paid per
+/// request), honouring `cancel` at the baseline-synthesis boundary.
+///
+/// The template must have been built for `design`; the mapped design
+/// keeps the lowered netlist verbatim, so trait detection and the
+/// baseline run are byte-for-byte the ones [`prepare_task`] computes.
+///
+/// # Errors
+///
+/// Returns [`Cancelled`] when `cancel` fires before or during the
+/// baseline synthesis run.
+pub fn prepare_task_in(
+    design: &GeneratedDesign,
+    user_request: &str,
+    template: &SessionTemplate,
+    cancel: &CancelToken,
+) -> Result<TaskContext, Cancelled> {
     let obs = ObsCtx::global();
     let _span = if obs.is_enabled() { Some(obs.span("core.prepare_task")) } else { None };
-    let netlist = design.netlist();
-    let traits = detect_traits(&netlist);
-    let mut session = SessionBuilder::new(netlist, chatls_liberty::nangate45())
-        .obs(obs.clone())
-        .session()
-        .expect("library covers all primitive gates");
+    cancel.checkpoint()?;
+    let traits = detect_traits(&template.design().netlist);
+    let mut session = template.session();
+    session.set_cancel_token(cancel.clone());
     let script = baseline_script(design.default_period);
     let result = session.run_script(&script);
+    if result.was_cancelled() {
+        return Err(Cancelled);
+    }
     let timing = session.timing_report();
     let critical_modules: Vec<String> = {
         let mut seen = Vec::new();
@@ -60,7 +85,7 @@ pub fn prepare_task(design: &GeneratedDesign, user_request: &str) -> TaskContext
         seen
     };
     let starts_at_input = timing.critical_path.first().map(|s| s.cell.is_empty()).unwrap_or(false);
-    TaskContext {
+    Ok(TaskContext {
         design_name: design.name.clone(),
         period: design.default_period,
         baseline_script: script,
@@ -75,7 +100,7 @@ pub fn prepare_task(design: &GeneratedDesign, user_request: &str) -> TaskContext
             starts_at_input,
         },
         timing_lint: chatls_lint::lint_timing(&timing).diagnostics,
-    }
+    })
 }
 
 /// Everything ChatLS produced for one customization.
@@ -159,15 +184,37 @@ impl<'db> ChatLs<'db> {
         task: &TaskContext,
         seed: u64,
     ) -> ChatLsOutcome {
+        self.try_customize(design, task, seed, &CancelToken::never())
+            .expect("a never-token cannot cancel customization")
+    }
+
+    /// [`ChatLs::customize`] honouring a cooperative cancel token at every
+    /// stage boundary (the serving layer's per-request deadline hook). A
+    /// fired token abandons the remaining stages; no partial outcome is
+    /// returned, because a script from an unrevised draft must never be
+    /// served.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Cancelled`] when `cancel` fires between stages.
+    pub fn try_customize(
+        &self,
+        design: &GeneratedDesign,
+        task: &TaskContext,
+        seed: u64,
+        cancel: &CancelToken,
+    ) -> Result<ChatLsOutcome, Cancelled> {
         let on = self.obs.is_enabled();
         let _span = if on { Some(self.obs.span("core.pipeline.customize")) } else { None };
         // 1. CircuitMentor.
+        cancel.checkpoint()?;
         let embedding = {
             let _s = if on { Some(self.obs.span("core.mentor.embed")) } else { None };
             let graph = build_circuit_graph(design);
             self.db.mentor().design_embedding(&graph)
         };
         // 2. SynthRAG: similar designs + their measured best strategies.
+        cancel.checkpoint()?;
         let rag = SynthRag::new(self.db);
         let similar = {
             let _s = if on { Some(self.obs.span("core.synthrag.retrieve")) } else { None };
@@ -178,6 +225,7 @@ impl<'db> ChatLs<'db> {
         };
         // 3. Draft: the fallible base model, augmented with the retrieved
         //    expert strategy body (RAG-augmented generation).
+        cancel.checkpoint()?;
         let mut draft = {
             let _s = if on { Some(self.obs.span("core.draft.generate")) } else { None };
             self.drafter.generate(task, seed)
@@ -192,12 +240,13 @@ impl<'db> ChatLs<'db> {
             }
         }
         // 4. SynthExpert revision (CoT × RAG).
+        cancel.checkpoint()?;
         let trace = {
             let _s = if on { Some(self.obs.span("core.synthexpert.refine")) } else { None };
             let expert = SynthExpert::new(rag);
             expert.refine(task, &draft)
         };
-        ChatLsOutcome { embedding, similar, draft, trace }
+        Ok(ChatLsOutcome { embedding, similar, draft, trace })
     }
 }
 
@@ -317,6 +366,7 @@ mod tests {
     use super::*;
     use crate::testutil::quick_db;
     use chatls_designs::by_name;
+    use chatls_synth::SessionBuilder;
 
     #[test]
     fn prepare_task_summarizes_baseline() {

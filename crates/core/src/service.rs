@@ -1,0 +1,463 @@
+//! The ChatLS backend for `chatls serve`: routes the HTTP endpoints the
+//! `chatls-serve` crate accepts onto the customize/eval pipeline.
+//!
+//! The serving crate owns transport, queueing, deadlines and drain; this
+//! module owns the application semantics:
+//!
+//! - `POST /v1/customize` — full CircuitMentor → SynthRAG → SynthExpert
+//!   pipeline for a named catalog design or inline Verilog; returns the
+//!   final script, its QoR and lint diagnostics. The returned `script` is
+//!   byte-identical to `chatls customize <design>` stdout for the same
+//!   database and seed.
+//! - `POST /v1/eval` — scores one or more caller-supplied scripts on a
+//!   design (batched on the global [`ExecPool`], memoized in the global
+//!   [`QorCache`]).
+//! - `GET /healthz`, `GET /metrics` (plain-text registry exposition),
+//!   `GET /telemetry` (the `chatls.telemetry.v1` JSON document).
+//!
+//! Warm path: prepared designs — the mapped [`SessionTemplate`] plus the
+//! baseline [`TaskContext`] per request string — live in an LRU
+//! [`SessionPool`] keyed by design fingerprint, so repeat requests skip
+//! parse/lower/map *and* the baseline synthesis run. Pooled state is
+//! immutable (sessions stamp per request); a deadline that fires
+//! mid-request aborts that request only and cannot poison the pool.
+
+use std::collections::HashMap;
+use std::sync::Mutex;
+
+use chatls_designs::GeneratedDesign;
+use chatls_exec::{CancelToken, Cancelled, ExecPool};
+use chatls_obs::ObsCtx;
+use chatls_serve::{AppHandler, Request, Response, SessionPool};
+use chatls_synth::{QorReport, SessionBuilder, SessionTemplate};
+use serde::Serialize;
+
+use crate::database::ExpertDatabase;
+use crate::eval::{design_fingerprint, run_script_in_cancellable, QorCache};
+use crate::llm::TaskContext;
+use crate::pipeline::{prepare_task_in, ChatLs};
+
+/// A design's warm serving state: the mapped template plus the baseline
+/// task context per distinct user request string.
+pub struct PreparedDesign {
+    template: SessionTemplate,
+    /// user request → prepared task context (deterministic per design and
+    /// request, so caching cannot change a response).
+    tasks: Mutex<HashMap<String, TaskContext>>,
+}
+
+/// The application handler behind `chatls serve`.
+pub struct ChatLsService {
+    db: ExpertDatabase,
+    pool: SessionPool<PreparedDesign>,
+}
+
+/// Default user request, matching the `chatls customize` CLI default so
+/// a body without `request` reproduces the CLI's output.
+const DEFAULT_REQUEST: &str = "optimize timing at the fixed clock";
+
+#[derive(Serialize)]
+struct CustomizeResponse {
+    design: String,
+    seed: u64,
+    /// `"hit"` when the design's template came warm from the pool.
+    pool: String,
+    script: String,
+    qor: QorReport,
+    lint: chatls_lint::LintStats,
+}
+
+#[derive(Serialize)]
+struct EvalResponse {
+    design: String,
+    results: Vec<EvalResult>,
+}
+
+#[derive(Serialize)]
+struct EvalResult {
+    ok: bool,
+    qor: QorReport,
+}
+
+impl ChatLsService {
+    /// A service over `db`, pooling at most `max_sessions` prepared
+    /// designs.
+    pub fn new(db: ExpertDatabase, max_sessions: usize) -> Self {
+        Self { db, pool: SessionPool::new(max_sessions) }
+    }
+
+    /// The session pool (tests inspect occupancy).
+    pub fn pool(&self) -> &SessionPool<PreparedDesign> {
+        &self.pool
+    }
+
+    /// The expert database the service answers from.
+    pub fn db(&self) -> &ExpertDatabase {
+        &self.db
+    }
+
+    /// Resolves the design a request body names: the `design` key looks
+    /// up the built-in catalog; alternatively `verilog` + `top` (+
+    /// optional `period`, default 1.0 ns) carry an inline design.
+    fn resolve_design(body: &serde::Value) -> Result<GeneratedDesign, Response> {
+        if let Some(name) = body.get("design").and_then(|v| v.as_str()) {
+            return chatls_designs::by_name(name).ok_or_else(|| {
+                Response::error(404, &format!("unknown design '{name}' (see `chatls designs`)"))
+            });
+        }
+        let Some(verilog) = body.get("verilog").and_then(|v| v.as_str()) else {
+            return Err(Response::error(
+                400,
+                "body needs either \"design\" or \"verilog\"+\"top\"",
+            ));
+        };
+        let Some(top) = body.get("top").and_then(|v| v.as_str()) else {
+            return Err(Response::error(400, "inline \"verilog\" needs a \"top\" module name"));
+        };
+        let period = body.get("period").and_then(|v| v.as_f64()).unwrap_or(1.0);
+        if !(period.is_finite() && period > 0.0) {
+            return Err(Response::error(400, "\"period\" must be a positive number"));
+        }
+        // Validate up front: the catalog accessors panic on bad source
+        // (a generator bug there), but user payloads must fail softly.
+        let sf = chatls_verilog::parse(verilog)
+            .map_err(|e| Response::error(400, &format!("verilog parse error: {e}")))?;
+        chatls_verilog::lower_to_netlist(&sf, top)
+            .map_err(|e| Response::error(400, &format!("elaboration error: {e}")))?;
+        Ok(GeneratedDesign {
+            name: format!("inline:{top}"),
+            category: chatls_designs::Category::VectorArithmetic,
+            source: verilog.to_string(),
+            top: top.to_string(),
+            modules: Vec::new(),
+            default_period: period,
+        })
+    }
+
+    /// The pooled warm state for `design`, built on first use.
+    fn prepared(
+        &self,
+        design: &GeneratedDesign,
+    ) -> Result<(std::sync::Arc<PreparedDesign>, bool), Response> {
+        let fp = design_fingerprint(design);
+        self.pool.get_or_build(fp, || -> Result<PreparedDesign, Response> {
+            let template = SessionBuilder::new(design.netlist(), chatls_liberty::nangate45())
+                .obs(ObsCtx::global().clone())
+                .template()
+                .map_err(|e| Response::error(400, &format!("mapping failed: {e}")))?;
+            Ok(PreparedDesign { template, tasks: Mutex::new(HashMap::new()) })
+        })
+    }
+
+    /// The task context for (`design`, `request`), from the per-design
+    /// cache or prepared fresh (one baseline synthesis run).
+    fn task_for(
+        &self,
+        design: &GeneratedDesign,
+        prepared: &PreparedDesign,
+        request: &str,
+        cancel: &CancelToken,
+    ) -> Result<TaskContext, Cancelled> {
+        if let Some(task) = prepared.tasks.lock().unwrap().get(request) {
+            return Ok(task.clone());
+        }
+        let task = prepare_task_in(design, request, &prepared.template, cancel)?;
+        prepared.tasks.lock().unwrap().insert(request.to_string(), task.clone());
+        Ok(task)
+    }
+
+    fn handle_customize(&self, req: &Request, cancel: &CancelToken) -> Response {
+        let body = match serde_json::parse_value(&req.body_text()) {
+            Ok(v) => v,
+            Err(e) => return Response::error(400, &format!("invalid JSON body: {e}")),
+        };
+        let design = match Self::resolve_design(&body) {
+            Ok(d) => d,
+            Err(resp) => return resp,
+        };
+        let seed = body.get("seed").and_then(|v| v.as_u64()).unwrap_or(0);
+        let request =
+            body.get("request").and_then(|v| v.as_str()).unwrap_or(DEFAULT_REQUEST).to_string();
+        let (prepared, pool_hit) = match self.prepared(&design) {
+            Ok(p) => p,
+            Err(resp) => return resp,
+        };
+        let deadline_resp =
+            |what: &str| Response::gateway_timeout(&format!("deadline exceeded during {what}"));
+        let task = match self.task_for(&design, &prepared, &request, cancel) {
+            Ok(t) => t,
+            Err(Cancelled) => return deadline_resp("baseline synthesis"),
+        };
+        let chatls = ChatLs::new(&self.db);
+        let outcome = match chatls.try_customize(&design, &task, seed, cancel) {
+            Ok(o) => o,
+            Err(Cancelled) => return deadline_resp("script customization"),
+        };
+        let fp = design_fingerprint(&design);
+        let (qor, _ok) =
+            match QorCache::global().get_or_run_cancellable(fp, outcome.script(), || {
+                run_script_in_cancellable(&prepared.template, outcome.script(), cancel)
+            }) {
+                Ok(r) => r,
+                Err(Cancelled) => return deadline_resp("final synthesis"),
+            };
+        let payload = CustomizeResponse {
+            design: design.name.clone(),
+            seed,
+            pool: if pool_hit { "hit" } else { "miss" }.to_string(),
+            script: outcome.script().to_string(),
+            qor,
+            lint: outcome.lint_stats(),
+        };
+        match serde_json::to_string(&payload) {
+            Ok(json) => Response::json(200, json),
+            Err(e) => Response::error(500, &format!("response serialization: {e}")),
+        }
+    }
+
+    fn handle_eval(&self, req: &Request, cancel: &CancelToken) -> Response {
+        let body = match serde_json::parse_value(&req.body_text()) {
+            Ok(v) => v,
+            Err(e) => return Response::error(400, &format!("invalid JSON body: {e}")),
+        };
+        let design = match Self::resolve_design(&body) {
+            Ok(d) => d,
+            Err(resp) => return resp,
+        };
+        let scripts: Vec<String> = if let Some(one) = body.get("script").and_then(|v| v.as_str()) {
+            vec![one.to_string()]
+        } else if let Some(many) = body.get("scripts").and_then(|v| v.as_array()) {
+            let mut out = Vec::with_capacity(many.len());
+            for s in many {
+                match s.as_str() {
+                    Some(s) => out.push(s.to_string()),
+                    None => return Response::error(400, "\"scripts\" must be an array of strings"),
+                }
+            }
+            out
+        } else {
+            return Response::error(400, "body needs \"script\" or \"scripts\"");
+        };
+        if scripts.is_empty() {
+            return Response::error(400, "\"scripts\" must not be empty");
+        }
+        let (prepared, _hit) = match self.prepared(&design) {
+            Ok(p) => p,
+            Err(resp) => return resp,
+        };
+        let fp = design_fingerprint(&design);
+        // Batch: fan the scripts out on the global pool; each evaluation
+        // is memoized in the global QorCache. Index-ordered results keep
+        // the response aligned with the request array.
+        let template = &prepared.template;
+        let runs = ExecPool::global().run_cancellable(cancel, scripts.len(), |i| {
+            QorCache::global().get_or_run_cancellable(fp, &scripts[i], || {
+                run_script_in_cancellable(template, &scripts[i], cancel)
+            })
+        });
+        let results: Result<Vec<EvalResult>, Cancelled> = match runs {
+            Err(Cancelled) => Err(Cancelled),
+            Ok(rows) => {
+                rows.into_iter().map(|r| r.map(|(qor, ok)| EvalResult { ok, qor })).collect()
+            }
+        };
+        let results = match results {
+            Ok(r) => r,
+            Err(Cancelled) => {
+                return Response::gateway_timeout("deadline exceeded during script evaluation")
+            }
+        };
+        let payload = EvalResponse { design: design.name.clone(), results };
+        match serde_json::to_string(&payload) {
+            Ok(json) => Response::json(200, json),
+            Err(e) => Response::error(500, &format!("response serialization: {e}")),
+        }
+    }
+
+    fn handle_healthz(&self) -> Response {
+        let designs = chatls_designs::benchmarks().len() + chatls_designs::database_designs().len();
+        Response::json(
+            200,
+            format!(
+                "{{\"status\": \"ok\", \"designs\": {designs}, \"pooled\": {}, \"pool_capacity\": {}}}\n",
+                self.pool.len(),
+                self.pool.capacity()
+            ),
+        )
+    }
+}
+
+impl AppHandler for ChatLsService {
+    fn handle(&self, req: &Request, cancel: &CancelToken) -> Response {
+        let obs = ObsCtx::global();
+        let _span = if obs.is_enabled() {
+            Some(obs.span(&format!("serve.handle.{}", req.path.trim_start_matches('/'))))
+        } else {
+            None
+        };
+        match (req.method.as_str(), req.path.as_str()) {
+            ("GET", "/healthz") => self.handle_healthz(),
+            ("GET", "/metrics") => {
+                crate::eval::sync_eval_gauges();
+                Response::text(200, chatls_obs::render_metrics_plain())
+            }
+            ("GET", "/telemetry") => Response::json(200, ObsCtx::global().telemetry_json()),
+            ("POST", "/v1/customize") => self.handle_customize(req, cancel),
+            ("POST", "/v1/eval") => self.handle_eval(req, cancel),
+            (_, "/healthz" | "/metrics" | "/telemetry") => {
+                Response::error(405, "use GET on this endpoint")
+            }
+            (_, "/v1/customize" | "/v1/eval") => Response::error(405, "use POST on this endpoint"),
+            _ => Response::error(404, "unknown endpoint"),
+        }
+    }
+
+    fn on_shutdown(&self) {
+        // Refresh point-in-time gauges so the terminal telemetry sink
+        // (run by the CLI after `Server::run` returns) sees final values.
+        crate::eval::sync_eval_gauges();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::database::DbConfig;
+    use crate::testutil::quick_db;
+    use std::sync::OnceLock;
+
+    fn post(path: &str, body: &str) -> Request {
+        Request {
+            method: "POST".to_string(),
+            path: path.to_string(),
+            headers: Vec::new(),
+            body: body.as_bytes().to_vec(),
+        }
+    }
+
+    fn get(path: &str) -> Request {
+        Request {
+            method: "GET".to_string(),
+            path: path.to_string(),
+            headers: Vec::new(),
+            body: Vec::new(),
+        }
+    }
+
+    /// One shared service for the whole binary; tests that assert pool
+    /// hit/miss use designs no other test touches.
+    fn service() -> &'static ChatLsService {
+        static SVC: OnceLock<ChatLsService> = OnceLock::new();
+        SVC.get_or_init(|| ChatLsService::new(ExpertDatabase::build(&DbConfig::quick()), 8))
+    }
+
+    #[test]
+    fn healthz_reports_ok() {
+        let svc = service();
+        let resp = svc.handle(&get("/healthz"), &CancelToken::never());
+        assert_eq!(resp.status, 200);
+        let v = serde_json::parse_value(&String::from_utf8(resp.body).unwrap()).unwrap();
+        assert_eq!(v.get("status").and_then(|s| s.as_str()), Some("ok"));
+    }
+
+    #[test]
+    fn unknown_paths_and_methods_are_rejected() {
+        let svc = service();
+        assert_eq!(svc.handle(&get("/nope"), &CancelToken::never()).status, 404);
+        assert_eq!(svc.handle(&post("/healthz", ""), &CancelToken::never()).status, 405);
+        assert_eq!(svc.handle(&get("/v1/customize"), &CancelToken::never()).status, 405);
+    }
+
+    #[test]
+    fn customize_returns_script_and_pool_warms_up() {
+        let svc = service();
+        let req = post("/v1/customize", "{\"design\": \"fft\", \"seed\": 0}");
+        let cold = svc.handle(&req, &CancelToken::never());
+        assert_eq!(cold.status, 200, "{}", String::from_utf8_lossy(&cold.body));
+        let cold_v = serde_json::parse_value(&String::from_utf8(cold.body).unwrap()).unwrap();
+        assert_eq!(cold_v.get("pool").and_then(|v| v.as_str()), Some("miss"));
+        let script = cold_v.get("script").and_then(|v| v.as_str()).unwrap().to_string();
+        assert!(script.contains("create_clock"), "{script}");
+        assert!(
+            cold_v.get("qor").and_then(|q| q.get("area")).and_then(|a| a.as_f64()).unwrap() > 0.0
+        );
+        // Warm repeat: pool hit, identical script.
+        let warm = svc.handle(&req, &CancelToken::never());
+        let warm_v = serde_json::parse_value(&String::from_utf8(warm.body).unwrap()).unwrap();
+        assert_eq!(warm_v.get("pool").and_then(|v| v.as_str()), Some("hit"));
+        assert_eq!(warm_v.get("script").and_then(|v| v.as_str()), Some(script.as_str()));
+    }
+
+    #[test]
+    fn customize_matches_direct_pipeline_output() {
+        let svc = service();
+        let resp =
+            svc.handle(&post("/v1/customize", "{\"design\": \"aes\"}"), &CancelToken::never());
+        let v = serde_json::parse_value(&String::from_utf8(resp.body).unwrap()).unwrap();
+        let served = v.get("script").and_then(|s| s.as_str()).unwrap();
+        // The one-shot path the CLI takes.
+        let design = chatls_designs::by_name("aes").unwrap();
+        let task = crate::pipeline::prepare_task(&design, DEFAULT_REQUEST);
+        let outcome = ChatLs::new(quick_db()).customize(&design, &task, 0);
+        assert_eq!(served, outcome.script(), "served script diverged from the CLI pipeline");
+    }
+
+    #[test]
+    fn eval_scores_batches_in_request_order() {
+        let svc = service();
+        let body = "{\"design\": \"simd\", \"scripts\": [\
+            \"create_clock -period 1.4 [get_ports clk]\\ncompile\\n\", \
+            \"create_clock -period 1.4 [get_ports clk]\\ncompile -map_effort high\\n\", \
+            \"definitely not tcl (\\n\"]}";
+        let resp = svc.handle(&post("/v1/eval", body), &CancelToken::never());
+        assert_eq!(resp.status, 200, "{}", String::from_utf8_lossy(&resp.body));
+        let v = serde_json::parse_value(&String::from_utf8(resp.body).unwrap()).unwrap();
+        let results = v.get("results").and_then(|r| r.as_array()).unwrap();
+        assert_eq!(results.len(), 3);
+        assert_eq!(results[0].get("ok").and_then(|b| b.as_bool()), Some(true));
+        assert_eq!(results[1].get("ok").and_then(|b| b.as_bool()), Some(true));
+        assert_eq!(results[2].get("ok").and_then(|b| b.as_bool()), Some(false));
+    }
+
+    #[test]
+    fn inline_verilog_is_accepted_and_garbage_is_400() {
+        let svc = service();
+        let ok = svc.handle(
+            &post(
+                "/v1/eval",
+                "{\"verilog\": \"module t(input a, input b, output y); assign y = a ^ b; endmodule\", \
+                 \"top\": \"t\", \"script\": \"compile\\n\"}",
+            ),
+            &CancelToken::never(),
+        );
+        assert_eq!(ok.status, 200, "{}", String::from_utf8_lossy(&ok.body));
+        let bad = svc.handle(
+            &post(
+                "/v1/eval",
+                "{\"verilog\": \"module broken(\", \"top\": \"broken\", \"script\": \"compile\"}",
+            ),
+            &CancelToken::never(),
+        );
+        assert_eq!(bad.status, 400);
+        let missing = svc.handle(
+            &post("/v1/customize", "{\"design\": \"no_such_design\"}"),
+            &CancelToken::never(),
+        );
+        assert_eq!(missing.status, 404);
+    }
+
+    #[test]
+    fn fired_deadline_yields_504_and_does_not_poison_the_pool() {
+        let svc = service();
+        // Warm the pool first so the cancelled request hits the warm path.
+        let req = post("/v1/customize", "{\"design\": \"dynamic_node\"}");
+        assert_eq!(svc.handle(&req, &CancelToken::never()).status, 200);
+        let fired = CancelToken::new();
+        fired.cancel();
+        let resp = svc.handle(&req, &fired);
+        assert_eq!(resp.status, 504, "{}", String::from_utf8_lossy(&resp.body));
+        // The pooled template must still serve good responses.
+        let again = svc.handle(&req, &CancelToken::never());
+        assert_eq!(again.status, 200);
+    }
+}

@@ -16,14 +16,122 @@
 //!   rarely contend. [`ShardedCache::named`] mirrors the hit/miss counters
 //!   into the `chatls_obs` registry so telemetry sinks can render them.
 //!
-//! Both primitives report into the `chatls_obs` metrics registry
+//! - [`CancelToken`] — a cooperative cancellation/deadline token threaded
+//!   through long-running work (the serving daemon's per-request timeout,
+//!   graceful shutdown). Checked at stage boundaries; never preemptive.
+//!   [`ExecPool::run_cancellable`] is the pool's token-aware submission
+//!   path: workers stop claiming work once the token fires.
+//!
+//! All primitives report into the `chatls_obs` metrics registry
 //! (`exec.pool.*`, `<cache-name>.*`) and pull in nothing outside `std`, so
 //! the workspace keeps compiling offline.
 
 use std::collections::HashMap;
 use std::hash::{Hash, Hasher};
-use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
-use std::sync::{Mutex, OnceLock};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+use std::time::{Duration, Instant};
+
+/// Error returned when a [`CancelToken`] fired before (or while) an
+/// operation ran: either the token was cancelled explicitly (shutdown,
+/// client gone) or its deadline passed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Cancelled;
+
+impl std::fmt::Display for Cancelled {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "operation cancelled (deadline exceeded or shutdown)")
+    }
+}
+
+impl std::error::Error for Cancelled {}
+
+#[derive(Debug)]
+struct TokenInner {
+    cancelled: AtomicBool,
+    deadline: Option<Instant>,
+}
+
+/// A cooperative cancellation token: cheap to clone, checked — never
+/// enforced — at stage boundaries of long-running work.
+///
+/// A token fires when [`CancelToken::cancel`] is called on any clone or
+/// when its optional deadline passes. [`CancelToken::never`] (also the
+/// `Default`) is a zero-allocation token that can never fire, so
+/// token-aware code paths cost one branch when cancellation is not in
+/// play.
+#[derive(Debug, Clone, Default)]
+pub struct CancelToken {
+    inner: Option<Arc<TokenInner>>,
+}
+
+impl CancelToken {
+    /// A token that can never fire (no allocation; checks are one branch).
+    pub fn never() -> Self {
+        Self { inner: None }
+    }
+
+    /// A token with no deadline; fires only via [`CancelToken::cancel`].
+    pub fn new() -> Self {
+        Self {
+            inner: Some(Arc::new(TokenInner { cancelled: AtomicBool::new(false), deadline: None })),
+        }
+    }
+
+    /// A token that fires at `deadline` (or earlier via
+    /// [`CancelToken::cancel`]).
+    pub fn with_deadline(deadline: Instant) -> Self {
+        Self {
+            inner: Some(Arc::new(TokenInner {
+                cancelled: AtomicBool::new(false),
+                deadline: Some(deadline),
+            })),
+        }
+    }
+
+    /// A token that fires `timeout` from now.
+    pub fn with_timeout(timeout: Duration) -> Self {
+        Self::with_deadline(Instant::now() + timeout)
+    }
+
+    /// Fires the token explicitly. Idempotent; all clones observe it.
+    pub fn cancel(&self) {
+        if let Some(inner) = &self.inner {
+            inner.cancelled.store(true, Ordering::Release);
+        }
+    }
+
+    /// True when the token has fired (explicit cancel or deadline passed).
+    pub fn is_cancelled(&self) -> bool {
+        match &self.inner {
+            None => false,
+            Some(inner) => {
+                inner.cancelled.load(Ordering::Acquire)
+                    || inner.deadline.is_some_and(|d| Instant::now() >= d)
+            }
+        }
+    }
+
+    /// Stage-boundary check: `Err(Cancelled)` once the token has fired.
+    pub fn checkpoint(&self) -> Result<(), Cancelled> {
+        if self.is_cancelled() {
+            Err(Cancelled)
+        } else {
+            Ok(())
+        }
+    }
+
+    /// The deadline, when this token carries one.
+    pub fn deadline(&self) -> Option<Instant> {
+        self.inner.as_ref().and_then(|i| i.deadline)
+    }
+
+    /// Time left until the deadline (zero once passed); `None` when the
+    /// token has no deadline.
+    pub fn remaining(&self) -> Option<Duration> {
+        self.deadline().map(|d| d.saturating_duration_since(Instant::now()))
+    }
+}
 
 /// A scoped thread pool with deterministic result ordering.
 ///
@@ -47,13 +155,35 @@ impl ExecPool {
 
     /// A pool sized from the environment: `CHATLS_THREADS` if set to a
     /// positive integer, otherwise the machine's available parallelism.
+    ///
+    /// # Panics
+    ///
+    /// Panics with a clear message when `CHATLS_THREADS` is set but not a
+    /// positive integer — a mistyped override must fail loudly, not
+    /// silently fall back to the default width (see
+    /// [`ExecPool::try_from_env`] for the non-panicking form).
     pub fn from_env() -> Self {
-        let threads = std::env::var("CHATLS_THREADS")
-            .ok()
-            .and_then(|v| v.trim().parse::<usize>().ok())
-            .filter(|&n| n > 0)
-            .unwrap_or_else(|| std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1));
-        Self::new(threads)
+        match Self::try_from_env() {
+            Ok(pool) => pool,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// [`ExecPool::from_env`] returning the configuration error instead of
+    /// panicking.
+    ///
+    /// # Errors
+    ///
+    /// Returns a descriptive message when `CHATLS_THREADS` is set to
+    /// anything other than a positive integer (unparseable text, zero, a
+    /// negative number). An unset or empty variable is not an error — the
+    /// pool falls back to the machine's available parallelism.
+    pub fn try_from_env() -> Result<Self, String> {
+        let threads = match threads_from_env()? {
+            Some(n) => n,
+            None => std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1),
+        };
+        Ok(Self::new(threads))
     }
 
     /// The process-wide pool, sized once from the environment.
@@ -77,11 +207,43 @@ impl ExecPool {
         R: Send,
         F: Fn(usize) -> R + Sync,
     {
+        self.run_cancellable(&CancelToken::never(), n, f)
+            .expect("a never-token cannot cancel a run")
+    }
+
+    /// Token-aware submission: like [`ExecPool::run`], but workers check
+    /// `token` before starting each item and stop claiming work once it
+    /// fires. Items already started run to completion (cancellation is
+    /// cooperative); their results are discarded with the rest when the
+    /// call returns `Err(Cancelled)`.
+    ///
+    /// With [`CancelToken::never`] this is exactly [`ExecPool::run`]
+    /// (one extra branch per item).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Cancelled`] when the token fired before every item
+    /// completed; the partial results are dropped.
+    pub fn run_cancellable<R, F>(
+        &self,
+        token: &CancelToken,
+        n: usize,
+        f: F,
+    ) -> Result<Vec<R>, Cancelled>
+    where
+        R: Send,
+        F: Fn(usize) -> R + Sync,
+    {
         let (runs, tasks) = pool_counters();
         runs.inc();
         tasks.add(n as u64);
         if self.threads <= 1 || n <= 1 {
-            return (0..n).map(f).collect();
+            let mut out = Vec::with_capacity(n);
+            for i in 0..n {
+                token.checkpoint()?;
+                out.push(f(i));
+            }
+            return Ok(out);
         }
         let workers = self.threads.min(n);
         // Chunks small enough that a slow item doesn't serialize its
@@ -93,12 +255,15 @@ impl ExecPool {
             for _ in 0..workers {
                 scope.spawn(|| {
                     let mut local: Vec<(usize, R)> = Vec::new();
-                    loop {
+                    'claim: loop {
                         let start = cursor.fetch_add(chunk, Ordering::Relaxed);
                         if start >= n {
                             break;
                         }
                         for i in start..(start + chunk).min(n) {
+                            if token.is_cancelled() {
+                                break 'claim;
+                            }
                             local.push((i, f(i)));
                         }
                     }
@@ -107,9 +272,12 @@ impl ExecPool {
             }
         });
         let mut tagged = collected.into_inner().unwrap();
+        if tagged.len() < n {
+            return Err(Cancelled);
+        }
         tagged.sort_by_key(|&(i, _)| i);
         debug_assert_eq!(tagged.len(), n);
-        tagged.into_iter().map(|(_, r)| r).collect()
+        Ok(tagged.into_iter().map(|(_, r)| r).collect())
     }
 
     /// Maps `f` over `items` across the pool, preserving input order —
@@ -121,6 +289,31 @@ impl ExecPool {
         F: Fn(&T) -> R + Sync,
     {
         self.run(items.len(), |i| f(&items[i]))
+    }
+}
+
+/// Parses the `CHATLS_THREADS` override: `Ok(None)` when unset or empty
+/// (use the default width), `Ok(Some(n))` for a positive integer.
+///
+/// # Errors
+///
+/// Returns a descriptive message for anything else — zero, negative
+/// numbers, or unparseable text must never be silently ignored.
+pub fn threads_from_env() -> Result<Option<usize>, String> {
+    let Ok(raw) = std::env::var("CHATLS_THREADS") else { return Ok(None) };
+    let trimmed = raw.trim();
+    if trimmed.is_empty() {
+        return Ok(None);
+    }
+    match trimmed.parse::<usize>() {
+        Ok(0) => Err("CHATLS_THREADS must be a positive integer; got 0 \
+                      (unset the variable to use the machine's parallelism)"
+            .to_string()),
+        Ok(n) => Ok(Some(n)),
+        Err(_) => Err(format!(
+            "CHATLS_THREADS must be a positive integer; got '{trimmed}' \
+             (unset the variable to use the machine's parallelism)"
+        )),
     }
 }
 
@@ -321,13 +514,103 @@ mod tests {
     }
 
     #[test]
-    fn from_env_reads_override() {
-        // Serialize against other tests via a local lock on the env var.
+    fn from_env_reads_override_and_rejects_garbage() {
+        // One test owns the env var so parallel test threads never race it.
         std::env::set_var("CHATLS_THREADS", "3");
         assert_eq!(ExecPool::from_env().threads(), 3);
+        std::env::set_var("CHATLS_THREADS", " 5 ");
+        assert_eq!(ExecPool::from_env().threads(), 5, "whitespace is trimmed");
+
         std::env::set_var("CHATLS_THREADS", "not-a-number");
-        assert!(ExecPool::from_env().threads() >= 1);
+        let err = ExecPool::try_from_env().unwrap_err();
+        assert!(err.contains("CHATLS_THREADS") && err.contains("not-a-number"), "{err}");
+        std::env::set_var("CHATLS_THREADS", "0");
+        let err = ExecPool::try_from_env().unwrap_err();
+        assert!(err.contains("positive integer"), "{err}");
+        std::env::set_var("CHATLS_THREADS", "-2");
+        assert!(ExecPool::try_from_env().is_err());
+        // The panicking entry point fails loudly, not silently.
+        let panicked = std::panic::catch_unwind(ExecPool::from_env);
+        assert!(panicked.is_err(), "from_env must panic on a garbage override");
+
+        // Unset and empty both mean "use the default width".
+        std::env::set_var("CHATLS_THREADS", "");
+        assert!(ExecPool::try_from_env().is_ok());
         std::env::remove_var("CHATLS_THREADS");
+        assert!(ExecPool::try_from_env().is_ok());
+        assert_eq!(threads_from_env(), Ok(None));
+    }
+
+    #[test]
+    fn cancel_token_never_is_inert() {
+        let t = CancelToken::never();
+        t.cancel();
+        assert!(!t.is_cancelled());
+        assert!(t.checkpoint().is_ok());
+        assert_eq!(t.deadline(), None);
+        assert_eq!(t.remaining(), None);
+    }
+
+    #[test]
+    fn cancel_token_fires_on_cancel_and_clones_observe() {
+        let t = CancelToken::new();
+        let clone = t.clone();
+        assert!(t.checkpoint().is_ok());
+        clone.cancel();
+        assert!(t.is_cancelled());
+        assert_eq!(t.checkpoint(), Err(Cancelled));
+    }
+
+    #[test]
+    fn cancel_token_fires_on_deadline() {
+        let t = CancelToken::with_deadline(std::time::Instant::now());
+        assert!(t.is_cancelled(), "a deadline in the past has already fired");
+        let later = CancelToken::with_timeout(std::time::Duration::from_secs(3600));
+        assert!(!later.is_cancelled());
+        assert!(later.remaining().unwrap() > std::time::Duration::from_secs(3000));
+    }
+
+    #[test]
+    fn run_cancellable_completes_with_live_token() {
+        let pool = ExecPool::new(4);
+        let t = CancelToken::new();
+        let out = pool.run_cancellable(&t, 100, |i| i * 2).unwrap();
+        assert_eq!(out, (0..100).map(|i| i * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn run_cancellable_stops_after_token_fires() {
+        let pool = ExecPool::new(4);
+        let t = CancelToken::new();
+        let started = AtomicU32::new(0);
+        let result = pool.run_cancellable(&t, 1000, |i| {
+            started.fetch_add(1, Ordering::Relaxed);
+            if i == 0 {
+                t.cancel();
+            }
+            i
+        });
+        assert_eq!(result, Err(Cancelled));
+        // Workers stop claiming once the token fires; far fewer than all
+        // 1000 items ever start (each worker finishes at most its current
+        // chunk).
+        assert!(started.load(Ordering::Relaxed) < 1000);
+    }
+
+    #[test]
+    fn run_cancellable_serial_checks_before_each_item() {
+        let pool = ExecPool::new(1);
+        let t = CancelToken::new();
+        let ran = AtomicU32::new(0);
+        let result = pool.run_cancellable(&t, 10, |i| {
+            ran.fetch_add(1, Ordering::Relaxed);
+            if i == 2 {
+                t.cancel();
+            }
+            i
+        });
+        assert_eq!(result, Err(Cancelled));
+        assert_eq!(ran.load(Ordering::Relaxed), 3, "items after the cancel never start");
     }
 
     #[test]

@@ -173,6 +173,38 @@ impl Histogram {
             .collect()
     }
 
+    /// Estimated `q`-quantile (`0.0..=1.0`) from the bucket counts, by
+    /// linear interpolation inside the winning bucket (Prometheus
+    /// `histogram_quantile` semantics). Returns `0.0` with no
+    /// observations; observations past the last bound clamp to it.
+    pub fn quantile(&self, q: f64) -> f64 {
+        let buckets = self.buckets();
+        let total: u64 = buckets.iter().map(|&(_, c)| c).sum();
+        if total == 0 {
+            return 0.0;
+        }
+        let rank = (q.clamp(0.0, 1.0) * total as f64).max(1.0);
+        let mut seen = 0u64;
+        for (i, &(bound, count)) in buckets.iter().enumerate() {
+            if count == 0 {
+                continue;
+            }
+            let next = seen + count;
+            if (next as f64) >= rank {
+                if bound.is_infinite() {
+                    // Overflow bucket has no upper edge; clamp to the last
+                    // finite bound.
+                    return self.bounds.last().copied().unwrap_or(0.0);
+                }
+                let lower = if i == 0 { 0.0 } else { buckets[i - 1].0 };
+                let frac = (rank - seen as f64) / count as f64;
+                return lower + (bound - lower) * frac;
+            }
+            seen = next;
+        }
+        self.bounds.last().copied().unwrap_or(0.0)
+    }
+
     /// Clears all buckets, the count and the sum.
     pub fn reset(&self) {
         for b in &self.buckets {
@@ -711,6 +743,30 @@ pub fn render_metrics_summary() -> String {
     out
 }
 
+/// Machine-scrapable text exposition of the registry (the `/metrics`
+/// endpoint's payload): one `name value` line per counter and gauge, and
+/// `name_count` / `name_sum` / `name_bucket{le="…"}` lines per histogram,
+/// all in stable name order. Prometheus-style, without the TYPE/HELP
+/// preamble.
+pub fn render_metrics_plain() -> String {
+    let mut out = String::new();
+    let snap = Registry::global().snapshot();
+    for (name, v) in &snap.counters {
+        out.push_str(&format!("{name} {v}\n"));
+    }
+    for (name, v) in &snap.gauges {
+        out.push_str(&format!("{name} {v}\n"));
+    }
+    for (name, count, sum, buckets) in &snap.histograms {
+        for (le, c) in buckets {
+            out.push_str(&format!("{name}_bucket{{le=\"{}\"}} {c}\n", json_f64(*le)));
+        }
+        out.push_str(&format!("{name}_count {count}\n"));
+        out.push_str(&format!("{name}_sum {}\n", json_f64(*sum)));
+    }
+    out
+}
+
 static GLOBAL_QUIET: AtomicBool = AtomicBool::new(false);
 
 /// Globally suppresses the stderr sinks ([`emit_metrics_stderr`] and the
@@ -1011,6 +1067,42 @@ mod tests {
         assert!(doc.contains("\\\"quoted\\\""), "string escaping broken");
         assert!(doc.contains("\\n"), "newline escaping broken");
         assert!(!doc.contains("inf"), "raw infinity leaked into JSON");
+    }
+
+    #[test]
+    fn histogram_quantiles_interpolate_within_buckets() {
+        let _lock = recording_lock();
+        let h = histogram("test.obs.hist_quantile", &[10.0, 100.0, 1000.0]);
+        h.reset();
+        assert_eq!(h.quantile(0.5), 0.0, "empty histogram");
+        // 10 obs in (10, 100], 10 in (100, 1000].
+        for _ in 0..10 {
+            h.record(50.0);
+            h.record(500.0);
+        }
+        let p50 = h.quantile(0.5);
+        assert!((10.0..=100.0).contains(&p50), "p50 {p50} outside its bucket");
+        let p95 = h.quantile(0.95);
+        assert!((100.0..=1000.0).contains(&p95), "p95 {p95} outside its bucket");
+        // Overflow observations clamp to the last finite bound.
+        h.record(1e9);
+        assert_eq!(h.quantile(1.0), 1000.0);
+    }
+
+    #[test]
+    fn plain_metrics_rendering_lists_all_kinds() {
+        let _lock = recording_lock();
+        counter("test.obs.plain_counter").reset();
+        counter("test.obs.plain_counter").add(2);
+        gauge("test.obs.plain_gauge").set(9);
+        let h = histogram("test.obs.plain_hist", &[1.0]);
+        h.reset();
+        h.record(0.5);
+        let text = render_metrics_plain();
+        assert!(text.contains("test.obs.plain_counter 2\n"));
+        assert!(text.contains("test.obs.plain_gauge 9\n"));
+        assert!(text.contains("test.obs.plain_hist_bucket{le=\"1.0\"} 1\n"));
+        assert!(text.contains("test.obs.plain_hist_count 1\n"));
     }
 
     #[test]

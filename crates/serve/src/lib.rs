@@ -1,0 +1,27 @@
+//! SynthServe: the zero-dependency request-serving layer behind
+//! `chatls serve`.
+//!
+//! Everything is `std`-only — `TcpListener`, worker threads, a `Mutex` +
+//! `Condvar` admission queue — so the workspace keeps building offline.
+//! The crate is application-agnostic: it knows HTTP framing, queueing,
+//! deadlines, session pooling and drain; the ChatLS pipeline plugs in
+//! from `crates/core` through the [`AppHandler`] trait. That inversion
+//! keeps the dependency arrow pointing one way (core → serve) and lets
+//! the queue/deadline/drain machinery be tested with a controllable
+//! dummy handler.
+//!
+//! - [`http`] — minimal HTTP/1.1 request parsing and response writing
+//!   (one request per connection, `Connection: close`).
+//! - [`server`] — [`Server`]: accept loop, bounded queue with `429`
+//!   backpressure, per-request [`chatls_exec::CancelToken`] deadlines,
+//!   SIGTERM/SIGINT graceful drain.
+//! - [`pool`] — [`SessionPool`]: the LRU fingerprint → warm-artifact
+//!   map behind `serve.pool.hit`/`.miss` metrics.
+
+pub mod http;
+pub mod pool;
+pub mod server;
+
+pub use http::{json_escape, Request, Response};
+pub use pool::SessionPool;
+pub use server::{install_signal_handlers, AppHandler, ServeConfig, Server, ShutdownHandle};

@@ -1,0 +1,183 @@
+//! Warm-session pool: an LRU map from design fingerprint to a shared,
+//! immutable prepared artifact (in production, an `Arc<SessionTemplate>`
+//! that has already paid parse/lower/map).
+//!
+//! The pool is deliberately generic over the cached value so the serving
+//! core and its tests need no synthesis types: correctness of eviction,
+//! single-flight building and hit accounting is tested right here with
+//! plain integers.
+//!
+//! Requests never mutate pooled values — they stamp cheap per-request
+//! copies — so a cancelled or failed request cannot poison the pool.
+
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex};
+
+/// Pool metrics, exported under `serve.pool.*`.
+fn metrics(
+) -> (&'static chatls_obs::Counter, &'static chatls_obs::Counter, &'static chatls_obs::Counter) {
+    (
+        chatls_obs::counter("serve.pool.hit"),
+        chatls_obs::counter("serve.pool.miss"),
+        chatls_obs::counter("serve.pool.evictions"),
+    )
+}
+
+struct Entry<T> {
+    value: Arc<T>,
+    /// Logical timestamp of the last hit; smallest is evicted first.
+    last_used: u64,
+}
+
+struct PoolInner<T> {
+    entries: HashMap<u64, Entry<T>>,
+    tick: u64,
+}
+
+/// An LRU pool keyed by `u64` fingerprint. Clones share the pool.
+pub struct SessionPool<T> {
+    inner: Arc<Mutex<PoolInner<T>>>,
+    capacity: usize,
+}
+
+impl<T> Clone for SessionPool<T> {
+    fn clone(&self) -> Self {
+        Self { inner: Arc::clone(&self.inner), capacity: self.capacity }
+    }
+}
+
+impl<T> SessionPool<T> {
+    /// An empty pool holding at most `capacity` entries (minimum 1).
+    pub fn new(capacity: usize) -> Self {
+        Self {
+            inner: Arc::new(Mutex::new(PoolInner { entries: HashMap::new(), tick: 0 })),
+            capacity: capacity.max(1),
+        }
+    }
+
+    /// The configured capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Current entry count.
+    pub fn len(&self) -> usize {
+        self.inner.lock().unwrap().entries.len()
+    }
+
+    /// True when the pool holds nothing.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The value for `fingerprint`, building it with `build` on a miss.
+    /// Returns `(value, hit)`; records `serve.pool.hit` / `.miss` /
+    /// `.evictions` and the `serve.pool.size` gauge.
+    ///
+    /// The build runs *outside* the pool lock, so a slow parse/lower/map
+    /// never blocks hits on other designs. The cost is that two
+    /// concurrent misses on the same fingerprint may both build; the
+    /// second insert wins and the first copy is dropped — acceptable
+    /// because builds are deterministic for a fingerprint.
+    pub fn get_or_build<E>(
+        &self,
+        fingerprint: u64,
+        build: impl FnOnce() -> Result<T, E>,
+    ) -> Result<(Arc<T>, bool), E> {
+        let (hit_c, miss_c, evict_c) = metrics();
+        {
+            let mut inner = self.inner.lock().unwrap();
+            inner.tick += 1;
+            let tick = inner.tick;
+            if let Some(entry) = inner.entries.get_mut(&fingerprint) {
+                entry.last_used = tick;
+                hit_c.inc();
+                return Ok((Arc::clone(&entry.value), true));
+            }
+        }
+        let value = Arc::new(build()?);
+        miss_c.inc();
+        let mut inner = self.inner.lock().unwrap();
+        inner.tick += 1;
+        let tick = inner.tick;
+        // Another builder may have raced us; keep whichever is in place
+        // and refresh recency either way.
+        let value = match inner.entries.get_mut(&fingerprint) {
+            Some(entry) => {
+                entry.last_used = tick;
+                Arc::clone(&entry.value)
+            }
+            None => {
+                inner
+                    .entries
+                    .insert(fingerprint, Entry { value: Arc::clone(&value), last_used: tick });
+                value
+            }
+        };
+        while inner.entries.len() > self.capacity {
+            let Some((&oldest, _)) = inner.entries.iter().min_by_key(|(_, e)| e.last_used) else {
+                break;
+            };
+            inner.entries.remove(&oldest);
+            evict_c.inc();
+        }
+        chatls_obs::gauge("serve.pool.size").set(inner.entries.len() as i64);
+        Ok((value, false))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hits_after_first_build() {
+        let pool: SessionPool<u64> = SessionPool::new(4);
+        let (v, hit) = pool.get_or_build(7, || Ok::<_, ()>(70)).unwrap();
+        assert_eq!((*v, hit), (70, false));
+        let (v, hit) =
+            pool.get_or_build(7, || -> Result<u64, ()> { panic!("must not rebuild") }).unwrap();
+        assert_eq!((*v, hit), (70, true));
+        assert_eq!(pool.len(), 1);
+    }
+
+    #[test]
+    fn evicts_least_recently_used() {
+        let pool: SessionPool<u64> = SessionPool::new(2);
+        pool.get_or_build(1, || Ok::<_, ()>(10)).unwrap();
+        pool.get_or_build(2, || Ok::<_, ()>(20)).unwrap();
+        // Touch 1 so 2 becomes the LRU victim.
+        pool.get_or_build(1, || -> Result<u64, ()> { panic!("hit expected") }).unwrap();
+        pool.get_or_build(3, || Ok::<_, ()>(30)).unwrap();
+        assert_eq!(pool.len(), 2);
+        let (_, hit1) = pool.get_or_build(1, || Ok::<_, ()>(11)).unwrap();
+        assert!(hit1, "recently used entry must survive eviction");
+        let (v2, hit2) = pool.get_or_build(2, || Ok::<_, ()>(22)).unwrap();
+        assert!(!hit2, "LRU entry must have been evicted");
+        assert_eq!(*v2, 22);
+    }
+
+    #[test]
+    fn build_errors_do_not_insert() {
+        let pool: SessionPool<u64> = SessionPool::new(2);
+        assert!(pool.get_or_build(9, || Err::<u64, _>("boom")).is_err());
+        assert!(pool.is_empty());
+        let (v, hit) = pool.get_or_build(9, || Ok::<_, &str>(90)).unwrap();
+        assert_eq!((*v, hit), (90, false), "a failed build must not poison the key");
+    }
+
+    #[test]
+    fn concurrent_misses_converge_to_one_entry() {
+        let pool: SessionPool<u64> = SessionPool::new(4);
+        std::thread::scope(|s| {
+            for _ in 0..8 {
+                let pool = pool.clone();
+                s.spawn(move || {
+                    let (v, _) = pool.get_or_build(5, || Ok::<_, ()>(50)).unwrap();
+                    assert_eq!(*v, 50);
+                });
+            }
+        });
+        assert_eq!(pool.len(), 1);
+    }
+}

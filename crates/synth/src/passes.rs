@@ -382,6 +382,9 @@ pub fn size_cells(view: &mut TimingView, rounds: usize) -> PassStats {
     let mut stats = PassStats::default();
     let critical_range = view.constraints().critical_range;
     for _ in 0..rounds {
+        if view.is_cancelled() {
+            break;
+        }
         let before_cps = view.report().cps;
         // Keep pushing until there is a little positive margin (the
         // critical range), not just bare closure.
@@ -548,6 +551,9 @@ pub fn retime(view: &mut TimingView, ungrouped: bool, max_moves: usize) -> PassS
         None => return stats,
     };
     for _ in 0..max_moves {
+        if view.is_cancelled() {
+            break;
+        }
         let (before_met, before_cps) = {
             let r = view.report();
             (r.met(), r.cps)
@@ -692,6 +698,9 @@ pub fn fix_hold(view: &mut TimingView) -> PassStats {
         None => return stats,
     };
     for _ in 0..8 {
+        if view.is_cancelled() {
+            break;
+        }
         let violations: Vec<String> = view
             .hold_slacks()
             .iter()

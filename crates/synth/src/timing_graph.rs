@@ -872,6 +872,7 @@ pub struct TimingView<'a> {
     graph: &'a mut TimingGraph,
     library: &'a Library,
     constraints: &'a Constraints,
+    cancel: chatls_exec::CancelToken,
 }
 
 impl<'a> TimingView<'a> {
@@ -882,7 +883,21 @@ impl<'a> TimingView<'a> {
         library: &'a Library,
         constraints: &'a Constraints,
     ) -> Self {
-        Self { design, graph, library, constraints }
+        Self { design, graph, library, constraints, cancel: chatls_exec::CancelToken::never() }
+    }
+
+    /// Attaches a cooperative cancel token; the iterative optimization
+    /// passes poll [`Self::is_cancelled`] between rounds and stop early
+    /// once it fires.
+    pub fn with_cancel(mut self, token: chatls_exec::CancelToken) -> Self {
+        self.cancel = token;
+        self
+    }
+
+    /// True once the attached cancel token has fired (deadline exceeded
+    /// or shutdown). Always false for the default never-token.
+    pub fn is_cancelled(&self) -> bool {
+        self.cancel.is_cancelled()
     }
 
     /// The design in its current state.

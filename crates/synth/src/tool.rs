@@ -15,6 +15,7 @@ use crate::passes::{
 use crate::script::{parse_script, Command};
 use crate::sta::{Constraints, QorReport, TimingReport};
 use crate::timing_graph::{TimingGraph, TimingView};
+use chatls_exec::CancelToken;
 use chatls_liberty::Library;
 use chatls_verilog::netlist::Netlist;
 use serde::{Deserialize, Serialize};
@@ -53,10 +54,22 @@ pub struct RunResult {
     pub log: Vec<String>,
 }
 
+/// Error message a session aborts with when its [`CancelToken`] fires
+/// between commands (deadline exceeded or shutdown). Kept stable so
+/// callers can tell a cancelled run from a genuinely broken script
+/// ([`RunResult::was_cancelled`]).
+pub const CANCELLED_MESSAGE: &str = "run cancelled (deadline exceeded or shutdown)";
+
 impl RunResult {
     /// True when the whole script executed.
     pub fn ok(&self) -> bool {
         self.error.is_none()
+    }
+
+    /// True when the run aborted because the session's [`CancelToken`]
+    /// fired, as opposed to a script error.
+    pub fn was_cancelled(&self) -> bool {
+        self.error.as_ref().is_some_and(|e| e.message == CANCELLED_MESSAGE)
     }
 }
 
@@ -539,6 +552,7 @@ pub struct SessionTemplate {
     library: Library,
     design: MappedDesign,
     obs: chatls_obs::ObsCtx,
+    cancel: CancelToken,
 }
 
 /// The one construction path for synthesis sessions.
@@ -571,12 +585,13 @@ pub struct SessionBuilder {
     obs: chatls_obs::ObsCtx,
     sta_check: Option<bool>,
     threads: Option<usize>,
+    cancel: CancelToken,
 }
 
 impl SessionBuilder {
     /// Starts a builder over `netlist` targeting `library`. Defaults: a
     /// disabled observability context, STA-check oracle left as-is, no
-    /// thread hint.
+    /// thread hint, a never-firing cancel token.
     pub fn new(netlist: Netlist, library: Library) -> Self {
         Self {
             netlist,
@@ -584,7 +599,16 @@ impl SessionBuilder {
             obs: chatls_obs::ObsCtx::disabled(),
             sta_check: None,
             threads: None,
+            cancel: CancelToken::never(),
         }
+    }
+
+    /// Attaches a cooperative cancel token; sessions built (or stamped
+    /// from the template) inherit it and abort scripts at the next
+    /// command or optimization-round boundary once it fires.
+    pub fn cancel(mut self, token: CancelToken) -> Self {
+        self.cancel = token;
+        self
     }
 
     /// Attaches an observability context; the mapping step and every script
@@ -630,7 +654,7 @@ impl SessionBuilder {
             let _span = self.obs.span("synth.session.map");
             MappedDesign::map(self.netlist, &self.library)?
         };
-        Ok(SessionTemplate { library: self.library, design, obs: self.obs })
+        Ok(SessionTemplate { library: self.library, design, obs: self.obs, cancel: self.cancel })
     }
 
     /// Builds a single ready-to-run session (template + one stamp).
@@ -644,16 +668,6 @@ impl SessionBuilder {
 }
 
 impl SessionTemplate {
-    /// Maps `netlist` onto `library` at lowest drive, once.
-    ///
-    /// # Errors
-    ///
-    /// Returns an error if the library lacks cells for the netlist's gates.
-    #[deprecated(note = "construct through SessionBuilder::new(netlist, library).template()")]
-    pub fn new(netlist: Netlist, library: Library) -> Result<Self, crate::design::SynthesisError> {
-        SessionBuilder::new(netlist, library).template()
-    }
-
     /// The target library.
     pub fn library(&self) -> &Library {
         &self.library
@@ -665,8 +679,10 @@ impl SessionTemplate {
     }
 
     /// A fresh session over the pristine mapped design: default
-    /// constraints, empty log, nothing ungrouped. Equivalent to
-    /// [`SynthSession::new`] minus the elaboration and mapping cost.
+    /// constraints, empty log, nothing ungrouped — a full
+    /// [`SessionBuilder::session`] build minus the elaboration and
+    /// mapping cost. The stamp inherits the builder's cancel token;
+    /// attach a per-run one with [`SynthSession::set_cancel_token`].
     pub fn session(&self) -> SynthSession {
         SynthSession {
             library: self.library.clone(),
@@ -680,6 +696,7 @@ impl SessionTemplate {
             log: Vec::new(),
             last_netlist: None,
             obs: self.obs.clone(),
+            cancel: self.cancel.clone(),
         }
     }
 
@@ -704,17 +721,17 @@ pub struct SynthSession {
     log: Vec<String>,
     last_netlist: Option<String>,
     obs: chatls_obs::ObsCtx,
+    cancel: CancelToken,
 }
 
 impl SynthSession {
-    /// Loads a netlist, mapping it onto the library at lowest drive.
-    ///
-    /// # Errors
-    ///
-    /// Returns an error if the library lacks cells for the netlist's gates.
-    #[deprecated(note = "construct through SessionBuilder::new(netlist, library).session()")]
-    pub fn new(netlist: Netlist, library: Library) -> Result<Self, crate::design::SynthesisError> {
-        SessionBuilder::new(netlist, library).session()
+    /// Attaches a cancel token; [`run_script`](Self::run_script) checks it
+    /// before every command and the long optimization passes check it
+    /// between rounds, so a fired token aborts the run at the next
+    /// boundary with [`CANCELLED_MESSAGE`]. Replaces any token inherited
+    /// from the builder or template.
+    pub fn set_cancel_token(&mut self, token: CancelToken) {
+        self.cancel = token;
     }
 
     /// Current constraints.
@@ -735,6 +752,7 @@ impl SynthSession {
     /// A [`TimingView`] lensing the design and its persistent timing graph.
     fn view(&mut self) -> TimingView<'_> {
         TimingView::new(&mut self.design, &mut self.graph, &self.library, &self.constraints)
+            .with_cancel(self.cancel.clone())
     }
 
     /// QoR of the current design state, served from the incremental timing
@@ -777,6 +795,18 @@ impl SynthSession {
         };
         let mut executed = 0;
         for cmd in &commands {
+            if self.cancel.is_cancelled() {
+                return RunResult {
+                    executed,
+                    error: Some(ScriptError {
+                        line: cmd.line,
+                        command: cmd.name.clone(),
+                        message: CANCELLED_MESSAGE.to_string(),
+                    }),
+                    qor: self.qor(),
+                    log: std::mem::take(&mut self.log),
+                };
+            }
             // Gated on is_enabled so the disabled path skips the name
             // allocation, not just the span record.
             let _cmd_span = if self.obs.is_enabled() {
@@ -1176,6 +1206,36 @@ mod tests {
         let second = template.session().run_script(script);
         assert_eq!(first, fresh);
         assert_eq!(second, fresh);
+    }
+
+    #[test]
+    fn fired_cancel_token_aborts_run_between_commands() {
+        let sf = parse(PIPE).unwrap();
+        let nl = lower_to_netlist(&sf, "pipe").unwrap();
+        let token = CancelToken::new();
+        let mut s = SessionBuilder::new(nl, nangate45()).cancel(token.clone()).session().unwrap();
+        token.cancel();
+        let r = s.run_script("create_clock -period 0.6 [get_ports clk]\ncompile\nreport_qor");
+        assert!(!r.ok());
+        assert!(r.was_cancelled());
+        assert_eq!(r.executed, 0, "no command may run once the token has fired");
+    }
+
+    #[test]
+    fn cancelled_template_stamp_is_isolated_from_fresh_stamps() {
+        let sf = parse(PIPE).unwrap();
+        let nl = lower_to_netlist(&sf, "pipe").unwrap();
+        let template = SessionBuilder::new(nl, nangate45()).template().unwrap();
+        let script = "create_clock -period 0.6 [get_ports clk]\ncompile\nreport_qor";
+        let clean = template.session().run_script(script);
+        // A per-request token attached to one stamp must not leak into the
+        // template or later stamps (the serve pool depends on this).
+        let token = CancelToken::new();
+        let mut doomed = template.session();
+        doomed.set_cancel_token(token.clone());
+        token.cancel();
+        assert!(doomed.run_script(script).was_cancelled());
+        assert_eq!(template.session().run_script(script), clean);
     }
 
     #[test]

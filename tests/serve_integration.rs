@@ -1,0 +1,219 @@
+//! End-to-end contract of the `chatls serve` stack over real TCP.
+//!
+//! One [`ChatLsService`] (one quick expert database, one session pool)
+//! is shared by every server in the file, so the tests also exercise the
+//! pool under concurrent access:
+//!
+//! - concurrent clients get byte-identical responses, and the served
+//!   script is exactly what the one-shot CLI pipeline produces;
+//! - a full admission queue answers `429` with `Retry-After` instead of
+//!   resetting the connection;
+//! - an expired deadline answers `504` and does not poison the pooled
+//!   session (the next request on the same design succeeds);
+//! - graceful shutdown drains in-flight requests before the listener
+//!   goes away.
+//!
+//! Each test uses designs no other test touches, so pool hit/miss and
+//! cold/warm expectations are independent of test ordering.
+
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::sync::{Arc, OnceLock};
+use std::time::Duration;
+
+use chatls::database::{DbConfig, ExpertDatabase};
+use chatls::pipeline::{prepare_task, ChatLs};
+use chatls::ChatLsService;
+use chatls_serve::{ServeConfig, Server, ShutdownHandle};
+
+/// One service (database + session pool) for the whole test binary.
+fn service() -> Arc<ChatLsService> {
+    static SVC: OnceLock<Arc<ChatLsService>> = OnceLock::new();
+    Arc::clone(SVC.get_or_init(|| {
+        Arc::new(ChatLsService::new(ExpertDatabase::build(&DbConfig::quick()), 16))
+    }))
+}
+
+/// Binds a fresh server on port 0 over the shared service and runs it on
+/// a background thread.
+fn start_server(
+    workers: usize,
+    queue_depth: usize,
+    timeout_ms: u64,
+) -> (String, ShutdownHandle, std::thread::JoinHandle<std::io::Result<()>>) {
+    let config = ServeConfig { addr: "127.0.0.1:0".to_string(), workers, queue_depth, timeout_ms };
+    let server = Server::bind(config, service()).expect("bind port 0");
+    let addr = server.local_addr().expect("bound address").to_string();
+    let handle = server.shutdown_handle();
+    let join = std::thread::spawn(move || server.run());
+    (addr, handle, join)
+}
+
+struct Reply {
+    status: u16,
+    headers: String,
+    body: String,
+}
+
+/// One blocking HTTP/1.1 exchange (`Connection: close` on both sides).
+fn http(addr: &str, method: &str, path: &str, body: &str) -> Reply {
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    stream.set_read_timeout(Some(Duration::from_secs(120))).unwrap();
+    let request = format!(
+        "{method} {path} HTTP/1.1\r\nHost: {addr}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
+        body.len()
+    );
+    stream.write_all(request.as_bytes()).expect("write request");
+    let mut raw = Vec::new();
+    stream.read_to_end(&mut raw).expect("read response");
+    let text = String::from_utf8(raw).expect("utf8 response");
+    let (head, body) = text.split_once("\r\n\r\n").expect("complete response head");
+    let status: u16 = head
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or_else(|| panic!("malformed status line: {head:.80}"));
+    Reply { status, headers: head.to_ascii_lowercase(), body: body.to_string() }
+}
+
+fn customize_body(design: &str) -> String {
+    format!("{{\"design\": \"{design}\"}}")
+}
+
+/// The `"script"` field of a customize response body.
+fn script_of(body: &str) -> String {
+    let v = serde_json::parse_value(body).expect("JSON response body");
+    v.get("script").and_then(|s| s.as_str()).expect("script field").to_string()
+}
+
+#[test]
+fn concurrent_responses_are_byte_identical_and_match_the_pipeline() {
+    let (addr, shutdown, join) = start_server(4, 64, 0);
+    // 6 concurrent clients over 2 designs; every response for a design
+    // must be byte-for-byte the same whether it was served cold, warm,
+    // or raced against another cold request for the same fingerprint.
+    let designs = ["fft", "simd"];
+    let mut handles = Vec::new();
+    for i in 0..6 {
+        let addr = addr.clone();
+        let design = designs[i % designs.len()];
+        handles.push(std::thread::spawn(move || {
+            let reply = http(&addr, "POST", "/v1/customize", &customize_body(design));
+            assert_eq!(reply.status, 200, "customize {design}: {}", reply.body);
+            (design, reply.body)
+        }));
+    }
+    let replies: Vec<(&str, String)> =
+        handles.into_iter().map(|h| h.join().expect("client thread")).collect();
+    for design in designs {
+        let bodies: Vec<&String> =
+            replies.iter().filter(|(d, _)| *d == design).map(|(_, b)| b).collect();
+        // The pool field differs between the first (miss) and later
+        // (hit) responses; everything else must be identical, so strip
+        // it before comparing.
+        let strip = |b: &str| b.replace("\"pool\":\"miss\"", "").replace("\"pool\":\"hit\"", "");
+        for other in &bodies[1..] {
+            assert_eq!(strip(bodies[0]), strip(other), "{design}: concurrent responses diverged");
+        }
+        // And the served script is exactly what the one-shot pipeline
+        // (the `chatls customize` code path) produces.
+        let svc = service();
+        let design_obj = chatls_designs::by_name(design).unwrap();
+        let task = prepare_task(&design_obj, "optimize timing at the fixed clock");
+        let expected = ChatLs::new(svc.db()).customize(&design_obj, &task, 0);
+        assert_eq!(
+            script_of(bodies[0]),
+            expected.script(),
+            "{design}: served script diverged from the CLI pipeline"
+        );
+    }
+    shutdown.shutdown();
+    join.join().expect("server thread").expect("server run");
+}
+
+#[test]
+fn full_queue_answers_429_with_retry_after() {
+    // One worker, queue depth 1: occupy the worker with a heavy cold
+    // customize, then burst fast requests to overflow the queue.
+    let (addr, shutdown, join) = start_server(1, 1, 0);
+    let slow = {
+        let addr = addr.clone();
+        std::thread::spawn(move || http(&addr, "POST", "/v1/customize", &customize_body("swerv")))
+    };
+    // Let the slow request get admitted and picked up by the worker.
+    std::thread::sleep(Duration::from_millis(300));
+    // The burst must be concurrent: a sequential closed loop never holds
+    // more than one connection open, so the queue could never overflow.
+    let burst: Vec<Reply> = (0..8)
+        .map(|_| {
+            let addr = addr.clone();
+            std::thread::spawn(move || http(&addr, "GET", "/healthz", ""))
+        })
+        .collect::<Vec<_>>()
+        .into_iter()
+        .map(|h| h.join().expect("burst client"))
+        .collect();
+    let rejected: Vec<&Reply> = burst.iter().filter(|r| r.status == 429).collect();
+    assert!(
+        !rejected.is_empty(),
+        "burst against a busy single worker with queue depth 1 must overflow; got {:?}",
+        burst.iter().map(|r| r.status).collect::<Vec<_>>()
+    );
+    for r in &rejected {
+        assert!(r.headers.contains("retry-after:"), "429 carries Retry-After: {}", r.headers);
+        assert!(r.body.contains("error"), "429 carries the JSON error envelope: {}", r.body);
+    }
+    // Admitted requests (and the slow one) still complete normally.
+    assert!(burst.iter().all(|r| r.status == 429 || r.status == 200));
+    let slow = slow.join().expect("slow client");
+    assert_eq!(slow.status, 200, "in-flight request survived the burst: {}", slow.body);
+    shutdown.shutdown();
+    join.join().expect("server thread").expect("server run");
+}
+
+#[test]
+fn expired_deadline_answers_504_and_does_not_poison_the_pool() {
+    // Two servers over the SAME service/pool: one with a 1 ms deadline
+    // (everything substantive times out), one without deadlines.
+    let (tight_addr, tight_shutdown, tight_join) = start_server(2, 16, 1);
+    let (ok_addr, ok_shutdown, ok_join) = start_server(2, 16, 0);
+
+    let timed_out = http(&tight_addr, "POST", "/v1/customize", &customize_body("sha3"));
+    assert_eq!(timed_out.status, 504, "1 ms deadline must expire: {}", timed_out.body);
+    assert!(timed_out.body.contains("deadline"), "504 names the deadline: {}", timed_out.body);
+
+    // The same design through the shared pool still serves correctly:
+    // the cancelled request left no half-built session behind.
+    let ok = http(&ok_addr, "POST", "/v1/customize", &customize_body("sha3"));
+    assert_eq!(ok.status, 200, "pool survived the 504: {}", ok.body);
+    let svc = service();
+    let design = chatls_designs::by_name("sha3").unwrap();
+    let task = prepare_task(&design, "optimize timing at the fixed clock");
+    let expected = ChatLs::new(svc.db()).customize(&design, &task, 0);
+    assert_eq!(script_of(&ok.body), expected.script(), "post-504 script diverged");
+
+    tight_shutdown.shutdown();
+    ok_shutdown.shutdown();
+    tight_join.join().expect("tight server").expect("tight run");
+    ok_join.join().expect("ok server").expect("ok run");
+}
+
+#[test]
+fn graceful_shutdown_drains_inflight_requests() {
+    let (addr, shutdown, join) = start_server(2, 16, 0);
+    // A heavy cold request that will still be running when we shut down.
+    let inflight = {
+        let addr = addr.clone();
+        std::thread::spawn(move || {
+            http(&addr, "POST", "/v1/customize", &customize_body("dynamic_node"))
+        })
+    };
+    std::thread::sleep(Duration::from_millis(200));
+    shutdown.shutdown();
+    join.join().expect("server thread").expect("server run");
+    // The in-flight request completed rather than being cut off…
+    let reply = inflight.join().expect("in-flight client");
+    assert_eq!(reply.status, 200, "drained request completed: {}", reply.body);
+    // …and the listener is gone afterwards.
+    assert!(TcpStream::connect(&addr).is_err(), "listener must be closed after graceful shutdown");
+}
