@@ -86,13 +86,20 @@ pub struct QorCache {
     inner: ShardedCache<(u64, String), (QorReport, bool)>,
 }
 
+/// Entry cap for every [`QorCache`] (LRU per shard beyond it). Far above
+/// what a bench sweep touches, but it keeps a long-running `chatls serve`
+/// daemon bounded when untrusted clients submit endless distinct
+/// (design, script) pairs to `/v1/eval`.
+pub const QOR_CACHE_CAPACITY: usize = 16 * 1024;
+
 impl QorCache {
-    /// An empty cache. Hit/miss counters are mirrored into the obs
-    /// registry as `core.qorcache.hits` / `core.qorcache.misses` (every
-    /// instance feeds the same process-wide counters; the local
-    /// [`CacheStats`] stay per-instance).
+    /// An empty cache, capped at [`QOR_CACHE_CAPACITY`] entries.
+    /// Hit/miss counters are mirrored into the obs registry as
+    /// `core.qorcache.hits` / `core.qorcache.misses` (every instance
+    /// feeds the same process-wide counters; the local [`CacheStats`]
+    /// stay per-instance).
     pub fn new() -> Self {
-        Self { inner: ShardedCache::named("core.qorcache") }
+        Self { inner: ShardedCache::named_bounded("core.qorcache", QOR_CACHE_CAPACITY) }
     }
 
     /// The process-wide cache shared by [`run_script`] and the default

@@ -18,7 +18,9 @@
 //! Warm path: prepared designs — the mapped [`SessionTemplate`] plus the
 //! baseline [`TaskContext`] per request string — live in an LRU
 //! [`SessionPool`] keyed by design fingerprint, so repeat requests skip
-//! parse/lower/map *and* the baseline synthesis run. Pooled state is
+//! parse/lower/map *and* the baseline synthesis run. The per-design task
+//! cache is itself LRU-bounded ([`TASK_CACHE_CAP`]): request strings are
+//! client-supplied and must not grow daemon memory without bound. Pooled state is
 //! immutable (sessions stamp per request); a deadline that fires
 //! mid-request aborts that request only and cannot poison the pool.
 
@@ -37,13 +39,56 @@ use crate::eval::{design_fingerprint, run_script_in_cancellable, QorCache};
 use crate::llm::TaskContext;
 use crate::pipeline::{prepare_task_in, ChatLs};
 
+/// Cap on cached task contexts per pooled design. The request string is
+/// client-supplied, so this map must stay bounded no matter how many
+/// distinct strings arrive; beyond the cap the least-recently-used entry
+/// is evicted (the next identical request re-pays one baseline run,
+/// nothing breaks).
+const TASK_CACHE_CAP: usize = 16;
+
+/// LRU-bounded map of user request string → prepared [`TaskContext`].
+/// Contexts are deterministic per design and request, so caching cannot
+/// change a response.
+#[derive(Default)]
+struct TaskCache {
+    /// request → (context, last-use tick).
+    entries: HashMap<String, (TaskContext, u64)>,
+    /// Monotonic use clock; the minimum-tick entry is the LRU victim.
+    tick: u64,
+}
+
+impl TaskCache {
+    /// The cached context for `request`, refreshing its LRU position.
+    fn get(&mut self, request: &str) -> Option<TaskContext> {
+        self.tick += 1;
+        let tick = self.tick;
+        self.entries.get_mut(request).map(|entry| {
+            entry.1 = tick;
+            entry.0.clone()
+        })
+    }
+
+    /// Caches `task` under `request`, evicting the least-recently-used
+    /// entry once [`TASK_CACHE_CAP`] is reached.
+    fn insert(&mut self, request: &str, task: TaskContext) {
+        if !self.entries.contains_key(request) && self.entries.len() >= TASK_CACHE_CAP {
+            if let Some(oldest) =
+                self.entries.iter().min_by_key(|(_, (_, t))| *t).map(|(k, _)| k.clone())
+            {
+                self.entries.remove(&oldest);
+            }
+        }
+        self.tick += 1;
+        self.entries.insert(request.to_string(), (task, self.tick));
+    }
+}
+
 /// A design's warm serving state: the mapped template plus the baseline
 /// task context per distinct user request string.
 pub struct PreparedDesign {
     template: SessionTemplate,
-    /// user request → prepared task context (deterministic per design and
-    /// request, so caching cannot change a response).
-    tasks: Mutex<HashMap<String, TaskContext>>,
+    /// Bounded per-request task contexts (see [`TaskCache`]).
+    tasks: Mutex<TaskCache>,
 }
 
 /// The application handler behind `chatls serve`.
@@ -145,7 +190,7 @@ impl ChatLsService {
                 .obs(ObsCtx::global().clone())
                 .template()
                 .map_err(|e| Response::error(400, &format!("mapping failed: {e}")))?;
-            Ok(PreparedDesign { template, tasks: Mutex::new(HashMap::new()) })
+            Ok(PreparedDesign { template, tasks: Mutex::new(TaskCache::default()) })
         })
     }
 
@@ -159,10 +204,10 @@ impl ChatLsService {
         cancel: &CancelToken,
     ) -> Result<TaskContext, Cancelled> {
         if let Some(task) = prepared.tasks.lock().unwrap().get(request) {
-            return Ok(task.clone());
+            return Ok(task);
         }
         let task = prepare_task_in(design, request, &prepared.template, cancel)?;
-        prepared.tasks.lock().unwrap().insert(request.to_string(), task.clone());
+        prepared.tasks.lock().unwrap().insert(request, task.clone());
         Ok(task)
     }
 
@@ -444,6 +489,28 @@ mod tests {
             &CancelToken::never(),
         );
         assert_eq!(missing.status, 404);
+    }
+
+    #[test]
+    fn task_cache_stays_bounded_under_distinct_request_strings() {
+        let svc = service();
+        // A one-gate inline design keeps the per-request baseline run cheap.
+        let body = serde_json::parse_value(
+            "{\"verilog\": \"module taskcache_probe(input a, input b, output y); \
+             assign y = a & b; endmodule\", \"top\": \"taskcache_probe\"}",
+        )
+        .unwrap();
+        let design = ChatLsService::resolve_design(&body).unwrap();
+        let (prepared, _) = svc.prepared(&design).unwrap();
+        for i in 0..TASK_CACHE_CAP + 5 {
+            let req = format!("request variant {i}");
+            svc.task_for(&design, &prepared, &req, &CancelToken::never()).unwrap();
+        }
+        let guard = prepared.tasks.lock().unwrap();
+        let len = guard.entries.len();
+        assert!(len <= TASK_CACHE_CAP, "task cache grew to {len}");
+        let newest = format!("request variant {}", TASK_CACHE_CAP + 4);
+        assert!(guard.entries.contains_key(&newest), "most recent request must stay cached");
     }
 
     #[test]

@@ -357,24 +357,46 @@ const SHARDS: usize = 16;
 /// the same shard. Two threads racing on the same absent key may both
 /// compute it (last write wins); since cached computations are pure this
 /// only shows up in the miss counter, never in results.
+///
+/// Caches built with [`ShardedCache::bounded`] /
+/// [`ShardedCache::named_bounded`] evict the least-recently-used entry of
+/// a shard once that shard is full, so long-running processes (the serve
+/// daemon) cannot be grown without bound by a stream of distinct keys.
 pub struct ShardedCache<K, V> {
-    shards: Vec<Mutex<HashMap<K, V>>>,
+    /// Entries carry the use-clock value of their last hit or insert;
+    /// bounded caches evict the shard's minimum on overflow.
+    shards: Vec<Mutex<HashMap<K, (V, u64)>>>,
     hits: AtomicU64,
     misses: AtomicU64,
+    /// Per-shard entry cap (`usize::MAX` = unbounded).
+    shard_cap: usize,
+    /// Monotonic use clock driving LRU eviction in bounded caches.
+    tick: AtomicU64,
     /// Mirrored `<name>.hits` / `<name>.misses` handles in the process-wide
     /// obs registry, for caches built with [`ShardedCache::named`].
     obs: Option<(&'static chatls_obs::Counter, &'static chatls_obs::Counter)>,
 }
 
 impl<K: Hash + Eq + Clone, V: Clone> ShardedCache<K, V> {
-    /// An empty cache.
+    /// An empty, unbounded cache.
     pub fn new() -> Self {
         Self {
             shards: (0..SHARDS).map(|_| Mutex::new(HashMap::new())).collect(),
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
+            shard_cap: usize::MAX,
+            tick: AtomicU64::new(0),
             obs: None,
         }
+    }
+
+    /// An empty cache holding at most (roughly) `capacity` entries; each
+    /// shard caps at `capacity / SHARDS` (min 1) and evicts its
+    /// least-recently-used entry on overflow.
+    pub fn bounded(capacity: usize) -> Self {
+        let mut cache = Self::new();
+        cache.shard_cap = (capacity / SHARDS).max(1);
+        cache
     }
 
     /// An empty cache whose hit/miss counters are mirrored into the obs
@@ -391,7 +413,15 @@ impl<K: Hash + Eq + Clone, V: Clone> ShardedCache<K, V> {
         cache
     }
 
-    fn shard(&self, key: &K) -> &Mutex<HashMap<K, V>> {
+    /// [`ShardedCache::named`] with the [`ShardedCache::bounded`] entry
+    /// cap.
+    pub fn named_bounded(name: &str, capacity: usize) -> Self {
+        let mut cache = Self::named(name);
+        cache.shard_cap = (capacity / SHARDS).max(1);
+        cache
+    }
+
+    fn shard(&self, key: &K) -> &Mutex<HashMap<K, (V, u64)>> {
         let mut h = std::collections::hash_map::DefaultHasher::new();
         key.hash(&mut h);
         &self.shards[(h.finish() as usize) % SHARDS]
@@ -401,25 +431,35 @@ impl<K: Hash + Eq + Clone, V: Clone> ShardedCache<K, V> {
     /// a hit or a miss accordingly.
     pub fn get_or_insert_with<F: FnOnce() -> V>(&self, key: K, compute: F) -> V {
         let shard = self.shard(&key);
-        if let Some(v) = shard.lock().unwrap().get(&key) {
+        if let Some(entry) = shard.lock().unwrap().get_mut(&key) {
+            entry.1 = self.tick.fetch_add(1, Ordering::Relaxed);
             self.hits.fetch_add(1, Ordering::Relaxed);
             if let Some((hits, _)) = self.obs {
                 hits.inc();
             }
-            return v.clone();
+            return entry.0.clone();
         }
         self.misses.fetch_add(1, Ordering::Relaxed);
         if let Some((_, misses)) = self.obs {
             misses.inc();
         }
         let v = compute();
-        shard.lock().unwrap().insert(key, v.clone());
+        let mut map = shard.lock().unwrap();
+        if !map.contains_key(&key) && map.len() >= self.shard_cap {
+            // Evict the shard's least-recently-used entry. O(shard len),
+            // paid only on overflow of a bounded cache.
+            if let Some(oldest) = map.iter().min_by_key(|(_, (_, t))| *t).map(|(k, _)| k.clone()) {
+                map.remove(&oldest);
+            }
+        }
+        map.insert(key, (v.clone(), self.tick.fetch_add(1, Ordering::Relaxed)));
         v
     }
 
-    /// The cached value for `key`, if present (counts nothing).
+    /// The cached value for `key`, if present (counts nothing and does not
+    /// refresh the entry's LRU position).
     pub fn peek(&self, key: &K) -> Option<V> {
-        self.shard(key).lock().unwrap().get(key).cloned()
+        self.shard(key).lock().unwrap().get(key).map(|(v, _)| v.clone())
     }
 
     /// Number of cached entries across all shards.
@@ -638,6 +678,39 @@ mod tests {
         let stats = cache.stats();
         assert_eq!(stats.hits + stats.misses, 400);
         assert!(stats.hits > 0);
+    }
+
+    #[test]
+    fn bounded_cache_evicts_least_recently_used() {
+        // Capacity 2*SHARDS = two slots per shard; three keys hashing to
+        // the same shard compete for them.
+        let cache: ShardedCache<u64, u64> = ShardedCache::bounded(2 * SHARDS);
+        let shard_of = |k: u64| {
+            use std::hash::{Hash, Hasher};
+            let mut h = std::collections::hash_map::DefaultHasher::new();
+            k.hash(&mut h);
+            (h.finish() as usize) % SHARDS
+        };
+        // Pigeonhole: among 2*SHARDS+1 keys some shard holds three.
+        let mut by_shard: Vec<Vec<u64>> = vec![Vec::new(); SHARDS];
+        let (k1, k2, k3) = 'found: {
+            for k in 0..=2 * SHARDS as u64 {
+                let bucket = &mut by_shard[shard_of(k)];
+                bucket.push(k);
+                if let [a, b, c] = bucket[..] {
+                    break 'found (a, b, c);
+                }
+            }
+            unreachable!("pigeonhole guarantees a 3-way collision");
+        };
+        cache.get_or_insert_with(k1, || 1);
+        cache.get_or_insert_with(k2, || 2);
+        // Touch k1 so k2 becomes the shard's LRU entry, then overflow.
+        cache.get_or_insert_with(k1, || unreachable!("must hit"));
+        cache.get_or_insert_with(k3, || 3);
+        assert_eq!(cache.peek(&k2), None, "the LRU entry must be evicted on overflow");
+        assert_eq!(cache.peek(&k1), Some(1), "a recently hit entry must survive");
+        assert_eq!(cache.peek(&k3), Some(3));
     }
 
     #[test]

@@ -4,9 +4,10 @@
 //! Life of a request:
 //!
 //! 1. The acceptor thread accepts the connection. If the admission queue
-//!    is at `queue_depth`, it answers `429 Too Many Requests` (with
-//!    `Retry-After`) immediately and closes — backpressure costs the
-//!    server one write, never a queue slot.
+//!    is at `queue_depth`, the connection is handed to a short-lived
+//!    rejector thread that answers `429 Too Many Requests` (with
+//!    `Retry-After`) and closes — backpressure never costs the acceptor
+//!    per-connection I/O or a queue slot.
 //! 2. Otherwise the connection is queued with its admission timestamp.
 //!    The per-request deadline (`timeout_ms`) starts here, so time spent
 //!    queued counts against it.
@@ -177,27 +178,13 @@ impl Server {
         // the loop responsive to the flag without platform poll APIs.
         while !self.should_stop() {
             match self.listener.accept() {
-                Ok((mut stream, _peer)) => {
+                Ok((stream, _peer)) => {
                     let mut state = queue.state.lock().unwrap();
                     if state.conns.len() >= self.config.queue_depth {
                         drop(state);
                         rejected.inc();
                         chatls_obs::counter_dyn("serve.http.429").inc();
-                        // Answer without parsing the request: under
-                        // overload the acceptor must never block long on
-                        // a slow client.
-                        let _ = stream.set_write_timeout(Some(Duration::from_secs(1)));
-                        Response::too_many_requests(1).write_to(&mut stream);
-                        // Closing with unread request bytes in the
-                        // receive buffer would RST the connection and the
-                        // client kernel would discard the 429 before the
-                        // client reads it. Signal end-of-response, then
-                        // briefly drain what the client sent.
-                        let _ = stream.shutdown(std::net::Shutdown::Write);
-                        let _ = stream.set_read_timeout(Some(Duration::from_millis(50)));
-                        let mut sink = [0u8; 1024];
-                        use std::io::Read as _;
-                        while matches!(stream.read(&mut sink), Ok(n) if n > 0) {}
+                        reject_connection(stream);
                         continue;
                     }
                     state.conns.push_back((stream, Instant::now()));
@@ -234,6 +221,63 @@ impl Server {
     }
 }
 
+/// Concurrent 429 rejector threads; beyond this a rejection flood gets a
+/// best-effort write on the acceptor thread instead of a drained goodbye.
+static REJECTORS: std::sync::atomic::AtomicUsize = std::sync::atomic::AtomicUsize::new(0);
+const MAX_REJECTORS: usize = 32;
+/// Bounds on draining a rejected client's request bytes: a trickling or
+/// oversized sender must never pin a thread.
+const REJECT_DRAIN_MAX_BYTES: usize = 64 * 1024;
+const REJECT_DRAIN_DEADLINE: Duration = Duration::from_millis(250);
+
+/// Answers `429` without parsing the request, off the acceptor thread —
+/// under overload the acceptor must keep accepting, so it never does
+/// per-connection I/O beyond the handoff.
+///
+/// Closing with unread request bytes in the receive buffer would RST the
+/// connection and the client kernel would discard the 429 before the
+/// client reads it, so the rejector signals end-of-response and then
+/// drains what the client sent — bounded by [`REJECT_DRAIN_MAX_BYTES`]
+/// and [`REJECT_DRAIN_DEADLINE`] so a malicious trickler cannot hold the
+/// thread.
+fn reject_connection(mut stream: TcpStream) {
+    fn answer_and_drain(mut stream: TcpStream) {
+        let _ = stream.set_write_timeout(Some(Duration::from_secs(1)));
+        Response::too_many_requests(1).write_to(&mut stream);
+        let _ = stream.shutdown(std::net::Shutdown::Write);
+        let _ = stream.set_read_timeout(Some(Duration::from_millis(50)));
+        let deadline = Instant::now() + REJECT_DRAIN_DEADLINE;
+        let mut sink = [0u8; 1024];
+        let mut drained = 0usize;
+        use std::io::Read as _;
+        while drained < REJECT_DRAIN_MAX_BYTES && Instant::now() < deadline {
+            match stream.read(&mut sink) {
+                Ok(n) if n > 0 => drained += n,
+                _ => break,
+            }
+        }
+    }
+    if REJECTORS.fetch_add(1, Ordering::SeqCst) >= MAX_REJECTORS {
+        REJECTORS.fetch_sub(1, Ordering::SeqCst);
+        // Rejection flood: skip the drain rather than spawn without
+        // bound. The write is best-effort; an RST here is acceptable.
+        let _ = stream.set_write_timeout(Some(Duration::from_millis(100)));
+        Response::too_many_requests(1).write_to(&mut stream);
+        return;
+    }
+    let spawned =
+        std::thread::Builder::new().name("chatls-serve-reject".to_string()).spawn(move || {
+            answer_and_drain(stream);
+            REJECTORS.fetch_sub(1, Ordering::SeqCst);
+        });
+    if let Err(e) = spawned {
+        // Could not spawn (resource exhaustion): the stream moved into the
+        // failed closure was dropped with it; just release the slot.
+        REJECTORS.fetch_sub(1, Ordering::SeqCst);
+        let _ = e;
+    }
+}
+
 fn worker_loop(queue: &Queue, handler: &dyn AppHandler, timeout_ms: u64) {
     let depth_gauge = chatls_obs::gauge("serve.queue.depth");
     loop {
@@ -263,16 +307,30 @@ fn handle_connection(
     handler: &dyn AppHandler,
     timeout_ms: u64,
 ) {
-    let _ = stream.set_read_timeout(Some(Duration::from_secs(10)));
+    let cancel = if timeout_ms == 0 {
+        CancelToken::never()
+    } else {
+        CancelToken::with_deadline(admitted + Duration::from_millis(timeout_ms))
+    };
+    // The socket read budget follows the request deadline (a slow-loris
+    // client must not hold a worker past --timeout-ms), capped at 10s for
+    // deadline-less configs. set_read_timeout rejects zero, so an already
+    // expired deadline still gets a minimal floor; the expiry check below
+    // turns the stale request into a 504 either way.
+    let io_timeout = cancel
+        .remaining()
+        .map_or(Duration::from_secs(10), |r| r.min(Duration::from_secs(10)))
+        .max(Duration::from_millis(10));
+    let _ = stream.set_read_timeout(Some(io_timeout));
     let _ = stream.set_write_timeout(Some(Duration::from_secs(10)));
     let (endpoint, response) = match read_request(&mut stream) {
+        // A read that failed because the deadline consumed its socket
+        // budget is an expiry, not a client error.
+        Err(_) if cancel.is_cancelled() => {
+            ("invalid", Response::gateway_timeout("deadline exceeded while reading request"))
+        }
         Err(bad) => ("invalid", bad),
         Ok(req) => {
-            let cancel = if timeout_ms == 0 {
-                CancelToken::never()
-            } else {
-                CancelToken::with_deadline(admitted + Duration::from_millis(timeout_ms))
-            };
             let endpoint = known_endpoint(&req.path);
             let response = if cancel.is_cancelled() {
                 // Spent its whole budget in the queue: same contract as
@@ -420,6 +478,63 @@ mod tests {
             std::thread::sleep(Duration::from_millis(20));
         };
         assert!(bounced.contains("Retry-After:"), "{bounced}");
+        gate.open_gate();
+        shutdown.shutdown();
+        join.join().unwrap();
+    }
+
+    #[test]
+    fn trickling_rejected_client_does_not_block_the_acceptor() {
+        let gate = GateHandler::new();
+        let (addr, shutdown, join) = spawn_server(gate.clone(), 1, 30_000);
+        // Saturate by construction: 2 workers + 1 queue slot = 3 live
+        // parked connections. Park one at a time and verify each was
+        // absorbed (no answer within 300ms) rather than transiently
+        // bounced (a 429 can fire while a worker is mid-pop); retried
+        // parks make saturation deterministic before the trickler runs.
+        let mut parked = Vec::new();
+        let deadline = Instant::now() + Duration::from_secs(10);
+        while parked.len() < 3 {
+            assert!(Instant::now() < deadline, "could not saturate the server");
+            let mut s = TcpStream::connect(addr).unwrap();
+            s.set_read_timeout(Some(Duration::from_millis(300))).unwrap();
+            write!(s, "GET /park HTTP/1.1\r\n\r\n").unwrap();
+            let mut text = String::new();
+            let _ = s.read_to_string(&mut text);
+            if text.is_empty() {
+                parked.push(s); // silent: absorbed and gated
+            }
+            // else: bounced (429) or closed — retry
+        }
+        let probe = || {
+            let mut s = TcpStream::connect(addr).unwrap();
+            s.set_read_timeout(Some(Duration::from_secs(2))).unwrap();
+            write!(s, "GET /probe HTTP/1.1\r\n\r\n").unwrap();
+            let mut text = String::new();
+            let _ = s.read_to_string(&mut text);
+            text
+        };
+        // A rejected client that trickles bytes forever: with the drain on
+        // the acceptor thread this would pin accept(); it must not.
+        let mut trickler = TcpStream::connect(addr).unwrap();
+        let trickle = std::thread::spawn(move || {
+            for _ in 0..200 {
+                if trickler.write_all(b"x").is_err() {
+                    break; // rejector hit its drain bound and closed us
+                }
+                std::thread::sleep(Duration::from_millis(5));
+            }
+        });
+        // Further connections keep getting prompt 429s while the trickler
+        // is live (each probe is bounded by its 2s read timeout).
+        for i in 0..3 {
+            let text = probe();
+            assert!(
+                text.starts_with("HTTP/1.1 429"),
+                "acceptor pinned by trickling client (probe {i} got: {text:?})"
+            );
+        }
+        trickle.join().unwrap();
         gate.open_gate();
         shutdown.shutdown();
         join.join().unwrap();

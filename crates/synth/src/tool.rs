@@ -826,6 +826,20 @@ impl SynthSession {
                 }
             }
         }
+        // The token may have fired *inside* the last command: the long
+        // optimization passes stop early and return Ok on cancellation,
+        // so without this check a truncated run would look complete and
+        // could be memoized (QorCache, pooled baselines) as the real QoR.
+        if self.cancel.is_cancelled() {
+            let (line, command) =
+                commands.last().map_or((0, String::new()), |c| (c.line, c.name.clone()));
+            return RunResult {
+                executed,
+                error: Some(ScriptError { line, command, message: CANCELLED_MESSAGE.to_string() }),
+                qor: self.qor(),
+                log: std::mem::take(&mut self.log),
+            };
+        }
         RunResult { executed, error: None, qor: self.qor(), log: std::mem::take(&mut self.log) }
     }
 
@@ -1219,6 +1233,23 @@ mod tests {
         assert!(!r.ok());
         assert!(r.was_cancelled());
         assert_eq!(r.executed, 0, "no command may run once the token has fired");
+    }
+
+    #[test]
+    fn cancel_firing_after_the_last_command_still_marks_the_run_cancelled() {
+        // The long passes stop early and return Ok when the token fires
+        // mid-command, so a token that fires during (or right after) the
+        // final command is only visible to the post-loop check. A script
+        // with no commands isolates exactly that check: the per-command
+        // check never runs, yet the result must not look complete.
+        let sf = parse(PIPE).unwrap();
+        let nl = lower_to_netlist(&sf, "pipe").unwrap();
+        let token = CancelToken::new();
+        let mut s = SessionBuilder::new(nl, nangate45()).cancel(token.clone()).session().unwrap();
+        token.cancel();
+        let r = s.run_script("# comments only, no commands\n");
+        assert!(r.was_cancelled(), "a cancelled run must never report error: None");
+        assert!(!r.ok());
     }
 
     #[test]
