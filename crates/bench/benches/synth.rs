@@ -287,6 +287,59 @@ fn assert_obs_overhead_negligible() {
     );
 }
 
+/// The scripts the ScriptIR timing budget is written against: one
+/// baseline script per benchmark design, plus the report/dead-write
+/// shapes the semantic rules have to walk.
+fn catalog_lint_scripts() -> Vec<String> {
+    let mut scripts: Vec<String> = chatls_designs::benchmarks()
+        .iter()
+        .map(|d| chatls::baseline_script(d.default_period))
+        .collect();
+    scripts.push(
+        "create_clock -period 2.0 [get_ports clk]\nset_max_fanout 16\nset_max_fanout 8\n\
+         set_input_delay 0.2 [all_inputs]\ncompile\ncompile\nreport_qor\nungroup -all\n"
+            .to_string(),
+    );
+    scripts
+}
+
+fn bench_lint(c: &mut Criterion) {
+    let scripts = catalog_lint_scripts();
+    // Full semantic pass: mechanical rules + ScriptIR abstract
+    // interpretation + prove-safe canonicalization, over the catalog.
+    c.bench_function("lint/scriptir_catalog", |b| {
+        b.iter(|| {
+            for s in &scripts {
+                black_box(chatls_lint::lint_script(black_box(s)));
+                black_box(chatls_lint::canonical_script(black_box(s)));
+            }
+        })
+    });
+}
+
+/// CI guard: semantic analysis rides the serve admission path (every
+/// `/v1/eval` script is linted before a session is burned), so one full
+/// catalog pass must stay well under the request budget. Min-of-N
+/// filters scheduler noise; 5 ms is ~50x the measured cost, failing
+/// only on an algorithmic regression (e.g. the interpreter going
+/// quadratic), not on a noisy box.
+fn assert_scriptir_analysis_fast() {
+    let scripts = catalog_lint_scripts();
+    let mut best = u64::MAX;
+    for _ in 0..10 {
+        let start = std::time::Instant::now();
+        for s in &scripts {
+            black_box(chatls_lint::lint_script(black_box(s)));
+            black_box(chatls_lint::canonical_script(black_box(s)));
+        }
+        best = best.min(start.elapsed().as_nanos() as u64);
+    }
+    assert!(
+        best < 5_000_000,
+        "catalog semantic analysis took {best} ns (budget 5 ms): ScriptIR regressed"
+    );
+}
+
 fn bench_gnn_epoch(c: &mut Criterion) {
     let corpus = chatls_designs::database_designs();
     let graphs: Vec<_> =
@@ -334,12 +387,14 @@ fn bench_matmul(c: &mut Criterion) {
 fn main() {
     assert_clean_design_hits_cache();
     assert_obs_overhead_negligible();
+    assert_scriptir_analysis_fast();
 
     let mut criterion = Criterion::default().sample_size(10);
     bench_run_script(&mut criterion);
     bench_sta(&mut criterion);
     bench_incremental_sta(&mut criterion);
     bench_size_cells(&mut criterion);
+    bench_lint(&mut criterion);
     bench_gnn_epoch(&mut criterion);
     bench_matmul(&mut criterion);
 

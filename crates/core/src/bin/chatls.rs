@@ -125,6 +125,8 @@ const USAGE: &str = "usage:
                                              Pass@k comparison vs simulated baselines
   chatls lint <script> [--design <name>]     ScriptLint static analysis of a script
                [--json] [--fix]              (exit 1 when errors are found)
+  chatls lint --explain <CODE>               rationale, example and fix for a rule
+                                             (SL0xx/NL0xx; 'all' lists every rule)
   chatls designs                             list built-in designs
   chatls serve [--addr HOST:PORT]            serve the pipeline over HTTP/JSON
                [--workers N] [--queue-depth N] [--timeout-ms N]
@@ -259,6 +261,9 @@ fn cmd_evaluate(rest: &[&str]) -> Result<(), String> {
 }
 
 fn cmd_lint(rest: &[&str]) -> Result<(), String> {
+    if let Some(code) = opt(rest, "--explain") {
+        return explain_lint_rule(code);
+    }
     let path = positional(rest).ok_or("lint needs a script file (or '-' for stdin)")?;
     let src = if path == "-" {
         use std::io::Read;
@@ -303,6 +308,29 @@ fn cmd_lint(rest: &[&str]) -> Result<(), String> {
     } else {
         Ok(())
     }
+}
+
+/// `chatls lint --explain <CODE>`: prints a rule's registered rationale,
+/// a minimal example that trips it, and the recommended fix. `--explain
+/// all` lists every registered rule.
+fn explain_lint_rule(code: &str) -> Result<(), String> {
+    if code.eq_ignore_ascii_case("all") {
+        for c in chatls_lint::all_rule_codes() {
+            let r = chatls_lint::explain_rule(c).expect("registered code");
+            println!("{:<6} {}", r.code, r.title);
+        }
+        return Ok(());
+    }
+    let Some(r) = chatls_lint::explain_rule(code) else {
+        return Err(format!(
+            "unknown rule '{code}' (run `chatls lint --explain all` for the list)"
+        ));
+    };
+    println!("{} — {}", r.code, r.title);
+    println!("\nwhy:\n  {}", r.rationale.replace('\n', "\n  "));
+    println!("\nexample:\n  {}", r.example.trim_end().replace('\n', "\n  "));
+    println!("\nfix:\n  {}", r.fix.replace('\n', "\n  "));
+    Ok(())
 }
 
 fn cmd_serve(rest: &[&str]) -> Result<(), String> {

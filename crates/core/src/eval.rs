@@ -54,13 +54,33 @@ pub fn design_fingerprint(design: &GeneratedDesign) -> u64 {
     fnv1a(&buf)
 }
 
-/// Canonical form of a script for cache keying: leading/trailing
-/// whitespace trimmed per line, blank lines and whole-line `#` comments
-/// dropped. Two scripts with the same canonical form execute the same
-/// command sequence, so they may share one QoR cache entry. Inline
-/// comments are left alone (a `#` inside braces or quotes is not a
-/// comment), which at worst costs a cache miss, never a wrong hit.
+/// Canonical form of a script for cache keying.
+///
+/// With semantic canonicalization on (env `CHATLS_SEMANTIC_CANON`,
+/// default on), scripts that ScriptIR proves runnable are normalized
+/// through [`chatls_lint::canonical_script`]: pure commands (aliases,
+/// reports, `write`) dropped, provably-dead and no-op constraint writes
+/// eliminated, commuting adjacent constraints sorted. Two scripts with
+/// the same semantic canonical form are *guaranteed* to produce
+/// bitwise-identical `(QoR, ok)` pairs (the differential oracle in
+/// `tests/canon_oracle.rs` enforces this across the design catalog), so
+/// textually-distinct but equivalent scripts share one QorCache entry.
+///
+/// Scripts the prover declines (unknown commands, grammar violations,
+/// unprovable runtime values) fall back to the textual form:
+/// leading/trailing whitespace trimmed per line, blank lines and
+/// whole-line `#` comments dropped. The two key spaces cannot collide:
+/// a semantic key is itself a provable script, and provability is a
+/// function of the text — so no unprovable script's textual key can
+/// equal any semantic key.
 pub fn canonicalize_script(script: &str) -> String {
+    if semantic_canon_enabled() {
+        if let Some(canon) = chatls_lint::canonical_script(script) {
+            chatls_obs::counter("core.canon.semantic").inc();
+            return canon;
+        }
+        chatls_obs::counter("core.canon.textual").inc();
+    }
     let mut out = String::with_capacity(script.len());
     for line in script.lines() {
         let t = line.trim();
@@ -71,6 +91,18 @@ pub fn canonicalize_script(script: &str) -> String {
         out.push('\n');
     }
     out
+}
+
+/// Whether `CHATLS_SEMANTIC_CANON` enables semantic canonicalization
+/// (default on; `0`/`false`/`off`/`no` disable). Read once per process so
+/// a cache populated under one keying scheme is never queried under the
+/// other.
+fn semantic_canon_enabled() -> bool {
+    static ON: OnceLock<bool> = OnceLock::new();
+    *ON.get_or_init(|| match std::env::var("CHATLS_SEMANTIC_CANON") {
+        Ok(v) => !matches!(v.trim().to_ascii_lowercase().as_str(), "0" | "false" | "off" | "no"),
+        Err(_) => true,
+    })
 }
 
 /// Memoized synthesis results: (design fingerprint, canonical script) →
@@ -159,6 +191,14 @@ impl QorCache {
     /// True when nothing is memoized.
     pub fn is_empty(&self) -> bool {
         self.inner.is_empty()
+    }
+
+    /// True when `script` on the design fingerprinted `fp` would hit —
+    /// i.e. some previously-run script shares its canonical key. Does not
+    /// touch hit/miss counters or LRU order; used by tests to prove that
+    /// equivalent scripts collapse to one entry.
+    pub fn contains(&self, fp: u64, script: &str) -> bool {
+        self.inner.peek(&(fp, canonicalize_script(script))).is_some()
     }
 
     /// Drops all entries and zeroes the counters.
@@ -507,5 +547,46 @@ mod tests {
         let s = baseline_script(d.default_period);
         assert!(s.contains("create_clock"));
         assert!(chatls_synth::script::parse_script(&s).is_ok());
+    }
+
+    #[test]
+    fn semantic_canon_collapses_equivalent_scripts_to_one_entry() {
+        // Textually distinct, semantically identical: comments, aliases,
+        // reports, a dead fanout write, and permuted adjacent constraints.
+        let a = "create_clock -period 1.1 [get_ports clk]\nset_max_fanout 8\ncompile\nreport_qor\n";
+        let b = "# tuned variant\nlink\nset_max_fanout 16\nset_max_fanout 8\n\
+                 create_clock -period 1.1 [get_ports clk]\ncompile\nreport_timing\n";
+        assert_eq!(canonicalize_script(a), canonicalize_script(b));
+
+        let cache = QorCache::new();
+        let qor = QorReport {
+            design: "canon-test".into(),
+            wns: 0.1,
+            cps: 1.0,
+            tns: 0.0,
+            area: 42.0,
+            leakage: 0.0,
+            cells: 10,
+            registers: 2,
+        };
+        let first = cache.get_or_run(7, a, || (qor.clone(), true));
+        // The equivalent script must be served from cache: the closure
+        // proving "no second synthesis run" by panicking if invoked.
+        let second = cache.get_or_run(7, b, || panic!("equivalent script re-synthesized"));
+        assert_eq!(first, second);
+        assert_eq!(cache.len(), 1);
+        assert_eq!(cache.stats().hits, 1);
+        assert!(cache.contains(7, b));
+    }
+
+    #[test]
+    fn unprovable_scripts_fall_back_to_textual_canon() {
+        // Unknown command: the prover declines, textual rules apply.
+        let src = "  frobnicate\n\n# comment\ncompile\n";
+        assert_eq!(canonicalize_script(src), "frobnicate\ncompile\n");
+        // And distinct fallible library lookups never collapse.
+        let a = "create_clock -period 1.0 [get_ports clk]\nset_wire_load_model -name A\ncompile\n";
+        let b = "create_clock -period 1.0 [get_ports clk]\nset_wire_load_model -name B\ncompile\n";
+        assert_ne!(canonicalize_script(a), canonicalize_script(b));
     }
 }

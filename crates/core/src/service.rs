@@ -11,7 +11,12 @@
 //!   database and seed.
 //! - `POST /v1/eval` — scores one or more caller-supplied scripts on a
 //!   design (batched on the global [`ExecPool`], memoized in the global
-//!   [`QorCache`]).
+//!   [`QorCache`]). Scripts with error-severity lint findings are
+//!   rejected with 400 *before* a session or deadline is burned, unless
+//!   the body sets `"lenient": true`.
+//! - `POST /v1/lint` — static analysis only: the full mechanical +
+//!   ScriptIR diagnostic list for a script, with netlist-aware rules
+//!   when the body also names a design (or carries inline Verilog).
 //! - `GET /healthz`, `GET /metrics` (plain-text registry exposition),
 //!   `GET /telemetry` (the `chatls.telemetry.v1` JSON document).
 //!
@@ -122,6 +127,22 @@ struct EvalResponse {
 struct EvalResult {
     ok: bool,
     qor: QorReport,
+}
+
+#[derive(Serialize)]
+struct LintResponse {
+    clean: bool,
+    errors: usize,
+    warnings: usize,
+    diagnostics: Vec<chatls_lint::Diagnostic>,
+}
+
+#[derive(Serialize)]
+struct LintRejection {
+    error: String,
+    /// Index into the request's `scripts` array of the offending script.
+    script_index: usize,
+    diagnostics: Vec<chatls_lint::Diagnostic>,
 }
 
 impl ChatLsService {
@@ -286,6 +307,32 @@ impl ChatLsService {
         if scripts.is_empty() {
             return Response::error(400, "\"scripts\" must not be empty");
         }
+        // Admission lint: an error-severity script would burn a session
+        // (and possibly the request deadline) only to fail, so reject it
+        // up front — unless the caller opts out with `"lenient": true`
+        // (e.g. to score a known-bad script's `ok: false` result).
+        let lenient = body.get("lenient").and_then(|v| v.as_bool()).unwrap_or(false);
+        if !lenient {
+            for (i, script) in scripts.iter().enumerate() {
+                let report = chatls_lint::lint_script(script);
+                if report.has_errors() {
+                    chatls_obs::counter("core.lint.rejections").inc();
+                    let payload = LintRejection {
+                        error: format!(
+                            "script {i} fails lint with {} error(s); \
+                             pass \"lenient\": true to evaluate anyway",
+                            report.error_count()
+                        ),
+                        script_index: i,
+                        diagnostics: report.diagnostics,
+                    };
+                    return match serde_json::to_string(&payload) {
+                        Ok(json) => Response::json(400, json),
+                        Err(e) => Response::error(500, &format!("response serialization: {e}")),
+                    };
+                }
+            }
+        }
         let (prepared, _hit) = match self.prepared(&design) {
             Ok(p) => p,
             Err(resp) => return resp,
@@ -313,6 +360,40 @@ impl ChatLsService {
             }
         };
         let payload = EvalResponse { design: design.name.clone(), results };
+        match serde_json::to_string(&payload) {
+            Ok(json) => Response::json(200, json),
+            Err(e) => Response::error(500, &format!("response serialization: {e}")),
+        }
+    }
+
+    /// `POST /v1/lint`: static analysis without synthesis. Body carries
+    /// `script` plus, optionally, the same design keys as `/v1/eval`
+    /// (`design`, or `verilog`+`top`) to enable the netlist-aware rules
+    /// (SL013 port existence checks and friends).
+    fn handle_lint(&self, req: &Request) -> Response {
+        let body = match serde_json::parse_value(&req.body_text()) {
+            Ok(v) => v,
+            Err(e) => return Response::error(400, &format!("invalid JSON body: {e}")),
+        };
+        let Some(script) = body.get("script").and_then(|v| v.as_str()) else {
+            return Response::error(400, "body needs a \"script\" string");
+        };
+        let report = if body.get("design").is_some() || body.get("verilog").is_some() {
+            let design = match Self::resolve_design(&body) {
+                Ok(d) => d,
+                Err(resp) => return resp,
+            };
+            chatls_lint::lint_script_for_design(script, &design.netlist())
+        } else {
+            chatls_lint::lint_script(script)
+        };
+        chatls_obs::counter("core.lint.requests").inc();
+        let payload = LintResponse {
+            clean: report.is_clean(),
+            errors: report.error_count(),
+            warnings: report.warning_count(),
+            diagnostics: report.diagnostics,
+        };
         match serde_json::to_string(&payload) {
             Ok(json) => Response::json(200, json),
             Err(e) => Response::error(500, &format!("response serialization: {e}")),
@@ -349,10 +430,13 @@ impl AppHandler for ChatLsService {
             ("GET", "/telemetry") => Response::json(200, ObsCtx::global().telemetry_json()),
             ("POST", "/v1/customize") => self.handle_customize(req, cancel),
             ("POST", "/v1/eval") => self.handle_eval(req, cancel),
+            ("POST", "/v1/lint") => self.handle_lint(req),
             (_, "/healthz" | "/metrics" | "/telemetry") => {
                 Response::error(405, "use GET on this endpoint")
             }
-            (_, "/v1/customize" | "/v1/eval") => Response::error(405, "use POST on this endpoint"),
+            (_, "/v1/customize" | "/v1/eval" | "/v1/lint") => {
+                Response::error(405, "use POST on this endpoint")
+            }
             _ => Response::error(404, "unknown endpoint"),
         }
     }
@@ -450,7 +534,9 @@ mod tests {
     #[test]
     fn eval_scores_batches_in_request_order() {
         let svc = service();
-        let body = "{\"design\": \"simd\", \"scripts\": [\
+        // `lenient` lets the unlintable third script through to runtime
+        // scoring (where it earns its `ok: false`).
+        let body = "{\"design\": \"simd\", \"lenient\": true, \"scripts\": [\
             \"create_clock -period 1.4 [get_ports clk]\\ncompile\\n\", \
             \"create_clock -period 1.4 [get_ports clk]\\ncompile -map_effort high\\n\", \
             \"definitely not tcl (\\n\"]}";
@@ -471,7 +557,7 @@ mod tests {
             &post(
                 "/v1/eval",
                 "{\"verilog\": \"module t(input a, input b, output y); assign y = a ^ b; endmodule\", \
-                 \"top\": \"t\", \"script\": \"compile\\n\"}",
+                 \"top\": \"t\", \"lenient\": true, \"script\": \"compile\\n\"}",
             ),
             &CancelToken::never(),
         );
@@ -511,6 +597,125 @@ mod tests {
         assert!(len <= TASK_CACHE_CAP, "task cache grew to {len}");
         let newest = format!("request variant {}", TASK_CACHE_CAP + 4);
         assert!(guard.entries.contains_key(&newest), "most recent request must stay cached");
+    }
+
+    #[test]
+    fn eval_rejects_error_scripts_at_admission() {
+        let svc = service();
+        // SL007 (compile with no clock) is error severity: rejected
+        // before any session or synthesis work happens.
+        let resp = svc.handle(
+            &post("/v1/eval", "{\"design\": \"simd\", \"script\": \"compile\\n\"}"),
+            &CancelToken::never(),
+        );
+        assert_eq!(resp.status, 400, "{}", String::from_utf8_lossy(&resp.body));
+        let v = serde_json::parse_value(&String::from_utf8(resp.body).unwrap()).unwrap();
+        assert_eq!(v.get("script_index").and_then(|i| i.as_u64()), Some(0));
+        let diags = v.get("diagnostics").and_then(|d| d.as_array()).unwrap();
+        assert!(
+            diags.iter().any(|d| d.get("code").and_then(|c| c.as_str()) == Some("SL007")),
+            "rejection must carry the triggering diagnostic"
+        );
+        // The lenient escape hatch admits the same script for runtime
+        // scoring (it earns an `ok: false` instead of a 400).
+        let lenient = svc.handle(
+            &post(
+                "/v1/eval",
+                "{\"design\": \"simd\", \"lenient\": true, \"script\": \"compile\\n\"}",
+            ),
+            &CancelToken::never(),
+        );
+        assert_eq!(lenient.status, 200, "{}", String::from_utf8_lossy(&lenient.body));
+    }
+
+    #[test]
+    fn lint_endpoint_reports_semantic_diagnostics() {
+        let svc = service();
+        // SL016: the first fanout write is dead (overwritten unread).
+        let resp = svc.handle(
+            &post(
+                "/v1/lint",
+                "{\"script\": \"create_clock -period 1.0 [get_ports clk]\\n\
+                 set_max_fanout 16\\nset_max_fanout 8\\ncompile\\n\"}",
+            ),
+            &CancelToken::never(),
+        );
+        assert_eq!(resp.status, 200, "{}", String::from_utf8_lossy(&resp.body));
+        let v = serde_json::parse_value(&String::from_utf8(resp.body).unwrap()).unwrap();
+        assert_eq!(v.get("errors").and_then(|e| e.as_u64()), Some(0));
+        assert_eq!(v.get("clean").and_then(|c| c.as_bool()), Some(false));
+        let diags = v.get("diagnostics").and_then(|d| d.as_array()).unwrap();
+        assert!(diags.iter().any(|d| d.get("code").and_then(|c| c.as_str()) == Some("SL016")));
+        // Naming a design enables the netlist-aware rules (SL013).
+        let ctx = svc.handle(
+            &post(
+                "/v1/lint",
+                "{\"design\": \"fft\", \"script\": \"create_clock -period 1.0 \
+                 [get_ports no_such_port]\\ncompile\\n\"}",
+            ),
+            &CancelToken::never(),
+        );
+        assert_eq!(ctx.status, 200, "{}", String::from_utf8_lossy(&ctx.body));
+        let cv = serde_json::parse_value(&String::from_utf8(ctx.body).unwrap()).unwrap();
+        let cdiags = cv.get("diagnostics").and_then(|d| d.as_array()).unwrap();
+        assert!(cdiags.iter().any(|d| d.get("code").and_then(|c| c.as_str()) == Some("SL013")));
+        // Method and body validation.
+        assert_eq!(svc.handle(&get("/v1/lint"), &CancelToken::never()).status, 405);
+        assert_eq!(svc.handle(&post("/v1/lint", "{}"), &CancelToken::never()).status, 400);
+    }
+
+    #[test]
+    fn equivalent_scripts_share_one_qor_cache_entry() {
+        let svc = service();
+        // A dedicated inline design keeps this test's cache keys disjoint
+        // from every other test sharing the global QorCache.
+        let verilog = "module canonprobe(input clk, input a, input b, output reg y); \
+                       always @(posedge clk) y <= a & b; endmodule";
+        let a = "create_clock -period 1.1 [get_ports clk]\nset_max_fanout 8\ncompile\nreport_qor\n";
+        let b = "# same constraints, different spelling\nlink\nset_max_fanout 16\n\
+                 set_max_fanout 8\ncreate_clock -period 1.1 [get_ports clk]\ncompile\n";
+        let req = |script: &str| {
+            post(
+                "/v1/eval",
+                &format!(
+                    "{{\"verilog\": {}, \"top\": \"canonprobe\", \"script\": {}}}",
+                    serde_json::to_string(&verilog).unwrap(),
+                    serde_json::to_string(&script).unwrap()
+                ),
+            )
+        };
+        let first = svc.handle(&req(a), &CancelToken::never());
+        assert_eq!(first.status, 200, "{}", String::from_utf8_lossy(&first.body));
+        let body = serde_json::parse_value(&format!(
+            "{{\"verilog\": {}, \"top\": \"canonprobe\"}}",
+            serde_json::to_string(&verilog).unwrap()
+        ))
+        .unwrap();
+        let design = ChatLsService::resolve_design(&body).unwrap();
+        let fp = crate::eval::design_fingerprint(&design);
+        // Script b was never evaluated, yet its canonical key is already
+        // resident: semantic canonicalization collapsed it onto a's entry.
+        assert!(
+            QorCache::global().contains(fp, b),
+            "equivalent script must map to the already-cached key"
+        );
+        let hits_before = QorCache::global().stats().hits;
+        let second = svc.handle(&req(b), &CancelToken::never());
+        assert_eq!(second.status, 200, "{}", String::from_utf8_lossy(&second.body));
+        assert!(
+            QorCache::global().stats().hits > hits_before,
+            "second eval must be served from the cache, not re-synthesized"
+        );
+        // And the responses carry bitwise-identical QoR.
+        let qa = serde_json::parse_value(&String::from_utf8(first.body).unwrap()).unwrap();
+        let qb = serde_json::parse_value(&String::from_utf8(second.body).unwrap()).unwrap();
+        let pick = |v: &serde::Value| {
+            serde_json::to_string(
+                v.get("results").and_then(|r| r.as_array()).unwrap()[0].get("qor").unwrap(),
+            )
+            .unwrap()
+        };
+        assert_eq!(pick(&qa), pick(&qb));
     }
 
     #[test]

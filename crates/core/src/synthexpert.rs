@@ -150,7 +150,7 @@ impl<'db> SynthExpert<'db> {
             // ordering hazards and redundancy — and repairs them statically,
             // before any simulated synthesis runs.
             let report = chatls_lint::lint_script(&commands.join("\n"));
-            if !report.is_clean() {
+            if report.has_mechanical_findings() {
                 let outcome = chatls_lint::repair_script(&commands.join("\n"));
                 commands = outcome.script.lines().map(str::to_string).collect();
                 chatls_obs::counter("core.synthexpert.lint_repairs")
@@ -161,6 +161,17 @@ impl<'db> SynthExpert<'db> {
                     report.error_count(),
                     report.warning_count()
                 ));
+            }
+            // Semantic findings (SL015+) have no mechanical rewrite; they
+            // ride along as retrieved evidence so later steps — and the
+            // trace consumer — see what the effect model proved about the
+            // draft (dead writes, inert reports, contradictory exceptions).
+            let semantic: Vec<&chatls_lint::Diagnostic> =
+                report.diagnostics.iter().filter(|d| !d.is_mechanical()).collect();
+            if !semantic.is_empty() {
+                chatls_obs::counter("core.synthexpert.semantic_findings")
+                    .add(semantic.len() as u64);
+                retrieved.extend(semantic.iter().map(|d| format!("scriptir: {d}")));
             }
             retrieved.sort();
             retrieved.dedup();

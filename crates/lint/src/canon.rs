@@ -1,0 +1,292 @@
+//! Prove-safe semantic canonicalization.
+//!
+//! [`canonical_script`] rewrites a script into a normal form such that two
+//! scripts with the same canonical text are *guaranteed* to produce
+//! bitwise-identical `(QoR, ok)` results on any design. The QorCache keys
+//! on exactly that pair, so every transform below is admissible iff it
+//! provably preserves it. The proof obligations, in order of application:
+//!
+//! 1. **Provability gate.** Every command must be documented, pass the
+//!    argument grammar, and satisfy the interpreter's literal runtime
+//!    checks (positive period, non-negative area, …). Otherwise we return
+//!    `None` and the caller falls back to textual canonicalization —
+//!    a script that may abort mid-run has an abort-point-dependent QoR we
+//!    cannot reason about. Commands that are spec-valid but can still fail
+//!    at runtime (library lookups, `optimize_registers` preconditions)
+//!    are allowed but act as **barriers**: nothing moves or vanishes in a
+//!    way that would change the state observed at a potential abort.
+//! 2. **Drop pure commands.** Aliases, reports, `check_design` and
+//!    `write` read state and emit log/artifact text; the cache stores
+//!    neither, and (being infallible once spec-checked) they cannot move
+//!    the abort point.
+//! 3. **Drop no-op rewrites.** A constraint write whose normalized value
+//!    equals the facet's current value (set by an earlier infallible
+//!    write, with no fallible write in between) leaves the state it reads
+//!    identical; exact-duplicate `set_false_path` appends are no-ops
+//!    because exception matching is set-like. Multicycle appends are
+//!    *never* deduplicated — their bonuses stack cumulatively.
+//! 4. **Drop dead writes.** An infallible overwrite is dead when a later
+//!    infallible write to the same facet overtakes it with no intervening
+//!    reader *and no intervening fallible command* (an abort between the
+//!    two would have exposed the earlier value to the final QoR read).
+//! 5. **Sort commutative runs.** Adjacent infallible constraint writes to
+//!    distinct facets commute: no reader or abort can observe the
+//!    intermediate order. Maximal such runs are stably sorted by rendered
+//!    text, with all timing-exception appends sharing one sort key so
+//!    their relative order (which multicycle stacking makes observable)
+//!    is preserved.
+//!
+//! A final fidelity check re-parses the rendered output and verifies it
+//! round-trips to the same command list, so parser/renderer corner cases
+//! degrade to `None` (textual fallback) rather than a wrong cache key.
+
+use crate::effects::{Facet, Kind};
+use crate::ir::{Inst, ScriptIr};
+use crate::render_command;
+use chatls_synth::script::{parse_script, Command};
+
+/// Canonicalizes parsed commands, or `None` when equivalence cannot be
+/// proven (unknown command, grammar violation, unprovable runtime check).
+pub fn canonical_commands(commands: &[Command]) -> Option<Vec<Command>> {
+    let ir = ScriptIr::lower(commands);
+    if !ir.fully_provable() {
+        return None;
+    }
+
+    // 2. Pure commands contribute nothing to (QoR, ok).
+    let mut insts: Vec<&Inst> = ir
+        .insts
+        .iter()
+        .filter(|i| matches!(i.sig.kind, Kind::Constraint | Kind::Optimize))
+        .collect();
+
+    // 3. No-op rewrites and duplicate set-like appends.
+    let mut value: [Option<String>; crate::effects::FACET_COUNT] = Default::default();
+    let mut false_paths: Vec<String> = Vec::new();
+    insts.retain(|inst| {
+        if inst.sig.fallible {
+            // Opaque write: forget what we knew about its facet.
+            for facet in inst.sig.writes.iter() {
+                value[facet as usize] = None;
+            }
+            return true;
+        }
+        if inst.cmd.name == "set_false_path" {
+            if let Some(v) = &inst.value {
+                if false_paths.contains(v) {
+                    return false;
+                }
+                false_paths.push(v.clone());
+            }
+            return true;
+        }
+        if inst.sig.kind == Kind::Constraint && !inst.sig.append {
+            let facet = inst.sig.writes.iter().next().expect("constraint writes one facet");
+            let slot = &mut value[facet as usize];
+            if inst.value.is_some() && *slot == inst.value {
+                return false;
+            }
+            *slot = inst.value.clone();
+        }
+        true
+    });
+
+    // 4. Dead writes, proven by a backward scan. `pending[f]` is Some(true)
+    // when a later infallible write to `f` is reachable without crossing a
+    // reader or a fallible command.
+    let mut pending: [Option<bool>; crate::effects::FACET_COUNT] = Default::default();
+    let mut keep = vec![true; insts.len()];
+    for (i, inst) in insts.iter().enumerate().rev() {
+        if inst.sig.fallible {
+            for p in pending.iter_mut().flatten() {
+                *p = false;
+            }
+        }
+        for facet in inst.sig.reads.iter() {
+            pending[facet as usize] = None;
+        }
+        for facet in inst.sig.writes.iter() {
+            if facet == Facet::Design || inst.sig.append {
+                continue;
+            }
+            if inst.sig.fallible {
+                pending[facet as usize] = None;
+            } else if pending[facet as usize] == Some(true) {
+                keep[i] = false;
+            } else {
+                pending[facet as usize] = Some(true);
+            }
+        }
+    }
+    let mut keep_iter = keep.into_iter();
+    insts.retain(|_| keep_iter.next().unwrap());
+
+    // 5. Stable-sort maximal runs of adjacent, infallible constraint writes.
+    let mut out: Vec<Command> = Vec::with_capacity(insts.len());
+    let mut run: Vec<&Inst> = Vec::new();
+    let flush = |run: &mut Vec<&Inst>, out: &mut Vec<Command>| {
+        run.sort_by_cached_key(|i| {
+            if i.sig.append {
+                // One shared key keeps every exception in relative order.
+                ("zz~exceptions".to_string(), String::new())
+            } else {
+                (i.cmd.name.clone(), render_command(&i.cmd))
+            }
+        });
+        out.extend(run.drain(..).map(|i| i.cmd.clone()));
+    };
+    for inst in &insts {
+        if inst.sig.kind == Kind::Constraint && !inst.sig.fallible {
+            run.push(inst);
+        } else {
+            flush(&mut run, &mut out);
+            out.push(inst.cmd.clone());
+        }
+    }
+    flush(&mut run, &mut out);
+
+    // Fidelity check: the rendered form must parse back to the same list
+    // (modulo source line numbers, which re-rendering legitimately moves).
+    let rendered: String = out.iter().map(|c| render_command(c) + "\n").collect();
+    let reparsed = parse_script(&rendered).ok()?;
+    if reparsed.len() != out.len() || reparsed.iter().zip(&out).any(|(a, b)| !same_command(a, b)) {
+        return None;
+    }
+    Some(out)
+}
+
+/// Structural equality of commands, ignoring source line numbers.
+fn same_command(a: &Command, b: &Command) -> bool {
+    use chatls_synth::script::Arg;
+    a.name == b.name
+        && a.args.len() == b.args.len()
+        && a.args.iter().zip(&b.args).all(|(x, y)| match (x, y) {
+            (Arg::Word(u), Arg::Word(v)) => u == v,
+            (Arg::Bracket(u), Arg::Bracket(v)) => same_command(u, v),
+            _ => false,
+        })
+}
+
+/// Canonicalizes a script source to normalized text, or `None` when
+/// equivalence cannot be proven. Two inputs mapping to the same output
+/// are guaranteed to produce bitwise-identical `(QoR, ok)` pairs.
+pub fn canonical_script(src: &str) -> Option<String> {
+    let commands = parse_script(src).ok()?;
+    let canon = canonical_commands(&commands)?;
+    Some(canon.iter().map(|c| render_command(c) + "\n").collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const CLK: &str = "create_clock -period 1.0 [get_ports clk]\n";
+
+    fn canon(src: &str) -> String {
+        canonical_script(src).expect("provable script")
+    }
+
+    #[test]
+    fn pure_commands_vanish() {
+        let a = format!("read_verilog x.v\nlink\n{CLK}compile\nreport_qor\nreport_timing\n");
+        let b = format!("{CLK}compile\n");
+        assert_eq!(canon(&a), canon(&b));
+    }
+
+    #[test]
+    fn adjacent_constraints_commute() {
+        let a = format!(
+            "{CLK}set_max_fanout 8\nset_input_delay 0.1 [all_inputs]\ncompile\nbalance_buffers\n"
+        );
+        let b = format!(
+            "set_input_delay 0.1 [all_inputs]\nset_max_fanout 8\n{CLK}compile\nbalance_buffers\n"
+        );
+        assert_eq!(canon(&a), canon(&b));
+    }
+
+    #[test]
+    fn dead_and_noop_writes_vanish() {
+        let a = format!("{CLK}set_max_fanout 16\nset_max_fanout 8\ncompile\n");
+        let b = format!("{CLK}set_max_fanout 8\nset_max_fanout 8\ncompile\n");
+        let c = format!("{CLK}set_max_fanout 8\ncompile\n");
+        assert_eq!(canon(&a), canon(&c));
+        assert_eq!(canon(&b), canon(&c));
+    }
+
+    #[test]
+    fn numeral_spelling_is_normalized_only_through_equality() {
+        // 0.20 and 0.2 write the same abstract value: the later is a no-op.
+        let a = format!(
+            "{CLK}set_input_delay 0.20 [all_inputs]\nset_input_delay 0.2 [all_inputs]\ncompile\n"
+        );
+        let b = format!("{CLK}set_input_delay 0.20 [all_inputs]\ncompile\n");
+        assert_eq!(canon(&a), canon(&b));
+    }
+
+    #[test]
+    fn readers_keep_writes_alive() {
+        let a = format!(
+            "{CLK}set_max_fanout 16\ncompile\nbalance_buffers\nset_max_fanout 8\nbalance_buffers\n"
+        );
+        assert!(canon(&a).contains("set_max_fanout 16"));
+        assert!(canon(&a).contains("set_max_fanout 8"));
+    }
+
+    #[test]
+    fn fallible_commands_are_barriers() {
+        // The wireload lookup could abort: the STA-visible delay written
+        // before it must survive even though a later write overtakes it.
+        let a = format!(
+            "{CLK}set_input_delay 0.1 [all_inputs]\nset_wire_load_model -name 5K_heavy_1k\n\
+             set_input_delay 0.2 [all_inputs]\ncompile\n"
+        );
+        assert!(canon(&a).contains("set_input_delay 0.1"));
+        assert!(canon(&a).contains("set_input_delay 0.2"));
+        // And nothing sorts across them.
+        let b = format!("{CLK}set_wire_load_model -name 5K_heavy_1k\nset_driving_cell -lib_cell INVX4\ncompile\n");
+        let c = format!("{CLK}set_driving_cell -lib_cell INVX4\nset_wire_load_model -name 5K_heavy_1k\ncompile\n");
+        assert_ne!(canon(&b), canon(&c));
+    }
+
+    #[test]
+    fn duplicate_false_paths_dedup_but_multicycles_stack() {
+        let a = format!("{CLK}set_false_path -from [get_ports clk]\nset_false_path -from [get_ports clk]\ncompile\n");
+        let b = format!("{CLK}set_false_path -from [get_ports clk]\ncompile\n");
+        assert_eq!(canon(&a), canon(&b));
+        let c = format!("{CLK}set_multicycle_path 2 -to q\nset_multicycle_path 2 -to q\ncompile\n");
+        let d = format!("{CLK}set_multicycle_path 2 -to q\ncompile\n");
+        assert_ne!(canon(&c), canon(&d), "multicycle bonuses stack; dedup would change QoR");
+    }
+
+    #[test]
+    fn exceptions_keep_relative_order() {
+        let a = format!("{CLK}set_multicycle_path 2 -to a\nset_multicycle_path 3 -to b\ncompile\n");
+        let b = format!("{CLK}set_multicycle_path 3 -to b\nset_multicycle_path 2 -to a\ncompile\n");
+        // Cumulative float application makes order observable: the two
+        // must NOT collapse to one key.
+        assert_ne!(canon(&a), canon(&b));
+    }
+
+    #[test]
+    fn unprovable_scripts_fall_back() {
+        assert!(canonical_script("frobnicate\ncompile\n").is_none());
+        assert!(canonical_script("create_clock -period -1 [get_ports clk]\ncompile\n").is_none());
+        assert!(canonical_script("create_clock [get_ports clk]\ncompile\n").is_none());
+        assert!(canonical_script("compile -map_effort ultra\n").is_none());
+    }
+
+    #[test]
+    fn canonicalization_is_idempotent() {
+        for src in [
+            format!(
+                "read_verilog x.v\n{CLK}set_max_fanout 16\nset_max_fanout 8\ncompile\nreport_qor\n"
+            ),
+            format!(
+                "{CLK}set_input_delay 0.1 [all_inputs]\nset_max_area 0\ncompile\nbalance_buffers\n"
+            ),
+        ] {
+            let once = canon(&src);
+            assert_eq!(canon(&once), once);
+        }
+    }
+}

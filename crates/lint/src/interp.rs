@@ -1,0 +1,485 @@
+//! Abstract interpretation over [`crate::ir::ScriptIr`]: the semantic
+//! rule family SL015–SL024.
+//!
+//! Where SL000–SL014 check each command against the manual's grammar,
+//! these rules walk the effect signatures and flag sequences that are
+//! well-formed but semantically inert or contradictory: constraints
+//! written and never read, reports of a design nothing has optimized yet,
+//! compiles that provably repeat a converged result, exceptions that
+//! cancel or stack against each other. Everything here is a *warning* —
+//! the tool runs all of these scripts; the results just aren't what the
+//! author meant.
+
+use crate::effects::{Facet, Kind, OPTIMIZER_ONLY_FACETS};
+use crate::ir::ScriptIr;
+use crate::{diag, Diagnostic, Severity};
+
+/// Per-facet record of the most recent overwrite-style write.
+#[derive(Debug, Clone)]
+struct LastWrite {
+    line: u32,
+    name: String,
+    value: Option<String>,
+    read: bool,
+}
+
+/// Facets where dead/redundant-write tracking applies. `Clock` and
+/// `MaxArea` are excluded — SL011 and SL012 already own those stories.
+const TRACKED: [Facet; 7] = [
+    Facet::InputDelay,
+    Facet::OutputDelay,
+    Facet::WireLoad,
+    Facet::DrivingCell,
+    Facet::CriticalRange,
+    Facet::MaxFanout,
+    Facet::GatingStyle,
+];
+
+fn slot(facet: Facet) -> Option<usize> {
+    TRACKED.iter().position(|&f| f == facet)
+}
+
+/// Effort rank of a compile-family command, for SL019. A later compile at
+/// a rank no higher than the previous one, with nothing changed between,
+/// re-runs an already-converged optimization.
+fn effort_rank(inst: &crate::ir::Inst) -> u32 {
+    match inst.cmd.name.as_str() {
+        "compile" => match inst.cmd.option("-map_effort") {
+            Some("low") => 0,
+            Some("high") => 2,
+            _ => 1,
+        },
+        "compile_ultra" => {
+            if inst.cmd.has_flag("-retime") {
+                4
+            } else {
+                3
+            }
+        }
+        _ => 0,
+    }
+}
+
+/// Parsed timing-exception record, from the abstract value string.
+#[derive(Debug, Clone, PartialEq)]
+enum Exception {
+    False { value: String, line: u32 },
+    Multicycle { to: String, line: u32 },
+}
+
+/// Runs the semantic rules over a lowered script.
+pub fn analyze(ir: &ScriptIr) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    let warn = |out: &mut Vec<Diagnostic>, code: &str, line: u32, msg: String, fix: &str| {
+        out.push(diag(code, Severity::Warning, line, msg, Some(fix.to_string())));
+    };
+
+    let mut clock_seen = false;
+    let mut last_write: [Option<LastWrite>; TRACKED.len()] = Default::default();
+    let mut opt_seen = false;
+    // (line, rank) of the previous compile, None once anything between
+    // them could change the result.
+    let mut converged_compile: Option<(u32, u32)> = None;
+    let mut hierarchy_flat: Option<&'static str> = None;
+    let mut exceptions: Vec<Exception> = Vec::new();
+
+    for inst in &ir.insts {
+        let line = inst.cmd.line;
+        let name = inst.cmd.name.as_str();
+
+        // Reads first: they keep earlier writes alive.
+        for facet in inst.sig.reads.iter() {
+            if let Some(Some(lw)) = slot(facet).map(|s| last_write[s].as_mut()) {
+                lw.read = true;
+            }
+        }
+
+        if !inst.known {
+            // Opaque command: anything it might do, assume it did.
+            clock_seen = true;
+            opt_seen = true;
+            converged_compile = None;
+            hierarchy_flat = None;
+            last_write = Default::default();
+            continue;
+        }
+
+        match name {
+            "create_clock" => clock_seen = true,
+            "set_input_delay" | "set_output_delay" if !clock_seen => warn(
+                &mut out,
+                "SL015",
+                line,
+                format!("{name} constrains paths relative to a clock that is not defined yet"),
+                "define the clock with create_clock -period <ns> first",
+            ),
+            "compile" | "compile_ultra" => {
+                let rank = effort_rank(inst);
+                if let Some((prev_line, prev_rank)) = converged_compile {
+                    if rank <= prev_rank {
+                        warn(
+                            &mut out,
+                            "SL019",
+                            line,
+                            format!(
+                                "{name} re-runs with nothing changed since the compile at line \
+                                 {prev_line}; the optimizer has already converged at this effort"
+                            ),
+                            "remove it, or change a constraint between the two compiles",
+                        );
+                    }
+                }
+                converged_compile = Some((line, rank));
+                if name == "compile_ultra" && !inst.cmd.has_flag("-no_autoungroup") {
+                    hierarchy_flat = Some("compile_ultra auto-ungrouped it");
+                }
+            }
+            "ungroup" => {
+                if let Some(why) = hierarchy_flat {
+                    warn(
+                        &mut out,
+                        "SL024",
+                        line,
+                        format!("ungroup finds no hierarchy to dissolve ({why})"),
+                        "remove the redundant ungroup",
+                    );
+                }
+                hierarchy_flat = Some("an earlier ungroup -all flattened it");
+            }
+            "set_false_path" | "set_multicycle_path" => {
+                lint_exception(inst, &mut exceptions, &mut out);
+            }
+            _ if inst.sig.kind == Kind::Report && name.starts_with("report_") && !opt_seen => {
+                warn(
+                    &mut out,
+                    "SL017",
+                    line,
+                    format!("{name} runs before any optimization pass: it reports the raw, unoptimized design"),
+                    "move the report after the first compile",
+                );
+            }
+            _ => {}
+        }
+
+        if inst.sig.kind == Kind::Optimize {
+            opt_seen = true;
+            // Any design mutation other than the compile itself
+            // invalidates the "already converged" claim.
+            if !matches!(name, "compile" | "compile_ultra") {
+                converged_compile = None;
+            }
+        }
+
+        // Writes last: dead/redundant detection, then state update.
+        for facet in inst.sig.writes.iter() {
+            if inst.sig.kind == Kind::Constraint && !inst.sig.append {
+                converged_compile = None;
+            }
+            let Some(s) = slot(facet) else { continue };
+            if inst.sig.append {
+                continue;
+            }
+            if let Some(prev) = &last_write[s] {
+                if prev.value.is_some() && prev.value == inst.value {
+                    warn(
+                        &mut out,
+                        "SL018",
+                        line,
+                        format!(
+                            "{name} rewrites the {} with the same value it already has \
+                             (set at line {})",
+                            facet.describe(),
+                            prev.line
+                        ),
+                        "remove the redundant command",
+                    );
+                } else if !prev.read {
+                    warn(
+                        &mut out,
+                        "SL016",
+                        prev.line,
+                        format!(
+                            "{} at line {} is dead: line {line} overwrites the {} before \
+                             anything reads it",
+                            prev.name,
+                            prev.line,
+                            facet.describe()
+                        ),
+                        "remove the dead write or move a compile between the two",
+                    );
+                }
+            }
+            last_write[s] = Some(LastWrite {
+                line,
+                name: name.to_string(),
+                value: inst.value.clone(),
+                read: false,
+            });
+        }
+    }
+
+    // End-of-run: the final QoR analysis reads every STA-visible facet,
+    // but optimizer-only knobs written after the last optimization pass
+    // can never take effect (SL021).
+    for facet in OPTIMIZER_ONLY_FACETS.iter() {
+        if let Some(Some(lw)) = slot(facet).map(|s| &last_write[s]) {
+            if !lw.read {
+                warn(
+                    &mut out,
+                    "SL021",
+                    lw.line,
+                    format!(
+                        "{} sets the {} after the last command that could read it; \
+                         it can never take effect",
+                        lw.name,
+                        facet.describe()
+                    ),
+                    "move it before the final optimization pass, or remove it",
+                );
+            }
+        }
+    }
+
+    // SL022: design mutations after the last report are invisible to
+    // every report the script prints.
+    if let Some(last_report) = ir
+        .insts
+        .iter()
+        .rposition(|i| i.known && i.sig.kind == Kind::Report && i.cmd.name.starts_with("report_"))
+    {
+        for inst in &ir.insts[last_report + 1..] {
+            if inst.known && inst.sig.kind == Kind::Optimize {
+                warn(
+                    &mut out,
+                    "SL022",
+                    inst.cmd.line,
+                    format!(
+                        "{} mutates the design after the last report; no report in the \
+                         script reflects its effect",
+                        inst.cmd.name
+                    ),
+                    "add a report after it, or move it before the existing reports",
+                );
+            }
+        }
+    }
+
+    out
+}
+
+/// SL020/SL023 over the accumulating exception list.
+///
+/// False-path matching is set-like (`.any()` over the list), so an exact
+/// duplicate is provably redundant (SL023). Multicycle bonuses are
+/// applied *cumulatively* — once per matching exception — so a repeated
+/// multicycle to the same endpoint silently stacks, and a multicycle on
+/// an endpoint a false path already excludes contradicts it (SL020).
+fn lint_exception(
+    inst: &crate::ir::Inst,
+    exceptions: &mut Vec<Exception>,
+    out: &mut Vec<Diagnostic>,
+) {
+    let line = inst.cmd.line;
+    let warn = |out: &mut Vec<Diagnostic>, code: &str, msg: String, fix: &str| {
+        out.push(diag(code, Severity::Warning, line, msg, Some(fix.to_string())));
+    };
+    if inst.cmd.name == "set_false_path" {
+        let value = inst.value.clone().unwrap_or_default();
+        let to = inst.cmd.option("-to").unwrap_or_default().to_string();
+        if exceptions.iter().any(|e| matches!(e, Exception::False { value: v, .. } if *v == value))
+        {
+            warn(
+                out,
+                "SL023",
+                "duplicate set_false_path: exception matching is set-like, so repeating it \
+                 changes nothing"
+                    .into(),
+                "remove the duplicate exception",
+            );
+        }
+        if !to.is_empty() {
+            if let Some(Exception::Multicycle { line: ml, .. }) = exceptions
+                .iter()
+                .find(|e| matches!(e, Exception::Multicycle { to: t, .. } if *t == to))
+            {
+                warn(
+                    out,
+                    "SL020",
+                    format!(
+                        "set_false_path -to {to} contradicts the multicycle path to the same \
+                         endpoint (line {ml}): false paths are excluded from timing entirely"
+                    ),
+                    "keep either the false path or the multicycle, not both",
+                );
+            }
+        }
+        exceptions.push(Exception::False { value, line });
+    } else {
+        let Some(to) = inst.cmd.option("-to").map(str::to_string) else { return };
+        if let Some(Exception::Multicycle { line: ml, .. }) =
+            exceptions.iter().find(|e| matches!(e, Exception::Multicycle { to: t, .. } if *t == to))
+        {
+            warn(
+                out,
+                "SL020",
+                format!(
+                    "multicycle bonuses apply cumulatively: this stacks on the multicycle \
+                     path to '{to}' at line {ml} instead of replacing it"
+                ),
+                "keep a single set_multicycle_path per endpoint",
+            );
+        }
+        if let Some(Exception::False { line: fl, .. }) = exceptions.iter().find(
+            |e| matches!(e, Exception::False { value: v, .. } if v.ends_with(&format!(":to={to}")) && !to.is_empty()),
+        ) {
+            warn(
+                out,
+                "SL020",
+                format!(
+                    "set_multicycle_path -to {to} contradicts the false path to the same \
+                     endpoint (line {fl}): those paths are excluded from timing entirely"
+                ),
+                "keep either the false path or the multicycle, not both",
+            );
+        }
+        exceptions.push(Exception::Multicycle { to, line });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use chatls_synth::script::parse_script;
+
+    fn codes(src: &str) -> Vec<String> {
+        analyze(&ScriptIr::lower(&parse_script(src).unwrap())).into_iter().map(|d| d.code).collect()
+    }
+
+    const CLK: &str = "create_clock -period 1.0 [get_ports clk]\n";
+
+    #[test]
+    fn sl015_use_before_def() {
+        assert!(codes("set_input_delay 0.2 [all_inputs]\n").contains(&"SL015".into()));
+        let ok = format!("{CLK}set_input_delay 0.2 [all_inputs]\ncompile\n");
+        assert!(!codes(&ok).contains(&"SL015".into()));
+    }
+
+    #[test]
+    fn sl016_dead_write() {
+        let src = format!(
+            "{CLK}set_input_delay 0.1 [all_inputs]\nset_input_delay 0.2 [all_inputs]\ncompile\n"
+        );
+        let found = analyze(&ScriptIr::lower(&parse_script(&src).unwrap()));
+        let dead = found.iter().find(|d| d.code == "SL016").expect("dead write");
+        assert_eq!(dead.line, 2, "flags the overwritten write");
+        // A compile between the writes reads the first one: both live.
+        let src = format!(
+            "{CLK}set_input_delay 0.1 [all_inputs]\ncompile\nset_input_delay 0.2 [all_inputs]\n"
+        );
+        assert!(!codes(&src).contains(&"SL016".into()));
+    }
+
+    #[test]
+    fn sl017_report_before_any_optimization() {
+        let src = format!("{CLK}report_qor\ncompile\n");
+        assert!(codes(&src).contains(&"SL017".into()));
+        let src = format!("{CLK}compile\nreport_qor\n");
+        assert!(!codes(&src).contains(&"SL017".into()));
+    }
+
+    #[test]
+    fn sl018_redundant_rewrite() {
+        let src = format!("{CLK}set_max_fanout 8\nset_max_fanout 8\ncompile\nbalance_buffers\n");
+        assert!(codes(&src).contains(&"SL018".into()));
+        // Numerically equal spellings count.
+        let src = format!("{CLK}set_critical_range 0.20\nset_critical_range 0.2\ncompile\n");
+        assert!(codes(&src).contains(&"SL018".into()));
+        let src = format!("{CLK}set_max_fanout 8\nset_max_fanout 16\ncompile\nbalance_buffers\n");
+        assert!(!codes(&src).contains(&"SL018".into()));
+    }
+
+    #[test]
+    fn sl019_repeat_compile_without_changes() {
+        let src = format!("{CLK}compile\ncompile\n");
+        assert!(codes(&src).contains(&"SL019".into()));
+        // Higher effort is a different computation.
+        let src = format!("{CLK}compile\ncompile -map_effort high\n");
+        assert!(!codes(&src).contains(&"SL019".into()));
+        // A constraint change between them re-arms the optimizer.
+        let src = format!("{CLK}compile\nset_max_area 0\ncompile\n");
+        assert!(!codes(&src).contains(&"SL019".into()));
+        // So does another design mutation.
+        let src = format!("{CLK}compile\nbalance_buffers\ncompile\n");
+        assert!(!codes(&src).contains(&"SL019".into()));
+    }
+
+    #[test]
+    fn sl020_contradictory_exceptions() {
+        let src =
+            format!("{CLK}set_multicycle_path 2 -to q\nset_multicycle_path 2 -to q\ncompile\n");
+        assert!(codes(&src).contains(&"SL020".into()));
+        let src = format!("{CLK}set_false_path -to q\nset_multicycle_path 2 -to q\ncompile\n");
+        assert!(codes(&src).contains(&"SL020".into()));
+        let src =
+            format!("{CLK}set_multicycle_path 2 -to q\nset_multicycle_path 2 -to other\ncompile\n");
+        assert!(!codes(&src).contains(&"SL020".into()));
+    }
+
+    #[test]
+    fn sl021_post_compile_write_never_read() {
+        let src = format!("{CLK}compile\nset_max_fanout 8\n");
+        assert!(codes(&src).contains(&"SL021".into()));
+        let src = format!("{CLK}set_max_fanout 8\ncompile\nbalance_buffers\n");
+        assert!(!codes(&src).contains(&"SL021".into()));
+        // STA-visible facets are read by the final QoR analysis: live.
+        let src = format!("{CLK}compile\nset_output_delay 0.2 [all_outputs]\n");
+        assert!(!codes(&src).contains(&"SL021".into()));
+    }
+
+    #[test]
+    fn sl022_mutation_after_last_report() {
+        let src = format!("{CLK}compile\nreport_qor\ncompile -map_effort high\n");
+        assert!(codes(&src).contains(&"SL022".into()));
+        let src = format!("{CLK}compile\ncompile -map_effort high\nreport_qor\n");
+        assert!(!codes(&src).contains(&"SL022".into()));
+    }
+
+    #[test]
+    fn sl023_duplicate_false_path() {
+        let src = format!("{CLK}set_false_path -from [get_ports clk]\nset_false_path -from [get_ports clk]\ncompile\n");
+        assert!(codes(&src).contains(&"SL023".into()));
+        let src = format!("{CLK}set_false_path -from [get_ports a]\nset_false_path -from [get_ports b]\ncompile\n");
+        assert!(!codes(&src).contains(&"SL023".into()));
+    }
+
+    #[test]
+    fn sl024_redundant_ungroup() {
+        let src = format!("{CLK}ungroup -all\nungroup -all\ncompile\n");
+        assert!(codes(&src).contains(&"SL024".into()));
+        let src = format!("{CLK}compile_ultra\nungroup -all\n");
+        assert!(codes(&src).contains(&"SL024".into()));
+        // -no_autoungroup preserves hierarchy: the ungroup is meaningful.
+        let src = format!("{CLK}compile_ultra -no_autoungroup\nungroup -all\n");
+        assert!(!codes(&src).contains(&"SL024".into()));
+    }
+
+    #[test]
+    fn unknown_commands_suppress_speculation() {
+        // An opaque command between the writes could read the first one.
+        let src = format!(
+            "{CLK}set_max_fanout 8\nfrobnicate\nset_max_fanout 16\ncompile\nbalance_buffers\n"
+        );
+        let found = codes(&src);
+        assert!(!found.contains(&"SL016".into()));
+        assert!(!found.contains(&"SL021".into()));
+    }
+
+    #[test]
+    fn clean_pipeline_shape_stays_quiet() {
+        let src = format!(
+            "{CLK}set_input_delay 0.05 [all_inputs]\nset_max_area 0\nset_max_fanout 10\n\
+             compile -map_effort high\nbalance_buffers\nreport_qor\nreport_timing\n"
+        );
+        assert!(codes(&src).is_empty(), "{:?}", codes(&src));
+    }
+}

@@ -1,0 +1,139 @@
+//! ScriptIR: a typed intermediate representation for synthesis scripts.
+//!
+//! Lowering attaches to every parsed [`Command`] its declared effect
+//! signature ([`crate::effects::EffectSig`]), the abstract value it writes
+//! (when one can be read off the literal arguments), and a *provability*
+//! verdict: whether the command is statically guaranteed to execute
+//! without error. The abstract interpreter ([`crate::interp`]) and the
+//! canonicalizer ([`crate::canon`]) both run over this IR instead of raw
+//! commands, so the effect model lives in exactly one place.
+
+use crate::effects::{
+    abstract_value, effect_sig, provably_infallible, EffectSig, FacetSet, Kind, ALL_FACETS,
+};
+use chatls_synth::script::Command;
+use chatls_synth::tool::command_spec;
+
+/// One lowered instruction.
+#[derive(Debug, Clone)]
+pub struct Inst {
+    /// The underlying parsed command.
+    pub cmd: Command,
+    /// Declared effect signature. Undocumented commands get a
+    /// clobber-everything signature so positional analyses stay sound.
+    pub sig: EffectSig,
+    /// Normalized abstract value for constraint writes (`None` when the
+    /// command writes nothing or the value is opaque).
+    pub value: Option<String>,
+    /// True when the tool manual documents this command.
+    pub known: bool,
+    /// True when the command is statically proven to run without error:
+    /// its arguments satisfy the manual's grammar *and* the runtime
+    /// checks the interpreter performs on literal values.
+    pub provable: bool,
+}
+
+/// A lowered script.
+#[derive(Debug, Clone, Default)]
+pub struct ScriptIr {
+    /// One instruction per command, in script order.
+    pub insts: Vec<Inst>,
+}
+
+impl ScriptIr {
+    /// Lowers parsed commands into the IR.
+    pub fn lower(commands: &[Command]) -> ScriptIr {
+        let all = FacetSet::of(&ALL_FACETS);
+        let mut ir = ScriptIr::default();
+        for cmd in commands {
+            let Some(sig) = effect_sig(cmd) else {
+                // Unknown command: assume it reads and clobbers everything
+                // and can fail, so every "nothing between" argument over
+                // this script conservatively breaks here.
+                ir.insts.push(Inst {
+                    cmd: cmd.clone(),
+                    sig: EffectSig {
+                        reads: all,
+                        writes: all,
+                        kind: Kind::Optimize,
+                        fallible: true,
+                        append: false,
+                    },
+                    value: None,
+                    known: false,
+                    provable: false,
+                });
+                continue;
+            };
+            let args_valid = match command_spec(&cmd.name) {
+                Some(spec) => {
+                    let mut diags = Vec::new();
+                    crate::lint_args(cmd, spec, &mut diags);
+                    diags.is_empty()
+                }
+                // Aliases without a spec accept anything.
+                None => true,
+            };
+            let provable = args_valid && (provably_infallible(cmd) || sig.fallible);
+            ir.insts.push(Inst {
+                cmd: cmd.clone(),
+                sig,
+                value: abstract_value(cmd),
+                known: true,
+                provable,
+            });
+        }
+        ir
+    }
+
+    /// True when every command is documented and provably runnable —
+    /// fallible commands (library lookups, design-state preconditions)
+    /// count as provable *to start*; they act as barriers downstream.
+    pub fn fully_provable(&self) -> bool {
+        self.insts.iter().all(|i| i.known && i.provable)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use chatls_synth::script::parse_script;
+
+    fn lower(src: &str) -> ScriptIr {
+        ScriptIr::lower(&parse_script(src).unwrap())
+    }
+
+    #[test]
+    fn lowering_attaches_signatures_and_values() {
+        let ir = lower("create_clock -period 1.5 [get_ports clk]\nset_max_fanout 8\ncompile\n");
+        assert!(ir.fully_provable());
+        assert_eq!(ir.insts.len(), 3);
+        assert_eq!(ir.insts[1].value.as_deref(), Some("8"));
+        assert!(ir.insts[2].value.is_none());
+    }
+
+    #[test]
+    fn unknown_commands_poison_provability() {
+        let ir = lower("create_clock -period 1.5 [get_ports clk]\nfrobnicate\n");
+        assert!(!ir.insts[1].known);
+        assert!(ir.insts[1].sig.fallible, "unknown commands are opaque barriers");
+        assert!(!ir.fully_provable());
+    }
+
+    #[test]
+    fn grammar_violations_poison_provability() {
+        // Missing required -period: the tool aborts at runtime.
+        let ir = lower("create_clock [get_ports clk]\n");
+        assert!(!ir.fully_provable());
+        // Spec-valid but runtime-invalid literal (negative period).
+        let ir = lower("create_clock -period -2 [get_ports clk]\n");
+        assert!(!ir.fully_provable());
+    }
+
+    #[test]
+    fn fallible_commands_are_provable_to_start_but_marked() {
+        let ir = lower("set_wire_load_model -name 5K_heavy_1k\n");
+        assert!(ir.fully_provable());
+        assert!(ir.insts[0].sig.fallible);
+    }
+}

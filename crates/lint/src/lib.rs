@@ -29,6 +29,31 @@
 //! | SL013 | warning  | `[get_ports …]` names a port the design lacks |
 //! | SL014 | error    | required option missing (`create_clock` without `-period`) |
 //!
+//! # Semantic rules (ScriptIR)
+//!
+//! Rules SL015–SL024 come from abstract interpretation over the effect
+//! model in [`effects`]: every command declares which facets of the
+//! abstract tool state it reads and writes, and the interpreter in
+//! [`interp`] walks the lowered [`ir::ScriptIr`] to find sequences that
+//! are grammatically fine but semantically inert or contradictory.
+//!
+//! | code  | severity | meaning |
+//! |-------|----------|---------|
+//! | SL015 | warning  | input/output delay set before any create_clock |
+//! | SL016 | warning  | dead write: constraint overwritten before anything reads it |
+//! | SL017 | warning  | report before any optimization pass (reports the raw netlist) |
+//! | SL018 | warning  | rewrite with the value the facet already has |
+//! | SL019 | warning  | repeat compile with unchanged constraints and design |
+//! | SL020 | warning  | contradictory exceptions (stacking multicycles, false+multicycle) |
+//! | SL021 | warning  | optimizer-only knob written after the last pass that could read it |
+//! | SL022 | warning  | design mutated after the last report |
+//! | SL023 | warning  | exact-duplicate false path (exception matching is set-like) |
+//! | SL024 | warning  | ungroup when the hierarchy is already flat |
+//!
+//! The same effect model powers prove-safe semantic canonicalization
+//! ([`canonical_script`]), and `chatls lint --explain <CODE>` prints the
+//! registered rationale/example/fix for every rule ([`explain_rule`]).
+//!
 //! Netlist issues from [`chatls_verilog::netlist::Netlist::lint`] surface
 //! through [`lint_netlist`] under their `NL0xx` codes (NL001 multiple
 //! drivers, NL002 floating net, NL003 combinational loop, NL004 dead
@@ -59,6 +84,15 @@ use chatls_synth::tool::{accepted_commands, command_spec, CommandSpec, ValueKind
 use chatls_verilog::netlist::Netlist;
 use serde::{Deserialize, Serialize};
 use std::fmt;
+
+pub mod canon;
+pub mod effects;
+mod explain;
+pub mod interp;
+pub mod ir;
+
+pub use canon::{canonical_commands, canonical_script};
+pub use explain::{all_rule_codes, explain_rule, RuleExplanation};
 
 /// How serious a diagnostic is.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Serialize, Deserialize)]
@@ -91,6 +125,20 @@ pub struct Diagnostic {
     pub message: String,
     /// Concrete fix, when one is known.
     pub suggestion: Option<String>,
+}
+
+impl Diagnostic {
+    /// True for the grammar/pattern rules (SL000–SL014) that
+    /// [`repair_script`] can fix mechanically, and for netlist rules.
+    /// The semantic family (SL015–SL024) flags intent rather than
+    /// malformed syntax: those findings have no one mechanical rewrite,
+    /// so repair loops must not trigger on them.
+    pub fn is_mechanical(&self) -> bool {
+        match self.code.strip_prefix("SL").and_then(|n| n.parse::<u32>().ok()) {
+            Some(n) => n <= 14,
+            None => true,
+        }
+    }
 }
 
 impl fmt::Display for Diagnostic {
@@ -133,6 +181,14 @@ impl LintReport {
     /// True when there are no findings at all.
     pub fn is_clean(&self) -> bool {
         self.diagnostics.is_empty()
+    }
+
+    /// True when any mechanically-repairable finding is present (see
+    /// [`Diagnostic::is_mechanical`]). The SynthExpert repair loop keys
+    /// on this rather than [`Self::is_clean`], so semantic advisories
+    /// never perturb a script the repairer has nothing to do for.
+    pub fn has_mechanical_findings(&self) -> bool {
+        self.diagnostics.iter().any(Diagnostic::is_mechanical)
     }
 }
 
@@ -182,15 +238,19 @@ pub fn lint_script_for_design(src: &str, netlist: &Netlist) -> LintReport {
 fn lint_script_inner(src: &str, netlist: Option<&Netlist>) -> LintReport {
     match parse_script(src) {
         Ok(commands) => lint_commands(&commands, netlist),
-        Err(e) => LintReport {
-            diagnostics: vec![diag(
-                "SL000",
-                Severity::Error,
-                e.line,
-                format!("syntax error: {}", e.message),
-                None,
-            )],
-        },
+        Err(e) => {
+            chatls_obs::counter("core.lint.runs").inc();
+            chatls_obs::counter("core.lint.errors").inc();
+            LintReport {
+                diagnostics: vec![diag(
+                    "SL000",
+                    Severity::Error,
+                    e.line,
+                    format!("syntax error: {}", e.message),
+                    None,
+                )],
+            }
+        }
     }
 }
 
@@ -315,8 +375,15 @@ pub fn lint_commands(commands: &[Command], netlist: Option<&Netlist>) -> LintRep
             ));
         }
     }
+    // Semantic pass: effect-model abstract interpretation (SL015–SL024).
+    out.extend(interp::analyze(&ir::ScriptIr::lower(commands)));
+
     out.sort_by_key(|d| d.line);
-    LintReport { diagnostics: out }
+    let report = LintReport { diagnostics: out };
+    chatls_obs::counter("core.lint.runs").inc();
+    chatls_obs::counter("core.lint.errors").add(report.error_count() as u64);
+    chatls_obs::counter("core.lint.warnings").add(report.warning_count() as u64);
+    report
 }
 
 /// Checks one command's flags, option values and positionals against its
@@ -926,7 +993,9 @@ fn repair_args(cmd: &mut Command, spec: &CommandSpec, fixes: &mut Vec<String>) -
 
 /// Renders a parsed command back to script text.
 pub fn render_command(cmd: &Command) -> String {
-    let mut out = cmd.name.clone();
+    // A brace-quoted first word parses as the command name, so a name
+    // with metacharacters needs the same re-quoting as any argument.
+    let mut out = render_arg(&Arg::Word(cmd.name.clone()));
     for arg in &cmd.args {
         out.push(' ');
         out.push_str(&render_arg(arg));
@@ -936,12 +1005,34 @@ pub fn render_command(cmd: &Command) -> String {
 
 fn render_arg(arg: &Arg) -> String {
     match arg {
-        Arg::Word(w) if w.is_empty() || w.chars().any(char::is_whitespace) => {
-            format!("{{{w}}}")
+        Arg::Word(w) if needs_quoting(w) => {
+            if !w.contains('}') {
+                // Brace quoting is verbatim: everything up to the first
+                // unescaped '}' is the word, so any '}'‑free word survives.
+                format!("{{{w}}}")
+            } else if !w.contains('"') {
+                format!("\"{w}\"")
+            } else {
+                // A word with both '}' and '"' has no faithful quoting in
+                // this Tcl subset; emit it bare. canon's fidelity check
+                // turns any resulting drift into a fallback, never a
+                // wrong cache key.
+                w.clone()
+            }
         }
         Arg::Word(w) => w.clone(),
         Arg::Bracket(c) => format!("[{}]", render_command(c)),
     }
+}
+
+/// Words that would change meaning if rendered bare: empty words,
+/// whitespace (word splitting), `[`/`]` (command substitution), `#`
+/// (comment start at depth 0), `;` (command separator), quotes and
+/// braces (quoting operators).
+fn needs_quoting(w: &str) -> bool {
+    w.is_empty()
+        || w.chars().any(char::is_whitespace)
+        || w.contains(['[', ']', '#', ';', '"', '{', '}'])
 }
 
 /// Nearest enum choice for an invalid value. When nothing is plausibly a

@@ -49,6 +49,31 @@ fn disabled_context_records_nothing() {
     assert!(doc.get("spans").and_then(|v| v.as_array()).is_some_and(|s| s.is_empty()));
 }
 
+/// The lint counters are part of the `chatls.telemetry.v1` surface: one
+/// lint run must show up in both the JSON document and the plain-text
+/// `/metrics` exposition under stable names.
+#[test]
+fn lint_counters_are_schema_stable_in_telemetry_and_metrics() {
+    // Drive the linter once so every counter in the family has a value
+    // (one run, one error-severity and several warning findings).
+    chatls_lint::lint_script("compile\nreport_qor\n");
+    let ctx = ObsCtx::new();
+    ctx.set_quiet(true);
+    let doc = serde_json::parse_value(&ctx.telemetry_json()).expect("valid JSON");
+    let counters = doc.get("counters").expect("counters object");
+    for name in ["core.lint.runs", "core.lint.errors", "core.lint.warnings"] {
+        let v = counters.get(name).and_then(|v| v.as_u64());
+        assert!(v.is_some(), "counter '{name}' missing from telemetry document");
+        if name != "core.lint.warnings" {
+            assert!(v.unwrap() > 0, "counter '{name}' must have recorded the lint run");
+        }
+    }
+    let plain = chatls_obs::render_metrics_plain();
+    for name in ["core.lint.runs", "core.lint.errors", "core.lint.warnings"] {
+        assert!(plain.contains(name), "'{name}' missing from /metrics exposition:\n{plain}");
+    }
+}
+
 #[test]
 fn telemetry_document_is_schema_stable_in_process() {
     let design = chatls_designs::by_name("dynamic_node").expect("benchmark");

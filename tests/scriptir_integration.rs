@@ -1,0 +1,202 @@
+//! ScriptIR end-to-end contracts.
+//!
+//! - **Differential canonicalization oracle.** Semantic canonicalization
+//!   ([`chatls_lint::canonical_script`]) claims that collapsing a script
+//!   to its canonical form preserves the `(QoR, ok)` pair bitwise — the
+//!   QorCache keys on exactly that claim. This suite *runs* original and
+//!   canonical forms (plus mechanically-derived equivalent variants) on
+//!   every benchmark design and compares the results bit for bit.
+//! - **Repair idempotence.** `repair_script` applied twice must equal
+//!   applying it once, byte for byte, on pipeline scripts and on random
+//!   script-shaped soup.
+//! - **Render fixpoint.** parse → render → parse must reach a fixpoint:
+//!   the reparse is structurally identical and a second render is
+//!   byte-identical.
+
+use chatls::eval::{run_script_in, session_template};
+use chatls::pipeline::{baseline_script, prepare_task, ChatLs};
+use chatls::{DbConfig, ExpertDatabase};
+use chatls_lint::{canonical_script, render_command, repair_script};
+use chatls_synth::script::{parse_script, Arg, Command};
+use proptest::prelude::*;
+use std::sync::OnceLock;
+
+fn db() -> &'static ExpertDatabase {
+    static DB: OnceLock<ExpertDatabase> = OnceLock::new();
+    DB.get_or_init(|| ExpertDatabase::build(&DbConfig::quick()))
+}
+
+/// Structural command equality, ignoring source line numbers (which
+/// rendering legitimately reassigns).
+fn same_command(a: &Command, b: &Command) -> bool {
+    a.name == b.name
+        && a.args.len() == b.args.len()
+        && a.args.iter().zip(&b.args).all(|(x, y)| match (x, y) {
+            (Arg::Word(u), Arg::Word(v)) => u == v,
+            (Arg::Bracket(u), Arg::Bracket(v)) => same_command(u, v),
+            _ => false,
+        })
+}
+
+/// Textually-distinct variants that the canonicalizer must prove
+/// equivalent to `src`: comments, blank lines, pure alias commands, and
+/// trailing pure reports change nothing the tool-state model can see.
+fn equivalent_variants(src: &str) -> Vec<String> {
+    vec![
+        format!("# regenerated header\nread_verilog design.v\nlink\n{src}"),
+        format!("{src}\nreport_qor\nreport_timing\n"),
+        src.lines().map(|l| format!("{l}\n# trailing note\n")).collect(),
+    ]
+}
+
+/// The oracle: whenever the canonicalizer claims two scripts are the
+/// same (equal canonical text), running both must produce bitwise
+/// identical `(QoR, ok)`. Checked for original-vs-canonical and for the
+/// mechanical variants, across the full benchmark catalog.
+#[test]
+fn canonicalization_preserves_qor_bitwise_across_the_catalog() {
+    let chatls = ChatLs::new(db());
+    let mut proved = 0usize;
+    for design in chatls_designs::benchmarks() {
+        let template = session_template(&design);
+        let task = prepare_task(&design, "optimize timing at the fixed clock");
+        let pipeline = chatls.customize(&design, &task, 0).script().to_string();
+        for script in [baseline_script(design.default_period), pipeline] {
+            let Some(canon) = canonical_script(&script) else {
+                continue; // unprovable scripts fall back to textual keys
+            };
+            let reference = run_script_in(&template, &script);
+            let canonical = run_script_in(&template, &canon);
+            assert_eq!(
+                reference, canonical,
+                "{}: canonical form diverged\noriginal:\n{script}\ncanonical:\n{canon}",
+                design.name
+            );
+            proved += 1;
+            for variant in equivalent_variants(&script) {
+                assert_eq!(
+                    canonical_script(&variant).as_deref(),
+                    Some(canon.as_str()),
+                    "{}: variant must collapse to the same canonical text\n{variant}",
+                    design.name
+                );
+                let run = run_script_in(&template, &variant);
+                assert_eq!(reference, run, "{}: variant QoR diverged\n{variant}", design.name);
+            }
+        }
+    }
+    assert!(proved >= 7, "oracle exercised only {proved} provable scripts — gate regressed?");
+}
+
+/// `repair_script` is idempotent on everything the pipeline emits.
+#[test]
+fn repair_is_idempotent_across_the_catalog() {
+    let chatls = ChatLs::new(db());
+    for design in chatls_designs::benchmarks() {
+        let task = prepare_task(&design, "optimize timing at the fixed clock");
+        for seed in 0..2 {
+            let script = chatls.customize(&design, &task, seed).script().to_string();
+            // Both the clean script and a deliberately damaged cousin.
+            for src in [script.clone(), format!("compile -map_effort ultra\n{script}frobnicate\n")]
+            {
+                let once = repair_script(&src);
+                let twice = repair_script(&once.script);
+                assert_eq!(
+                    twice.script, once.script,
+                    "{} seed {seed}: repair not idempotent on:\n{src}",
+                    design.name
+                );
+            }
+        }
+    }
+}
+
+/// parse → render → parse is a fixpoint on every catalog script: the
+/// reparse matches structurally and a second render is byte-identical.
+#[test]
+fn parse_render_parse_is_a_fixpoint_on_catalog_scripts() {
+    let chatls = ChatLs::new(db());
+    for design in chatls_designs::benchmarks() {
+        let task = prepare_task(&design, "optimize timing at the fixed clock");
+        let mut scripts = vec![baseline_script(design.default_period)];
+        scripts.push(chatls.customize(&design, &task, 0).script().to_string());
+        for script in scripts {
+            let cmds = parse_script(&script).expect("catalog scripts parse");
+            let rendered: String = cmds.iter().map(|c| render_command(c) + "\n").collect();
+            let reparsed = parse_script(&rendered)
+                .unwrap_or_else(|e| panic!("{}: render broke parse: {e}\n{rendered}", design.name));
+            assert_eq!(reparsed.len(), cmds.len(), "{}: {rendered}", design.name);
+            for (a, b) in reparsed.iter().zip(&cmds) {
+                assert!(
+                    same_command(a, b),
+                    "{}: render changed a command: {} vs {}",
+                    design.name,
+                    render_command(a),
+                    render_command(b)
+                );
+            }
+            let rerendered: String = reparsed.iter().map(|c| render_command(c) + "\n").collect();
+            assert_eq!(rerendered, rendered, "{}: second render drifted", design.name);
+        }
+    }
+}
+
+fn arb_script_word() -> impl Strategy<Value = String> {
+    prop_oneof![
+        Just("create_clock".to_string()),
+        Just("-period".to_string()),
+        Just("1.5".to_string()),
+        Just("compile".to_string()),
+        Just("set_max_fanout".to_string()),
+        Just("8".to_string()),
+        Just("[get_ports clk]".to_string()),
+        Just("report_qor".to_string()),
+        Just("set_input_delay".to_string()),
+        Just("0.2".to_string()),
+        Just("[all_inputs]".to_string()),
+        Just("frobnicate".to_string()),
+        Just("-bogus".to_string()),
+        Just("{a b}".to_string()),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Idempotence holds on random script-shaped soup too, not just on
+    /// well-formed pipeline output.
+    #[test]
+    fn repair_is_idempotent_on_script_soup(
+        parts in proptest::collection::vec(arb_script_word(), 0..24),
+        newline in proptest::collection::vec(any::<bool>(), 0..24),
+    ) {
+        let mut src = String::new();
+        for (i, p) in parts.iter().enumerate() {
+            src.push_str(p);
+            src.push(if newline.get(i).copied().unwrap_or(true) { '\n' } else { ' ' });
+        }
+        let once = repair_script(&src);
+        let twice = repair_script(&once.script);
+        prop_assert_eq!(&twice.script, &once.script, "repair not idempotent on:\n{}", src);
+    }
+
+    /// Rendering a parsed random script and reparsing it reaches the
+    /// fixpoint whenever the input parses at all.
+    #[test]
+    fn parse_render_parse_fixpoint_on_script_soup(
+        parts in proptest::collection::vec(arb_script_word(), 0..16),
+    ) {
+        let src: String = parts.iter().map(|p| format!("{p}\n")).collect();
+        if let Ok(cmds) = parse_script(&src) {
+            let rendered: String = cmds.iter().map(|c| render_command(c) + "\n").collect();
+            let reparsed = parse_script(&rendered);
+            prop_assert!(reparsed.is_ok(), "render broke parse:\n{}", rendered);
+            let reparsed = reparsed.unwrap();
+            prop_assert_eq!(reparsed.len(), cmds.len());
+            for (a, b) in reparsed.iter().zip(&cmds) {
+                prop_assert!(same_command(a, b), "render changed {} into {}",
+                    render_command(b), render_command(a));
+            }
+        }
+    }
+}
