@@ -419,8 +419,19 @@ fn main() {
             iters: r.iters,
         })
         .collect();
+    // Merge-preserve: this bench owns the synth rows; the `serve/…` rows
+    // are produced by `load_serve` and must survive a bench re-run.
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_synth.json");
-    match serde_json::to_string_pretty(&rows) {
+    let ours: std::collections::HashSet<&str> = rows.iter().map(|r| r.name.as_str()).collect();
+    let mut merged: Vec<serde_json::Value> = rows.iter().map(serde::Serialize::serialize).collect();
+    if let Ok(text) = std::fs::read_to_string(path) {
+        if let Ok(serde_json::Value::Seq(existing)) = serde_json::parse_value(&text) {
+            merged.extend(existing.into_iter().filter(|r| {
+                r.get("name").and_then(|n| n.as_str()).is_some_and(|n| !ours.contains(n))
+            }));
+        }
+    }
+    match serde_json::to_string_pretty(&serde_json::Value::Seq(merged)) {
         Ok(json) => match std::fs::write(path, json + "\n") {
             Ok(()) => println!("\n[artifact] {path}"),
             Err(e) => eprintln!("could not write {path}: {e}"),

@@ -1,24 +1,46 @@
-//! Closed-loop load generator for `chatls serve`.
+//! Load generator for `chatls serve`: miss-storm, closed-loop and
+//! open-loop phases over an in-process server.
 //!
-//! Spawns the serving stack in-process (port 0), then drives it with N
-//! client threads issuing a fixed request mix over plain TCP — each
-//! thread sends its next request only after the previous response
-//! arrives, so offered load adapts to service rate instead of piling up.
+//! Spawns the serving stack in-process (port 0), then drives three
+//! phases, in order:
 //!
-//! Reports cold-vs-warm customize latency, warm p50/p95/p99, eval
-//! latency, throughput and the session-pool hit rate, and merges the
-//! rows into `BENCH_synth.json` at the workspace root (replacing
-//! earlier `serve/…` rows, keeping everything else).
+//! 1. **Miss storm** (cold pool): K clients fire the same design
+//!    concurrently. With single-flight coalescing the pool runs exactly
+//!    one template build — asserted via the pool's build counter — and
+//!    every response is byte-identical (modulo the hit/miss accounting
+//!    field).
+//! 2. **Closed loop**: N client threads walk a fixed request mix (warm
+//!    customizes, batched evals, health probes), each sending its next
+//!    request only after the previous response arrives. Offered load
+//!    adapts to service rate, which flatters tail latency — that is the
+//!    point of phase 3.
+//! 3. **Open loop**: requests depart on a fixed arrival schedule
+//!    (`--rate`, default a third of the measured closed-loop throughput) and
+//!    latency is measured from the *scheduled* departure, so queueing
+//!    delay the server causes is charged to the server instead of
+//!    silently throttling the generator. This is the honest tail number.
+//!
+//! After the phases, asserts the single-flight acceptance invariant
+//! (total template builds == distinct designs driven) and optionally a
+//! tail-latency guard (`--tail-guard R` fails the process if open-loop
+//! warm p99 exceeds `max(R x p50, 250ms)`).
+//!
+//! Merges the `serve/…` rows into `BENCH_synth.json` at the workspace
+//! root (replacing earlier `serve/…` rows, keeping everything else) —
+//! unless `--smoke` is given, which runs a fast CI-sized profile and
+//! writes nothing.
 //!
 //! ```text
-//! cargo run --release -p chatls-bench --bin load_serve [-- --threads 4 --requests 50]
+//! cargo run --release -p chatls-bench --bin load_serve \
+//!     [-- --threads 4 --requests 50 --storm-clients 16 \
+//!         --rate 300 --open-seconds 5 --tail-guard 40 --smoke]
 //! ```
 
 use std::io::{Read, Write};
 use std::net::TcpStream;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 use chatls::database::{DbConfig, ExpertDatabase};
 use chatls::ChatLsService;
@@ -32,6 +54,12 @@ const DESIGNS: &[&str] = &["fft", "simd", "sha3", "dynamic_node"];
 /// returns the status code and the elapsed wall time in nanoseconds.
 fn http(addr: &str, method: &str, path: &str, body: &str) -> (u16, u64) {
     let started = Instant::now();
+    let (status, _) = http_full(addr, method, path, body);
+    (status, started.elapsed().as_nanos() as u64)
+}
+
+/// One blocking exchange returning `(status, body)`.
+fn http_full(addr: &str, method: &str, path: &str, body: &str) -> (u16, String) {
     let mut stream = TcpStream::connect(addr).expect("connect to in-process server");
     let request = format!(
         "{method} {path} HTTP/1.1\r\nHost: {addr}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
@@ -40,30 +68,21 @@ fn http(addr: &str, method: &str, path: &str, body: &str) -> (u16, u64) {
     stream.write_all(request.as_bytes()).expect("write request");
     let mut response = Vec::new();
     stream.read_to_end(&mut response).expect("read response");
-    let elapsed = started.elapsed().as_nanos() as u64;
-    let head = String::from_utf8_lossy(&response);
-    let status: u16 = head
+    let text = String::from_utf8_lossy(&response);
+    let status: u16 = text
         .split_whitespace()
         .nth(1)
         .and_then(|s| s.parse().ok())
-        .unwrap_or_else(|| panic!("malformed response: {:.80}", head));
-    (status, elapsed)
+        .unwrap_or_else(|| panic!("malformed response: {:.80}", text));
+    let payload = match text.split_once("\r\n\r\n") {
+        Some((_, b)) => b.to_string(),
+        None => String::new(),
+    };
+    (status, payload)
 }
 
 fn http_body(addr: &str, method: &str, path: &str, body: &str) -> String {
-    let mut stream = TcpStream::connect(addr).expect("connect");
-    let request = format!(
-        "{method} {path} HTTP/1.1\r\nHost: {addr}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
-        body.len()
-    );
-    stream.write_all(request.as_bytes()).expect("write request");
-    let mut response = Vec::new();
-    stream.read_to_end(&mut response).expect("read response");
-    let text = String::from_utf8_lossy(&response);
-    match text.split_once("\r\n\r\n") {
-        Some((_, body)) => body.to_string(),
-        None => String::new(),
-    }
+    http_full(addr, method, path, body).1
 }
 
 fn quantile(sorted_ns: &[u64], q: f64) -> u64 {
@@ -103,34 +122,119 @@ fn arg<T: std::str::FromStr>(name: &str, default: T) -> T {
         .unwrap_or(default)
 }
 
+fn has_flag(name: &str) -> bool {
+    std::env::args().any(|a| a == name)
+}
+
+fn customize_body(design: &str) -> String {
+    format!("{{\"design\": \"{design}\"}}")
+}
+
+/// Phase 1: K clients, one design, cold pool. Returns storm latencies.
+/// Panics unless exactly one template build ran and all responses agree.
+fn miss_storm(addr: &str, svc: &ChatLsService, clients: usize) -> Vec<u64> {
+    let builds_before = svc.pool().stats().builds;
+    let design = DESIGNS[0];
+    let results: Vec<(u64, String)> = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..clients)
+            .map(|_| {
+                s.spawn(move || {
+                    let started = Instant::now();
+                    let (status, body) =
+                        http_full(addr, "POST", "/v1/customize", &customize_body(design));
+                    assert_eq!(status, 200, "storm customize failed: {body:.200}");
+                    (started.elapsed().as_nanos() as u64, body)
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("storm client")).collect()
+    });
+    let stats = svc.pool().stats();
+    let builds = stats.builds - builds_before;
+    assert_eq!(
+        builds, 1,
+        "miss storm must coalesce onto one template build (single-flight), saw {builds}"
+    );
+    // Byte-identity modulo the pool-accounting field: exactly one
+    // builder reports "miss".
+    let normalize = |b: &str| b.replace("\"pool\":\"hit\"", "\"pool\":\"miss\"");
+    let misses = results.iter().filter(|(_, b)| b.contains("\"pool\":\"miss\"")).count();
+    assert_eq!(misses, 1, "exactly one storm client may report the pool miss");
+    let first = normalize(&results[0].1);
+    for (_, body) in &results[1..] {
+        assert_eq!(normalize(body), first, "storm responses must be byte-identical");
+    }
+    eprintln!(
+        "miss storm: {clients} clients, 1 design, cold pool -> {builds} build, \
+         {} coalesced waits",
+        stats.coalesced_waits
+    );
+    let mut ns: Vec<u64> = results.into_iter().map(|(ns, _)| ns).collect();
+    ns.sort_unstable();
+    ns
+}
+
 fn main() {
-    let threads: usize = arg("--threads", 4);
-    let per_thread: usize = arg("--requests", 50);
+    let smoke = has_flag("--smoke");
+    let threads: usize = arg("--threads", if smoke { 2 } else { 4 });
+    let per_thread: usize = arg("--requests", if smoke { 10 } else { 50 });
+    let storm_clients: usize = arg("--storm-clients", if smoke { 8 } else { 16 });
+    let open_seconds: f64 = arg("--open-seconds", if smoke { 2.0 } else { 5.0 });
+    let open_clients: usize = arg("--open-clients", 32);
+    // 0 = auto-calibrate to 70% of the measured closed-loop throughput,
+    // so the open-loop phase measures the tail at a fixed, sustainable
+    // utilization instead of saturating (or idling) the host.
+    let rate_arg: f64 = arg("--rate", 0.0);
+    // 0 = report only. CI passes a generous bound.
+    let tail_guard: f64 = arg("--tail-guard", if smoke { 40.0 } else { 0.0 });
 
     eprintln!("building expert database (quick)…");
     let db = ExpertDatabase::build(&DbConfig::quick());
     let service = Arc::new(ChatLsService::new(db, 16));
-    let config = ServeConfig { addr: "127.0.0.1:0".to_string(), ..ServeConfig::default() };
+    let svc = Arc::clone(&service);
+    // At least 4 workers even on small hosts: a single worker would
+    // serialize requests and the miss storm could never exercise the
+    // single-flight path over HTTP. (Not more: on a 1-core host extra
+    // workers only add interference to the closed-loop measurement.)
+    let config = ServeConfig {
+        addr: "127.0.0.1:0".to_string(),
+        queue_depth: 512,
+        workers: ServeConfig::default().workers.max(4),
+        ..ServeConfig::default()
+    };
     let server = Server::bind(config, service).expect("bind port 0");
     let addr = server.local_addr().expect("bound address").to_string();
     let shutdown = server.shutdown_handle();
     let server_thread = std::thread::spawn(move || server.run());
     eprintln!("server on {addr}; {threads} client threads x {per_thread} requests");
 
-    // Cold-vs-warm: the first customize of a design pays mapping +
+    // Phase 1 — miss storm against the cold pool (must run first: it is
+    // the only moment the pool is guaranteed cold). No warmer is spawned
+    // in this binary, so build counts stay deterministic.
+    let storm_ns = miss_storm(&addr, &svc, storm_clients);
+    let storm_p50 = quantile(&storm_ns, 0.50);
+
+    // Cold-vs-warm on a second design: the first customize pays mapping +
     // baseline synthesis; the repeat should come from the warm pool.
-    let customize = |d: &str| format!("{{\"design\": \"{d}\"}}");
-    let (status, cold_ns) = http(&addr, "POST", "/v1/customize", &customize(DESIGNS[0]));
+    let (status, cold_ns) = http(&addr, "POST", "/v1/customize", &customize_body(DESIGNS[1]));
     assert_eq!(status, 200, "cold customize failed");
-    let (_, warm_once_ns) = http(&addr, "POST", "/v1/customize", &customize(DESIGNS[0]));
+    let (_, warm_once_ns) = http(&addr, "POST", "/v1/customize", &customize_body(DESIGNS[1]));
     eprintln!(
         "cold customize {} -> warm repeat {}",
         human_time(cold_ns as f64),
         human_time(warm_once_ns as f64)
     );
 
-    // Closed loop: each thread walks the mix — mostly warm customizes,
-    // some batched evals, an occasional health probe.
+    // Warm the rest of the catalog serially so the closed/open loops
+    // measure warm steady state; cold cost has its own row above, and
+    // the final build-count assertion still covers these builds.
+    for design in &DESIGNS[2..] {
+        let (status, _) = http(&addr, "POST", "/v1/customize", &customize_body(design));
+        assert_eq!(status, 200, "warm-up customize failed");
+    }
+
+    // Phase 2 — closed loop: each thread walks the mix — mostly warm
+    // customizes, some batched evals, an occasional health probe.
     let next = Arc::new(AtomicUsize::new(0));
     let started = Instant::now();
     let mut handles = Vec::new();
@@ -160,7 +264,7 @@ fn main() {
                     }
                     _ => {
                         let (status, ns) =
-                            http(&addr, "POST", "/v1/customize", &customize(design));
+                            http(&addr, "POST", "/v1/customize", &customize_body(design));
                         assert_eq!(status, 200, "customize failed");
                         customize_ns.push(ns);
                     }
@@ -182,6 +286,52 @@ fn main() {
     customize_ns.sort_unstable();
     eval_ns.sort_unstable();
 
+    // Phase 3 — open loop at a fixed arrival rate over the (now warm)
+    // customize mix. Latency is measured from each request's scheduled
+    // departure, so server-side queueing counts against the server.
+    // A third of the closed-loop throughput keeps the open-loop phase at
+    // a moderate utilization, where p99 measures dispatch jitter rather
+    // than standing-queue growth — at half the measured rate, transient
+    // bursts on a small host already push p99 past 10x p50.
+    let open_rate = if rate_arg > 0.0 { rate_arg } else { (rps / 3.0).max(20.0) };
+    let open_total = (open_rate * open_seconds).round().max(1.0) as usize;
+    eprintln!(
+        "open loop: {open_rate:.0} req/s for {open_seconds:.1}s ({open_total} requests, \
+         {open_clients} clients)"
+    );
+    let open_start = Instant::now() + Duration::from_millis(50);
+    let open_next = Arc::new(AtomicUsize::new(0));
+    let mut open_handles = Vec::new();
+    for _ in 0..open_clients.min(open_total) {
+        let addr = addr.clone();
+        let open_next = Arc::clone(&open_next);
+        open_handles.push(std::thread::spawn(move || {
+            let mut lat_ns = Vec::new();
+            loop {
+                let i = open_next.fetch_add(1, Ordering::Relaxed);
+                if i >= open_total {
+                    return lat_ns;
+                }
+                let scheduled = open_start + Duration::from_secs_f64(i as f64 / open_rate);
+                let now = Instant::now();
+                if scheduled > now {
+                    std::thread::sleep(scheduled - now);
+                }
+                let design = DESIGNS[i % DESIGNS.len()];
+                let (status, _) = http(&addr, "POST", "/v1/customize", &customize_body(design));
+                assert_eq!(status, 200, "open-loop customize failed");
+                lat_ns.push(Instant::now().duration_since(scheduled).as_nanos() as u64);
+            }
+        }));
+    }
+    let mut open_ns: Vec<u64> = Vec::new();
+    for h in open_handles {
+        open_ns.extend(h.join().expect("open-loop client"));
+    }
+    let open_wall = Instant::now().duration_since(open_start);
+    let open_rps = open_ns.len() as f64 / open_wall.as_secs_f64();
+    open_ns.sort_unstable();
+
     let metrics = http_body(&addr, "GET", "/metrics", "");
     let hits = metric(&metrics, "serve.pool.hit");
     let misses = metric(&metrics, "serve.pool.miss");
@@ -190,11 +340,32 @@ fn main() {
     shutdown.shutdown();
     server_thread.join().expect("server thread").expect("server run");
 
+    // Acceptance invariant: across every phase, the pool built each
+    // distinct design exactly once — the single-flight proof at scale.
+    let final_stats = svc.pool().stats();
+    assert_eq!(
+        final_stats.builds,
+        DESIGNS.len() as u64,
+        "total template builds must equal distinct designs driven ({})",
+        DESIGNS.len()
+    );
+    eprintln!(
+        "single-flight: {} builds for {} distinct designs, {} coalesced waits, \
+         inflight peak {}",
+        final_stats.builds,
+        DESIGNS.len(),
+        final_stats.coalesced_waits,
+        final_stats.inflight_builds_peak
+    );
+
     let p50 = quantile(&customize_ns, 0.50);
     let p95 = quantile(&customize_ns, 0.95);
     let p99 = quantile(&customize_ns, 0.99);
     let eval_p50 = quantile(&eval_ns, 0.50);
-    println!("{total} requests in {:.2}s ({rps:.1} req/s)", wall.as_secs_f64());
+    let open_p50 = quantile(&open_ns, 0.50);
+    let open_p95 = quantile(&open_ns, 0.95);
+    let open_p99 = quantile(&open_ns, 0.99);
+    println!("{total} requests in {:.2}s ({rps:.1} req/s) [closed loop]", wall.as_secs_f64());
     println!(
         "customize warm p50 {} p95 {} p99 {} ({} samples)",
         human_time(p50 as f64),
@@ -203,7 +374,42 @@ fn main() {
         customize_ns.len()
     );
     println!("eval p50 {} ({} samples)", human_time(eval_p50 as f64), eval_ns.len());
+    println!(
+        "open loop @ {open_rate:.0} req/s: p50 {} p95 {} p99 {} ({} samples, {open_rps:.1} req/s achieved)",
+        human_time(open_p50 as f64),
+        human_time(open_p95 as f64),
+        human_time(open_p99 as f64),
+        open_ns.len()
+    );
+    println!(
+        "miss storm ({storm_clients} clients): p50 {} -> 1 build",
+        human_time(storm_p50 as f64)
+    );
     println!("session-pool hit rate {hit_rate:.1}% ({hits:.0} hits / {misses:.0} misses)");
+
+    // Tail guard: open-loop warm p99 within `tail_guard` x p50 (plus an
+    // absolute floor so microsecond-scale p50s don't make the ratio
+    // meaninglessly strict).
+    if tail_guard > 0.0 && !open_ns.is_empty() {
+        let bound = (tail_guard * open_p50 as f64).max(250e6);
+        assert!(
+            (open_p99 as f64) <= bound,
+            "open-loop warm p99 {} exceeds tail guard {} ({}x p50 {})",
+            human_time(open_p99 as f64),
+            human_time(bound),
+            tail_guard,
+            human_time(open_p50 as f64)
+        );
+        eprintln!(
+            "tail guard ok: open-loop p99/p50 = {:.1} (bound {tail_guard:.0})",
+            open_p99 as f64 / (open_p50 as f64).max(1.0)
+        );
+    }
+
+    if smoke {
+        eprintln!("--smoke: skipping BENCH_synth.json write");
+        return;
+    }
 
     #[derive(serde::Serialize)]
     struct Row {
@@ -251,6 +457,48 @@ fn main() {
             format!("{hit_rate:.1} %"),
             (hits + misses) as u64,
         ),
+        row(
+            "serve/open_loop_rate_rps",
+            open_rate,
+            format!("{open_rate:.1} req/s"),
+            open_ns.len() as u64,
+        ),
+        row(
+            "serve/open_loop_warm_p50_ns",
+            open_p50 as f64,
+            human_time(open_p50 as f64),
+            open_ns.len() as u64,
+        ),
+        row(
+            "serve/open_loop_warm_p95_ns",
+            open_p95 as f64,
+            human_time(open_p95 as f64),
+            open_ns.len() as u64,
+        ),
+        row(
+            "serve/open_loop_warm_p99_ns",
+            open_p99 as f64,
+            human_time(open_p99 as f64),
+            open_ns.len() as u64,
+        ),
+        row(
+            "serve/open_loop_throughput_rps",
+            open_rps,
+            format!("{open_rps:.1} req/s"),
+            open_ns.len() as u64,
+        ),
+        row(
+            "serve/miss_storm_p50_ns",
+            storm_p50 as f64,
+            human_time(storm_p50 as f64),
+            storm_ns.len() as u64,
+        ),
+        row(
+            "serve/miss_storm_builds",
+            1.0,
+            format!("1 build / {storm_clients} clients"),
+            storm_clients as u64,
+        ),
     ];
 
     // Merge into BENCH_synth.json: replace earlier serve/ rows, keep the
@@ -268,10 +516,7 @@ fn main() {
         },
         Err(_) => Vec::new(),
     };
-    for r in &rows {
-        let json = serde_json::to_string(r).expect("serialize row");
-        merged.push(serde_json::parse_value(&json).expect("reparse row"));
-    }
+    merged.extend(rows.iter().map(serde::Serialize::serialize));
     let doc = serde_json::Value::Seq(merged);
     match serde_json::to_string_pretty(&doc) {
         Ok(json) => match std::fs::write(path, json + "\n") {

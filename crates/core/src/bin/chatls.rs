@@ -8,7 +8,8 @@
 //! chatls lint <script.tcl> [--design <name>] [--json]
 //! chatls designs
 //! chatls serve [--addr HOST:PORT] [--workers N] [--queue-depth N]
-//!              [--timeout-ms N] [--max-sessions N] [--db chatls_db.json]
+//!              [--timeout-ms N] [--max-sessions N] [--no-warm]
+//!              [--db chatls_db.json]
 //! ```
 //!
 //! Every subcommand also accepts the global `--telemetry-json <path>`
@@ -131,6 +132,7 @@ const USAGE: &str = "usage:
   chatls serve [--addr HOST:PORT]            serve the pipeline over HTTP/JSON
                [--workers N] [--queue-depth N] [--timeout-ms N]
                [--max-sessions N] [--db <file>]
+               [--no-warm]                   skip background catalog pre-warming
 
 global flags (every subcommand):
   --telemetry-json <file>   write the JSON telemetry document (spans + metrics)
@@ -348,14 +350,26 @@ fn cmd_serve(rest: &[&str]) -> Result<(), String> {
         timeout_ms: numeric(rest, "--timeout-ms", defaults.timeout_ms)?,
     };
     let max_sessions: usize = numeric(rest, "--max-sessions", 16)?;
+    let no_warm = flag(rest, "--no-warm");
     let db = open_db(rest)?;
     let service = std::sync::Arc::new(chatls::ChatLsService::new(db, max_sessions));
     chatls_serve::install_signal_handlers();
-    let server = chatls_serve::Server::bind(config, service)
+    let server = chatls_serve::Server::bind(config, std::sync::Arc::clone(&service) as _)
         .map_err(|e| format!("binding listener: {e}"))?;
     let addr = server.local_addr().map_err(|e| format!("resolving bound address: {e}"))?;
+    // Speculative warming: pre-build the benchmark catalog in the
+    // background so early traffic skips the cold template build. The
+    // token fires once the server has drained, stopping the warmer at
+    // its next build boundary. Disable with --no-warm.
+    let warm_cancel = chatls_exec::CancelToken::new();
+    let warmer = if no_warm { None } else { Some(service.spawn_warmer(warm_cancel.clone())) };
     eprintln!("chatls serve listening on http://{addr} (ctrl-c or SIGTERM to drain and stop)");
-    server.run().map_err(|e| format!("serving: {e}"))
+    let served = server.run().map_err(|e| format!("serving: {e}"));
+    warm_cancel.cancel();
+    if let Some(warmer) = warmer {
+        let _ = warmer.join();
+    }
+    served
 }
 
 fn cmd_designs() -> Result<(), String> {

@@ -23,19 +23,25 @@
 //! Warm path: prepared designs — the mapped [`SessionTemplate`] plus the
 //! baseline [`TaskContext`] per request string — live in an LRU
 //! [`SessionPool`] keyed by design fingerprint, so repeat requests skip
-//! parse/lower/map *and* the baseline synthesis run. The per-design task
-//! cache is itself LRU-bounded ([`TASK_CACHE_CAP`]): request strings are
-//! client-supplied and must not grow daemon memory without bound. Pooled state is
-//! immutable (sessions stamp per request); a deadline that fires
+//! parse/lower/map *and* the baseline synthesis run. Pool misses are
+//! single-flight: concurrent cold requests for one design coalesce onto a
+//! single template build, and [`ChatLsService::spawn_warmer`] pre-builds
+//! the benchmark catalog in the background at startup (rate-limited,
+//! cancelled on drain) and re-warms catalog entries evicted under
+//! pressure. The per-design task cache is itself LRU-bounded
+//! ([`TASK_CACHE_CAP`]): request strings are client-supplied and must not
+//! grow daemon memory without bound. Pooled state is immutable (sessions
+//! stamp copy-on-write snapshots per request); a deadline that fires
 //! mid-request aborts that request only and cannot poison the pool.
 
 use std::collections::HashMap;
 use std::sync::Mutex;
+use std::time::{Duration, Instant};
 
 use chatls_designs::GeneratedDesign;
 use chatls_exec::{CancelToken, Cancelled, ExecPool};
 use chatls_obs::ObsCtx;
-use chatls_serve::{AppHandler, Request, Response, SessionPool};
+use chatls_serve::{AppHandler, PoolError, Request, Response, SessionPool};
 use chatls_synth::{QorReport, SessionBuilder, SessionTemplate};
 use serde::Serialize;
 
@@ -99,12 +105,95 @@ pub struct PreparedDesign {
 /// The application handler behind `chatls serve`.
 pub struct ChatLsService {
     db: ExpertDatabase,
-    pool: SessionPool<PreparedDesign>,
+    pool: SessionPool<PreparedDesign, Response>,
 }
 
 /// Default user request, matching the `chatls customize` CLI default so
 /// a body without `request` reproduces the CLI's output.
 const DEFAULT_REQUEST: &str = "optimize timing at the fixed clock";
+
+/// Pause between consecutive startup warming builds. Template builds are
+/// CPU-bound (~hundreds of ms each); the gap keeps the warmer from
+/// monopolizing cores that request-serving workers need.
+const WARM_STARTUP_PACE: Duration = Duration::from_millis(25);
+
+/// Pause between eviction-driven re-warm builds (and the poll interval of
+/// the re-warm loop). Deliberately much coarser than the startup pace: at
+/// most one rebuild per interval bounds the churn when eviction pressure
+/// is continuous, so an eviction storm cannot become a build storm.
+const WARM_REWARM_PACE: Duration = Duration::from_millis(1_000);
+
+/// Builds the pooled warm state for one design: the mapped
+/// [`SessionTemplate`] plus an empty task cache.
+fn build_prepared(design: &GeneratedDesign) -> Result<PreparedDesign, Response> {
+    let template = SessionBuilder::new(design.netlist(), chatls_liberty::nangate45())
+        .obs(ObsCtx::global().clone())
+        .template()
+        .map_err(|e| Response::error(400, &format!("mapping failed: {e}")))?;
+    Ok(PreparedDesign { template, tasks: Mutex::new(TaskCache::default()) })
+}
+
+/// Sleeps for `total`, waking early if `cancel` fires. Returns `true`
+/// when the sleep ended because of cancellation.
+fn sleep_cancellable(cancel: &CancelToken, total: Duration) -> bool {
+    let deadline = Instant::now() + total;
+    loop {
+        if cancel.is_cancelled() {
+            return true;
+        }
+        let now = Instant::now();
+        if now >= deadline {
+            return false;
+        }
+        std::thread::sleep((deadline - now).min(Duration::from_millis(20)));
+    }
+}
+
+/// The speculative warming loop behind [`ChatLsService::spawn_warmer`],
+/// split out (pool + explicit catalog) so tests can drive it with tiny
+/// inline designs and fast paces.
+///
+/// Phase 1 pre-builds the catalog — at most `pool.capacity()` entries, so
+/// warming can never evict its own work — pausing `startup_pace` between
+/// builds. Phase 2 polls the pool's eviction log every `rewarm_pace` and
+/// rebuilds evicted *catalog* designs (client-supplied inline designs are
+/// not re-warmed: their fingerprints are not in the catalog map), again
+/// at most one build per pace interval.
+pub fn run_pool_warmer(
+    pool: &SessionPool<PreparedDesign, Response>,
+    catalog: &[GeneratedDesign],
+    cancel: &CancelToken,
+    startup_pace: Duration,
+    rewarm_pace: Duration,
+) {
+    let catalog: Vec<&GeneratedDesign> = catalog.iter().take(pool.capacity()).collect();
+    let by_fp: HashMap<u64, &GeneratedDesign> =
+        catalog.iter().map(|d| (design_fingerprint(d), *d)).collect();
+    for design in &catalog {
+        if cancel.is_cancelled() {
+            return;
+        }
+        pool.warm(design_fingerprint(design), || build_prepared(design));
+        if sleep_cancellable(cancel, startup_pace) {
+            return;
+        }
+    }
+    loop {
+        if sleep_cancellable(cancel, rewarm_pace) {
+            return;
+        }
+        for fp in pool.drain_evicted() {
+            let Some(design) = by_fp.get(&fp) else { continue };
+            if cancel.is_cancelled() {
+                return;
+            }
+            pool.warm(fp, || build_prepared(design));
+            if sleep_cancellable(cancel, rewarm_pace) {
+                return;
+            }
+        }
+    }
+}
 
 #[derive(Serialize)]
 struct CustomizeResponse {
@@ -152,8 +241,9 @@ impl ChatLsService {
         Self { db, pool: SessionPool::new(max_sessions) }
     }
 
-    /// The session pool (tests inspect occupancy).
-    pub fn pool(&self) -> &SessionPool<PreparedDesign> {
+    /// The session pool (tests and the load generator inspect occupancy
+    /// and per-instance build/coalesce statistics).
+    pub fn pool(&self) -> &SessionPool<PreparedDesign, Response> {
         &self.pool
     }
 
@@ -201,18 +291,62 @@ impl ChatLsService {
     }
 
     /// The pooled warm state for `design`, built on first use.
+    ///
+    /// Misses are single-flight: the first request becomes the sole
+    /// builder and concurrent requests for the same design park on its
+    /// build, so a miss storm pays one template build, not K. A parked
+    /// request whose own deadline fires answers 504 without disturbing
+    /// the build; a builder whose deadline has already fired answers 504
+    /// *before* paying the map (waiters receive the same 504 and the
+    /// next request rebuilds cleanly — failed builds never poison the
+    /// pool).
     fn prepared(
         &self,
         design: &GeneratedDesign,
+        cancel: &CancelToken,
     ) -> Result<(std::sync::Arc<PreparedDesign>, bool), Response> {
         let fp = design_fingerprint(design);
-        self.pool.get_or_build(fp, || -> Result<PreparedDesign, Response> {
-            let template = SessionBuilder::new(design.netlist(), chatls_liberty::nangate45())
-                .obs(ObsCtx::global().clone())
-                .template()
-                .map_err(|e| Response::error(400, &format!("mapping failed: {e}")))?;
-            Ok(PreparedDesign { template, tasks: Mutex::new(TaskCache::default()) })
-        })
+        match self.pool.get_or_build_cancellable(fp, cancel, || {
+            if cancel.is_cancelled() {
+                return Err(Response::gateway_timeout(
+                    "deadline exceeded before session template build",
+                ));
+            }
+            build_prepared(design)
+        }) {
+            Ok(out) => Ok(out),
+            Err(PoolError::Build(resp)) => Err(resp),
+            Err(PoolError::Cancelled) => Err(Response::gateway_timeout(
+                "deadline exceeded while awaiting session template build",
+            )),
+        }
+    }
+
+    /// Speculatively builds the pooled state for `design` if absent —
+    /// the single-design warming step. Participates in single-flight
+    /// (a request arriving mid-warm parks on the warmer's build) and
+    /// does not touch pool hit/miss accounting. Returns `true` when this
+    /// call built the entry.
+    pub fn warm_design(&self, design: &GeneratedDesign) -> bool {
+        self.pool.warm(design_fingerprint(design), || build_prepared(design))
+    }
+
+    /// Spawns the speculative warmer thread: pre-builds the full
+    /// serveable catalog — database designs first (the common request
+    /// targets), then benchmarks — rate-limited so warming never starves
+    /// request-serving workers, then re-warms catalog entries evicted
+    /// under pressure. Fire `cancel` (the CLI does so once the server
+    /// drains) to stop it; the thread exits at the next build boundary.
+    pub fn spawn_warmer(&self, cancel: CancelToken) -> std::thread::JoinHandle<()> {
+        let pool = self.pool.clone();
+        let mut catalog = chatls_designs::database_designs();
+        catalog.extend(chatls_designs::benchmarks());
+        std::thread::Builder::new()
+            .name("chatls-warmer".into())
+            .spawn(move || {
+                run_pool_warmer(&pool, &catalog, &cancel, WARM_STARTUP_PACE, WARM_REWARM_PACE)
+            })
+            .expect("spawn pool warmer thread")
     }
 
     /// The task context for (`design`, `request`), from the per-design
@@ -244,7 +378,7 @@ impl ChatLsService {
         let seed = body.get("seed").and_then(|v| v.as_u64()).unwrap_or(0);
         let request =
             body.get("request").and_then(|v| v.as_str()).unwrap_or(DEFAULT_REQUEST).to_string();
-        let (prepared, pool_hit) = match self.prepared(&design) {
+        let (prepared, pool_hit) = match self.prepared(&design, cancel) {
             Ok(p) => p,
             Err(resp) => return resp,
         };
@@ -333,7 +467,7 @@ impl ChatLsService {
                 }
             }
         }
-        let (prepared, _hit) = match self.prepared(&design) {
+        let (prepared, _hit) = match self.prepared(&design, cancel) {
             Ok(p) => p,
             Err(resp) => return resp,
         };
@@ -474,10 +608,12 @@ mod tests {
     }
 
     /// One shared service for the whole binary; tests that assert pool
-    /// hit/miss use designs no other test touches.
+    /// hit/miss use designs no other test touches. The capacity leaves
+    /// headroom over the distinct designs the tests touch so no test can
+    /// evict another's entry mid-assertion.
     fn service() -> &'static ChatLsService {
         static SVC: OnceLock<ChatLsService> = OnceLock::new();
-        SVC.get_or_init(|| ChatLsService::new(ExpertDatabase::build(&DbConfig::quick()), 8))
+        SVC.get_or_init(|| ChatLsService::new(ExpertDatabase::build(&DbConfig::quick()), 16))
     }
 
     #[test]
@@ -587,7 +723,7 @@ mod tests {
         )
         .unwrap();
         let design = ChatLsService::resolve_design(&body).unwrap();
-        let (prepared, _) = svc.prepared(&design).unwrap();
+        let (prepared, _) = svc.prepared(&design, &CancelToken::never()).unwrap();
         for i in 0..TASK_CACHE_CAP + 5 {
             let req = format!("request variant {i}");
             svc.task_for(&design, &prepared, &req, &CancelToken::never()).unwrap();
@@ -716,6 +852,148 @@ mod tests {
             .unwrap()
         };
         assert_eq!(pick(&qa), pick(&qb));
+    }
+
+    /// Tentpole: N concurrent cold requests for one design coalesce onto
+    /// a single template build. Exactly one response reports a pool miss
+    /// (the builder); everyone else resumes from its build and reports a
+    /// hit — and all responses are byte-identical once the pool field is
+    /// normalized. (Exact build/waiter counts are locked deterministically
+    /// by the pool-level tests in `chatls-serve`.)
+    #[test]
+    fn concurrent_cold_requests_coalesce_onto_one_build() {
+        let svc = service();
+        // A dedicated inline design: this test owns its fingerprint.
+        let body = "{\"verilog\": \"module coalesce_probe(input clk, input a, input b, \
+                     output reg y); always @(posedge clk) y <= a ^ b; endmodule\", \
+                     \"top\": \"coalesce_probe\", \"seed\": 0}";
+        let bodies: Vec<Vec<u8>> = std::thread::scope(|s| {
+            let handles: Vec<_> = (0..4)
+                .map(|_| {
+                    s.spawn(move || {
+                        let resp = svc.handle(&post("/v1/customize", body), &CancelToken::never());
+                        assert_eq!(resp.status, 200, "{}", String::from_utf8_lossy(&resp.body));
+                        resp.body
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+        let misses = bodies
+            .iter()
+            .filter(|b| String::from_utf8_lossy(b).contains("\"pool\":\"miss\""))
+            .count();
+        assert_eq!(misses, 1, "exactly one request may build; the rest must coalesce");
+        // Byte-identical modulo the pool-accounting field.
+        let normalize =
+            |b: &[u8]| String::from_utf8_lossy(b).replace("\"pool\":\"hit\"", "\"pool\":\"miss\"");
+        let first = normalize(&bodies[0]);
+        for b in &bodies[1..] {
+            assert_eq!(normalize(b), first, "coalesced responses must be byte-identical");
+        }
+    }
+
+    /// A builder whose deadline already fired answers 504 without paying
+    /// the template build, and the next request rebuilds cleanly — a
+    /// cancelled build never poisons the pool.
+    #[test]
+    fn cancelled_builder_yields_504_and_next_request_rebuilds() {
+        let svc = service();
+        let body = "{\"verilog\": \"module cancel_probe(input clk, input a, output reg y); \
+                     always @(posedge clk) y <= ~a; endmodule\", \"top\": \"cancel_probe\"}";
+        let fired = CancelToken::new();
+        fired.cancel();
+        let resp = svc.handle(&post("/v1/customize", body), &fired);
+        assert_eq!(resp.status, 504, "{}", String::from_utf8_lossy(&resp.body));
+        let retry = svc.handle(&post("/v1/customize", body), &CancelToken::never());
+        assert_eq!(retry.status, 200, "{}", String::from_utf8_lossy(&retry.body));
+        let v = serde_json::parse_value(&String::from_utf8(retry.body).unwrap()).unwrap();
+        assert_eq!(
+            v.get("pool").and_then(|p| p.as_str()),
+            Some("miss"),
+            "the cancelled build must not have left an entry behind"
+        );
+    }
+
+    /// Warming builds absent designs exactly once and subsequent traffic
+    /// hits the warmed entry.
+    #[test]
+    fn warm_design_prebuilds_the_pool_entry() {
+        let svc = service();
+        let design = chatls_designs::by_name("sha3").unwrap();
+        assert!(svc.warm_design(&design), "first warm must build");
+        assert!(!svc.warm_design(&design), "second warm must be a no-op");
+        let resp =
+            svc.handle(&post("/v1/customize", "{\"design\": \"sha3\"}"), &CancelToken::never());
+        assert_eq!(resp.status, 200, "{}", String::from_utf8_lossy(&resp.body));
+        let v = serde_json::parse_value(&String::from_utf8(resp.body).unwrap()).unwrap();
+        assert_eq!(
+            v.get("pool").and_then(|p| p.as_str()),
+            Some("hit"),
+            "traffic after warming must hit the pool"
+        );
+    }
+
+    /// The warmer loop pre-builds its catalog and re-warms evicted
+    /// catalog entries — driven here with tiny inline designs, a private
+    /// pool and fast paces.
+    #[test]
+    fn pool_warmer_prebuilds_and_rewarms_evictions() {
+        let gen = |name: &str| GeneratedDesign {
+            name: format!("warmprobe_{name}"),
+            category: chatls_designs::Category::VectorArithmetic,
+            source: format!(
+                "module warmprobe_{name}(input clk, input a, output reg y); \
+                 always @(posedge clk) y <= a; endmodule"
+            ),
+            top: format!("warmprobe_{name}"),
+            modules: Vec::new(),
+            default_period: 1.0,
+        };
+        let catalog = vec![gen("a"), gen("b")];
+        let pool: SessionPool<PreparedDesign, Response> = SessionPool::new(2);
+        let cancel = CancelToken::new();
+        let warmer = {
+            let pool = pool.clone();
+            let catalog = catalog.clone();
+            let cancel = cancel.clone();
+            std::thread::spawn(move || {
+                run_pool_warmer(
+                    &pool,
+                    &catalog,
+                    &cancel,
+                    Duration::from_millis(1),
+                    Duration::from_millis(10),
+                )
+            })
+        };
+        let wait_for = |what: &str, cond: &dyn Fn() -> bool| {
+            let deadline = Instant::now() + Duration::from_secs(30);
+            while !cond() {
+                assert!(Instant::now() < deadline, "timed out waiting for {what}");
+                std::thread::sleep(Duration::from_millis(5));
+            }
+        };
+        wait_for("startup warming", &|| pool.stats().warmed >= 2);
+        assert_eq!(pool.len(), 2);
+        // Push a non-catalog design through the full pool: one catalog
+        // entry is evicted, and the warmer must bring it back.
+        let intruder = gen("intruder");
+        pool.get_or_build(design_fingerprint(&intruder), || build_prepared(&intruder)).unwrap();
+        wait_for("eviction re-warm", &|| pool.stats().warmed >= 3);
+        cancel.cancel();
+        warmer.join().unwrap();
+        // Both catalog designs must be resident again (the re-warm may
+        // have evicted the intruder; catalog entries win).
+        let catalog_resident = catalog
+            .iter()
+            .filter(|d| {
+                let (_, hit) =
+                    pool.get_or_build(design_fingerprint(d), || build_prepared(d)).unwrap();
+                hit
+            })
+            .count();
+        assert!(catalog_resident >= 1, "re-warmed catalog entry must be resident");
     }
 
     #[test]

@@ -21,6 +21,10 @@
 //!   graceful shutdown). Checked at stage boundaries; never preemptive.
 //!   [`ExecPool::run_cancellable`] is the pool's token-aware submission
 //!   path: workers stop claiming work once the token fires.
+//! - [`Latch`] — a one-shot, token-aware broadcast cell: N threads park
+//!   on [`Latch::wait`] until one [`Latch::set`] wakes them all with a
+//!   clone of the value. The serve pool's single-flight build coalescing
+//!   parks waiters here.
 //!
 //! All primitives report into the `chatls_obs` metrics registry
 //! (`exec.pool.*`, `<cache-name>.*`) and pull in nothing outside `std`, so
@@ -29,7 +33,7 @@
 use std::collections::HashMap;
 use std::hash::{Hash, Hasher};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
-use std::sync::{Arc, Mutex, OnceLock};
+use std::sync::{Arc, Condvar, Mutex, OnceLock};
 use std::time::{Duration, Instant};
 
 /// Error returned when a [`CancelToken`] fired before (or while) an
@@ -130,6 +134,74 @@ impl CancelToken {
     /// token has no deadline.
     pub fn remaining(&self) -> Option<Duration> {
         self.deadline().map(|d| d.saturating_duration_since(Instant::now()))
+    }
+}
+
+/// A one-shot broadcast latch: many threads park on [`Latch::wait`] until
+/// a single [`Latch::set`] publishes a value to all of them (each waiter
+/// receives a clone).
+///
+/// This is the waiter-parking primitive under the serve pool's
+/// single-flight build coalescing: the first miss for a fingerprint
+/// becomes the builder and every concurrent miss parks here instead of
+/// duplicating the build. `wait` takes the parked request's own
+/// [`CancelToken`], so a waiter whose deadline fires while the builder is
+/// still working unblocks with [`Cancelled`] instead of inheriting the
+/// builder's (possibly longer) deadline.
+///
+/// The first `set` wins; later calls are ignored, which makes resolution
+/// idempotent for drop-guard cleanup paths.
+#[derive(Debug, Default)]
+pub struct Latch<T> {
+    state: Mutex<Option<T>>,
+    ready: Condvar,
+}
+
+impl<T> Latch<T> {
+    /// An unset latch.
+    pub fn new() -> Self {
+        Self { state: Mutex::new(None), ready: Condvar::new() }
+    }
+
+    /// Publishes `value` and wakes every parked waiter. The first call
+    /// wins; subsequent calls are no-ops.
+    pub fn set(&self, value: T) {
+        let mut state = self.state.lock().unwrap();
+        if state.is_none() {
+            *state = Some(value);
+            self.ready.notify_all();
+        }
+    }
+}
+
+impl<T: Clone> Latch<T> {
+    /// The published value, if `set` has happened. Never blocks.
+    pub fn try_get(&self) -> Option<T> {
+        self.state.lock().unwrap().clone()
+    }
+
+    /// Parks until the latch is set (returning a clone of the value) or
+    /// `cancel` fires (returning `Err(Cancelled)`).
+    ///
+    /// Deadline tokens are honoured to within a short poll slice: the
+    /// wait sleeps in bounded increments clamped to the token's remaining
+    /// time, so an expiring waiter unblocks promptly even though `cancel`
+    /// carries no wakeup channel of its own.
+    pub fn wait(&self, cancel: &CancelToken) -> Result<T, Cancelled> {
+        const POLL_SLICE: Duration = Duration::from_millis(25);
+        let mut state = self.state.lock().unwrap();
+        loop {
+            if let Some(value) = state.as_ref() {
+                return Ok(value.clone());
+            }
+            cancel.checkpoint()?;
+            let slice = match cancel.remaining() {
+                Some(rem) => rem.min(POLL_SLICE).max(Duration::from_millis(1)),
+                None => POLL_SLICE,
+            };
+            let (guard, _) = self.ready.wait_timeout(state, slice).unwrap();
+            state = guard;
+        }
     }
 }
 
@@ -751,5 +823,54 @@ mod tests {
         assert_eq!(fnv1a(b""), 0xcbf2_9ce4_8422_2325);
         assert_ne!(fnv1a(b"compile"), fnv1a(b"compile_ultra"));
         assert_eq!(fnv1a(b"aes"), fnv1a(b"aes"));
+    }
+
+    #[test]
+    fn latch_broadcasts_one_value_to_all_waiters() {
+        let latch = Arc::new(Latch::new());
+        let mut handles = Vec::new();
+        for _ in 0..6 {
+            let latch = Arc::clone(&latch);
+            handles.push(std::thread::spawn(move || latch.wait(&CancelToken::never()).unwrap()));
+        }
+        std::thread::sleep(Duration::from_millis(20));
+        latch.set(41);
+        latch.set(99); // later sets must lose
+        for h in handles {
+            assert_eq!(h.join().unwrap(), 41);
+        }
+        assert_eq!(latch.try_get(), Some(41));
+    }
+
+    #[test]
+    fn latch_wait_returns_immediately_when_already_set() {
+        let latch: Latch<&'static str> = Latch::new();
+        latch.set("done");
+        assert_eq!(latch.wait(&CancelToken::never()).unwrap(), "done");
+    }
+
+    #[test]
+    fn latch_wait_unblocks_on_cancel() {
+        let latch: Arc<Latch<u32>> = Arc::new(Latch::new());
+        let token = CancelToken::new();
+        let waiter = {
+            let (latch, token) = (Arc::clone(&latch), token.clone());
+            std::thread::spawn(move || latch.wait(&token))
+        };
+        std::thread::sleep(Duration::from_millis(10));
+        token.cancel();
+        assert_eq!(waiter.join().unwrap(), Err(Cancelled));
+        assert_eq!(latch.try_get(), None, "cancelled wait must not set the latch");
+    }
+
+    #[test]
+    fn latch_wait_honours_deadline_tokens() {
+        let latch: Latch<u32> = Latch::new();
+        let start = Instant::now();
+        let token = CancelToken::with_timeout(Duration::from_millis(30));
+        assert_eq!(latch.wait(&token), Err(Cancelled));
+        let waited = start.elapsed();
+        assert!(waited >= Duration::from_millis(25), "left early: {waited:?}");
+        assert!(waited < Duration::from_secs(2), "deadline ignored: {waited:?}");
     }
 }

@@ -23,5 +23,5 @@ pub mod pool;
 pub mod server;
 
 pub use http::{json_escape, Request, Response};
-pub use pool::SessionPool;
+pub use pool::{PoolError, PoolStats, SessionPool};
 pub use server::{install_signal_handlers, AppHandler, ServeConfig, Server, ShutdownHandle};

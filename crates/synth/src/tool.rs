@@ -21,6 +21,7 @@ use chatls_verilog::netlist::Netlist;
 use serde::{Deserialize, Serialize};
 use std::error::Error;
 use std::fmt;
+use std::sync::Arc;
 
 /// Error raised by a script command.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
@@ -543,14 +544,19 @@ pub fn command_spec(name: &str) -> Option<&'static CommandSpec> {
 /// Building a [`SynthSession`] from scratch re-parses the Verilog, lowers
 /// it and re-maps every gate — the dominant cost when the same design is
 /// synthesized under many candidate scripts. A template pays that cost
-/// once; [`SessionTemplate::session`] then stamps out fresh sessions by
-/// cloning the mapped design, which is cheap and side-effect free, so one
-/// template can serve many threads concurrently (`&SessionTemplate` is
-/// `Sync`: the struct is immutable after construction).
+/// once; [`SessionTemplate::session`] then stamps out fresh sessions as
+/// **copy-on-write snapshots**: the library and pristine mapped design
+/// are `Arc`-shared, so a stamp is O(1) and the first mutating command in
+/// a session clones the design privately (`Arc::make_mut`) while the
+/// library is never copied at all. One template therefore serves many
+/// threads concurrently without serializing on a deep clone
+/// (`&SessionTemplate` is `Sync`: the struct is immutable after
+/// construction), and cloning the template itself — e.g. out of a serve
+/// pool — is two reference-count bumps.
 #[derive(Debug, Clone)]
 pub struct SessionTemplate {
-    library: Library,
-    design: MappedDesign,
+    library: Arc<Library>,
+    design: Arc<MappedDesign>,
     obs: chatls_obs::ObsCtx,
     cancel: CancelToken,
 }
@@ -654,7 +660,12 @@ impl SessionBuilder {
             let _span = self.obs.span("synth.session.map");
             MappedDesign::map(self.netlist, &self.library)?
         };
-        Ok(SessionTemplate { library: self.library, design, obs: self.obs, cancel: self.cancel })
+        Ok(SessionTemplate {
+            library: Arc::new(self.library),
+            design: Arc::new(design),
+            obs: self.obs,
+            cancel: self.cancel,
+        })
     }
 
     /// Builds a single ready-to-run session (template + one stamp).
@@ -683,10 +694,15 @@ impl SessionTemplate {
     /// [`SessionBuilder::session`] build minus the elaboration and
     /// mapping cost. The stamp inherits the builder's cancel token;
     /// attach a per-run one with [`SynthSession::set_cancel_token`].
+    ///
+    /// Stamping is copy-on-write: this shares the template's library and
+    /// mapped design by reference, so it costs two `Arc` clones; the
+    /// session privately clones the design only when (and if) its first
+    /// mutating command runs.
     pub fn session(&self) -> SynthSession {
         SynthSession {
-            library: self.library.clone(),
-            design: self.design.clone(),
+            library: Arc::clone(&self.library),
+            design: Arc::clone(&self.design),
             graph: TimingGraph::new(),
             constraints: Constraints::default(),
             ungrouped: false,
@@ -708,10 +724,17 @@ impl SessionTemplate {
 }
 
 /// A scripted synthesis session over one design.
+///
+/// Sessions stamped from a [`SessionTemplate`] start as copy-on-write
+/// views of the template's state: `library` is shared for the session's
+/// whole life (scripts never mutate it) and `design` is shared until the
+/// first mutating command, at which point [`Arc::make_mut`] gives this
+/// session a private copy. Cancelled or failed sessions therefore cannot
+/// observe — let alone corrupt — the template they were stamped from.
 #[derive(Debug, Clone)]
 pub struct SynthSession {
-    library: Library,
-    design: MappedDesign,
+    library: Arc<Library>,
+    design: Arc<MappedDesign>,
     graph: TimingGraph,
     constraints: Constraints,
     ungrouped: bool,
@@ -750,9 +773,18 @@ impl SynthSession {
     }
 
     /// A [`TimingView`] lensing the design and its persistent timing graph.
+    ///
+    /// This is the copy-on-write boundary: the view needs `&mut` access,
+    /// so a session still sharing the template's pristine design clones
+    /// it privately here (`Arc::make_mut`); later views reuse that copy.
     fn view(&mut self) -> TimingView<'_> {
-        TimingView::new(&mut self.design, &mut self.graph, &self.library, &self.constraints)
-            .with_cancel(self.cancel.clone())
+        TimingView::new(
+            Arc::make_mut(&mut self.design),
+            &mut self.graph,
+            &self.library,
+            &self.constraints,
+        )
+        .with_cancel(self.cancel.clone())
     }
 
     /// QoR of the current design state, served from the incremental timing
@@ -907,7 +939,7 @@ impl SynthSession {
                 Ok(())
             }
             "check_design" => {
-                let mut d = self.design.clone();
+                let mut d = (*self.design).clone();
                 d.compact();
                 match d.netlist.check() {
                     Ok(()) => self.log.push("check_design: no issues".into()),
@@ -1220,6 +1252,41 @@ mod tests {
         let second = template.session().run_script(script);
         assert_eq!(first, fresh);
         assert_eq!(second, fresh);
+    }
+
+    /// CoW stamping: a fresh stamp shares the template's pristine design
+    /// by pointer (O(1) stamp, no deep clone); the first mutating command
+    /// gives the session a private copy and leaves the template's state
+    /// untouched.
+    #[test]
+    fn stamps_share_template_state_until_first_mutation() {
+        let sf = parse(PIPE).unwrap();
+        let nl = lower_to_netlist(&sf, "pipe").unwrap();
+        let template = SessionBuilder::new(nl, nangate45()).template().unwrap();
+        let mut session = template.session();
+        assert!(
+            std::ptr::eq(template.design() as *const _, session.design() as *const _),
+            "a fresh stamp must share the template's mapped design, not clone it"
+        );
+        assert!(
+            std::ptr::eq(template.library() as *const _, session.library() as *const _),
+            "the library must be shared for the session's whole life"
+        );
+        let pristine_gates = template.design().netlist.gates.len();
+        let r = session
+            .run_script("create_clock -period 0.6 [get_ports clk]\ncompile -map_effort high\n");
+        assert!(r.ok(), "{:?}", r.error);
+        assert!(
+            !std::ptr::eq(template.design() as *const _, session.design() as *const _),
+            "a mutating command must detach the session onto a private copy"
+        );
+        assert_eq!(
+            template.design().netlist.gates.len(),
+            pristine_gates,
+            "the template's pristine design must be untouched by the session's compile"
+        );
+        // And the library is still shared: scripts never mutate it.
+        assert!(std::ptr::eq(template.library() as *const _, session.library() as *const _));
     }
 
     #[test]

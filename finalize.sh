@@ -4,5 +4,8 @@ set -u
 cd /root/repo
 ./run_experiments.sh
 cargo bench --workspace 2>&1 | tee /root/repo/bench_output.txt | tail -5
+# Refresh the serve/ rows after the bench pass (synth.rs merge-preserves
+# them, but a fresh capture keeps serving numbers current).
+cargo run --release -p chatls-bench --bin load_serve 2>&1 | tail -8
 cargo test --workspace --no-fail-fast 2>&1 | tee /root/repo/test_output.txt | grep -cE "test result: ok"
 echo FINALIZE_DONE

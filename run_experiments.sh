@@ -10,5 +10,8 @@ for exp in tab4_baseline tab2_database tab1_query_methods fig3_circuitmentor \
     cargo run --release -p chatls-bench --bin "$exp" >"experiments_log/$exp.txt" 2>&1
     echo "    exit $? -> experiments_log/$exp.txt"
 done
+echo "=== running load_serve (serve/ rows in BENCH_synth.json) ==="
+cargo run --release -p chatls-bench --bin load_serve >"experiments_log/load_serve.txt" 2>&1
+echo "    exit $? -> experiments_log/load_serve.txt"
 cargo run --release -p chatls-bench --bin make_experiments_md
 echo "all experiments done"
