@@ -102,17 +102,22 @@ fn main() {
             Some(c) => CircuitMentor::train_on(&corpus, Some(c.clone())),
         };
         let separation = mentor.history().last().map(|e| e.separation).unwrap_or(0.0);
-        // Index the database designs with this mentor.
+        // Index the database designs with this mentor — one batched GNN
+        // pass over the whole corpus instead of a forward pass per design.
         let mut index = FlatIndex::new(mentor.embedding_dim(), Metric::Cosine);
         let names: Vec<String> = corpus.iter().map(|(d, _)| d.name.clone()).collect();
-        for (i, g) in corpus_graphs.iter().enumerate() {
-            index.add(i as u64, mentor.design_embedding(g));
+        for (i, emb) in mentor
+            .design_embeddings(&corpus_graphs.iter().collect::<Vec<_>>())
+            .into_iter()
+            .enumerate()
+        {
+            index.add(i as u64, emb);
         }
         let mut agg = RetrievalEval::default();
-        for (cfgn, g) in configs.iter().zip(&config_graphs) {
-            let emb = mentor.design_embedding(g);
+        let query_embs = mentor.design_embeddings(&config_graphs.iter().collect::<Vec<_>>());
+        for (cfgn, emb) in configs.iter().zip(&query_embs) {
             let hits: Vec<String> =
-                index.search(&emb, 3).into_iter().map(|h| names[h.id as usize].clone()).collect();
+                index.search(emb, 3).into_iter().map(|h| names[h.id as usize].clone()).collect();
             agg.merge(f1_score(&hits, &cfgn.derived_from));
         }
         Point { variant: name.clone(), f1_at_3: agg.f1(), separation }

@@ -21,7 +21,9 @@
 //!    silently throttling the generator. This is the honest tail number.
 //!
 //! After the phases, asserts the single-flight acceptance invariant
-//! (total template builds == distinct designs driven) and optionally a
+//! (total template builds == distinct designs driven), a cold-customize
+//! ceiling (`--cold-guard-ms N`, default 55 — fails if the first
+//! customize on a cold design exceeds N ms; 0 disables) and optionally a
 //! tail-latency guard (`--tail-guard R` fails the process if open-loop
 //! warm p99 exceeds `max(R x p50, 250ms)`).
 //!
@@ -33,7 +35,7 @@
 //! ```text
 //! cargo run --release -p chatls-bench --bin load_serve \
 //!     [-- --threads 4 --requests 50 --storm-clients 16 \
-//!         --rate 300 --open-seconds 5 --tail-guard 40 --smoke]
+//!         --rate 300 --open-seconds 5 --tail-guard 40 --cold-guard-ms 55 --smoke]
 //! ```
 
 use std::io::{Read, Write};
@@ -187,6 +189,10 @@ fn main() {
     let rate_arg: f64 = arg("--rate", 0.0);
     // 0 = report only. CI passes a generous bound.
     let tail_guard: f64 = arg("--tail-guard", if smoke { 40.0 } else { 0.0 });
+    // Ceiling on the cold customize (template build + first script run),
+    // in ms; 0 disables. One-shot by nature — the pool is only cold
+    // once — so the default carries slack over the measured ~30 ms.
+    let cold_guard_ms: f64 = arg("--cold-guard-ms", 55.0);
 
     eprintln!("building expert database (quick)…");
     let db = ExpertDatabase::build(&DbConfig::quick());
@@ -224,6 +230,16 @@ fn main() {
         human_time(cold_ns as f64),
         human_time(warm_once_ns as f64)
     );
+    if cold_guard_ms > 0.0 {
+        let bound_ns = (cold_guard_ms * 1e6) as u64;
+        assert!(
+            cold_ns <= bound_ns,
+            "cold customize took {} (ceiling {}): template build regressed",
+            human_time(cold_ns as f64),
+            human_time(bound_ns as f64)
+        );
+        eprintln!("cold guard ok: {} <= {cold_guard_ms:.0} ms", human_time(cold_ns as f64));
+    }
 
     // Warm the rest of the catalog serially so the closed/open loops
     // measure warm steady state; cold cost has its own row above, and

@@ -418,6 +418,15 @@ impl CircuitMentor {
         self.model.embed_graph(&graph.feature_graph)
     }
 
+    /// Global embeddings for a batch of designs in one GNN pass: the
+    /// node-feature matrices are stacked so each layer runs a single
+    /// weight matmul for the whole corpus. Bitwise identical to mapping
+    /// [`Self::design_embedding`] over the batch.
+    pub fn design_embeddings(&self, graphs: &[&CircuitGraph]) -> Vec<Vec<f32>> {
+        let feature_graphs: Vec<&FeatureGraph> = graphs.iter().map(|g| &g.feature_graph).collect();
+        self.model.embed_graphs(&feature_graphs)
+    }
+
     /// Per-module embeddings: `(module name, embedding)`.
     pub fn module_embeddings(&self, graph: &CircuitGraph) -> Vec<(String, Vec<f32>)> {
         let m = self.model.embed_modules(&graph.feature_graph);

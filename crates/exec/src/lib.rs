@@ -362,6 +362,40 @@ impl ExecPool {
     {
         self.run(items.len(), |i| f(&items[i]))
     }
+
+    /// Runs `f(0), f(1), …, f(workers-1)` with every invocation on its own
+    /// concurrently live thread, then joins them all.
+    ///
+    /// Unlike [`ExecPool::run`] — which may fold several work items onto
+    /// one worker — `broadcast` guarantees all `workers` closures execute
+    /// simultaneously, so they may rendezvous on a shared
+    /// [`std::sync::Barrier`] without deadlocking. This is the primitive
+    /// behind level-parallel sweeps that need phase barriers (e.g. the
+    /// levelized STA arrival propagation in `chatls-synth`). `workers` is
+    /// clamped to the pool width; a width-1 pool runs `f(0)` inline.
+    ///
+    /// Panics in any closure propagate to the caller after the scope joins.
+    pub fn broadcast<F>(&self, workers: usize, f: F) -> usize
+    where
+        F: Fn(usize) + Sync,
+    {
+        let workers = workers.clamp(1, self.threads);
+        let (runs, tasks) = pool_counters();
+        runs.inc();
+        tasks.add(workers as u64);
+        if workers == 1 {
+            f(0);
+            return 1;
+        }
+        std::thread::scope(|scope| {
+            let f = &f;
+            for t in 1..workers {
+                scope.spawn(move || f(t));
+            }
+            f(0);
+        });
+        workers
+    }
 }
 
 /// Parses the `CHATLS_THREADS` override: `Ok(None)` when unset or empty

@@ -153,6 +153,80 @@ impl SageModel {
         self.embed_nodes(graph).mean_rows()
     }
 
+    /// Node embeddings for a whole batch of graphs in one pass.
+    ///
+    /// The per-graph node-feature matrices are stacked vertically so each
+    /// layer performs ONE weight `matmul` over the stacked rows instead of
+    /// one per graph — the matmul kernel amortizes its blocking and SIMD
+    /// setup over the whole batch. Aggregation runs on the stacked rows
+    /// with per-graph offsets (neighborhoods never cross graph
+    /// boundaries), and the matmul kernel computes every output row
+    /// independently in ascending-k order, so each returned matrix is
+    /// bitwise identical to `embed_nodes` on that graph alone.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any graph's feature dim differs from the model input dim.
+    pub fn embed_nodes_batch(&self, graphs: &[&FeatureGraph]) -> Vec<Matrix> {
+        let dim = self.in_dim();
+        for graph in graphs {
+            assert_eq!(
+                graph.feature_dim(),
+                dim,
+                "graph feature dim {} != model input dim {}",
+                graph.feature_dim(),
+                dim
+            );
+        }
+        let mut offsets = Vec::with_capacity(graphs.len() + 1);
+        offsets.push(0usize);
+        for graph in graphs {
+            offsets.push(offsets.last().unwrap() + graph.features.rows());
+        }
+        let total = *offsets.last().unwrap();
+
+        // Stack features and shift each graph's neighbor lists by its row
+        // offset so one adjacency covers the whole batch.
+        let mut h = Matrix::zeros(total, dim);
+        let mut adj = Vec::with_capacity(total);
+        for (graph, &base) in graphs.iter().zip(&offsets) {
+            for r in 0..graph.features.rows() {
+                h.set_row(base + r, graph.features.row(r));
+            }
+            for neigh in graph.neighbor_lists() {
+                adj.push(neigh.iter().map(|&u| u + base as u32).collect::<Vec<u32>>());
+            }
+        }
+
+        for layer in &self.layers {
+            let (agg, _) = aggregate(&h, &adj, self.aggregator);
+            let x = h.hcat(&agg);
+            let z = x.matmul(&layer.weight);
+            h = if layer.relu { z.map(|v| v.max(0.0)) } else { z };
+        }
+
+        let out_dim = h.cols();
+        graphs
+            .iter()
+            .enumerate()
+            .map(|(gi, _)| {
+                let (lo, hi) = (offsets[gi], offsets[gi + 1]);
+                Matrix::from_vec(
+                    hi - lo,
+                    out_dim,
+                    h.as_slice()[lo * out_dim..hi * out_dim].to_vec(),
+                )
+            })
+            .collect()
+    }
+
+    /// Global design embeddings for a batch of graphs: one weight `matmul`
+    /// per layer across the whole batch (see [`Self::embed_nodes_batch`]),
+    /// bitwise identical to mapping [`Self::embed_graph`] over the batch.
+    pub fn embed_graphs(&self, graphs: &[&FeatureGraph]) -> Vec<Vec<f32>> {
+        self.embed_nodes_batch(graphs).iter().map(Matrix::mean_rows).collect()
+    }
+
     /// Backward pass: given `d(loss)/d(output)`, returns per-layer weight
     /// gradients (same order as `self.layers`).
     ///
@@ -435,5 +509,50 @@ mod tests {
         let g = toy_graph();
         let model = SageModel::new(&[5, 2], Aggregator::Mean, 0);
         model.forward(&g);
+    }
+
+    /// The batched path must be bitwise identical to per-graph inference —
+    /// stacking only changes which rows share a matmul call, never the
+    /// per-element operation order.
+    fn batch_matches_single(agg: Aggregator) {
+        let g1 = toy_graph();
+        let g2 = FeatureGraph::new(
+            Matrix::from_rows(&[&[0.9, -1.5], &[2.0, 0.25], &[-0.75, 3.0]]),
+            vec![(0, 1), (0, 2)],
+        );
+        let g3 = FeatureGraph::new(Matrix::from_rows(&[&[4.0, -2.0]]), vec![]);
+        let model = SageModel::new(&[2, 5, 3], agg, 13);
+        let graphs = [&g1, &g2, &g3];
+        let batched = model.embed_nodes_batch(&graphs);
+        assert_eq!(batched.len(), graphs.len());
+        for (g, b) in graphs.iter().zip(&batched) {
+            let single = model.embed_nodes(g);
+            assert_eq!((b.rows(), b.cols()), (single.rows(), single.cols()));
+            for (x, y) in b.as_slice().iter().zip(single.as_slice()) {
+                assert_eq!(x.to_bits(), y.to_bits(), "batched {x} != single {y}");
+            }
+        }
+        for (g, e) in graphs.iter().zip(model.embed_graphs(&graphs)) {
+            for (x, y) in e.iter().zip(model.embed_graph(g)) {
+                assert_eq!(x.to_bits(), y.to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn batched_inference_bitwise_matches_single_mean() {
+        batch_matches_single(Aggregator::Mean);
+    }
+
+    #[test]
+    fn batched_inference_bitwise_matches_single_max() {
+        batch_matches_single(Aggregator::Max);
+    }
+
+    #[test]
+    fn batched_inference_empty_batch() {
+        let model = SageModel::new(&[2, 3], Aggregator::Mean, 5);
+        assert!(model.embed_nodes_batch(&[]).is_empty());
+        assert!(model.embed_graphs(&[]).is_empty());
     }
 }

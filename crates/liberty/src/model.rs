@@ -10,7 +10,9 @@
 //! Units: time in ns, capacitance in fF, area in µm², resistance in ns/fF.
 
 use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
 use std::fmt;
+use std::sync::OnceLock;
 
 /// Direction of a cell pin.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
@@ -189,7 +191,13 @@ impl WireLoadModel {
 }
 
 /// A technology library.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+///
+/// Name lookups ([`Library::cell`], [`Library::cell_id`]) are served from a
+/// lazily built name → index table. The table is built on first lookup and
+/// assumes `cells` is no longer mutated afterwards — the library is
+/// construct-once data everywhere in this workspace (parsed or baked in,
+/// then shared behind `Arc`). Cloning or deserializing resets the table.
+#[derive(Debug)]
 pub struct Library {
     /// Library name.
     pub name: String,
@@ -199,12 +207,139 @@ pub struct Library {
     pub wire_loads: Vec<WireLoadModel>,
     /// Name of the default wireload model.
     pub default_wire_load: Option<String>,
+    /// Lazy cell-name → `cells` index table (not serialized; rebuilt on
+    /// first lookup).
+    index: OnceLock<HashMap<String, u32, FxBuildHasher>>,
+}
+
+/// Multiply-xor string hasher (FxHash-style) for the cell-name index.
+///
+/// Cell names are short (`"NAND2_X4"`) and lookups run once per gate on
+/// 40k-gate designs, so the index is on a measured hot path where SipHash's
+/// per-call setup dominates. Names are trusted, fixed workspace data — no
+/// HashDoS surface — so the non-cryptographic mix is fine.
+#[derive(Clone, Copy, Default, Debug)]
+pub struct FxBuildHasher;
+
+impl std::hash::BuildHasher for FxBuildHasher {
+    type Hasher = FxHasher;
+    fn build_hasher(&self) -> FxHasher {
+        FxHasher(0)
+    }
+}
+
+/// Hasher produced by [`FxBuildHasher`].
+#[derive(Debug)]
+pub struct FxHasher(u64);
+
+impl std::hash::Hasher for FxHasher {
+    fn finish(&self) -> u64 {
+        self.0
+    }
+
+    fn write(&mut self, bytes: &[u8]) {
+        const SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+        let mut h = self.0;
+        let mut chunks = bytes.chunks_exact(8);
+        for c in &mut chunks {
+            let w = u64::from_le_bytes(c.try_into().unwrap());
+            h = (h.rotate_left(5) ^ w).wrapping_mul(SEED);
+        }
+        let mut tail = 0u64;
+        for (i, &b) in chunks.remainder().iter().enumerate() {
+            tail |= (b as u64) << (8 * i);
+        }
+        h = (h.rotate_left(5) ^ tail).wrapping_mul(SEED);
+        self.0 = h;
+    }
+
+    fn write_u8(&mut self, b: u8) {
+        self.write(&[b]);
+    }
+
+    fn write_usize(&mut self, n: usize) {
+        self.write(&n.to_le_bytes());
+    }
+}
+
+impl Serialize for Library {
+    fn serialize(&self) -> serde::Value {
+        serde::Value::Map(vec![
+            ("name".to_string(), self.name.serialize()),
+            ("cells".to_string(), self.cells.serialize()),
+            ("wire_loads".to_string(), self.wire_loads.serialize()),
+            ("default_wire_load".to_string(), self.default_wire_load.serialize()),
+        ])
+    }
+}
+
+impl Deserialize for Library {
+    fn deserialize(v: &serde::Value) -> Result<Self, serde::DeError> {
+        Ok(Library::new(
+            Deserialize::deserialize(&v["name"])?,
+            Deserialize::deserialize(&v["cells"])?,
+            Deserialize::deserialize(&v["wire_loads"])?,
+            Deserialize::deserialize(&v["default_wire_load"])?,
+        ))
+    }
+}
+
+impl Clone for Library {
+    fn clone(&self) -> Self {
+        Self {
+            name: self.name.clone(),
+            cells: self.cells.clone(),
+            wire_loads: self.wire_loads.clone(),
+            default_wire_load: self.default_wire_load.clone(),
+            index: OnceLock::new(),
+        }
+    }
+}
+
+impl PartialEq for Library {
+    fn eq(&self, other: &Self) -> bool {
+        self.name == other.name
+            && self.cells == other.cells
+            && self.wire_loads == other.wire_loads
+            && self.default_wire_load == other.default_wire_load
+    }
 }
 
 impl Library {
+    /// Creates a library from its parts.
+    pub fn new(
+        name: String,
+        cells: Vec<Cell>,
+        wire_loads: Vec<WireLoadModel>,
+        default_wire_load: Option<String>,
+    ) -> Self {
+        Self { name, cells, wire_loads, default_wire_load, index: OnceLock::new() }
+    }
+
+    fn index(&self) -> &HashMap<String, u32, FxBuildHasher> {
+        self.index.get_or_init(|| {
+            self.cells.iter().enumerate().map(|(i, c)| (c.name.clone(), i as u32)).collect()
+        })
+    }
+
     /// Looks up a cell by exact name.
     pub fn cell(&self, name: &str) -> Option<&Cell> {
-        self.cells.iter().find(|c| c.name == name)
+        self.index().get(name).map(|&i| &self.cells[i as usize])
+    }
+
+    /// Index of the cell named `name` into [`Library::cells`], for callers
+    /// that keep compact `u32` links instead of strings.
+    pub fn cell_id(&self, name: &str) -> Option<u32> {
+        self.index().get(name).copied()
+    }
+
+    /// The cell at a [`Library::cell_id`] index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of bounds.
+    pub fn cell_by_id(&self, id: u32) -> &Cell {
+        &self.cells[id as usize]
     }
 
     /// Looks up a wireload model by name.

@@ -225,12 +225,7 @@ pub fn nangate45() -> Library {
         slope: 1.2,
         fanout_length: vec![(1, 0.6), (2, 1.3), (4, 2.8), (8, 6.0), (16, 13.0)],
     };
-    Library {
-        name: "nangate45_sim".into(),
-        cells,
-        wire_loads: vec![heavy, light],
-        default_wire_load: Some("5K_heavy_1k".into()),
-    }
+    Library::new("nangate45_sim".into(), cells, vec![heavy, light], Some("5K_heavy_1k".into()))
 }
 
 #[cfg(test)]

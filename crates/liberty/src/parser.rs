@@ -273,12 +273,12 @@ pub fn parse_library(src: &str) -> Result<Library, ParseLibertyError> {
             message: format!("expected top-level 'library' group, found '{}'", root.kind),
         });
     }
-    let mut lib = Library {
-        name: root.args.first().cloned().unwrap_or_default(),
-        cells: Vec::new(),
-        wire_loads: Vec::new(),
-        default_wire_load: root.attr("default_wire_load").map(str::to_string),
-    };
+    let mut lib = Library::new(
+        root.args.first().cloned().unwrap_or_default(),
+        Vec::new(),
+        Vec::new(),
+        root.attr("default_wire_load").map(str::to_string),
+    );
     for wl in root.groups_of("wire_load") {
         let mut fanout_length = Vec::new();
         for (name, vals) in &wl.complex {

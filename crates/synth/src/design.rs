@@ -3,7 +3,6 @@
 use chatls_liberty::{Library, PinDir};
 use chatls_verilog::netlist::{GateKind, Netlist};
 use serde::{Deserialize, Serialize};
-use std::collections::HashMap;
 use std::error::Error;
 use std::fmt;
 
@@ -25,6 +24,9 @@ impl Error for SynthesisError {}
 pub(crate) fn serr(m: impl Into<String>) -> SynthesisError {
     SynthesisError { message: m.into() }
 }
+
+/// Sentinel in [`MappedDesign::cell_ids`] for gates with no library cell.
+pub(crate) const NO_CELL: u32 = u32::MAX;
 
 /// Library cell base name for each primitive gate kind; `None` for
 /// zero-area pseudo-cells (constants).
@@ -175,43 +177,95 @@ impl MappedDesign {
     /// Per-net load in fF: sink pin capacitances plus wireload.
     ///
     /// `wire_load` may be `None` to model ideal wires.
+    ///
+    /// Walks the gates once instead of materializing a sink map: each live
+    /// gate resolves its cell a single time (through a per-library-cell cap
+    /// cache) and adds its input-pin caps to the nets it reads. Per net,
+    /// the additions land in the same (gate index, pin) order the sink-map
+    /// formulation produced, then the primary-output load, then the
+    /// wireload term — so the result is bitwise identical to it.
     pub fn net_loads(&self, library: &Library, wire_load: Option<&str>) -> Vec<f64> {
+        self.net_loads_from_ids(library, wire_load, &self.cell_ids(library))
+    }
+
+    /// Library cell id per gate (parallel to `netlist.gates`), with
+    /// [`NO_CELL`] for constants and unknown cells. One string hash per
+    /// gate; callers that need cell data for several passes resolve this
+    /// once and share it.
+    pub(crate) fn cell_ids(&self, library: &Library) -> Vec<u32> {
+        self.cells
+            .iter()
+            .map(
+                |name| {
+                    if name.is_empty() {
+                        NO_CELL
+                    } else {
+                        library.cell_id(name).unwrap_or(NO_CELL)
+                    }
+                },
+            )
+            .collect()
+    }
+
+    /// [`MappedDesign::net_loads`] with pre-resolved cell ids.
+    pub(crate) fn net_loads_from_ids(
+        &self,
+        library: &Library,
+        wire_load: Option<&str>,
+        ids: &[u32],
+    ) -> Vec<f64> {
         let wlm = wire_load.and_then(|w| library.wire_load(w));
-        let sinks = self.sink_map();
-        let primary_out: HashMap<u32, usize> =
-            self.netlist.outputs.iter().enumerate().map(|(i, (_, id))| (*id, i)).collect();
-        let mut loads = vec![0.0f64; self.netlist.nets.len()];
-        for (net, net_sinks) in sinks.iter().enumerate() {
-            let mut cap = 0.0;
-            let mut fanout = 0u32;
-            for &(gi, pin) in net_sinks {
-                fanout += 1;
-                let cell_name = &self.cells[gi];
-                if cell_name.is_empty() {
-                    continue;
+        let nets = self.netlist.nets.len();
+        let mut loads = vec![0.0f64; nets];
+        let mut fanout = vec![0u32; nets];
+        // Input-pin caps per library cell, resolved lazily by cell id.
+        // DFF data pin is inputs[0]; clock pin load is implicit.
+        let mut caps_by_id: Vec<Option<Box<[f64]>>> = vec![None; library.cells.len()];
+        for (gi, gate) in self.netlist.gates.iter().enumerate() {
+            if self.dead[gi] {
+                continue;
+            }
+            let mut caps: Option<&[f64]> = None;
+            if ids[gi] != NO_CELL {
+                let slot = &mut caps_by_id[ids[gi] as usize];
+                if slot.is_none() {
+                    *slot = Some(
+                        library
+                            .cell_by_id(ids[gi])
+                            .pins
+                            .iter()
+                            .filter(|p| p.direction == PinDir::Input)
+                            .map(|p| p.capacitance)
+                            .collect(),
+                    );
                 }
-                if let Some(cell) = library.cell(cell_name) {
-                    let input_pins: Vec<&chatls_liberty::Pin> =
-                        cell.pins.iter().filter(|p| p.direction == PinDir::Input).collect();
-                    // DFF data pin is inputs[0]; clock pin load is implicit.
-                    if let Some(p) = input_pins.get(pin) {
-                        cap += p.capacitance;
-                    } else if let Some(p) = input_pins.first() {
-                        cap += p.capacitance;
+                caps = slot.as_deref();
+            }
+            for (pin, &inp) in gate.inputs.iter().enumerate() {
+                fanout[inp as usize] += 1;
+                if let Some(caps) = caps {
+                    if let Some(&c) = caps.get(pin).or_else(|| caps.first()) {
+                        loads[inp as usize] += c;
                     }
                 }
             }
-            // A primary output adds one standard load.
-            if primary_out.contains_key(&(net as u32)) {
-                fanout += 1;
-                cap += 2.0;
+        }
+        // A primary output adds one standard load (once per net, even if
+        // several output ports alias the same net).
+        let mut is_po = vec![false; nets];
+        for (_, id) in &self.netlist.outputs {
+            if !is_po[*id as usize] {
+                is_po[*id as usize] = true;
+                fanout[*id as usize] += 1;
+                loads[*id as usize] += 2.0;
             }
-            if let Some(w) = wlm {
-                if fanout > 0 {
-                    cap += w.wire_cap(fanout);
+        }
+        if let Some(w) = wlm {
+            for (net, &f) in fanout.iter().enumerate() {
+                if f > 0 {
+                    loads[net] += w.wire_cap(f);
                 }
             }
-            loads[net] = cap;
         }
         loads
     }

@@ -8,7 +8,7 @@
 use crate::design::MappedDesign;
 use crate::timing_graph::TimingView;
 use chatls_liberty::Library;
-use chatls_verilog::netlist::GateKind;
+use chatls_verilog::netlist::{GateKind, InputList};
 use serde::{Deserialize, Serialize};
 
 /// Statistics returned by a pass.
@@ -37,61 +37,111 @@ impl PassStats {
 /// driver) is kept. Runs to fixpoint.
 pub fn sweep(design: &mut MappedDesign) -> PassStats {
     let mut stats = PassStats::default();
-    loop {
-        let mut changed = false;
-        let primary_outputs: Vec<u32> = design.netlist.outputs.iter().map(|(_, id)| *id).collect();
-        // Buffer removal.
-        let n = design.netlist.gates.len();
-        for gi in 0..n {
-            if design.is_dead(gi) {
-                continue;
+    let nets = design.netlist.nets.len();
+    let mut is_po = vec![false; nets];
+    for (_, id) in &design.netlist.outputs {
+        is_po[*id as usize] = true;
+    }
+
+    // Buffer removal. Instead of rewiring every sink per buffer (quadratic
+    // in buffer count), build the net-forwarding map of all removable
+    // buffers at once, resolve chains transitively, and rewrite every gate
+    // input through it in one pass. The fixpoint the per-buffer formulation
+    // reached across rounds is exactly the transitive closure.
+    let mut forward: Vec<u32> = (0..nets as u32).collect();
+    let mut any_buf = false;
+    for gi in 0..design.netlist.gates.len() {
+        if design.is_dead(gi) {
+            continue;
+        }
+        let gate = &design.netlist.gates[gi];
+        if gate.kind != GateKind::Buf || gate.dont_touch || is_po[gate.output as usize] {
+            continue;
+        }
+        // First buffer wins on (degenerate) multi-driver nets, matching
+        // the order the per-buffer rewiring visited them.
+        if forward[gate.output as usize] == gate.output {
+            forward[gate.output as usize] = gate.inputs[0];
+        }
+        any_buf = true;
+        design.kill(gi);
+        stats.removed += 1;
+    }
+    if any_buf {
+        // Path-halving resolution; the step cap makes degenerate buffer
+        // cycles terminate (they collapse to dead self-loops either way).
+        let resolve = |forward: &[u32], mut net: u32| -> u32 {
+            let mut steps = 0usize;
+            while forward[net as usize] != net && steps <= nets {
+                net = forward[net as usize];
+                steps += 1;
             }
-            let gate = design.netlist.gates[gi].clone();
-            if gate.kind != GateKind::Buf || gate.dont_touch {
-                continue;
+            net
+        };
+        let resolved: Vec<u32> = (0..nets as u32).map(|n| resolve(&forward, n)).collect();
+        for g in design.netlist.gates.iter_mut() {
+            for inp in g.inputs.iter_mut() {
+                *inp = resolved[*inp as usize];
             }
-            if primary_outputs.contains(&gate.output) {
-                continue;
+            if let Some(e) = g.enable {
+                g.enable = Some(resolved[e as usize]);
             }
-            let src = gate.inputs[0];
-            let out = gate.output;
-            for other in design.netlist.gates.iter_mut() {
-                for inp in other.inputs.iter_mut() {
-                    if *inp == out {
-                        *inp = src;
+            if let Some(r) = g.async_reset {
+                g.async_reset = Some(resolved[r as usize]);
+            }
+        }
+    }
+
+    // Dead gate elimination: no sinks and not a primary output. A kill can
+    // orphan its input nets' drivers, so cascade through a worklist — the
+    // same closure the round-based formulation reached by re-scanning.
+    let mut uses = vec![0u32; nets];
+    let mut driver_of: Vec<Vec<u32>> = vec![Vec::new(); nets];
+    for (gi, g) in design.netlist.gates.iter().enumerate() {
+        if design.is_dead(gi) {
+            continue;
+        }
+        driver_of[g.output as usize].push(gi as u32);
+        for &inp in &g.inputs {
+            uses[inp as usize] += 1;
+        }
+        if let Some(e) = g.enable {
+            uses[e as usize] += 1;
+        }
+        if let Some(r) = g.async_reset {
+            uses[r as usize] += 1;
+        }
+    }
+    let mut worklist: Vec<u32> = Vec::new();
+    for gi in 0..design.netlist.gates.len() {
+        if !design.is_dead(gi) {
+            let out = design.netlist.gates[gi].output as usize;
+            if uses[out] == 0 && !is_po[out] {
+                worklist.push(gi as u32);
+            }
+        }
+    }
+    let mut released: Vec<u32> = Vec::new();
+    while let Some(gi) = worklist.pop() {
+        let gi = gi as usize;
+        if design.is_dead(gi) {
+            continue;
+        }
+        design.kill(gi);
+        stats.removed += 1;
+        released.clear();
+        released.extend_from_slice(&design.netlist.gates[gi].inputs);
+        released.extend(design.netlist.gates[gi].enable);
+        released.extend(design.netlist.gates[gi].async_reset);
+        for &net in &released {
+            uses[net as usize] -= 1;
+            if uses[net as usize] == 0 && !is_po[net as usize] {
+                for &d in &driver_of[net as usize] {
+                    if !design.is_dead(d as usize) {
+                        worklist.push(d);
                     }
                 }
-                if other.enable == Some(out) {
-                    other.enable = Some(src);
-                }
-                if other.async_reset == Some(out) {
-                    other.async_reset = Some(src);
-                }
             }
-            design.kill(gi);
-            stats.removed += 1;
-            changed = true;
-        }
-        // Dead gate elimination: no sinks and not a primary output.
-        let sinks = design.sink_map();
-        for gi in 0..design.netlist.gates.len() {
-            if design.is_dead(gi) {
-                continue;
-            }
-            let out = design.netlist.gates[gi].output;
-            let used = !sinks[out as usize].is_empty()
-                || primary_outputs.contains(&out)
-                || design.netlist.gates.iter().enumerate().any(|(oi, g)| {
-                    !design.is_dead(oi) && (g.enable == Some(out) || g.async_reset == Some(out))
-                });
-            if !used {
-                design.kill(gi);
-                stats.removed += 1;
-                changed = true;
-            }
-        }
-        if !changed {
-            break;
         }
     }
     stats
@@ -175,7 +225,7 @@ pub fn const_propagate(design: &mut MappedDesign, library: &Library) -> PassStat
             if let Some((kind, inputs, cell)) = rewrite {
                 let slot = &mut design.netlist.gates[gi];
                 slot.kind = kind;
-                slot.inputs = inputs;
+                slot.inputs = inputs.into();
                 design.cells[gi] = cell;
                 stats.resized += 1;
                 changed = true;
@@ -211,7 +261,7 @@ pub fn strash(design: &mut MappedDesign) -> PassStats {
             if g.kind.is_sequential() || g.dont_touch {
                 continue;
             }
-            let mut key_inputs = g.inputs.clone();
+            let mut key_inputs = g.inputs;
             let commutative = matches!(
                 g.kind,
                 GateKind::And
@@ -224,7 +274,7 @@ pub fn strash(design: &mut MappedDesign) -> PassStats {
             if commutative {
                 key_inputs.sort_unstable();
             }
-            match seen.entry((g.kind, key_inputs)) {
+            match seen.entry((g.kind, key_inputs.to_vec())) {
                 std::collections::hash_map::Entry::Vacant(v) => {
                     v.insert(g.output);
                 }
@@ -330,7 +380,7 @@ pub fn absorb_inverters(design: &mut MappedDesign, library: &Library) -> PassSta
                     if primary_outputs.contains(&out) {
                         // Keep a buffer to drive the output.
                         design.netlist.gates[gi].kind = GateKind::Buf;
-                        design.netlist.gates[gi].inputs = vec![x];
+                        design.netlist.gates[gi].inputs = InputList::from_slice(&[x]);
                         if let Some(c) = cell_for(GateKind::Buf) {
                             design.cells[gi] = c;
                         }
@@ -359,7 +409,7 @@ pub fn absorb_inverters(design: &mut MappedDesign, library: &Library) -> PassSta
             };
             // The outer NOT becomes the merged gate; the inner gate dies.
             design.netlist.gates[gi].kind = merged_kind;
-            design.netlist.gates[gi].inputs = inner.inputs.clone();
+            design.netlist.gates[gi].inputs = inner.inputs;
             design.cells[gi] = cell;
             design.kill(inner_gi);
             stats.removed += 1;
@@ -491,8 +541,12 @@ pub fn buffer_high_fanout(
         Some(c) => c.name.clone(),
         None => return stats,
     };
+    // The sink map is built once and maintained across splits (a split
+    // moves a net's sinks onto the new buffer nets and leaves every other
+    // net untouched), so each iteration costs a scan of the net table
+    // instead of a full map rebuild.
+    let mut sinks = design.sink_map();
     loop {
-        let sinks = design.sink_map();
         let mut worst: Option<(usize, usize)> = None; // (net, fanout)
         for (net, s) in sinks.iter().enumerate() {
             if s.len() > max_fanout && worst.map(|(_, f)| s.len() > f).unwrap_or(true) {
@@ -503,7 +557,7 @@ pub fn buffer_high_fanout(
             Some(w) => w,
             None => break,
         };
-        let net_sinks = sinks[net].clone();
+        let net_sinks = std::mem::take(&mut sinks[net]);
         let path = design
             .netlist
             .gates
@@ -519,7 +573,7 @@ pub fn buffer_high_fanout(
             ));
             let gate = chatls_verilog::netlist::Gate {
                 kind: GateKind::Buf,
-                inputs: vec![net as u32],
+                inputs: InputList::from_slice(&[net as u32]),
                 output: new_net,
                 path: path.clone(),
                 reset_value: false,
@@ -527,11 +581,13 @@ pub fn buffer_high_fanout(
                 enable: None,
                 dont_touch: true,
             };
-            design.push_gate(gate, buf.clone());
+            let buf_gi = design.push_gate(gate, buf.clone());
             stats.added += 1;
             for &(gi, pin) in group {
                 design.netlist.gates[gi].inputs[pin] = new_net;
             }
+            sinks.push(group.to_vec());
+            sinks[net].push((buf_gi, 0));
         }
     }
     stats
@@ -615,7 +671,7 @@ pub fn retime(view: &mut TimingView, ungrouped: bool, max_moves: usize) -> PassS
                 ));
                 let dff = chatls_verilog::netlist::Gate {
                     kind: GateKind::Dff,
-                    inputs: vec![inp],
+                    inputs: InputList::from_slice(&[inp]),
                     output: nq,
                     path: path.clone(),
                     reset_value: false,
@@ -626,7 +682,7 @@ pub fn retime(view: &mut TimingView, ungrouped: bool, max_moves: usize) -> PassS
                 design.push_gate(dff, dff_cell.clone());
                 new_inputs.push(nq);
             }
-            design.netlist.gates[gate_i].inputs = new_inputs;
+            design.netlist.gates[gate_i].inputs = new_inputs.into();
             design.netlist.gates[gate_i].output = q_net;
             design.kill(dff_i);
         });
@@ -730,7 +786,7 @@ pub fn fix_hold(view: &mut TimingView) -> PassStats {
                 ));
                 let gate = chatls_verilog::netlist::Gate {
                     kind: GateKind::Buf,
-                    inputs: vec![d],
+                    inputs: InputList::from_slice(&[d]),
                     output: new_net,
                     path,
                     reset_value: false,

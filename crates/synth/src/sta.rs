@@ -10,7 +10,7 @@
 //! **WNS** (worst negative slack, 0 when met), **CPS** (critical path
 //! slack, signed), **TNS** (total negative slack), and cell **area**.
 
-use crate::design::MappedDesign;
+use crate::design::{MappedDesign, NO_CELL};
 use chatls_liberty::Library;
 use chatls_verilog::netlist::GateKind;
 use serde::{Deserialize, Serialize};
@@ -205,19 +205,24 @@ impl SlackMap {
 /// Computes per-net arrival and required times (backward propagation from
 /// endpoints), for timing-driven optimization passes.
 pub fn slack_map(design: &MappedDesign, library: &Library, constraints: &Constraints) -> SlackMap {
-    let a = compute_arrivals(design, library, constraints);
-    let required = required_times(design, library, constraints, &a.loads, &a.order);
+    let ids = design.cell_ids(library);
+    let gate_arcs = resolve_gate_arcs_from_ids(design, library, &ids);
+    let a = compute_arrivals_with(design, library, constraints, &ids, &gate_arcs);
+    let required =
+        required_times_with(design, library, constraints, &a.loads, &a.order, &ids, &gate_arcs);
     SlackMap { arrival: a.arrival, required }
 }
 
 /// Backward required-time propagation over `order` (any valid topological
 /// order of the live combinational gates; tombstoned entries are skipped).
-pub(crate) fn required_times(
+pub(crate) fn required_times_with(
     design: &MappedDesign,
     library: &Library,
     constraints: &Constraints,
     loads: &[f64],
     order: &[usize],
+    ids: &[u32],
+    gate_arcs: &[&[chatls_liberty::TimingArc]],
 ) -> Vec<f64> {
     let nets = design.netlist.nets.len();
     let mut required = vec![f64::INFINITY; nets];
@@ -225,9 +230,7 @@ pub(crate) fn required_times(
         if design.is_dead(gi) || !gate.kind.is_sequential() {
             continue;
         }
-        let setup = library
-            .cell(&design.cells[gi])
-            .and_then(|c| c.ff.as_ref())
+        let setup = if ids[gi] == NO_CELL { None } else { library.cell_by_id(ids[gi]).ff.as_ref() }
             .map(|ff| ff.setup)
             .unwrap_or(0.05);
         let d = gate.inputs[0] as usize;
@@ -242,14 +245,14 @@ pub(crate) fn required_times(
             continue;
         }
         let gate = &design.netlist.gates[gi];
-        let cell = library.cell(&design.cells[gi]);
+        let arcs = gate_arcs[gi];
         let out_req = required[gate.output as usize];
         if !out_req.is_finite() {
             continue;
         }
         let load = loads[gate.output as usize];
         for (pin, &inp) in gate.inputs.iter().enumerate() {
-            let r = out_req - arc_delay_for(cell, pin, load);
+            let r = out_req - arc_delay_from(arcs, pin, load);
             if r < required[inp as usize] {
                 required[inp as usize] = r;
             }
@@ -263,21 +266,42 @@ pub(crate) fn compute_arrivals(
     library: &Library,
     constraints: &Constraints,
 ) -> Arrivals {
+    let ids = design.cell_ids(library);
+    let gate_arcs = resolve_gate_arcs_from_ids(design, library, &ids);
+    compute_arrivals_with(design, library, constraints, &ids, &gate_arcs)
+}
+
+/// [`compute_arrivals`] with pre-resolved cell ids and arc tables, so
+/// callers that also need them for other passes hash each cell name once.
+pub(crate) fn compute_arrivals_with(
+    design: &MappedDesign,
+    library: &Library,
+    constraints: &Constraints,
+    ids: &[u32],
+    gate_arcs: &[&[chatls_liberty::TimingArc]],
+) -> Arrivals {
     let nets = design.netlist.nets.len();
-    let loads = design.net_loads(library, constraints.wire_load.as_deref());
+    let loads = design.net_loads_from_ids(library, constraints.wire_load.as_deref(), ids);
     let mut arrival = vec![f64::NEG_INFINITY; nets];
 
     // Sources: primary inputs and register outputs.
     let clock_name = constraints.clock_port.clone().or_else(|| design.netlist.clock.clone());
+    // `clk` also matches bus bits `clk[i]`; prefix computed once, not per
+    // input bit.
+    let clock_prefix = clock_name.as_deref().map(|c| format!("{c}["));
+    let false_prefixes: Vec<(&str, String)> = constraints
+        .exceptions
+        .iter()
+        .filter_map(|e| match e {
+            TimingException::FalseFrom(p) => Some((p.as_str(), format!("{p}["))),
+            _ => None,
+        })
+        .collect();
     for (name, id) in &design.netlist.inputs {
-        let is_clock = clock_name
-            .as_deref()
-            .map(|c| name == c || name.starts_with(&format!("{c}[")))
-            .unwrap_or(false);
-        let false_from = constraints.exceptions.iter().any(|e| {
-            matches!(e, TimingException::FalseFrom(p)
-                if name == p || name.starts_with(&format!("{p}[")))
-        });
+        let is_clock = clock_name.as_deref().map(|c| name == c).unwrap_or(false)
+            || clock_prefix.as_deref().map(|p| name.starts_with(p)).unwrap_or(false);
+        let false_from =
+            false_prefixes.iter().any(|(p, pb)| name == p || name.starts_with(pb.as_str()));
         arrival[*id as usize] = if is_clock || false_from {
             0.0
         } else {
@@ -293,20 +317,90 @@ pub(crate) fn compute_arrivals(
         if design.is_dead(gi) || !gate.kind.is_sequential() {
             continue;
         }
-        let clk_q = library
-            .cell(&design.cells[gi])
-            .and_then(|c| c.ff.as_ref())
+        let clk_q = if ids[gi] == NO_CELL { None } else { library.cell_by_id(ids[gi]).ff.as_ref() }
             .map(|ff| ff.clk_to_q.delay(loads[gate.output as usize]))
             .unwrap_or(0.1);
         arrival[gate.output as usize] = clk_q;
     }
 
-    // Topological propagation over live combinational gates.
+    // Topological propagation over live combinational gates. Arc tables
+    // are resolved once per gate up front; the propagation itself runs
+    // serially, or level-parallel on the global pool for large designs.
     let driver = design.driver_map();
     let (order, cycles) = comb_topo(design, &driver);
-    for &gi in &order {
+    let pool = chatls_exec::ExecPool::global();
+    if pool.threads() > 1 && order.len() - cycles >= LEVEL_PAR_MIN_GATES {
+        propagate_arrivals_levelized(
+            design,
+            &order,
+            cycles,
+            &driver,
+            gate_arcs,
+            &loads,
+            &mut arrival,
+            pool,
+        );
+    } else {
+        propagate_arrivals_serial(design, &order, gate_arcs, &loads, &mut arrival);
+    }
+
+    Arrivals { arrival, loads, order, driver, cycles }
+}
+
+/// Output-pin timing-arc table for every gate, resolved through the
+/// library's id index so each distinct cell is scanned once. Gates with no
+/// cell (constants), an unknown cell, or no output pin get an empty table,
+/// which [`arc_delay_from`] maps to a zero delay — exactly what
+/// [`arc_delay_for`] returns for those cases.
+pub(crate) fn resolve_gate_arcs_from_ids<'a>(
+    design: &MappedDesign,
+    library: &'a Library,
+    ids: &[u32],
+) -> Vec<&'a [chatls_liberty::TimingArc]> {
+    const EMPTY: &[chatls_liberty::TimingArc] = &[];
+    let mut by_id: Vec<Option<&'a [chatls_liberty::TimingArc]>> = vec![None; library.cells.len()];
+    ids.iter()
+        .take(design.netlist.gates.len())
+        .map(|&id| {
+            if id == NO_CELL {
+                return EMPTY;
+            }
+            *by_id[id as usize].get_or_insert_with(|| {
+                library
+                    .cell_by_id(id)
+                    .pins
+                    .iter()
+                    .find(|p| p.direction == chatls_liberty::PinDir::Output)
+                    .map(|o| o.timing.as_slice())
+                    .unwrap_or(EMPTY)
+            })
+        })
+        .collect()
+}
+
+/// Arc delay for a gate's `pin`-th input from its resolved arc table —
+/// same arithmetic as [`arc_delay_for`] without the per-call pin scan.
+#[inline]
+pub(crate) fn arc_delay_from(arcs: &[chatls_liberty::TimingArc], pin: usize, load: f64) -> f64 {
+    arcs.get(pin).or_else(|| arcs.first()).map(|arc| arc.delay(load)).unwrap_or(0.0)
+}
+
+/// Minimum acyclic gate count before arrival propagation fans out on the
+/// pool: below this the per-level barrier overhead beats the win.
+const LEVEL_PAR_MIN_GATES: usize = 8192;
+
+/// The reference serial arrival walk: gates in topological order, each
+/// taking `max(input arrival + arc delay)` over its pins.
+pub(crate) fn propagate_arrivals_serial(
+    design: &MappedDesign,
+    order: &[usize],
+    gate_arcs: &[&[chatls_liberty::TimingArc]],
+    loads: &[f64],
+    arrival: &mut [f64],
+) {
+    for &gi in order {
         let gate = &design.netlist.gates[gi];
-        let cell = library.cell(&design.cells[gi]);
+        let arcs = gate_arcs[gi];
         let out_load = loads[gate.output as usize];
         let mut worst = match gate.kind {
             GateKind::Const0 | GateKind::Const1 => 0.0,
@@ -316,7 +410,7 @@ pub(crate) fn compute_arrivals(
             // Excluded launch points carry -inf and must not re-enter as
             // t=0: a false path stays false through the whole cone.
             let in_arr = arrival[inp as usize];
-            let arc_delay = arc_delay_for(cell, pin, out_load);
+            let arc_delay = arc_delay_from(arcs, pin, out_load);
             if in_arr + arc_delay > worst {
                 worst = in_arr + arc_delay;
             }
@@ -325,8 +419,143 @@ pub(crate) fn compute_arrivals(
             arrival[gate.output as usize] = worst;
         }
     }
+}
 
-    Arrivals { arrival, loads, order, driver, cycles }
+/// Shared mutable `f64` buffer for the barrier-disciplined level-parallel
+/// walk. Safety rests on the phase discipline in
+/// [`propagate_arrivals_levelized`]: within one level, workers either all
+/// read (compute phase) or exactly one writes while the rest wait at the
+/// barrier (apply phase), and the two phases are separated by
+/// `Barrier::wait`, which establishes the necessary happens-before edges.
+struct SharedF64(*mut f64);
+unsafe impl Sync for SharedF64 {}
+unsafe impl Send for SharedF64 {}
+
+/// Level-parallel arrival propagation, bitwise identical to
+/// [`propagate_arrivals_serial`].
+///
+/// Why identity holds: a gate's level is `1 + max(level of its input
+/// drivers)`, so every net a level-`L` gate reads was finalized at a level
+/// `< L` — within a level there are no read-after-write hazards. Workers
+/// compute each gate's `worst` into a per-gate slot (disjoint index-ordered
+/// writes), then one worker folds the slots into the arrival array in the
+/// same relative order the serial walk used. Each slot value is produced by
+/// the exact expression the serial walk evaluates, over the exact same
+/// inputs, so every f64 bit pattern matches. Cycle remnants (appended after
+/// the acyclic prefix by [`comb_topo`]) have no well-founded level and are
+/// replayed with the serial walk at the end, again matching serial order.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn propagate_arrivals_levelized(
+    design: &MappedDesign,
+    order: &[usize],
+    cycles: usize,
+    driver: &[Option<usize>],
+    gate_arcs: &[&[chatls_liberty::TimingArc]],
+    loads: &[f64],
+    arrival: &mut [f64],
+    pool: &chatls_exec::ExecPool,
+) {
+    let acyclic = order.len() - cycles;
+    let (leveled, cycle_tail) = order.split_at(acyclic);
+
+    // Longest-path level per gate over the acyclic prefix.
+    let mut level = vec![0u32; design.netlist.gates.len()];
+    let mut max_level = 0u32;
+    for &gi in leveled {
+        let mut lvl = 0u32;
+        for &inp in &design.netlist.gates[gi].inputs {
+            if let Some(d) = driver[inp as usize] {
+                if !design.is_dead(d) && !design.netlist.gates[d].kind.is_sequential() {
+                    lvl = lvl.max(level[d] + 1);
+                }
+            }
+        }
+        level[gi] = lvl;
+        max_level = max_level.max(lvl);
+    }
+
+    // Bucket gates by level (CSR), preserving topological-order position
+    // within each level so the apply phase replays the serial write order.
+    let nlevels = max_level as usize + 1;
+    let mut offsets = vec![0u32; nlevels + 1];
+    for &gi in leveled {
+        offsets[level[gi] as usize + 1] += 1;
+    }
+    for l in 0..nlevels {
+        offsets[l + 1] += offsets[l];
+    }
+    let mut cursor: Vec<u32> = offsets[..nlevels].to_vec();
+    let mut by_level = vec![0u32; leveled.len()];
+    for &gi in leveled {
+        let l = level[gi] as usize;
+        by_level[cursor[l] as usize] = gi as u32;
+        cursor[l] += 1;
+    }
+
+    let workers = pool.threads().clamp(1, 16);
+    let mut worst = vec![f64::NEG_INFINITY; leveled.len()];
+    let barrier = std::sync::Barrier::new(workers);
+    let arr = SharedF64(arrival.as_mut_ptr());
+    let slots = SharedF64(worst.as_mut_ptr());
+    let arr_ref = &arr;
+    let slots_ref = &slots;
+    pool.broadcast(workers, |t| {
+        for l in 0..nlevels {
+            let lo = offsets[l] as usize;
+            let hi = offsets[l + 1] as usize;
+            let span = hi - lo;
+            let chunk = span.div_ceil(workers);
+            let s = lo + (t * chunk).min(span);
+            let e = lo + ((t + 1) * chunk).min(span);
+            // Compute phase: every worker reads arrivals of lower levels
+            // and writes its own disjoint slice of the slot array.
+            #[allow(clippy::needless_range_loop)] // `i` indexes slots too
+            for i in s..e {
+                let gi = by_level[i] as usize;
+                let gate = &design.netlist.gates[gi];
+                let arcs = gate_arcs[gi];
+                let out_load = loads[gate.output as usize];
+                let mut w = match gate.kind {
+                    GateKind::Const0 | GateKind::Const1 => 0.0,
+                    _ => f64::NEG_INFINITY,
+                };
+                for (pin, &inp) in gate.inputs.iter().enumerate() {
+                    // SAFETY: nets read here were finalized in a previous
+                    // level (or at initialization); no worker writes the
+                    // arrival array during the compute phase.
+                    let in_arr = unsafe { *arr_ref.0.add(inp as usize) };
+                    let arc_delay = arc_delay_from(arcs, pin, out_load);
+                    if in_arr + arc_delay > w {
+                        w = in_arr + arc_delay;
+                    }
+                }
+                // SAFETY: slot `i` belongs to this worker's static chunk.
+                unsafe { *slots_ref.0.add(i) = w };
+            }
+            barrier.wait();
+            // Apply phase: one worker folds this level's slots into the
+            // arrival array in index order; the rest wait.
+            if t == 0 {
+                #[allow(clippy::needless_range_loop)] // `i` indexes slots too
+                for i in lo..hi {
+                    let gi = by_level[i] as usize;
+                    let out = design.netlist.gates[gi].output as usize;
+                    // SAFETY: only worker 0 touches `arrival` between the
+                    // two barriers.
+                    unsafe {
+                        let w = *slots_ref.0.add(i);
+                        if w > *arr_ref.0.add(out) {
+                            *arr_ref.0.add(out) = w;
+                        }
+                    }
+                }
+            }
+            barrier.wait();
+        }
+    });
+
+    // Cycle remnants: pessimistic serial replay, as in the serial walk.
+    propagate_arrivals_serial(design, cycle_tail, gate_arcs, loads, arrival);
 }
 
 /// Runs static timing analysis.
@@ -381,7 +610,8 @@ pub(crate) fn report_from_parts_with(
     setup_of: &dyn Fn(usize) -> f64,
 ) -> TimingReport {
     // Endpoints.
-    let mut endpoints = Vec::new();
+    let registers = design.netlist.gates.iter().filter(|g| g.kind.is_sequential()).count();
+    let mut endpoints = Vec::with_capacity(registers + design.netlist.outputs.len());
     for (gi, gate) in design.netlist.gates.iter().enumerate() {
         if design.is_dead(gi) || !gate.kind.is_sequential() {
             continue;
@@ -634,38 +864,75 @@ pub(crate) fn arc_delay_for(cell: Option<&chatls_liberty::Cell>, pin: usize, loa
 /// Kahn topological order over live combinational gates; gates on cycles
 /// are appended last (pessimistic single-pass arrivals). Returns the order
 /// and the number of appended cycle-remnant gates.
+///
+/// The consumer adjacency is held in CSR form (one flat edge array plus
+/// per-gate offsets) instead of a `Vec` per gate, so a full ordering of a
+/// 40k-gate design performs three allocations, not 40k. Edges are laid out
+/// in the same (consumer gate, pin) visit order the per-gate-`Vec`
+/// formulation produced, so the resulting order is identical.
 pub(crate) fn comb_topo(design: &MappedDesign, driver: &[Option<usize>]) -> (Vec<usize>, usize) {
     let n = design.netlist.gates.len();
     let mut indeg = vec![0u32; n];
-    let mut consumers: Vec<Vec<usize>> = vec![Vec::new(); n];
-    let comb_driver = |net: u32| -> Option<usize> {
-        driver[net as usize].filter(|&gi| !design.netlist.gates[gi].kind.is_sequential())
-    };
+    // Live combinational driver per net, flattened so the two edge passes
+    // index a compact u32 array instead of chasing into the gate table.
+    // Built by replaying `driver_map`'s overwrite order (last live driver
+    // wins) with the sequential-gate filter applied at each step, which
+    // yields exactly `driver[net]` filtered to combinational drivers while
+    // scanning the gate table sequentially.
+    const NO_GATE: u32 = u32::MAX;
+    let mut comb_drv = vec![NO_GATE; driver.len()];
+    for (gi, gate) in design.netlist.gates.iter().enumerate() {
+        if !design.is_dead(gi) {
+            comb_drv[gate.output as usize] =
+                if gate.kind.is_sequential() { NO_GATE } else { gi as u32 };
+        }
+    }
+    // Single pass over the gate table: collect `(producer, consumer)`
+    // pairs while counting producer edges and consumer in-degrees, then
+    // counting-sort the pairs into the CSR edge array. The pairs are
+    // visited in the same (consumer gate, pin) order the per-gate-`Vec`
+    // formulation used, so the scatter preserves per-producer edge order.
+    let mut edge_count = vec![0u32; n];
+    let mut pairs: Vec<(u32, u32)> = Vec::new();
+    let mut live_comb = 0usize;
     for (gi, gate) in design.netlist.gates.iter().enumerate() {
         if design.is_dead(gi) || gate.kind.is_sequential() {
             continue;
         }
+        live_comb += 1;
         for &inp in &gate.inputs {
-            if let Some(dep) = comb_driver(inp) {
-                if !design.is_dead(dep) {
-                    consumers[dep].push(gi);
-                    indeg[gi] += 1;
-                }
+            let dep = comb_drv[inp as usize];
+            if dep != NO_GATE {
+                edge_count[dep as usize] += 1;
+                indeg[gi] += 1;
+                pairs.push((dep, gi as u32));
             }
         }
     }
-    let mut queue: Vec<usize> = (0..n)
-        .filter(|&gi| {
-            !design.is_dead(gi) && !design.netlist.gates[gi].kind.is_sequential() && indeg[gi] == 0
-        })
-        .collect();
+    let mut offsets = vec![0u32; n + 1];
+    for i in 0..n {
+        offsets[i + 1] = offsets[i] + edge_count[i];
+    }
+    let mut cursor: Vec<u32> = offsets[..n].to_vec();
+    let mut edges = vec![0u32; offsets[n] as usize];
+    for &(dep, gi) in &pairs {
+        edges[cursor[dep as usize] as usize] = gi;
+        cursor[dep as usize] += 1;
+    }
+    let mut queue: Vec<usize> = Vec::with_capacity(live_comb);
+    for (gi, &deg) in indeg.iter().enumerate() {
+        if deg == 0 && !design.is_dead(gi) && !design.netlist.gates[gi].kind.is_sequential() {
+            queue.push(gi);
+        }
+    }
     let mut order = Vec::with_capacity(queue.len());
     let mut qi = 0;
     while qi < queue.len() {
         let g = queue[qi];
         qi += 1;
         order.push(g);
-        for &c in &consumers[g] {
+        for &c in &edges[offsets[g] as usize..offsets[g + 1] as usize] {
+            let c = c as usize;
             indeg[c] -= 1;
             if indeg[c] == 0 {
                 queue.push(c);
@@ -909,5 +1176,80 @@ mod tests {
         let r = analyze(&d, &lib, &cons(0.3));
         let slacks = r.module_slacks();
         assert!(slacks.keys().any(|k| k == "top"), "keys: {:?}", slacks.keys());
+    }
+
+    /// Runs the serial and level-parallel walks on identical seeds and
+    /// asserts every arrival is bitwise equal at each worker count.
+    fn assert_levelized_matches_serial(d: &MappedDesign, label: &str) {
+        let lib = nangate45();
+        let ids = d.cell_ids(&lib);
+        let gate_arcs = resolve_gate_arcs_from_ids(d, &lib, &ids);
+        let loads = d.net_loads_from_ids(&lib, None, &ids);
+        let driver = d.driver_map();
+        let (order, cycles) = comb_topo(d, &driver);
+        let mut seed = vec![f64::NEG_INFINITY; d.netlist.nets.len()];
+        for (_, id) in &d.netlist.inputs {
+            seed[*id as usize] = 0.0;
+        }
+        let mut serial = seed.clone();
+        propagate_arrivals_serial(d, &order, &gate_arcs, &loads, &mut serial);
+        for workers in [1usize, 2, 4] {
+            let pool = chatls_exec::ExecPool::new(workers);
+            let mut par = seed.clone();
+            propagate_arrivals_levelized(
+                d, &order, cycles, &driver, &gate_arcs, &loads, &mut par, &pool,
+            );
+            for (i, (a, b)) in par.iter().zip(&serial).enumerate() {
+                assert_eq!(
+                    a.to_bits(),
+                    b.to_bits(),
+                    "{label}: workers={workers} net {i}: {a} vs {b}"
+                );
+            }
+        }
+    }
+
+    /// Level-parallel STA must be bitwise identical to the serial walk at
+    /// 1, 2 and 4 workers — and therefore invariant to the thread count.
+    #[test]
+    fn level_parallel_arrivals_bitwise_match_serial() {
+        // Multiplier: deep, wide combinational cone with shared subterms.
+        let d = map(
+            "module m(input [7:0] a, b, input clk, output reg [15:0] q);
+                always @(posedge clk) q <= a * b;
+            endmodule",
+            "m",
+        );
+        assert_levelized_matches_serial(&d, "mul8");
+        // Adder chain: long carry path, many single-bit levels.
+        let d = map(
+            "module a(input [15:0] x, y, input clk, output reg [16:0] s);
+                always @(posedge clk) s <= x + y;
+            endmodule",
+            "a",
+        );
+        assert_levelized_matches_serial(&d, "add16");
+    }
+
+    /// Combinational feedback (cycle remnants) runs on the serial tail of
+    /// the level-parallel walk; arrivals must still match serial exactly.
+    #[test]
+    fn level_parallel_handles_combinational_cycles() {
+        use chatls_verilog::netlist::{GateKind, Netlist};
+        let mut nl = Netlist::new("loopy");
+        let a = nl.add_net("a");
+        let w1 = nl.add_net("w1");
+        let w2 = nl.add_net("w2");
+        let y = nl.add_net("y");
+        nl.inputs.push(("a".into(), a));
+        nl.outputs.push(("y".into(), y));
+        // a NAND w2 -> w1; w1 NOT -> w2 (feedback); w1 AND w2 -> y.
+        nl.add_gate(GateKind::Nand, &[a, w2], w1, "loopy");
+        nl.add_gate(GateKind::Not, &[w1], w2, "loopy");
+        nl.add_gate(GateKind::And, &[w1, w2], y, "loopy");
+        let d = MappedDesign::map(nl, &nangate45()).unwrap();
+        let (_, cycles) = comb_topo(&d, &d.driver_map());
+        assert!(cycles > 0, "fixture must actually contain a cycle");
+        assert_levelized_matches_serial(&d, "loopy");
     }
 }

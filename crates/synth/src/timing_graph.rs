@@ -289,14 +289,32 @@ impl TimingGraph {
         self.order = a.order;
         self.driver = a.driver;
         self.cycles = a.cycles;
-        self.sinks = design.sink_map();
-        self.is_po = vec![false; design.netlist.nets.len()];
+        // Refill the per-net sink lists in place: the inner vectors are a
+        // slab keyed to this graph's lifetime, so the rebuilds a session
+        // triggers (one per fix_timing_violations round, for instance)
+        // reuse their allocations instead of paying one Vec per net.
+        let nets_len = design.netlist.nets.len();
+        for s in &mut self.sinks {
+            s.clear();
+        }
+        self.sinks.resize_with(nets_len, Vec::new);
+        for (i, g) in design.netlist.gates.iter().enumerate() {
+            if design.is_dead(i) {
+                continue;
+            }
+            for (pin, &inp) in g.inputs.iter().enumerate() {
+                self.sinks[inp as usize].push((i, pin));
+            }
+        }
+        self.is_po.clear();
+        self.is_po.resize(nets_len, false);
         for (_, id) in &design.netlist.outputs {
             self.is_po[*id as usize] = true;
         }
         self.wlm = constraints.wire_load.as_deref().and_then(|w| library.wire_load(w)).cloned();
         // Levels: longest combinational depth, from the fresh topo order.
-        self.level = vec![0; design.netlist.gates.len()];
+        self.level.clear();
+        self.level.resize(design.netlist.gates.len(), 0);
         for &gi in &self.order {
             let gate = &design.netlist.gates[gi];
             let mut lvl = 0u32;
@@ -311,18 +329,27 @@ impl TimingGraph {
         }
         // Source arrivals, replicating compute_arrivals' initialization.
         let nets = design.netlist.nets.len();
-        self.pi_kind = vec![PiKind::NotPi; nets];
-        self.source = vec![f64::NEG_INFINITY; nets];
+        self.pi_kind.clear();
+        self.pi_kind.resize(nets, PiKind::NotPi);
+        self.source.clear();
+        self.source.resize(nets, f64::NEG_INFINITY);
         let clock_name = constraints.clock_port.clone().or_else(|| design.netlist.clock.clone());
+        let clock_prefix = clock_name.as_deref().map(|c| format!("{c}["));
+        let false_prefixes: Vec<(&str, String)> = constraints
+            .exceptions
+            .iter()
+            .filter_map(|e| match e {
+                sta::TimingException::FalseFrom(p) => Some((p.as_str(), format!("{p}["))),
+                _ => None,
+            })
+            .collect();
         for (name, id) in &design.netlist.inputs {
             let is_clock = clock_name
                 .as_deref()
-                .map(|c| name == c || name.starts_with(&format!("{c}[")))
+                .zip(clock_prefix.as_deref())
+                .map(|(c, cp)| name == c || name.starts_with(cp))
                 .unwrap_or(false);
-            let false_from = constraints.exceptions.iter().any(|e| {
-                matches!(e, sta::TimingException::FalseFrom(p)
-                    if name == p || name.starts_with(&format!("{p}[")))
-            });
+            let false_from = false_prefixes.iter().any(|(p, pp)| name == p || name.starts_with(pp));
             self.pi_kind[*id as usize] = if false_from {
                 PiKind::FalseFrom
             } else if is_clock {
@@ -596,7 +623,7 @@ impl TimingGraph {
             return;
         }
         self.derived_stale();
-        let inputs = design.netlist.gates[gi].inputs.clone();
+        let inputs = design.netlist.gates[gi].inputs;
         for &inp in &inputs {
             self.sinks[inp as usize].retain(|&(g, _)| g != gi);
             self.mark_load_dirty(inp as usize);

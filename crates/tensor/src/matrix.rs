@@ -129,12 +129,16 @@ impl Matrix {
     /// Cache-blocked ikj kernel: the k and j loops are tiled so one tile
     /// of `other` (at most `KB × JB` elements, ~64 KiB) is reused across
     /// every row of `self` instead of streaming all of `other` per row —
-    /// the win grows with operand size. The inner loop still walks both
-    /// operands contiguously and vectorizes, rows of `self` that are zero
-    /// at position k are still skipped (GNN feature matrices are sparse),
-    /// and each output element accumulates its products in ascending-k
-    /// order, so the result is bitwise identical to the naive triple loop
-    /// for any tile size.
+    /// the win grows with operand size. The inner `o[j] += a * b[j]` update
+    /// runs on explicit 8-wide f32 lanes (AVX2, selected once per call by
+    /// runtime feature detection) with the plain scalar loop as fallback
+    /// and for the non-multiple-of-8 tail. Both paths evaluate the same
+    /// mul-then-add per element (no FMA — a fused multiply-add rounds
+    /// once, not twice, and would change bit patterns), rows of `self`
+    /// that are zero at position k are still skipped (GNN feature matrices
+    /// are sparse), and each output element accumulates its products in
+    /// ascending-k order — so the result is bitwise identical to the naive
+    /// triple loop for any tile size, on every path.
     ///
     /// # Panics
     ///
@@ -149,21 +153,36 @@ impl Matrix {
         const JB: usize = 256;
         let (m, kk, n) = (self.rows, self.cols, other.cols);
         let mut out = Matrix::zeros(m, n);
+        let simd = simd_lanes_available();
         for kb in (0..kk).step_by(KB) {
             let kend = (kb + KB).min(kk);
             for jb in (0..n).step_by(JB) {
                 let jend = (jb + JB).min(n);
                 for i in 0..m {
-                    let arow = &self.data[i * kk..(i + 1) * kk];
+                    let arow = &self.data[i * kk + kb..i * kk + kend];
                     let orow = &mut out.data[i * n + jb..i * n + jend];
-                    for (k, &a) in arow.iter().enumerate().take(kend).skip(kb) {
+                    #[cfg(target_arch = "x86_64")]
+                    if simd != SimdLevel::Scalar {
+                        // SAFETY: the matching feature was detected at
+                        // runtime; `arow` indexes rows kb..kend of `other`,
+                        // whose columns jb..jb+orow.len() lie inside every
+                        // row.
+                        unsafe {
+                            if simd == SimdLevel::Avx512 {
+                                matmul_block_avx512(arow, &other.data, n, kb, jb, orow);
+                            } else {
+                                matmul_block_avx2(arow, &other.data, n, kb, jb, orow);
+                            }
+                        }
+                        continue;
+                    }
+                    let _ = simd;
+                    for (k, &a) in arow.iter().enumerate() {
                         if a == 0.0 {
                             continue;
                         }
-                        let brow = &other.data[k * n + jb..k * n + jend];
-                        for (o, &b) in orow.iter_mut().zip(brow) {
-                            *o += a * b;
-                        }
+                        let brow = &other.data[(kb + k) * n + jb..(kb + k) * n + jend];
+                        saxpy_row_scalar(orow, brow, a);
                     }
                 }
             }
@@ -172,11 +191,24 @@ impl Matrix {
     }
 
     /// Returns the transpose of `self`.
+    ///
+    /// Tiled: both matrices are walked one `TB × TB` block at a time so the
+    /// strided writes stay within a cache-resident window instead of
+    /// touching `rows` distinct lines per source row.
     pub fn transposed(&self) -> Matrix {
-        let mut out = Matrix::zeros(self.cols, self.rows);
-        for i in 0..self.rows {
-            for j in 0..self.cols {
-                out[(j, i)] = self[(i, j)];
+        const TB: usize = 32;
+        let (r, c) = (self.rows, self.cols);
+        let mut out = Matrix::zeros(c, r);
+        for ib in (0..r).step_by(TB) {
+            let iend = (ib + TB).min(r);
+            for jb in (0..c).step_by(TB) {
+                let jend = (jb + TB).min(c);
+                for i in ib..iend {
+                    let row = &self.data[i * c..(i + 1) * c];
+                    for (j, &x) in row.iter().enumerate().take(jend).skip(jb) {
+                        out.data[j * r + i] = x;
+                    }
+                }
             }
         }
         out
@@ -184,7 +216,11 @@ impl Matrix {
 
     /// Applies `f` to every element, returning a new matrix.
     pub fn map(&self, f: impl Fn(f32) -> f32) -> Matrix {
-        Matrix { rows: self.rows, cols: self.cols, data: self.data.iter().map(|&x| f(x)).collect() }
+        let mut data = Vec::with_capacity(self.data.len());
+        for &x in &self.data {
+            data.push(f(x));
+        }
+        Matrix { rows: self.rows, cols: self.cols, data }
     }
 
     /// Applies `f` to every element in place.
@@ -210,11 +246,11 @@ impl Matrix {
     /// Panics if the shapes differ.
     pub fn zip_with(&self, other: &Matrix, f: impl Fn(f32, f32) -> f32) -> Matrix {
         assert_eq!((self.rows, self.cols), (other.rows, other.cols), "zip_with: shape mismatch");
-        Matrix {
-            rows: self.rows,
-            cols: self.cols,
-            data: self.data.iter().zip(&other.data).map(|(&a, &b)| f(a, b)).collect(),
+        let mut data = Vec::with_capacity(self.data.len());
+        for (&a, &b) in self.data.iter().zip(&other.data) {
+            data.push(f(a, b));
         }
+        Matrix { rows: self.rows, cols: self.cols, data }
     }
 
     /// Adds `other` into `self`, scaled: `self += alpha * other`.
@@ -312,6 +348,288 @@ impl Matrix {
     /// Consumes the matrix and returns the row-major buffer.
     pub fn into_vec(self) -> Vec<f32> {
         self.data
+    }
+}
+
+/// Widest explicit-lane kernel this CPU can run, probed once per `matmul`
+/// call (the detection macro itself caches, but hoisting keeps the branch
+/// out of the inner loop). Always `Scalar` off x86_64.
+#[derive(Clone, Copy, PartialEq)]
+enum SimdLevel {
+    Scalar,
+    #[cfg(target_arch = "x86_64")]
+    Avx2,
+    #[cfg(target_arch = "x86_64")]
+    Avx512,
+}
+
+#[inline]
+fn simd_lanes_available() -> SimdLevel {
+    #[cfg(target_arch = "x86_64")]
+    {
+        if std::is_x86_feature_detected!("avx512f") {
+            SimdLevel::Avx512
+        } else if std::is_x86_feature_detected!("avx2") {
+            SimdLevel::Avx2
+        } else {
+            SimdLevel::Scalar
+        }
+    }
+    #[cfg(not(target_arch = "x86_64"))]
+    {
+        SimdLevel::Scalar
+    }
+}
+
+/// `o[j] += a * b[j]` over one row segment — the scalar matmul inner loop,
+/// and the reference the SIMD path must match bit for bit.
+#[inline]
+fn saxpy_row_scalar(o: &mut [f32], b: &[f32], a: f32) {
+    for (o, &b) in o.iter_mut().zip(b) {
+        *o += a * b;
+    }
+}
+
+/// AVX2 matmul micro-kernel for one `(kb, jb, i)` block: accumulates
+/// `orow[j] += arow[k] * b[kb + k, jb + j]` over the whole k range with the
+/// output held in registers (4 × 8 lanes per tile), so `out` is loaded and
+/// stored once per tile instead of once per k step. Each lane computes
+/// `add(acc, mul(a, b))` — deliberately not `fmadd`, which rounds once
+/// instead of twice and would break bitwise identity with the scalar loop —
+/// and products accumulate in ascending-k order with the same `a == 0.0`
+/// skip, so every partial sum's bit pattern matches [`saxpy_row_scalar`].
+/// Sub-8-lane tail columns run scalar.
+///
+/// # Safety
+///
+/// Caller must ensure AVX2 is available and that for every `k` in
+/// `0..arow.len()` and `j` in `0..orow.len()`, index `(kb + k) * n + jb + j`
+/// is in bounds of `bdata`.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2")]
+unsafe fn matmul_block_avx2(
+    arow: &[f32],
+    bdata: &[f32],
+    n: usize,
+    kb: usize,
+    jb: usize,
+    orow: &mut [f32],
+) {
+    use std::arch::x86_64::*;
+    let w = orow.len();
+    let op = orow.as_mut_ptr();
+    let bp = bdata.as_ptr();
+    let mut j = 0;
+    while j + 64 <= w {
+        // SAFETY: j + 64 <= w keeps output accesses in `orow`; the caller
+        // guarantees the corresponding `bdata` window. Eight accumulators
+        // give eight independent add-latency chains, enough to saturate
+        // both vector ALU ports.
+        unsafe {
+            let mut acc0 = _mm256_loadu_ps(op.add(j));
+            let mut acc1 = _mm256_loadu_ps(op.add(j + 8));
+            let mut acc2 = _mm256_loadu_ps(op.add(j + 16));
+            let mut acc3 = _mm256_loadu_ps(op.add(j + 24));
+            let mut acc4 = _mm256_loadu_ps(op.add(j + 32));
+            let mut acc5 = _mm256_loadu_ps(op.add(j + 40));
+            let mut acc6 = _mm256_loadu_ps(op.add(j + 48));
+            let mut acc7 = _mm256_loadu_ps(op.add(j + 56));
+            for (k, &a) in arow.iter().enumerate() {
+                if a == 0.0 {
+                    continue;
+                }
+                let va = _mm256_set1_ps(a);
+                let b = bp.add((kb + k) * n + jb + j);
+                acc0 = _mm256_add_ps(acc0, _mm256_mul_ps(va, _mm256_loadu_ps(b)));
+                acc1 = _mm256_add_ps(acc1, _mm256_mul_ps(va, _mm256_loadu_ps(b.add(8))));
+                acc2 = _mm256_add_ps(acc2, _mm256_mul_ps(va, _mm256_loadu_ps(b.add(16))));
+                acc3 = _mm256_add_ps(acc3, _mm256_mul_ps(va, _mm256_loadu_ps(b.add(24))));
+                acc4 = _mm256_add_ps(acc4, _mm256_mul_ps(va, _mm256_loadu_ps(b.add(32))));
+                acc5 = _mm256_add_ps(acc5, _mm256_mul_ps(va, _mm256_loadu_ps(b.add(40))));
+                acc6 = _mm256_add_ps(acc6, _mm256_mul_ps(va, _mm256_loadu_ps(b.add(48))));
+                acc7 = _mm256_add_ps(acc7, _mm256_mul_ps(va, _mm256_loadu_ps(b.add(56))));
+            }
+            _mm256_storeu_ps(op.add(j), acc0);
+            _mm256_storeu_ps(op.add(j + 8), acc1);
+            _mm256_storeu_ps(op.add(j + 16), acc2);
+            _mm256_storeu_ps(op.add(j + 24), acc3);
+            _mm256_storeu_ps(op.add(j + 32), acc4);
+            _mm256_storeu_ps(op.add(j + 40), acc5);
+            _mm256_storeu_ps(op.add(j + 48), acc6);
+            _mm256_storeu_ps(op.add(j + 56), acc7);
+        }
+        j += 64;
+    }
+    while j + 32 <= w {
+        // SAFETY: j + 32 <= w keeps output accesses in `orow`; the caller
+        // guarantees the corresponding `bdata` window.
+        unsafe {
+            let mut acc0 = _mm256_loadu_ps(op.add(j));
+            let mut acc1 = _mm256_loadu_ps(op.add(j + 8));
+            let mut acc2 = _mm256_loadu_ps(op.add(j + 16));
+            let mut acc3 = _mm256_loadu_ps(op.add(j + 24));
+            for (k, &a) in arow.iter().enumerate() {
+                if a == 0.0 {
+                    continue;
+                }
+                let va = _mm256_set1_ps(a);
+                let b = bp.add((kb + k) * n + jb + j);
+                acc0 = _mm256_add_ps(acc0, _mm256_mul_ps(va, _mm256_loadu_ps(b)));
+                acc1 = _mm256_add_ps(acc1, _mm256_mul_ps(va, _mm256_loadu_ps(b.add(8))));
+                acc2 = _mm256_add_ps(acc2, _mm256_mul_ps(va, _mm256_loadu_ps(b.add(16))));
+                acc3 = _mm256_add_ps(acc3, _mm256_mul_ps(va, _mm256_loadu_ps(b.add(24))));
+            }
+            _mm256_storeu_ps(op.add(j), acc0);
+            _mm256_storeu_ps(op.add(j + 8), acc1);
+            _mm256_storeu_ps(op.add(j + 16), acc2);
+            _mm256_storeu_ps(op.add(j + 24), acc3);
+        }
+        j += 32;
+    }
+    while j + 8 <= w {
+        // SAFETY: j + 8 <= w; `bdata` window guaranteed by the caller.
+        unsafe {
+            let mut acc = _mm256_loadu_ps(op.add(j));
+            for (k, &a) in arow.iter().enumerate() {
+                if a == 0.0 {
+                    continue;
+                }
+                let va = _mm256_set1_ps(a);
+                let vb = _mm256_loadu_ps(bp.add((kb + k) * n + jb + j));
+                acc = _mm256_add_ps(acc, _mm256_mul_ps(va, vb));
+            }
+            _mm256_storeu_ps(op.add(j), acc);
+        }
+        j += 8;
+    }
+    if j < w {
+        for (k, &a) in arow.iter().enumerate() {
+            if a == 0.0 {
+                continue;
+            }
+            let base = (kb + k) * n + jb;
+            for (jj, o) in orow.iter_mut().enumerate().take(w).skip(j) {
+                *o += a * bdata[base + jj];
+            }
+        }
+    }
+}
+
+/// AVX-512 variant of [`matmul_block_avx2`]: 16 f32 lanes, 8 independent
+/// accumulator chains per 128-wide tile, then 64-wide and 16-wide loops and
+/// a scalar tail. Same contract — `add(acc, mul(a, b))` per element, never
+/// `fmadd`, ascending-k order, `a == 0.0` skipped — so it is bitwise
+/// identical to the scalar reference.
+///
+/// # Safety
+///
+/// Caller must ensure AVX-512F is available and that for every `k` in
+/// `0..arow.len()` and `j` in `0..orow.len()`, index `(kb + k) * n + jb + j`
+/// is in bounds of `bdata`.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx512f")]
+unsafe fn matmul_block_avx512(
+    arow: &[f32],
+    bdata: &[f32],
+    n: usize,
+    kb: usize,
+    jb: usize,
+    orow: &mut [f32],
+) {
+    use std::arch::x86_64::*;
+    let w = orow.len();
+    let op = orow.as_mut_ptr();
+    let bp = bdata.as_ptr();
+    let mut j = 0;
+    while j + 128 <= w {
+        // SAFETY: j + 128 <= w keeps output accesses in `orow`; the caller
+        // guarantees the corresponding `bdata` window.
+        unsafe {
+            let mut acc0 = _mm512_loadu_ps(op.add(j));
+            let mut acc1 = _mm512_loadu_ps(op.add(j + 16));
+            let mut acc2 = _mm512_loadu_ps(op.add(j + 32));
+            let mut acc3 = _mm512_loadu_ps(op.add(j + 48));
+            let mut acc4 = _mm512_loadu_ps(op.add(j + 64));
+            let mut acc5 = _mm512_loadu_ps(op.add(j + 80));
+            let mut acc6 = _mm512_loadu_ps(op.add(j + 96));
+            let mut acc7 = _mm512_loadu_ps(op.add(j + 112));
+            for (k, &a) in arow.iter().enumerate() {
+                if a == 0.0 {
+                    continue;
+                }
+                let va = _mm512_set1_ps(a);
+                let b = bp.add((kb + k) * n + jb + j);
+                acc0 = _mm512_add_ps(acc0, _mm512_mul_ps(va, _mm512_loadu_ps(b)));
+                acc1 = _mm512_add_ps(acc1, _mm512_mul_ps(va, _mm512_loadu_ps(b.add(16))));
+                acc2 = _mm512_add_ps(acc2, _mm512_mul_ps(va, _mm512_loadu_ps(b.add(32))));
+                acc3 = _mm512_add_ps(acc3, _mm512_mul_ps(va, _mm512_loadu_ps(b.add(48))));
+                acc4 = _mm512_add_ps(acc4, _mm512_mul_ps(va, _mm512_loadu_ps(b.add(64))));
+                acc5 = _mm512_add_ps(acc5, _mm512_mul_ps(va, _mm512_loadu_ps(b.add(80))));
+                acc6 = _mm512_add_ps(acc6, _mm512_mul_ps(va, _mm512_loadu_ps(b.add(96))));
+                acc7 = _mm512_add_ps(acc7, _mm512_mul_ps(va, _mm512_loadu_ps(b.add(112))));
+            }
+            _mm512_storeu_ps(op.add(j), acc0);
+            _mm512_storeu_ps(op.add(j + 16), acc1);
+            _mm512_storeu_ps(op.add(j + 32), acc2);
+            _mm512_storeu_ps(op.add(j + 48), acc3);
+            _mm512_storeu_ps(op.add(j + 64), acc4);
+            _mm512_storeu_ps(op.add(j + 80), acc5);
+            _mm512_storeu_ps(op.add(j + 96), acc6);
+            _mm512_storeu_ps(op.add(j + 112), acc7);
+        }
+        j += 128;
+    }
+    while j + 64 <= w {
+        // SAFETY: j + 64 <= w; `bdata` window guaranteed by the caller.
+        unsafe {
+            let mut acc0 = _mm512_loadu_ps(op.add(j));
+            let mut acc1 = _mm512_loadu_ps(op.add(j + 16));
+            let mut acc2 = _mm512_loadu_ps(op.add(j + 32));
+            let mut acc3 = _mm512_loadu_ps(op.add(j + 48));
+            for (k, &a) in arow.iter().enumerate() {
+                if a == 0.0 {
+                    continue;
+                }
+                let va = _mm512_set1_ps(a);
+                let b = bp.add((kb + k) * n + jb + j);
+                acc0 = _mm512_add_ps(acc0, _mm512_mul_ps(va, _mm512_loadu_ps(b)));
+                acc1 = _mm512_add_ps(acc1, _mm512_mul_ps(va, _mm512_loadu_ps(b.add(16))));
+                acc2 = _mm512_add_ps(acc2, _mm512_mul_ps(va, _mm512_loadu_ps(b.add(32))));
+                acc3 = _mm512_add_ps(acc3, _mm512_mul_ps(va, _mm512_loadu_ps(b.add(48))));
+            }
+            _mm512_storeu_ps(op.add(j), acc0);
+            _mm512_storeu_ps(op.add(j + 16), acc1);
+            _mm512_storeu_ps(op.add(j + 32), acc2);
+            _mm512_storeu_ps(op.add(j + 48), acc3);
+        }
+        j += 64;
+    }
+    while j + 16 <= w {
+        // SAFETY: j + 16 <= w; `bdata` window guaranteed by the caller.
+        unsafe {
+            let mut acc = _mm512_loadu_ps(op.add(j));
+            for (k, &a) in arow.iter().enumerate() {
+                if a == 0.0 {
+                    continue;
+                }
+                let va = _mm512_set1_ps(a);
+                let vb = _mm512_loadu_ps(bp.add((kb + k) * n + jb + j));
+                acc = _mm512_add_ps(acc, _mm512_mul_ps(va, vb));
+            }
+            _mm512_storeu_ps(op.add(j), acc);
+        }
+        j += 16;
+    }
+    if j < w {
+        for (k, &a) in arow.iter().enumerate() {
+            if a == 0.0 {
+                continue;
+            }
+            let base = (kb + k) * n + jb;
+            for (jj, o) in orow.iter_mut().enumerate().take(w).skip(j) {
+                *o += a * bdata[base + jj];
+            }
+        }
     }
 }
 
@@ -425,6 +743,42 @@ mod tests {
         }
     }
 
+    /// Lane-boundary sweep for the SIMD path: widths straddling every
+    /// kernel step (8/16/32/64/128-wide tiles and their scalar tails),
+    /// including 1×N row-vector products.
+    #[test]
+    fn simd_matmul_bitwise_exact_at_lane_boundaries() {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(7);
+        for &n in &[1, 7, 8, 9, 15, 16, 17, 31, 33, 63, 64, 65, 127, 128, 129, 191, 193] {
+            for &(m, k) in &[(1, 1), (1, 13), (3, 9)] {
+                let a =
+                    Matrix::from_vec(m, k, (0..m * k).map(|_| rng.gen_range(-2.0..2.0)).collect());
+                let b =
+                    Matrix::from_vec(k, n, (0..k * n).map(|_| rng.gen_range(-2.0..2.0)).collect());
+                let fast = a.matmul(&b);
+                let naive = matmul_ref(&a, &b);
+                for (x, y) in fast.as_slice().iter().zip(naive.as_slice()) {
+                    assert_eq!(x.to_bits(), y.to_bits(), "{m}x{k}·{k}x{n}: {x} vs {y}");
+                }
+            }
+        }
+    }
+
+    /// Empty operands (zero rows, cols, or inner dim) must produce the
+    /// correctly-shaped all-zero result without touching the kernel.
+    #[test]
+    fn matmul_empty_shapes() {
+        for &(m, k, n) in &[(0, 5, 3), (5, 0, 3), (5, 3, 0), (0, 0, 0)] {
+            let a = Matrix::zeros(m, k);
+            let b = Matrix::zeros(k, n);
+            let c = a.matmul(&b);
+            assert_eq!((c.rows(), c.cols()), (m, n));
+            assert!(c.as_slice().iter().all(|&x| x == 0.0));
+        }
+    }
+
     #[test]
     fn identity_is_neutral() {
         let a = Matrix::from_rows(&[&[1.0, 2.0, 3.0], &[4.0, 5.0, 6.0]]);
@@ -511,6 +865,31 @@ mod tests {
             let slow = matmul_ref(&a, &b);
             for (x, y) in fast.as_slice().iter().zip(slow.as_slice()) {
                 proptest::prop_assert!((x - y).abs() < 1e-4);
+            }
+        }
+
+        /// The SIMD/blocked kernel must be BITWISE identical to the naive
+        /// triple loop on arbitrary shapes — empty matrices, odd and
+        /// non-lane-multiple dims, 1×N — and on sparse data (zero entries
+        /// exercise the `a == 0.0` skip on both paths).
+        #[test]
+        fn simd_matmul_bitwise_matches_naive(
+            m in 0usize..12, k in 0usize..24, n in 0usize..40,
+            salt in 0u32..1000,
+        ) {
+            let gen = |i: usize, scale: f32| {
+                let v = ((i as f32 + salt as f32) * scale).sin();
+                // A quarter of the entries are exactly zero, so the skip
+                // path runs against data the naive loop still multiplies.
+                if v.abs() < 0.25 { 0.0 } else { v }
+            };
+            let a = Matrix::from_vec(m, k, (0..m * k).map(|i| gen(i, 0.7)).collect());
+            let b = Matrix::from_vec(k, n, (0..k * n).map(|i| gen(i, 1.3)).collect());
+            let fast = a.matmul(&b);
+            let naive = matmul_ref(&a, &b);
+            proptest::prop_assert_eq!((fast.rows(), fast.cols()), (m, n));
+            for (x, y) in fast.as_slice().iter().zip(naive.as_slice()) {
+                proptest::prop_assert_eq!(x.to_bits(), y.to_bits(), "{} vs {}", x, y);
             }
         }
 

@@ -104,13 +104,146 @@ pub struct Net {
     pub name: String,
 }
 
+/// Maximum number of data inputs any [`GateKind`] takes ([`GateKind::Mux`]'s
+/// select + two data nets); [`InputList`] keeps one spare slot of headroom.
+pub const MAX_GATE_ARITY: usize = 3;
+
+/// A gate's input nets, stored inline in the [`Gate`].
+///
+/// Gate arity is structurally bounded by [`MAX_GATE_ARITY`], so the list
+/// never needs a heap block. That makes `Gate` a flat `Copy`-able-sized
+/// record apart from its path string: cloning a netlist (the session-stamp
+/// path runs one per `run_script`) copies gates without one allocator
+/// round-trip per gate. Serializes exactly like a `Vec<NetId>`.
+///
+/// Dereferences to `[NetId]`, so indexing, iteration and slice methods work
+/// unchanged; `push` panics if the fixed capacity would overflow.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct InputList {
+    buf: [NetId; MAX_GATE_ARITY + 1],
+    len: u8,
+}
+
+impl InputList {
+    /// Builds a list from a slice.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `nets.len()` exceeds the inline capacity.
+    pub fn from_slice(nets: &[NetId]) -> Self {
+        let mut list = Self::default();
+        assert!(
+            nets.len() <= list.buf.len(),
+            "gate input list of {} nets exceeds max arity {}",
+            nets.len(),
+            list.buf.len()
+        );
+        list.buf[..nets.len()].copy_from_slice(nets);
+        list.len = nets.len() as u8;
+        list
+    }
+
+    /// Appends a net.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the list is at capacity.
+    pub fn push(&mut self, net: NetId) {
+        assert!((self.len as usize) < self.buf.len(), "gate input list at max arity");
+        self.buf[self.len as usize] = net;
+        self.len += 1;
+    }
+
+    /// The inputs as a slice.
+    pub fn as_slice(&self) -> &[NetId] {
+        &self.buf[..self.len as usize]
+    }
+}
+
+impl std::ops::Deref for InputList {
+    type Target = [NetId];
+    fn deref(&self) -> &[NetId] {
+        &self.buf[..self.len as usize]
+    }
+}
+
+impl std::ops::DerefMut for InputList {
+    fn deref_mut(&mut self) -> &mut [NetId] {
+        &mut self.buf[..self.len as usize]
+    }
+}
+
+// Equality/hashing cover only the live prefix — the unused tail slots are
+// not part of the value.
+impl PartialEq for InputList {
+    fn eq(&self, other: &Self) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+
+impl Eq for InputList {}
+
+impl std::hash::Hash for InputList {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        self.as_slice().hash(state);
+    }
+}
+
+impl From<&[NetId]> for InputList {
+    fn from(nets: &[NetId]) -> Self {
+        Self::from_slice(nets)
+    }
+}
+
+impl From<Vec<NetId>> for InputList {
+    fn from(nets: Vec<NetId>) -> Self {
+        Self::from_slice(&nets)
+    }
+}
+
+impl<'a> IntoIterator for &'a InputList {
+    type Item = &'a NetId;
+    type IntoIter = std::slice::Iter<'a, NetId>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.as_slice().iter()
+    }
+}
+
+impl<'a> IntoIterator for &'a mut InputList {
+    type Item = &'a mut NetId;
+    type IntoIter = std::slice::IterMut<'a, NetId>;
+    fn into_iter(self) -> Self::IntoIter {
+        let len = self.len as usize;
+        self.buf[..len].iter_mut()
+    }
+}
+
+impl Serialize for InputList {
+    fn serialize(&self) -> serde::Value {
+        self.as_slice().serialize()
+    }
+}
+
+impl Deserialize for InputList {
+    fn deserialize(v: &serde::Value) -> Result<Self, serde::DeError> {
+        let nets = Vec::<NetId>::deserialize(v)?;
+        if nets.len() > MAX_GATE_ARITY + 1 {
+            return Err(serde::DeError::msg(format!(
+                "gate input list of {} nets exceeds max arity",
+                nets.len()
+            )));
+        }
+        Ok(Self::from_slice(&nets))
+    }
+}
+
 /// A gate instance.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct Gate {
     /// Gate kind.
     pub kind: GateKind,
     /// Input nets, in kind-specific order.
-    pub inputs: Vec<NetId>,
+    pub inputs: InputList,
     /// Output net.
     pub output: NetId,
     /// Hierarchical instance path of the module this gate was lowered from
@@ -189,7 +322,7 @@ impl Netlist {
         let id = self.gates.len() as GateId;
         self.gates.push(Gate {
             kind,
-            inputs: inputs.to_vec(),
+            inputs: InputList::from_slice(inputs),
             output,
             path: path.to_string(),
             reset_value: false,
@@ -212,7 +345,7 @@ impl Netlist {
         let id = self.gates.len() as GateId;
         self.gates.push(Gate {
             kind: GateKind::Dff,
-            inputs: vec![d],
+            inputs: InputList::from_slice(&[d]),
             output: q,
             path: path.to_string(),
             reset_value,
@@ -844,7 +977,7 @@ mod tests {
         nl.outputs.push(("y".into(), y));
         nl.gates.push(Gate {
             kind: GateKind::Buf,
-            inputs: vec![99],
+            inputs: InputList::from_slice(&[99]),
             output: y,
             path: "bad".into(),
             reset_value: false,
