@@ -32,21 +32,34 @@
 //! unless `--smoke` is given, which runs a fast CI-sized profile and
 //! writes nothing.
 //!
+//! With `--shards N` the binary instead runs the **cluster comparison**:
+//! the same closed-loop mix against a single-process server first, then
+//! against N shard processes (this binary re-exec'd in a hidden
+//! `--shard-server` mode, each with its own warm pool) behind an
+//! in-process consistent-hash router. Asserts the aggregate pool hit
+//! rate does not regress versus single-process and that per-shard
+//! `shard{i}.serve.pool.*` rows surface in the router's `/metrics`;
+//! `--throughput-guard R` additionally fails unless cluster req/s >=
+//! R x single-process.
+//!
 //! ```text
 //! cargo run --release -p chatls-bench --bin load_serve \
 //!     [-- --threads 4 --requests 50 --storm-clients 16 \
 //!         --rate 300 --open-seconds 5 --tail-guard 40 --cold-guard-ms 55 --smoke]
+//! cargo run --release -p chatls-bench --bin load_serve -- --smoke --shards 2
 //! ```
 
 use std::io::{Read, Write};
 use std::net::TcpStream;
+use std::process::{Child, Command};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
+use chatls::cluster::{allocate_shard_ports, stop_child};
 use chatls::database::{DbConfig, ExpertDatabase};
-use chatls::ChatLsService;
-use chatls_serve::{ServeConfig, Server};
+use chatls::{design_key_fn, ChatLsService, ShardIdentity};
+use chatls_serve::{ClusterConfig, ClusterRouter, ServeConfig, Server, ShardSpec};
 
 /// Designs in the request mix: three database designs plus a benchmark
 /// design, so the pool sees repeats without a single hot key.
@@ -132,6 +145,256 @@ fn customize_body(design: &str) -> String {
     format!("{{\"design\": \"{design}\"}}")
 }
 
+/// One `GET /healthz` probe that tolerates connection failure (the
+/// target may still be building its database). True on a 200.
+fn try_health(addr: &str) -> bool {
+    let Ok(mut stream) = TcpStream::connect(addr) else { return false };
+    let request = format!("GET /healthz HTTP/1.1\r\nHost: {addr}\r\nConnection: close\r\n\r\n");
+    if stream.write_all(request.as_bytes()).is_err() {
+        return false;
+    }
+    let mut response = Vec::new();
+    if stream.read_to_end(&mut response).is_err() {
+        return false;
+    }
+    String::from_utf8_lossy(&response).split_whitespace().nth(1) == Some("200")
+}
+
+/// The closed-loop request mix shared by the single-process and cluster
+/// measurements: mostly warm customizes, some batched evals, an
+/// occasional health probe. Returns the wall time plus sorted customize
+/// and eval latencies.
+fn closed_loop(addr: &str, threads: usize, per_thread: usize) -> (Duration, Vec<u64>, Vec<u64>) {
+    let next = Arc::new(AtomicUsize::new(0));
+    let started = Instant::now();
+    let mut handles = Vec::new();
+    for _ in 0..threads {
+        let addr = addr.to_string();
+        let next = Arc::clone(&next);
+        handles.push(std::thread::spawn(move || {
+            let mut customize_ns = Vec::new();
+            let mut eval_ns = Vec::new();
+            for _ in 0..per_thread {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                let design = DESIGNS[i % DESIGNS.len()];
+                match i % 10 {
+                    8 => {
+                        let body = format!(
+                            "{{\"design\": \"{design}\", \"scripts\": [\
+                             \"create_clock -period 1.4 [get_ports clk]\\ncompile\\n\", \
+                             \"create_clock -period 1.4 [get_ports clk]\\ncompile -map_effort high\\n\"]}}"
+                        );
+                        let (status, ns) = http(&addr, "POST", "/v1/eval", &body);
+                        assert_eq!(status, 200, "eval failed");
+                        eval_ns.push(ns);
+                    }
+                    9 => {
+                        let (status, _) = http(&addr, "GET", "/healthz", "");
+                        assert_eq!(status, 200, "healthz failed");
+                    }
+                    _ => {
+                        let (status, ns) =
+                            http(&addr, "POST", "/v1/customize", &customize_body(design));
+                        assert_eq!(status, 200, "customize failed");
+                        customize_ns.push(ns);
+                    }
+                }
+            }
+            (customize_ns, eval_ns)
+        }));
+    }
+    let mut customize_ns = Vec::new();
+    let mut eval_ns = Vec::new();
+    for h in handles {
+        let (c, e) = h.join().expect("client thread");
+        customize_ns.extend(c);
+        eval_ns.extend(e);
+    }
+    let wall = started.elapsed();
+    customize_ns.sort_unstable();
+    eval_ns.sort_unstable();
+    (wall, customize_ns, eval_ns)
+}
+
+/// Hidden child mode behind `--shards`: one shard process, reached by
+/// the parent re-executing its own binary (the only portable way to
+/// find it outside a test harness). Builds its own quick database,
+/// joins the peer ring for QorCache hops, and serves until SIGTERM.
+fn run_shard_server() {
+    let id: usize = arg("--shard-id", 0);
+    let port: u16 = arg("--shard-port", 0);
+    let peers: String = arg("--peers", String::new());
+    let specs: Vec<ShardSpec> = peers
+        .split(',')
+        .filter(|s| !s.is_empty())
+        .enumerate()
+        .map(|(id, addr)| ShardSpec { id, addr: addr.parse().expect("peer address") })
+        .collect();
+    eprintln!("shard {id}: building expert database (quick)…");
+    let db = ExpertDatabase::build(&DbConfig::quick());
+    let service = Arc::new(ChatLsService::new(db, 16).with_shard(ShardIdentity::new(id, specs)));
+    chatls_serve::install_signal_handlers();
+    let config = ServeConfig {
+        addr: format!("127.0.0.1:{port}"),
+        queue_depth: 512,
+        workers: ServeConfig::default().workers.max(4),
+        ..ServeConfig::default()
+    };
+    let server = Server::bind(config, service).expect("bind shard port");
+    server.run().expect("shard server");
+}
+
+/// `--shards N`: drives the same closed-loop mix first against a
+/// single-process server, then against N self-exec'd shard processes
+/// behind an in-process [`ClusterRouter`] front door. Asserts the
+/// aggregate pool hit rate does not regress versus single-process and
+/// that per-shard rows surface in the router's /metrics; reports the
+/// throughput and warm-p99 comparison.
+fn run_cluster_mode(shards: usize, smoke: bool) {
+    let threads: usize = arg("--threads", if smoke { 2 } else { 4 });
+    let per_thread: usize = arg("--requests", if smoke { 10 } else { 50 });
+    // 0 = report only; R fails unless cluster req/s >= R x single-process.
+    let throughput_guard: f64 = arg("--throughput-guard", 0.0);
+    let total = threads * per_thread;
+
+    // Baseline: single process, same warm-up and mix.
+    eprintln!("building expert database (quick)…");
+    let db = ExpertDatabase::build(&DbConfig::quick());
+    let service = Arc::new(ChatLsService::new(db, 16));
+    let config = ServeConfig {
+        addr: "127.0.0.1:0".to_string(),
+        queue_depth: 512,
+        workers: ServeConfig::default().workers.max(4),
+        ..ServeConfig::default()
+    };
+    let server = Server::bind(config, service).expect("bind port 0");
+    let addr = server.local_addr().expect("bound address").to_string();
+    let shutdown = server.shutdown_handle();
+    let server_thread = std::thread::spawn(move || server.run());
+    for design in DESIGNS {
+        let (status, _) = http(&addr, "POST", "/v1/customize", &customize_body(design));
+        assert_eq!(status, 200, "baseline warm-up failed");
+    }
+    let (base_wall, base_customize, _) = closed_loop(&addr, threads, per_thread);
+    let base_rps = total as f64 / base_wall.as_secs_f64();
+    let base_metrics = http_body(&addr, "GET", "/metrics", "");
+    let base_hits = metric(&base_metrics, "serve.pool.hit");
+    let base_misses = metric(&base_metrics, "serve.pool.miss");
+    let base_hit_rate = if base_hits + base_misses > 0.0 {
+        100.0 * base_hits / (base_hits + base_misses)
+    } else {
+        0.0
+    };
+    shutdown.shutdown();
+    server_thread.join().expect("server thread").expect("server run");
+    let base_p99 = quantile(&base_customize, 0.99);
+    eprintln!("single-process baseline: {base_rps:.1} req/s, hit rate {base_hit_rate:.1}%");
+
+    // Cluster: spawn the shard fleet, wait until every shard answers
+    // /healthz (each builds its own database first), then put the
+    // consistent-hash router in front.
+    let exe = std::env::current_exe().expect("own executable path");
+    let ports = allocate_shard_ports(shards).expect("allocate shard ports");
+    let peer_list: Vec<String> = ports.iter().map(|p| format!("127.0.0.1:{p}")).collect();
+    let peers_arg = peer_list.join(",");
+    let mut children: Vec<Child> = ports
+        .iter()
+        .enumerate()
+        .map(|(id, port)| {
+            Command::new(&exe)
+                .arg("--shard-server")
+                .args(["--shard-id", &id.to_string()])
+                .args(["--shard-port", &port.to_string()])
+                .args(["--peers", &peers_arg])
+                .spawn()
+                .expect("spawn shard process")
+        })
+        .collect();
+    for (id, peer) in peer_list.iter().enumerate() {
+        let deadline = Instant::now() + Duration::from_secs(120);
+        while !try_health(peer) {
+            assert!(Instant::now() < deadline, "shard {id} never became healthy on {peer}");
+            std::thread::sleep(Duration::from_millis(100));
+        }
+    }
+    let specs: Vec<ShardSpec> = peer_list
+        .iter()
+        .enumerate()
+        .map(|(id, addr)| ShardSpec { id, addr: addr.parse().expect("loopback address") })
+        .collect();
+    let router = ClusterRouter::start(specs, design_key_fn(), ClusterConfig::default());
+    let front_config = ServeConfig {
+        addr: "127.0.0.1:0".to_string(),
+        queue_depth: 512,
+        workers: ServeConfig::default().workers.max(4),
+        ..ServeConfig::default()
+    };
+    let front = Server::bind(front_config, router).expect("bind front door");
+    let front_addr = front.local_addr().expect("front address").to_string();
+    let front_shutdown = front.shutdown_handle();
+    let front_thread = std::thread::spawn(move || front.run());
+    eprintln!("cluster: {shards} shards behind http://{front_addr}");
+    for design in DESIGNS {
+        let (status, _) = http(&front_addr, "POST", "/v1/customize", &customize_body(design));
+        assert_eq!(status, 200, "cluster warm-up failed");
+    }
+    let (cluster_wall, cluster_customize, _) = closed_loop(&front_addr, threads, per_thread);
+    let cluster_rps = total as f64 / cluster_wall.as_secs_f64();
+    let metrics = http_body(&front_addr, "GET", "/metrics", "");
+    front_shutdown.shutdown();
+    front_thread.join().expect("front thread").expect("front run");
+    for child in &mut children {
+        stop_child(child);
+    }
+
+    // The router's aggregated /metrics must carry one row set per shard.
+    for id in 0..shards {
+        assert!(
+            metrics.contains(&format!("shard{id}.serve.pool.hit")),
+            "router /metrics is missing shard {id} pool rows"
+        );
+    }
+    let hits = metric(&metrics, "cluster.pool.hit");
+    let misses = metric(&metrics, "cluster.pool.miss");
+    let cluster_hit_rate = if hits + misses > 0.0 { 100.0 * hits / (hits + misses) } else { 0.0 };
+    let cluster_p99 = quantile(&cluster_customize, 0.99);
+
+    println!(
+        "single-process: {base_rps:.1} req/s, pool hit rate {base_hit_rate:.1}%, warm p99 {}",
+        human_time(base_p99 as f64)
+    );
+    println!(
+        "{shards}-shard cluster: {cluster_rps:.1} req/s, pool hit rate {cluster_hit_rate:.1}%, \
+         warm p99 {}",
+        human_time(cluster_p99 as f64)
+    );
+    println!(
+        "cluster p99 / single-process p99 = {:.2}",
+        cluster_p99 as f64 / (base_p99 as f64).max(1.0)
+    );
+
+    // Consistent hashing gives each design exactly one owner, so the
+    // fleet pays the same one-build-per-design cost the single process
+    // does; the aggregate hit rate must not regress (0.5pp slack covers
+    // scrape-timing noise).
+    assert!(
+        cluster_hit_rate + 0.5 >= base_hit_rate,
+        "aggregate pool hit rate {cluster_hit_rate:.1}% fell below single-process \
+         {base_hit_rate:.1}%"
+    );
+    eprintln!(
+        "hit-rate guard ok: cluster {cluster_hit_rate:.1}% >= single-process {base_hit_rate:.1}%"
+    );
+    if throughput_guard > 0.0 {
+        assert!(
+            cluster_rps >= throughput_guard * base_rps,
+            "cluster {cluster_rps:.1} req/s below {throughput_guard:.2} x single-process \
+             {base_rps:.1} req/s"
+        );
+        eprintln!("throughput guard ok: {cluster_rps:.1} >= {throughput_guard:.2} x {base_rps:.1}");
+    }
+}
+
 /// Phase 1: K clients, one design, cold pool. Returns storm latencies.
 /// Panics unless exactly one template build ran and all responses agree.
 fn miss_storm(addr: &str, svc: &ChatLsService, clients: usize) -> Vec<u64> {
@@ -177,7 +440,16 @@ fn miss_storm(addr: &str, svc: &ChatLsService, clients: usize) -> Vec<u64> {
 }
 
 fn main() {
+    if has_flag("--shard-server") {
+        run_shard_server();
+        return;
+    }
     let smoke = has_flag("--smoke");
+    let shards: usize = arg("--shards", 0usize);
+    if shards > 0 {
+        run_cluster_mode(shards, smoke);
+        return;
+    }
     let threads: usize = arg("--threads", if smoke { 2 } else { 4 });
     let per_thread: usize = arg("--requests", if smoke { 10 } else { 50 });
     let storm_clients: usize = arg("--storm-clients", if smoke { 8 } else { 16 });
@@ -251,56 +523,9 @@ fn main() {
 
     // Phase 2 — closed loop: each thread walks the mix — mostly warm
     // customizes, some batched evals, an occasional health probe.
-    let next = Arc::new(AtomicUsize::new(0));
-    let started = Instant::now();
-    let mut handles = Vec::new();
-    for _ in 0..threads {
-        let addr = addr.clone();
-        let next = Arc::clone(&next);
-        handles.push(std::thread::spawn(move || {
-            let mut customize_ns = Vec::new();
-            let mut eval_ns = Vec::new();
-            for _ in 0..per_thread {
-                let i = next.fetch_add(1, Ordering::Relaxed);
-                let design = DESIGNS[i % DESIGNS.len()];
-                match i % 10 {
-                    8 => {
-                        let body = format!(
-                            "{{\"design\": \"{design}\", \"scripts\": [\
-                             \"create_clock -period 1.4 [get_ports clk]\\ncompile\\n\", \
-                             \"create_clock -period 1.4 [get_ports clk]\\ncompile -map_effort high\\n\"]}}"
-                        );
-                        let (status, ns) = http(&addr, "POST", "/v1/eval", &body);
-                        assert_eq!(status, 200, "eval failed");
-                        eval_ns.push(ns);
-                    }
-                    9 => {
-                        let (status, _) = http(&addr, "GET", "/healthz", "");
-                        assert_eq!(status, 200, "healthz failed");
-                    }
-                    _ => {
-                        let (status, ns) =
-                            http(&addr, "POST", "/v1/customize", &customize_body(design));
-                        assert_eq!(status, 200, "customize failed");
-                        customize_ns.push(ns);
-                    }
-                }
-            }
-            (customize_ns, eval_ns)
-        }));
-    }
-    let mut customize_ns = Vec::new();
-    let mut eval_ns = Vec::new();
-    for h in handles {
-        let (c, e) = h.join().expect("client thread");
-        customize_ns.extend(c);
-        eval_ns.extend(e);
-    }
-    let wall = started.elapsed();
+    let (wall, customize_ns, eval_ns) = closed_loop(&addr, threads, per_thread);
     let total = threads * per_thread;
     let rps = total as f64 / wall.as_secs_f64();
-    customize_ns.sort_unstable();
-    eval_ns.sort_unstable();
 
     // Phase 3 — open loop at a fixed arrival rate over the (now warm)
     // customize mix. Latency is measured from each request's scheduled

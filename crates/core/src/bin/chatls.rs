@@ -9,8 +9,15 @@
 //! chatls designs
 //! chatls serve [--addr HOST:PORT] [--workers N] [--queue-depth N]
 //!              [--timeout-ms N] [--max-sessions N] [--no-warm]
-//!              [--db chatls_db.json]
+//!              [--db chatls_db.json] [--shards N]
 //! ```
+//!
+//! `--shards N` switches `serve` into cluster mode: N shard processes
+//! (this same binary, each with its own warm session pool) behind a
+//! consistent-hash router that speaks the identical HTTP surface. The
+//! shard-side flags `--shard-id I`, `--shard-port P` and
+//! `--peers host:port,…` are internal — the supervisor passes them to
+//! the shard processes it spawns.
 //!
 //! Every subcommand also accepts the global `--telemetry-json <path>`
 //! (write the JSON telemetry document on exit) and `--quiet` (suppress
@@ -133,6 +140,10 @@ const USAGE: &str = "usage:
                [--workers N] [--queue-depth N] [--timeout-ms N]
                [--max-sessions N] [--db <file>]
                [--no-warm]                   skip background catalog pre-warming
+               [--shards N]                  cluster mode: N shard processes
+                                             behind a consistent-hash router
+                                             (drain/admit via POST
+                                             /admin/drain?shard=I, /admin/admit)
 
 global flags (every subcommand):
   --telemetry-json <file>   write the JSON telemetry document (spans + metrics)
@@ -343,16 +354,44 @@ fn cmd_serve(rest: &[&str]) -> Result<(), String> {
         }
     }
     let defaults = chatls_serve::ServeConfig::default();
+    let shard_port: Option<u16> = opt(rest, "--shard-port")
+        .map(|v| v.parse().map_err(|_| "--shard-port must be a port number".to_string()))
+        .transpose()?;
+    let addr = match shard_port {
+        Some(port) => format!("127.0.0.1:{port}"),
+        None => opt(rest, "--addr").unwrap_or("127.0.0.1:8080").to_string(),
+    };
     let config = chatls_serve::ServeConfig {
-        addr: opt(rest, "--addr").unwrap_or("127.0.0.1:8080").to_string(),
+        addr,
         workers: numeric(rest, "--workers", defaults.workers)?,
         queue_depth: numeric(rest, "--queue-depth", defaults.queue_depth)?,
         timeout_ms: numeric(rest, "--timeout-ms", defaults.timeout_ms)?,
     };
+    let shards: usize = numeric(rest, "--shards", 0)?;
+    if shards > 0 {
+        return cmd_serve_cluster(rest, config, shards);
+    }
     let max_sessions: usize = numeric(rest, "--max-sessions", 16)?;
     let no_warm = flag(rest, "--no-warm");
     let db = open_db(rest)?;
-    let service = std::sync::Arc::new(chatls::ChatLsService::new(db, max_sessions));
+    let mut service = chatls::ChatLsService::new(db, max_sessions);
+    // Shard mode (spawned by the --shards supervisor): identify this
+    // shard and learn its siblings for the one-hop QorCache peer lookup.
+    if let Some(id) = opt(rest, "--shard-id") {
+        let id: usize = id.parse().map_err(|_| "--shard-id must be a number".to_string())?;
+        let peers = opt(rest, "--peers").ok_or("--shard-id needs --peers host:port,…")?;
+        let specs: Vec<chatls_serve::ShardSpec> = peers
+            .split(',')
+            .enumerate()
+            .map(|(id, a)| {
+                a.parse()
+                    .map(|addr| chatls_serve::ShardSpec { id, addr })
+                    .map_err(|_| format!("--peers entry '{a}' is not host:port"))
+            })
+            .collect::<Result<_, _>>()?;
+        service = service.with_shard(chatls::ShardIdentity::new(id, specs));
+    }
+    let service = std::sync::Arc::new(service);
     chatls_serve::install_signal_handlers();
     let server = chatls_serve::Server::bind(config, std::sync::Arc::clone(&service) as _)
         .map_err(|e| format!("binding listener: {e}"))?;
@@ -370,6 +409,51 @@ fn cmd_serve(rest: &[&str]) -> Result<(), String> {
         let _ = warmer.join();
     }
     served
+}
+
+/// `chatls serve --shards N`: the cluster supervisor. Spawns N shard
+/// processes (this same binary with `--shard-id`/`--shard-port`/`--peers`
+/// appended and the cluster-level flags stripped), serves the
+/// consistent-hash router on the front address, and respawns shards that
+/// die. All other `serve` flags pass through to every shard.
+fn cmd_serve_cluster(
+    rest: &[&str],
+    config: chatls_serve::ServeConfig,
+    shards: usize,
+) -> Result<(), String> {
+    let exe = std::env::current_exe().map_err(|e| format!("resolving own binary: {e}"))?;
+    // Forward everything except the flags the supervisor owns.
+    let mut forwarded: Vec<String> = Vec::new();
+    let supervisor_flags = ["--shards", "--addr", "--workers", "--queue-depth"];
+    let mut i = 0;
+    while i < rest.len() {
+        if supervisor_flags.contains(&rest[i]) {
+            i += 2; // skip flag + value
+            continue;
+        }
+        forwarded.push(rest[i].to_string());
+        i += 1;
+    }
+    let opts =
+        chatls::ClusterOpts { config, shards, cluster: chatls_serve::ClusterConfig::default() };
+    chatls::run_cluster(
+        opts,
+        move |id, port, peers| {
+            std::process::Command::new(&exe)
+                .arg("serve")
+                .args(["--shard-id", &id.to_string()])
+                .args(["--shard-port", &port.to_string()])
+                .args(["--peers", peers])
+                .args(&forwarded)
+                .spawn()
+        },
+        |addr| {
+            eprintln!(
+                "chatls serve routing {shards} shards on http://{addr} \
+                 (ctrl-c or SIGTERM to drain and stop)"
+            );
+        },
+    )
 }
 
 fn cmd_designs() -> Result<(), String> {

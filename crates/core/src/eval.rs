@@ -201,6 +201,22 @@ impl QorCache {
         self.inner.peek(&(fp, canonicalize_script(script))).is_some()
     }
 
+    /// The cached `(QoR, ok)` for `script` on `fp`, or `None` — without
+    /// running anything and without touching hit/miss counters or LRU
+    /// order. The internal `GET /v1/qor` peer-hop endpoint answers from
+    /// this: a peer serves only what it already has in memory.
+    pub fn peek(&self, fp: u64, script: &str) -> Option<(QorReport, bool)> {
+        self.inner.peek(&(fp, canonicalize_script(script)))
+    }
+
+    /// Seeds the cache with an externally computed result (a peer
+    /// shard's answer to `/v1/qor`). Evaluations are deterministic per
+    /// canonical key, so a concurrent local run inserting first is
+    /// equivalent.
+    pub fn insert(&self, fp: u64, script: &str, value: (QorReport, bool)) {
+        self.inner.get_or_insert_with((fp, canonicalize_script(script)), || value);
+    }
+
     /// Drops all entries and zeroes the counters.
     pub fn clear(&self) {
         self.inner.clear()

@@ -43,6 +43,7 @@
 //! ```
 
 pub mod circuit_mentor;
+pub mod cluster;
 pub mod database;
 pub mod eval;
 pub mod features;
@@ -53,6 +54,7 @@ pub mod synthexpert;
 pub mod synthrag;
 
 pub use circuit_mentor::{build_circuit_graph, detect_traits, CircuitMentor, DesignTraits};
+pub use cluster::{design_key_fn, run_cluster, ClusterOpts};
 pub use database::{DbConfig, ExpertDatabase};
 pub use eval::{
     canonicalize_script, design_fingerprint, f1_score, pass_at_k, pass_at_k_on, run_script,
@@ -60,7 +62,7 @@ pub use eval::{
 };
 pub use llm::{claude_like, gpt_like, Generator, TaskContext};
 pub use pipeline::{baseline_script, prepare_task, ChatLs, ChatLsOutcome};
-pub use service::ChatLsService;
+pub use service::{ChatLsService, ShardIdentity};
 pub use synthexpert::{ExpertTrace, SynthExpert, ThoughtStep};
 pub use synthrag::SynthRag;
 

@@ -13,16 +13,26 @@
 //!    step against retrieval (manual validation, critical-path evidence,
 //!    trait alignment) before emitting the final script.
 
-use crate::circuit_mentor::{build_circuit_graph, detect_traits};
+use std::sync::Arc;
+
+use crate::circuit_mentor::{build_circuit_graph, detect_traits, CircuitGraph};
 use crate::database::{DesignHit, ExpertDatabase};
 use crate::llm::{Generator, OneShot, OneShotProfile, TaskContext, TimingSummary};
 use crate::synthexpert::{ExpertTrace, SynthExpert};
 use crate::synthrag::SynthRag;
 use chatls_designs::GeneratedDesign;
-use chatls_exec::{CancelToken, Cancelled};
+use chatls_exec::{BatchCell, CancelToken, Cancelled};
 use chatls_obs::ObsCtx;
 use chatls_synth::SessionTemplate;
 use serde::{Deserialize, Serialize};
+
+/// The request-accumulation cell for GNN design embeddings: concurrent
+/// customizations overlapping in this cell share one batched
+/// [`crate::circuit_mentor::CircuitMentor::design_embeddings`] inference
+/// (one weight matmul per layer for the whole batch) instead of one GNN
+/// pass each. Batched and per-request embeddings are bitwise identical,
+/// so batching is invisible in responses.
+pub type EmbedBatch = BatchCell<CircuitGraph, Vec<f32>>;
 
 /// The baseline script the evaluation customizes (the paper adapts the
 /// OpenROAD scripts to Design Compiler format; this is that adaptation).
@@ -142,6 +152,9 @@ pub struct ChatLs<'db> {
     db: &'db ExpertDatabase,
     drafter: OneShot,
     obs: ObsCtx,
+    /// When set, stage-1 embeddings are batched across concurrent
+    /// pipelines sharing the cell (the serve path sets this).
+    embed_batch: Option<Arc<EmbedBatch>>,
     /// Number of similar designs to retrieve.
     pub retrieve_k: usize,
 }
@@ -159,6 +172,7 @@ impl<'db> ChatLs<'db> {
             db,
             drafter: OneShot::new(OneShotProfile::gpt_like()),
             obs: ObsCtx::global().clone(),
+            embed_batch: None,
             retrieve_k: 3,
         }
     }
@@ -166,6 +180,13 @@ impl<'db> ChatLs<'db> {
     /// Replaces the observability context spans are recorded into.
     pub fn with_obs(mut self, obs: ObsCtx) -> Self {
         self.obs = obs;
+        self
+    }
+
+    /// Routes stage-1 GNN embeddings through a shared [`EmbedBatch`] so
+    /// concurrent pipelines are embedded in one batched forward pass.
+    pub fn with_embed_batcher(mut self, cell: Arc<EmbedBatch>) -> Self {
+        self.embed_batch = Some(cell);
         self
     }
 
@@ -211,7 +232,15 @@ impl<'db> ChatLs<'db> {
         let embedding = {
             let _s = if on { Some(self.obs.span("core.mentor.embed")) } else { None };
             let graph = build_circuit_graph(design);
-            self.db.mentor().design_embedding(&graph)
+            match &self.embed_batch {
+                Some(cell) => cell.submit(graph, |graphs| {
+                    chatls_obs::counter("core.mentor.embed_batches").inc();
+                    chatls_obs::counter("core.mentor.embed_batched").add(graphs.len() as u64);
+                    let refs: Vec<&CircuitGraph> = graphs.iter().collect();
+                    self.db.mentor().design_embeddings(&refs)
+                }),
+                None => self.db.mentor().design_embedding(&graph),
+            }
         };
         // 2. SynthRAG: similar designs + their measured best strategies.
         cancel.checkpoint()?;

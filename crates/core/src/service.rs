@@ -35,20 +35,24 @@
 //! mid-request aborts that request only and cannot poison the pool.
 
 use std::collections::HashMap;
-use std::sync::Mutex;
+use std::net::{SocketAddr, TcpStream};
+use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
 use chatls_designs::GeneratedDesign;
 use chatls_exec::{CancelToken, Cancelled, ExecPool};
 use chatls_obs::ObsCtx;
-use chatls_serve::{AppHandler, PoolError, Request, Response, SessionPool};
+use chatls_serve::{
+    percent_encode, read_response, version_payload, AppHandler, HashRing, PoolError, Request,
+    Response, Router, SessionPool, ShardSpec, PROTOCOL_VERSION,
+};
 use chatls_synth::{QorReport, SessionBuilder, SessionTemplate};
-use serde::Serialize;
+use serde::{Deserialize, Serialize};
 
 use crate::database::ExpertDatabase;
 use crate::eval::{design_fingerprint, run_script_in_cancellable, QorCache};
 use crate::llm::TaskContext;
-use crate::pipeline::{prepare_task_in, ChatLs};
+use crate::pipeline::{prepare_task_in, ChatLs, EmbedBatch};
 
 /// Cap on cached task contexts per pooled design. The request string is
 /// client-supplied, so this map must stay bounded no matter how many
@@ -102,10 +106,60 @@ pub struct PreparedDesign {
     tasks: Mutex<TaskCache>,
 }
 
+/// Connect timeout for the one-hop QorCache peer lookup. Deliberately
+/// tight: a peer probe is an optimization (skip one synthesis run), so a
+/// slow peer must cost less than the synthesis it might have saved.
+const PEER_CONNECT_TIMEOUT: Duration = Duration::from_millis(150);
+
+/// Read/write timeout for the peer lookup, same rationale.
+const PEER_IO_TIMEOUT: Duration = Duration::from_millis(400);
+
+/// Which shard of a cluster this process is and where its siblings
+/// listen. Drives the shard-aware bits of the service: the `/healthz` and
+/// `/v1/version` identity fields, and the one-hop QorCache peer lookup
+/// (on a local miss, ask the shard the cluster router would have hashed
+/// the design to — it has the best odds of holding the entry).
+pub struct ShardIdentity {
+    /// This process's shard id.
+    pub id: usize,
+    /// Every shard in the cluster (including this one), id → address.
+    shards: Vec<ShardSpec>,
+    /// The same ring the cluster router routes with, so "who probably
+    /// has this key" agrees between router and shards.
+    ring: HashRing,
+}
+
+impl ShardIdentity {
+    /// Identity for shard `id` within the full cluster listing `shards`
+    /// (which includes this shard itself).
+    pub fn new(id: usize, shards: Vec<ShardSpec>) -> Self {
+        let ring = HashRing::new(shards.len().max(1));
+        Self { id, shards, ring }
+    }
+
+    /// The sibling shard most likely to hold cache entries for `key`:
+    /// the highest-preference ring position that is not this shard.
+    pub fn peer_for(&self, key: u64) -> Option<SocketAddr> {
+        self.ring
+            .preference(key)
+            .into_iter()
+            .find(|id| *id != self.id)
+            .and_then(|id| self.shards.iter().find(|s| s.id == id))
+            .map(|s| s.addr)
+    }
+}
+
 /// The application handler behind `chatls serve`.
 pub struct ChatLsService {
     db: ExpertDatabase,
     pool: SessionPool<PreparedDesign, Response>,
+    /// The declarative endpoint table, built once at construction.
+    routes: Router<Self>,
+    /// Cluster identity; `None` for a standalone daemon.
+    shard: Option<ShardIdentity>,
+    /// Shared stage-1 GNN batching cell: concurrent customize requests
+    /// overlapping here get one batched embedding forward pass.
+    embed_batch: Arc<EmbedBatch>,
 }
 
 /// Default user request, matching the `chatls customize` CLI default so
@@ -129,7 +183,7 @@ fn build_prepared(design: &GeneratedDesign) -> Result<PreparedDesign, Response> 
     let template = SessionBuilder::new(design.netlist(), chatls_liberty::nangate45())
         .obs(ObsCtx::global().clone())
         .template()
-        .map_err(|e| Response::error(400, &format!("mapping failed: {e}")))?;
+        .map_err(|e| Response::error(400, "mapping_failed", &format!("mapping failed: {e}")))?;
     Ok(PreparedDesign { template, tasks: Mutex::new(TaskCache::default()) })
 }
 
@@ -226,19 +280,40 @@ struct LintResponse {
     diagnostics: Vec<chatls_lint::Diagnostic>,
 }
 
+/// The `details` object of a `lint_rejected` error envelope.
 #[derive(Serialize)]
-struct LintRejection {
-    error: String,
+struct LintRejectionDetails {
     /// Index into the request's `scripts` array of the offending script.
     script_index: usize,
     diagnostics: Vec<chatls_lint::Diagnostic>,
+}
+
+/// The `GET /v1/qor` payload (and what the peer hop parses back).
+#[derive(Serialize, Deserialize)]
+struct QorPeekPayload {
+    ok: bool,
+    qor: QorReport,
 }
 
 impl ChatLsService {
     /// A service over `db`, pooling at most `max_sessions` prepared
     /// designs.
     pub fn new(db: ExpertDatabase, max_sessions: usize) -> Self {
-        Self { db, pool: SessionPool::new(max_sessions) }
+        Self {
+            db,
+            pool: SessionPool::new(max_sessions),
+            routes: <Self as AppHandler>::routes(),
+            shard: None,
+            embed_batch: Arc::new(EmbedBatch::new()),
+        }
+    }
+
+    /// Marks this service as one shard of a cluster: `/healthz` and
+    /// `/v1/version` report the shard id, and QorCache misses take one
+    /// peer hop before synthesizing.
+    pub fn with_shard(mut self, shard: ShardIdentity) -> Self {
+        self.shard = Some(shard);
+        self
     }
 
     /// The session pool (tests and the load generator inspect occupancy
@@ -258,28 +333,43 @@ impl ChatLsService {
     fn resolve_design(body: &serde::Value) -> Result<GeneratedDesign, Response> {
         if let Some(name) = body.get("design").and_then(|v| v.as_str()) {
             return chatls_designs::by_name(name).ok_or_else(|| {
-                Response::error(404, &format!("unknown design '{name}' (see `chatls designs`)"))
+                Response::error(
+                    404,
+                    "unknown_design",
+                    &format!("unknown design '{name}' (see `chatls designs`)"),
+                )
             });
         }
         let Some(verilog) = body.get("verilog").and_then(|v| v.as_str()) else {
             return Err(Response::error(
                 400,
+                "bad_request",
                 "body needs either \"design\" or \"verilog\"+\"top\"",
             ));
         };
         let Some(top) = body.get("top").and_then(|v| v.as_str()) else {
-            return Err(Response::error(400, "inline \"verilog\" needs a \"top\" module name"));
+            return Err(Response::error(
+                400,
+                "bad_request",
+                "inline \"verilog\" needs a \"top\" module name",
+            ));
         };
         let period = body.get("period").and_then(|v| v.as_f64()).unwrap_or(1.0);
         if !(period.is_finite() && period > 0.0) {
-            return Err(Response::error(400, "\"period\" must be a positive number"));
+            return Err(Response::error(
+                400,
+                "bad_request",
+                "\"period\" must be a positive number",
+            ));
         }
         // Validate up front: the catalog accessors panic on bad source
         // (a generator bug there), but user payloads must fail softly.
-        let sf = chatls_verilog::parse(verilog)
-            .map_err(|e| Response::error(400, &format!("verilog parse error: {e}")))?;
-        chatls_verilog::lower_to_netlist(&sf, top)
-            .map_err(|e| Response::error(400, &format!("elaboration error: {e}")))?;
+        let sf = chatls_verilog::parse(verilog).map_err(|e| {
+            Response::error(400, "invalid_verilog", &format!("verilog parse error: {e}"))
+        })?;
+        chatls_verilog::lower_to_netlist(&sf, top).map_err(|e| {
+            Response::error(400, "invalid_verilog", &format!("elaboration error: {e}"))
+        })?;
         Ok(GeneratedDesign {
             name: format!("inline:{top}"),
             category: chatls_designs::Category::VectorArithmetic,
@@ -369,7 +459,9 @@ impl ChatLsService {
     fn handle_customize(&self, req: &Request, cancel: &CancelToken) -> Response {
         let body = match serde_json::parse_value(&req.body_text()) {
             Ok(v) => v,
-            Err(e) => return Response::error(400, &format!("invalid JSON body: {e}")),
+            Err(e) => {
+                return Response::error(400, "bad_request", &format!("invalid JSON body: {e}"))
+            }
         };
         let design = match Self::resolve_design(&body) {
             Ok(d) => d,
@@ -388,12 +480,13 @@ impl ChatLsService {
             Ok(t) => t,
             Err(Cancelled) => return deadline_resp("baseline synthesis"),
         };
-        let chatls = ChatLs::new(&self.db);
+        let chatls = ChatLs::new(&self.db).with_embed_batcher(self.embed_batch.clone());
         let outcome = match chatls.try_customize(&design, &task, seed, cancel) {
             Ok(o) => o,
             Err(Cancelled) => return deadline_resp("script customization"),
         };
         let fp = design_fingerprint(&design);
+        self.seed_qor_from_peer(fp, outcome.script());
         let (qor, _ok) =
             match QorCache::global().get_or_run_cancellable(fp, outcome.script(), || {
                 run_script_in_cancellable(&prepared.template, outcome.script(), cancel)
@@ -411,14 +504,16 @@ impl ChatLsService {
         };
         match serde_json::to_string(&payload) {
             Ok(json) => Response::json(200, json),
-            Err(e) => Response::error(500, &format!("response serialization: {e}")),
+            Err(e) => internal_error(&e),
         }
     }
 
     fn handle_eval(&self, req: &Request, cancel: &CancelToken) -> Response {
         let body = match serde_json::parse_value(&req.body_text()) {
             Ok(v) => v,
-            Err(e) => return Response::error(400, &format!("invalid JSON body: {e}")),
+            Err(e) => {
+                return Response::error(400, "bad_request", &format!("invalid JSON body: {e}"))
+            }
         };
         let design = match Self::resolve_design(&body) {
             Ok(d) => d,
@@ -431,15 +526,21 @@ impl ChatLsService {
             for s in many {
                 match s.as_str() {
                     Some(s) => out.push(s.to_string()),
-                    None => return Response::error(400, "\"scripts\" must be an array of strings"),
+                    None => {
+                        return Response::error(
+                            400,
+                            "bad_request",
+                            "\"scripts\" must be an array of strings",
+                        )
+                    }
                 }
             }
             out
         } else {
-            return Response::error(400, "body needs \"script\" or \"scripts\"");
+            return Response::error(400, "bad_request", "body needs \"script\" or \"scripts\"");
         };
         if scripts.is_empty() {
-            return Response::error(400, "\"scripts\" must not be empty");
+            return Response::error(400, "bad_request", "\"scripts\" must not be empty");
         }
         // Admission lint: an error-severity script would burn a session
         // (and possibly the request deadline) only to fail, so reject it
@@ -451,18 +552,18 @@ impl ChatLsService {
                 let report = chatls_lint::lint_script(script);
                 if report.has_errors() {
                     chatls_obs::counter("core.lint.rejections").inc();
-                    let payload = LintRejection {
-                        error: format!(
-                            "script {i} fails lint with {} error(s); \
-                             pass \"lenient\": true to evaluate anyway",
-                            report.error_count()
-                        ),
-                        script_index: i,
-                        diagnostics: report.diagnostics,
-                    };
-                    return match serde_json::to_string(&payload) {
-                        Ok(json) => Response::json(400, json),
-                        Err(e) => Response::error(500, &format!("response serialization: {e}")),
+                    let message = format!(
+                        "script {i} fails lint with {} error(s); \
+                         pass \"lenient\": true to evaluate anyway",
+                        report.error_count()
+                    );
+                    let details =
+                        LintRejectionDetails { script_index: i, diagnostics: report.diagnostics };
+                    return match serde_json::to_string(&details) {
+                        Ok(json) => {
+                            Response::error_with_details(400, "lint_rejected", &message, &json)
+                        }
+                        Err(e) => internal_error(&e),
                     };
                 }
             }
@@ -472,6 +573,14 @@ impl ChatLsService {
             Err(resp) => return resp,
         };
         let fp = design_fingerprint(&design);
+        // One peer hop per locally-missing script before fanning out; a
+        // transport failure stops further attempts for this request (a
+        // down peer must not cost one timeout per script).
+        for script in &scripts {
+            if !self.seed_qor_from_peer(fp, script) {
+                break;
+            }
+        }
         // Batch: fan the scripts out on the global pool; each evaluation
         // is memoized in the global QorCache. Index-ordered results keep
         // the response aligned with the request array.
@@ -496,7 +605,7 @@ impl ChatLsService {
         let payload = EvalResponse { design: design.name.clone(), results };
         match serde_json::to_string(&payload) {
             Ok(json) => Response::json(200, json),
-            Err(e) => Response::error(500, &format!("response serialization: {e}")),
+            Err(e) => internal_error(&e),
         }
     }
 
@@ -504,13 +613,15 @@ impl ChatLsService {
     /// `script` plus, optionally, the same design keys as `/v1/eval`
     /// (`design`, or `verilog`+`top`) to enable the netlist-aware rules
     /// (SL013 port existence checks and friends).
-    fn handle_lint(&self, req: &Request) -> Response {
+    fn handle_lint(&self, req: &Request, _cancel: &CancelToken) -> Response {
         let body = match serde_json::parse_value(&req.body_text()) {
             Ok(v) => v,
-            Err(e) => return Response::error(400, &format!("invalid JSON body: {e}")),
+            Err(e) => {
+                return Response::error(400, "bad_request", &format!("invalid JSON body: {e}"))
+            }
         };
         let Some(script) = body.get("script").and_then(|v| v.as_str()) else {
-            return Response::error(400, "body needs a \"script\" string");
+            return Response::error(400, "bad_request", "body needs a \"script\" string");
         };
         let report = if body.get("design").is_some() || body.get("verilog").is_some() {
             let design = match Self::resolve_design(&body) {
@@ -530,49 +641,160 @@ impl ChatLsService {
         };
         match serde_json::to_string(&payload) {
             Ok(json) => Response::json(200, json),
-            Err(e) => Response::error(500, &format!("response serialization: {e}")),
+            Err(e) => internal_error(&e),
         }
     }
 
-    fn handle_healthz(&self) -> Response {
+    fn handle_healthz(&self, _req: &Request, _cancel: &CancelToken) -> Response {
         let designs = chatls_designs::benchmarks().len() + chatls_designs::database_designs().len();
+        let shard = match &self.shard {
+            Some(s) => s.id.to_string(),
+            None => "null".to_string(),
+        };
         Response::json(
             200,
             format!(
-                "{{\"status\": \"ok\", \"designs\": {designs}, \"pooled\": {}, \"pool_capacity\": {}}}\n",
+                "{{\"status\": \"ok\", \"designs\": {designs}, \"pooled\": {}, \
+                 \"pool_capacity\": {}, \"pid\": {}, \"shard\": {shard}}}\n",
                 self.pool.len(),
-                self.pool.capacity()
+                self.pool.capacity(),
+                std::process::id(),
             ),
         )
+    }
+
+    fn handle_metrics(&self, _req: &Request, _cancel: &CancelToken) -> Response {
+        crate::eval::sync_eval_gauges();
+        Response::text(200, chatls_obs::render_metrics_plain())
+    }
+
+    fn handle_telemetry(&self, _req: &Request, _cancel: &CancelToken) -> Response {
+        Response::json(200, ObsCtx::global().telemetry_json())
+    }
+
+    /// `GET /v1/version`: build + protocol identity. The cluster router
+    /// checks `protocol` here before admitting a shard to the ring.
+    fn handle_version(&self, _req: &Request, _cancel: &CancelToken) -> Response {
+        let label = match &self.shard {
+            Some(s) => s.id.to_string(),
+            None => "standalone".to_string(),
+        };
+        Response::json(200, version_payload(&label, PROTOCOL_VERSION))
+    }
+
+    /// `GET /v1/qor?fp=<hex>&script=<pct-encoded>`: answers from the
+    /// local QorCache only — a peek, never a synthesis run and **never a
+    /// further peer hop** (the one-hop rule that keeps cluster lookups
+    /// from cascading). Internal: shards ask each other; clients normally
+    /// go through `/v1/eval`.
+    fn handle_qor(&self, req: &Request, _cancel: &CancelToken) -> Response {
+        let Some(fp) = req.query_param("fp").and_then(|v| u64::from_str_radix(&v, 16).ok()) else {
+            return Response::error(400, "bad_request", "query needs fp=<hex fingerprint>");
+        };
+        let Some(script) = req.query_param("script") else {
+            return Response::error(400, "bad_request", "query needs script=<pct-encoded script>");
+        };
+        match QorCache::global().peek(fp, &script) {
+            Some((qor, ok)) => {
+                chatls_obs::counter("core.qor.peek_hits").inc();
+                match serde_json::to_string(&QorPeekPayload { ok, qor }) {
+                    Ok(json) => Response::json(200, json),
+                    Err(e) => internal_error(&e),
+                }
+            }
+            None => {
+                chatls_obs::counter("core.qor.peek_misses").inc();
+                Response::error(404, "not_cached", "no cached QoR for this (design, script)")
+            }
+        }
+    }
+
+    /// One-hop QorCache peer lookup: on a local miss (and only in
+    /// cluster mode), ask the sibling shard the ring would have routed
+    /// this design to whether it has the entry, and seed the local cache
+    /// on a hit. Returns `false` when further lookups in the same
+    /// request should stop (peer transport failure — a down peer must
+    /// cost one timeout, not one per script).
+    fn seed_qor_from_peer(&self, fp: u64, script: &str) -> bool {
+        let Some(shard) = &self.shard else { return false };
+        if QorCache::global().peek(fp, script).is_some() {
+            return true;
+        }
+        let Some(addr) = shard.peer_for(fp) else { return false };
+        match fetch_peer_qor(addr, fp, script) {
+            Ok(Some(value)) => {
+                chatls_obs::counter("core.qor.peer_hits").inc();
+                QorCache::global().insert(fp, script, value);
+                true
+            }
+            Ok(None) => {
+                chatls_obs::counter("core.qor.peer_misses").inc();
+                true
+            }
+            Err(_) => {
+                chatls_obs::counter("core.qor.peer_errors").inc();
+                false
+            }
+        }
+    }
+}
+
+/// Uniform 500 envelope for response-serialization failures.
+fn internal_error(err: &dyn std::fmt::Display) -> Response {
+    Response::error(500, "internal", &format!("response serialization: {err}"))
+}
+
+/// `GET /v1/qor` against a sibling shard. `Ok(Some(..))` is a cache hit,
+/// `Ok(None)` a clean miss (or any non-200 answer — the peer being
+/// rate-limited or restarting is not a hit), `Err` a transport failure.
+fn fetch_peer_qor(
+    addr: SocketAddr,
+    fp: u64,
+    script: &str,
+) -> std::io::Result<Option<(QorReport, bool)>> {
+    let mut stream = TcpStream::connect_timeout(&addr, PEER_CONNECT_TIMEOUT)?;
+    stream.set_read_timeout(Some(PEER_IO_TIMEOUT))?;
+    stream.set_write_timeout(Some(PEER_IO_TIMEOUT))?;
+    let req = Request {
+        method: "GET".to_string(),
+        path: "/v1/qor".to_string(),
+        query: format!("fp={fp:x}&script={}", percent_encode(script)),
+        ..Default::default()
+    };
+    req.write_to(&mut stream)?;
+    let resp = read_response(&mut stream)?;
+    if resp.status != 200 {
+        return Ok(None);
+    }
+    let body = String::from_utf8_lossy(&resp.body).into_owned();
+    match serde_json::from_str::<QorPeekPayload>(&body) {
+        Ok(payload) => Ok(Some((payload.qor, payload.ok))),
+        // A peer speaking garbage is a miss, not a poisoned cache entry.
+        Err(_) => Ok(None),
     }
 }
 
 impl AppHandler for ChatLsService {
+    fn routes() -> Router<Self> {
+        Router::new()
+            .get("/healthz", "healthz", Self::handle_healthz)
+            .get("/metrics", "metrics", Self::handle_metrics)
+            .get("/telemetry", "telemetry", Self::handle_telemetry)
+            .get("/v1/version", "version", Self::handle_version)
+            .get("/v1/qor", "qor", Self::handle_qor)
+            .post("/v1/customize", "customize", Self::handle_customize)
+            .post("/v1/eval", "eval", Self::handle_eval)
+            .post("/v1/lint", "lint", Self::handle_lint)
+    }
+
     fn handle(&self, req: &Request, cancel: &CancelToken) -> Response {
         let obs = ObsCtx::global();
         let _span = if obs.is_enabled() {
-            Some(obs.span(&format!("serve.handle.{}", req.path.trim_start_matches('/'))))
+            Some(obs.span(&format!("serve.handle.{}", self.routes.label_of(req))))
         } else {
             None
         };
-        match (req.method.as_str(), req.path.as_str()) {
-            ("GET", "/healthz") => self.handle_healthz(),
-            ("GET", "/metrics") => {
-                crate::eval::sync_eval_gauges();
-                Response::text(200, chatls_obs::render_metrics_plain())
-            }
-            ("GET", "/telemetry") => Response::json(200, ObsCtx::global().telemetry_json()),
-            ("POST", "/v1/customize") => self.handle_customize(req, cancel),
-            ("POST", "/v1/eval") => self.handle_eval(req, cancel),
-            ("POST", "/v1/lint") => self.handle_lint(req),
-            (_, "/healthz" | "/metrics" | "/telemetry") => {
-                Response::error(405, "use GET on this endpoint")
-            }
-            (_, "/v1/customize" | "/v1/eval" | "/v1/lint") => {
-                Response::error(405, "use POST on this endpoint")
-            }
-            _ => Response::error(404, "unknown endpoint"),
-        }
+        self.routes.dispatch(self, req, cancel)
     }
 
     fn on_shutdown(&self) {
@@ -593,18 +815,13 @@ mod tests {
         Request {
             method: "POST".to_string(),
             path: path.to_string(),
-            headers: Vec::new(),
             body: body.as_bytes().to_vec(),
+            ..Default::default()
         }
     }
 
     fn get(path: &str) -> Request {
-        Request {
-            method: "GET".to_string(),
-            path: path.to_string(),
-            headers: Vec::new(),
-            body: Vec::new(),
-        }
+        Request { method: "GET".to_string(), path: path.to_string(), ..Default::default() }
     }
 
     /// One shared service for the whole binary; tests that assert pool
@@ -746,8 +963,11 @@ mod tests {
         );
         assert_eq!(resp.status, 400, "{}", String::from_utf8_lossy(&resp.body));
         let v = serde_json::parse_value(&String::from_utf8(resp.body).unwrap()).unwrap();
-        assert_eq!(v.get("script_index").and_then(|i| i.as_u64()), Some(0));
-        let diags = v.get("diagnostics").and_then(|d| d.as_array()).unwrap();
+        let err = v.get("error").expect("rejection must use the uniform error envelope");
+        assert_eq!(err.get("code").and_then(|c| c.as_str()), Some("lint_rejected"));
+        let details = err.get("details").expect("lint_rejected carries details");
+        assert_eq!(details.get("script_index").and_then(|i| i.as_u64()), Some(0));
+        let diags = details.get("diagnostics").and_then(|d| d.as_array()).unwrap();
         assert!(
             diags.iter().any(|d| d.get("code").and_then(|c| c.as_str()) == Some("SL007")),
             "rejection must carry the triggering diagnostic"
@@ -1009,5 +1229,151 @@ mod tests {
         // The pooled template must still serve good responses.
         let again = svc.handle(&req, &CancelToken::never());
         assert_eq!(again.status, 200);
+    }
+
+    /// Every non-2xx body carries the uniform error envelope with a
+    /// stable machine-readable code.
+    #[test]
+    fn error_responses_use_the_uniform_envelope() {
+        let svc = service();
+        let cancel = CancelToken::never();
+        let code_of = |resp: Response| {
+            let v = serde_json::parse_value(&String::from_utf8(resp.body).unwrap())
+                .expect("error body must be JSON");
+            let err = v.get("error").expect("error body must have an \"error\" object").clone();
+            assert!(err.get("message").and_then(|m| m.as_str()).is_some());
+            err.get("code").and_then(|c| c.as_str()).unwrap().to_string()
+        };
+        assert_eq!(code_of(svc.handle(&get("/nope"), &cancel)), "not_found");
+        assert_eq!(code_of(svc.handle(&post("/healthz", ""), &cancel)), "method_not_allowed");
+        assert_eq!(code_of(svc.handle(&post("/v1/eval", "not json"), &cancel)), "bad_request");
+        assert_eq!(
+            code_of(svc.handle(&post("/v1/customize", "{\"design\": \"nope\"}"), &cancel)),
+            "unknown_design"
+        );
+        assert_eq!(
+            code_of(svc.handle(
+                &post(
+                    "/v1/eval",
+                    "{\"verilog\": \"module broken(\", \"top\": \"broken\", \
+                     \"script\": \"compile\"}"
+                ),
+                &cancel
+            )),
+            "invalid_verilog"
+        );
+        let fired = CancelToken::new();
+        fired.cancel();
+        assert_eq!(
+            code_of(svc.handle(&post("/v1/customize", "{\"design\": \"fft\"}"), &fired)),
+            "deadline_exceeded"
+        );
+    }
+
+    #[test]
+    fn version_endpoint_reports_identity_and_protocol() {
+        let svc = service();
+        let resp = svc.handle(&get("/v1/version"), &CancelToken::never());
+        assert_eq!(resp.status, 200);
+        let v = serde_json::parse_value(&String::from_utf8(resp.body).unwrap()).unwrap();
+        assert_eq!(v.get("protocol").and_then(|p| p.as_u64()), Some(PROTOCOL_VERSION as u64));
+        assert_eq!(v.get("shard").and_then(|s| s.as_str()), Some("standalone"));
+        assert!(v.get("git").and_then(|g| g.as_str()).is_some());
+        let profile = v.get("profile").and_then(|p| p.as_str()).unwrap();
+        assert!(profile == "debug" || profile == "release", "{profile}");
+    }
+
+    #[test]
+    fn healthz_reports_pid_and_shard() {
+        let svc = service();
+        let resp = svc.handle(&get("/healthz"), &CancelToken::never());
+        let v = serde_json::parse_value(&String::from_utf8(resp.body).unwrap()).unwrap();
+        assert_eq!(v.get("pid").and_then(|p| p.as_u64()), Some(std::process::id() as u64));
+        assert!(v.get("shard").unwrap().is_null(), "standalone daemon reports shard: null");
+    }
+
+    /// `GET /v1/qor` peeks the cache: hit after an eval populated it,
+    /// enveloped 404 before.
+    #[test]
+    fn qor_endpoint_peeks_without_synthesizing() {
+        let svc = service();
+        let verilog = "module qorpeek_probe(input clk, input a, output reg y); \
+                       always @(posedge clk) y <= ~a; endmodule";
+        let script = "create_clock -period 1.2 [get_ports clk]\ncompile\n";
+        let body = serde_json::parse_value(&format!(
+            "{{\"verilog\": {}, \"top\": \"qorpeek_probe\"}}",
+            serde_json::to_string(&verilog).unwrap()
+        ))
+        .unwrap();
+        let design = ChatLsService::resolve_design(&body).unwrap();
+        let fp = design_fingerprint(&design);
+        let qor_req = |fp: u64, script: &str| Request {
+            method: "GET".to_string(),
+            path: "/v1/qor".to_string(),
+            query: format!("fp={fp:x}&script={}", percent_encode(script)),
+            ..Default::default()
+        };
+        // Before any eval: a clean enveloped miss.
+        let miss = svc.handle(&qor_req(fp, script), &CancelToken::never());
+        assert_eq!(miss.status, 404, "{}", String::from_utf8_lossy(&miss.body));
+        let mv = serde_json::parse_value(&String::from_utf8(miss.body).unwrap()).unwrap();
+        assert_eq!(
+            mv.get("error").and_then(|e| e.get("code")).and_then(|c| c.as_str()),
+            Some("not_cached")
+        );
+        // Evaluate, then the peek hits with the same QoR.
+        let eval = svc.handle(
+            &post(
+                "/v1/eval",
+                &format!(
+                    "{{\"verilog\": {}, \"top\": \"qorpeek_probe\", \"script\": {}}}",
+                    serde_json::to_string(&verilog).unwrap(),
+                    serde_json::to_string(&script).unwrap()
+                ),
+            ),
+            &CancelToken::never(),
+        );
+        assert_eq!(eval.status, 200, "{}", String::from_utf8_lossy(&eval.body));
+        let ev = serde_json::parse_value(&String::from_utf8(eval.body).unwrap()).unwrap();
+        let evaled_qor = serde_json::to_string(
+            ev.get("results").and_then(|r| r.as_array()).unwrap()[0].get("qor").unwrap(),
+        )
+        .unwrap();
+        let hit = svc.handle(&qor_req(fp, script), &CancelToken::never());
+        assert_eq!(hit.status, 200, "{}", String::from_utf8_lossy(&hit.body));
+        let hv = serde_json::parse_value(&String::from_utf8(hit.body).unwrap()).unwrap();
+        assert_eq!(hv.get("ok").and_then(|b| b.as_bool()), Some(true));
+        assert_eq!(serde_json::to_string(hv.get("qor").unwrap()).unwrap(), evaled_qor);
+        // Bad query → enveloped 400.
+        let bad = svc.handle(
+            &Request {
+                method: "GET".to_string(),
+                path: "/v1/qor".to_string(),
+                query: "fp=zzz".to_string(),
+                ..Default::default()
+            },
+            &CancelToken::never(),
+        );
+        assert_eq!(bad.status, 400);
+    }
+
+    #[test]
+    fn shard_identity_prefers_a_sibling_never_itself() {
+        let addr =
+            |port: u16| -> std::net::SocketAddr { format!("127.0.0.1:{port}").parse().unwrap() };
+        let shards: Vec<ShardSpec> =
+            (0..3).map(|id| ShardSpec { id, addr: addr(19000 + id as u16) }).collect();
+        for me in 0..3 {
+            let identity = ShardIdentity::new(me, shards.clone());
+            for key in 0..64u64 {
+                let peer = identity.peer_for(key).expect("3-shard cluster always has a sibling");
+                assert_ne!(peer, addr(19000 + me as u16), "peer_for must never return this shard");
+                // Deterministic: same key, same peer.
+                assert_eq!(identity.peer_for(key), Some(peer));
+            }
+        }
+        // A cluster of one has no sibling to ask.
+        let lonely = ShardIdentity::new(0, vec![shards[0].clone()]);
+        assert_eq!(lonely.peer_for(7), None);
     }
 }

@@ -1,0 +1,278 @@
+//! Multi-process contract of `chatls serve --shards N`: a real
+//! supervisor process (the packaged binary), real shard processes, and
+//! the consistent-hash router in front — driven over TCP like an
+//! operator would.
+//!
+//! Two invariants from the cluster design:
+//!
+//! 1. **Crash under load**: `kill -9` on a shard mid-traffic never leaks
+//!    a non-enveloped error body to a client — every response is either
+//!    a 200 or a `{"error": {...}}` envelope — and the supervisor
+//!    respawns the shard until the fleet reports fully healthy again,
+//!    without the router restarting.
+//! 2. **Hot restart**: draining one shard re-hashes its designs to a
+//!    sibling whose responses are byte-identical (modulo the pool
+//!    hit/miss accounting field), and `/admin/admit` restores it.
+//!
+//! Each shard builds its own quick database (~seconds), so these tests
+//! are the slowest in the crate; they are also unix-only (`kill`).
+
+#![cfg(unix)]
+
+use std::io::{BufReader, Read, Write};
+use std::net::TcpStream;
+use std::process::{Child, Command, Stdio};
+use std::time::{Duration, Instant};
+
+/// Raw signal(2) numbers; sent via the libc ABI directly so the test
+/// stays dependency-free like the stack it exercises.
+fn send_signal(pid: u64, sig: i32) {
+    extern "C" {
+        fn kill(pid: i32, sig: i32) -> i32;
+    }
+    unsafe {
+        kill(pid as i32, sig);
+    }
+}
+
+struct Cluster {
+    child: Child,
+    addr: String,
+}
+
+impl Cluster {
+    /// Spawns `chatls serve --shards N` on a front-door port chosen by
+    /// the test. (The port is picked by bind-and-drop rather than parsed
+    /// from the startup banner: supervisor and shards share one stderr
+    /// pipe and their unbuffered writes can interleave mid-line, so the
+    /// banner is not reliably parseable.)
+    fn spawn(shards: usize) -> Self {
+        let missing_db =
+            std::env::temp_dir().join(format!("chatls-cluster-nodb-{}.json", std::process::id()));
+        let addr = {
+            let probe = std::net::TcpListener::bind("127.0.0.1:0").expect("pick front port");
+            probe.local_addr().expect("front port").to_string()
+        };
+        let mut child = Command::new(env!("CARGO_BIN_EXE_chatls"))
+            .args(["serve", "--shards", &shards.to_string()])
+            .args(["--addr", &addr, "--no-warm"])
+            .args(["--db", missing_db.to_str().unwrap()])
+            .stderr(Stdio::piped())
+            .spawn()
+            .expect("spawn cluster supervisor");
+        // Drain the shared stderr pipe (shards inherit it) so nobody
+        // blocks on a full pipe buffer.
+        let stderr = child.stderr.take().expect("piped stderr");
+        std::thread::spawn(move || {
+            let mut sink = Vec::new();
+            let _ = BufReader::new(stderr).read_to_end(&mut sink);
+        });
+        Cluster { child, addr }
+    }
+
+    /// Polls the router's aggregated `/healthz` until all `shards`
+    /// report `"healthy"` (born-Suspect shards are promoted by probes
+    /// once they are actually serving).
+    fn wait_all_healthy(&self, shards: usize, timeout: Duration) -> String {
+        let deadline = Instant::now() + timeout;
+        loop {
+            if let Some(reply) = try_http(&self.addr, "GET", "/healthz", "") {
+                if reply.body.matches("\"health\": \"healthy\"").count() == shards {
+                    return reply.body;
+                }
+            }
+            assert!(
+                Instant::now() < deadline,
+                "cluster never became fully healthy within {timeout:?}"
+            );
+            std::thread::sleep(Duration::from_millis(100));
+        }
+    }
+
+    /// The pid of shard `id`, read from the aggregated `/healthz`.
+    fn shard_pid(&self, id: usize) -> u64 {
+        let body = http(&self.addr, "GET", "/healthz", "").body;
+        let marker = format!("\"id\": {id}, ");
+        let row = body.split('{').find(|r| r.contains(&marker)).expect("shard row");
+        let pid_field = row.split("\"pid\": ").nth(1).expect("pid field");
+        pid_field
+            .chars()
+            .take_while(|c| c.is_ascii_digit())
+            .collect::<String>()
+            .parse()
+            .unwrap_or_else(|_| panic!("shard {id} pid not yet learned: {body}"))
+    }
+}
+
+impl Drop for Cluster {
+    fn drop(&mut self) {
+        // SIGTERM so the supervisor drains the fleet; only escalate to
+        // SIGKILL (which would orphan the shards) if it never exits.
+        send_signal(self.child.id() as u64, 15);
+        let deadline = Instant::now() + Duration::from_secs(10);
+        while Instant::now() < deadline {
+            match self.child.try_wait() {
+                Ok(Some(_)) => return,
+                Ok(None) => std::thread::sleep(Duration::from_millis(50)),
+                Err(_) => break,
+            }
+        }
+        let _ = self.child.kill();
+        let _ = self.child.wait();
+    }
+}
+
+struct Reply {
+    status: u16,
+    headers: String,
+    body: String,
+}
+
+/// One blocking HTTP/1.1 exchange; `None` if the connection fails (used
+/// while the cluster is still coming up).
+fn try_http(addr: &str, method: &str, path: &str, body: &str) -> Option<Reply> {
+    let mut stream = TcpStream::connect(addr).ok()?;
+    stream.set_read_timeout(Some(Duration::from_secs(120))).unwrap();
+    let request = format!(
+        "{method} {path} HTTP/1.1\r\nHost: {addr}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
+        body.len()
+    );
+    stream.write_all(request.as_bytes()).ok()?;
+    let mut raw = Vec::new();
+    stream.read_to_end(&mut raw).ok()?;
+    let text = String::from_utf8(raw).ok()?;
+    let (head, body) = text.split_once("\r\n\r\n")?;
+    let status: u16 = head.split_whitespace().nth(1).and_then(|s| s.parse().ok())?;
+    Some(Reply { status, headers: head.to_ascii_lowercase(), body: body.to_string() })
+}
+
+fn http(addr: &str, method: &str, path: &str, body: &str) -> Reply {
+    try_http(addr, method, path, body)
+        .unwrap_or_else(|| panic!("{method} {path} on {addr}: exchange failed"))
+}
+
+fn customize_body(design: &str) -> String {
+    format!("{{\"design\": \"{design}\"}}")
+}
+
+/// Accept a response iff it is a 200 or a well-formed error envelope.
+/// Returns an error description for anything else.
+fn check_enveloped(reply: &Reply) -> Result<(), String> {
+    if reply.status == 200 {
+        return Ok(());
+    }
+    let v = serde_json::parse_value(&reply.body)
+        .map_err(|e| format!("{}: body is not JSON ({e:?}): {:.200}", reply.status, reply.body))?;
+    let code = v
+        .get("error")
+        .and_then(|e| e.get("code"))
+        .and_then(|c| c.as_str())
+        .ok_or_else(|| format!("{}: no error.code: {:.200}", reply.status, reply.body))?;
+    if code.is_empty() {
+        return Err(format!("{}: empty error.code", reply.status));
+    }
+    Ok(())
+}
+
+#[test]
+fn kill_dash_nine_under_load_stays_enveloped_and_the_fleet_recovers() {
+    let cluster = Cluster::spawn(2);
+    cluster.wait_all_healthy(2, Duration::from_secs(180));
+    let victim_pid = cluster.shard_pid(0);
+
+    // Load: four clients hammer customize across both designs while the
+    // shard dies; every response they see must be a 200 or an envelope.
+    let stop_at = Instant::now() + Duration::from_secs(4);
+    let clients: Vec<_> = (0..4)
+        .map(|i| {
+            let addr = cluster.addr.clone();
+            std::thread::spawn(move || {
+                let mut violations = Vec::new();
+                let mut n = 0u32;
+                while Instant::now() < stop_at {
+                    let design = ["fft", "simd"][(i + n as usize) % 2];
+                    if let Some(reply) =
+                        try_http(&addr, "POST", "/v1/customize", &customize_body(design))
+                    {
+                        if let Err(why) = check_enveloped(&reply) {
+                            violations.push(why);
+                        }
+                    }
+                    n += 1;
+                }
+                (n, violations)
+            })
+        })
+        .collect();
+    std::thread::sleep(Duration::from_millis(500));
+    send_signal(victim_pid, 9);
+
+    let mut total = 0;
+    for client in clients {
+        let (n, violations) = client.join().expect("load client");
+        total += n;
+        assert!(violations.is_empty(), "non-enveloped error bodies: {violations:?}");
+    }
+    assert!(total > 0, "load phase sent no requests");
+
+    // The supervisor respawns the shard and the router's probes re-admit
+    // it — full recovery without the router restarting.
+    cluster.wait_all_healthy(2, Duration::from_secs(120));
+    for design in ["fft", "simd"] {
+        let reply = http(&cluster.addr, "POST", "/v1/customize", &customize_body(design));
+        assert_eq!(reply.status, 200, "post-recovery {design}: {:.200}", reply.body);
+    }
+}
+
+#[test]
+fn draining_one_shard_rehashes_to_siblings_with_identical_responses() {
+    let cluster = Cluster::spawn(2);
+    cluster.wait_all_healthy(2, Duration::from_secs(180));
+    let designs = ["fft", "simd"];
+
+    // Baseline responses (warmed once so repeats are stable), plus which
+    // shard owns each design.
+    let strip = |b: &str| b.replace("\"pool\":\"miss\"", "").replace("\"pool\":\"hit\"", "");
+    let mut baseline = Vec::new();
+    for design in designs {
+        let first = http(&cluster.addr, "POST", "/v1/customize", &customize_body(design));
+        assert_eq!(first.status, 200, "{design}: {:.200}", first.body);
+        let warm = http(&cluster.addr, "POST", "/v1/customize", &customize_body(design));
+        assert_eq!(warm.status, 200);
+        assert_eq!(strip(&first.body), strip(&warm.body), "{design}: warm repeat diverged");
+        baseline.push((design, strip(&warm.body)));
+    }
+
+    // Hot restart step 1: drain shard 0. The router keeps serving, the
+    // drained shard's keys re-hash to the sibling, and the sibling's
+    // responses are byte-identical to the baseline.
+    let drained = http(&cluster.addr, "POST", "/admin/drain?shard=0", "");
+    assert_eq!(drained.status, 200, "{:.200}", drained.body);
+    let health = http(&cluster.addr, "GET", "/healthz", "").body;
+    assert!(health.contains("\"health\": \"draining\""), "{health}");
+    for (design, expected) in &baseline {
+        let reply = http(&cluster.addr, "POST", "/v1/customize", &customize_body(design));
+        assert_eq!(reply.status, 200, "{design} during drain: {:.200}", reply.body);
+        assert!(
+            !reply.headers.contains("x-chatls-shard: 0"),
+            "{design} was served by the draining shard: {}",
+            reply.headers
+        );
+        assert_eq!(
+            &strip(&reply.body),
+            expected,
+            "{design}: sibling response diverged from the drained shard's"
+        );
+    }
+
+    // Step 2: re-admit. The shard returns to rotation and the fleet goes
+    // back to fully healthy (probes promote it once it answers).
+    let admitted = http(&cluster.addr, "POST", "/admin/admit?shard=0", "");
+    assert_eq!(admitted.status, 200, "{:.200}", admitted.body);
+    cluster.wait_all_healthy(2, Duration::from_secs(60));
+    for (design, expected) in &baseline {
+        let reply = http(&cluster.addr, "POST", "/v1/customize", &customize_body(design));
+        assert_eq!(reply.status, 200, "{design} after admit: {:.200}", reply.body);
+        assert_eq!(&strip(&reply.body), expected, "{design}: post-admit response diverged");
+    }
+}

@@ -13,12 +13,14 @@ const MAX_HEAD: usize = 16 * 1024;
 const MAX_BODY: usize = 4 * 1024 * 1024;
 
 /// A parsed request.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Default)]
 pub struct Request {
     /// Uppercase method (`GET`, `POST`, …).
     pub method: String,
     /// Path component, query string stripped.
     pub path: String,
+    /// Raw query string (no leading `?`; empty when absent).
+    pub query: String,
     /// Header `(name, value)` pairs, names lowercased.
     pub headers: Vec<(String, String)>,
     /// Raw body bytes (empty without `Content-Length`).
@@ -36,6 +38,93 @@ impl Request {
     pub fn body_text(&self) -> String {
         String::from_utf8_lossy(&self.body).into_owned()
     }
+
+    /// First query parameter named `name`, percent-decoded.
+    pub fn query_param(&self, name: &str) -> Option<String> {
+        self.query.split('&').find_map(|pair| {
+            let (k, v) = pair.split_once('=').unwrap_or((pair, ""));
+            (k == name).then(|| percent_decode(v))
+        })
+    }
+
+    /// The request target as sent on the wire: path plus query string.
+    pub fn target(&self) -> String {
+        if self.query.is_empty() {
+            self.path.clone()
+        } else {
+            format!("{}?{}", self.path, self.query)
+        }
+    }
+
+    /// Serializes this request onto `stream` (the client half of the
+    /// protocol — used by the cluster router when proxying to a shard).
+    /// `Content-Length` and `Connection` are recomputed; other headers
+    /// pass through.
+    pub fn write_to(&self, stream: &mut TcpStream) -> std::io::Result<()> {
+        let mut head = format!("{} {} HTTP/1.1\r\n", self.method, self.target());
+        for (name, value) in &self.headers {
+            if name == "content-length" || name == "connection" {
+                continue;
+            }
+            head.push_str(name);
+            head.push_str(": ");
+            head.push_str(value);
+            head.push_str("\r\n");
+        }
+        head.push_str(&format!("Content-Length: {}\r\nConnection: close\r\n\r\n", self.body.len()));
+        stream.write_all(head.as_bytes())?;
+        stream.write_all(&self.body)?;
+        stream.flush()
+    }
+}
+
+/// Percent-encodes `s` for use in a query-string value: everything except
+/// unreserved characters (`A-Za-z0-9-._~`) is `%XX`-escaped.
+pub fn percent_encode(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for b in s.bytes() {
+        match b {
+            b'A'..=b'Z' | b'a'..=b'z' | b'0'..=b'9' | b'-' | b'.' | b'_' | b'~' => {
+                out.push(b as char)
+            }
+            _ => out.push_str(&format!("%{b:02X}")),
+        }
+    }
+    out
+}
+
+/// Decodes `%XX` escapes (and `+` as space); malformed escapes pass
+/// through verbatim rather than failing the whole parameter.
+pub fn percent_decode(s: &str) -> String {
+    let bytes = s.as_bytes();
+    let mut out = Vec::with_capacity(bytes.len());
+    let mut i = 0;
+    while i < bytes.len() {
+        match bytes[i] {
+            b'%' if i + 2 < bytes.len() => {
+                let hex = |b: u8| (b as char).to_digit(16);
+                match (hex(bytes[i + 1]), hex(bytes[i + 2])) {
+                    (Some(h), Some(l)) => {
+                        out.push((h * 16 + l) as u8);
+                        i += 3;
+                    }
+                    _ => {
+                        out.push(b'%');
+                        i += 1;
+                    }
+                }
+            }
+            b'+' => {
+                out.push(b' ');
+                i += 1;
+            }
+            b => {
+                out.push(b);
+                i += 1;
+            }
+        }
+    }
+    String::from_utf8_lossy(&out).into_owned()
 }
 
 /// A response ready to serialize. Always closes the connection.
@@ -67,21 +156,49 @@ impl Response {
         }
     }
 
-    /// A JSON error envelope `{"error": "..."}`.
-    pub fn error(status: u16, message: &str) -> Self {
-        Self::json(status, format!("{{\"error\": {}}}\n", json_escape(message)))
+    /// The uniform JSON error envelope every non-2xx response carries:
+    ///
+    /// ```json
+    /// {"error": {"code": "<machine-readable>", "message": "…", "details": null}}
+    /// ```
+    ///
+    /// `code` is a stable snake_case identifier clients can branch on;
+    /// `message` is human-readable and may change between releases.
+    pub fn error(status: u16, code: &str, message: &str) -> Self {
+        Self::json(
+            status,
+            format!(
+                "{{\"error\": {{\"code\": {}, \"message\": {}, \"details\": null}}}}\n",
+                json_escape(code),
+                json_escape(message)
+            ),
+        )
+    }
+
+    /// [`Response::error`] with a structured `details` payload (`details`
+    /// must already be serialized JSON — an object carrying whatever the
+    /// code needs, e.g. lint diagnostics for `lint_rejected`).
+    pub fn error_with_details(status: u16, code: &str, message: &str, details_json: &str) -> Self {
+        Self::json(
+            status,
+            format!(
+                "{{\"error\": {{\"code\": {}, \"message\": {}, \"details\": {details_json}}}}}\n",
+                json_escape(code),
+                json_escape(message)
+            ),
+        )
     }
 
     /// `429 Too Many Requests` with a `Retry-After` hint in seconds.
     pub fn too_many_requests(retry_after_secs: u64) -> Self {
-        let mut r = Self::error(429, "admission queue full, retry later");
+        let mut r = Self::error(429, "rate_limited", "admission queue full, retry later");
         r.headers.push(("Retry-After".to_string(), retry_after_secs.to_string()));
         r
     }
 
     /// `504 Gateway Timeout` for a request whose deadline fired.
     pub fn gateway_timeout(message: &str) -> Self {
-        Self::error(504, message)
+        Self::error(504, "deadline_exceeded", message)
     }
 
     /// Adds a header.
@@ -123,6 +240,7 @@ fn reason_phrase(status: u16) -> &'static str {
         413 => "Payload Too Large",
         429 => "Too Many Requests",
         500 => "Internal Server Error",
+        502 => "Bad Gateway",
         503 => "Service Unavailable",
         504 => "Gateway Timeout",
         _ => "Response",
@@ -159,10 +277,12 @@ pub fn read_request(stream: &mut TcpStream) -> Result<Request, Response> {
             break pos;
         }
         if buf.len() > MAX_HEAD {
-            return Err(Response::error(400, "request head too large"));
+            return Err(Response::error(400, "bad_request", "request head too large"));
         }
         match stream.read(&mut chunk) {
-            Ok(0) => return Err(Response::error(400, "connection closed mid-request")),
+            Ok(0) => {
+                return Err(Response::error(400, "bad_request", "connection closed mid-request"))
+            }
             Ok(n) => buf.extend_from_slice(&chunk[..n]),
             Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
             Err(e)
@@ -171,9 +291,9 @@ pub fn read_request(stream: &mut TcpStream) -> Result<Request, Response> {
                     std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
                 ) =>
             {
-                return Err(Response::error(400, "request read timed out"))
+                return Err(Response::error(400, "bad_request", "request read timed out"))
             }
-            Err(_) => return Err(Response::error(400, "error reading request")),
+            Err(_) => return Err(Response::error(400, "bad_request", "error reading request")),
         }
     };
     let head = String::from_utf8_lossy(&buf[..head_end]).into_owned();
@@ -183,39 +303,138 @@ pub fn read_request(stream: &mut TcpStream) -> Result<Request, Response> {
     let method = parts.next().unwrap_or_default().to_ascii_uppercase();
     let target = parts.next().unwrap_or_default();
     if method.is_empty() || target.is_empty() {
-        return Err(Response::error(400, "malformed request line"));
+        return Err(Response::error(400, "bad_request", "malformed request line"));
     }
-    let path = target.split('?').next().unwrap_or(target).to_string();
+    let (path, query) = match target.split_once('?') {
+        Some((p, q)) => (p.to_string(), q.to_string()),
+        None => (target.to_string(), String::new()),
+    };
     let mut headers = Vec::new();
     for line in lines {
         if line.is_empty() {
             continue;
         }
         let Some((name, value)) = line.split_once(':') else {
-            return Err(Response::error(400, "malformed header line"));
+            return Err(Response::error(400, "bad_request", "malformed header line"));
         };
         headers.push((name.trim().to_ascii_lowercase(), value.trim().to_string()));
     }
     let content_length: usize = headers
         .iter()
         .find(|(n, _)| n == "content-length")
-        .map(|(_, v)| v.parse().map_err(|_| Response::error(400, "bad Content-Length")))
+        .map(|(_, v)| {
+            v.parse().map_err(|_| Response::error(400, "bad_request", "bad Content-Length"))
+        })
         .transpose()?
         .unwrap_or(0);
     if content_length > MAX_BODY {
-        return Err(Response::error(413, "request body too large"));
+        return Err(Response::error(413, "payload_too_large", "request body too large"));
     }
     let mut body = buf[head_end + 4..].to_vec();
     while body.len() < content_length {
         match stream.read(&mut chunk) {
-            Ok(0) => return Err(Response::error(400, "connection closed mid-body")),
+            Ok(0) => return Err(Response::error(400, "bad_request", "connection closed mid-body")),
             Ok(n) => body.extend_from_slice(&chunk[..n]),
             Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
-            Err(_) => return Err(Response::error(400, "error reading request body")),
+            Err(_) => {
+                return Err(Response::error(400, "bad_request", "error reading request body"))
+            }
         }
     }
     body.truncate(content_length);
-    Ok(Request { method, path, headers, body })
+    Ok(Request { method, path, query, headers, body })
+}
+
+/// Reads and parses one response from `stream` (the client half of the
+/// protocol — used by the cluster router when proxying to a shard). The
+/// body is read to `Content-Length` when present, else to EOF.
+pub fn read_response(stream: &mut TcpStream) -> std::io::Result<Response> {
+    use std::io::{Error, ErrorKind};
+    let bad = |msg: &str| Error::new(ErrorKind::InvalidData, msg.to_string());
+    let mut buf: Vec<u8> = Vec::with_capacity(1024);
+    let mut chunk = [0u8; 4096];
+    let head_end = loop {
+        if let Some(pos) = find_head_end(&buf) {
+            break pos;
+        }
+        if buf.len() > MAX_HEAD {
+            return Err(bad("response head too large"));
+        }
+        match stream.read(&mut chunk) {
+            Ok(0) => return Err(bad("connection closed mid-response")),
+            Ok(n) => buf.extend_from_slice(&chunk[..n]),
+            Err(e) if e.kind() == ErrorKind::Interrupted => continue,
+            Err(e) => return Err(e),
+        }
+    };
+    let head = String::from_utf8_lossy(&buf[..head_end]).into_owned();
+    let mut lines = head.split("\r\n");
+    let status_line = lines.next().unwrap_or_default();
+    let mut parts = status_line.split_whitespace();
+    if !parts.next().unwrap_or_default().starts_with("HTTP/1.") {
+        return Err(bad("malformed status line"));
+    }
+    let status: u16 =
+        parts.next().unwrap_or_default().parse().map_err(|_| bad("malformed status code"))?;
+    let mut content_type: &'static str = "application/octet-stream";
+    let mut content_length: Option<usize> = None;
+    let mut headers = Vec::new();
+    for line in lines {
+        if line.is_empty() {
+            continue;
+        }
+        let Some((name, value)) = line.split_once(':') else {
+            return Err(bad("malformed header line"));
+        };
+        let (name, value) = (name.trim().to_ascii_lowercase(), value.trim().to_string());
+        match name.as_str() {
+            // Hop-by-hop / recomputed-on-write headers are absorbed here;
+            // `Response::write_to` re-emits its own.
+            "content-length" => {
+                content_length = Some(value.parse().map_err(|_| bad("malformed Content-Length"))?);
+            }
+            "connection" => {}
+            "content-type" => {
+                // Map onto the static set `Response` can carry; unknown
+                // types degrade to octet-stream (none are produced today).
+                content_type = match value.as_str() {
+                    "application/json" => "application/json",
+                    "text/plain; charset=utf-8" => "text/plain; charset=utf-8",
+                    _ => "application/octet-stream",
+                };
+            }
+            _ => headers.push((name, value)),
+        }
+    }
+    if content_length.unwrap_or(0) > MAX_BODY {
+        return Err(bad("response body too large"));
+    }
+    let mut body = buf[head_end + 4..].to_vec();
+    match content_length {
+        Some(len) => {
+            while body.len() < len {
+                match stream.read(&mut chunk) {
+                    Ok(0) => return Err(bad("connection closed mid-body")),
+                    Ok(n) => body.extend_from_slice(&chunk[..n]),
+                    Err(e) if e.kind() == ErrorKind::Interrupted => continue,
+                    Err(e) => return Err(e),
+                }
+            }
+            body.truncate(len);
+        }
+        None => loop {
+            if body.len() > MAX_BODY {
+                return Err(bad("response body too large"));
+            }
+            match stream.read(&mut chunk) {
+                Ok(0) => break,
+                Ok(n) => body.extend_from_slice(&chunk[..n]),
+                Err(e) if e.kind() == ErrorKind::Interrupted => continue,
+                Err(e) => return Err(e),
+            }
+        },
+    }
+    Ok(Response { status, headers, body, content_type })
 }
 
 fn find_head_end(buf: &[u8]) -> Option<usize> {
@@ -249,6 +468,10 @@ mod tests {
         .unwrap();
         assert_eq!(req.method, "POST");
         assert_eq!(req.path, "/v1/eval", "query string must be stripped");
+        assert_eq!(req.query, "x=1", "query string must be captured");
+        assert_eq!(req.query_param("x").as_deref(), Some("1"));
+        assert_eq!(req.query_param("y"), None);
+        assert_eq!(req.target(), "/v1/eval?x=1");
         assert_eq!(req.header("host"), Some("t"));
         assert_eq!(req.header("HOST"), Some("t"), "header lookup is case-insensitive");
         assert_eq!(req.body_text(), "{\"a\": 1}\n");
@@ -292,11 +515,56 @@ mod tests {
         assert!(text.starts_with("HTTP/1.1 429 Too Many Requests\r\n"), "{text}");
         assert!(text.contains("Retry-After: 2\r\n"));
         assert!(text.contains("Connection: close\r\n"));
-        assert!(text.ends_with("{\"error\": \"admission queue full, retry later\"}\n"));
+        assert!(
+            text.ends_with(
+                "{\"error\": {\"code\": \"rate_limited\", \
+                 \"message\": \"admission queue full, retry later\", \"details\": null}}\n"
+            ),
+            "{text}"
+        );
     }
 
     #[test]
     fn json_escape_handles_controls() {
         assert_eq!(json_escape("a\"b\\c\nd"), "\"a\\\"b\\\\c\\nd\"");
+    }
+
+    #[test]
+    fn percent_round_trips_arbitrary_text() {
+        let original = "read_verilog a.v; map -k 6\nopt +x=100%~q";
+        assert_eq!(percent_decode(&percent_encode(original)), original);
+        assert_eq!(percent_decode("a+b%20c"), "a b c");
+        assert_eq!(percent_decode("%zz%"), "%zz%", "malformed escapes pass through");
+    }
+
+    #[test]
+    fn error_envelope_carries_code_and_details() {
+        let r = Response::error(404, "not_found", "no such endpoint");
+        let body = String::from_utf8(r.body).unwrap();
+        assert!(body.contains("\"code\": \"not_found\""), "{body}");
+        assert!(body.contains("\"details\": null"), "{body}");
+        let r = Response::error_with_details(400, "lint_rejected", "m", "{\"script_index\": 2}");
+        let body = String::from_utf8(r.body).unwrap();
+        assert!(body.contains("\"details\": {\"script_index\": 2}"), "{body}");
+    }
+
+    #[test]
+    fn read_response_round_trips_write_to() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let writer = std::thread::spawn(move || {
+            let mut s = TcpStream::connect(addr).unwrap();
+            Response::json(200, "{\"ok\": true}\n")
+                .with_header("x-chatls-shard", "3")
+                .write_to(&mut s);
+        });
+        let (mut conn, _) = listener.accept().unwrap();
+        let resp = read_response(&mut conn).unwrap();
+        writer.join().unwrap();
+        assert_eq!(resp.status, 200);
+        assert_eq!(resp.content_type, "application/json");
+        assert_eq!(String::from_utf8_lossy(&resp.body), "{\"ok\": true}\n");
+        let shard = resp.headers.iter().find(|(n, _)| n == "x-chatls-shard");
+        assert_eq!(shard.map(|(_, v)| v.as_str()), Some("3"));
     }
 }

@@ -20,8 +20,32 @@
 
 pub mod http;
 pub mod pool;
+pub mod route;
+pub mod router;
 pub mod server;
 
-pub use http::{json_escape, Request, Response};
+/// Version of the HTTP surface (endpoints + error envelope). The cluster
+/// router refuses to route to a shard advertising a different value on
+/// `GET /v1/version`, so a mixed-version fleet fails loud instead of
+/// subtly.
+pub const PROTOCOL_VERSION: u32 = 1;
+
+pub use http::{json_escape, percent_decode, percent_encode, read_response, Request, Response};
 pub use pool::{PoolError, PoolStats, SessionPool};
-pub use server::{install_signal_handlers, AppHandler, ServeConfig, Server, ShutdownHandle};
+pub use route::{HandlerFn, Router};
+pub use router::{ClusterConfig, ClusterRouter, HashRing, Health, KeyFn, ShardSpec};
+pub use server::{
+    install_signal_handlers, AppHandler, ServeConfig, Server, ShutdownHandle, DEADLINE_HEADER,
+};
+
+/// The `GET /v1/version` payload: build identity plus protocol version.
+/// `shard` names who is answering — `"router"`, a shard id like `"0"`,
+/// or `"standalone"` for a single-process daemon.
+pub fn version_payload(shard: &str, protocol: u32) -> String {
+    format!(
+        "{{\"git\": {}, \"profile\": \"{}\", \"shard\": {}, \"protocol\": {protocol}}}\n",
+        json_escape(option_env!("CHATLS_GIT_HASH").unwrap_or("unknown")),
+        if cfg!(debug_assertions) { "debug" } else { "release" },
+        json_escape(shard),
+    )
+}

@@ -1,0 +1,196 @@
+//! Declarative request routing: `(method, path) → handler` registration
+//! replacing hand-rolled `match` blocks in application handlers.
+//!
+//! A [`Router`] is built once at service construction (see
+//! [`crate::AppHandler::routes`]) and dispatched per request:
+//!
+//! - exact method + path match → the registered handler runs;
+//! - path known but method wrong → `405 Method Not Allowed` with an
+//!   `Allow` header listing what the path accepts;
+//! - unknown path → the fallback handler if one was registered, else a
+//!   `404` carrying the uniform JSON error envelope.
+//!
+//! Handlers are plain `fn` pointers (`&A, &Request, &CancelToken →
+//! Response`), so a `Router<A>` is `Send + Sync` for free and carries no
+//! per-request allocation beyond the response itself.
+
+use chatls_exec::CancelToken;
+
+use crate::http::{Request, Response};
+
+/// A registered handler: borrows the application, the parsed request and
+/// the request's cancel token.
+pub type HandlerFn<A> = fn(&A, &Request, &CancelToken) -> Response;
+
+struct Route<A> {
+    method: &'static str,
+    path: &'static str,
+    /// Bounded metric label for `serve.req.*` (paths are unbounded input;
+    /// labels must not be).
+    label: &'static str,
+    handler: HandlerFn<A>,
+}
+
+/// Method + path → handler table. See the module docs for dispatch rules.
+pub struct Router<A> {
+    routes: Vec<Route<A>>,
+    fallback: Option<HandlerFn<A>>,
+}
+
+impl<A> Default for Router<A> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<A> Router<A> {
+    /// An empty router: every dispatch is a 404 until routes are added.
+    pub fn new() -> Self {
+        Self { routes: Vec::new(), fallback: None }
+    }
+
+    /// Registers `handler` for `method` + `path`. `label` is the bounded
+    /// metric label requests to this route are counted under.
+    pub fn route(
+        mut self,
+        method: &'static str,
+        path: &'static str,
+        label: &'static str,
+        handler: HandlerFn<A>,
+    ) -> Self {
+        debug_assert!(
+            !self.routes.iter().any(|r| r.method == method && r.path == path),
+            "duplicate route {method} {path}"
+        );
+        self.routes.push(Route { method, path, label, handler });
+        self
+    }
+
+    /// [`Router::route`] for `GET`.
+    pub fn get(self, path: &'static str, label: &'static str, handler: HandlerFn<A>) -> Self {
+        self.route("GET", path, label, handler)
+    }
+
+    /// [`Router::route`] for `POST`.
+    pub fn post(self, path: &'static str, label: &'static str, handler: HandlerFn<A>) -> Self {
+        self.route("POST", path, label, handler)
+    }
+
+    /// Registers a catch-all handler for paths no route matches (the
+    /// cluster router's proxy hook). Wrong-method on a *registered* path
+    /// still answers 405 rather than falling through.
+    pub fn fallback(mut self, handler: HandlerFn<A>) -> Self {
+        self.fallback = Some(handler);
+        self
+    }
+
+    /// The bounded metric label for `req` (`"other"` when unrouted).
+    pub fn label_of(&self, req: &Request) -> &'static str {
+        self.routes.iter().find(|r| r.path == req.path).map(|r| r.label).unwrap_or("other")
+    }
+
+    /// Routes `req` per the rules in the module docs.
+    pub fn dispatch(&self, app: &A, req: &Request, cancel: &CancelToken) -> Response {
+        if let Some(route) =
+            self.routes.iter().find(|r| r.path == req.path && r.method == req.method)
+        {
+            return (route.handler)(app, req, cancel);
+        }
+        let allowed: Vec<&str> =
+            self.routes.iter().filter(|r| r.path == req.path).map(|r| r.method).collect();
+        if !allowed.is_empty() {
+            return Response::error(
+                405,
+                "method_not_allowed",
+                &format!("{} does not allow {}", req.path, req.method),
+            )
+            .with_header("Allow", &allowed.join(", "));
+        }
+        if let Some(fallback) = self.fallback {
+            return fallback(app, req, cancel);
+        }
+        Response::error(404, "not_found", &format!("no such endpoint: {}", req.path))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct App;
+
+    fn ok(_: &App, req: &Request, _: &CancelToken) -> Response {
+        Response::json(200, format!("{{\"path\": \"{}\"}}", req.path))
+    }
+
+    fn echo_method(_: &App, req: &Request, _: &CancelToken) -> Response {
+        Response::text(200, req.method.clone())
+    }
+
+    fn req(method: &str, path: &str) -> Request {
+        Request { method: method.to_string(), path: path.to_string(), ..Default::default() }
+    }
+
+    fn router() -> Router<App> {
+        Router::new()
+            .post("/v1/customize", "customize", ok)
+            .get("/healthz", "healthz", echo_method)
+            .post("/healthz", "healthz", echo_method)
+    }
+
+    #[test]
+    fn dispatches_on_method_and_path() {
+        let r = router();
+        let cancel = CancelToken::never();
+        let resp = r.dispatch(&App, &req("POST", "/v1/customize"), &cancel);
+        assert_eq!(resp.status, 200);
+        assert_eq!(String::from_utf8_lossy(&resp.body), "{\"path\": \"/v1/customize\"}");
+        assert_eq!(r.dispatch(&App, &req("GET", "/healthz"), &cancel).status, 200);
+        assert_eq!(
+            String::from_utf8_lossy(&r.dispatch(&App, &req("POST", "/healthz"), &cancel).body),
+            "POST"
+        );
+    }
+
+    #[test]
+    fn wrong_method_gets_405_with_allow() {
+        let r = router();
+        let resp = r.dispatch(&App, &req("GET", "/v1/customize"), &CancelToken::never());
+        assert_eq!(resp.status, 405);
+        let allow = resp.headers.iter().find(|(n, _)| n == "Allow").map(|(_, v)| v.as_str());
+        assert_eq!(allow, Some("POST"));
+        let body = String::from_utf8_lossy(&resp.body).into_owned();
+        assert!(body.contains("\"code\": \"method_not_allowed\""), "{body}");
+    }
+
+    #[test]
+    fn unknown_path_gets_enveloped_404() {
+        let resp = router().dispatch(&App, &req("GET", "/nope"), &CancelToken::never());
+        assert_eq!(resp.status, 404);
+        let body = String::from_utf8_lossy(&resp.body).into_owned();
+        assert!(body.contains("\"code\": \"not_found\""), "{body}");
+        assert!(body.contains("\"details\": null"), "{body}");
+    }
+
+    #[test]
+    fn fallback_catches_unrouted_paths_but_not_wrong_methods() {
+        fn proxy(_: &App, _: &Request, _: &CancelToken) -> Response {
+            Response::text(200, "proxied")
+        }
+        let r = router().fallback(proxy);
+        let cancel = CancelToken::never();
+        assert_eq!(
+            String::from_utf8_lossy(&r.dispatch(&App, &req("GET", "/nope"), &cancel).body),
+            "proxied"
+        );
+        assert_eq!(r.dispatch(&App, &req("DELETE", "/v1/customize"), &cancel).status, 405);
+    }
+
+    #[test]
+    fn labels_are_bounded() {
+        let r = router();
+        assert_eq!(r.label_of(&req("POST", "/v1/customize")), "customize");
+        assert_eq!(r.label_of(&req("DELETE", "/v1/customize")), "customize");
+        assert_eq!(r.label_of(&req("GET", "/anything-else")), "other");
+    }
+}

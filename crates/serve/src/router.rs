@@ -1,0 +1,856 @@
+//! The cluster front door: a thin router that speaks the same HTTP/1.1
+//! protocol as a single shard and consistent-hash-routes requests to N
+//! shard processes behind it.
+//!
+//! # Hash ring
+//!
+//! Each shard owns [`VNODES`] points on a 64-bit ring (fnv1a of
+//! `"shard:{id}:vnode:{v}"`). A request's routing key — the design
+//! fingerprint, extracted by an application-supplied [`KeyFn`] — lands on
+//! the ring and walks clockwise; the order in which distinct shards are
+//! encountered is that key's *preference list*. The primary is the first
+//! routable entry; a retry or a drained primary falls through to the next
+//! entry, so each key's traffic moves to a deterministic sibling (and
+//! returns when the shard comes back) instead of scattering.
+//!
+//! # Health state machine
+//!
+//! ```text
+//!            probe/proxy ok              failure
+//!   Healthy ─────────────── Healthy ────────────→ Suspect
+//!      ↑                                             │ 2nd consecutive
+//!      └──────── probe ok ──────── Down ←────────────┘ failure
+//!
+//!   Draining: sticky admin state (POST /admin/drain), left only via
+//!   POST /admin/admit. Probes keep running but never change it.
+//! ```
+//!
+//! `Healthy` and `Suspect` are routable; `Down` and `Draining` are not.
+//! Failures are transport-level only (connect/write/read): an application
+//! error from a live shard (429, 504, …) is relayed, not held against it.
+//!
+//! # Router-added responses
+//!
+//! The router only ever *adds* two error shapes to the protocol, both in
+//! the uniform envelope: `502 shard_unavailable` (every candidate shard
+//! failed at transport level) and `503 no_healthy_shards` (no routable
+//! shard existed to begin with).
+
+use std::io::Write;
+use std::net::{SocketAddr, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+use chatls_exec::{fnv1a, CancelToken};
+
+use crate::http::{read_response, Request, Response};
+use crate::route::Router;
+use crate::server::{AppHandler, DEADLINE_HEADER};
+
+/// Virtual nodes per shard on the hash ring. 64 keeps the expected load
+/// imbalance across a handful of shards within a few percent.
+const VNODES: usize = 64;
+
+/// Consecutive transport failures that take a shard from `Suspect` to
+/// `Down`.
+const DOWN_THRESHOLD: u32 = 2;
+
+/// Extracts the consistent-hash routing key from a request. `None` means
+/// the request has no stable affinity (malformed body, health probe, …)
+/// and the router falls back to hashing the raw target + body.
+pub type KeyFn = Arc<dyn Fn(&Request) -> Option<u64> + Send + Sync>;
+
+/// One shard's identity as the router sees it.
+#[derive(Debug, Clone)]
+pub struct ShardSpec {
+    /// Stable shard index (0-based; hash-ring identity).
+    pub id: usize,
+    /// Address the shard listens on, e.g. `127.0.0.1:8081`.
+    pub addr: SocketAddr,
+}
+
+/// Router tuning knobs.
+#[derive(Debug, Clone)]
+pub struct ClusterConfig {
+    /// How often the prober thread checks each shard's `/healthz`.
+    pub probe_interval: Duration,
+    /// Socket budget for one probe exchange.
+    pub probe_timeout: Duration,
+    /// TCP connect budget per proxy attempt.
+    pub connect_timeout: Duration,
+    /// Socket I/O budget per proxy attempt when the request carries no
+    /// deadline of its own.
+    pub io_timeout: Duration,
+    /// Protocol version shards must advertise on `GET /v1/version`; a
+    /// mismatch marks the shard down (mixed-version fleets fail loud).
+    pub protocol_version: u32,
+}
+
+impl Default for ClusterConfig {
+    fn default() -> Self {
+        Self {
+            probe_interval: Duration::from_millis(500),
+            probe_timeout: Duration::from_secs(1),
+            connect_timeout: Duration::from_secs(1),
+            io_timeout: Duration::from_secs(30),
+            protocol_version: crate::PROTOCOL_VERSION,
+        }
+    }
+}
+
+/// Shard health as the router tracks it. See the module docs for the
+/// transition diagram.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Health {
+    /// Probing and proxying succeed.
+    Healthy,
+    /// One recent transport failure; still routable.
+    Suspect,
+    /// Repeated failures or protocol mismatch; not routable until a
+    /// probe succeeds.
+    Down,
+    /// Administratively removed from routing (hot restart); sticky until
+    /// `POST /admin/admit`.
+    Draining,
+}
+
+impl Health {
+    fn routable(self) -> bool {
+        matches!(self, Health::Healthy | Health::Suspect)
+    }
+
+    fn as_str(self) -> &'static str {
+        match self {
+            Health::Healthy => "healthy",
+            Health::Suspect => "suspect",
+            Health::Down => "down",
+            Health::Draining => "draining",
+        }
+    }
+}
+
+#[derive(Debug)]
+struct ShardState {
+    health: Health,
+    consecutive_failures: u32,
+    /// Shard process id, learned from `/healthz` probes (for operators
+    /// reading the aggregated `/healthz`).
+    pid: Option<u64>,
+    /// Set false once a `/v1/version` probe disagreed on protocol.
+    protocol_ok: bool,
+}
+
+struct Shard {
+    spec: ShardSpec,
+    state: Mutex<ShardState>,
+}
+
+impl Shard {
+    fn new(spec: ShardSpec) -> Self {
+        Self {
+            spec,
+            state: Mutex::new(ShardState {
+                // Born Suspect: routable immediately (so a cluster serves
+                // before the first probe lands) but one failure from Down.
+                health: Health::Suspect,
+                consecutive_failures: 1,
+                pid: None,
+                protocol_ok: true,
+            }),
+        }
+    }
+
+    fn health(&self) -> Health {
+        self.state.lock().unwrap().health
+    }
+
+    fn mark_success(&self) {
+        let mut st = self.state.lock().unwrap();
+        st.consecutive_failures = 0;
+        if !matches!(st.health, Health::Draining) && st.protocol_ok {
+            st.health = Health::Healthy;
+        }
+    }
+
+    fn mark_failure(&self) {
+        let mut st = self.state.lock().unwrap();
+        st.consecutive_failures += 1;
+        if !matches!(st.health, Health::Draining) {
+            st.health = if st.consecutive_failures >= DOWN_THRESHOLD {
+                Health::Down
+            } else {
+                Health::Suspect
+            };
+        }
+    }
+}
+
+/// Avalanche finalizer (splitmix64's) applied to every ring position.
+/// FNV-1a alone is a poor ring hash: short strings sharing a prefix
+/// (`shard:0:vnode:N`, or similarly-shaped fingerprints) land within a
+/// tiny span of the 64-bit space, which would leave each shard's vnodes
+/// contiguous — one giant arc per shard instead of 64 interleaved ones.
+/// The finalizer flips ~half the output bits per input bit, restoring
+/// uniform placement without changing what callers feed in.
+fn mix(mut h: u64) -> u64 {
+    h ^= h >> 30;
+    h = h.wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    h ^= h >> 27;
+    h = h.wrapping_mul(0x94d0_49bb_1331_11eb);
+    h ^= h >> 31;
+    h
+}
+
+/// The consistent-hash ring: sorted vnode points over all shard ids.
+pub struct HashRing {
+    points: Vec<(u64, usize)>,
+    shard_count: usize,
+}
+
+impl HashRing {
+    /// Builds the ring for shard ids `0..shard_count`.
+    pub fn new(shard_count: usize) -> Self {
+        let mut points = Vec::with_capacity(shard_count * VNODES);
+        for id in 0..shard_count {
+            for v in 0..VNODES {
+                points.push((mix(fnv1a(format!("shard:{id}:vnode:{v}").as_bytes())), id));
+            }
+        }
+        points.sort_unstable();
+        Self { points, shard_count }
+    }
+
+    /// The shard ids in the order `key`'s clockwise walk encounters them:
+    /// primary first, then the deterministic fallback sequence. Contains
+    /// every shard exactly once.
+    pub fn preference(&self, key: u64) -> Vec<usize> {
+        let key = mix(key);
+        let mut order = Vec::with_capacity(self.shard_count);
+        let mut seen = vec![false; self.shard_count];
+        let start = self.points.partition_point(|(h, _)| *h < key);
+        for i in 0..self.points.len() {
+            let (_, id) = self.points[(start + i) % self.points.len()];
+            if !seen[id] {
+                seen[id] = true;
+                order.push(id);
+                if order.len() == self.shard_count {
+                    break;
+                }
+            }
+        }
+        order
+    }
+}
+
+/// The router process's application handler: aggregates `/healthz` and
+/// `/metrics` over the shard fleet, serves the drain/admit admin surface,
+/// and proxies everything else along the hash ring. Plugs into the same
+/// [`crate::Server`] as a shard does.
+pub struct ClusterRouter {
+    shards: Vec<Shard>,
+    ring: HashRing,
+    key_of: KeyFn,
+    config: ClusterConfig,
+    routes: Router<Self>,
+    stop: Arc<AtomicBool>,
+}
+
+impl ClusterRouter {
+    /// Builds the router and starts its background prober thread (which
+    /// runs until shutdown or drop of the returned `Arc`'s last clone —
+    /// the prober holds a `Weak`).
+    pub fn start(shards: Vec<ShardSpec>, key_of: KeyFn, config: ClusterConfig) -> Arc<Self> {
+        let router = Arc::new(Self {
+            ring: HashRing::new(shards.len()),
+            shards: shards.into_iter().map(Shard::new).collect(),
+            key_of,
+            config,
+            routes: <Self as AppHandler>::routes(),
+            stop: Arc::new(AtomicBool::new(false)),
+        });
+        let weak = Arc::downgrade(&router);
+        let stop = Arc::clone(&router.stop);
+        std::thread::Builder::new()
+            .name("chatls-router-probe".to_string())
+            .spawn(move || {
+                while !stop.load(Ordering::SeqCst) {
+                    let Some(router) = weak.upgrade() else { return };
+                    router.probe_all();
+                    let interval = router.config.probe_interval;
+                    drop(router);
+                    std::thread::sleep(interval);
+                }
+            })
+            .expect("spawn prober thread");
+        router
+    }
+
+    /// Shard count (for tests and the CLI banner).
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Probes every shard once: `GET /healthz` for liveness (and pid),
+    /// plus a `GET /v1/version` protocol check while the shard has not
+    /// proven itself yet.
+    pub fn probe_all(&self) {
+        for shard in &self.shards {
+            let ok = self.probe_one(shard);
+            if ok {
+                shard.mark_success();
+            } else {
+                shard.mark_failure();
+            }
+        }
+    }
+
+    fn probe_one(&self, shard: &Shard) -> bool {
+        let Ok(body) = self.fetch(shard, "/healthz", self.config.probe_timeout) else {
+            return false;
+        };
+        if let Some(pid) = extract_u64(&body, "pid") {
+            shard.state.lock().unwrap().pid = Some(pid);
+        }
+        // Protocol handshake: only while unproven, so steady state is one
+        // probe request per interval.
+        let unproven = {
+            let st = shard.state.lock().unwrap();
+            st.protocol_ok && st.pid.is_some() && !matches!(st.health, Health::Healthy)
+        };
+        if unproven {
+            let Ok(version) = self.fetch(shard, "/v1/version", self.config.probe_timeout) else {
+                return false;
+            };
+            match extract_u64(&version, "protocol") {
+                Some(p) if p == self.config.protocol_version as u64 => {}
+                _ => {
+                    let mut st = shard.state.lock().unwrap();
+                    st.protocol_ok = false;
+                    st.health = Health::Down;
+                    chatls_obs::counter("router.probe.protocol_mismatch").inc();
+                    return false;
+                }
+            }
+        }
+        true
+    }
+
+    /// One GET exchange against `shard`; returns the response body on
+    /// any 2xx.
+    fn fetch(&self, shard: &Shard, path: &str, timeout: Duration) -> std::io::Result<String> {
+        let mut stream = TcpStream::connect_timeout(&shard.spec.addr, timeout)?;
+        stream.set_read_timeout(Some(timeout))?;
+        stream.set_write_timeout(Some(timeout))?;
+        stream.write_all(format!("GET {path} HTTP/1.1\r\nConnection: close\r\n\r\n").as_bytes())?;
+        let resp = read_response(&mut stream)?;
+        if resp.status / 100 != 2 {
+            return Err(std::io::Error::other(format!("{path} answered {}", resp.status)));
+        }
+        Ok(String::from_utf8_lossy(&resp.body).into_owned())
+    }
+
+    fn shard_by_query(&self, req: &Request) -> Result<&Shard, Response> {
+        let id = req
+            .query_param("shard")
+            .and_then(|v| v.parse::<usize>().ok())
+            .ok_or_else(|| Response::error(400, "bad_request", "missing or bad ?shard=<id>"))?;
+        self.shards.get(id).ok_or_else(|| {
+            Response::error(404, "not_found", &format!("no shard {id} in this cluster"))
+        })
+    }
+
+    // --- route handlers ---
+
+    fn h_healthz(app: &Self, _req: &Request, _cancel: &CancelToken) -> Response {
+        let mut rows = Vec::with_capacity(app.shards.len());
+        let mut routable = 0usize;
+        for shard in &app.shards {
+            let st = shard.state.lock().unwrap();
+            if st.health.routable() {
+                routable += 1;
+            }
+            rows.push(format!(
+                "{{\"id\": {}, \"addr\": \"{}\", \"health\": \"{}\", \
+                 \"consecutive_failures\": {}, \"pid\": {}}}",
+                shard.spec.id,
+                shard.spec.addr,
+                st.health.as_str(),
+                st.consecutive_failures,
+                st.pid.map_or("null".to_string(), |p| p.to_string()),
+            ));
+        }
+        let status = if routable == 0 {
+            "unavailable"
+        } else if routable < app.shards.len() {
+            "degraded"
+        } else {
+            "ok"
+        };
+        let body = format!(
+            "{{\"status\": \"{}\", \"role\": \"router\", \"shards\": [{}]}}\n",
+            status,
+            rows.join(", ")
+        );
+        if routable == 0 {
+            let mut resp =
+                Response::error(503, "no_healthy_shards", "no routable shard in the cluster");
+            resp.headers.push(("x-chatls-cluster".to_string(), "unavailable".to_string()));
+            resp
+        } else {
+            Response::json(200, body)
+        }
+    }
+
+    fn h_metrics(app: &Self, _req: &Request, _cancel: &CancelToken) -> Response {
+        let mut out = chatls_obs::render_metrics_plain();
+        let (mut hits, mut misses, mut routable) = (0u64, 0u64, 0usize);
+        for shard in &app.shards {
+            if shard.health().routable() {
+                routable += 1;
+            }
+            let Ok(text) = app.fetch(shard, "/metrics", app.config.probe_timeout) else {
+                continue;
+            };
+            for line in text.lines() {
+                out.push_str(&format!("shard{}.{line}\n", shard.spec.id));
+                if let Some(v) = line.strip_prefix("serve.pool.hit ") {
+                    hits += v.trim().parse::<u64>().unwrap_or(0);
+                } else if let Some(v) = line.strip_prefix("serve.pool.miss ") {
+                    misses += v.trim().parse::<u64>().unwrap_or(0);
+                }
+            }
+        }
+        out.push_str(&format!("cluster.pool.hit {hits}\n"));
+        out.push_str(&format!("cluster.pool.miss {misses}\n"));
+        out.push_str(&format!("cluster.shards.routable {routable}\n"));
+        out.push_str(&format!("cluster.shards.total {}\n", app.shards.len()));
+        Response::text(200, out)
+    }
+
+    fn h_version(app: &Self, _req: &Request, _cancel: &CancelToken) -> Response {
+        Response::json(200, crate::version_payload("router", app.config.protocol_version))
+    }
+
+    fn h_drain(app: &Self, req: &Request, _cancel: &CancelToken) -> Response {
+        let shard = match app.shard_by_query(req) {
+            Ok(s) => s,
+            Err(resp) => return resp,
+        };
+        shard.state.lock().unwrap().health = Health::Draining;
+        chatls_obs::counter("router.admin.drain").inc();
+        Response::json(200, format!("{{\"shard\": {}, \"health\": \"draining\"}}\n", shard.spec.id))
+    }
+
+    fn h_admit(app: &Self, req: &Request, _cancel: &CancelToken) -> Response {
+        let shard = match app.shard_by_query(req) {
+            Ok(s) => s,
+            Err(resp) => return resp,
+        };
+        {
+            let mut st = shard.state.lock().unwrap();
+            // Re-admitted as Suspect: routable now, promoted to Healthy by
+            // the next successful probe or proxied request.
+            st.health = Health::Suspect;
+            st.consecutive_failures = 0;
+            st.protocol_ok = true;
+        }
+        chatls_obs::counter("router.admin.admit").inc();
+        Response::json(200, format!("{{\"shard\": {}, \"health\": \"suspect\"}}\n", shard.spec.id))
+    }
+
+    /// The fallback handler: everything that is not the router's own
+    /// surface is proxied to a shard along the key's preference list.
+    fn h_proxy(app: &Self, req: &Request, cancel: &CancelToken) -> Response {
+        if cancel.is_cancelled() {
+            return Response::gateway_timeout("deadline exceeded before proxying");
+        }
+        let key = (app.key_of)(req).unwrap_or_else(|| {
+            let mut seed = req.target().into_bytes();
+            seed.extend_from_slice(&req.body);
+            fnv1a(&seed)
+        });
+        let candidates: Vec<usize> = app
+            .ring
+            .preference(key)
+            .into_iter()
+            .filter(|&id| app.shards[id].health().routable())
+            .collect();
+        if candidates.is_empty() {
+            chatls_obs::counter("router.proxy.no_shards").inc();
+            return Response::error(503, "no_healthy_shards", "no routable shard in the cluster");
+        }
+        // ChatLS endpoints are pure computations keyed by their payload,
+        // so every request is safe to retry once on the next preference —
+        // but only transport failures trigger it; an application error
+        // from a live shard is relayed as-is.
+        let attempts = candidates.len().min(2);
+        for (i, &id) in candidates.iter().take(attempts).enumerate() {
+            if cancel.is_cancelled() {
+                return Response::gateway_timeout("deadline exceeded while proxying");
+            }
+            match app.forward(&app.shards[id], req, cancel) {
+                Ok(resp) => {
+                    app.shards[id].mark_success();
+                    if i > 0 {
+                        chatls_obs::counter("router.proxy.retried").inc();
+                    }
+                    return resp.with_header("x-chatls-shard", &id.to_string());
+                }
+                Err(_) => {
+                    app.shards[id].mark_failure();
+                    chatls_obs::counter("router.proxy.shard_errors").inc();
+                }
+            }
+        }
+        chatls_obs::counter("router.proxy.unavailable").inc();
+        Response::error(
+            502,
+            "shard_unavailable",
+            "every candidate shard failed; the cluster is recovering",
+        )
+    }
+
+    /// One proxy exchange against `shard`, budgeted by the request's
+    /// remaining deadline (and forwarding that budget downstream via the
+    /// deadline header so the shard's own clock agrees).
+    fn forward(
+        &self,
+        shard: &Shard,
+        req: &Request,
+        cancel: &CancelToken,
+    ) -> std::io::Result<Response> {
+        let budget = cancel.remaining().unwrap_or(self.config.io_timeout);
+        let connect = self.config.connect_timeout.min(budget).max(Duration::from_millis(10));
+        let io = budget.min(self.config.io_timeout).max(Duration::from_millis(10));
+        let mut stream = TcpStream::connect_timeout(&shard.spec.addr, connect)?;
+        stream.set_read_timeout(Some(io))?;
+        stream.set_write_timeout(Some(io))?;
+        let mut forwarded = req.clone();
+        forwarded.headers.retain(|(n, _)| n != DEADLINE_HEADER);
+        if cancel.remaining().is_some() {
+            forwarded.headers.push((DEADLINE_HEADER.to_string(), budget.as_millis().to_string()));
+        }
+        forwarded.write_to(&mut stream)?;
+        read_response(&mut stream)
+    }
+}
+
+impl AppHandler for ClusterRouter {
+    fn handle(&self, req: &Request, cancel: &CancelToken) -> Response {
+        self.routes.dispatch(self, req, cancel)
+    }
+
+    fn on_shutdown(&self) {
+        self.stop.store(true, Ordering::SeqCst);
+    }
+
+    fn routes() -> Router<Self> {
+        Router::new()
+            .get("/healthz", "healthz", Self::h_healthz)
+            .get("/metrics", "metrics", Self::h_metrics)
+            .get("/v1/version", "version", Self::h_version)
+            .post("/admin/drain", "admin", Self::h_drain)
+            .post("/admin/admit", "admin", Self::h_admit)
+            .fallback(Self::h_proxy)
+    }
+}
+
+/// Naive extraction of `"key": <integer>` from a small JSON body — the
+/// prober only needs two integer fields, which does not justify a JSON
+/// parser dependency in this crate.
+fn extract_u64(body: &str, key: &str) -> Option<u64> {
+    let needle = format!("\"{key}\":");
+    let at = body.find(&needle)? + needle.len();
+    let rest = body[at..].trim_start();
+    let digits: String = rest.chars().take_while(|c| c.is_ascii_digit()).collect();
+    digits.parse().ok()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::server::{ServeConfig, Server, ShutdownHandle};
+    use std::collections::HashSet;
+    use std::io::Read;
+    use std::time::Instant;
+
+    /// A stub shard: answers `/healthz` + `/v1/version` like a real one
+    /// and tags every other response with its shard id.
+    struct StubShard {
+        id: usize,
+    }
+
+    impl AppHandler for StubShard {
+        fn handle(&self, req: &Request, _cancel: &CancelToken) -> Response {
+            match req.path.as_str() {
+                "/healthz" => Response::json(
+                    200,
+                    format!("{{\"status\": \"ok\", \"pid\": {}}}\n", 1000 + self.id),
+                ),
+                "/v1/version" => {
+                    Response::json(200, format!("{{\"protocol\": {}}}\n", crate::PROTOCOL_VERSION))
+                }
+                "/metrics" => Response::text(
+                    200,
+                    format!("serve.pool.hit {}\nserve.pool.miss 1\n", 10 * (self.id + 1)),
+                ),
+                _ => Response::json(200, format!("{{\"shard\": {}}}\n", self.id)),
+            }
+        }
+    }
+
+    struct Cluster {
+        router_addr: SocketAddr,
+        shutdowns: Vec<ShutdownHandle>,
+        joins: Vec<std::thread::JoinHandle<()>>,
+    }
+
+    fn spawn(
+        handler: Arc<dyn AppHandler>,
+    ) -> (SocketAddr, ShutdownHandle, std::thread::JoinHandle<()>) {
+        let config = ServeConfig {
+            addr: "127.0.0.1:0".to_string(),
+            workers: 2,
+            queue_depth: 16,
+            timeout_ms: 10_000,
+        };
+        let server = Server::bind(config, handler).unwrap();
+        let addr = server.local_addr().unwrap();
+        let shutdown = server.shutdown_handle();
+        let join = std::thread::spawn(move || server.run().unwrap());
+        (addr, shutdown, join)
+    }
+
+    fn start_cluster(n: usize) -> Cluster {
+        let mut shard_addrs = Vec::new();
+        let mut shutdowns = Vec::new();
+        let mut joins = Vec::new();
+        for id in 0..n {
+            let (addr, sd, join) = spawn(Arc::new(StubShard { id }));
+            shard_addrs.push(addr);
+            shutdowns.push(sd);
+            joins.push(join);
+        }
+        let specs =
+            shard_addrs.iter().enumerate().map(|(id, &addr)| ShardSpec { id, addr }).collect();
+        let key_of: KeyFn =
+            Arc::new(|req: &Request| req.header("x-test-key").map(|v| fnv1a(v.as_bytes())));
+        let config = ClusterConfig {
+            probe_interval: Duration::from_millis(50),
+            probe_timeout: Duration::from_millis(500),
+            connect_timeout: Duration::from_millis(500),
+            io_timeout: Duration::from_secs(5),
+            protocol_version: crate::PROTOCOL_VERSION,
+        };
+        let router = ClusterRouter::start(specs, key_of, config);
+        let (router_addr, sd, join) = spawn(router as Arc<dyn AppHandler>);
+        shutdowns.push(sd);
+        joins.push(join);
+        Cluster { router_addr, shutdowns, joins }
+    }
+
+    impl Cluster {
+        fn stop(self) {
+            for sd in &self.shutdowns {
+                sd.shutdown();
+            }
+            for j in self.joins {
+                let _ = j.join();
+            }
+        }
+    }
+
+    fn exchange(addr: SocketAddr, raw: &str) -> (u16, String) {
+        let mut s = TcpStream::connect(addr).unwrap();
+        s.set_read_timeout(Some(Duration::from_secs(10))).unwrap();
+        s.write_all(raw.as_bytes()).unwrap();
+        let mut text = String::new();
+        s.read_to_string(&mut text).unwrap();
+        let status = text.split_whitespace().nth(1).and_then(|w| w.parse().ok()).unwrap_or(0);
+        let body = text.split("\r\n\r\n").nth(1).unwrap_or("").to_string();
+        (status, body)
+    }
+
+    fn get_keyed(addr: SocketAddr, key: &str) -> (u16, String) {
+        exchange(addr, &format!("GET /work HTTP/1.1\r\nx-test-key: {key}\r\n\r\n"))
+    }
+
+    #[test]
+    fn ring_preference_is_stable_and_complete() {
+        let ring = HashRing::new(4);
+        for key in [0u64, 1, 42, u64::MAX, fnv1a(b"design")] {
+            let pref = ring.preference(key);
+            assert_eq!(pref.len(), 4);
+            assert_eq!(pref.iter().copied().collect::<HashSet<_>>().len(), 4);
+            assert_eq!(pref, ring.preference(key), "preference must be deterministic");
+        }
+        // Different keys spread across primaries.
+        let primaries: HashSet<usize> =
+            (0..256u64).map(|k| ring.preference(fnv1a(&k.to_le_bytes()))[0]).collect();
+        assert!(primaries.len() >= 3, "256 keys landed on {primaries:?}");
+    }
+
+    #[test]
+    fn routes_same_key_to_same_shard() {
+        let cluster = start_cluster(3);
+        let (_, first) = get_keyed(cluster.router_addr, "design-a");
+        for _ in 0..5 {
+            let (status, body) = get_keyed(cluster.router_addr, "design-a");
+            assert_eq!(status, 200);
+            assert_eq!(body, first, "same key must hit the same shard");
+        }
+        // Enough distinct keys hit more than one shard.
+        let mut bodies = HashSet::new();
+        for i in 0..32 {
+            bodies.insert(get_keyed(cluster.router_addr, &format!("design-{i}")).1);
+        }
+        assert!(bodies.len() > 1, "all keys landed on one shard");
+        cluster.stop();
+    }
+
+    #[test]
+    fn dead_shard_fails_over_then_recovers_via_probe() {
+        let cluster = start_cluster(2);
+        // Find a key whose primary is shard 0, then kill shard 0.
+        let key = (0..64)
+            .map(|i| format!("find-{i}"))
+            .find(|k| get_keyed(cluster.router_addr, k).1.contains("\"shard\": 0"))
+            .expect("some key must route to shard 0");
+        cluster.shutdowns[0].shutdown();
+        // The dead shard's listener is closed once its run loop exits;
+        // poll until failover answers from shard 1.
+        let deadline = Instant::now() + Duration::from_secs(10);
+        loop {
+            let (status, body) = get_keyed(cluster.router_addr, &key);
+            if status == 200 && body.contains("\"shard\": 1") {
+                break;
+            }
+            assert!(
+                status == 200 || status == 502,
+                "router must answer 200 (failover) or enveloped 502, got {status}: {body}"
+            );
+            if status == 502 {
+                assert!(body.contains("\"code\": \"shard_unavailable\""), "{body}");
+            }
+            assert!(Instant::now() < deadline, "failover never happened");
+            std::thread::sleep(Duration::from_millis(20));
+        }
+        // Down-marking: healthz reports shard 0 not routable.
+        let deadline = Instant::now() + Duration::from_secs(5);
+        loop {
+            let (_, body) = exchange(cluster.router_addr, "GET /healthz HTTP/1.1\r\n\r\n");
+            if body.contains("\"health\": \"down\"") {
+                break;
+            }
+            assert!(Instant::now() < deadline, "shard 0 never marked down: {body}");
+            std::thread::sleep(Duration::from_millis(20));
+        }
+        cluster.stop();
+    }
+
+    #[test]
+    fn drain_moves_keys_to_siblings_and_admit_restores() {
+        let cluster = start_cluster(2);
+        let key = (0..64)
+            .map(|i| format!("drain-{i}"))
+            .find(|k| get_keyed(cluster.router_addr, k).1.contains("\"shard\": 0"))
+            .expect("some key must route to shard 0");
+        let (status, _) = exchange(
+            cluster.router_addr,
+            "POST /admin/drain?shard=0 HTTP/1.1\r\nContent-Length: 0\r\n\r\n",
+        );
+        assert_eq!(status, 200);
+        // Shard 0 still runs (drain is router-side routing state); its
+        // keys now go to shard 1, and repeatedly.
+        for _ in 0..3 {
+            let (status, body) = get_keyed(cluster.router_addr, &key);
+            assert_eq!(status, 200);
+            assert!(body.contains("\"shard\": 1"), "drained shard still served: {body}");
+        }
+        let (_, health) = exchange(cluster.router_addr, "GET /healthz HTTP/1.1\r\n\r\n");
+        assert!(health.contains("\"health\": \"draining\""), "{health}");
+        let (status, _) = exchange(
+            cluster.router_addr,
+            "POST /admin/admit?shard=0 HTTP/1.1\r\nContent-Length: 0\r\n\r\n",
+        );
+        assert_eq!(status, 200);
+        let (status, body) = get_keyed(cluster.router_addr, &key);
+        assert_eq!(status, 200);
+        assert!(body.contains("\"shard\": 0"), "admitted shard not restored: {body}");
+        cluster.stop();
+    }
+
+    #[test]
+    fn all_shards_down_yields_enveloped_503() {
+        let cluster = start_cluster(1);
+        cluster.shutdowns[0].shutdown();
+        let deadline = Instant::now() + Duration::from_secs(10);
+        loop {
+            let (status, body) = get_keyed(cluster.router_addr, "k");
+            if status == 503 {
+                assert!(body.contains("\"code\": \"no_healthy_shards\""), "{body}");
+                break;
+            }
+            assert!(Instant::now() < deadline, "router never reached 503, got {status}");
+            std::thread::sleep(Duration::from_millis(20));
+        }
+        cluster.stop();
+    }
+
+    #[test]
+    fn metrics_aggregates_per_shard_rows_and_cluster_sums() {
+        let cluster = start_cluster(2);
+        // Wait until both shards have been probed healthy so fetches work.
+        let deadline = Instant::now() + Duration::from_secs(5);
+        let body = loop {
+            let (status, body) = exchange(cluster.router_addr, "GET /metrics HTTP/1.1\r\n\r\n");
+            assert_eq!(status, 200);
+            if body.contains("shard0.serve.pool.hit 10")
+                && body.contains("shard1.serve.pool.hit 20")
+            {
+                break body;
+            }
+            assert!(Instant::now() < deadline, "per-shard metrics missing:\n{body}");
+            std::thread::sleep(Duration::from_millis(20));
+        };
+        assert!(body.contains("cluster.pool.hit 30"), "{body}");
+        assert!(body.contains("cluster.pool.miss 2"), "{body}");
+        assert!(body.contains("cluster.shards.total 2"), "{body}");
+        cluster.stop();
+    }
+
+    #[test]
+    fn admin_routes_reject_wrong_method_and_bad_shard() {
+        let cluster = start_cluster(1);
+        let (status, body) =
+            exchange(cluster.router_addr, "GET /admin/drain?shard=0 HTTP/1.1\r\n\r\n");
+        assert_eq!(status, 405, "{body}");
+        assert!(body.contains("\"code\": \"method_not_allowed\""), "{body}");
+        let (status, body) = exchange(
+            cluster.router_addr,
+            "POST /admin/drain?shard=9 HTTP/1.1\r\nContent-Length: 0\r\n\r\n",
+        );
+        assert_eq!(status, 404, "{body}");
+        assert!(body.contains("\"code\": \"not_found\""), "{body}");
+        cluster.stop();
+    }
+
+    #[test]
+    fn version_endpoint_reports_router_role() {
+        let cluster = start_cluster(1);
+        let (status, body) = exchange(cluster.router_addr, "GET /v1/version HTTP/1.1\r\n\r\n");
+        assert_eq!(status, 200);
+        assert!(body.contains("\"shard\": \"router\""), "{body}");
+        assert!(body.contains(&format!("\"protocol\": {}", crate::PROTOCOL_VERSION)), "{body}");
+        cluster.stop();
+    }
+
+    #[test]
+    fn extract_u64_scans_small_json() {
+        assert_eq!(extract_u64("{\"pid\": 1234, \"x\": 1}", "pid"), Some(1234));
+        assert_eq!(extract_u64("{\"protocol\":2}", "protocol"), Some(2));
+        assert_eq!(extract_u64("{\"pid\": null}", "pid"), None);
+        assert_eq!(extract_u64("{}", "pid"), None);
+    }
+}

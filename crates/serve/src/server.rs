@@ -29,6 +29,13 @@ use std::time::{Duration, Instant};
 use chatls_exec::CancelToken;
 
 use crate::http::{read_request, Request, Response};
+use crate::route::Router;
+
+/// Internal header carrying the remaining request budget (milliseconds)
+/// when the cluster router proxies to a shard: the shard tightens its
+/// own deadline to the smaller of its `--timeout-ms` and this value, so
+/// a proxied request can never outlive the router's patience.
+pub const DEADLINE_HEADER: &str = "x-chatls-deadline-ms";
 
 /// The application side of the server: routes one parsed request to a
 /// response, honouring the request's cancel token.
@@ -46,6 +53,17 @@ pub trait AppHandler: Send + Sync + 'static {
     /// Runs once after the last in-flight request has drained, before
     /// the server exits — the place to flush telemetry.
     fn on_shutdown(&self) {}
+
+    /// The application's route table. Implementations build their
+    /// [`Router`] here (typically once, storing it in the constructor)
+    /// and dispatch through it from [`AppHandler::handle`]; the default
+    /// is an empty table (every request 404s).
+    fn routes() -> Router<Self>
+    where
+        Self: Sized,
+    {
+        Router::new()
+    }
 }
 
 /// Server tuning knobs (the `chatls serve` flags).
@@ -332,6 +350,7 @@ fn handle_connection(
         Err(bad) => ("invalid", bad),
         Ok(req) => {
             let endpoint = known_endpoint(&req.path);
+            let cancel = tighten_deadline(&cancel, &req);
             let response = if cancel.is_cancelled() {
                 // Spent its whole budget in the queue: same contract as
                 // an in-flight expiry, without burning handler work.
@@ -349,15 +368,34 @@ fn handle_connection(
     response.write_to(&mut stream);
 }
 
+/// Honours [`DEADLINE_HEADER`] from an upstream router: the effective
+/// deadline is the *earlier* of the locally configured one and
+/// now + the header's remaining budget. A malformed value is ignored
+/// (the local deadline still applies); the header can only tighten.
+fn tighten_deadline(cancel: &CancelToken, req: &Request) -> CancelToken {
+    let Some(budget_ms) = req.header(DEADLINE_HEADER).and_then(|v| v.parse::<u64>().ok()) else {
+        return cancel.clone();
+    };
+    let proxied = Instant::now() + Duration::from_millis(budget_ms);
+    match cancel.deadline() {
+        Some(local) if local <= proxied => cancel.clone(),
+        _ => CancelToken::with_deadline(proxied),
+    }
+}
+
 /// Maps a request path onto a bounded set of metric labels, so arbitrary
 /// paths cannot grow the registry without bound.
 fn known_endpoint(path: &str) -> &'static str {
     match path {
         "/v1/customize" => "customize",
         "/v1/eval" => "eval",
+        "/v1/lint" => "lint",
+        "/v1/qor" => "qor",
+        "/v1/version" => "version",
         "/healthz" => "healthz",
         "/metrics" => "metrics",
         "/telemetry" => "telemetry",
+        p if p.starts_with("/admin/") => "admin",
         _ => "other",
     }
 }

@@ -199,6 +199,69 @@ fn expired_deadline_answers_504_and_does_not_poison_the_pool() {
 }
 
 #[test]
+fn non_2xx_responses_carry_the_uniform_error_envelope() {
+    // Two servers over the shared service: one unconstrained, one with a
+    // 1 ms deadline so a substantive request produces the 504 path.
+    let (addr, shutdown, join) = start_server(2, 16, 0);
+    let (tight_addr, tight_shutdown, tight_join) = start_server(2, 16, 1);
+    let cases = [
+        (http(&addr, "GET", "/no/such/path", ""), 404, "not_found"),
+        (http(&addr, "GET", "/v1/customize", ""), 405, "method_not_allowed"),
+        (http(&addr, "POST", "/v1/customize", "{not json"), 400, "bad_request"),
+        (http(&addr, "POST", "/v1/customize", "{\"design\": \"missing\"}"), 404, "unknown_design"),
+        (
+            http(&tight_addr, "POST", "/v1/customize", &customize_body("jpeg")),
+            504,
+            "deadline_exceeded",
+        ),
+    ];
+    for (reply, status, code) in cases {
+        assert_eq!(reply.status, status, "{code}: {}", reply.body);
+        assert!(
+            reply.headers.contains("content-type: application/json"),
+            "{code}: error responses are JSON: {}",
+            reply.headers
+        );
+        let v = serde_json::parse_value(&reply.body)
+            .unwrap_or_else(|e| panic!("{code}: envelope must parse ({e:?}): {}", reply.body));
+        let error = v
+            .get("error")
+            .unwrap_or_else(|| panic!("{code}: missing error object: {}", reply.body));
+        assert_eq!(error.get("code").and_then(|c| c.as_str()), Some(code), "{}", reply.body);
+        let message = error.get("message").and_then(|m| m.as_str()).unwrap_or_default();
+        assert!(!message.is_empty(), "{code}: empty error message: {}", reply.body);
+        if status == 405 {
+            assert!(reply.headers.contains("allow:"), "405 carries Allow: {}", reply.headers);
+        }
+    }
+    shutdown.shutdown();
+    tight_shutdown.shutdown();
+    join.join().expect("server thread").expect("server run");
+    tight_join.join().expect("tight server").expect("tight run");
+}
+
+#[test]
+fn version_endpoint_reports_build_identity() {
+    let (addr, shutdown, join) = start_server(2, 16, 0);
+    let reply = http(&addr, "GET", "/v1/version", "");
+    assert_eq!(reply.status, 200, "{}", reply.body);
+    let v = serde_json::parse_value(&reply.body).expect("version JSON");
+    assert!(v.get("git").and_then(|g| g.as_str()).is_some(), "{}", reply.body);
+    let profile = v.get("profile").and_then(|p| p.as_str());
+    assert!(matches!(profile, Some("debug") | Some("release")), "{}", reply.body);
+    // A standalone (non-sharded) daemon identifies itself as such.
+    assert_eq!(v.get("shard").and_then(|s| s.as_str()), Some("standalone"), "{}", reply.body);
+    assert_eq!(
+        v.get("protocol").and_then(|p| p.as_f64()),
+        Some(f64::from(chatls_serve::PROTOCOL_VERSION)),
+        "{}",
+        reply.body
+    );
+    shutdown.shutdown();
+    join.join().expect("server thread").expect("server run");
+}
+
+#[test]
 fn graceful_shutdown_drains_inflight_requests() {
     let (addr, shutdown, join) = start_server(2, 16, 0);
     // A heavy cold request that will still be running when we shut down.
