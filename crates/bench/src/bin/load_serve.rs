@@ -19,6 +19,10 @@
 //!    latency is measured from the *scheduled* departure, so queueing
 //!    delay the server causes is charged to the server instead of
 //!    silently throttling the generator. This is the honest tail number.
+//! 4. **Sessions** (`--sessions`): concurrent multi-turn streaming
+//!    sessions over the warm pool, recording time-to-first-event and
+//!    per-turn latency; asserts the turns never rebuild a pooled
+//!    session template.
 //!
 //! After the phases, asserts the single-flight acceptance invariant
 //! (total template builds == distinct designs driven), a cold-customize
@@ -45,7 +49,8 @@
 //! ```text
 //! cargo run --release -p chatls-bench --bin load_serve \
 //!     [-- --threads 4 --requests 50 --storm-clients 16 \
-//!         --rate 300 --open-seconds 5 --tail-guard 40 --cold-guard-ms 55 --smoke]
+//!         --rate 300 --open-seconds 5 --tail-guard 40 --cold-guard-ms 55 \
+//!         --sessions --session-clients 4 --session-turns 3 --smoke]
 //! cargo run --release -p chatls-bench --bin load_serve -- --smoke --shards 2
 //! ```
 
@@ -143,6 +148,36 @@ fn has_flag(name: &str) -> bool {
 
 fn customize_body(design: &str) -> String {
     format!("{{\"design\": \"{design}\"}}")
+}
+
+/// One streaming session turn over raw TCP. Returns
+/// `(time_to_first_event_ns, full_turn_ns)` measured from connect, and
+/// asserts the SSE stream carried a terminal `result` frame.
+fn session_turn(addr: &str, path: &str, body: &str) -> (u64, u64) {
+    let started = Instant::now();
+    let mut stream = TcpStream::connect(addr).expect("connect for session turn");
+    let request = format!(
+        "POST {path} HTTP/1.1\r\nHost: {addr}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
+        body.len()
+    );
+    stream.write_all(request.as_bytes()).expect("write turn request");
+    let mut buf = [0u8; 4096];
+    let mut raw: Vec<u8> = Vec::new();
+    let mut ttfe_ns = None;
+    loop {
+        let n = stream.read(&mut buf).expect("read turn stream");
+        if n == 0 {
+            break;
+        }
+        raw.extend_from_slice(&buf[..n]);
+        if ttfe_ns.is_none() && raw.windows(7).any(|w| w == b"event: ") {
+            ttfe_ns = Some(started.elapsed().as_nanos() as u64);
+        }
+    }
+    let turn_ns = started.elapsed().as_nanos() as u64;
+    let text = String::from_utf8_lossy(&raw);
+    assert!(text.contains("\nevent: result\n"), "turn must end in a result frame: {text:.300}");
+    (ttfe_ns.expect("turn stream produced no events"), turn_ns)
 }
 
 /// One `GET /healthz` probe that tolerates connection failure (the
@@ -573,6 +608,70 @@ fn main() {
     let open_rps = open_ns.len() as f64 / open_wall.as_secs_f64();
     open_ns.sort_unstable();
 
+    // Phase 4 (`--sessions`) — concurrent multi-turn streaming sessions
+    // over the now-warm pool. Every turn must reuse the pooled template
+    // (zero builds across the phase); turn 2+ additionally carries the
+    // incremental-STA state inside the session, which is what the
+    // per-turn latency actually measures.
+    let mut session_ttfe_ns: Vec<u64> = Vec::new();
+    let mut session_turn_ns: Vec<u64> = Vec::new();
+    if has_flag("--sessions") {
+        let session_clients: usize = arg("--session-clients", if smoke { 2 } else { 4 });
+        let session_turns: usize = arg("--session-turns", if smoke { 2 } else { 3 });
+        let builds_before = svc.pool().stats().builds;
+        let addr_ref: &str = &addr;
+        let results: Vec<(Vec<u64>, Vec<u64>)> = std::thread::scope(|s| {
+            let handles: Vec<_> = (0..session_clients)
+                .map(|c| {
+                    s.spawn(move || {
+                        let design = DESIGNS[c % DESIGNS.len()];
+                        let (status, created) =
+                            http_full(addr_ref, "POST", "/v1/session", &customize_body(design));
+                        assert_eq!(status, 201, "session create failed: {created:.200}");
+                        let id = serde_json::parse_value(&created)
+                            .expect("session create JSON")
+                            .get("session")
+                            .and_then(|s| s.as_str())
+                            .expect("session id")
+                            .to_string();
+                        let path = format!("/v1/session/{id}/turn");
+                        let mut ttfe = Vec::new();
+                        let mut turns = Vec::new();
+                        for t in 0..session_turns {
+                            let body = format!(
+                                "{{\"seed\": {c}, \"request\": \"turn {t}: rebalance timing and area\"}}"
+                            );
+                            let (first_ns, total_ns) = session_turn(addr_ref, &path, &body);
+                            ttfe.push(first_ns);
+                            turns.push(total_ns);
+                        }
+                        let (status, _) =
+                            http_full(addr_ref, "POST", &format!("/v1/session/{id}/close"), "");
+                        assert_eq!(status, 200, "session close failed");
+                        (ttfe, turns)
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().expect("session client")).collect()
+        });
+        for (ttfe, turns) in results {
+            session_ttfe_ns.extend(ttfe);
+            session_turn_ns.extend(turns);
+        }
+        session_ttfe_ns.sort_unstable();
+        session_turn_ns.sort_unstable();
+        let built = svc.pool().stats().builds - builds_before;
+        assert_eq!(
+            built, 0,
+            "session turns over warm designs must never rebuild templates, saw {built}"
+        );
+        eprintln!(
+            "sessions: {session_clients} clients x {session_turns} turns -> 0 builds, \
+             ttfe p50 {}",
+            human_time(quantile(&session_ttfe_ns, 0.50) as f64)
+        );
+    }
+
     let metrics = http_body(&addr, "GET", "/metrics", "");
     let hits = metric(&metrics, "serve.pool.hit");
     let misses = metric(&metrics, "serve.pool.miss");
@@ -627,6 +726,15 @@ fn main() {
         human_time(storm_p50 as f64)
     );
     println!("session-pool hit rate {hit_rate:.1}% ({hits:.0} hits / {misses:.0} misses)");
+    if !session_turn_ns.is_empty() {
+        println!(
+            "sessions: ttfe p50 {} | turn p50 {} p99 {} ({} turns)",
+            human_time(quantile(&session_ttfe_ns, 0.50) as f64),
+            human_time(quantile(&session_turn_ns, 0.50) as f64),
+            human_time(quantile(&session_turn_ns, 0.99) as f64),
+            session_turn_ns.len()
+        );
+    }
 
     // Tail guard: open-loop warm p99 within `tail_guard` x p50 (plus an
     // absolute floor so microsecond-scale p50s don't make the ratio
@@ -665,7 +773,7 @@ fn main() {
         mean_human: human,
         iters,
     };
-    let rows = vec![
+    let mut rows = vec![
         row("serve/customize_cold_ns", cold_ns as f64, human_time(cold_ns as f64), 1),
         row(
             "serve/customize_warm_p50_ns",
@@ -741,6 +849,29 @@ fn main() {
             storm_clients as u64,
         ),
     ];
+    if !session_turn_ns.is_empty() {
+        let ttfe_p50 = quantile(&session_ttfe_ns, 0.50);
+        let turn_p50 = quantile(&session_turn_ns, 0.50);
+        let turn_p99 = quantile(&session_turn_ns, 0.99);
+        rows.push(row(
+            "serve/session_ttfe_p50_ns",
+            ttfe_p50 as f64,
+            human_time(ttfe_p50 as f64),
+            session_ttfe_ns.len() as u64,
+        ));
+        rows.push(row(
+            "serve/session_turn_p50_ns",
+            turn_p50 as f64,
+            human_time(turn_p50 as f64),
+            session_turn_ns.len() as u64,
+        ));
+        rows.push(row(
+            "serve/session_turn_p99_ns",
+            turn_p99 as f64,
+            human_time(turn_p99 as f64),
+            session_turn_ns.len() as u64,
+        ));
+    }
 
     // Merge into BENCH_synth.json: replace earlier serve/ rows, keep the
     // synth-bench rows untouched.

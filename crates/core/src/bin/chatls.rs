@@ -7,6 +7,7 @@
 //! chatls evaluate <design> [--db chatls_db.json] [--k 5]
 //! chatls lint <script.tcl> [--design <name>] [--json]
 //! chatls designs
+//! chatls mcp [--db chatls_db.json]
 //! chatls serve [--addr HOST:PORT] [--workers N] [--queue-depth N]
 //!              [--timeout-ms N] [--max-sessions N] [--no-warm]
 //!              [--db chatls_db.json] [--shards N]
@@ -77,6 +78,7 @@ fn main() -> ExitCode {
             "lint" => cmd_lint(&rest),
             "designs" => cmd_designs(),
             "serve" => cmd_serve(&rest),
+            "mcp" => cmd_mcp(&rest),
             "help" | "--help" | "-h" => {
                 println!("{USAGE}");
                 Ok(())
@@ -136,6 +138,10 @@ const USAGE: &str = "usage:
   chatls lint --explain <CODE>               rationale, example and fix for a rule
                                              (SL0xx/NL0xx; 'all' lists every rule)
   chatls designs                             list built-in designs
+  chatls mcp [--db <file>]                   MCP tool server (JSON-RPC 2.0 over
+                                             stdio: customize/eval/lint tools;
+                                             newline-delimited or Content-Length
+                                             framing, auto-detected per message)
   chatls serve [--addr HOST:PORT]            serve the pipeline over HTTP/JSON
                [--workers N] [--queue-depth N] [--timeout-ms N]
                [--max-sessions N] [--db <file>]
@@ -409,6 +415,26 @@ fn cmd_serve(rest: &[&str]) -> Result<(), String> {
         let _ = warmer.join();
     }
     served
+}
+
+/// `chatls mcp`: the MCP tool server over stdio. Speaks JSON-RPC 2.0 —
+/// newline-delimited or `Content-Length`-framed, sniffed per message —
+/// and dispatches `tools/call` into the same [`chatls::ChatLsService`]
+/// the HTTP daemon serves, so tool results are byte-identical to the
+/// CLI subcommands and `/v1/*` endpoints. Stdout carries only protocol
+/// frames; diagnostics go to stderr.
+fn cmd_mcp(rest: &[&str]) -> Result<(), String> {
+    let max_sessions: usize = match opt(rest, "--max-sessions") {
+        Some(v) => v.parse().map_err(|_| "--max-sessions must be a number")?,
+        None => 16,
+    };
+    let db = open_db(rest)?;
+    let service = chatls::ChatLsService::new(db, max_sessions);
+    eprintln!("chatls mcp serving tools on stdio (EOF to exit)");
+    let stdin = std::io::stdin();
+    let stdout = std::io::stdout();
+    chatls_mcp::serve_stdio(&service, stdin.lock(), stdout.lock())
+        .map_err(|e| format!("mcp stdio: {e}"))
 }
 
 /// `chatls serve --shards N`: the cluster supervisor. Spawns N shard

@@ -42,6 +42,7 @@
 //! assert!(script.contains("compile"));
 //! ```
 
+pub mod agent;
 pub mod circuit_mentor;
 pub mod cluster;
 pub mod database;
@@ -53,6 +54,7 @@ pub mod service;
 pub mod synthexpert;
 pub mod synthrag;
 
+pub use agent::AgentSession;
 pub use circuit_mentor::{build_circuit_graph, detect_traits, CircuitMentor, DesignTraits};
 pub use cluster::{design_key_fn, run_cluster, ClusterOpts};
 pub use database::{DbConfig, ExpertDatabase};

@@ -147,6 +147,22 @@ impl ChatLsOutcome {
     }
 }
 
+/// A progress event emitted while [`ChatLs::try_customize_with_progress`]
+/// runs — the seam streaming front ends (SSE sessions) turn into wire
+/// events as the pipeline produces them.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PipelineEvent<'a> {
+    /// A pipeline stage is starting: `"embed"`, `"retrieve"`, `"draft"`
+    /// or `"refine"`.
+    Stage {
+        /// Stage name (bounded set, usable as a metric label).
+        name: &'static str,
+    },
+    /// One SynthExpert chain-of-thought revision step (emitted in order
+    /// once refinement completes).
+    Thought(&'a crate::synthexpert::ThoughtStep),
+}
+
 /// The ChatLS framework instance.
 pub struct ChatLs<'db> {
     db: &'db ExpertDatabase,
@@ -225,10 +241,32 @@ impl<'db> ChatLs<'db> {
         seed: u64,
         cancel: &CancelToken,
     ) -> Result<ChatLsOutcome, Cancelled> {
+        self.try_customize_with_progress(design, task, seed, cancel, &mut |_| {})
+    }
+
+    /// [`ChatLs::try_customize`] reporting progress: `progress` is
+    /// invoked with a [`PipelineEvent::Stage`] as each stage starts and a
+    /// [`PipelineEvent::Thought`] per chain-of-thought revision step.
+    /// The callback runs on the pipeline thread; it must be cheap and
+    /// must not panic. Event emission does not perturb the outcome —
+    /// results are byte-identical to [`ChatLs::try_customize`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Cancelled`] when `cancel` fires between stages.
+    pub fn try_customize_with_progress(
+        &self,
+        design: &GeneratedDesign,
+        task: &TaskContext,
+        seed: u64,
+        cancel: &CancelToken,
+        progress: &mut dyn FnMut(PipelineEvent<'_>),
+    ) -> Result<ChatLsOutcome, Cancelled> {
         let on = self.obs.is_enabled();
         let _span = if on { Some(self.obs.span("core.pipeline.customize")) } else { None };
         // 1. CircuitMentor.
         cancel.checkpoint()?;
+        progress(PipelineEvent::Stage { name: "embed" });
         let embedding = {
             let _s = if on { Some(self.obs.span("core.mentor.embed")) } else { None };
             let graph = build_circuit_graph(design);
@@ -244,6 +282,7 @@ impl<'db> ChatLs<'db> {
         };
         // 2. SynthRAG: similar designs + their measured best strategies.
         cancel.checkpoint()?;
+        progress(PipelineEvent::Stage { name: "retrieve" });
         let rag = SynthRag::new(self.db);
         let similar = {
             let _s = if on { Some(self.obs.span("core.synthrag.retrieve")) } else { None };
@@ -255,6 +294,7 @@ impl<'db> ChatLs<'db> {
         // 3. Draft: the fallible base model, augmented with the retrieved
         //    expert strategy body (RAG-augmented generation).
         cancel.checkpoint()?;
+        progress(PipelineEvent::Stage { name: "draft" });
         let mut draft = {
             let _s = if on { Some(self.obs.span("core.draft.generate")) } else { None };
             self.drafter.generate(task, seed)
@@ -270,11 +310,15 @@ impl<'db> ChatLs<'db> {
         }
         // 4. SynthExpert revision (CoT × RAG).
         cancel.checkpoint()?;
+        progress(PipelineEvent::Stage { name: "refine" });
         let trace = {
             let _s = if on { Some(self.obs.span("core.synthexpert.refine")) } else { None };
             let expert = SynthExpert::new(rag);
             expert.refine(task, &draft)
         };
+        for step in &trace.steps {
+            progress(PipelineEvent::Thought(step));
+        }
         Ok(ChatLsOutcome { embedding, similar, draft, trace })
     }
 }

@@ -44,7 +44,7 @@ use chatls_exec::{CancelToken, Cancelled, ExecPool};
 use chatls_obs::ObsCtx;
 use chatls_serve::{
     percent_encode, read_response, version_payload, AppHandler, HashRing, PoolError, Request,
-    Response, Router, SessionPool, ShardSpec, PROTOCOL_VERSION,
+    Response, Router, SessionPool, SessionRegistry, ShardSpec, PROTOCOL_VERSION,
 };
 use chatls_synth::{QorReport, SessionBuilder, SessionTemplate};
 use serde::{Deserialize, Serialize};
@@ -106,6 +106,14 @@ pub struct PreparedDesign {
     tasks: Mutex<TaskCache>,
 }
 
+impl PreparedDesign {
+    /// The mapped session template (streaming sessions stamp their
+    /// per-turn synthesis sessions from it).
+    pub(crate) fn template(&self) -> &SessionTemplate {
+        &self.template
+    }
+}
+
 /// Connect timeout for the one-hop QorCache peer lookup. Deliberately
 /// tight: a peer probe is an optimization (skip one synthesis run), so a
 /// slow peer must cost less than the synthesis it might have saved.
@@ -153,6 +161,8 @@ impl ShardIdentity {
 pub struct ChatLsService {
     db: ExpertDatabase,
     pool: SessionPool<PreparedDesign, Response>,
+    /// Long-lived streaming sessions (`POST /v1/session` + turns).
+    sessions: SessionRegistry<crate::agent::AgentSession>,
     /// The declarative endpoint table, built once at construction.
     routes: Router<Self>,
     /// Cluster identity; `None` for a standalone daemon.
@@ -164,7 +174,7 @@ pub struct ChatLsService {
 
 /// Default user request, matching the `chatls customize` CLI default so
 /// a body without `request` reproduces the CLI's output.
-const DEFAULT_REQUEST: &str = "optimize timing at the fixed clock";
+pub(crate) const DEFAULT_REQUEST: &str = "optimize timing at the fixed clock";
 
 /// Pause between consecutive startup warming builds. Template builds are
 /// CPU-bound (~hundreds of ms each); the gap keeps the warmer from
@@ -250,14 +260,14 @@ pub fn run_pool_warmer(
 }
 
 #[derive(Serialize)]
-struct CustomizeResponse {
-    design: String,
-    seed: u64,
+pub(crate) struct CustomizeResponse {
+    pub(crate) design: String,
+    pub(crate) seed: u64,
     /// `"hit"` when the design's template came warm from the pool.
-    pool: String,
-    script: String,
-    qor: QorReport,
-    lint: chatls_lint::LintStats,
+    pub(crate) pool: String,
+    pub(crate) script: String,
+    pub(crate) qor: QorReport,
+    pub(crate) lint: chatls_lint::LintStats,
 }
 
 #[derive(Serialize)]
@@ -302,6 +312,10 @@ impl ChatLsService {
         Self {
             db,
             pool: SessionPool::new(max_sessions),
+            sessions: SessionRegistry::new(
+                crate::agent::STREAM_SESSION_CAPACITY,
+                crate::agent::STREAM_SESSION_IDLE_TTL,
+            ),
             routes: <Self as AppHandler>::routes(),
             shard: None,
             embed_batch: Arc::new(EmbedBatch::new()),
@@ -327,10 +341,21 @@ impl ChatLsService {
         &self.db
     }
 
+    /// The streaming-session registry (tests inspect occupancy).
+    pub fn sessions(&self) -> &SessionRegistry<crate::agent::AgentSession> {
+        &self.sessions
+    }
+
+    /// The shared stage-1 embedding batch cell (streaming turns reuse it
+    /// so batched-vs-solo embeddings stay bitwise identical either way).
+    pub(crate) fn embed_batch(&self) -> Arc<EmbedBatch> {
+        Arc::clone(&self.embed_batch)
+    }
+
     /// Resolves the design a request body names: the `design` key looks
     /// up the built-in catalog; alternatively `verilog` + `top` (+
     /// optional `period`, default 1.0 ns) carry an inline design.
-    fn resolve_design(body: &serde::Value) -> Result<GeneratedDesign, Response> {
+    pub(crate) fn resolve_design(body: &serde::Value) -> Result<GeneratedDesign, Response> {
         if let Some(name) = body.get("design").and_then(|v| v.as_str()) {
             return chatls_designs::by_name(name).ok_or_else(|| {
                 Response::error(
@@ -390,7 +415,7 @@ impl ChatLsService {
     /// *before* paying the map (waiters receive the same 504 and the
     /// next request rebuilds cleanly — failed builds never poison the
     /// pool).
-    fn prepared(
+    pub(crate) fn prepared(
         &self,
         design: &GeneratedDesign,
         cancel: &CancelToken,
@@ -441,7 +466,7 @@ impl ChatLsService {
 
     /// The task context for (`design`, `request`), from the per-design
     /// cache or prepared fresh (one baseline synthesis run).
-    fn task_for(
+    pub(crate) fn task_for(
         &self,
         design: &GeneratedDesign,
         prepared: &PreparedDesign,
@@ -456,6 +481,46 @@ impl ChatLsService {
         Ok(task)
     }
 
+    /// The full customize flow for an already-parsed request body — the
+    /// shared core behind `POST /v1/customize` and the MCP `customize`
+    /// tool, so both transports produce the same payload for the same
+    /// body.
+    pub(crate) fn customize_payload(
+        &self,
+        body: &serde::Value,
+        cancel: &CancelToken,
+    ) -> Result<CustomizeResponse, Response> {
+        let design = Self::resolve_design(body)?;
+        let seed = body.get("seed").and_then(|v| v.as_u64()).unwrap_or(0);
+        let request =
+            body.get("request").and_then(|v| v.as_str()).unwrap_or(DEFAULT_REQUEST).to_string();
+        let (prepared, pool_hit) = self.prepared(&design, cancel)?;
+        let deadline_resp =
+            |what: &str| Response::gateway_timeout(&format!("deadline exceeded during {what}"));
+        let task = self
+            .task_for(&design, &prepared, &request, cancel)
+            .map_err(|Cancelled| deadline_resp("baseline synthesis"))?;
+        let chatls = ChatLs::new(&self.db).with_embed_batcher(self.embed_batch.clone());
+        let outcome = chatls
+            .try_customize(&design, &task, seed, cancel)
+            .map_err(|Cancelled| deadline_resp("script customization"))?;
+        let fp = design_fingerprint(&design);
+        self.seed_qor_from_peer(fp, outcome.script());
+        let (qor, _ok) = QorCache::global()
+            .get_or_run_cancellable(fp, outcome.script(), || {
+                run_script_in_cancellable(&prepared.template, outcome.script(), cancel)
+            })
+            .map_err(|Cancelled| deadline_resp("final synthesis"))?;
+        Ok(CustomizeResponse {
+            design: design.name.clone(),
+            seed,
+            pool: if pool_hit { "hit" } else { "miss" }.to_string(),
+            script: outcome.script().to_string(),
+            qor,
+            lint: outcome.lint_stats(),
+        })
+    }
+
     fn handle_customize(&self, req: &Request, cancel: &CancelToken) -> Response {
         let body = match serde_json::parse_value(&req.body_text()) {
             Ok(v) => v,
@@ -463,44 +528,9 @@ impl ChatLsService {
                 return Response::error(400, "bad_request", &format!("invalid JSON body: {e}"))
             }
         };
-        let design = match Self::resolve_design(&body) {
-            Ok(d) => d,
-            Err(resp) => return resp,
-        };
-        let seed = body.get("seed").and_then(|v| v.as_u64()).unwrap_or(0);
-        let request =
-            body.get("request").and_then(|v| v.as_str()).unwrap_or(DEFAULT_REQUEST).to_string();
-        let (prepared, pool_hit) = match self.prepared(&design, cancel) {
+        let payload = match self.customize_payload(&body, cancel) {
             Ok(p) => p,
             Err(resp) => return resp,
-        };
-        let deadline_resp =
-            |what: &str| Response::gateway_timeout(&format!("deadline exceeded during {what}"));
-        let task = match self.task_for(&design, &prepared, &request, cancel) {
-            Ok(t) => t,
-            Err(Cancelled) => return deadline_resp("baseline synthesis"),
-        };
-        let chatls = ChatLs::new(&self.db).with_embed_batcher(self.embed_batch.clone());
-        let outcome = match chatls.try_customize(&design, &task, seed, cancel) {
-            Ok(o) => o,
-            Err(Cancelled) => return deadline_resp("script customization"),
-        };
-        let fp = design_fingerprint(&design);
-        self.seed_qor_from_peer(fp, outcome.script());
-        let (qor, _ok) =
-            match QorCache::global().get_or_run_cancellable(fp, outcome.script(), || {
-                run_script_in_cancellable(&prepared.template, outcome.script(), cancel)
-            }) {
-                Ok(r) => r,
-                Err(Cancelled) => return deadline_resp("final synthesis"),
-            };
-        let payload = CustomizeResponse {
-            design: design.name.clone(),
-            seed,
-            pool: if pool_hit { "hit" } else { "miss" }.to_string(),
-            script: outcome.script().to_string(),
-            qor,
-            lint: outcome.lint_stats(),
         };
         match serde_json::to_string(&payload) {
             Ok(json) => Response::json(200, json),
@@ -508,7 +538,7 @@ impl ChatLsService {
         }
     }
 
-    fn handle_eval(&self, req: &Request, cancel: &CancelToken) -> Response {
+    pub(crate) fn handle_eval(&self, req: &Request, cancel: &CancelToken) -> Response {
         let body = match serde_json::parse_value(&req.body_text()) {
             Ok(v) => v,
             Err(e) => {
@@ -672,14 +702,16 @@ impl ChatLsService {
         Response::json(200, ObsCtx::global().telemetry_json())
     }
 
-    /// `GET /v1/version`: build + protocol identity. The cluster router
-    /// checks `protocol` here before admitting a shard to the ring.
+    /// `GET /v1/version`: build + protocol identity plus the feature
+    /// `capabilities` list. The cluster router checks `protocol` here
+    /// before admitting a shard to the ring — and only `protocol`, so
+    /// capabilities it does not recognize never fail the handshake.
     fn handle_version(&self, _req: &Request, _cancel: &CancelToken) -> Response {
-        let label = match &self.shard {
-            Some(s) => s.id.to_string(),
-            None => "standalone".to_string(),
+        let (label, caps): (String, &[&str]) = match &self.shard {
+            Some(s) => (s.id.to_string(), &["mcp", "sessions", "cluster"]),
+            None => ("standalone".to_string(), &["mcp", "sessions"]),
         };
-        Response::json(200, version_payload(&label, PROTOCOL_VERSION))
+        Response::json(200, version_payload(&label, PROTOCOL_VERSION, caps))
     }
 
     /// `GET /v1/qor?fp=<hex>&script=<pct-encoded>`: answers from the
@@ -785,6 +817,18 @@ impl AppHandler for ChatLsService {
             .post("/v1/customize", "customize", Self::handle_customize)
             .post("/v1/eval", "eval", Self::handle_eval)
             .post("/v1/lint", "lint", Self::handle_lint)
+            .post("/v1/mcp", "mcp", Self::handle_mcp)
+            .post("/v1/session", "session", Self::handle_session_create)
+            .post_prefix("/v1/session/", "session", Self::handle_session_subpath)
+    }
+
+    fn handle_streaming(
+        &self,
+        req: &Request,
+        cancel: &CancelToken,
+        stream: &mut std::net::TcpStream,
+    ) -> Option<u16> {
+        self.handle_session_streaming(req, cancel, stream)
     }
 
     fn handle(&self, req: &Request, cancel: &CancelToken) -> Response {
@@ -1278,6 +1322,14 @@ mod tests {
         let v = serde_json::parse_value(&String::from_utf8(resp.body).unwrap()).unwrap();
         assert_eq!(v.get("protocol").and_then(|p| p.as_u64()), Some(PROTOCOL_VERSION as u64));
         assert_eq!(v.get("shard").and_then(|s| s.as_str()), Some("standalone"));
+        let caps: Vec<&str> = v
+            .get("capabilities")
+            .and_then(|c| c.as_array())
+            .expect("version payload lists capabilities")
+            .iter()
+            .filter_map(|c| c.as_str())
+            .collect();
+        assert_eq!(caps, ["mcp", "sessions"], "standalone daemon capabilities");
         assert!(v.get("git").and_then(|g| g.as_str()).is_some());
         let profile = v.get("profile").and_then(|p| p.as_str()).unwrap();
         assert!(profile == "debug" || profile == "release", "{profile}");

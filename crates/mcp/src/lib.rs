@@ -1,0 +1,630 @@
+//! Model Context Protocol (MCP) front end: the `customize`, `eval` and
+//! `lint` pipelines exposed as agent-callable tools over JSON-RPC 2.0.
+//!
+//! The crate is transport- and application-agnostic. An application
+//! implements [`ToolBackend`] (the ChatLS daemon routes calls into
+//! `ChatLsService` so tool output is byte-identical to CLI stdout) and
+//! then serves it two ways:
+//!
+//! - **stdio** ([`serve_stdio`]): one JSON-RPC message per line
+//!   (newline-delimited) *or* LSP-style `Content-Length` framing — the
+//!   framing is sniffed per message and the reply mirrors it, so both
+//!   kinds of MCP client work without a flag;
+//! - **HTTP**: the daemon mounts [`handle_message`] under `POST /v1/mcp`
+//!   (one JSON-RPC message per request).
+//!
+//! # Error taxonomy
+//!
+//! JSON-RPC protocol errors use the standard codes (`-32700` parse,
+//! `-32600` invalid request, `-32601` method not found, `-32602` invalid
+//! params); tool failures use `-32000`. In every case `error.data.code`
+//! carries a code from the daemon's *existing* stable error vocabulary
+//! (`bad_request`, `unknown_design`, `lint_rejected`,
+//! `deadline_exceeded`, …) — MCP does not invent a second taxonomy, it
+//! forwards the envelope the HTTP API already speaks.
+
+use std::io::{self, BufRead, Write};
+
+use chatls_exec::CancelToken;
+use serde::Value;
+
+/// MCP protocol revision answered by `initialize`.
+pub const MCP_PROTOCOL_VERSION: &str = "2024-11-05";
+
+/// `serverInfo.name` in the `initialize` result.
+pub const SERVER_NAME: &str = "chatls";
+
+/// JSON-RPC 2.0: malformed JSON.
+pub const PARSE_ERROR: i64 = -32700;
+/// JSON-RPC 2.0: structurally invalid request object.
+pub const INVALID_REQUEST: i64 = -32600;
+/// JSON-RPC 2.0: unknown method.
+pub const METHOD_NOT_FOUND: i64 = -32601;
+/// JSON-RPC 2.0: parameters do not fit the method.
+pub const INVALID_PARAMS: i64 = -32602;
+/// Implementation-defined: the tool ran and failed; `error.data.code`
+/// holds the stable application code.
+pub const TOOL_ERROR: i64 = -32000;
+
+/// Hard ceiling on a `Content-Length`-framed message body (matches the
+/// HTTP daemon's 4 MiB body cap).
+const MAX_FRAMED_BODY: usize = 4 * 1024 * 1024;
+
+/// A successful tool invocation: the exact text the CLI would print,
+/// plus (optionally) the structured JSON the HTTP endpoint would return.
+#[derive(Debug, Clone)]
+pub struct ToolOutput {
+    /// Rendered into `result.content[0].text` — byte-identical to the
+    /// corresponding CLI stdout.
+    pub text: String,
+    /// Rendered into `result.structuredContent` when present.
+    pub structured: Option<Value>,
+}
+
+impl ToolOutput {
+    /// Text-only output.
+    pub fn text(text: impl Into<String>) -> Self {
+        Self { text: text.into(), structured: None }
+    }
+}
+
+/// A failed tool invocation, carrying a code from the daemon's stable
+/// error vocabulary.
+#[derive(Debug, Clone)]
+pub struct ToolError {
+    /// Stable machine-readable code (`lint_rejected`, `deadline_exceeded`,
+    /// `unknown_design`, …) — the same vocabulary as the HTTP envelope.
+    pub code: String,
+    /// Human-readable message.
+    pub message: String,
+    /// Structured context (`Value::Null` when there is none).
+    pub details: Value,
+}
+
+impl ToolError {
+    /// A detail-less error.
+    pub fn new(code: impl Into<String>, message: impl Into<String>) -> Self {
+        Self { code: code.into(), message: message.into(), details: Value::Null }
+    }
+
+    /// Parses the daemon's uniform envelope
+    /// `{"error": {"code", "message", "details"}}` so HTTP-handler
+    /// failures forward mechanically. Falls back to `internal` when the
+    /// body is not an envelope.
+    pub fn from_envelope(body: &str) -> Self {
+        if let Ok(v) = serde_json::parse_value(body) {
+            if let Some(err) = v.get("error") {
+                return Self {
+                    code: err
+                        .get("code")
+                        .and_then(|c| c.as_str())
+                        .unwrap_or("internal")
+                        .to_string(),
+                    message: err
+                        .get("message")
+                        .and_then(|m| m.as_str())
+                        .unwrap_or("tool call failed")
+                        .to_string(),
+                    details: err.get("details").cloned().unwrap_or(Value::Null),
+                };
+            }
+        }
+        Self::new("internal", "tool call failed")
+    }
+}
+
+/// The application side of the MCP server: executes one named tool.
+///
+/// `args` is the `tools/call` `arguments` object (`Value::Null` when the
+/// client omitted it). Implementations must honour `cancel`
+/// cooperatively and must return [`ToolError`] codes from the stable
+/// vocabulary.
+pub trait ToolBackend: Send + Sync {
+    /// Runs `tool` with `args`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ToolError`] when the tool fails (unknown design, lint
+    /// rejection, fired deadline, …).
+    fn call_tool(
+        &self,
+        tool: &str,
+        args: &Value,
+        cancel: &CancelToken,
+    ) -> Result<ToolOutput, ToolError>;
+}
+
+/// Names of the three tools every ChatLS MCP server exposes.
+pub const TOOL_NAMES: [&str; 3] = ["customize", "eval", "lint"];
+
+fn obj(fields: Vec<(&str, Value)>) -> Value {
+    Value::Map(fields.into_iter().map(|(k, v)| (k.to_string(), v)).collect())
+}
+
+fn s(text: &str) -> Value {
+    Value::Str(text.to_string())
+}
+
+fn prop(ty: &str, desc: &str) -> Value {
+    obj(vec![("type", s(ty)), ("description", s(desc))])
+}
+
+fn schema(props: Vec<(&str, Value)>, required: &[&str]) -> Value {
+    obj(vec![
+        ("type", s("object")),
+        ("properties", obj(props)),
+        ("required", Value::Seq(required.iter().map(|r| s(r)).collect())),
+    ])
+}
+
+/// The `tools/list` payload: descriptors + JSON-Schema input for the
+/// three tools. Arguments mirror the daemon's `/v1/customize`,
+/// `/v1/eval` and `/v1/lint` request bodies exactly.
+pub fn tool_descriptors() -> Value {
+    let design_props = |mut extra: Vec<(&'static str, Value)>| {
+        let mut props = vec![
+            ("design", prop("string", "catalog design name (e.g. \"fft\")")),
+            ("verilog", prop("string", "inline Verilog source (alternative to design)")),
+            ("top", prop("string", "top module name, required with verilog")),
+            ("period", prop("number", "clock period in ns, required with verilog")),
+        ];
+        props.append(&mut extra);
+        props
+    };
+    Value::Seq(vec![
+        obj(vec![
+            ("name", s("customize")),
+            (
+                "description",
+                s("Generate a customized synthesis script for a design from a \
+                   natural-language request (CircuitMentor embedding -> SynthRAG \
+                   retrieval -> SynthExpert chain-of-thought refinement), then \
+                   synthesize it and report QoR. content[0].text is the final \
+                   script, byte-identical to `chatls customize` stdout."),
+            ),
+            (
+                "inputSchema",
+                schema(
+                    design_props(vec![
+                        ("request", prop("string", "natural-language customization request")),
+                        ("seed", prop("integer", "derivation seed (default 0)")),
+                    ]),
+                    &[],
+                ),
+            ),
+        ]),
+        obj(vec![
+            ("name", s("eval")),
+            (
+                "description",
+                s("Synthesize one or more scripts against a design and report QoR \
+                   for each (scripts are lint-gated first). content[0].text is the \
+                   evaluation JSON, byte-identical to the daemon's /v1/eval body."),
+            ),
+            (
+                "inputSchema",
+                schema(
+                    design_props(vec![
+                        ("script", prop("string", "one synthesis script")),
+                        (
+                            "scripts",
+                            obj(vec![
+                                ("type", s("array")),
+                                ("items", prop("string", "a synthesis script")),
+                                ("description", s("several scripts, scored in order")),
+                            ]),
+                        ),
+                        ("lenient", prop("boolean", "score scripts that fail lint anyway")),
+                    ]),
+                    &[],
+                ),
+            ),
+        ]),
+        obj(vec![
+            ("name", s("lint")),
+            (
+                "description",
+                s("Statically analyze a synthesis script (no synthesis run); \
+                   netlist-aware when a design is given. content[0].text is the \
+                   pretty-printed report, byte-identical to `chatls lint --json` \
+                   stdout."),
+            ),
+            (
+                "inputSchema",
+                schema(
+                    vec![
+                        ("script", prop("string", "the synthesis script to lint")),
+                        ("design", prop("string", "catalog design for netlist-aware checks")),
+                    ],
+                    &["script"],
+                ),
+            ),
+        ]),
+    ])
+}
+
+fn rpc_result(id: Value, result: Value) -> String {
+    serde_json::to_string(&obj(vec![("jsonrpc", s("2.0")), ("id", id), ("result", result)]))
+        .expect("serializing a JSON-RPC result cannot fail")
+}
+
+fn rpc_error(id: Value, code: i64, message: &str, stable_code: &str, details: Value) -> String {
+    chatls_obs::counter("mcp.errors").inc();
+    let error = obj(vec![
+        ("code", Value::I64(code)),
+        ("message", s(message)),
+        ("data", obj(vec![("code", s(stable_code)), ("details", details)])),
+    ]);
+    serde_json::to_string(&obj(vec![("jsonrpc", s("2.0")), ("id", id), ("error", error)]))
+        .expect("serializing a JSON-RPC error cannot fail")
+}
+
+fn initialize_result() -> Value {
+    obj(vec![
+        ("protocolVersion", s(MCP_PROTOCOL_VERSION)),
+        ("capabilities", obj(vec![("tools", obj(vec![("listChanged", Value::Bool(false))]))])),
+        (
+            "serverInfo",
+            obj(vec![("name", s(SERVER_NAME)), ("version", s(env!("CARGO_PKG_VERSION")))]),
+        ),
+    ])
+}
+
+fn handle_tools_call(
+    backend: &dyn ToolBackend,
+    id: Value,
+    params: &Value,
+    cancel: &CancelToken,
+) -> String {
+    let Some(name) = params.get("name").and_then(|n| n.as_str()) else {
+        return rpc_error(
+            id,
+            INVALID_PARAMS,
+            "tools/call requires a string 'name' param",
+            "bad_request",
+            Value::Null,
+        );
+    };
+    if !TOOL_NAMES.contains(&name) {
+        return rpc_error(
+            id,
+            INVALID_PARAMS,
+            &format!("unknown tool: {name}"),
+            "not_found",
+            Value::Null,
+        );
+    }
+    let args = params.get("arguments").cloned().unwrap_or(Value::Null);
+    if !matches!(args, Value::Null | Value::Map(_)) {
+        return rpc_error(
+            id,
+            INVALID_PARAMS,
+            "tools/call 'arguments' must be an object",
+            "bad_request",
+            Value::Null,
+        );
+    }
+    chatls_obs::counter_dyn(&format!("mcp.tool_calls.{name}")).inc();
+    match backend.call_tool(name, &args, cancel) {
+        Ok(output) => {
+            let mut fields = vec![
+                (
+                    "content",
+                    Value::Seq(vec![obj(vec![("type", s("text")), ("text", s(&output.text))])]),
+                ),
+                ("isError", Value::Bool(false)),
+            ];
+            if let Some(structured) = output.structured {
+                fields.push(("structuredContent", structured));
+            }
+            rpc_result(id, obj(fields))
+        }
+        Err(e) => rpc_error(id, TOOL_ERROR, &e.message, &e.code, e.details),
+    }
+}
+
+/// Dispatches one raw JSON-RPC message and renders the response, or
+/// `None` for notifications (messages without an `id`), which by
+/// JSON-RPC rules receive no reply.
+pub fn handle_message(
+    backend: &dyn ToolBackend,
+    raw: &str,
+    cancel: &CancelToken,
+) -> Option<String> {
+    chatls_obs::counter("mcp.requests").inc();
+    let msg = match serde_json::parse_value(raw) {
+        Ok(v) => v,
+        Err(e) => {
+            return Some(rpc_error(
+                Value::Null,
+                PARSE_ERROR,
+                &format!("parse error: {e}"),
+                "bad_request",
+                Value::Null,
+            ));
+        }
+    };
+    let id = msg.get("id").cloned();
+    let Some(method) = msg.get("method").and_then(|m| m.as_str()).map(str::to_string) else {
+        // A response object or a malformed request; notifications without
+        // a method still must not be answered.
+        return id.map(|id| {
+            rpc_error(id, INVALID_REQUEST, "missing 'method'", "bad_request", Value::Null)
+        });
+    };
+    let Some(id) = id else {
+        // Notification (`notifications/initialized`, …): no reply.
+        return None;
+    };
+    let params = msg.get("params").cloned().unwrap_or(Value::Null);
+    Some(match method.as_str() {
+        "initialize" => rpc_result(id, initialize_result()),
+        "ping" => rpc_result(id, obj(vec![])),
+        "tools/list" => rpc_result(id, obj(vec![("tools", tool_descriptors())])),
+        "tools/call" => handle_tools_call(backend, id, &params, cancel),
+        other => rpc_error(
+            id,
+            METHOD_NOT_FOUND,
+            &format!("method not found: {other}"),
+            "not_found",
+            Value::Null,
+        ),
+    })
+}
+
+/// Extracts a header value when `line` is `name: value` (ASCII
+/// case-insensitive name match).
+fn header_value<'a>(line: &'a str, name: &str) -> Option<&'a str> {
+    let (head, value) = line.split_once(':')?;
+    head.trim().eq_ignore_ascii_case(name).then(|| value.trim())
+}
+
+/// Serves MCP over a byte stream (normally stdin/stdout). Each incoming
+/// message is either one line of JSON or an LSP-style
+/// `Content-Length: N` framed block; the framing is sniffed per message
+/// and replies mirror it. Returns on EOF.
+///
+/// # Errors
+///
+/// Propagates I/O errors from the transport; a malformed
+/// `Content-Length` header is `InvalidData`.
+pub fn serve_stdio<R: BufRead, W: Write>(
+    backend: &dyn ToolBackend,
+    mut input: R,
+    mut output: W,
+) -> io::Result<()> {
+    loop {
+        let mut line = String::new();
+        if input.read_line(&mut line)? == 0 {
+            return Ok(());
+        }
+        let trimmed = line.trim();
+        if trimmed.is_empty() {
+            continue;
+        }
+        let (body, framed) = if let Some(v) = header_value(trimmed, "Content-Length") {
+            let mut len: usize = v
+                .parse()
+                .map_err(|_| io::Error::new(io::ErrorKind::InvalidData, "bad Content-Length"))?;
+            // Consume the rest of the header block (Content-Type etc.).
+            loop {
+                let mut header = String::new();
+                if input.read_line(&mut header)? == 0 {
+                    return Ok(());
+                }
+                let header = header.trim();
+                if header.is_empty() {
+                    break;
+                }
+                if let Some(v) = header_value(header, "Content-Length") {
+                    len = v.parse().map_err(|_| {
+                        io::Error::new(io::ErrorKind::InvalidData, "bad Content-Length")
+                    })?;
+                }
+            }
+            if len > MAX_FRAMED_BODY {
+                return Err(io::Error::new(io::ErrorKind::InvalidData, "message too large"));
+            }
+            let mut buf = vec![0u8; len];
+            input.read_exact(&mut buf)?;
+            (String::from_utf8_lossy(&buf).into_owned(), true)
+        } else {
+            (trimmed.to_string(), false)
+        };
+        if let Some(resp) = handle_message(backend, &body, &CancelToken::never()) {
+            if framed {
+                write!(output, "Content-Length: {}\r\n\r\n{}", resp.len(), resp)?;
+            } else {
+                writeln!(output, "{resp}")?;
+            }
+            output.flush()?;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Echo backend: `lint` fails with a stable-vocabulary error, the
+    /// other tools echo their arguments.
+    struct Stub;
+
+    impl ToolBackend for Stub {
+        fn call_tool(
+            &self,
+            tool: &str,
+            args: &Value,
+            _cancel: &CancelToken,
+        ) -> Result<ToolOutput, ToolError> {
+            match tool {
+                "lint" => Err(ToolError {
+                    code: "lint_rejected".to_string(),
+                    message: "script 0 fails lint with 1 error(s)".to_string(),
+                    details: obj(vec![("script_index", Value::I64(0))]),
+                }),
+                _ => Ok(ToolOutput { text: format!("ran {tool}"), structured: Some(args.clone()) }),
+            }
+        }
+    }
+
+    fn call(raw: &str) -> Value {
+        let resp = handle_message(&Stub, raw, &CancelToken::never()).expect("a reply");
+        serde_json::parse_value(&resp).expect("valid JSON reply")
+    }
+
+    #[test]
+    fn initialize_reports_tools_capability() {
+        let v = call(r#"{"jsonrpc":"2.0","id":1,"method":"initialize","params":{}}"#);
+        assert_eq!(v.get("id").and_then(Value::as_i64), Some(1));
+        let result = v.get("result").expect("result");
+        assert_eq!(
+            result.get("protocolVersion").and_then(Value::as_str),
+            Some(MCP_PROTOCOL_VERSION)
+        );
+        assert!(result.get("capabilities").and_then(|c| c.get("tools")).is_some());
+        assert_eq!(
+            result.get("serverInfo").and_then(|i| i.get("name")).and_then(Value::as_str),
+            Some("chatls")
+        );
+    }
+
+    #[test]
+    fn tools_list_names_all_three_tools() {
+        let v = call(r#"{"jsonrpc":"2.0","id":2,"method":"tools/list"}"#);
+        let tools = v.get("result").and_then(|r| r.get("tools")).and_then(Value::as_array);
+        let names: Vec<&str> = tools
+            .expect("tools array")
+            .iter()
+            .filter_map(|t| t.get("name").and_then(Value::as_str))
+            .collect();
+        assert_eq!(names, TOOL_NAMES);
+        for t in tools.unwrap() {
+            let schema = t.get("inputSchema").expect("inputSchema");
+            assert_eq!(schema.get("type").and_then(Value::as_str), Some("object"));
+            assert!(t.get("description").and_then(Value::as_str).is_some());
+        }
+    }
+
+    #[test]
+    fn tools_call_wraps_text_and_structured_content() {
+        let v = call(
+            r#"{"jsonrpc":"2.0","id":3,"method":"tools/call","params":{"name":"customize","arguments":{"design":"fft"}}}"#,
+        );
+        let result = v.get("result").expect("result");
+        assert_eq!(result.get("isError").and_then(Value::as_bool), Some(false));
+        let content = result.get("content").and_then(Value::as_array).expect("content");
+        assert_eq!(content[0].get("type").and_then(Value::as_str), Some("text"));
+        assert_eq!(content[0].get("text").and_then(Value::as_str), Some("ran customize"));
+        let structured = result.get("structuredContent").expect("structuredContent");
+        assert_eq!(structured.get("design").and_then(Value::as_str), Some("fft"));
+    }
+
+    /// Satellite: JSON-RPC failures carry the daemon's stable error
+    /// vocabulary in `error.data.code` — no second taxonomy.
+    #[test]
+    fn errors_reuse_the_stable_envelope_vocabulary() {
+        // Tool failure → -32000 with the application's own code.
+        let v = call(
+            r#"{"jsonrpc":"2.0","id":4,"method":"tools/call","params":{"name":"lint","arguments":{}}}"#,
+        );
+        let err = v.get("error").expect("error");
+        assert_eq!(err.get("code").and_then(Value::as_i64), Some(TOOL_ERROR));
+        assert_eq!(
+            err.get("data").and_then(|d| d.get("code")).and_then(Value::as_str),
+            Some("lint_rejected")
+        );
+        assert!(err
+            .get("data")
+            .and_then(|d| d.get("details"))
+            .and_then(|d| d.get("script_index"))
+            .is_some());
+
+        // Unknown method → -32601 / not_found.
+        let v = call(r#"{"jsonrpc":"2.0","id":5,"method":"resources/list"}"#);
+        let err = v.get("error").expect("error");
+        assert_eq!(err.get("code").and_then(Value::as_i64), Some(METHOD_NOT_FOUND));
+        assert_eq!(
+            err.get("data").and_then(|d| d.get("code")).and_then(Value::as_str),
+            Some("not_found")
+        );
+
+        // Unknown tool → -32602 / not_found.
+        let v = call(r#"{"jsonrpc":"2.0","id":6,"method":"tools/call","params":{"name":"nope"}}"#);
+        let err = v.get("error").expect("error");
+        assert_eq!(err.get("code").and_then(Value::as_i64), Some(INVALID_PARAMS));
+
+        // Parse error → -32700 / bad_request.
+        let v = call("{not json");
+        let err = v.get("error").expect("error");
+        assert_eq!(err.get("code").and_then(Value::as_i64), Some(PARSE_ERROR));
+        assert_eq!(
+            err.get("data").and_then(|d| d.get("code")).and_then(Value::as_str),
+            Some("bad_request")
+        );
+    }
+
+    #[test]
+    fn envelope_errors_forward_mechanically() {
+        let e = ToolError::from_envelope(
+            r#"{"error": {"code": "unknown_design", "message": "no such design: nope", "details": null}}"#,
+        );
+        assert_eq!(e.code, "unknown_design");
+        assert_eq!(e.message, "no such design: nope");
+        assert!(e.details.is_null());
+        assert_eq!(ToolError::from_envelope("garbage").code, "internal");
+    }
+
+    #[test]
+    fn notifications_get_no_reply() {
+        let none = handle_message(
+            &Stub,
+            r#"{"jsonrpc":"2.0","method":"notifications/initialized"}"#,
+            &CancelToken::never(),
+        );
+        assert!(none.is_none());
+    }
+
+    #[test]
+    fn stdio_newline_framing_round_trips() {
+        let input = concat!(
+            r#"{"jsonrpc":"2.0","id":1,"method":"initialize","params":{}}"#,
+            "\n",
+            r#"{"jsonrpc":"2.0","method":"notifications/initialized"}"#,
+            "\n",
+            r#"{"jsonrpc":"2.0","id":2,"method":"tools/call","params":{"name":"eval"}}"#,
+            "\n",
+        );
+        let mut out = Vec::new();
+        serve_stdio(&Stub, input.as_bytes(), &mut out).expect("stdio loop");
+        let text = String::from_utf8(out).expect("utf8");
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 2, "notification must not be answered: {text}");
+        let init = serde_json::parse_value(lines[0]).expect("json");
+        assert_eq!(init.get("id").and_then(Value::as_i64), Some(1));
+        let eval = serde_json::parse_value(lines[1]).expect("json");
+        assert_eq!(eval.get("id").and_then(Value::as_i64), Some(2));
+    }
+
+    #[test]
+    fn stdio_content_length_framing_round_trips() {
+        let body = r#"{"jsonrpc":"2.0","id":7,"method":"tools/list"}"#;
+        let input = format!(
+            "Content-Length: {}\r\nContent-Type: application/json\r\n\r\n{body}",
+            body.len()
+        );
+        let mut out = Vec::new();
+        serve_stdio(&Stub, input.as_bytes(), &mut out).expect("stdio loop");
+        let text = String::from_utf8(out).expect("utf8");
+        let (head, rest) = text.split_once("\r\n\r\n").expect("framed reply");
+        let len: usize = head
+            .strip_prefix("Content-Length: ")
+            .expect("length header")
+            .parse()
+            .expect("numeric length");
+        assert_eq!(rest.len(), len, "reply length must match its header");
+        let v = serde_json::parse_value(rest).expect("json");
+        assert_eq!(v.get("id").and_then(Value::as_i64), Some(7));
+        assert!(v.get("result").and_then(|r| r.get("tools")).is_some());
+    }
+}

@@ -234,7 +234,10 @@ impl Response {
 fn reason_phrase(status: u16) -> &'static str {
     match status {
         200 => "OK",
+        201 => "Created",
+        204 => "No Content",
         400 => "Bad Request",
+        409 => "Conflict",
         404 => "Not Found",
         405 => "Method Not Allowed",
         413 => "Payload Too Large",
@@ -400,6 +403,7 @@ pub fn read_response(stream: &mut TcpStream) -> std::io::Result<Response> {
                 content_type = match value.as_str() {
                     "application/json" => "application/json",
                     "text/plain; charset=utf-8" => "text/plain; charset=utf-8",
+                    "text/event-stream" => "text/event-stream",
                     _ => "application/octet-stream",
                 };
             }

@@ -20,9 +20,11 @@
 
 pub mod http;
 pub mod pool;
+pub mod registry;
 pub mod route;
 pub mod router;
 pub mod server;
+pub mod sse;
 
 /// Version of the HTTP surface (endpoints + error envelope). The cluster
 /// router refuses to route to a shard advertising a different value on
@@ -32,18 +34,25 @@ pub const PROTOCOL_VERSION: u32 = 1;
 
 pub use http::{json_escape, percent_decode, percent_encode, read_response, Request, Response};
 pub use pool::{PoolError, PoolStats, SessionPool};
+pub use registry::{SessionRegistry, TurnError};
 pub use route::{HandlerFn, Router};
 pub use router::{ClusterConfig, ClusterRouter, HashRing, Health, KeyFn, ShardSpec};
 pub use server::{
     install_signal_handlers, AppHandler, ServeConfig, Server, ShutdownHandle, DEADLINE_HEADER,
 };
+pub use sse::{BufferSink, EventSink, SseWriter};
 
-/// The `GET /v1/version` payload: build identity plus protocol version.
-/// `shard` names who is answering — `"router"`, a shard id like `"0"`,
-/// or `"standalone"` for a single-process daemon.
-pub fn version_payload(shard: &str, protocol: u32) -> String {
+/// The `GET /v1/version` payload: build identity, protocol version and
+/// feature capabilities. `shard` names who is answering — `"router"`, a
+/// shard id like `"0"`, or `"standalone"` for a single-process daemon.
+/// `capabilities` lists optional surfaces this process serves (`"mcp"`,
+/// `"sessions"`, `"cluster"`); clients feature-detect on it and must
+/// tolerate entries they do not recognize.
+pub fn version_payload(shard: &str, protocol: u32, capabilities: &[&str]) -> String {
+    let caps = capabilities.iter().map(|c| json_escape(c)).collect::<Vec<_>>().join(", ");
     format!(
-        "{{\"git\": {}, \"profile\": \"{}\", \"shard\": {}, \"protocol\": {protocol}}}\n",
+        "{{\"git\": {}, \"profile\": \"{}\", \"shard\": {}, \"protocol\": {protocol}, \
+         \"capabilities\": [{caps}]}}\n",
         json_escape(option_env!("CHATLS_GIT_HASH").unwrap_or("unknown")),
         if cfg!(debug_assertions) { "debug" } else { "release" },
         json_escape(shard),

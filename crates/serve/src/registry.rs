@@ -1,0 +1,233 @@
+//! Long-lived streaming sessions: an id → state map with single-turn
+//! exclusivity, idle-TTL expiry and an LRU capacity bound.
+//!
+//! The registry is application-agnostic (`S` is whatever per-session
+//! state the handler pins — for ChatLS, the prepared design plus the
+//! previous turn's task and timing graph). Invariants it enforces:
+//!
+//! - at most one in-flight turn per session (`begin_turn` answers
+//!   [`TurnError::Busy`] for concurrent turns — turns mutate the carried
+//!   state, so interleaving them would corrupt it);
+//! - sessions idle past the TTL are swept on the next registry
+//!   operation (`serve.session.expired`);
+//! - the map never exceeds `capacity`: creating past it evicts the
+//!   least-recently-used *idle* session (`serve.session.evicted`) —
+//!   busy sessions are never evicted out from under their turn.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+/// Why a turn could not start.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TurnError {
+    /// No such session (never existed, expired, or evicted).
+    Unknown,
+    /// The session exists but another turn is in flight.
+    Busy,
+}
+
+struct Entry<S> {
+    state: Arc<S>,
+    busy: bool,
+    last_used: Instant,
+}
+
+/// See the module docs.
+pub struct SessionRegistry<S> {
+    entries: Mutex<HashMap<String, Entry<S>>>,
+    next_id: AtomicU64,
+    capacity: usize,
+    idle_ttl: Duration,
+}
+
+impl<S> SessionRegistry<S> {
+    /// An empty registry holding at most `capacity` sessions, each
+    /// expiring after `idle_ttl` without a turn.
+    pub fn new(capacity: usize, idle_ttl: Duration) -> Self {
+        assert!(capacity > 0, "a zero-capacity registry could never hold a session");
+        Self { entries: Mutex::new(HashMap::new()), next_id: AtomicU64::new(1), capacity, idle_ttl }
+    }
+
+    fn sweep(&self, entries: &mut HashMap<String, Entry<S>>) {
+        let ttl = self.idle_ttl;
+        let before = entries.len();
+        entries.retain(|_, e| e.busy || e.last_used.elapsed() < ttl);
+        let expired = before - entries.len();
+        if expired > 0 {
+            chatls_obs::counter("serve.session.expired").add(expired as u64);
+        }
+    }
+
+    /// Registers `state` and returns the new session's id. Expired
+    /// sessions are swept first; if the registry is still full, the
+    /// least-recently-used idle session is evicted to make room.
+    pub fn create(&self, state: S) -> String {
+        let mut entries = self.entries.lock().expect("session registry poisoned");
+        self.sweep(&mut entries);
+        while entries.len() >= self.capacity {
+            let lru = entries
+                .iter()
+                .filter(|(_, e)| !e.busy)
+                .min_by_key(|(_, e)| e.last_used)
+                .map(|(id, _)| id.clone());
+            match lru {
+                Some(id) => {
+                    entries.remove(&id);
+                    chatls_obs::counter("serve.session.evicted").inc();
+                }
+                // Every slot is mid-turn; admit over capacity rather than
+                // evict live state (turns are bounded by the request
+                // deadline, so the overshoot is transient).
+                None => break,
+            }
+        }
+        let seq = self.next_id.fetch_add(1, Ordering::Relaxed);
+        // Ids need to be unguessable-enough to avoid accidental cross-talk
+        // between clients, not cryptographic: sequence + address entropy.
+        let entropy = {
+            use std::collections::hash_map::RandomState;
+            use std::hash::{BuildHasher, Hasher};
+            let mut h = RandomState::new().build_hasher();
+            h.write_u64(seq);
+            h.finish()
+        };
+        let id = format!("s{seq:x}-{entropy:08x}");
+        entries.insert(
+            id.clone(),
+            Entry { state: Arc::new(state), busy: false, last_used: Instant::now() },
+        );
+        chatls_obs::counter("serve.session.created").inc();
+        chatls_obs::gauge("serve.session.live").set(entries.len() as i64);
+        id
+    }
+
+    /// Claims `id` for one turn, returning its state. The claim holds
+    /// until [`end_turn`](Self::end_turn); concurrent claims answer
+    /// [`TurnError::Busy`].
+    ///
+    /// # Errors
+    ///
+    /// [`TurnError::Unknown`] for absent/expired ids, [`TurnError::Busy`]
+    /// for sessions already mid-turn.
+    pub fn begin_turn(&self, id: &str) -> Result<Arc<S>, TurnError> {
+        let mut entries = self.entries.lock().expect("session registry poisoned");
+        self.sweep(&mut entries);
+        let entry = entries.get_mut(id).ok_or(TurnError::Unknown)?;
+        if entry.busy {
+            return Err(TurnError::Busy);
+        }
+        entry.busy = true;
+        entry.last_used = Instant::now();
+        Ok(Arc::clone(&entry.state))
+    }
+
+    /// Releases the turn claim on `id` (a no-op for vanished ids — the
+    /// session may have been removed mid-turn by [`remove`](Self::remove)).
+    pub fn end_turn(&self, id: &str) {
+        let mut entries = self.entries.lock().expect("session registry poisoned");
+        if let Some(entry) = entries.get_mut(id) {
+            entry.busy = false;
+            entry.last_used = Instant::now();
+        }
+    }
+
+    /// Deletes `id` outright (client hang-up on a session it created, or
+    /// an explicit close).
+    pub fn remove(&self, id: &str) -> bool {
+        let mut entries = self.entries.lock().expect("session registry poisoned");
+        let removed = entries.remove(id).is_some();
+        chatls_obs::gauge("serve.session.live").set(entries.len() as i64);
+        removed
+    }
+
+    /// Live session count (after sweeping expired ones).
+    pub fn len(&self) -> usize {
+        let mut entries = self.entries.lock().expect("session registry poisoned");
+        self.sweep(&mut entries);
+        entries.len()
+    }
+
+    /// True when no sessions are live.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn create_begin_end_round_trips() {
+        let reg = SessionRegistry::new(4, Duration::from_secs(60));
+        let id = reg.create("state".to_string());
+        assert_eq!(reg.len(), 1);
+        let state = reg.begin_turn(&id).expect("claim");
+        assert_eq!(*state, "state");
+        assert_eq!(reg.begin_turn(&id), Err(TurnError::Busy), "one turn at a time");
+        reg.end_turn(&id);
+        assert!(reg.begin_turn(&id).is_ok(), "released sessions accept the next turn");
+        reg.end_turn(&id);
+        assert!(reg.remove(&id));
+        assert_eq!(reg.begin_turn(&id), Err(TurnError::Unknown));
+    }
+
+    #[test]
+    fn unknown_ids_are_rejected() {
+        let reg: SessionRegistry<()> = SessionRegistry::new(4, Duration::from_secs(60));
+        assert_eq!(reg.begin_turn("s0-nope"), Err(TurnError::Unknown));
+        assert!(!reg.remove("s0-nope"));
+    }
+
+    #[test]
+    fn idle_sessions_expire_but_busy_ones_survive() {
+        let reg = SessionRegistry::new(4, Duration::from_millis(20));
+        let idle = reg.create(0u32);
+        let busy = reg.create(1u32);
+        let _claim = reg.begin_turn(&busy).expect("claim");
+        std::thread::sleep(Duration::from_millis(40));
+        assert_eq!(reg.begin_turn(&idle), Err(TurnError::Unknown), "idle past TTL expires");
+        assert_eq!(reg.begin_turn(&busy), Err(TurnError::Busy), "mid-turn sessions never expire");
+        reg.end_turn(&busy);
+    }
+
+    #[test]
+    fn capacity_evicts_least_recently_used_idle_session() {
+        let reg = SessionRegistry::new(2, Duration::from_secs(60));
+        let oldest = reg.create(0u32);
+        std::thread::sleep(Duration::from_millis(2));
+        let newer = reg.create(1u32);
+        let third = reg.create(2u32);
+        assert_eq!(reg.len(), 2);
+        assert_eq!(reg.begin_turn(&oldest), Err(TurnError::Unknown), "LRU entry evicted");
+        reg.end_turn(&newer);
+        assert!(reg.begin_turn(&newer).is_ok());
+        reg.end_turn(&newer);
+        assert!(reg.begin_turn(&third).is_ok());
+        reg.end_turn(&third);
+    }
+
+    #[test]
+    fn busy_sessions_are_never_evicted() {
+        let reg = SessionRegistry::new(1, Duration::from_secs(60));
+        let pinned = reg.create(0u32);
+        let _claim = reg.begin_turn(&pinned).expect("claim");
+        let second = reg.create(1u32);
+        // The busy session survived; the registry transiently overshoots.
+        assert_eq!(reg.begin_turn(&pinned), Err(TurnError::Busy));
+        assert!(reg.begin_turn(&second).is_ok());
+        reg.end_turn(&second);
+        reg.end_turn(&pinned);
+    }
+
+    #[test]
+    fn ids_are_unique() {
+        let reg = SessionRegistry::new(64, Duration::from_secs(60));
+        let mut seen = std::collections::HashSet::new();
+        for i in 0..32 {
+            assert!(seen.insert(reg.create(i)), "duplicate session id");
+        }
+    }
+}

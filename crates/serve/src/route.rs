@@ -28,7 +28,21 @@ struct Route<A> {
     /// Bounded metric label for `serve.req.*` (paths are unbounded input;
     /// labels must not be).
     label: &'static str,
+    /// When set, `path` is a prefix and the route matches every request
+    /// path that starts with it (`POST /v1/session/{id}/turn`-style
+    /// parameterized paths). Exact routes always win over prefix routes.
+    prefix: bool,
     handler: HandlerFn<A>,
+}
+
+impl<A> Route<A> {
+    fn matches_path(&self, path: &str) -> bool {
+        if self.prefix {
+            path.starts_with(self.path)
+        } else {
+            path == self.path
+        }
+    }
 }
 
 /// Method + path → handler table. See the module docs for dispatch rules.
@@ -59,11 +73,40 @@ impl<A> Router<A> {
         handler: HandlerFn<A>,
     ) -> Self {
         debug_assert!(
-            !self.routes.iter().any(|r| r.method == method && r.path == path),
+            !self.routes.iter().any(|r| r.method == method && r.path == path && !r.prefix),
             "duplicate route {method} {path}"
         );
-        self.routes.push(Route { method, path, label, handler });
+        self.routes.push(Route { method, path, label, prefix: false, handler });
         self
+    }
+
+    /// Registers `handler` for every `method` request whose path starts
+    /// with `prefix` (parameterized paths like `/v1/session/{id}/turn`;
+    /// the handler parses the remainder itself). Exact routes win over
+    /// prefix routes regardless of registration order.
+    pub fn route_prefix(
+        mut self,
+        method: &'static str,
+        prefix: &'static str,
+        label: &'static str,
+        handler: HandlerFn<A>,
+    ) -> Self {
+        debug_assert!(
+            !self.routes.iter().any(|r| r.method == method && r.path == prefix && r.prefix),
+            "duplicate prefix route {method} {prefix}"
+        );
+        self.routes.push(Route { method, path: prefix, label, prefix: true, handler });
+        self
+    }
+
+    /// [`Router::route_prefix`] for `POST`.
+    pub fn post_prefix(
+        self,
+        prefix: &'static str,
+        label: &'static str,
+        handler: HandlerFn<A>,
+    ) -> Self {
+        self.route_prefix("POST", prefix, label, handler)
     }
 
     /// [`Router::route`] for `GET`.
@@ -86,18 +129,30 @@ impl<A> Router<A> {
 
     /// The bounded metric label for `req` (`"other"` when unrouted).
     pub fn label_of(&self, req: &Request) -> &'static str {
-        self.routes.iter().find(|r| r.path == req.path).map(|r| r.label).unwrap_or("other")
+        self.routes
+            .iter()
+            .find(|r| !r.prefix && r.path == req.path)
+            .or_else(|| self.routes.iter().find(|r| r.prefix && r.matches_path(&req.path)))
+            .map(|r| r.label)
+            .unwrap_or("other")
     }
 
     /// Routes `req` per the rules in the module docs.
     pub fn dispatch(&self, app: &A, req: &Request, cancel: &CancelToken) -> Response {
-        if let Some(route) =
-            self.routes.iter().find(|r| r.path == req.path && r.method == req.method)
+        if let Some(route) = self
+            .routes
+            .iter()
+            .find(|r| !r.prefix && r.path == req.path && r.method == req.method)
+            .or_else(|| {
+                self.routes
+                    .iter()
+                    .find(|r| r.prefix && r.matches_path(&req.path) && r.method == req.method)
+            })
         {
             return (route.handler)(app, req, cancel);
         }
         let allowed: Vec<&str> =
-            self.routes.iter().filter(|r| r.path == req.path).map(|r| r.method).collect();
+            self.routes.iter().filter(|r| r.matches_path(&req.path)).map(|r| r.method).collect();
         if !allowed.is_empty() {
             return Response::error(
                 405,
@@ -184,6 +239,30 @@ mod tests {
             "proxied"
         );
         assert_eq!(r.dispatch(&App, &req("DELETE", "/v1/customize"), &cancel).status, 405);
+    }
+
+    #[test]
+    fn prefix_routes_match_parameterized_paths_but_lose_to_exact_routes() {
+        fn turn(_: &App, req: &Request, _: &CancelToken) -> Response {
+            Response::text(200, format!("turn:{}", req.path))
+        }
+        let r = Router::new().post("/v1/session", "session", ok).post_prefix(
+            "/v1/session/",
+            "session",
+            turn,
+        );
+        let cancel = CancelToken::never();
+        // Prefix route takes the parameterized path…
+        let resp = r.dispatch(&App, &req("POST", "/v1/session/s1/turn"), &cancel);
+        assert_eq!(String::from_utf8_lossy(&resp.body), "turn:/v1/session/s1/turn");
+        // …while the exact route keeps its own path.
+        let resp = r.dispatch(&App, &req("POST", "/v1/session"), &cancel);
+        assert_eq!(String::from_utf8_lossy(&resp.body), "{\"path\": \"/v1/session\"}");
+        // Wrong method on a prefix-matched path is 405, not 404.
+        let resp = r.dispatch(&App, &req("GET", "/v1/session/s1/turn"), &cancel);
+        assert_eq!(resp.status, 405);
+        // And labels stay bounded for parameterized paths.
+        assert_eq!(r.label_of(&req("POST", "/v1/session/abc/turn")), "session");
     }
 
     #[test]

@@ -429,7 +429,10 @@ impl ClusterRouter {
     }
 
     fn h_version(app: &Self, _req: &Request, _cancel: &CancelToken) -> Response {
-        Response::json(200, crate::version_payload("router", app.config.protocol_version))
+        Response::json(
+            200,
+            crate::version_payload("router", app.config.protocol_version, &["cluster"]),
+        )
     }
 
     fn h_drain(app: &Self, req: &Request, _cancel: &CancelToken) -> Response {
@@ -588,9 +591,18 @@ mod tests {
                     200,
                     format!("{{\"status\": \"ok\", \"pid\": {}}}\n", 1000 + self.id),
                 ),
-                "/v1/version" => {
-                    Response::json(200, format!("{{\"protocol\": {}}}\n", crate::PROTOCOL_VERSION))
-                }
+                // Advertises capabilities the router does not know about:
+                // the handshake must key on `protocol` alone and tolerate
+                // unknown capability strings (feature detection is for
+                // clients, not a compatibility gate).
+                "/v1/version" => Response::json(
+                    200,
+                    format!(
+                        "{{\"protocol\": {}, \"capabilities\": \
+                         [\"mcp\", \"sessions\", \"warp-drive\"]}}\n",
+                        crate::PROTOCOL_VERSION
+                    ),
+                ),
                 "/metrics" => Response::text(
                     200,
                     format!("serve.pool.hit {}\nserve.pool.miss 1\n", 10 * (self.id + 1)),
@@ -843,6 +855,20 @@ mod tests {
         assert_eq!(status, 200);
         assert!(body.contains("\"shard\": \"router\""), "{body}");
         assert!(body.contains(&format!("\"protocol\": {}", crate::PROTOCOL_VERSION)), "{body}");
+        assert!(body.contains("\"capabilities\": [\"cluster\"]"), "{body}");
+        cluster.stop();
+    }
+
+    /// Satellite lock: a shard advertising capabilities this router has
+    /// never heard of (see the stub's `warp-drive`) still passes the
+    /// protocol handshake and serves traffic — capability strings are
+    /// informative, only `protocol` gates routability.
+    #[test]
+    fn handshake_tolerates_unknown_shard_capabilities() {
+        let cluster = start_cluster(2);
+        let (status, body) = exchange(cluster.router_addr, "GET /some/path HTTP/1.1\r\n\r\n");
+        assert_eq!(status, 200, "shard with unknown capabilities must stay routable: {body}");
+        assert!(body.contains("\"shard\""), "{body}");
         cluster.stop();
     }
 

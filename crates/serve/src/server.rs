@@ -50,6 +50,22 @@ pub trait AppHandler: Send + Sync + 'static {
     /// boundaries.
     fn handle(&self, req: &Request, cancel: &CancelToken) -> Response;
 
+    /// Streaming hook, tried before [`AppHandler::handle`]: when the
+    /// request is one this application streams (SSE turns), the
+    /// implementation writes the *entire* response onto `stream` itself
+    /// — head, frames and any pre-stream error — and returns the status
+    /// it answered for metrics. Returning `None` (the default) hands the
+    /// request to the buffered [`AppHandler::handle`] path.
+    fn handle_streaming(
+        &self,
+        req: &Request,
+        cancel: &CancelToken,
+        stream: &mut TcpStream,
+    ) -> Option<u16> {
+        let _ = (req, cancel, stream);
+        None
+    }
+
     /// Runs once after the last in-flight request has drained, before
     /// the server exits — the place to flush telemetry.
     fn on_shutdown(&self) {}
@@ -341,6 +357,12 @@ fn handle_connection(
         .max(Duration::from_millis(10));
     let _ = stream.set_read_timeout(Some(io_timeout));
     let _ = stream.set_write_timeout(Some(Duration::from_secs(10)));
+    let record = |status: u16, endpoint: &str| {
+        chatls_obs::counter_dyn(&format!("serve.http.{status}")).inc();
+        chatls_obs::counter_dyn(&format!("serve.req.{endpoint}")).inc();
+        chatls_obs::histogram("serve.latency_ns", chatls_obs::DURATION_NS_BOUNDS)
+            .record(admitted.elapsed().as_nanos() as f64);
+    };
     let (endpoint, response) = match read_request(&mut stream) {
         // A read that failed because the deadline consumed its socket
         // budget is an expiry, not a client error.
@@ -356,15 +378,18 @@ fn handle_connection(
                 // an in-flight expiry, without burning handler work.
                 Response::gateway_timeout("deadline exceeded while queued")
             } else {
+                // Streaming requests (SSE sessions) write the socket
+                // themselves; only the metrics tail runs for them.
+                if let Some(status) = handler.handle_streaming(&req, &cancel, &mut stream) {
+                    record(status, endpoint);
+                    return;
+                }
                 handler.handle(&req, &cancel)
             };
             (endpoint, response)
         }
     };
-    chatls_obs::counter_dyn(&format!("serve.http.{}", response.status)).inc();
-    chatls_obs::counter_dyn(&format!("serve.req.{endpoint}")).inc();
-    chatls_obs::histogram("serve.latency_ns", chatls_obs::DURATION_NS_BOUNDS)
-        .record(admitted.elapsed().as_nanos() as f64);
+    record(response.status, endpoint);
     response.write_to(&mut stream);
 }
 
@@ -392,9 +417,12 @@ fn known_endpoint(path: &str) -> &'static str {
         "/v1/lint" => "lint",
         "/v1/qor" => "qor",
         "/v1/version" => "version",
+        "/v1/mcp" => "mcp",
+        "/v1/session" => "session",
         "/healthz" => "healthz",
         "/metrics" => "metrics",
         "/telemetry" => "telemetry",
+        p if p.starts_with("/v1/session/") => "session",
         p if p.starts_with("/admin/") => "admin",
         _ => "other",
     }

@@ -1,0 +1,180 @@
+//! Server-Sent Events over the one-request-per-connection HTTP model.
+//!
+//! A streaming handler writes the response head itself (no
+//! `Content-Length`; the stream ends when the connection closes, which
+//! `Connection: close` clients already expect) and then emits
+//! `event:`/`data:` frames as the pipeline produces them. The
+//! [`EventSink`] trait decouples event *production* from the transport:
+//! the server hands handlers an [`SseWriter`] over the live socket, and
+//! tests drive the same handlers with a [`BufferSink`] (optionally one
+//! that fails mid-stream, which is exactly what a client hang-up looks
+//! like to the writer).
+
+use std::io::{self, Write};
+use std::net::TcpStream;
+
+/// Where a streaming handler sends its events. `emit` failing means the
+/// peer is gone — handlers must treat it as a cancellation signal, not
+/// retry.
+pub trait EventSink {
+    /// Emits one named event. `data` is normally one line of JSON;
+    /// embedded newlines are split across multiple `data:` lines per the
+    /// SSE grammar.
+    ///
+    /// # Errors
+    ///
+    /// An I/O error means the client disconnected (or the sink's failure
+    /// budget is exhausted, in tests); the turn must stop.
+    fn emit(&mut self, event: &str, data: &str) -> io::Result<()>;
+}
+
+/// Renders one SSE frame (`event:` line, one `data:` line per line of
+/// `data`, blank-line terminator).
+pub fn frame(event: &str, data: &str) -> String {
+    let mut out = String::with_capacity(event.len() + data.len() + 16);
+    out.push_str("event: ");
+    out.push_str(event);
+    out.push('\n');
+    for line in data.split('\n') {
+        out.push_str("data: ");
+        out.push_str(line);
+        out.push('\n');
+    }
+    out.push('\n');
+    out
+}
+
+/// The `text/event-stream` response head an [`SseWriter`] sends before
+/// its first frame.
+pub const SSE_HEAD: &str = "HTTP/1.1 200 OK\r\nContent-Type: text/event-stream\r\n\
+                            Cache-Control: no-cache\r\nConnection: close\r\n\r\n";
+
+/// [`EventSink`] over a live socket: lazily writes the SSE response head
+/// before the first frame, then one flushed frame per event (flushing per
+/// event is the whole point — the client sees progress as it happens, and
+/// a vanished client surfaces as a write error within a frame or two).
+pub struct SseWriter<'a> {
+    stream: &'a mut TcpStream,
+    head_sent: bool,
+}
+
+impl<'a> SseWriter<'a> {
+    /// A writer over `stream`; nothing is written until the first emit.
+    pub fn new(stream: &'a mut TcpStream) -> Self {
+        Self { stream, head_sent: false }
+    }
+
+    /// Whether the response head (and hence a 200 status) is already on
+    /// the wire — after which failures can only be reported in-stream.
+    pub fn head_sent(&self) -> bool {
+        self.head_sent
+    }
+}
+
+impl EventSink for SseWriter<'_> {
+    fn emit(&mut self, event: &str, data: &str) -> io::Result<()> {
+        if !self.head_sent {
+            self.stream.write_all(SSE_HEAD.as_bytes())?;
+            self.head_sent = true;
+        }
+        self.stream.write_all(frame(event, data).as_bytes())?;
+        self.stream.flush()
+    }
+}
+
+/// In-memory [`EventSink`] for tests: records `(event, data)` pairs and
+/// can be armed to fail after N emits — a deterministic stand-in for a
+/// client that disconnects mid-stream.
+#[derive(Debug, Default)]
+pub struct BufferSink {
+    /// Every event emitted so far, in order.
+    pub events: Vec<(String, String)>,
+    /// When set, emits at and after this count fail with `BrokenPipe`.
+    pub fail_after: Option<usize>,
+}
+
+impl BufferSink {
+    /// A sink that never fails.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// A sink whose `n`-th emit (0-based) and everything after it fail —
+    /// the client "disconnected" after `n` events arrived.
+    pub fn failing_after(n: usize) -> Self {
+        Self { events: Vec::new(), fail_after: Some(n) }
+    }
+
+    /// The data payloads of every emitted event named `event`.
+    pub fn data_of(&self, event: &str) -> Vec<&str> {
+        self.events.iter().filter(|(e, _)| e == event).map(|(_, d)| d.as_str()).collect()
+    }
+
+    /// The distinct event names in emission order.
+    pub fn names(&self) -> Vec<&str> {
+        self.events.iter().map(|(e, _)| e.as_str()).collect()
+    }
+}
+
+impl EventSink for BufferSink {
+    fn emit(&mut self, event: &str, data: &str) -> io::Result<()> {
+        if self.fail_after.is_some_and(|n| self.events.len() >= n) {
+            return Err(io::Error::new(io::ErrorKind::BrokenPipe, "client disconnected"));
+        }
+        self.events.push((event.to_string(), data.to_string()));
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Read;
+    use std::net::TcpListener;
+
+    #[test]
+    fn frames_follow_the_sse_grammar() {
+        assert_eq!(
+            frame("qor_delta", "{\"wns\": -0.1}"),
+            "event: qor_delta\ndata: {\"wns\": -0.1}\n\n"
+        );
+        assert_eq!(frame("log", "a\nb"), "event: log\ndata: a\ndata: b\n\n", "newlines split");
+    }
+
+    #[test]
+    fn writer_sends_head_once_then_flushed_frames() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let reader = std::thread::spawn(move || {
+            let mut s = TcpStream::connect(addr).unwrap();
+            let mut text = String::new();
+            s.read_to_string(&mut text).unwrap();
+            text
+        });
+        let (mut conn, _) = listener.accept().unwrap();
+        let mut w = SseWriter::new(&mut conn);
+        assert!(!w.head_sent());
+        w.emit("stage", "{\"name\": \"embed\"}").unwrap();
+        assert!(w.head_sent());
+        w.emit("result", "{\"ok\": true}").unwrap();
+        drop(conn);
+        let text = reader.join().unwrap();
+        assert!(text.starts_with("HTTP/1.1 200 OK\r\n"), "{text}");
+        assert_eq!(text.matches("Content-Type: text/event-stream").count(), 1);
+        assert!(!text.contains("Content-Length"), "streams must not claim a length");
+        assert!(text.ends_with(
+            "event: stage\ndata: {\"name\": \"embed\"}\n\nevent: result\ndata: {\"ok\": true}\n\n"
+        ));
+    }
+
+    #[test]
+    fn buffer_sink_fails_like_a_vanished_client() {
+        let mut sink = BufferSink::failing_after(2);
+        sink.emit("a", "1").unwrap();
+        sink.emit("b", "2").unwrap();
+        let err = sink.emit("c", "3").unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::BrokenPipe);
+        assert_eq!(sink.names(), ["a", "b"]);
+        assert_eq!(sink.data_of("b"), ["2"]);
+    }
+}

@@ -54,6 +54,6 @@ pub use timing_graph::{
     TimingGraph, TimingView,
 };
 pub use tool::{
-    command_manual, ManualEntry, RunResult, ScriptError, SessionBuilder, SessionTemplate,
-    SynthSession,
+    command_manual, CommandEvent, CommandObserver, ManualEntry, RunResult, ScriptError,
+    SessionBuilder, SessionTemplate, SynthSession,
 };

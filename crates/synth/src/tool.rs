@@ -74,6 +74,46 @@ impl RunResult {
     }
 }
 
+/// One successfully executed script command, with the QoR measured right
+/// after it ran — the payload a [`CommandObserver`] receives. Streaming
+/// front ends turn these into per-command QoR-delta events.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CommandEvent {
+    /// 0-based position among the run's executed commands.
+    pub index: usize,
+    /// 1-based script line.
+    pub line: u32,
+    /// Command name.
+    pub command: String,
+    /// QoR of the design immediately after this command.
+    pub qor: QorReport,
+}
+
+/// A callback invoked after every successfully executed command in
+/// [`SynthSession::run_script`]. Cheap to clone (one `Arc` bump); the
+/// per-command QoR probe it implies is only paid while an observer is
+/// attached.
+#[derive(Clone)]
+pub struct CommandObserver(Arc<dyn Fn(&CommandEvent) + Send + Sync>);
+
+impl CommandObserver {
+    /// Wraps `f` as an observer.
+    pub fn new(f: impl Fn(&CommandEvent) + Send + Sync + 'static) -> Self {
+        Self(Arc::new(f))
+    }
+
+    /// Invokes the callback.
+    pub fn notify(&self, event: &CommandEvent) {
+        (self.0)(event)
+    }
+}
+
+impl fmt::Debug for CommandObserver {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("CommandObserver(..)")
+    }
+}
+
 /// One entry of the tool's user manual.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct ManualEntry {
@@ -713,6 +753,7 @@ impl SessionTemplate {
             last_netlist: None,
             obs: self.obs.clone(),
             cancel: self.cancel.clone(),
+            observer: None,
         }
     }
 
@@ -745,6 +786,7 @@ pub struct SynthSession {
     last_netlist: Option<String>,
     obs: chatls_obs::ObsCtx,
     cancel: CancelToken,
+    observer: Option<CommandObserver>,
 }
 
 impl SynthSession {
@@ -755,6 +797,35 @@ impl SynthSession {
     /// from the builder or template.
     pub fn set_cancel_token(&mut self, token: CancelToken) {
         self.cancel = token;
+    }
+
+    /// Attaches (or with `None` detaches) a per-command observer:
+    /// [`run_script`](Self::run_script) reports every successfully
+    /// executed command plus the QoR measured right after it. The probe
+    /// is served by the incremental timing graph, so attaching one turns
+    /// each command into one incremental STA query, not a full rebuild.
+    pub fn set_command_observer(&mut self, observer: Option<CommandObserver>) {
+        self.observer = observer;
+    }
+
+    /// Takes this session's timing graph out, leaving a fresh one behind.
+    /// Pairs with [`attach_timing_graph`](Self::attach_timing_graph) to
+    /// carry incremental-STA state (slabs, level order, cached geometry)
+    /// across sessions stamped from the same template, e.g. between the
+    /// turns of a long-lived interactive session.
+    pub fn detach_timing_graph(&mut self) -> TimingGraph {
+        std::mem::take(&mut self.graph)
+    }
+
+    /// Adopts a previously detached timing graph. The graph is
+    /// invalidated first — this session's design state is not the one the
+    /// graph last saw, so the next query performs one full rebuild into
+    /// the graph's existing allocations (slab reuse), after which
+    /// incremental updates resume. Adopting a stale graph without the
+    /// invalidation would be unsound; this method makes it impossible.
+    pub fn attach_timing_graph(&mut self, mut graph: TimingGraph) {
+        graph.invalidate();
+        self.graph = graph;
     }
 
     /// Current constraints.
@@ -847,7 +918,17 @@ impl SynthSession {
                 None
             };
             match self.run_command(cmd) {
-                Ok(()) => executed += 1,
+                Ok(()) => {
+                    executed += 1;
+                    if let Some(observer) = self.observer.clone() {
+                        observer.notify(&CommandEvent {
+                            index: executed - 1,
+                            line: cmd.line,
+                            command: cmd.name.clone(),
+                            qor: self.qor(),
+                        });
+                    }
+                }
                 Err(e) => {
                     return RunResult {
                         executed,

@@ -11,7 +11,9 @@
 //! - an expired deadline answers `504` and does not poison the pooled
 //!   session (the next request on the same design succeeds);
 //! - graceful shutdown drains in-flight requests before the listener
-//!   goes away.
+//!   goes away;
+//! - multi-turn sessions stream SSE over a real socket, stay warm on
+//!   turn 2, and survive a client that disconnects mid-stream.
 //!
 //! Each test uses designs no other test touches, so pool hit/miss and
 //! cold/warm expectations are independent of test ordering.
@@ -78,6 +80,36 @@ fn http(addr: &str, method: &str, path: &str, body: &str) -> Reply {
 
 fn customize_body(design: &str) -> String {
     format!("{{\"design\": \"{design}\"}}")
+}
+
+/// A tiny inline design unique to one test (unique module name → unique
+/// pool fingerprint, independent of every other test).
+fn inline_design_body(name: &str) -> String {
+    format!(
+        "{{\"verilog\": \"module {name}(input clk, input a, input b, output reg y); \
+         always @(posedge clk) y <= a & b; endmodule\", \"top\": \"{name}\"}}"
+    )
+}
+
+/// The `data:` payloads of every SSE frame named `event` in `body`.
+fn sse_data(body: &str, event: &str) -> Vec<String> {
+    let mut out = Vec::new();
+    let mut lines = body.lines().peekable();
+    while let Some(line) = lines.next() {
+        if line == format!("event: {event}") {
+            let mut data = String::new();
+            while let Some(next) = lines.peek() {
+                let Some(chunk) = next.strip_prefix("data: ") else { break };
+                if !data.is_empty() {
+                    data.push('\n');
+                }
+                data.push_str(chunk);
+                lines.next();
+            }
+            out.push(data);
+        }
+    }
+    out
 }
 
 /// The `"script"` field of a customize response body.
@@ -256,6 +288,132 @@ fn version_endpoint_reports_build_identity() {
         Some(f64::from(chatls_serve::PROTOCOL_VERSION)),
         "{}",
         reply.body
+    );
+    // The capability handshake: agent front-end features are advertised
+    // so routers and clients can discover them without probing paths.
+    let caps: Vec<&str> = v
+        .get("capabilities")
+        .and_then(|c| c.as_array())
+        .expect("capabilities array")
+        .iter()
+        .filter_map(|c| c.as_str())
+        .collect();
+    assert!(caps.contains(&"mcp") && caps.contains(&"sessions"), "{}", reply.body);
+    shutdown.shutdown();
+    join.join().expect("server thread").expect("server run");
+}
+
+#[test]
+fn streaming_session_turns_stay_warm_over_real_tcp() {
+    let (addr, shutdown, join) = start_server(2, 16, 0);
+    let created = http(&addr, "POST", "/v1/session", &inline_design_body("itg_sse_probe"));
+    assert_eq!(created.status, 201, "{}", created.body);
+    let id = serde_json::parse_value(&created.body)
+        .expect("create JSON")
+        .get("session")
+        .and_then(|s| s.as_str())
+        .expect("session id")
+        .to_string();
+    let turn_path = format!("/v1/session/{id}/turn");
+
+    let turn1 = http(&addr, "POST", &turn_path, "{\"seed\": 0}");
+    assert_eq!(turn1.status, 200, "{}", turn1.body);
+    assert!(
+        turn1.headers.contains("content-type: text/event-stream"),
+        "turns stream SSE: {}",
+        turn1.headers
+    );
+    // The full event vocabulary arrives in order over the wire.
+    let stages: Vec<String> = sse_data(&turn1.body, "stage")
+        .iter()
+        .map(|d| {
+            serde_json::parse_value(d)
+                .unwrap()
+                .get("name")
+                .and_then(|n| n.as_str())
+                .unwrap()
+                .to_string()
+        })
+        .collect();
+    assert_eq!(stages, ["embed", "retrieve", "draft", "refine"], "{}", turn1.body);
+    assert!(!sse_data(&turn1.body, "thought").is_empty(), "CoT steps stream: {}", turn1.body);
+    assert!(
+        sse_data(&turn1.body, "qor_delta").len() >= 2,
+        "cold run streams per-command QoR deltas: {}",
+        turn1.body
+    );
+    assert_eq!(sse_data(&turn1.body, "result").len(), 1, "{}", turn1.body);
+    let header1 = serde_json::parse_value(&sse_data(&turn1.body, "turn")[0]).unwrap();
+    assert_eq!(header1.get("sta").and_then(|s| s.as_str()), Some("fresh"), "{}", turn1.body);
+
+    // Turn 2 on the same session: the mapped design and STA state are
+    // reused — no template rebuild, carried timing graph.
+    let turn2 = http(&addr, "POST", &turn_path, "{\"request\": \"trade area for speed\"}");
+    assert_eq!(turn2.status, 200, "{}", turn2.body);
+    let header2 = serde_json::parse_value(&sse_data(&turn2.body, "turn")[0]).unwrap();
+    assert_eq!(header2.get("turn").and_then(|t| t.as_u64()), Some(1), "{}", turn2.body);
+    assert_eq!(header2.get("sta").and_then(|s| s.as_str()), Some("carried"), "{}", turn2.body);
+    assert_eq!(sse_data(&turn2.body, "result").len(), 1, "{}", turn2.body);
+
+    let closed = http(&addr, "POST", &format!("/v1/session/{id}/close"), "");
+    assert_eq!(closed.status, 200, "{}", closed.body);
+    let gone = http(&addr, "POST", &turn_path, "{}");
+    assert_eq!(gone.status, 404, "closed sessions answer 404: {}", gone.body);
+    shutdown.shutdown();
+    join.join().expect("server thread").expect("server run");
+}
+
+#[test]
+fn client_disconnect_mid_sse_leaves_the_session_healthy() {
+    let (addr, shutdown, join) = start_server(2, 16, 0);
+    let created = http(&addr, "POST", "/v1/session", &inline_design_body("itg_gone_probe"));
+    assert_eq!(created.status, 201, "{}", created.body);
+    let id = serde_json::parse_value(&created.body)
+        .expect("create JSON")
+        .get("session")
+        .and_then(|s| s.as_str())
+        .expect("session id")
+        .to_string();
+    let turn_path = format!("/v1/session/{id}/turn");
+    let builds_before = service().pool().stats().builds;
+
+    // Start a turn, read just the head + first frame, then vanish.
+    {
+        let mut stream = TcpStream::connect(&addr).expect("connect");
+        stream.set_read_timeout(Some(Duration::from_secs(120))).unwrap();
+        let request = format!(
+            "POST {turn_path} HTTP/1.1\r\nHost: {addr}\r\nContent-Length: 2\r\nConnection: close\r\n\r\n{{}}"
+        );
+        stream.write_all(request.as_bytes()).expect("write request");
+        let mut first = [0u8; 64];
+        let n = stream.read(&mut first).expect("first bytes");
+        assert!(n > 0, "the stream must have started before the disconnect");
+        // Dropping the stream closes the socket mid-turn.
+    }
+
+    // The server cancels the turn cooperatively and releases the session:
+    // the next turn on the same id succeeds end to end. Immediately after
+    // the disconnect the abort may still be in flight, so tolerate a
+    // transient 409 while it unwinds.
+    let mut reply = http(&addr, "POST", &turn_path, "{}");
+    for _ in 0..200 {
+        if reply.status != 409 {
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(50));
+        reply = http(&addr, "POST", &turn_path, "{}");
+    }
+    assert_eq!(reply.status, 200, "session must recover after a disconnect: {}", reply.body);
+    let result = sse_data(&reply.body, "result");
+    assert_eq!(result.len(), 1, "recovered turn runs to completion: {}", reply.body);
+    // Whether the abort landed mid-pipeline or the turn drained into the
+    // dead socket, the pooled template was never rebuilt. (That a
+    // cancelled synthesis run is never memoized is locked deterministically
+    // by the in-process disconnect tests in `chatls::agent`.)
+    assert_eq!(
+        service().pool().stats().builds,
+        builds_before,
+        "a disconnect must never invalidate the pooled session template"
     );
     shutdown.shutdown();
     join.join().expect("server thread").expect("server run");
